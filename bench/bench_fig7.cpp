@@ -1,0 +1,34 @@
+// Fig. 7 — efficiency estimation error of the analytical model against the
+// cycle-level "board" for the eight calibration benchmarks on KU115.
+#include <cstdio>
+
+#include "calibration_common.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace fcad;
+
+  std::printf(
+      "=== Fig. 7: efficiency estimation error (8 benchmarks, KU115) ===\n\n");
+  const auto points = benchharness::run_calibration();
+
+  TablePrinter t({"Benchmark", "Estimated eff.", "Real eff. (sim)",
+                  "Normalized est.", "Error"});
+  double max_err = 0;
+  double sum_err = 0;
+  for (const auto& p : points) {
+    t.add_row({p.name, format_percent(p.est_eff, 2),
+               format_percent(p.real_eff, 2),
+               format_fixed(p.real_eff > 0 ? p.est_eff / p.real_eff : 0, 4),
+               format_percent(p.eff_error(), 2)});
+    max_err = std::max(max_err, p.eff_error());
+    sum_err += p.eff_error();
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("max error %s, average error %s\n",
+              format_percent(max_err, 2).c_str(),
+              format_percent(sum_err / points.size(), 2).c_str());
+  std::printf("paper reference: 3.96%% max, 1.91%% average.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Scalability study (our extension): Sec. VI-A observes that each extra
+// branch or layer raises the dimensionality of the multi-branch dynamic
+// design space. This bench sweeps synthetic decoders with 1-6 branches and
+// reports space dimensionality, DSE runtime, and the result quality, showing
+// the divide-and-conquer search stays tractable as decoders grow.
+#include <cstdio>
+
+#include "arch/platform.hpp"
+#include "arch/reorg.hpp"
+#include "dse/engine.hpp"
+#include "nn/zoo/scaled_decoder.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace fcad;
+
+  std::printf("=== DSE scalability vs branch count (ZU9CG, 8-bit) ===\n\n");
+  TablePrinter t({"branches", "stages", "space dims", "log10 |space|",
+                  "DSE s", "evals", "min FPS", "feasible"});
+  for (int branches = 1; branches <= 6; ++branches) {
+    nn::zoo::ScaledDecoderSpec spec;
+    spec.branches = branches;
+    spec.width = 0.75;
+    nn::Graph graph = nn::zoo::scaled_decoder(spec);
+    auto model = arch::reorganize(graph);
+    FCAD_CHECK_MSG(model.is_ok(), model.status().message());
+
+    const dse::DesignSpaceStats stats = dse::design_space_stats(*model);
+
+    dse::DseRequest request;
+    request.platform = arch::platform_zu9cg();
+    request.customization.quantization = nn::DataType::kInt8;
+    request.options.population = 100;
+    request.options.iterations = 12;
+    request.options.seed = 31;
+    auto result = dse::optimize(*model, request);
+    FCAD_CHECK_MSG(result.is_ok(), result.status().message());
+
+    t.add_row({std::to_string(branches), std::to_string(stats.stages),
+               std::to_string(stats.dimensions),
+               format_fixed(stats.log10_configs, 1),
+               format_fixed(result->seconds, 2),
+               std::to_string(result->trace.evaluations),
+               format_fixed(result->eval.min_fps, 1),
+               result->feasible ? "yes" : "no"});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "shape to check: the discrete space grows by orders of magnitude per\n"
+      "branch while DSE runtime grows only linearly (the cross-branch /\n"
+      "in-branch decomposition is what keeps it tractable).\n");
+  return 0;
+}

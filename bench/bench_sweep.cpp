@@ -1,0 +1,50 @@
+// Quantization x frequency co-exploration (our extension): the paper fixes
+// 200 MHz and treats quantization Q as a per-run customization; this bench
+// explores the grid on ZU9CG and prints the (min-FPS, DSP) Pareto frontier,
+// the deployment view an HMD architect actually needs.
+#include <cstdio>
+
+#include "arch/platform.hpp"
+#include "arch/reorg.hpp"
+#include "dse/sweep.hpp"
+#include "nn/zoo/avatar_decoder.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace fcad;
+
+  std::printf(
+      "=== quantization x frequency sweep, ZU9CG, batch {1,2,2} ===\n\n");
+  auto model = arch::reorganize(nn::zoo::avatar_decoder());
+  FCAD_CHECK_MSG(model.is_ok(), model.status().message());
+
+  dse::SweepOptions options;
+  options.frequencies_mhz = {150, 200, 250, 300};
+  options.search.population = 100;
+  options.search.iterations = 12;
+  options.search.seed = 4242;
+  options.customization.batch_sizes = {1, 2, 2};
+
+  auto points = dse::quantization_frequency_sweep(
+      *model, arch::platform_zu9cg(), options);
+  FCAD_CHECK_MSG(points.is_ok(), points.status().message());
+
+  TablePrinter t({"Q", "clock", "min FPS", "DSP", "BRAM", "BW (GB/s)",
+                  "efficiency", "Pareto"});
+  for (const dse::SweepPoint& p : *points) {
+    const arch::AcceleratorEval& eval = p.result.eval;
+    t.add_row({nn::to_string(p.quantization),
+               format_fixed(p.freq_mhz, 0) + " MHz",
+               format_fixed(eval.min_fps, 1), std::to_string(eval.dsps),
+               std::to_string(eval.brams), format_fixed(eval.bw_gbps, 2),
+               format_percent(eval.efficiency, 1),
+               p.pareto_optimal ? "*" : ""});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "shape to check: int8 dominates int16 at equal clock (DSP packing);\n"
+      "FPS scales with clock until DDR bandwidth bites; the frontier should\n"
+      "be int8 points ordered by clock.\n");
+  return 0;
+}

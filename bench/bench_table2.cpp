@@ -1,0 +1,70 @@
+// Table II — evaluation of existing accelerators on codec avatar decoding:
+// Snapdragon-865-class SoC, DNNBuilder (schemes 1-3 = Z7045/ZU17EG/ZU9CG,
+// 8-bit), and HybridDNN (schemes 1 and 2&3, 16-bit), all on the mimic
+// decoder. Reproduces the paper's headline: none of them clears the 90+ FPS
+// VR bar, and the FPGA baselines stop scaling.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "arch/platform.hpp"
+#include "arch/reorg.hpp"
+#include "baselines/dnnbuilder.hpp"
+#include "baselines/hybriddnn.hpp"
+#include "baselines/soc865.hpp"
+#include "nn/zoo/avatar_decoder.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace fcad;
+
+  std::printf("=== Table II: existing accelerators on the mimic decoder ===\n\n");
+  nn::Graph mimic = nn::zoo::mimic_decoder();
+  auto model = arch::reorganize(mimic);
+  if (!model.is_ok()) {
+    std::fprintf(stderr, "%s\n", model.status().to_string().c_str());
+    return 1;
+  }
+
+  TablePrinter t({"Scheme", "Utilization", "FPS", "Efficiency"});
+
+  {
+    const baselines::Soc865Result soc = baselines::run_soc865(*model);
+    t.add_row({"865 SoC (8-bit)", "-", format_fixed(soc.fps, 1),
+               format_percent(soc.efficiency, 1)});
+  }
+
+  const std::vector<arch::Platform> schemes = {
+      arch::platform_z7045(), arch::platform_zu17eg(), arch::platform_zu9cg()};
+
+  t.add_separator();
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    const baselines::DnnBuilderResult r =
+        baselines::run_dnnbuilder(*model, schemes[i], nn::DataType::kInt8);
+    t.add_row({"DNNBuilder (8-bit) " + std::to_string(i + 1),
+               "DSP: " + std::to_string(r.dsps) +
+                   ", BRAM: " + std::to_string(r.brams),
+               format_fixed(r.fps, 1), format_percent(r.efficiency, 1)});
+  }
+
+  t.add_separator();
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    const baselines::HybridDnnResult r =
+        baselines::run_hybriddnn(*model, schemes[i], nn::DataType::kInt16);
+    std::string note = r.bram_blocked_scaling ? " (BRAM-blocked)" : "";
+    t.add_row({"HybridDNN (16-bit) " + std::to_string(i + 1),
+               "DSP: " + std::to_string(r.dsps) +
+                   ", BRAM: " + std::to_string(r.brams) + note,
+               format_fixed(r.fps, 1), format_percent(r.efficiency, 1)});
+  }
+
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "paper reference: 865 35.8 FPS / 16.9%%; DNNBuilder 30.5 FPS at "
+      "81.6%% -> 50.4%% -> 28.8%%; HybridDNN 12.1 FPS (77.5%%) then 22.0 "
+      "FPS (70.4%%) for both larger schemes.\n"
+      "shape to check: SoC inefficient; DNNBuilder FPS flat while "
+      "efficiency collapses; HybridDNN scales once then sticks.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Table IV — F-CAD generated accelerators for codec avatar decoding: five
+// cases (Z7045 8-bit; ZU17EG 8/16-bit; ZU9CG 8/16-bit), customized batch
+// {1, 2, 2} (Br.2/3 render one HD texture per eye), N=20 iterations, P=200
+// candidates, as in Sec. VII.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "core/report.hpp"
+#include "nn/zoo/avatar_decoder.hpp"
+
+int main() {
+  using namespace fcad;
+
+  std::printf("=== Table IV: F-CAD generated accelerators ===\n\n");
+
+  struct Case {
+    const char* name;
+    arch::Platform platform;
+    nn::DataType dtype;
+  };
+  const std::vector<Case> cases = {
+      {"Case 1: Z7045 (8-bit)", arch::platform_z7045(), nn::DataType::kInt8},
+      {"Case 2: ZU17EG (8-bit)", arch::platform_zu17eg(), nn::DataType::kInt8},
+      {"Case 3: ZU17EG (16-bit)", arch::platform_zu17eg(),
+       nn::DataType::kInt16},
+      {"Case 4: ZU9CG (8-bit)", arch::platform_zu9cg(), nn::DataType::kInt8},
+      {"Case 5: ZU9CG (16-bit)", arch::platform_zu9cg(), nn::DataType::kInt16},
+  };
+
+  for (const Case& c : cases) {
+    core::FlowOptions options;
+    options.customization.quantization = c.dtype;
+    options.customization.batch_sizes = {1, 2, 2};
+    options.search.population = 200;  // P
+    options.search.iterations = 20;   // N
+    options.search.seed = 20210308;   // fixed for reproducibility
+    options.run_simulation = true;
+
+    core::Flow flow(nn::zoo::avatar_decoder(), c.platform);
+    auto result = flow.run(options);
+    if (!result.is_ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", c.name,
+                   result.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("%s\n", core::case_report(c.name, *result, c.platform).c_str());
+  }
+
+  std::printf(
+      "paper reference (per-branch FPS / overall util / DSE s):\n"
+      "  Case 1: {61.0, 30.5, 61.0}  81.8%% DSP  101.8 s\n"
+      "  Case 2: {122.1, 61.0, 122.1}  83.5%% DSP  77.3 s\n"
+      "  Case 3: {61.0, 30.5, 15.3}  81.8%% DSP  82.8 s\n"
+      "  Case 4: {122.1, 122.1, 122.1}  88.5%% DSP  56.9 s\n"
+      "  Case 5: {61.0, 61.0, 61.0}  87.8%% DSP  67.6 s\n"
+      "shape to check: FPS roughly doubles Z7045 -> ZU9CG, 16-bit runs at\n"
+      "about half the 8-bit rate, budgets respected, high efficiency.\n");
+  return 0;
+}

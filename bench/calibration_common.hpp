@@ -1,0 +1,74 @@
+// Shared harness for Figs. 6-7: configure each calibration backbone
+// (AlexNet, ZFNet, VGG16, Tiny-YOLO; 16-bit = benchmarks 1-4, 8-bit = 5-8)
+// on the KU115 with the F-CAD flow, then compare the analytical estimate
+// (Eqs. 3-5) against the cycle-level simulator standing in for the paper's
+// board-level implementation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/platform.hpp"
+#include "arch/reorg.hpp"
+#include "dse/engine.hpp"
+#include "nn/zoo/classic_nets.hpp"
+#include "sim/simulator.hpp"
+
+namespace fcad::benchharness {
+
+struct CalibrationPoint {
+  std::string name;       ///< "1: AlexNet (16-bit)" ...
+  double est_fps = 0;     ///< analytical estimate
+  double real_fps = 0;    ///< simulated ("board") value
+  double est_eff = 0;
+  double real_eff = 0;
+
+  double fps_error() const {
+    return real_fps > 0 ? std::abs(est_fps - real_fps) / real_fps : 0.0;
+  }
+  double eff_error() const {
+    return real_eff > 0 ? std::abs(est_eff - real_eff) / real_eff : 0.0;
+  }
+};
+
+inline std::vector<CalibrationPoint> run_calibration() {
+  std::vector<CalibrationPoint> points;
+  const arch::Platform ku115 = arch::platform_ku115();
+  const nn::DataType dtypes[] = {nn::DataType::kInt16, nn::DataType::kInt8};
+
+  int index = 1;
+  for (nn::DataType dtype : dtypes) {
+    for (nn::Graph& net : nn::zoo::calibration_benchmarks()) {
+      auto model = arch::reorganize(net);
+      FCAD_CHECK_MSG(model.is_ok(), model.status().message());
+
+      dse::DseRequest request;
+      request.platform = ku115;
+      request.customization.quantization = dtype;
+      request.options.population = 40;  // single branch: small swarm suffices
+      request.options.iterations = 8;
+      request.options.seed = 1234 + index;
+      auto search = dse::optimize(*model, request);
+      FCAD_CHECK_MSG(search.is_ok(), search.status().message());
+
+      const sim::SimResult simulated =
+          sim::simulate(*model, search->config, ku115);
+
+      CalibrationPoint p;
+      p.name = std::to_string(index) + ": " + net.name() + " (" +
+               nn::to_string(dtype) + ")";
+      // Analytical estimate: smooth Eq. 4/5 + Eq. 3 on the winning config.
+      const arch::AcceleratorEval analytical = arch::evaluate(
+          *model, search->config, arch::EvalMode::kAnalytical);
+      p.est_fps = analytical.min_fps;
+      p.est_eff = analytical.efficiency;
+      p.real_fps = simulated.min_fps;
+      p.real_eff = simulated.efficiency;
+      points.push_back(p);
+      ++index;
+    }
+  }
+  return points;
+}
+
+}  // namespace fcad::benchharness

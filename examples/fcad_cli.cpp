@@ -1,0 +1,175 @@
+// fcad_cli — the command-line front end of the framework.
+//
+//   fcad_cli --model decoder.fcad --platform zu9cg --quant int8
+//            --batches 1,2,2 --priorities 1,1,1
+//            --population 200 --iterations 20 --seed 1 --simulate
+//
+// --model takes a network in the nn/serialize.hpp text format; without it,
+// the built-in Table-I avatar decoder is used. --asic-macs/--asic-buffer-mib/
+// --asic-bw/--asic-freq define an ASIC budget instead of --platform.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "arch/config_io.hpp"
+#include "core/flow.hpp"
+#include "core/report.hpp"
+#include "nn/serialize.hpp"
+#include "nn/zoo/avatar_decoder.hpp"
+#include "sim/trace.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+using namespace fcad;
+
+void usage() {
+  std::printf(
+      "usage: fcad_cli [options]\n"
+      "  --model <file>        network in the fcad text format "
+      "(default: built-in avatar decoder)\n"
+      "  --platform <name>     z7045 | zu17eg | zu9cg | ku115 (default "
+      "zu9cg)\n"
+      "  --asic-macs <n>       target an ASIC instead: MAC units\n"
+      "  --asic-buffer-mib <f> ASIC on-chip buffer (MiB)\n"
+      "  --asic-bw <f>         ASIC DRAM bandwidth (GB/s)\n"
+      "  --asic-freq <f>       ASIC clock (MHz)\n"
+      "  --quant int8|int16    quantization Q (default int8)\n"
+      "  --batches a,b,...     per-branch batch-size targets\n"
+      "  --priorities a,b,...  per-branch priorities\n"
+      "  --population <n>      DSE candidates P (default 200)\n"
+      "  --iterations <n>      DSE iterations N (default 20)\n"
+      "  --seed <n>            DSE seed (default 1)\n"
+      "  --simulate            validate the winner on the cycle simulator\n"
+      "  --chart               print the simulator's per-stage utilization "
+      "chart (implies --simulate)\n"
+      "  --save-config <file>  write the winning accelerator config "
+      "(arch/config_io.hpp format)\n"
+      "  --dump-model          print the model text and exit\n");
+}
+
+StatusOr<nn::Graph> load_model(const ArgParser& args) {
+  const std::string path = args.get("model", "");
+  if (path.empty()) return nn::zoo::avatar_decoder();
+  std::ifstream in(path);
+  if (!in) return Status::not_found("cannot open model file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return nn::from_text(buffer.str());
+}
+
+StatusOr<arch::Platform> load_platform(const ArgParser& args) {
+  if (args.has("asic-macs")) {
+    auto macs = args.get_int("asic-macs", 0);
+    if (!macs.is_ok()) return macs.status();
+    auto buffer = args.get_double("asic-buffer-mib", 4.0);
+    if (!buffer.is_ok()) return buffer.status();
+    auto bw = args.get_double("asic-bw", 12.8);
+    if (!bw.is_ok()) return bw.status();
+    auto freq = args.get_double("asic-freq", 600.0);
+    if (!freq.is_ok()) return freq.status();
+    return arch::make_asic("asic", static_cast<int>(*macs), *buffer, *bw,
+                           *freq);
+  }
+  return arch::platform_by_name(args.get("platform", "zu9cg"));
+}
+
+int run(const ArgParser& args) {
+  auto graph = load_model(args);
+  if (!graph.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", graph.status().to_string().c_str());
+    return 1;
+  }
+  if (args.has("dump-model")) {
+    std::printf("%s", nn::to_text(*graph).c_str());
+    return 0;
+  }
+  auto platform = load_platform(args);
+  if (!platform.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", platform.status().to_string().c_str());
+    return 1;
+  }
+
+  core::FlowOptions options;
+  const std::string quant = args.get("quant", "int8");
+  if (quant == "int8") {
+    options.customization.quantization = nn::DataType::kInt8;
+  } else if (quant == "int16") {
+    options.customization.quantization = nn::DataType::kInt16;
+  } else {
+    std::fprintf(stderr, "error: --quant must be int8 or int16\n");
+    return 1;
+  }
+  auto batches = args.get_int_list("batches");
+  if (!batches.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", batches.status().to_string().c_str());
+    return 1;
+  }
+  options.customization.batch_sizes = *batches;
+  auto priorities = args.get_double_list("priorities");
+  if (!priorities.is_ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 priorities.status().to_string().c_str());
+    return 1;
+  }
+  options.customization.priorities = *priorities;
+
+  auto population = args.get_int("population", 200);
+  auto iterations = args.get_int("iterations", 20);
+  auto seed = args.get_int("seed", 1);
+  if (!population.is_ok() || !iterations.is_ok() || !seed.is_ok()) {
+    std::fprintf(stderr, "error: bad numeric flag\n");
+    return 1;
+  }
+  options.search.population = static_cast<int>(*population);
+  options.search.iterations = static_cast<int>(*iterations);
+  options.search.seed = static_cast<std::uint64_t>(*seed);
+  options.run_simulation = args.has("simulate") || args.has("chart");
+
+  core::Flow flow(std::move(*graph), *platform);
+  auto result = flow.run(options);
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s",
+              core::case_report(flow.graph().name(), *result, *platform)
+                  .c_str());
+  if (args.has("chart") && result->simulation.has_value()) {
+    std::printf("\n%s",
+                sim::utilization_chart(result->model, *result->simulation)
+                    .c_str());
+  }
+  if (args.has("save-config")) {
+    const std::string path = args.get("save-config", "");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+      return 1;
+    }
+    out << arch::config_to_text(result->model, result->search.config);
+    std::printf("config written to %s\n", path.c_str());
+  }
+  if (!result->search.feasible) {
+    std::fprintf(stderr,
+                 "warning: no configuration met every batch-size target "
+                 "within the budget; best effort shown.\n");
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = ArgParser::parse(argc, argv);
+  if (!args.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", args.status().to_string().c_str());
+    return 1;
+  }
+  if (args->has("help")) {
+    usage();
+    return 0;
+  }
+  return run(*args);
+}

@@ -1,0 +1,73 @@
+#include "analysis/branches.hpp"
+
+#include <vector>
+
+namespace fcad::analysis {
+
+StatusOr<BranchDecomposition> decompose(const nn::Graph& graph,
+                                        const GraphProfile& profile) {
+  if (graph.output_ids().empty()) {
+    return Status::invalid_argument("decompose: graph has no outputs");
+  }
+  FCAD_CHECK(profile.layers.size() == graph.size());
+
+  BranchDecomposition d;
+  d.users.assign(graph.size(), {});
+
+  int index = 0;
+  for (nn::LayerId out : graph.output_ids()) {
+    BranchInfo br;
+    br.index = index;
+    br.output = out;
+    br.role = graph.layer(out).output().role;
+
+    // Collect all ancestors of the output (depth-first), then emit them in
+    // topological order, which for this IR is ascending id order.
+    std::vector<bool> visited(graph.size(), false);
+    std::vector<nn::LayerId> stack = {out};
+    while (!stack.empty()) {
+      nn::LayerId id = stack.back();
+      stack.pop_back();
+      if (visited[static_cast<std::size_t>(id)]) continue;
+      visited[static_cast<std::size_t>(id)] = true;
+      for (nn::LayerId in : graph.layer(id).inputs) stack.push_back(in);
+    }
+    for (std::size_t id = 0; id < graph.size(); ++id) {
+      if (!visited[id]) continue;
+      br.layers.push_back(static_cast<nn::LayerId>(id));
+      d.users[id].push_back(index);
+      const LayerProfile& lp = profile.layers[id];
+      br.ops += lp.ops;
+      br.macs += lp.macs;
+      br.params += lp.params;
+    }
+    d.branches.push_back(std::move(br));
+    ++index;
+  }
+
+  for (std::size_t id = 0; id < graph.size(); ++id) {
+    if (d.users[id].size() > 1) {
+      d.shared.push_back(static_cast<nn::LayerId>(id));
+    }
+  }
+
+  // Attribution: each layer counted once, on its highest-demand user.
+  for (std::size_t id = 0; id < graph.size(); ++id) {
+    if (d.users[id].empty()) continue;
+    int owner = d.users[id][0];
+    for (int b : d.users[id]) {
+      if (d.branches[static_cast<std::size_t>(b)].ops >
+          d.branches[static_cast<std::size_t>(owner)].ops) {
+        owner = b;
+      }
+    }
+    BranchInfo& br = d.branches[static_cast<std::size_t>(owner)];
+    const LayerProfile& lp = profile.layers[id];
+    br.ops_attributed += lp.ops;
+    br.macs_attributed += lp.macs;
+    br.params_attributed += lp.params;
+  }
+  return d;
+}
+
+}  // namespace fcad::analysis

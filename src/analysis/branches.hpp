@@ -1,0 +1,46 @@
+// Branch-wise structural analysis (the second half of the Analysis step):
+// how many branches the decoder has, which layers each branch touches, and
+// which layers are shared between branches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/profile.hpp"
+#include "nn/graph.hpp"
+#include "util/status.hpp"
+
+namespace fcad::analysis {
+
+/// One branch = everything on a path from the network inputs to one output.
+struct BranchInfo {
+  int index = 0;                     ///< Br. index, 0-based, output order
+  nn::LayerId output = nn::kInvalidLayer;
+  std::string role;                  ///< output role label
+  std::vector<nn::LayerId> layers;   ///< all ancestors, topological order
+  std::int64_t ops = 0;              ///< ops over `layers` (shared included)
+  std::int64_t macs = 0;
+  std::int64_t params = 0;
+  /// Demand attributed to this branch after the reorganization rule (each
+  /// shared layer counted once, on the sharing branch with the highest total
+  /// demand) — the convention Table I uses, so shares sum to 100%.
+  std::int64_t ops_attributed = 0;
+  std::int64_t macs_attributed = 0;
+  std::int64_t params_attributed = 0;
+};
+
+struct BranchDecomposition {
+  std::vector<BranchInfo> branches;
+  /// Layers used by more than one branch ("shared part"), topological order.
+  std::vector<nn::LayerId> shared;
+  /// For each layer id: indices of branches whose path contains it.
+  std::vector<std::vector<int>> users;
+};
+
+/// Decomposes `graph` into branches. Requires at least one output; any DAG is
+/// accepted (sharing need not be a pure prefix at this level — the pipeline
+/// mapping in arch/reorg.hpp imposes the chain restrictions).
+StatusOr<BranchDecomposition> decompose(const nn::Graph& graph,
+                                        const GraphProfile& profile);
+
+}  // namespace fcad::analysis

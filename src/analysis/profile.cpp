@@ -1,0 +1,93 @@
+#include "analysis/profile.hpp"
+
+#include <algorithm>
+
+namespace fcad::analysis {
+namespace {
+
+std::int64_t conv_macs(const nn::Layer& layer, const nn::Layer& in) {
+  const auto& a = layer.conv();
+  const auto k2 = static_cast<std::int64_t>(a.kernel) * a.kernel;
+  return static_cast<std::int64_t>(layer.out_shape.h) * layer.out_shape.w *
+         a.out_ch * in.out_shape.ch * k2;
+}
+
+}  // namespace
+
+LayerProfile profile_layer(const nn::Graph& graph, const nn::Layer& layer) {
+  LayerProfile p;
+  p.id = layer.id;
+  p.out_elems = layer.out_shape.elems();
+  for (nn::LayerId in : layer.inputs) {
+    p.in_elems += graph.layer(in).out_shape.elems();
+  }
+
+  switch (layer.kind) {
+    case nn::LayerKind::kConv2d: {
+      const auto& a = layer.conv();
+      const nn::Layer& in = graph.layer(layer.inputs[0]);
+      p.macs = conv_macs(layer, in);
+      p.weight_params = static_cast<std::int64_t>(a.out_ch) * in.out_shape.ch *
+                        a.kernel * a.kernel;
+      if (a.bias) {
+        p.bias_params = a.untied_bias
+                            ? static_cast<std::int64_t>(layer.out_shape.h) *
+                                  layer.out_shape.w
+                            : a.out_ch;
+      }
+      p.ops = 2 * p.macs + (a.bias ? p.out_elems : 0);
+      break;
+    }
+    case nn::LayerKind::kDense: {
+      const auto& a = layer.dense();
+      p.macs = p.in_elems * a.out_features;
+      p.weight_params = p.in_elems * a.out_features;
+      if (a.bias) p.bias_params = a.out_features;
+      p.ops = 2 * p.macs + (a.bias ? p.out_elems : 0);
+      break;
+    }
+    case nn::LayerKind::kActivation:
+      p.ops = p.out_elems;
+      break;
+    case nn::LayerKind::kUpsample2x:
+      // Nearest: one select per produced element; bilinear: 4 MACs each.
+      if (layer.upsample().mode == nn::Upsample2xAttrs::Mode::kBilinear) {
+        p.macs = 4 * p.out_elems;
+        p.ops = 2 * p.macs;
+      } else {
+        p.ops = p.out_elems;
+      }
+      break;
+    case nn::LayerKind::kMaxPool: {
+      const auto& a = layer.max_pool();
+      p.ops = static_cast<std::int64_t>(a.kernel) * a.kernel * p.out_elems;
+      break;
+    }
+    case nn::LayerKind::kInput:
+    case nn::LayerKind::kReshape:
+    case nn::LayerKind::kConcat:
+    case nn::LayerKind::kOutput:
+      break;  // data movement only
+  }
+  p.params = p.weight_params + p.bias_params;
+  return p;
+}
+
+GraphProfile profile_graph(const nn::Graph& graph) {
+  GraphProfile gp;
+  gp.layers.reserve(graph.size());
+  for (const nn::Layer& layer : graph.layers()) {
+    LayerProfile p = profile_layer(graph, layer);
+    gp.total_macs += p.macs;
+    gp.total_ops += p.ops;
+    gp.total_params += p.params;
+    if (layer.kind != nn::LayerKind::kInput &&
+        layer.kind != nn::LayerKind::kOutput) {
+      gp.peak_feature_elems = std::max(gp.peak_feature_elems, p.out_elems);
+    }
+    gp.layers.push_back(std::move(p));
+  }
+  return gp;
+}
+
+}  // namespace fcad::analysis

@@ -1,0 +1,49 @@
+// Layer- and graph-level compute/memory profiling (the "profiler" of the
+// Analysis step, Fig. 4).
+//
+// Conventions (documented in DESIGN.md):
+//   * 1 MAC = 2 ops. Bias adds, activations, pooling compares and up-sample
+//     selects count 1 op per produced element.
+//   * Conv MACs use the *output* spatial dims (identical to the paper's
+//     Eq. 4 input-dims formula at stride 1, and the physically correct count
+//     for strided layers in the classic backbones).
+//   * The customized Conv's untied bias carries one parameter per output
+//     pixel (H*W), shared across output channels; a tied bias carries one per
+//     output channel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/graph.hpp"
+
+namespace fcad::analysis {
+
+struct LayerProfile {
+  nn::LayerId id = nn::kInvalidLayer;
+  std::int64_t macs = 0;    ///< multiply-accumulates
+  std::int64_t ops = 0;     ///< total operations (2*macs + pointwise work)
+  std::int64_t params = 0;  ///< weights + biases
+  std::int64_t weight_params = 0;
+  std::int64_t bias_params = 0;
+  std::int64_t in_elems = 0;   ///< sum over all inputs
+  std::int64_t out_elems = 0;
+};
+
+struct GraphProfile {
+  std::vector<LayerProfile> layers;  ///< indexed by layer id
+  std::int64_t total_macs = 0;
+  std::int64_t total_ops = 0;
+  std::int64_t total_params = 0;
+  /// Largest intermediate feature map, in elements (memory-footprint
+  /// headline of Sec. III).
+  std::int64_t peak_feature_elems = 0;
+};
+
+/// Profiles a single layer (inputs resolved through `graph`).
+LayerProfile profile_layer(const nn::Graph& graph, const nn::Layer& layer);
+
+/// Profiles every layer and aggregates totals.
+GraphProfile profile_graph(const nn::Graph& graph);
+
+}  // namespace fcad::analysis

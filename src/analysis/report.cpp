@@ -1,0 +1,112 @@
+#include "analysis/report.hpp"
+
+#include <sstream>
+
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace fcad::analysis {
+namespace {
+
+/// Compresses a branch's layer sequence into a grammar string like
+/// "[CAU]x5+C" (Conv / Activation / Upsample runs).
+std::string structure_string(const nn::Graph& graph, const BranchInfo& br) {
+  std::string letters;
+  for (nn::LayerId id : br.layers) {
+    switch (graph.layer(id).kind) {
+      case nn::LayerKind::kConv2d: letters += 'C'; break;
+      case nn::LayerKind::kActivation: letters += 'A'; break;
+      case nn::LayerKind::kUpsample2x: letters += 'U'; break;
+      case nn::LayerKind::kMaxPool: letters += 'P'; break;
+      case nn::LayerKind::kDense: letters += 'D'; break;
+      default: break;  // structural layers don't appear in the grammar
+    }
+  }
+  // Run-length encode "CAU" repetitions, then append the tail verbatim.
+  std::ostringstream os;
+  std::size_t i = 0;
+  while (i < letters.size()) {
+    if (letters.compare(i, 3, "CAU") == 0) {
+      int reps = 0;
+      while (letters.compare(i, 3, "CAU") == 0) {
+        ++reps;
+        i += 3;
+      }
+      os << "[CAU]x" << reps;
+      if (i < letters.size()) os << '+';
+    } else {
+      os << letters[i];
+      ++i;
+      if (i < letters.size() && letters.compare(i, 3, "CAU") == 0) os << '+';
+    }
+  }
+  return os.str();
+}
+
+nn::TensorShape branch_input_shape(const nn::Graph& graph,
+                                   const BranchInfo& br) {
+  // First non-structural layer's input shape: walk the branch layers in
+  // order and return the input of the first compute layer.
+  for (nn::LayerId id : br.layers) {
+    const nn::Layer& layer = graph.layer(id);
+    if (layer.kind == nn::LayerKind::kConv2d ||
+        layer.kind == nn::LayerKind::kDense) {
+      return graph.layer(layer.inputs[0]).out_shape;
+    }
+  }
+  return graph.layer(br.layers.front()).out_shape;
+}
+
+}  // namespace
+
+std::string branch_summary(const nn::Graph& graph,
+                           const GraphProfile& profile,
+                           const BranchDecomposition& branches) {
+  std::int64_t sum_ops = 0;
+  std::int64_t sum_params = 0;
+  for (const BranchInfo& br : branches.branches) {
+    sum_ops += br.ops_attributed;
+    sum_params += br.params_attributed;
+  }
+
+  TablePrinter t({"Br.", "[In] -> structure -> [Out]", "GOP", "Share",
+                  "Params", "Share"});
+  for (const BranchInfo& br : branches.branches) {
+    const nn::Layer& out = graph.layer(br.output);
+    std::ostringstream desc;
+    desc << branch_input_shape(graph, br).to_string() << " -> "
+         << structure_string(graph, br) << " -> "
+         << out.out_shape.to_string() << " (" << br.role << ")";
+    t.add_row(
+        {std::to_string(br.index + 1), desc.str(),
+         format_fixed(static_cast<double>(br.ops_attributed) * 1e-9, 2),
+         format_percent(static_cast<double>(br.ops_attributed) / sum_ops, 1),
+         format_count(static_cast<double>(br.params_attributed), 2),
+         format_percent(
+             static_cast<double>(br.params_attributed) / sum_params, 1)});
+  }
+  std::ostringstream os;
+  os << t.to_string();
+  os << "total (shared counted once): "
+     << format_fixed(static_cast<double>(profile.total_ops) * 1e-9, 2)
+     << " GOP, " << format_count(static_cast<double>(profile.total_params), 2)
+     << " parameters; peak feature map "
+     << format_count(static_cast<double>(profile.peak_feature_elems), 1)
+     << " elements\n";
+  return os.str();
+}
+
+std::string layer_listing(const nn::Graph& graph,
+                          const GraphProfile& profile) {
+  TablePrinter t({"id", "name", "type", "out shape", "MACs", "params"});
+  for (const nn::Layer& layer : graph.layers()) {
+    const LayerProfile& lp = profile.layers[static_cast<std::size_t>(layer.id)];
+    t.add_row({std::to_string(layer.id), layer.name, to_string(layer.kind),
+               layer.out_shape.to_string(),
+               format_count(static_cast<double>(lp.macs), 1),
+               format_count(static_cast<double>(lp.params), 1)});
+  }
+  return t.to_string();
+}
+
+}  // namespace fcad::analysis

@@ -1,0 +1,20 @@
+// Human-readable analysis summaries (Table-I style network reports).
+#pragma once
+
+#include <string>
+
+#include "analysis/branches.hpp"
+#include "nn/graph.hpp"
+
+namespace fcad::analysis {
+
+/// Renders a Table-I style summary: one row per branch with its structure
+/// string ("[CAU]x5+C"), in/out shapes, GOP and parameter shares.
+std::string branch_summary(const nn::Graph& graph,
+                           const GraphProfile& profile,
+                           const BranchDecomposition& branches);
+
+/// Per-layer listing (name, type, output shape, MACs, params).
+std::string layer_listing(const nn::Graph& graph, const GraphProfile& profile);
+
+}  // namespace fcad::analysis

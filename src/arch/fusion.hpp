@@ -1,0 +1,76 @@
+// Layer fusion (Construction step, Fig. 4): lightweight layers (activation,
+// up-sampling, pooling) are aggregated into their neighbouring major layer
+// (Conv-like or Dense), and pure data-movement layers (reshape, concat,
+// input, output) are dissolved into edges. The result is a graph of
+// *pipeline stages*, each of which maps onto one basic architecture unit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/profile.hpp"
+#include "nn/graph.hpp"
+#include "util/status.hpp"
+
+namespace fcad::arch {
+
+/// One pipeline stage after fusion: a major layer plus its folded post-ops.
+struct FusedStage {
+  enum class Kind { kConv, kDense };
+
+  Kind kind = Kind::kConv;
+  std::string name;                       ///< major layer's name
+  nn::LayerId major = nn::kInvalidLayer;  ///< the Conv/Dense layer id
+  std::vector<nn::LayerId> source_layers; ///< major + everything folded in
+
+  // Geometry, conv view (Dense is mapped to a 1x1 spatial problem).
+  int in_ch = 0, out_ch = 0;
+  int kernel = 1, stride = 1;
+  int in_h = 1, in_w = 1;    ///< conv input feature map
+  int out_h = 1, out_w = 1;  ///< conv output (pre post-op)
+  int final_ch = 0, final_h = 1, final_w = 1;  ///< after folded post-ops
+
+  bool untied_bias = false;
+  bool has_bias = false;
+  bool has_activation = false;
+  bool has_upsample = false;
+  bool has_pool = false;
+
+  // Demand, aggregated over all source layers.
+  std::int64_t macs = 0;
+  std::int64_t ops = 0;
+  std::int64_t weight_params = 0;
+  std::int64_t bias_params = 0;
+
+  std::int64_t params() const { return weight_params + bias_params; }
+
+  /// Upper bounds of the 3D parallelism factors for this stage.
+  int max_cpf() const { return in_ch; }
+  int max_kpf() const { return out_ch; }
+  int max_h() const { return out_h; }
+};
+
+/// The stage graph. Stages are stored in topological order.
+struct FusedGraph {
+  std::vector<FusedStage> stages;
+  /// For each stage: producing stage indices (empty = fed by network inputs).
+  std::vector<std::vector<int>> stage_inputs;
+  /// For each graph output (same order as graph.output_ids()): producing
+  /// stage index.
+  std::vector<int> output_stages;
+  /// For each stage: indices of graph outputs it feeds directly (usually
+  /// empty except for last stages).
+  std::vector<std::vector<int>> stage_outputs;
+
+  /// Stage indices consuming stage `s`'s result.
+  std::vector<int> consumers(int s) const;
+};
+
+/// Fuses `graph` into pipeline stages. Fails if an activation / up-sample /
+/// pool layer cannot be folded (its producer is not a major layer, or the
+/// pre-fold intermediate value fans out to another consumer).
+StatusOr<FusedGraph> fuse(const nn::Graph& graph,
+                          const analysis::GraphProfile& profile);
+
+}  // namespace fcad::arch

@@ -1,0 +1,60 @@
+#include "arch/platform.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+namespace fcad::arch {
+
+Platform platform_z7045() {
+  return {.name = "Z7045", .dsps = 900, .brams18k = 1090, .bw_gbps = 12.8,
+          .freq_mhz = 200, .is_asic = false};
+}
+
+Platform platform_zu17eg() {
+  return {.name = "ZU17EG", .dsps = 1590, .brams18k = 1592, .bw_gbps = 12.8,
+          .freq_mhz = 200, .is_asic = false};
+}
+
+Platform platform_zu9cg() {
+  return {.name = "ZU9CG", .dsps = 2520, .brams18k = 1824, .bw_gbps = 12.8,
+          .freq_mhz = 200, .is_asic = false};
+}
+
+Platform platform_ku115() {
+  return {.name = "KU115", .dsps = 5520, .brams18k = 4320, .bw_gbps = 19.2,
+          .freq_mhz = 200, .is_asic = false};
+}
+
+Platform make_asic(const std::string& name, int mac_units, double buffer_mib,
+                   double bw_gbps, double freq_mhz) {
+  Platform p;
+  p.name = name;
+  p.dsps = mac_units;
+  p.brams18k =
+      static_cast<int>(std::ceil(buffer_mib * 1024.0 * 1024.0 * 8.0 / 18432.0));
+  p.bw_gbps = bw_gbps;
+  p.freq_mhz = freq_mhz;
+  p.is_asic = true;
+  return p;
+}
+
+StatusOr<Platform> platform_by_name(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  for (const Platform& p : all_platforms()) {
+    std::string pl = p.name;
+    std::transform(pl.begin(), pl.end(), pl.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (pl == lower) return p;
+  }
+  return Status::not_found("unknown platform '" + name + "'");
+}
+
+std::vector<Platform> all_platforms() {
+  return {platform_z7045(), platform_zu17eg(), platform_zu9cg(),
+          platform_ku115()};
+}
+
+}  // namespace fcad::arch

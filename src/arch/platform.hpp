@@ -1,0 +1,48 @@
+// Target platform catalog: the FPGA devices the paper evaluates, expressed
+// as the three resource budgets of Table III — compute (Cmax = DSPs),
+// on-chip memory (Mmax = BRAM18K blocks), and external memory bandwidth
+// (BWmax). An ASIC target is the same triple with MAC-array / buffer /
+// DRAM-channel semantics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace fcad::arch {
+
+struct Platform {
+  std::string name;
+  int dsps = 0;          ///< Cmax
+  int brams18k = 0;      ///< Mmax
+  double bw_gbps = 12.8; ///< BWmax, GB/s (DDR3 per the paper's setup)
+  double freq_mhz = 200; ///< accelerator clock
+  bool is_asic = false;
+
+  double bw_bytes_per_cycle() const {
+    return bw_gbps * 1e9 / (freq_mhz * 1e6);
+  }
+};
+
+/// Xilinx Zynq-7045 — Scheme/Case 1 (budget 900 DSPs, 1090 BRAM18K).
+Platform platform_z7045();
+/// Xilinx ZU17EG — Scheme/Case 2-3 (budget 1590 DSPs, 1592 BRAM18K).
+Platform platform_zu17eg();
+/// Xilinx ZU9CG — Scheme/Case 4-5 (budget 2520 DSPs, 1824 BRAM18K).
+Platform platform_zu9cg();
+/// Xilinx KU115 — the Figs. 6-7 calibration board (5520 DSPs, 4320 BRAM18K).
+Platform platform_ku115();
+
+/// An ASIC budget: MAC units (as DSP-equivalents), on-chip buffer expressed
+/// in BRAM18K-equivalents (18 Kbit blocks), and DRAM bandwidth.
+Platform make_asic(const std::string& name, int mac_units, double buffer_mib,
+                   double bw_gbps, double freq_mhz);
+
+/// Lookup by name ("z7045", "zu17eg", "zu9cg", "ku115"); case-insensitive.
+StatusOr<Platform> platform_by_name(const std::string& name);
+
+/// All built-in FPGA platforms.
+std::vector<Platform> all_platforms();
+
+}  // namespace fcad::arch

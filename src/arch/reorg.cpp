@@ -1,0 +1,105 @@
+#include "arch/reorg.hpp"
+
+#include <algorithm>
+
+namespace fcad::arch {
+
+StatusOr<ReorganizedModel> reorganize(FusedGraph fused) {
+  const int num_stages = static_cast<int>(fused.stages.size());
+  if (fused.output_stages.empty()) {
+    return Status::invalid_argument("reorganize: no output stages");
+  }
+  // The multi-pipeline paradigm requires chains: one producer per stage.
+  for (int s = 0; s < num_stages; ++s) {
+    if (fused.stage_inputs[static_cast<std::size_t>(s)].size() > 1) {
+      return Status::invalid_argument(
+          "reorganize: stage '" + fused.stages[static_cast<std::size_t>(s)].name +
+          "' has multiple producing stages; pipelines must be chains");
+    }
+  }
+
+  ReorganizedModel model;
+  model.fused = std::move(fused);
+  const FusedGraph& fg = model.fused;
+
+  // Path of each branch: walk back from the output stage through the chain.
+  std::vector<std::vector<int>> paths;
+  for (std::size_t o = 0; o < fg.output_stages.size(); ++o) {
+    std::vector<int> path;
+    int s = fg.output_stages[o];
+    while (true) {
+      path.push_back(s);
+      const auto& ins = fg.stage_inputs[static_cast<std::size_t>(s)];
+      if (ins.empty()) break;
+      s = ins[0];
+    }
+    std::reverse(path.begin(), path.end());
+    paths.push_back(std::move(path));
+  }
+
+  // Ops along each path (branch computation demand, shared included).
+  std::vector<std::int64_t> path_ops(paths.size(), 0);
+  for (std::size_t b = 0; b < paths.size(); ++b) {
+    for (int s : paths[b]) {
+      path_ops[b] += fg.stages[static_cast<std::size_t>(s)].ops;
+    }
+  }
+
+  // Ownership: every stage goes to the branch with the highest total demand
+  // among the branches whose path contains it.
+  model.owner.assign(static_cast<std::size_t>(num_stages), -1);
+  std::vector<int> share_count(static_cast<std::size_t>(num_stages), 0);
+  for (std::size_t b = 0; b < paths.size(); ++b) {
+    for (int s : paths[b]) {
+      ++share_count[static_cast<std::size_t>(s)];
+      int& owner = model.owner[static_cast<std::size_t>(s)];
+      if (owner == -1 || path_ops[static_cast<std::size_t>(b)] >
+                             path_ops[static_cast<std::size_t>(owner)]) {
+        owner = static_cast<int>(b);
+      }
+    }
+  }
+  for (int s = 0; s < num_stages; ++s) {
+    if (model.owner[static_cast<std::size_t>(s)] == -1) {
+      return Status::invalid_argument(
+          "reorganize: stage '" + fg.stages[static_cast<std::size_t>(s)].name +
+          "' is on no branch path (dead stage)");
+    }
+    if (share_count[static_cast<std::size_t>(s)] > 1) {
+      model.shared_stages.push_back(s);
+    }
+  }
+
+  for (std::size_t b = 0; b < paths.size(); ++b) {
+    BranchPipeline br;
+    br.index = static_cast<int>(b);
+    br.role = "";  // filled by callers that know the graph's output roles
+    br.path = paths[b];
+    br.ops_path = path_ops[b];
+    for (int s : paths[b]) {
+      if (model.owner[static_cast<std::size_t>(s)] == br.index) {
+        br.stages.push_back(s);
+        br.ops_owned += fg.stages[static_cast<std::size_t>(s)].ops;
+        br.macs_owned += fg.stages[static_cast<std::size_t>(s)].macs;
+      }
+    }
+    model.branches.push_back(std::move(br));
+  }
+  return model;
+}
+
+StatusOr<ReorganizedModel> reorganize(const nn::Graph& graph) {
+  analysis::GraphProfile profile = analysis::profile_graph(graph);
+  auto fused = fuse(graph, profile);
+  if (!fused.is_ok()) return fused.status();
+  auto model = reorganize(std::move(fused).value());
+  if (!model.is_ok()) return model.status();
+  // Attach output roles now that the graph is known.
+  for (std::size_t b = 0; b < model->branches.size(); ++b) {
+    const nn::LayerId out = graph.output_ids()[b];
+    model->branches[b].role = graph.layer(out).output().role;
+  }
+  return model;
+}
+
+}  // namespace fcad::arch

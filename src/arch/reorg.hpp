@@ -1,0 +1,57 @@
+// Branch separation and layer reorganization (Construction step): branches
+// with shared stages are split into individual dataflows, and each shared
+// stage is assigned to the sharing branch with the highest computation
+// demand, so no hardware is duplicated and the critical flow is explicit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/fusion.hpp"
+#include "util/status.hpp"
+
+namespace fcad::arch {
+
+/// One pipeline (row of the elastic architecture) after reorganization.
+struct BranchPipeline {
+  int index = 0;      ///< Br. number, 0-based
+  std::string role;   ///< output role of the branch
+  /// Stages *owned* by this branch (hardware instantiated in this pipeline),
+  /// in execution order. For a branch whose shared prefix was assigned to
+  /// another branch this excludes the shared stages.
+  std::vector<int> stages;
+  /// Full dataflow path of this branch, in execution order, including stages
+  /// owned by other branches (the shared prefix).
+  std::vector<int> path;
+  std::int64_t ops_owned = 0;   ///< total ops over owned stages
+  std::int64_t macs_owned = 0;  ///< total MACs over owned stages
+  std::int64_t ops_path = 0;    ///< total ops over the full path
+};
+
+/// The reorganized model: the stage graph plus its partition into pipelines.
+struct ReorganizedModel {
+  FusedGraph fused;
+  std::vector<BranchPipeline> branches;
+  /// For each stage: owning branch index.
+  std::vector<int> owner;
+  /// Stage indices shared by more than one branch, in execution order.
+  std::vector<int> shared_stages;
+
+  int num_branches() const { return static_cast<int>(branches.size()); }
+  const FusedStage& stage(int idx) const {
+    return fused.stages[static_cast<std::size_t>(idx)];
+  }
+};
+
+/// Partitions the fused graph into branch pipelines. Requires every branch's
+/// path to be a chain (each stage has at most one producing stage) — the
+/// layer-based multi-pipeline paradigm of Sec. V-A — and sharing to be a
+/// prefix (a shared stage's consumers are the stage itself continuing each
+/// branch), which holds for decoder-style trees.
+StatusOr<ReorganizedModel> reorganize(FusedGraph fused);
+
+/// Convenience: profile + fuse + reorganize a network graph.
+StatusOr<ReorganizedModel> reorganize(const nn::Graph& graph);
+
+}  // namespace fcad::arch

@@ -1,0 +1,93 @@
+#include "arch/resource_model.hpp"
+
+#include <algorithm>
+
+namespace fcad::arch {
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+std::int64_t bram_bits(const ResourceModelParams& p) {
+  return static_cast<std::int64_t>(p.bram_kbits) * 1024;
+}
+
+/// Blocks needed to hold `bits` with at least `min_banks` independently
+/// addressable banks (the banking minimum from the parallel access pattern).
+int brams_for(std::int64_t bits, std::int64_t min_banks,
+              const ResourceModelParams& p) {
+  const std::int64_t capacity_blocks = ceil_div(bits, bram_bits(p));
+  return static_cast<int>(std::max(capacity_blocks, min_banks));
+}
+
+}  // namespace
+
+bool weights_resident(const FusedStage& stage, nn::DataType ww,
+                      const ResourceModelParams& params) {
+  const std::int64_t weight_bits = stage.weight_params * nn::bits(ww);
+  return ceil_div(weight_bits, bram_bits(params)) <=
+         params.resident_weight_limit_brams;
+}
+
+UnitResources unit_resources(const FusedStage& stage, const UnitConfig& cfg,
+                             nn::DataType dw, nn::DataType ww,
+                             const UnitStreamContext& ctx,
+                             const ResourceModelParams& params) {
+  UnitResources r;
+
+  // --- compute ---------------------------------------------------------
+  r.dsps = static_cast<int>(
+      ceil_div(cfg.lanes(), nn::multipliers_per_dsp(ww)));
+
+  // --- on-chip memory ----------------------------------------------------
+  // Weight buffer. Resident kernels are banked by kpf (each PE column reads
+  // its own output-channel kernels through a cpf-wide word). Streamed
+  // kernels only need the in-flight tile, which lives in the PE array
+  // (LUTRAM/FF) plus a small double-buffered staging FIFO.
+  const bool resident = weights_resident(stage, ww, params);
+  if (resident) {
+    const std::int64_t weight_bits = stage.weight_params * nn::bits(ww);
+    const std::int64_t weight_word_banks =
+        static_cast<std::int64_t>(cfg.kpf) *
+        ceil_div(static_cast<std::int64_t>(cfg.cpf) * nn::bits(ww),
+                 params.bram_max_width);
+    r.brams += brams_for(weight_bits, weight_word_banks, params);
+  } else {
+    const std::int64_t tile_bits = 2LL * cfg.lanes() * stage.kernel *
+                                   stage.kernel * nn::bits(ww);
+    r.brams += brams_for(tile_bits, /*min_banks=*/2, params);
+    r.param_stream_bytes += stage.weight_params * nn::bytes(ww);
+  }
+
+  // Input line buffer: K + extra rows of the input feature map, banked per
+  // H-partition slab with cpf-channel-wide words.
+  const std::int64_t rows = stage.kernel + params.extra_linebuf_rows;
+  const std::int64_t line_bits = rows * stage.in_w * stage.in_ch *
+                                 static_cast<std::int64_t>(nn::bits(dw));
+  const std::int64_t line_banks =
+      static_cast<std::int64_t>(cfg.h) *
+      ceil_div(static_cast<std::int64_t>(cfg.cpf) * nn::bits(dw),
+               params.bram_max_width);
+  r.brams += brams_for(line_bits, line_banks, params);
+
+  r.brams += params.overhead_brams;
+
+  // --- external bandwidth -----------------------------------------------
+  if (stage.has_bias) {
+    // Untied biases are far too large to keep resident at HD resolutions;
+    // they stream each frame. Tied biases are tiny but counted uniformly.
+    r.param_stream_bytes += stage.bias_params * nn::bytes(ww);
+  }
+  if (ctx.reads_external_input) {
+    r.feature_stream_bytes += static_cast<std::int64_t>(stage.in_ch) *
+                              stage.in_h * stage.in_w * nn::bytes(dw);
+  }
+  if (ctx.writes_external_output) {
+    r.feature_stream_bytes += static_cast<std::int64_t>(stage.final_ch) *
+                              stage.final_h * stage.final_w * nn::bytes(dw);
+  }
+  return r;
+}
+
+}  // namespace fcad::arch

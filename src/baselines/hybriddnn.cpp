@@ -1,0 +1,133 @@
+#include "baselines/hybriddnn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fcad::baselines {
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+int engine_dsps(int lanes, nn::DataType dtype) {
+  return static_cast<int>(
+      ceil_div(lanes, nn::multipliers_per_dsp(dtype)));
+}
+
+int engine_brams(int lanes, nn::DataType dtype,
+                 const HybridDnnParams& params) {
+  // Buffer capacity scales with data width; the calibration points are
+  // 16-bit, so 8-bit engines need half the per-lane storage.
+  const double per_lane = params.brams_per_lane_16 *
+                          (nn::bits(dtype) / 16.0);
+  return static_cast<int>(
+      std::ceil(params.brams_fixed + per_lane * lanes));
+}
+
+/// Best power-of-two split (cpf, kpf, spf) of `lanes` for one layer, with
+/// the spatial dimension bounded by the engine's output-tile width.
+HybridDnnLayerExec best_split(const arch::FusedStage& st, int lanes,
+                              const HybridDnnParams& params) {
+  HybridDnnLayerExec best;
+  best.compute_cycles = 1e300;
+  int log2_lanes = 0;
+  while ((1 << (log2_lanes + 1)) <= lanes) ++log2_lanes;
+  const std::int64_t k2 =
+      static_cast<std::int64_t>(st.kernel) * st.kernel;
+  for (int ci = 0; ci <= log2_lanes; ++ci) {
+    for (int ki = 0; ki + ci <= log2_lanes; ++ki) {
+      const int si = log2_lanes - ci - ki;
+      const int cpf = 1 << ci;
+      const int kpf = 1 << ki;
+      const int spf = 1 << si;
+      if (spf > params.max_spf) continue;
+      const double cycles = static_cast<double>(
+          ceil_div(st.in_ch, cpf) * ceil_div(st.out_ch, kpf) *
+          ceil_div(st.out_h, spf) * st.out_w * k2);
+      if (cycles < best.compute_cycles) {
+        best.compute_cycles = cycles;
+        best.cpf = cpf;
+        best.kpf = kpf;
+        best.spf = spf;
+      }
+    }
+  }
+  best.compute_cycles /= params.datapath_efficiency;
+  return best;
+}
+
+}  // namespace
+
+HybridDnnResult run_hybriddnn(const arch::ReorganizedModel& model,
+                              const arch::Platform& platform,
+                              nn::DataType dtype,
+                              const HybridDnnParams& params) {
+  HybridDnnResult result;
+
+  // Coarse-grained engine selection: largest power-of-two lane count that
+  // fits both budgets.
+  int lanes = 0;
+  for (int l = 0; l <= params.max_lanes_log2; ++l) {
+    const int candidate = 1 << l;
+    if (engine_dsps(candidate, dtype) <= platform.dsps &&
+        engine_brams(candidate, dtype, params) <= platform.brams18k) {
+      lanes = candidate;
+    }
+  }
+  if (lanes == 0) return result;  // nothing fits
+  const int next = lanes * 2;
+  result.bram_blocked_scaling =
+      engine_dsps(next, dtype) <= platform.dsps &&
+      engine_brams(next, dtype, params) > platform.brams18k;
+
+  result.lanes = lanes;
+  result.dsps = engine_dsps(lanes, dtype);
+  result.brams = engine_brams(lanes, dtype, params);
+
+  // Sequential execution of every stage on the shared engine. Feature maps
+  // that overflow the engine's ping-pong buffers spill to DDR; weights
+  // always stream (the folded engine reloads kernels per layer).
+  const double feature_capacity_bytes =
+      params.feature_buffer_fraction * result.brams * 2304.0;  // 18 Kbit
+  const double bytes_per_cycle =
+      platform.bw_gbps * 1e9 / (platform.freq_mhz * 1e6);
+  const int elem_bytes = nn::bytes(dtype);
+  double total_cycles = 0;
+  std::int64_t total_mac_ops = 0;
+  for (std::size_t s = 0; s < model.fused.stages.size(); ++s) {
+    const arch::FusedStage& st = model.fused.stages[s];
+    HybridDnnLayerExec exec = best_split(st, lanes, params);
+    exec.stage = static_cast<int>(s);
+
+    const double in_bytes =
+        static_cast<double>(st.in_ch) * st.in_h * st.in_w * elem_bytes;
+    const double out_bytes = static_cast<double>(st.final_ch) * st.final_h *
+                             st.final_w * elem_bytes;
+    const double weight_bytes =
+        static_cast<double>(st.weight_params + st.bias_params) * elem_bytes;
+    double ddr_bytes = weight_bytes;
+    if (in_bytes > feature_capacity_bytes) ddr_bytes += in_bytes;
+    if (out_bytes > feature_capacity_bytes) ddr_bytes += out_bytes;
+    exec.ddr_cycles = ddr_bytes / bytes_per_cycle;
+
+    exec.memory_bound = exec.ddr_cycles > exec.compute_cycles;
+    exec.cycles = std::max(exec.compute_cycles, exec.ddr_cycles) +
+                  params.reconfig_cycles;
+    exec.utilization =
+        static_cast<double>(st.macs) / (exec.cycles * lanes);
+    total_cycles += exec.cycles;
+    total_mac_ops += 2 * st.macs;
+    result.layers.push_back(exec);
+  }
+  const double freq_hz = platform.freq_mhz * 1e6;
+  result.fps = total_cycles > 0 ? freq_hz / total_cycles : 0.0;
+  result.gops = static_cast<double>(total_mac_ops) * result.fps * 1e-9;
+  const double beta = nn::beta_ops_per_dsp(dtype);
+  result.efficiency =
+      result.dsps > 0 ? result.gops * 1e9 / (beta * result.dsps * freq_hz)
+                      : 0.0;
+  return result;
+}
+
+}  // namespace fcad::baselines

@@ -1,0 +1,35 @@
+#include "core/flow.hpp"
+
+namespace fcad::core {
+
+StatusOr<FlowResult> Flow::run(const FlowOptions& options) const {
+  FlowResult result;
+
+  // Step 1 — Analysis.
+  result.profile = analysis::profile_graph(graph_);
+  auto decomposition = analysis::decompose(graph_, result.profile);
+  if (!decomposition.is_ok()) return decomposition.status();
+  result.decomposition = std::move(decomposition).value();
+
+  // Step 2 — Construction.
+  auto model = arch::reorganize(graph_);
+  if (!model.is_ok()) return model.status();
+  result.model = std::move(model).value();
+
+  // Step 3 — Optimization.
+  dse::DseRequest request;
+  request.platform = platform_;
+  request.customization = options.customization;
+  request.options = options.search;
+  auto search = dse::optimize(result.model, std::move(request));
+  if (!search.is_ok()) return search.status();
+  result.search = std::move(search).value();
+
+  if (options.run_simulation) {
+    result.simulation = sim::simulate(result.model, result.search.config,
+                                      platform_, options.sim);
+  }
+  return result;
+}
+
+}  // namespace fcad::core

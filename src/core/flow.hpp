@@ -1,0 +1,51 @@
+// fcad::Flow — the whole automation design flow of Fig. 4 behind one call:
+//   Step 1 (Analysis):     profile the network, extract branch structure;
+//   Step 2 (Construction): fuse layers, separate/reorganize branches, expand
+//                          the elastic architecture;
+//   Step 3 (Optimization): multi-branch DSE under the platform budgets.
+// Optionally validates the winning design on the cycle-level simulator.
+#pragma once
+
+#include <optional>
+
+#include "analysis/branches.hpp"
+#include "arch/reorg.hpp"
+#include "dse/engine.hpp"
+#include "nn/graph.hpp"
+#include "sim/simulator.hpp"
+
+namespace fcad::core {
+
+struct FlowOptions {
+  dse::Customization customization;
+  dse::CrossBranchOptions search;
+  bool run_simulation = false;  ///< cycle-level validation of the winner
+  sim::SimOptions sim;
+};
+
+struct FlowResult {
+  analysis::GraphProfile profile;
+  analysis::BranchDecomposition decomposition;
+  arch::ReorganizedModel model;
+  dse::SearchResult search;
+  std::optional<sim::SimResult> simulation;
+};
+
+class Flow {
+ public:
+  Flow(nn::Graph graph, arch::Platform platform)
+      : graph_(std::move(graph)), platform_(std::move(platform)) {}
+
+  /// Runs the three steps. Fails on malformed networks, arity-mismatched
+  /// customization, or graphs the pipeline paradigm cannot map.
+  StatusOr<FlowResult> run(const FlowOptions& options) const;
+
+  const nn::Graph& graph() const { return graph_; }
+  const arch::Platform& platform() const { return platform_; }
+
+ private:
+  nn::Graph graph_;
+  arch::Platform platform_;
+};
+
+}  // namespace fcad::core

@@ -1,0 +1,62 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace fcad::core {
+
+std::string case_report(const std::string& case_name, const FlowResult& result,
+                        const arch::Platform& platform) {
+  const arch::AcceleratorEval& eval = result.search.eval;
+  std::ostringstream os;
+  os << case_name << " — platform " << platform.name << " (budget "
+     << platform.dsps << " DSPs, " << platform.brams18k << " BRAMs, "
+     << format_fixed(platform.bw_gbps, 1) << " GB/s)\n";
+
+  TablePrinter t({"Br.", "role", "batch", "DSP", "BRAM", "BW (GB/s)", "FPS",
+                  "Efficiency"});
+  for (std::size_t b = 0; b < eval.branches.size(); ++b) {
+    const arch::BranchEval& be = eval.branches[b];
+    t.add_row({std::to_string(b + 1), result.model.branches[b].role,
+               std::to_string(be.batch), std::to_string(be.dsps),
+               std::to_string(be.brams), format_fixed(be.bw_gbps, 2),
+               format_fixed(be.fps, 1), format_percent(be.efficiency, 1)});
+  }
+  os << t.to_string();
+  os << "totals: " << eval.dsps << " DSPs ("
+     << format_percent(static_cast<double>(eval.dsps) / platform.dsps, 1)
+     << "), " << eval.brams << " BRAMs ("
+     << format_percent(static_cast<double>(eval.brams) / platform.brams18k, 1)
+     << "), " << format_fixed(eval.bw_gbps, 2) << " GB/s; overall efficiency "
+     << format_percent(eval.efficiency, 1) << "; DSE time "
+     << format_fixed(result.search.seconds, 1) << " s ("
+     << result.search.trace.evaluations << " in-branch evaluations, converged"
+     << " at iteration " << result.search.trace.convergence_iteration << ")\n";
+  if (result.simulation.has_value()) {
+    os << "simulator check: min FPS "
+       << format_fixed(result.simulation->min_fps, 1) << ", efficiency "
+       << format_percent(result.simulation->efficiency, 1) << ", DDR "
+       << format_fixed(result.simulation->ddr_demand_gbps, 2) << " GB/s\n";
+  }
+  return os.str();
+}
+
+std::string summary_line(const FlowResult& result,
+                         const arch::Platform& platform) {
+  const arch::AcceleratorEval& eval = result.search.eval;
+  std::ostringstream os;
+  os << "FPS {";
+  for (std::size_t b = 0; b < eval.branches.size(); ++b) {
+    if (b) os << ", ";
+    os << format_fixed(eval.branches[b].fps, 1);
+  }
+  os << "} eff " << format_percent(eval.efficiency, 1) << " DSP " << eval.dsps
+     << "/" << platform.dsps << " BRAM " << eval.brams << "/"
+     << platform.brams18k << " in " << format_fixed(result.search.seconds, 1)
+     << "s";
+  return os.str();
+}
+
+}  // namespace fcad::core

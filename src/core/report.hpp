@@ -1,0 +1,19 @@
+// Rendering of flow results as paper-style tables (Table IV rows).
+#pragma once
+
+#include <string>
+
+#include "core/flow.hpp"
+
+namespace fcad::core {
+
+/// Table-IV style case report: per-branch DSP/BRAM usage, FPS, efficiency,
+/// totals against the budget, and DSE runtime.
+std::string case_report(const std::string& case_name, const FlowResult& result,
+                        const arch::Platform& platform);
+
+/// One-line summary: "FPS {a, b, c} eff {..} DSP n/m BRAM n/m in s seconds".
+std::string summary_line(const FlowResult& result,
+                         const arch::Platform& platform);
+
+}  // namespace fcad::core

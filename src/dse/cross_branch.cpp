@@ -1,0 +1,234 @@
+#include "dse/cross_branch.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace fcad::dse {
+namespace {
+
+ResourceDistribution random_distribution(Rng& rng, int branches) {
+  ResourceDistribution rd;
+  rd.c_frac = rng.next_simplex(static_cast<std::size_t>(branches));
+  rd.m_frac = rng.next_simplex(static_cast<std::size_t>(branches));
+  rd.bw_frac = rng.next_simplex(static_cast<std::size_t>(branches));
+  return rd;
+}
+
+void normalize_fractions(std::vector<double>& frac) {
+  double sum = 0;
+  for (double f : frac) sum += f;
+  if (sum <= 0) {
+    frac.assign(frac.size(), 1.0 / static_cast<double>(frac.size()));
+    return;
+  }
+  for (double& f : frac) f /= sum;
+}
+
+/// Demand-proportional warm start: compute fractions follow each branch's
+/// owned MAC work x batch target; memory fractions follow the branch's
+/// minimum-parallelism BRAM floor (line buffers and overheads do not shrink
+/// with pf, so a branch starved below its floor can never meet its batch
+/// target no matter how the search evolves); bandwidth follows stream bytes.
+/// Seeding the swarm with this point (and jittered copies) lets the search
+/// find the narrow feasible sliver on BRAM-tight cases.
+ResourceDistribution demand_distribution(const arch::ReorganizedModel& model,
+                                         const Customization& cust) {
+  return demand_proportional_distribution(model, cust);
+}
+
+}  // namespace
+
+ResourceDistribution demand_proportional_distribution(
+    const arch::ReorganizedModel& model, const Customization& cust) {
+  const int B = model.num_branches();
+  ResourceDistribution rd;
+  rd.c_frac.resize(static_cast<std::size_t>(B));
+  rd.m_frac.resize(static_cast<std::size_t>(B));
+  rd.bw_frac.resize(static_cast<std::size_t>(B));
+  for (int b = 0; b < B; ++b) {
+    const arch::BranchPipeline& br =
+        model.branches[static_cast<std::size_t>(b)];
+    const double batch =
+        static_cast<double>(cust.batch_sizes[static_cast<std::size_t>(b)]);
+    double floor_brams = 0;
+    double stream_bytes = 0;
+    for (int s : br.stages) {
+      const arch::FusedStage& stage = model.stage(s);
+      arch::UnitStreamContext ctx;
+      ctx.reads_external_input =
+          model.fused.stage_inputs[static_cast<std::size_t>(s)].empty();
+      ctx.writes_external_output =
+          !model.fused.stage_outputs[static_cast<std::size_t>(s)].empty();
+      const arch::UnitResources res = arch::unit_resources(
+          stage, arch::UnitConfig{1, 1, 1}, cust.quantization,
+          cust.quantization, ctx);
+      floor_brams += res.brams;
+      stream_bytes += static_cast<double>(res.total_stream_bytes());
+    }
+    rd.c_frac[static_cast<std::size_t>(b)] =
+        static_cast<double>(br.macs_owned) * batch + 1.0;
+    rd.m_frac[static_cast<std::size_t>(b)] = floor_brams * batch + 1.0;
+    rd.bw_frac[static_cast<std::size_t>(b)] = stream_bytes * batch + 1.0;
+  }
+  normalize_fractions(rd.c_frac);
+  normalize_fractions(rd.m_frac);
+  normalize_fractions(rd.bw_frac);
+  return rd;
+}
+
+/// Projects a fraction vector back onto the simplex (non-negative floor, sum
+/// of 1) after an evolution move.
+void renormalize(std::vector<double>& frac) {
+  constexpr double kFloor = 0.01;
+  double sum = 0;
+  for (double& f : frac) {
+    f = std::max(f, kFloor);
+    sum += f;
+  }
+  for (double& f : frac) f /= sum;
+}
+
+/// One PSO-style move of `frac` toward the local and global bests by a
+/// random distance, plus uniform jitter (Algorithm 1, line 16).
+void evolve(std::vector<double>& frac, const std::vector<double>& local_best,
+            const std::vector<double>& global_best,
+            const CrossBranchOptions& opt, Rng& rng) {
+  const double r1 = rng.next_double() * opt.w_local;
+  const double r2 = rng.next_double() * opt.w_global;
+  for (std::size_t j = 0; j < frac.size(); ++j) {
+    frac[j] += r1 * (local_best[j] - frac[j]) +
+               r2 * (global_best[j] - frac[j]) +
+               rng.next_range(-opt.jitter, opt.jitter);
+  }
+  renormalize(frac);
+}
+
+DistributionEval evaluate_distribution(const arch::ReorganizedModel& model,
+                                       const ResourceBudget& budget,
+                                       const ResourceDistribution& rd,
+                                       const Customization& cust,
+                                       const CrossBranchOptions& opt,
+                                       SearchTrace& trace) {
+  DistributionEval ce;
+  ce.config.dw = cust.quantization;
+  ce.config.ww = cust.quantization;
+  ce.config.freq_mhz = opt.freq_mhz;
+
+  int unmet = 0;
+  for (int b = 0; b < model.num_branches(); ++b) {
+    const ResourceBudget slice = rd.slice(budget, b);
+    const InBranchResult ib = in_branch_optimize(
+        model, b, slice, cust.batch_sizes[static_cast<std::size_t>(b)],
+        ce.config.dw, ce.config.ww, opt.freq_mhz);
+    ++trace.evaluations;
+    if (!ib.met_batch_target) ++unmet;
+    ce.config.branches.push_back(ib.config);
+  }
+
+  ce.eval = arch::evaluate(model, ce.config, opt.eval_mode);
+  // A candidate must also respect the global budget once quantization and
+  // cross-branch caps are accounted for.
+  if (!ce.eval.within(static_cast<int>(budget.c), static_cast<int>(budget.m),
+                      budget.bw)) {
+    ++unmet;
+  }
+  std::vector<double> fps;
+  fps.reserve(ce.eval.branches.size());
+  for (const arch::BranchEval& be : ce.eval.branches) fps.push_back(be.fps);
+  ce.fitness = fitness_score(fps, cust.priorities, unmet, opt.fitness);
+  ce.feasible = unmet == 0;
+  return ce;
+}
+
+SearchResult cross_branch_search(const arch::ReorganizedModel& model,
+                                 const ResourceBudget& budget,
+                                 const Customization& customization,
+                                 const CrossBranchOptions& options) {
+  FCAD_CHECK(options.population >= 1 && options.iterations >= 1);
+  FCAD_CHECK(customization.batch_sizes.size() ==
+             static_cast<std::size_t>(model.num_branches()));
+  const auto t0 = std::chrono::steady_clock::now();
+  Rng rng(options.seed);
+
+  const int B = model.num_branches();
+  struct Particle {
+    ResourceDistribution rd;
+    ResourceDistribution best_rd;  ///< rd_i^best
+    double best_fitness = -1e300;
+  };
+
+  SearchResult result;
+  result.fitness = -1e300;
+
+  // Line 4: initial population RD^0 — mostly random, seeded with the
+  // demand-proportional warm start plus jittered variants of it (about a
+  // tenth of the swarm).
+  std::vector<Particle> swarm(static_cast<std::size_t>(options.population));
+  const ResourceDistribution demand = demand_distribution(model, customization);
+  const int warm = std::max(1, options.population / 10);
+  for (int i = 0; i < options.population; ++i) {
+    Particle& p = swarm[static_cast<std::size_t>(i)];
+    if (i < warm) {
+      p.rd = demand;
+      if (i > 0) {  // jittered copies around the warm start
+        for (auto* frac : {&p.rd.c_frac, &p.rd.m_frac, &p.rd.bw_frac}) {
+          for (double& f : *frac) f += rng.next_range(-0.05, 0.05);
+          renormalize(*frac);
+        }
+      }
+    } else {
+      p.rd = random_distribution(rng, B);
+    }
+    p.best_rd = p.rd;
+  }
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    for (Particle& p : swarm) {
+      const DistributionEval ce = evaluate_distribution(
+          model, budget, p.rd, customization, options, result.trace);
+      // Line 13: update local and global bests.
+      if (ce.fitness > p.best_fitness) {
+        p.best_fitness = ce.fitness;
+        p.best_rd = p.rd;
+      }
+      if (ce.fitness > result.fitness) {
+        result.fitness = ce.fitness;
+        result.config = ce.config;
+        result.eval = ce.eval;
+        result.distribution = p.rd;
+        result.feasible = ce.feasible;
+        result.trace.convergence_iteration = iter + 1;
+      }
+    }
+    result.trace.best_fitness.push_back(result.fitness);
+    FCAD_LOG(kInfo) << "cross-branch iter " << (iter + 1) << "/"
+                    << options.iterations << " best fitness "
+                    << result.fitness;
+    // Line 16: evolve every particle toward its bests.
+    for (Particle& p : swarm) {
+      evolve(p.rd.c_frac, p.best_rd.c_frac, result.distribution.c_frac,
+             options, rng);
+      evolve(p.rd.m_frac, p.best_rd.m_frac, result.distribution.m_frac,
+             options, rng);
+      evolve(p.rd.bw_frac, p.best_rd.bw_frac, result.distribution.bw_frac,
+             options, rng);
+    }
+  }
+
+  // Report the winner under quantized evaluation — what the generated RTL
+  // would actually do. (Divisor-exact configs make this a no-op; non-divisor
+  // factors would surface their ceil waste here.)
+  if (!result.config.branches.empty()) {
+    result.eval =
+        arch::evaluate(model, result.config, arch::EvalMode::kQuantized);
+  }
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  return result;
+}
+
+}  // namespace fcad::dse

@@ -1,0 +1,83 @@
+// Cross-branch stochastic optimization (Algorithm 1): a particle-swarm-style
+// search over resource distribution schemes. Each of P candidates is a
+// per-branch split of {Cmax, Mmax, BWmax}; per iteration every candidate is
+// configured by the in-branch greedy search, scored by the fitness function,
+// and evolved a random distance toward its local best and the global best.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/elastic.hpp"
+#include "dse/design_space.hpp"
+#include "dse/fitness.hpp"
+#include "dse/in_branch.hpp"
+
+namespace fcad::dse {
+
+struct CrossBranchOptions {
+  int iterations = 20;    ///< N of Sec. VII
+  int population = 200;   ///< P of Sec. VII
+  std::uint64_t seed = 1;
+  FitnessParams fitness;
+  /// Attraction weights toward the candidate's local best and the global
+  /// best (each scaled by an independent U[0,1) draw per move).
+  double w_local = 0.7;
+  double w_global = 0.7;
+  /// Uniform mutation half-width applied to every fraction per move.
+  double jitter = 0.05;
+  /// Evaluation mode used inside the search loop.
+  arch::EvalMode eval_mode = arch::EvalMode::kAnalytical;
+  /// Accelerator clock (from the target platform).
+  double freq_mhz = 200.0;
+};
+
+struct SearchTrace {
+  std::vector<double> best_fitness;  ///< global best after each iteration
+  /// First iteration (1-based) after which the global best stopped
+  /// improving (the paper's convergence-iteration metric).
+  int convergence_iteration = 0;
+  std::int64_t evaluations = 0;  ///< in-branch optimizations performed
+};
+
+struct SearchResult {
+  arch::AcceleratorConfig config;       ///< Config_global^best
+  arch::AcceleratorEval eval;           ///< evaluation of that config
+  ResourceDistribution distribution;    ///< rd_global^best
+  double fitness = 0;
+  bool feasible = false;  ///< all batch targets met within the budget
+  SearchTrace trace;
+  double seconds = 0;  ///< wall-clock DSE time
+};
+
+/// Runs Algorithm 1. `customization` must already be normalized.
+SearchResult cross_branch_search(const arch::ReorganizedModel& model,
+                                 const ResourceBudget& budget,
+                                 const Customization& customization,
+                                 const CrossBranchOptions& options);
+
+/// Evaluation of one resource-distribution candidate: in-branch greedy
+/// configuration (Algorithm 2) per branch + fitness. Exposed so alternative
+/// search strategies (dse/strategies.hpp) optimize exactly the same
+/// objective as Algorithm 1.
+struct DistributionEval {
+  arch::AcceleratorConfig config;
+  arch::AcceleratorEval eval;
+  double fitness = 0;
+  bool feasible = false;
+};
+
+DistributionEval evaluate_distribution(const arch::ReorganizedModel& model,
+                                       const ResourceBudget& budget,
+                                       const ResourceDistribution& rd,
+                                       const Customization& customization,
+                                       const CrossBranchOptions& options,
+                                       SearchTrace& trace);
+
+/// The demand-proportional warm-start distribution used to seed Algorithm
+/// 1's swarm (compute ∝ owned MACs x batch, memory ∝ minimum-parallelism
+/// BRAM floor, bandwidth ∝ stream bytes).
+ResourceDistribution demand_proportional_distribution(
+    const arch::ReorganizedModel& model, const Customization& customization);
+
+}  // namespace fcad::dse

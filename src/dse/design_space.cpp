@@ -1,0 +1,70 @@
+#include "dse/design_space.hpp"
+
+#include <cmath>
+
+namespace fcad::dse {
+namespace {
+
+int count_divisors(int n) {
+  int count = 0;
+  for (int d = 1; d * d <= n; ++d) {
+    if (n % d == 0) count += (d == n / d) ? 1 : 2;
+  }
+  return count;
+}
+
+}  // namespace
+
+Status Customization::normalize(int num_branches) {
+  if (num_branches <= 0) {
+    return Status::invalid_argument("customization: no branches");
+  }
+  if (batch_sizes.empty()) {
+    batch_sizes.assign(static_cast<std::size_t>(num_branches), 1);
+  }
+  if (priorities.empty()) {
+    priorities.assign(static_cast<std::size_t>(num_branches), 1.0);
+  }
+  if (batch_sizes.size() != static_cast<std::size_t>(num_branches)) {
+    return Status::invalid_argument("customization: batch_sizes arity != B");
+  }
+  if (priorities.size() != static_cast<std::size_t>(num_branches)) {
+    return Status::invalid_argument("customization: priorities arity != B");
+  }
+  for (int b : batch_sizes) {
+    if (b < 1) return Status::invalid_argument("batch sizes must be >= 1");
+  }
+  for (double p : priorities) {
+    if (p < 0) return Status::invalid_argument("priorities must be >= 0");
+  }
+  return Status::ok();
+}
+
+ResourceBudget ResourceDistribution::slice(const ResourceBudget& budget,
+                                           int branch) const {
+  const auto b = static_cast<std::size_t>(branch);
+  FCAD_CHECK(b < c_frac.size() && b < m_frac.size() && b < bw_frac.size());
+  return {budget.c * c_frac[b], budget.m * m_frac[b], budget.bw * bw_frac[b]};
+}
+
+DesignSpaceStats design_space_stats(const arch::ReorganizedModel& model,
+                                    int max_batch) {
+  DesignSpaceStats stats;
+  stats.branches = model.num_branches();
+  for (const arch::BranchPipeline& br : model.branches) {
+    stats.stages += static_cast<int>(br.stages.size());
+    stats.dimensions += 1;  // batchsize_j
+    stats.log10_configs += std::log10(static_cast<double>(max_batch));
+    for (int s : br.stages) {
+      const arch::FusedStage& stage = model.stage(s);
+      stats.dimensions += 3;  // cpf, kpf, h
+      const double combos =
+          static_cast<double>(count_divisors(stage.max_cpf())) *
+          count_divisors(stage.max_kpf()) * count_divisors(stage.max_h());
+      stats.log10_configs += std::log10(combos);
+    }
+  }
+  return stats;
+}
+
+}  // namespace fcad::dse

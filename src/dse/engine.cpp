@@ -1,0 +1,99 @@
+#include "dse/engine.hpp"
+
+#include <algorithm>
+
+namespace fcad::dse {
+
+StatusOr<SearchResult> optimize(const arch::ReorganizedModel& model,
+                                DseRequest request) {
+  if (Status s = request.customization.normalize(model.num_branches());
+      !s.is_ok()) {
+    return s;
+  }
+  request.options.freq_mhz = request.platform.freq_mhz;
+  const ResourceBudget budget =
+      ResourceBudget::from_platform(request.platform);
+  return cross_branch_search(model, budget, request.customization,
+                             request.options);
+}
+
+ConvergenceStats convergence_study(const arch::ReorganizedModel& model,
+                                   const DseRequest& request, int runs) {
+  FCAD_CHECK(runs >= 1);
+  ConvergenceStats stats;
+  stats.runs = runs;
+  double min_fitness = 0;
+  double max_fitness = 0;
+  stats.min_iterations = 1e18;
+  for (int r = 0; r < runs; ++r) {
+    DseRequest req = request;
+    req.options.seed = request.options.seed + 7919ULL * (r + 1);
+    auto result = optimize(model, req);
+    FCAD_CHECK_MSG(result.is_ok(), result.status().message());
+    const double iters = result->trace.convergence_iteration;
+    stats.mean_iterations += iters;
+    stats.min_iterations = std::min(stats.min_iterations, iters);
+    stats.max_iterations = std::max(stats.max_iterations, iters);
+    stats.mean_seconds += result->seconds;
+    stats.mean_fitness += result->fitness;
+    if (r == 0) {
+      min_fitness = max_fitness = result->fitness;
+    } else {
+      min_fitness = std::min(min_fitness, result->fitness);
+      max_fitness = std::max(max_fitness, result->fitness);
+    }
+  }
+  stats.mean_iterations /= runs;
+  stats.mean_seconds /= runs;
+  stats.mean_fitness /= runs;
+  stats.fitness_spread = max_fitness - min_fitness;
+  return stats;
+}
+
+StatusOr<int> max_feasible_batch(const arch::ReorganizedModel& model,
+                                 const DseRequest& request, int branch,
+                                 int probe_limit) {
+  if (branch < 0 || branch >= model.num_branches()) {
+    return Status::invalid_argument("max_feasible_batch: bad branch index");
+  }
+  DseRequest probe = request;
+  if (Status s = probe.customization.normalize(model.num_branches());
+      !s.is_ok()) {
+    return s;
+  }
+
+  auto feasible_at = [&](int batch) -> StatusOr<bool> {
+    DseRequest r = probe;
+    r.customization.batch_sizes[static_cast<std::size_t>(branch)] = batch;
+    auto result = optimize(model, std::move(r));
+    if (!result.is_ok()) return result.status();
+    return result->feasible;
+  };
+
+  // Exponential probe upward, then bisect the first infeasible gap.
+  auto base = feasible_at(1);
+  if (!base.is_ok()) return base.status();
+  if (!*base) return 0;
+  int lo = 1;  // feasible
+  int hi = 1;
+  while (hi < probe_limit) {
+    hi = std::min(probe_limit, hi * 2);
+    auto ok = feasible_at(hi);
+    if (!ok.is_ok()) return ok.status();
+    if (*ok) {
+      lo = hi;
+    } else {
+      break;
+    }
+  }
+  if (lo == hi) return lo;  // feasible all the way to the probe limit
+  while (hi - lo > 1) {
+    const int mid = lo + (hi - lo) / 2;
+    auto ok = feasible_at(mid);
+    if (!ok.is_ok()) return ok.status();
+    (*ok ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+}  // namespace fcad::dse

@@ -1,0 +1,48 @@
+// The DSE engine facade: one call from a network + platform + customization
+// to the globally optimized accelerator, plus repeated-search convergence
+// statistics (Sec. VII reports 10 independent searches per case).
+#pragma once
+
+#include <vector>
+
+#include "arch/platform.hpp"
+#include "dse/cross_branch.hpp"
+#include "nn/graph.hpp"
+
+namespace fcad::dse {
+
+struct DseRequest {
+  arch::Platform platform;
+  Customization customization;
+  CrossBranchOptions options;
+};
+
+/// Runs the full optimization step for an already reorganized model.
+StatusOr<SearchResult> optimize(const arch::ReorganizedModel& model,
+                                DseRequest request);
+
+/// Statistics over repeated independent searches (different seeds).
+struct ConvergenceStats {
+  int runs = 0;
+  double mean_iterations = 0;  ///< iterations until the global best settled
+  double min_iterations = 0;
+  double max_iterations = 0;
+  double mean_seconds = 0;
+  double mean_fitness = 0;
+  double fitness_spread = 0;  ///< max - min final fitness across runs
+};
+
+ConvergenceStats convergence_study(const arch::ReorganizedModel& model,
+                                   const DseRequest& request, int runs);
+
+/// Maximum batch size exploration (the "maximum batch size" customization
+/// of Sec. I): for `branch`, finds the largest batch-size target the
+/// platform can satisfy with every other branch pinned at
+/// `request.customization`'s targets. Returns 0 when even batch 1 is
+/// infeasible. Runs one search per probed batch (doubling then bisecting),
+/// so cost is O(log(max)) searches.
+StatusOr<int> max_feasible_batch(const arch::ReorganizedModel& model,
+                                 const DseRequest& request, int branch,
+                                 int probe_limit = 16);
+
+}  // namespace fcad::dse

@@ -1,0 +1,31 @@
+#include "dse/fitness.hpp"
+
+#include "util/status.hpp"
+
+namespace fcad::dse {
+
+double variance(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double mean = 0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  return var / static_cast<double>(values.size());
+}
+
+double fitness_score(const std::vector<double>& fps,
+                     const std::vector<double>& priorities, int unmet_targets,
+                     const FitnessParams& params) {
+  FCAD_CHECK(fps.size() == priorities.size());
+  FCAD_CHECK(unmet_targets >= 0);
+  double score = 0;
+  for (std::size_t j = 0; j < fps.size(); ++j) {
+    score += fps[j] * priorities[j];
+  }
+  score -= params.alpha * variance(fps);
+  score -= params.infeasible_demerit * unmet_targets;
+  return score;
+}
+
+}  // namespace fcad::dse

@@ -1,0 +1,27 @@
+// Fitness of an accelerator candidate (Algorithm 1, line 12):
+// S(Perf, U) - P(Perf) = sum_j perf_j * P_j  -  alpha * Var(perf),
+// with a large constant demerit per branch that missed its batch target so
+// infeasible candidates still rank against each other but never beat a
+// feasible one.
+#pragma once
+
+#include <vector>
+
+namespace fcad::dse {
+
+struct FitnessParams {
+  double alpha = 0.05;              ///< variance penalty weight
+  double infeasible_demerit = 1e7;  ///< per branch missing its batch target
+};
+
+/// Population variance of `values` (sigma^2 of Sec. VI-B).
+double variance(const std::vector<double>& values);
+
+/// Weighted score minus variance penalty minus infeasibility demerits.
+/// `fps` and `priorities` are per-branch; `unmet_targets` counts branches
+/// whose batch-size customization could not be met.
+double fitness_score(const std::vector<double>& fps,
+                     const std::vector<double>& priorities, int unmet_targets,
+                     const FitnessParams& params = {});
+
+}  // namespace fcad::dse

@@ -1,0 +1,152 @@
+#include "dse/in_branch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace fcad::dse {
+namespace {
+
+struct StageDemand {
+  const arch::FusedStage* stage = nullptr;
+  double ops = 0;           ///< op_k: MACs (the Eq. 4 work term)
+  double stream_bytes = 0;  ///< per-frame DDR bytes (GetReuse numerator)
+  arch::UnitStreamContext ctx;
+};
+
+}  // namespace
+
+InBranchResult in_branch_optimize(const arch::ReorganizedModel& model,
+                                  int branch, const ResourceBudget& rd,
+                                  int batch_target, nn::DataType dw,
+                                  nn::DataType ww, double freq_mhz) {
+  FCAD_CHECK(branch >= 0 && branch < model.num_branches());
+  FCAD_CHECK(batch_target >= 1);
+  const arch::BranchPipeline& br =
+      model.branches[static_cast<std::size_t>(branch)];
+  const double freq_hz = freq_mhz * 1e6;
+  const double bw_bytes = rd.bw * 1e9;
+
+  InBranchResult result;
+  result.config.batch = 1;
+  if (br.stages.empty()) {
+    // Branch owns nothing (fully shared into another branch); trivially met.
+    result.met_batch_target = true;
+    result.config.batch = batch_target;
+    return result;
+  }
+
+  // Lines 4-7: layer-wise compute demand and data-reuse characteristics.
+  std::vector<StageDemand> demands;
+  demands.reserve(br.stages.size());
+  for (int s : br.stages) {
+    StageDemand d;
+    d.stage = &model.stage(s);
+    d.ops = static_cast<double>(d.stage->macs);
+    d.ctx.reads_external_input =
+        model.fused.stage_inputs[static_cast<std::size_t>(s)].empty();
+    d.ctx.writes_external_output =
+        !model.fused.stage_outputs[static_cast<std::size_t>(s)].empty();
+    const arch::UnitResources probe = arch::unit_resources(
+        *d.stage, arch::UnitConfig{1, 1, 1}, dw, ww, d.ctx);
+    d.stream_bytes = static_cast<double>(probe.total_stream_bytes());
+    demands.push_back(d);
+  }
+
+  // Lines 8-12: most optimistic parallelism targets that just exhaust the
+  // allocated bandwidth. norm_param_k = bytes/op (GetReuse); the closed form
+  // reduces to pf_k = BW * op_k / (freq * sum bytes).
+  double op_min = demands[0].ops;
+  double total_bytes = 0;
+  for (const StageDemand& d : demands) {
+    op_min = std::min(op_min, std::max(d.ops, 1.0));
+    total_bytes += d.stream_bytes;
+  }
+  op_min = std::max(op_min, 1.0);
+  double norm_bw = 0;  // bytes/s at unit parallelism scale
+  for (const StageDemand& d : demands) {
+    const double norm_param = d.stream_bytes / std::max(d.ops, 1.0);
+    norm_bw += (d.ops / op_min) * norm_param * freq_hz;
+  }
+
+  std::vector<std::int64_t> pf(demands.size(), 1);
+  for (std::size_t k = 0; k < demands.size(); ++k) {
+    const std::int64_t cap = arch::max_lanes(*demands[k].stage);
+    double target;
+    if (norm_bw > 0) {
+      target = std::ceil(bw_bytes / norm_bw * (demands[k].ops / op_min));
+    } else {
+      target = static_cast<double>(cap);  // nothing streams: no BW bound
+    }
+    pf[k] = std::clamp<std::int64_t>(static_cast<std::int64_t>(target), 1, cap);
+  }
+
+  // Lines 13-24: greedy halving until the batch target fits.
+  while (true) {
+    std::vector<arch::UnitConfig> cfgs(demands.size());
+    double c_sum = 0;
+    double m_sum = 0;
+    double param_bytes = 0;
+    double feature_bytes = 0;
+    double max_lat = 0;
+    for (std::size_t k = 0; k < demands.size(); ++k) {
+      cfgs[k] = arch::get_pf(pf[k], *demands[k].stage);
+      const arch::UnitResources res = arch::unit_resources(
+          *demands[k].stage, cfgs[k], dw, ww, demands[k].ctx);
+      c_sum += res.dsps;
+      m_sum += res.brams;
+      param_bytes += static_cast<double>(res.param_stream_bytes);
+      feature_bytes += static_cast<double>(res.feature_stream_bytes);
+      max_lat =
+          std::max(max_lat, arch::cycles_analytical(*demands[k].stage, cfgs[k]));
+    }
+
+    // Line 18: how many pipeline copies fit the slice. Parameters are
+    // broadcast to lock-stepped copies, features scale per copy.
+    const double waves_per_s = max_lat > 0 ? freq_hz / max_lat : 0.0;
+    double batch_c = c_sum > 0 ? rd.c / c_sum : 0.0;
+    double batch_m = m_sum > 0 ? rd.m / m_sum : 0.0;
+    double batch_bw = static_cast<double>(batch_target);
+    if (feature_bytes * waves_per_s > 0) {
+      batch_bw = (bw_bytes - param_bytes * waves_per_s) /
+                 (feature_bytes * waves_per_s);
+    } else if (param_bytes * waves_per_s > bw_bytes) {
+      batch_bw = 0;
+    }
+    const double batch_f = std::min({batch_c, batch_m, batch_bw});
+    const int batch = static_cast<int>(std::floor(batch_f));
+
+    if (batch < batch_target) {
+      // Line 20: halve the targets and retry, unless already minimal.
+      bool can_halve = false;
+      for (std::int64_t p : pf) can_halve = can_halve || p > 1;
+      if (!can_halve) {
+        result.config.batch = std::max(batch, 1);
+        result.config.units = std::move(cfgs);
+        result.met_batch_target = false;
+        result.c_used = c_sum * result.config.batch;
+        result.m_used = m_sum * result.config.batch;
+        result.bw_used = (param_bytes + feature_bytes * result.config.batch) *
+                         waves_per_s * 1e-9;
+        result.bottleneck_cycles = max_lat;
+        return result;
+      }
+      for (std::int64_t& p : pf) p = std::max<std::int64_t>(1, p / 2);
+      ++result.halvings;
+      continue;
+    }
+
+    // Line 22: clamp to the requested batch and stop.
+    result.config.batch = batch_target;
+    result.config.units = std::move(cfgs);
+    result.met_batch_target = true;
+    result.c_used = c_sum * batch_target;
+    result.m_used = m_sum * batch_target;
+    result.bw_used =
+        (param_bytes + feature_bytes * batch_target) * waves_per_s * 1e-9;
+    result.bottleneck_cycles = max_lat;
+    return result;
+  }
+}
+
+}  // namespace fcad::dse

@@ -1,0 +1,34 @@
+// In-branch greedy optimization (Algorithm 2): given one branch's slice of
+// the resource budget, derive bandwidth-normalized per-stage parallelism
+// targets, then greedily shrink them (halving) until the branch's batch-size
+// target fits the slice.
+#pragma once
+
+#include "arch/elastic.hpp"
+#include "dse/design_space.hpp"
+
+namespace fcad::dse {
+
+struct InBranchResult {
+  arch::BranchHardwareConfig config;
+  /// True when the requested batch size fits the resource slice.
+  bool met_batch_target = false;
+  /// Resources consumed by the configured branch (all batch copies).
+  double c_used = 0;   ///< DSPs
+  double m_used = 0;   ///< BRAM18K blocks
+  double bw_used = 0;  ///< GB/s at the achieved throughput
+  /// Analytical bottleneck latency of one pipeline copy, in cycles.
+  double bottleneck_cycles = 0;
+  int halvings = 0;  ///< greedy iterations taken
+};
+
+/// Runs Algorithm 2 for `branch` of `model` under budget slice `rd`.
+/// `batch_target` is the user's BatchSize_j. Always returns a structurally
+/// valid config (parallelism >= 1 everywhere); check met_batch_target and
+/// the usage fields for feasibility.
+InBranchResult in_branch_optimize(const arch::ReorganizedModel& model,
+                                  int branch, const ResourceBudget& rd,
+                                  int batch_target, nn::DataType dw,
+                                  nn::DataType ww, double freq_mhz);
+
+}  // namespace fcad::dse

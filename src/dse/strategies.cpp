@@ -1,0 +1,156 @@
+#include "dse/strategies.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace fcad::dse {
+namespace {
+
+ResourceDistribution random_rd(Rng& rng, int branches) {
+  ResourceDistribution rd;
+  rd.c_frac = rng.next_simplex(static_cast<std::size_t>(branches));
+  rd.m_frac = rng.next_simplex(static_cast<std::size_t>(branches));
+  rd.bw_frac = rng.next_simplex(static_cast<std::size_t>(branches));
+  return rd;
+}
+
+void clamp_simplex(std::vector<double>& frac) {
+  constexpr double kFloor = 0.01;
+  double sum = 0;
+  for (double& f : frac) {
+    f = std::max(f, kFloor);
+    sum += f;
+  }
+  for (double& f : frac) f /= sum;
+}
+
+/// Records a candidate into `result` if it improves the incumbent.
+void consider(const DistributionEval& ce, const ResourceDistribution& rd,
+              int iteration, SearchResult& result) {
+  if (ce.fitness > result.fitness) {
+    result.fitness = ce.fitness;
+    result.config = ce.config;
+    result.eval = ce.eval;
+    result.distribution = rd;
+    result.feasible = ce.feasible;
+    result.trace.convergence_iteration = iteration;
+  }
+}
+
+SearchResult random_search(const arch::ReorganizedModel& model,
+                           const ResourceBudget& budget,
+                           const Customization& cust,
+                           const CrossBranchOptions& opt) {
+  Rng rng(opt.seed);
+  SearchResult result;
+  result.fitness = -1e300;
+  for (int iter = 0; iter < opt.iterations; ++iter) {
+    for (int i = 0; i < opt.population; ++i) {
+      const ResourceDistribution rd = random_rd(rng, model.num_branches());
+      const DistributionEval ce =
+          evaluate_distribution(model, budget, rd, cust, opt, result.trace);
+      consider(ce, rd, iter + 1, result);
+    }
+    result.trace.best_fitness.push_back(result.fitness);
+  }
+  return result;
+}
+
+SearchResult annealing_search(const arch::ReorganizedModel& model,
+                              const ResourceBudget& budget,
+                              const Customization& cust,
+                              const CrossBranchOptions& opt) {
+  Rng rng(opt.seed);
+  SearchResult result;
+  result.fitness = -1e300;
+
+  // Start from the demand-proportional point (same head start the swarm
+  // enjoys) and anneal with a geometric temperature schedule.
+  ResourceDistribution current = demand_proportional_distribution(model, cust);
+  DistributionEval current_eval =
+      evaluate_distribution(model, budget, current, cust, opt, result.trace);
+  consider(current_eval, current, 1, result);
+
+  const long total_steps =
+      static_cast<long>(opt.iterations) * opt.population - 1;
+  // Temperature in fitness units: start around the typical fitness scale,
+  // end near zero. The scale adapts to the incumbent's magnitude.
+  const double t_start = std::max(1.0, std::fabs(current_eval.fitness) * 0.1);
+  const double t_end = t_start * 1e-3;
+  for (long step = 0; step < total_steps; ++step) {
+    const double progress =
+        total_steps > 1 ? static_cast<double>(step) / (total_steps - 1) : 1.0;
+    const double temperature =
+        t_start * std::pow(t_end / t_start, progress);
+    const double radius = 0.02 + 0.18 * (1.0 - progress);
+
+    ResourceDistribution neighbor = current;
+    for (auto* frac :
+         {&neighbor.c_frac, &neighbor.m_frac, &neighbor.bw_frac}) {
+      for (double& f : *frac) f += rng.next_range(-radius, radius);
+      clamp_simplex(*frac);
+    }
+    const DistributionEval ce = evaluate_distribution(model, budget, neighbor,
+                                                      cust, opt, result.trace);
+    const int iteration = 1 + static_cast<int>(step / opt.population);
+    consider(ce, neighbor, iteration, result);
+
+    const double delta = ce.fitness - current_eval.fitness;
+    if (delta >= 0 ||
+        rng.next_double() < std::exp(delta / std::max(temperature, 1e-12))) {
+      current = neighbor;
+      current_eval = ce;
+    }
+    if ((step + 1) % opt.population == 0) {
+      result.trace.best_fitness.push_back(result.fitness);
+    }
+  }
+  while (result.trace.best_fitness.size() <
+         static_cast<std::size_t>(opt.iterations)) {
+    result.trace.best_fitness.push_back(result.fitness);
+  }
+  return result;
+}
+
+}  // namespace
+
+const char* to_string(SearchStrategy strategy) {
+  switch (strategy) {
+    case SearchStrategy::kParticleSwarm: return "particle-swarm (Alg. 1)";
+    case SearchStrategy::kRandom: return "random sampling";
+    case SearchStrategy::kAnnealing: return "simulated annealing";
+  }
+  return "unknown";
+}
+
+SearchResult strategy_search(const arch::ReorganizedModel& model,
+                             const ResourceBudget& budget,
+                             const Customization& customization,
+                             const CrossBranchOptions& options,
+                             SearchStrategy strategy) {
+  const auto t0 = std::chrono::steady_clock::now();
+  SearchResult result;
+  switch (strategy) {
+    case SearchStrategy::kParticleSwarm:
+      return cross_branch_search(model, budget, customization, options);
+    case SearchStrategy::kRandom:
+      result = random_search(model, budget, customization, options);
+      break;
+    case SearchStrategy::kAnnealing:
+      result = annealing_search(model, budget, customization, options);
+      break;
+  }
+  // Report under quantized evaluation, matching cross_branch_search.
+  if (!result.config.branches.empty()) {
+    result.eval =
+        arch::evaluate(model, result.config, arch::EvalMode::kQuantized);
+  }
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace fcad::dse

@@ -1,0 +1,33 @@
+// Alternative cross-branch search strategies, optimizing the identical
+// objective as Algorithm 1 (same in-branch greedy configuration, same
+// fitness). Used by bench_ablation to justify the paper's choice of a
+// stochastic swarm search:
+//   * kRandom      — pure random sampling of resource distributions;
+//   * kAnnealing   — single-chain simulated annealing over the simplexes;
+//   * kParticleSwarm — Algorithm 1 itself (delegates to
+//     cross_branch_search).
+// Every strategy gets the same evaluation budget (population x iterations
+// candidate evaluations) so comparisons are compute-fair.
+#pragma once
+
+#include "dse/cross_branch.hpp"
+
+namespace fcad::dse {
+
+enum class SearchStrategy {
+  kParticleSwarm,
+  kRandom,
+  kAnnealing,
+};
+
+const char* to_string(SearchStrategy strategy);
+
+/// Runs `strategy` under the same budget/customization/options contract as
+/// cross_branch_search.
+SearchResult strategy_search(const arch::ReorganizedModel& model,
+                             const ResourceBudget& budget,
+                             const Customization& customization,
+                             const CrossBranchOptions& options,
+                             SearchStrategy strategy);
+
+}  // namespace fcad::dse

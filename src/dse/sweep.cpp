@@ -1,0 +1,58 @@
+#include "dse/sweep.hpp"
+
+namespace fcad::dse {
+
+StatusOr<std::vector<SweepPoint>> quantization_frequency_sweep(
+    const arch::ReorganizedModel& model, const arch::Platform& platform,
+    const SweepOptions& options) {
+  if (options.quantizations.empty() || options.frequencies_mhz.empty()) {
+    return Status::invalid_argument("sweep: empty grid");
+  }
+  for (double f : options.frequencies_mhz) {
+    if (f <= 0) return Status::invalid_argument("sweep: bad frequency");
+  }
+
+  std::vector<SweepPoint> points;
+  for (nn::DataType q : options.quantizations) {
+    for (double freq : options.frequencies_mhz) {
+      DseRequest request;
+      request.platform = platform;
+      request.platform.freq_mhz = freq;
+      request.customization = options.customization;
+      request.customization.quantization = q;
+      request.options = options.search;
+      auto result = optimize(model, std::move(request));
+      if (!result.is_ok()) return result.status();
+
+      SweepPoint point;
+      point.quantization = q;
+      point.freq_mhz = freq;
+      point.result = std::move(result).value();
+      points.push_back(std::move(point));
+    }
+  }
+
+  // Pareto frontier: maximize min-FPS, minimize DSPs. A point is dominated
+  // when another point has >= FPS with <= DSPs (and is strictly better on
+  // one axis). Infeasible points never make the frontier.
+  for (SweepPoint& p : points) {
+    if (!p.result.feasible) continue;
+    bool dominated = false;
+    for (const SweepPoint& q : points) {
+      if (&p == &q || !q.result.feasible) continue;
+      const bool no_worse = q.result.eval.min_fps >= p.result.eval.min_fps &&
+                            q.result.eval.dsps <= p.result.eval.dsps;
+      const bool strictly_better =
+          q.result.eval.min_fps > p.result.eval.min_fps ||
+          q.result.eval.dsps < p.result.eval.dsps;
+      if (no_worse && strictly_better) {
+        dominated = true;
+        break;
+      }
+    }
+    p.pareto_optimal = !dominated;
+  }
+  return points;
+}
+
+}  // namespace fcad::dse

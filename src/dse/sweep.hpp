@@ -1,0 +1,36 @@
+// Co-exploration sweeps on top of the core DSE: quantization x clock
+// frequency grids, with Pareto filtering on (min-FPS, DSP usage). The paper
+// fixes 200 MHz and explores Q as a customization; a deployment study wants
+// the whole grid — this is the "joint optimization" entry point.
+#pragma once
+
+#include <vector>
+
+#include "dse/engine.hpp"
+
+namespace fcad::dse {
+
+struct SweepPoint {
+  nn::DataType quantization = nn::DataType::kInt8;
+  double freq_mhz = 200.0;
+  SearchResult result;
+  bool pareto_optimal = false;  ///< on the (min FPS up, DSPs down) frontier
+};
+
+struct SweepOptions {
+  std::vector<nn::DataType> quantizations = {nn::DataType::kInt8,
+                                             nn::DataType::kInt16};
+  std::vector<double> frequencies_mhz = {150, 200, 300};
+  CrossBranchOptions search;
+  /// Copied into every run's customization (batch sizes / priorities).
+  Customization customization;
+};
+
+/// Runs the DSE once per grid point and marks the Pareto frontier.
+/// Frequency scaling is idealized (timing closure is the RTL backend's
+/// problem); resource budgets come from `platform` unchanged.
+StatusOr<std::vector<SweepPoint>> quantization_frequency_sweep(
+    const arch::ReorganizedModel& model, const arch::Platform& platform,
+    const SweepOptions& options);
+
+}  // namespace fcad::dse

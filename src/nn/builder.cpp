@@ -1,0 +1,144 @@
+#include "nn/builder.hpp"
+
+#include <utility>
+
+#include "nn/validate.hpp"
+
+namespace fcad::nn {
+namespace {
+
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+TensorShape infer_shape(const Layer& layer,
+                        const std::vector<const Layer*>& ins) {
+  switch (layer.kind) {
+    case LayerKind::kInput:
+      return layer.input().shape;
+    case LayerKind::kConv2d: {
+      const auto& a = layer.conv();
+      const TensorShape& s = ins[0]->out_shape;
+      return {a.out_ch, ceil_div(s.h, a.stride), ceil_div(s.w, a.stride)};
+    }
+    case LayerKind::kActivation:
+      return ins[0]->out_shape;
+    case LayerKind::kUpsample2x: {
+      const TensorShape& s = ins[0]->out_shape;
+      return {s.ch, s.h * 2, s.w * 2};
+    }
+    case LayerKind::kMaxPool: {
+      const auto& a = layer.max_pool();
+      const TensorShape& s = ins[0]->out_shape;
+      return {s.ch, ceil_div(s.h, a.stride), ceil_div(s.w, a.stride)};
+    }
+    case LayerKind::kDense:
+      return {layer.dense().out_features, 1, 1};
+    case LayerKind::kReshape:
+      return layer.reshape().out;
+    case LayerKind::kConcat: {
+      TensorShape s = ins[0]->out_shape;
+      for (std::size_t i = 1; i < ins.size(); ++i) s.ch += ins[i]->out_shape.ch;
+      return s;
+    }
+    case LayerKind::kOutput:
+      return ins[0]->out_shape;
+  }
+  FCAD_CHECK_MSG(false, "unreachable layer kind");
+  return {};
+}
+
+}  // namespace
+
+GraphBuilder::GraphBuilder(std::string name) { graph_.name_ = std::move(name); }
+
+const Layer& GraphBuilder::at(LayerId id) const {
+  FCAD_CHECK_MSG(
+      id >= 0 && static_cast<std::size_t>(id) < graph_.layers_.size(),
+      "builder: reference to unknown layer id");
+  return graph_.layers_[static_cast<std::size_t>(id)];
+}
+
+LayerId GraphBuilder::add(LayerKind kind, const std::string& name,
+                          LayerAttrs attrs, std::vector<LayerId> inputs) {
+  Layer layer;
+  layer.id = static_cast<LayerId>(graph_.layers_.size());
+  layer.kind = kind;
+  layer.name = name;
+  layer.attrs = std::move(attrs);
+  layer.inputs = std::move(inputs);
+
+  std::vector<const Layer*> ins;
+  ins.reserve(layer.inputs.size());
+  for (LayerId in : layer.inputs) ins.push_back(&at(in));
+  layer.out_shape = infer_shape(layer, ins);
+
+  for (LayerId in : layer.inputs) {
+    graph_.consumers_[static_cast<std::size_t>(in)].push_back(layer.id);
+  }
+  graph_.consumers_.emplace_back();
+  if (kind == LayerKind::kInput) graph_.inputs_.push_back(layer.id);
+  if (kind == LayerKind::kOutput) graph_.outputs_.push_back(layer.id);
+  graph_.layers_.push_back(std::move(layer));
+  return graph_.layers_.back().id;
+}
+
+LayerId GraphBuilder::input(const std::string& name, TensorShape shape) {
+  return add(LayerKind::kInput, name, InputAttrs{shape}, {});
+}
+
+LayerId GraphBuilder::conv2d(LayerId in, const std::string& name,
+                             Conv2dAttrs attrs) {
+  return add(LayerKind::kConv2d, name, attrs, {in});
+}
+
+LayerId GraphBuilder::relu(LayerId in, const std::string& name) {
+  return add(LayerKind::kActivation, name,
+             ActivationAttrs{ActivationAttrs::Kind::kRelu}, {in});
+}
+
+LayerId GraphBuilder::leaky_relu(LayerId in, const std::string& name) {
+  return add(LayerKind::kActivation, name,
+             ActivationAttrs{ActivationAttrs::Kind::kLeakyRelu}, {in});
+}
+
+LayerId GraphBuilder::tanh(LayerId in, const std::string& name) {
+  return add(LayerKind::kActivation, name,
+             ActivationAttrs{ActivationAttrs::Kind::kTanh}, {in});
+}
+
+LayerId GraphBuilder::upsample2x(LayerId in, const std::string& name,
+                                 Upsample2xAttrs::Mode mode) {
+  return add(LayerKind::kUpsample2x, name, Upsample2xAttrs{mode}, {in});
+}
+
+LayerId GraphBuilder::max_pool(LayerId in, const std::string& name,
+                               MaxPoolAttrs attrs) {
+  return add(LayerKind::kMaxPool, name, attrs, {in});
+}
+
+LayerId GraphBuilder::dense(LayerId in, const std::string& name,
+                            DenseAttrs attrs) {
+  return add(LayerKind::kDense, name, attrs, {in});
+}
+
+LayerId GraphBuilder::reshape(LayerId in, const std::string& name,
+                              TensorShape out) {
+  return add(LayerKind::kReshape, name, ReshapeAttrs{out}, {in});
+}
+
+LayerId GraphBuilder::concat(const std::vector<LayerId>& ins,
+                             const std::string& name) {
+  FCAD_CHECK_MSG(!ins.empty(), "concat needs at least one input");
+  return add(LayerKind::kConcat, name, ConcatAttrs{}, ins);
+}
+
+LayerId GraphBuilder::output(LayerId in, const std::string& role) {
+  return add(LayerKind::kOutput, "out_" + role, OutputAttrs{role}, {in});
+}
+
+StatusOr<Graph> GraphBuilder::build() && {
+  Status status = validate(graph_);
+  if (!status.is_ok()) return status;
+  return std::move(graph_);
+}
+
+}  // namespace fcad::nn

@@ -1,0 +1,67 @@
+// Fluent construction of multi-branch network graphs with eager shape
+// inference. Mirrors how a decoder is described in an ML framework:
+//
+//   GraphBuilder b("decoder");
+//   auto z = b.input("latent", {4, 8, 8});
+//   auto x = b.conv2d(z, "br1_c1", {.out_ch = 256, .kernel = 4,
+//                                   .untied_bias = true});
+//   x = b.leaky_relu(x, "br1_a1");
+//   x = b.upsample2x(x, "br1_u1");
+//   ...
+//   b.output(x, "geometry");
+//   Graph g = std::move(b).build();
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/graph.hpp"
+#include "util/status.hpp"
+
+namespace fcad::nn {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::string name);
+
+  /// Declares a network input of the given shape.
+  LayerId input(const std::string& name, TensorShape shape);
+
+  /// Same-padded 2D convolution (the `untied_bias` flag selects the
+  /// customized Conv of the avatar decoder).
+  LayerId conv2d(LayerId in, const std::string& name, Conv2dAttrs attrs);
+
+  LayerId relu(LayerId in, const std::string& name);
+  LayerId leaky_relu(LayerId in, const std::string& name);
+  LayerId tanh(LayerId in, const std::string& name);
+
+  LayerId upsample2x(LayerId in, const std::string& name,
+                     Upsample2xAttrs::Mode mode = Upsample2xAttrs::Mode::kNearest);
+
+  LayerId max_pool(LayerId in, const std::string& name, MaxPoolAttrs attrs);
+
+  /// Dense layer; the input is implicitly flattened.
+  LayerId dense(LayerId in, const std::string& name, DenseAttrs attrs);
+
+  /// Reinterprets the element stream as `out` (element count must match).
+  LayerId reshape(LayerId in, const std::string& name, TensorShape out);
+
+  /// Channel-wise concatenation; all inputs must share spatial dims.
+  LayerId concat(const std::vector<LayerId>& ins, const std::string& name);
+
+  /// Marks `in` as a network output with a semantic role label.
+  LayerId output(LayerId in, const std::string& role);
+
+  /// Finalizes the graph. Runs full structural validation (validate.hpp);
+  /// fails on empty graphs, missing outputs, or dangling non-output leaves.
+  StatusOr<Graph> build() &&;
+
+ private:
+  LayerId add(LayerKind kind, const std::string& name, LayerAttrs attrs,
+              std::vector<LayerId> inputs);
+  const Layer& at(LayerId id) const;
+
+  Graph graph_;
+};
+
+}  // namespace fcad::nn

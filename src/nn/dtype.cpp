@@ -1,0 +1,31 @@
+#include "nn/dtype.hpp"
+
+#include "util/status.hpp"
+
+namespace fcad::nn {
+
+int bits(DataType dtype) {
+  switch (dtype) {
+    case DataType::kInt8: return 8;
+    case DataType::kInt16: return 16;
+  }
+  FCAD_CHECK_MSG(false, "unknown dtype");
+  return 0;
+}
+
+int bytes(DataType dtype) { return (bits(dtype) + 7) / 8; }
+
+int multipliers_per_dsp(DataType dtype) {
+  return dtype == DataType::kInt8 ? 2 : 1;
+}
+
+int beta_ops_per_dsp(DataType dtype) {
+  // 2 ops per MAC times packed multipliers per DSP.
+  return 2 * multipliers_per_dsp(dtype);
+}
+
+std::string to_string(DataType dtype) {
+  return dtype == DataType::kInt8 ? "int8" : "int16";
+}
+
+}  // namespace fcad::nn

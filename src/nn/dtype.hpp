@@ -1,0 +1,36 @@
+// Quantized data types supported by the accelerator templates.
+//
+// F-CAD configures bitwidths for features (DW), weights (WW), and the
+// external memory bus (MW); the paper evaluates 8-bit and 16-bit fixed-point
+// models. The key hardware consequence is DSP packing: one Xilinx DSP48
+// implements two 8-bit multipliers but only one 16-bit multiplier, which is
+// where the paper's beta factor (ops per multiplier per cycle) comes from.
+#pragma once
+
+#include <string>
+
+namespace fcad::nn {
+
+enum class DataType {
+  kInt8,
+  kInt16,
+};
+
+/// Bit width of one element.
+int bits(DataType dtype);
+
+/// Bytes of one element (rounded up).
+int bytes(DataType dtype);
+
+/// Multipliers packed into one DSP slice for this operand width
+/// (2 for 8-bit, 1 for 16-bit).
+int multipliers_per_dsp(DataType dtype);
+
+/// Paper Eq. 3 beta: operations (1 MAC = 2 ops) sustained per DSP per cycle.
+/// 4 for 8-bit (two packed MACs), 2 for 16-bit (one MAC).
+int beta_ops_per_dsp(DataType dtype);
+
+/// "int8" / "int16".
+std::string to_string(DataType dtype);
+
+}  // namespace fcad::nn

@@ -1,0 +1,27 @@
+#include "nn/graph.hpp"
+
+#include <numeric>
+
+namespace fcad::nn {
+
+const Layer& Graph::layer(LayerId id) const {
+  FCAD_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < layers_.size(),
+                 "layer id out of range");
+  return layers_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<LayerId>& Graph::consumers(LayerId id) const {
+  FCAD_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < consumers_.size(),
+                 "layer id out of range");
+  return consumers_[static_cast<std::size_t>(id)];
+}
+
+std::vector<LayerId> Graph::topo_order() const {
+  // Layers are appended in dependency order by the builder; ids are already
+  // topologically sorted.
+  std::vector<LayerId> order(layers_.size());
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+}  // namespace fcad::nn

@@ -1,0 +1,52 @@
+// The multi-branch network graph.
+//
+// A Graph is an immutable validated DAG of Layers. Construction goes through
+// GraphBuilder (builder.hpp) which runs shape inference and structural
+// validation, so any Graph in hand satisfies:
+//   * ids are dense [0, size),
+//   * every edge references an earlier-validated node,
+//   * layers are stored in a topological order,
+//   * every non-input layer has >= 1 input; only Concat has > 1,
+//   * out_shape is consistent with the layer semantics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "util/status.hpp"
+
+namespace fcad::nn {
+
+class GraphBuilder;
+
+class Graph {
+ public:
+  const std::string& name() const { return name_; }
+  const std::vector<Layer>& layers() const { return layers_; }
+  std::size_t size() const { return layers_.size(); }
+
+  const Layer& layer(LayerId id) const;
+
+  /// Ids of all kInput / kOutput layers, in creation order.
+  const std::vector<LayerId>& input_ids() const { return inputs_; }
+  const std::vector<LayerId>& output_ids() const { return outputs_; }
+
+  /// Layers that consume `id`'s output (graph fan-out).
+  const std::vector<LayerId>& consumers(LayerId id) const;
+
+  /// Layer ids in topological order (== storage order by construction).
+  std::vector<LayerId> topo_order() const;
+
+ private:
+  friend class GraphBuilder;
+  Graph() = default;
+
+  std::string name_;
+  std::vector<Layer> layers_;
+  std::vector<LayerId> inputs_;
+  std::vector<LayerId> outputs_;
+  std::vector<std::vector<LayerId>> consumers_;
+};
+
+}  // namespace fcad::nn

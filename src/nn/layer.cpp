@@ -1,0 +1,66 @@
+#include "nn/layer.hpp"
+
+#include "util/status.hpp"
+
+namespace fcad::nn {
+
+std::string to_string(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kInput: return "input";
+    case LayerKind::kConv2d: return "conv2d";
+    case LayerKind::kActivation: return "activation";
+    case LayerKind::kUpsample2x: return "upsample2x";
+    case LayerKind::kMaxPool: return "max_pool";
+    case LayerKind::kDense: return "dense";
+    case LayerKind::kReshape: return "reshape";
+    case LayerKind::kConcat: return "concat";
+    case LayerKind::kOutput: return "output";
+  }
+  return "unknown";
+}
+
+std::string to_string(ActivationAttrs::Kind kind) {
+  switch (kind) {
+    case ActivationAttrs::Kind::kRelu: return "relu";
+    case ActivationAttrs::Kind::kLeakyRelu: return "leaky_relu";
+    case ActivationAttrs::Kind::kTanh: return "tanh";
+  }
+  return "unknown";
+}
+
+namespace {
+template <typename T>
+const T& get_attrs(const Layer& layer, const char* what) {
+  const T* attrs = std::get_if<T>(&layer.attrs);
+  FCAD_CHECK_MSG(attrs != nullptr,
+                 std::string("layer '") + layer.name + "' is not a " + what);
+  return *attrs;
+}
+}  // namespace
+
+const Conv2dAttrs& Layer::conv() const {
+  return get_attrs<Conv2dAttrs>(*this, "conv2d");
+}
+const DenseAttrs& Layer::dense() const {
+  return get_attrs<DenseAttrs>(*this, "dense");
+}
+const InputAttrs& Layer::input() const {
+  return get_attrs<InputAttrs>(*this, "input");
+}
+const OutputAttrs& Layer::output() const {
+  return get_attrs<OutputAttrs>(*this, "output");
+}
+const ActivationAttrs& Layer::activation() const {
+  return get_attrs<ActivationAttrs>(*this, "activation");
+}
+const MaxPoolAttrs& Layer::max_pool() const {
+  return get_attrs<MaxPoolAttrs>(*this, "max_pool");
+}
+const ReshapeAttrs& Layer::reshape() const {
+  return get_attrs<ReshapeAttrs>(*this, "reshape");
+}
+const Upsample2xAttrs& Layer::upsample() const {
+  return get_attrs<Upsample2xAttrs>(*this, "upsample2x");
+}
+
+}  // namespace fcad::nn

@@ -1,0 +1,107 @@
+// Layer descriptors of the multi-branch DNN IR.
+//
+// F-CAD consumes networks as structure-only metadata (shapes, kernel sizes,
+// parameter counts) — weight values never matter to the DSE — so a layer is a
+// kind tag plus an attribute struct. The customized Conv from the codec
+// avatar decoder is Conv2d with `untied_bias = true`: one bias per output
+// *pixel* (OutCh*H*W extra parameters) instead of one per output channel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "nn/shape.hpp"
+
+namespace fcad::nn {
+
+using LayerId = std::int32_t;
+inline constexpr LayerId kInvalidLayer = -1;
+
+enum class LayerKind {
+  kInput,
+  kConv2d,
+  kActivation,
+  kUpsample2x,
+  kMaxPool,
+  kDense,
+  kReshape,
+  kConcat,
+  kOutput,
+};
+
+/// "conv2d", "activation", ...
+std::string to_string(LayerKind kind);
+
+struct InputAttrs {
+  TensorShape shape;
+};
+
+struct Conv2dAttrs {
+  int out_ch = 0;
+  int kernel = 3;
+  int stride = 1;
+  /// Same-padding is assumed (output spatial = ceil(input / stride)), which
+  /// covers the decoder (stride 1) and the classic backbones we model.
+  bool untied_bias = false;  ///< per-pixel bias (customized Conv)
+  bool bias = true;          ///< any bias at all
+};
+
+struct ActivationAttrs {
+  enum class Kind { kRelu, kLeakyRelu, kTanh };
+  Kind kind = Kind::kLeakyRelu;
+};
+
+std::string to_string(ActivationAttrs::Kind kind);
+
+struct Upsample2xAttrs {
+  enum class Mode { kNearest, kBilinear };
+  Mode mode = Mode::kNearest;
+};
+
+struct MaxPoolAttrs {
+  int kernel = 2;
+  int stride = 2;
+};
+
+struct DenseAttrs {
+  int out_features = 0;
+  bool bias = true;
+};
+
+struct ReshapeAttrs {
+  TensorShape out;
+};
+
+struct ConcatAttrs {};  // channel-wise concat of all inputs
+
+struct OutputAttrs {
+  std::string role;  ///< e.g. "geometry", "texture", "warp_field"
+};
+
+using LayerAttrs =
+    std::variant<InputAttrs, Conv2dAttrs, ActivationAttrs, Upsample2xAttrs,
+                 MaxPoolAttrs, DenseAttrs, ReshapeAttrs, ConcatAttrs,
+                 OutputAttrs>;
+
+/// One node of the network DAG. `out_shape` is filled in by validation.
+struct Layer {
+  LayerId id = kInvalidLayer;
+  LayerKind kind = LayerKind::kInput;
+  std::string name;
+  LayerAttrs attrs = InputAttrs{};
+  std::vector<LayerId> inputs;
+  TensorShape out_shape;
+
+  const Conv2dAttrs& conv() const;
+  const DenseAttrs& dense() const;
+  const InputAttrs& input() const;
+  const OutputAttrs& output() const;
+  const ActivationAttrs& activation() const;
+  const MaxPoolAttrs& max_pool() const;
+  const ReshapeAttrs& reshape() const;
+  const Upsample2xAttrs& upsample() const;
+};
+
+}  // namespace fcad::nn

@@ -1,0 +1,254 @@
+#include "nn/serialize.hpp"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "nn/builder.hpp"
+
+namespace fcad::nn {
+namespace {
+
+std::string inputs_field(const Layer& layer) {
+  std::ostringstream os;
+  os << "in=";
+  for (std::size_t i = 0; i < layer.inputs.size(); ++i) {
+    if (i) os << ',';
+    os << layer.inputs[i];
+  }
+  return os.str();
+}
+
+void render_layer(std::ostringstream& os, const Layer& layer) {
+  os << layer.id << ' ' << to_string(layer.kind) << ' ';
+  switch (layer.kind) {
+    case LayerKind::kInput: {
+      const TensorShape& s = layer.input().shape;
+      os << layer.name << ' ' << s.ch << ' ' << s.h << ' ' << s.w;
+      break;
+    }
+    case LayerKind::kConv2d: {
+      const auto& a = layer.conv();
+      os << layer.name << ' ' << inputs_field(layer) << ' ' << a.out_ch << ' '
+         << a.kernel << ' ' << a.stride << ' ' << (a.untied_bias ? 1 : 0)
+         << ' ' << (a.bias ? 1 : 0);
+      break;
+    }
+    case LayerKind::kActivation:
+      os << layer.name << ' ' << inputs_field(layer) << ' '
+         << to_string(layer.activation().kind);
+      break;
+    case LayerKind::kUpsample2x:
+      os << layer.name << ' ' << inputs_field(layer) << ' '
+         << (layer.upsample().mode == Upsample2xAttrs::Mode::kNearest
+                 ? "nearest"
+                 : "bilinear");
+      break;
+    case LayerKind::kMaxPool: {
+      const auto& a = layer.max_pool();
+      os << layer.name << ' ' << inputs_field(layer) << ' ' << a.kernel << ' '
+         << a.stride;
+      break;
+    }
+    case LayerKind::kDense: {
+      const auto& a = layer.dense();
+      os << layer.name << ' ' << inputs_field(layer) << ' ' << a.out_features
+         << ' ' << (a.bias ? 1 : 0);
+      break;
+    }
+    case LayerKind::kReshape: {
+      const TensorShape& s = layer.reshape().out;
+      os << layer.name << ' ' << inputs_field(layer) << ' ' << s.ch << ' '
+         << s.h << ' ' << s.w;
+      break;
+    }
+    case LayerKind::kConcat:
+      os << layer.name << ' ' << inputs_field(layer);
+      break;
+    case LayerKind::kOutput:
+      os << layer.output().role << ' ' << inputs_field(layer);
+      break;
+  }
+  os << '\n';
+}
+
+/// Splits a whitespace-separated line into tokens.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) {
+    if (tok[0] == '#') break;
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : stream_(text) {}
+
+  StatusOr<Graph> run() {
+    std::string line;
+    std::optional<GraphBuilder> builder;
+    int line_no = 0;
+    while (std::getline(stream_, line)) {
+      ++line_no;
+      std::vector<std::string> tok = tokenize(line);
+      if (tok.empty()) continue;
+      if (tok[0] == "graph") {
+        if (builder.has_value()) return error(line_no, "duplicate graph line");
+        if (tok.size() != 2) return error(line_no, "graph line needs a name");
+        builder.emplace(tok[1]);
+        continue;
+      }
+      if (!builder.has_value()) {
+        return error(line_no, "layer before 'graph' header");
+      }
+      if (Status s = parse_layer(*builder, tok, line_no); !s.is_ok()) return s;
+    }
+    if (!builder.has_value()) {
+      return Status::invalid_argument("serialize: missing 'graph' header");
+    }
+    return std::move(*builder).build();
+  }
+
+ private:
+  static Status error(int line_no, const std::string& why) {
+    return Status::invalid_argument("serialize: line " +
+                                    std::to_string(line_no) + ": " + why);
+  }
+
+  StatusOr<int> to_int(const std::string& tok, int line_no) {
+    try {
+      std::size_t pos = 0;
+      int v = std::stoi(tok, &pos);
+      if (pos != tok.size()) return error(line_no, "bad integer '" + tok + "'");
+      return v;
+    } catch (const std::exception&) {
+      return error(line_no, "bad integer '" + tok + "'");
+    }
+  }
+
+  /// Parses "in=3,5" into builder-space layer ids.
+  StatusOr<std::vector<LayerId>> parse_inputs(const std::string& tok,
+                                              int line_no) {
+    if (tok.rfind("in=", 0) != 0) return error(line_no, "expected in=<ids>");
+    std::vector<LayerId> ids;
+    std::istringstream is(tok.substr(3));
+    std::string part;
+    while (std::getline(is, part, ',')) {
+      auto v = to_int(part, line_no);
+      if (!v.is_ok()) return v.status();
+      auto it = id_map_.find(*v);
+      if (it == id_map_.end()) {
+        return error(line_no, "unknown input id " + part);
+      }
+      ids.push_back(it->second);
+    }
+    if (ids.empty()) return error(line_no, "empty input list");
+    return ids;
+  }
+
+  Status parse_layer(GraphBuilder& builder,
+                     const std::vector<std::string>& tok, int line_no) {
+    if (tok.size() < 3) return error(line_no, "truncated layer line");
+    auto file_id = to_int(tok[0], line_no);
+    if (!file_id.is_ok()) return file_id.status();
+    const std::string& kind = tok[1];
+    const std::string& name = tok[2];
+
+    auto ints = [&](std::size_t from, std::size_t n,
+                    std::vector<int>& out) -> Status {
+      if (tok.size() < from + n) return error(line_no, "missing fields");
+      for (std::size_t i = 0; i < n; ++i) {
+        auto v = to_int(tok[from + i], line_no);
+        if (!v.is_ok()) return v.status();
+        out.push_back(*v);
+      }
+      return Status::ok();
+    };
+
+    LayerId id = kInvalidLayer;
+    if (kind == "input") {
+      std::vector<int> v;
+      if (Status s = ints(3, 3, v); !s.is_ok()) return s;
+      id = builder.input(name, {v[0], v[1], v[2]});
+    } else {
+      if (tok.size() < 4) return error(line_no, "missing in= field");
+      auto ins = parse_inputs(tok[3], line_no);
+      if (!ins.is_ok()) return ins.status();
+      if (kind == "conv2d") {
+        std::vector<int> v;
+        if (Status s = ints(4, 5, v); !s.is_ok()) return s;
+        id = builder.conv2d((*ins)[0], name,
+                            {.out_ch = v[0],
+                             .kernel = v[1],
+                             .stride = v[2],
+                             .untied_bias = v[3] != 0,
+                             .bias = v[4] != 0});
+      } else if (kind == "activation") {
+        if (tok.size() < 5) return error(line_no, "missing activation kind");
+        if (tok[4] == "relu") {
+          id = builder.relu((*ins)[0], name);
+        } else if (tok[4] == "leaky_relu") {
+          id = builder.leaky_relu((*ins)[0], name);
+        } else if (tok[4] == "tanh") {
+          id = builder.tanh((*ins)[0], name);
+        } else {
+          return error(line_no, "unknown activation '" + tok[4] + "'");
+        }
+      } else if (kind == "upsample2x") {
+        if (tok.size() < 5) return error(line_no, "missing upsample mode");
+        Upsample2xAttrs::Mode mode;
+        if (tok[4] == "nearest") {
+          mode = Upsample2xAttrs::Mode::kNearest;
+        } else if (tok[4] == "bilinear") {
+          mode = Upsample2xAttrs::Mode::kBilinear;
+        } else {
+          return error(line_no, "unknown upsample mode '" + tok[4] + "'");
+        }
+        id = builder.upsample2x((*ins)[0], name, mode);
+      } else if (kind == "max_pool") {
+        std::vector<int> v;
+        if (Status s = ints(4, 2, v); !s.is_ok()) return s;
+        id = builder.max_pool((*ins)[0], name, {.kernel = v[0], .stride = v[1]});
+      } else if (kind == "dense") {
+        std::vector<int> v;
+        if (Status s = ints(4, 2, v); !s.is_ok()) return s;
+        id = builder.dense((*ins)[0], name,
+                           {.out_features = v[0], .bias = v[1] != 0});
+      } else if (kind == "reshape") {
+        std::vector<int> v;
+        if (Status s = ints(4, 3, v); !s.is_ok()) return s;
+        id = builder.reshape((*ins)[0], name, {v[0], v[1], v[2]});
+      } else if (kind == "concat") {
+        id = builder.concat(*ins, name);
+      } else if (kind == "output") {
+        id = builder.output((*ins)[0], name);
+      } else {
+        return error(line_no, "unknown layer kind '" + kind + "'");
+      }
+    }
+    id_map_[*file_id] = id;
+    return Status::ok();
+  }
+
+  std::istringstream stream_;
+  std::map<int, LayerId> id_map_;
+};
+
+}  // namespace
+
+std::string to_text(const Graph& graph) {
+  std::ostringstream os;
+  os << "graph " << graph.name() << '\n';
+  for (const Layer& layer : graph.layers()) render_layer(os, layer);
+  return os.str();
+}
+
+StatusOr<Graph> from_text(const std::string& text) {
+  return Parser(text).run();
+}
+
+}  // namespace fcad::nn

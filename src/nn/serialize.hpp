@@ -1,0 +1,31 @@
+// Text serialization of graphs — one layer per line — so decoder models can
+// be exported from ML frameworks and re-imported by the F-CAD flow, and so
+// tests can round-trip graphs.
+//
+// Format (whitespace-separated fields; '#' starts a comment):
+//   graph <name>
+//   <id> input <name> ch h w
+//   <id> conv2d <name> in=<id> out_ch k stride untied bias
+//   <id> activation <name> in=<id> relu|leaky_relu|tanh
+//   <id> upsample2x <name> in=<id> nearest|bilinear
+//   <id> max_pool <name> in=<id> k stride
+//   <id> dense <name> in=<id> out_features bias
+//   <id> reshape <name> in=<id> ch h w
+//   <id> concat <name> in=<id,id,...>
+//   <id> output <role> in=<id>
+#pragma once
+
+#include <string>
+
+#include "nn/graph.hpp"
+#include "util/status.hpp"
+
+namespace fcad::nn {
+
+/// Renders `graph` in the line format above.
+std::string to_text(const Graph& graph);
+
+/// Parses the line format; returns a validated Graph or the first error.
+StatusOr<Graph> from_text(const std::string& text);
+
+}  // namespace fcad::nn

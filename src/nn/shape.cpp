@@ -1,0 +1,13 @@
+#include "nn/shape.hpp"
+
+#include <sstream>
+
+namespace fcad::nn {
+
+std::string TensorShape::to_string() const {
+  std::ostringstream os;
+  os << '[' << ch << ',' << h << ',' << w << ']';
+  return os.str();
+}
+
+}  // namespace fcad::nn

@@ -1,0 +1,28 @@
+// Tensor shapes. The IR is 2D-feature-map centric (channels x height x
+// width) because every layer the decoder and the calibration backbones use is
+// either an image op or a dense layer viewed as a 1x1 feature map.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fcad::nn {
+
+/// Channels-height-width shape of one activation tensor (batch excluded; the
+/// accelerator handles batch by pipeline replication).
+struct TensorShape {
+  int ch = 0;
+  int h = 0;
+  int w = 0;
+
+  std::int64_t elems() const {
+    return static_cast<std::int64_t>(ch) * h * w;
+  }
+
+  bool operator==(const TensorShape&) const = default;
+
+  /// "[ch,h,w]".
+  std::string to_string() const;
+};
+
+}  // namespace fcad::nn

@@ -1,0 +1,120 @@
+#include "nn/validate.hpp"
+
+#include <sstream>
+
+namespace fcad::nn {
+namespace {
+
+Status fail(const Layer& layer, const std::string& why) {
+  std::ostringstream os;
+  os << "layer '" << layer.name << "' (id " << layer.id << ", "
+     << to_string(layer.kind) << "): " << why;
+  return Status::invalid_argument(os.str());
+}
+
+Status check_arity(const Layer& layer) {
+  const std::size_t n = layer.inputs.size();
+  switch (layer.kind) {
+    case LayerKind::kInput:
+      if (n != 0) return fail(layer, "input layer cannot have predecessors");
+      return Status::ok();
+    case LayerKind::kConcat:
+      if (n < 1) return fail(layer, "concat needs at least one input");
+      return Status::ok();
+    default:
+      if (n != 1) return fail(layer, "expected exactly one input");
+      return Status::ok();
+  }
+}
+
+Status check_shapes(const Graph& graph, const Layer& layer) {
+  switch (layer.kind) {
+    case LayerKind::kInput: {
+      const TensorShape& s = layer.input().shape;
+      if (s.ch <= 0 || s.h <= 0 || s.w <= 0) {
+        return fail(layer, "input shape must be positive, got " + s.to_string());
+      }
+      return Status::ok();
+    }
+    case LayerKind::kConv2d: {
+      const auto& a = layer.conv();
+      if (a.out_ch <= 0 || a.kernel <= 0 || a.stride <= 0) {
+        return fail(layer, "conv attributes must be positive");
+      }
+      if (a.untied_bias && !a.bias) {
+        return fail(layer, "untied_bias requires bias");
+      }
+      return Status::ok();
+    }
+    case LayerKind::kMaxPool: {
+      const auto& a = layer.max_pool();
+      if (a.kernel <= 0 || a.stride <= 0) {
+        return fail(layer, "pool attributes must be positive");
+      }
+      return Status::ok();
+    }
+    case LayerKind::kDense: {
+      if (layer.dense().out_features <= 0) {
+        return fail(layer, "dense out_features must be positive");
+      }
+      return Status::ok();
+    }
+    case LayerKind::kReshape: {
+      const Layer& in = graph.layer(layer.inputs[0]);
+      if (layer.reshape().out.elems() != in.out_shape.elems()) {
+        return fail(layer, "reshape changes element count: " +
+                               in.out_shape.to_string() + " -> " +
+                               layer.reshape().out.to_string());
+      }
+      return Status::ok();
+    }
+    case LayerKind::kConcat: {
+      const Layer& first = graph.layer(layer.inputs[0]);
+      for (LayerId id : layer.inputs) {
+        const Layer& in = graph.layer(id);
+        if (in.out_shape.h != first.out_shape.h ||
+            in.out_shape.w != first.out_shape.w) {
+          return fail(layer, "concat inputs disagree on spatial dims");
+        }
+      }
+      return Status::ok();
+    }
+    case LayerKind::kActivation:
+    case LayerKind::kUpsample2x:
+    case LayerKind::kOutput:
+      return Status::ok();
+  }
+  return Status::internal("unhandled layer kind in validation");
+}
+
+}  // namespace
+
+Status validate(const Graph& graph) {
+  if (graph.input_ids().empty()) {
+    return Status::invalid_argument("graph '" + graph.name() +
+                                    "' has no input layer");
+  }
+  if (graph.output_ids().empty()) {
+    return Status::invalid_argument("graph '" + graph.name() +
+                                    "' has no output layer");
+  }
+  for (const Layer& layer : graph.layers()) {
+    for (LayerId in : layer.inputs) {
+      if (in < 0 || in >= layer.id) {
+        return fail(layer, "edge does not point to an earlier layer");
+      }
+    }
+    if (Status s = check_arity(layer); !s.is_ok()) return s;
+    if (Status s = check_shapes(graph, layer); !s.is_ok()) return s;
+  }
+  // Dead code detection: every layer without consumers must be an output.
+  for (const Layer& layer : graph.layers()) {
+    if (graph.consumers(layer.id).empty() &&
+        layer.kind != LayerKind::kOutput) {
+      return fail(layer, "dangling layer (no consumer and not an output)");
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace fcad::nn

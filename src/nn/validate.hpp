@@ -1,0 +1,18 @@
+// Structural validation of network graphs.
+#pragma once
+
+#include "nn/graph.hpp"
+#include "util/status.hpp"
+
+namespace fcad::nn {
+
+/// Checks the invariants documented on Graph:
+///  * at least one input and one output layer;
+///  * every edge points to an earlier layer (acyclic by construction);
+///  * arity rules (inputs have no predecessor, concat >= 1, others exactly 1);
+///  * shape rules (concat spatial match, reshape element count, conv/pool
+///    positive dims, dense on flattenable input);
+///  * every non-output leaf is unreachable dead code -> rejected.
+Status validate(const Graph& graph);
+
+}  // namespace fcad::nn

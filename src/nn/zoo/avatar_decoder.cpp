@@ -1,0 +1,90 @@
+#include "nn/zoo/avatar_decoder.hpp"
+
+#include <string>
+#include <vector>
+
+#include "nn/builder.hpp"
+
+namespace fcad::nn::zoo {
+namespace {
+
+constexpr int kKernel = 4;
+
+/// Appends one [CAU] block (customized Conv + LeakyReLU + 2x up-sample).
+LayerId cau(GraphBuilder& b, LayerId x, const std::string& prefix, int out_ch,
+            bool untied) {
+  x = b.conv2d(x, prefix + "_conv",
+               {.out_ch = out_ch, .kernel = kKernel, .stride = 1,
+                .untied_bias = untied, .bias = true});
+  x = b.leaky_relu(x, prefix + "_act");
+  return b.upsample2x(x, prefix + "_up");
+}
+
+/// Final plain C (no activation / up-sample behind it in Table I).
+LayerId final_conv(GraphBuilder& b, LayerId x, const std::string& name,
+                   int out_ch, bool untied) {
+  return b.conv2d(x, name,
+                  {.out_ch = out_ch, .kernel = kKernel, .stride = 1,
+                   .untied_bias = untied, .bias = true});
+}
+
+Graph build(bool untied) {
+  GraphBuilder b(untied ? "avatar_decoder" : "mimic_decoder");
+
+  // TX latent code (256-d) and RX view code (192-d), reshaped onto 8x8 grids
+  // exactly as Sec. II describes.
+  LayerId latent = b.input("latent_code", {256, 1, 1});
+  LayerId view = b.input("view_code", {192, 1, 1});
+  LayerId latent_map = b.reshape(latent, "latent_map", {4, 8, 8});
+  LayerId view_map = b.reshape(view, "view_map", {3, 8, 8});
+
+  // Br.1 — facial geometry: [4,8,8] -> [CAU]x5 + C -> [3,256,256].
+  {
+    const std::vector<int> ch = {256, 128, 96, 48, 16};
+    LayerId x = latent_map;
+    for (std::size_t i = 0; i < ch.size(); ++i) {
+      x = cau(b, x, "br1_l" + std::to_string(i + 1), ch[i], untied);
+    }
+    x = final_conv(b, x, "br1_l6_conv", 3, untied);
+    b.output(x, kGeometryRole);
+  }
+
+  // Shared front of Br.2 / Br.3: concat(latent, view) -> [CAU]x2.
+  LayerId shared = b.concat({latent_map, view_map}, "latent_view");
+  shared = cau(b, shared, "sh_l1", 256, untied);
+  shared = cau(b, shared, "sh_l2", 768, untied);
+
+  // Br.2 — view-dependent texture: 5 more CAU + C -> [3,1024,1024].
+  {
+    const std::vector<int> ch = {64, 64, 64, 16, 16};
+    LayerId x = shared;
+    for (std::size_t i = 0; i < ch.size(); ++i) {
+      // br2_l3 .. br2_l7; br2_l7 is the 16-in/16-out Conv7 of Fig. 3.
+      x = cau(b, x, "br2_l" + std::to_string(i + 3), ch[i], untied);
+    }
+    x = final_conv(b, x, "br2_l8_conv", 3, untied);
+    b.output(x, kTextureRole);
+  }
+
+  // Br.3 — warp field: 3 more CAU + C -> [2,256,256].
+  {
+    const std::vector<int> ch = {96, 64, 32};
+    LayerId x = shared;
+    for (std::size_t i = 0; i < ch.size(); ++i) {
+      x = cau(b, x, "br3_l" + std::to_string(i + 3), ch[i], untied);
+    }
+    x = final_conv(b, x, "br3_l6_conv", 2, untied);
+    b.output(x, kWarpFieldRole);
+  }
+
+  auto graph = std::move(b).build();
+  FCAD_CHECK_MSG(graph.is_ok(), graph.status().message());
+  return std::move(graph).value();
+}
+
+}  // namespace
+
+Graph avatar_decoder() { return build(/*untied=*/true); }
+Graph mimic_decoder() { return build(/*untied=*/false); }
+
+}  // namespace fcad::nn::zoo

@@ -1,0 +1,41 @@
+// The codec avatar decoder of Table I, plus the tied-bias "mimic" variant
+// used to evaluate DNNBuilder / HybridDNN (Sec. III).
+//
+// The paper publishes only the branch grammar ([CAU]xN + C), the input/output
+// shapes, and the per-branch GOP / parameter totals; the concrete channel
+// widths are proprietary. The widths below were calibrated so that the
+// reproduction matches the published distribution:
+//
+//   branch   paper GOP (share)   ours    paper params (share)   ours
+//   Br.1     1.9  (10.5%)        ~1.8    1.1M (12.1%)           ~0.9M
+//   Br.2     11.3 (62.4%)        ~11.8   6.1M (67.0%)           ~5.5M
+//   Br.3     4.9  (27.1%)        ~4.4    1.9M (20.9%)           ~1.4M
+//
+// and so that the seventh Conv of Br.2 has 16 input / 16 output channels —
+// the layer Sec. III singles out as DNNBuilder's parallelism bottleneck.
+//
+// Structure (all convs are the customized Conv: kernel 4, same padding,
+// untied bias, fused LeakyReLU; U = 2x nearest up-sampling):
+//   Br.1: latent[256] -> reshape[4,8,8] -> [CAU]x5 + C -> [3,256,256]
+//   shared: concat(latent[4,8,8], view[3,8,8]) -> [CAU]x2   (stages S1, S2)
+//   Br.2: shared -> [CAU]x5 + C -> [3,1024,1024]  (7 CAU + C total)
+//   Br.3: shared -> [CAU]x3 + C -> [2,256,256]    (5 CAU + C total)
+#pragma once
+
+#include "nn/graph.hpp"
+
+namespace fcad::nn::zoo {
+
+/// Branch output roles, in Table-I order.
+inline constexpr const char* kGeometryRole = "geometry";
+inline constexpr const char* kTextureRole = "texture";
+inline constexpr const char* kWarpFieldRole = "warp_field";
+
+/// The targeted decoder (customized Conv with untied bias).
+Graph avatar_decoder();
+
+/// The mimic decoder: identical topology with conventional (tied-bias) Conv,
+/// used for baselines that do not support the customized layer.
+Graph mimic_decoder();
+
+}  // namespace fcad::nn::zoo

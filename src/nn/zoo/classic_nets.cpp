@@ -1,0 +1,115 @@
+#include "nn/zoo/classic_nets.hpp"
+
+#include <string>
+
+#include "nn/builder.hpp"
+
+namespace fcad::nn::zoo {
+namespace {
+
+LayerId conv_relu(GraphBuilder& b, LayerId x, const std::string& name,
+                  int out_ch, int kernel, int stride = 1) {
+  x = b.conv2d(x, name,
+               {.out_ch = out_ch, .kernel = kernel, .stride = stride,
+                .untied_bias = false, .bias = true});
+  return b.relu(x, name + "_relu");
+}
+
+LayerId fc_relu(GraphBuilder& b, LayerId x, const std::string& name, int out) {
+  x = b.dense(x, name, {.out_features = out, .bias = true});
+  return b.relu(x, name + "_relu");
+}
+
+Graph finish(GraphBuilder&& b, LayerId logits) {
+  b.output(logits, "logits");
+  auto graph = std::move(b).build();
+  FCAD_CHECK_MSG(graph.is_ok(), graph.status().message());
+  return std::move(graph).value();
+}
+
+}  // namespace
+
+Graph alexnet() {
+  GraphBuilder b("alexnet");
+  LayerId x = b.input("image", {3, 224, 224});
+  x = conv_relu(b, x, "conv1", 64, 11, 4);
+  x = b.max_pool(x, "pool1", {.kernel = 3, .stride = 2});
+  x = conv_relu(b, x, "conv2", 192, 5);
+  x = b.max_pool(x, "pool2", {.kernel = 3, .stride = 2});
+  x = conv_relu(b, x, "conv3", 384, 3);
+  x = conv_relu(b, x, "conv4", 256, 3);
+  x = conv_relu(b, x, "conv5", 256, 3);
+  x = b.max_pool(x, "pool5", {.kernel = 3, .stride = 2});
+  x = fc_relu(b, x, "fc6", 4096);
+  x = fc_relu(b, x, "fc7", 4096);
+  x = b.dense(x, "fc8", {.out_features = 1000, .bias = true});
+  return finish(std::move(b), x);
+}
+
+Graph zfnet() {
+  GraphBuilder b("zfnet");
+  LayerId x = b.input("image", {3, 224, 224});
+  x = conv_relu(b, x, "conv1", 96, 7, 2);
+  x = b.max_pool(x, "pool1", {.kernel = 3, .stride = 2});
+  x = conv_relu(b, x, "conv2", 256, 5, 2);
+  x = b.max_pool(x, "pool2", {.kernel = 3, .stride = 2});
+  x = conv_relu(b, x, "conv3", 384, 3);
+  x = conv_relu(b, x, "conv4", 384, 3);
+  x = conv_relu(b, x, "conv5", 256, 3);
+  x = b.max_pool(x, "pool5", {.kernel = 3, .stride = 2});
+  x = fc_relu(b, x, "fc6", 4096);
+  x = fc_relu(b, x, "fc7", 4096);
+  x = b.dense(x, "fc8", {.out_features = 1000, .bias = true});
+  return finish(std::move(b), x);
+}
+
+Graph vgg16() {
+  GraphBuilder b("vgg16");
+  LayerId x = b.input("image", {3, 224, 224});
+  const struct {
+    int convs;
+    int ch;
+  } blocks[] = {{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512}};
+  int idx = 1;
+  for (int blk = 0; blk < 5; ++blk) {
+    for (int c = 0; c < blocks[blk].convs; ++c) {
+      x = conv_relu(b, x, "conv" + std::to_string(idx++), blocks[blk].ch, 3);
+    }
+    x = b.max_pool(x, "pool" + std::to_string(blk + 1),
+                   {.kernel = 2, .stride = 2});
+  }
+  x = fc_relu(b, x, "fc6", 4096);
+  x = fc_relu(b, x, "fc7", 4096);
+  x = b.dense(x, "fc8", {.out_features = 1000, .bias = true});
+  return finish(std::move(b), x);
+}
+
+Graph tiny_yolo() {
+  GraphBuilder b("tiny_yolo");
+  LayerId x = b.input("image", {3, 416, 416});
+  const int ch[] = {16, 32, 64, 128, 256, 512};
+  for (int i = 0; i < 6; ++i) {
+    x = conv_relu(b, x, "conv" + std::to_string(i + 1), ch[i], 3);
+    // The 6th pool of Tiny-YOLO is stride 1 in the original; stride 2 for the
+    // first five.
+    x = b.max_pool(x, "pool" + std::to_string(i + 1),
+                   {.kernel = 2, .stride = i < 5 ? 2 : 1});
+  }
+  x = conv_relu(b, x, "conv7", 1024, 3);
+  x = conv_relu(b, x, "conv8", 1024, 3);
+  x = b.conv2d(x, "conv9",
+               {.out_ch = 125, .kernel = 1, .stride = 1, .untied_bias = false,
+                .bias = true});
+  return finish(std::move(b), x);
+}
+
+std::vector<Graph> calibration_benchmarks() {
+  std::vector<Graph> nets;
+  nets.push_back(alexnet());
+  nets.push_back(zfnet());
+  nets.push_back(vgg16());
+  nets.push_back(tiny_yolo());
+  return nets;
+}
+
+}  // namespace fcad::nn::zoo

@@ -1,0 +1,18 @@
+// The four single-branch backbones the paper uses to validate its analytical
+// performance model against board-level implementations (Figs. 6-7):
+// AlexNet, ZFNet, VGG16, and Tiny-YOLO.
+#pragma once
+
+#include "nn/graph.hpp"
+
+namespace fcad::nn::zoo {
+
+Graph alexnet();
+Graph zfnet();
+Graph vgg16();
+Graph tiny_yolo();
+
+/// All four, in the order benchmarks 1..4 of Figs. 6-7 use them.
+std::vector<Graph> calibration_benchmarks();
+
+}  // namespace fcad::nn::zoo

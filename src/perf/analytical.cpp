@@ -1,0 +1,37 @@
+#include "perf/analytical.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace fcad::perf {
+
+double latency_eq4_cycles(int out_ch, int in_ch, int height, int width,
+                          int kernel, int cpf, int kpf, int h) {
+  FCAD_CHECK(out_ch > 0 && in_ch > 0 && height > 0 && width > 0 && kernel > 0);
+  FCAD_CHECK(cpf > 0 && kpf > 0 && h > 0);
+  const double macs = static_cast<double>(out_ch) * in_ch * height * width *
+                      kernel * kernel;
+  return macs / (static_cast<double>(cpf) * kpf * h);
+}
+
+double latency_eq4_seconds(int out_ch, int in_ch, int height, int width,
+                           int kernel, int cpf, int kpf, int h,
+                           double freq_mhz) {
+  FCAD_CHECK(freq_mhz > 0);
+  return latency_eq4_cycles(out_ch, in_ch, height, width, kernel, cpf, kpf,
+                            h) /
+         (freq_mhz * 1e6);
+}
+
+double fps_eq5(int batch_size, const std::vector<double>& stage_cycles,
+               double freq_mhz) {
+  FCAD_CHECK(batch_size > 0);
+  FCAD_CHECK(!stage_cycles.empty());
+  const double bottleneck =
+      *std::max_element(stage_cycles.begin(), stage_cycles.end());
+  FCAD_CHECK(bottleneck > 0);
+  return batch_size * freq_mhz * 1e6 / bottleneck;
+}
+
+}  // namespace fcad::perf

@@ -1,0 +1,28 @@
+// The paper's analytical performance model, Eqs. 4-5, as standalone
+// formulas. arch::evaluate() composes these over a whole accelerator; they
+// are exposed here for direct use (and for the unit tests that pin the
+// formulas to hand-computed values).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fcad::perf {
+
+/// Eq. 4: latency (cycles) of a Conv-like layer with input feature map
+/// InCh x H x W, kernel OutCh x InCh x K x K, under 3D parallelism
+/// (cpf, kpf, h). Stride-1 same-padding assumed (H, W are both the input and
+/// output spatial dims).
+double latency_eq4_cycles(int out_ch, int in_ch, int height, int width,
+                          int kernel, int cpf, int kpf, int h);
+
+/// Eq. 4 expressed in seconds at frequency `freq_mhz`.
+double latency_eq4_seconds(int out_ch, int in_ch, int height, int width,
+                           int kernel, int cpf, int kpf, int h,
+                           double freq_mhz);
+
+/// Eq. 5: branch throughput = batch size over the slowest pipeline stage.
+double fps_eq5(int batch_size, const std::vector<double>& stage_cycles,
+               double freq_mhz);
+
+}  // namespace fcad::perf

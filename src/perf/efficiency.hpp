@@ -1,0 +1,17 @@
+// Eq. 3: hardware efficiency = delivered GOP/s over theoretical peak.
+#pragma once
+
+#include "nn/dtype.hpp"
+
+namespace fcad::perf {
+
+/// Eq. 3: EFFI = GOPS / (beta * multipliers * FREQ), with `multipliers`
+/// counted as DSP slices and beta = ops per DSP per cycle (4 at 8-bit, 2 at
+/// 16-bit; see nn::beta_ops_per_dsp).
+double efficiency_eq3(double gops, nn::DataType operand_type, int dsps,
+                      double freq_mhz);
+
+/// Theoretical peak GOP/s of `dsps` DSP slices at `freq_mhz`.
+double peak_gops(nn::DataType operand_type, int dsps, double freq_mhz);
+
+}  // namespace fcad::perf

@@ -1,0 +1,28 @@
+#include "sim/ddr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace fcad::sim {
+
+DdrModel::DdrModel(double bytes_per_cycle, double congestion)
+    : bytes_per_cycle_(bytes_per_cycle), congestion_(congestion) {
+  FCAD_CHECK(bytes_per_cycle_ > 0);
+  FCAD_CHECK(congestion_ >= 1.0);
+}
+
+std::int64_t DdrModel::cycles(std::int64_t bytes) const {
+  if (bytes <= 0) return 0;
+  return static_cast<std::int64_t>(
+      std::ceil(static_cast<double>(bytes) * congestion_ / bytes_per_cycle_));
+}
+
+double DdrModel::congestion_for(double demand_bytes_per_s,
+                                double capacity_bytes_per_s) {
+  FCAD_CHECK(capacity_bytes_per_s > 0);
+  return std::max(1.0, demand_bytes_per_s / capacity_bytes_per_s);
+}
+
+}  // namespace fcad::sim

@@ -1,0 +1,32 @@
+// Shared external-memory model for the simulator: converts byte counts to
+// cycles at the platform's DDR bandwidth, with a congestion factor for
+// oversubscription (all pipelines share one memory controller).
+#pragma once
+
+#include <cstdint>
+
+namespace fcad::sim {
+
+class DdrModel {
+ public:
+  /// `bytes_per_cycle` at the accelerator clock; `congestion` >= 1 scales
+  /// service time when aggregate demand exceeds capacity.
+  DdrModel(double bytes_per_cycle, double congestion = 1.0);
+
+  /// Cycles to transfer `bytes` (ceil, including congestion).
+  std::int64_t cycles(std::int64_t bytes) const;
+
+  double bytes_per_cycle() const { return bytes_per_cycle_; }
+  double congestion() const { return congestion_; }
+
+  /// Congestion factor for a measured demand (bytes/s) against capacity
+  /// (bytes/s): max(1, demand / capacity).
+  static double congestion_for(double demand_bytes_per_s,
+                               double capacity_bytes_per_s);
+
+ private:
+  double bytes_per_cycle_;
+  double congestion_;
+};
+
+}  // namespace fcad::sim

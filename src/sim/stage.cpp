@@ -1,0 +1,89 @@
+#include "sim/stage.hpp"
+
+#include <algorithm>
+
+#include "arch/resource_model.hpp"
+
+namespace fcad::sim {
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+int StageSimModel::conv_row_for_final(int final_row) const {
+  switch (post) {
+    case PostMap::kNone:
+      return std::min(final_row, conv_rows - 1);
+    case PostMap::kUpsample:
+      return std::min(final_row / 2, conv_rows - 1);
+    case PostMap::kPool:
+      return std::min(final_row * pool_stride + pool_kernel - 1,
+                      conv_rows - 1);
+  }
+  return conv_rows - 1;
+}
+
+int StageSimModel::needed_input_row(int r) const {
+  // Same padding: output row r reads input rows [r*stride - pad_top,
+  // r*stride - pad_top + K - 1]; the last of them gates the computation.
+  const int pad_top = (kernel - stride) / 2;
+  const int last = r * stride - pad_top + kernel - 1;
+  return std::clamp(last, 0, in_rows - 1);
+}
+
+StageSimModel build_stage_sim(const arch::ReorganizedModel& model,
+                              int stage_idx, const arch::UnitConfig& cfg,
+                              nn::DataType dw, nn::DataType ww) {
+  const arch::FusedStage& st = model.stage(stage_idx);
+  FCAD_CHECK_MSG(arch::fits_stage(cfg, st), "sim: config does not fit stage");
+
+  StageSimModel m;
+  m.stage_idx = stage_idx;
+  const auto& ins = model.fused.stage_inputs[static_cast<std::size_t>(stage_idx)];
+  m.producer = ins.empty() ? -1 : ins[0];
+
+  m.conv_rows = st.out_h;
+  m.final_rows = st.final_h;
+  m.in_rows = st.in_h;
+  m.slabs = cfg.h;
+  m.rows_per_slab = static_cast<int>(ceil_div(st.out_h, cfg.h));
+  m.stride = st.stride;
+  m.kernel = st.kernel;
+
+  if (st.has_upsample) {
+    m.post = StageSimModel::PostMap::kUpsample;
+  } else if (st.has_pool) {
+    m.post = StageSimModel::PostMap::kPool;
+    // The folded pool's params are not kept on FusedStage; recover the
+    // stride from the row ratio (kernel ~= stride for the nets we model).
+    m.pool_stride = std::max(1, st.out_h / std::max(1, st.final_h));
+    m.pool_kernel = m.pool_stride;
+  }
+
+  // Per-conv-row compute: input tiles x output tiles x W x K^2 cycles.
+  const std::int64_t in_tiles = ceil_div(st.in_ch, cfg.cpf);
+  const std::int64_t out_tiles = ceil_div(st.out_ch, cfg.kpf);
+  m.row_cycles = in_tiles * out_tiles * st.out_w *
+                 static_cast<std::int64_t>(st.kernel) * st.kernel;
+  m.out_tile_passes = out_tiles;
+
+  // DDR streams.
+  if (st.has_bias) {
+    const std::int64_t bias_bytes = st.bias_params * nn::bytes(ww);
+    m.bias_bytes_per_row = ceil_div(bias_bytes, st.out_h);
+  }
+  if (m.producer == -1) {
+    const std::int64_t in_bytes = static_cast<std::int64_t>(st.in_ch) *
+                                  st.in_h * st.in_w * nn::bytes(dw);
+    m.input_bytes_per_row = ceil_div(in_bytes, st.out_h);
+  }
+  if (!arch::weights_resident(st, ww)) {
+    m.weight_fetch_bytes = st.weight_params * nn::bytes(ww);
+  }
+  return m;
+}
+
+}  // namespace fcad::sim

@@ -1,0 +1,57 @@
+// Static per-stage timing model derived from a FusedStage + UnitConfig:
+// everything the row-level simulator needs to replay one pipeline stage.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/reorg.hpp"
+#include "arch/unit.hpp"
+#include "nn/dtype.hpp"
+
+namespace fcad::sim {
+
+struct StageSimModel {
+  int stage_idx = -1;
+  int producer = -1;  ///< producing stage index, -1 = network input
+
+  // Row geometry. The unit computes `conv_rows` output rows; the folded
+  // post-op (up-sample / pool) re-maps them onto `final_rows` delivered rows.
+  int conv_rows = 1;
+  int final_rows = 1;
+  int in_rows = 1;
+  int slabs = 1;          ///< H-partition: slabs processed in parallel
+  int rows_per_slab = 1;  ///< ceil(conv_rows / slabs)
+  int stride = 1;
+  int kernel = 1;
+
+  enum class PostMap { kNone, kUpsample, kPool };
+  PostMap post = PostMap::kNone;
+  int pool_stride = 1;
+  int pool_kernel = 1;
+
+  /// Cycles of MAC work per computed conv row (ceil-quantized tiles).
+  std::int64_t row_cycles = 0;
+  /// Output-channel tiles per row: the accumulator bank drains once per
+  /// output tile (after all input tiles accumulated), paying a pipeline
+  /// penalty in the simulator.
+  std::int64_t out_tile_passes = 1;
+  /// Streamed bytes tied to a row's output pixels (untied bias slices).
+  std::int64_t bias_bytes_per_row = 0;
+  /// Streamed bytes tied to a row's external input (head stages only).
+  std::int64_t input_bytes_per_row = 0;
+  /// Per-frame weight stream (0 when the kernel set is BRAM-resident).
+  std::int64_t weight_fetch_bytes = 0;
+
+  /// Which of *this* stage's conv rows yields its delivered row `final_row`.
+  int conv_row_for_final(int final_row) const;
+  /// Last producer *delivered* row this stage must see before computing its
+  /// own conv row `r` (same-padding halo included).
+  int needed_input_row(int r) const;
+};
+
+/// Builds the timing model for `stage_idx` of `model` under `cfg`.
+StageSimModel build_stage_sim(const arch::ReorganizedModel& model,
+                              int stage_idx, const arch::UnitConfig& cfg,
+                              nn::DataType dw, nn::DataType ww);
+
+}  // namespace fcad::sim

@@ -1,0 +1,59 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace fcad::sim {
+namespace {
+
+double stage_utilization(const StageSimStats& ss) {
+  const double total =
+      static_cast<double>(ss.busy_cycles) + static_cast<double>(ss.stall_cycles);
+  return total > 0 ? static_cast<double>(ss.busy_cycles) / total : 0.0;
+}
+
+}  // namespace
+
+std::string utilization_chart(const arch::ReorganizedModel& model,
+                              const SimResult& result, int bar_width) {
+  FCAD_CHECK(bar_width >= 4);
+  std::size_t name_width = 0;
+  for (const StageSimStats& ss : result.stages) {
+    name_width = std::max(
+        name_width,
+        model.stage(ss.stage).name.size());
+  }
+
+  std::ostringstream os;
+  os << "stage utilization (#=busy, .=stall share of active time)\n";
+  for (const StageSimStats& ss : result.stages) {
+    const arch::FusedStage& st = model.stage(ss.stage);
+    const double util = stage_utilization(ss);
+    const int busy_cells =
+        static_cast<int>(util * bar_width + 0.5);
+    os << "  Br." << model.owner[static_cast<std::size_t>(ss.stage)] + 1 << ' '
+       << st.name << std::string(name_width - st.name.size(), ' ') << " |"
+       << std::string(static_cast<std::size_t>(busy_cells), '#')
+       << std::string(static_cast<std::size_t>(bar_width - busy_cells), '.')
+       << "| " << format_percent(util, 1) << '\n';
+  }
+  return os.str();
+}
+
+CsvWriter to_csv(const arch::ReorganizedModel& model,
+                 const SimResult& result) {
+  CsvWriter csv({"branch", "stage", "busy_cycles", "stall_cycles",
+                 "utilization"});
+  for (const StageSimStats& ss : result.stages) {
+    const arch::FusedStage& st = model.stage(ss.stage);
+    csv.add_row({std::to_string(model.owner[static_cast<std::size_t>(ss.stage)] + 1),
+                 st.name, std::to_string(ss.busy_cycles),
+                 std::to_string(ss.stall_cycles),
+                 format_fixed(stage_utilization(ss), 4)});
+  }
+  return csv;
+}
+
+}  // namespace fcad::sim

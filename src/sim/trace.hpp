@@ -1,0 +1,22 @@
+// Rendering of simulator results: per-stage utilization charts and CSV
+// export, so a user can see where a generated accelerator spends its cycles.
+#pragma once
+
+#include <string>
+
+#include "arch/reorg.hpp"
+#include "sim/simulator.hpp"
+#include "util/csv.hpp"
+
+namespace fcad::sim {
+
+/// ASCII utilization chart: one bar per stage showing busy vs stall share of
+/// the steady-state frame period, annotated with the stage name and owner.
+std::string utilization_chart(const arch::ReorganizedModel& model,
+                              const SimResult& result, int bar_width = 40);
+
+/// CSV with one row per stage: branch, stage name, busy cycles, stall
+/// cycles, utilization.
+CsvWriter to_csv(const arch::ReorganizedModel& model, const SimResult& result);
+
+}  // namespace fcad::sim

@@ -1,0 +1,118 @@
+#include "util/args.hpp"
+
+#include <sstream>
+
+namespace fcad {
+
+StatusOr<ArgParser> ArgParser::parse(int argc, const char* const* argv) {
+  ArgParser parser;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      parser.positional_.push_back(token);
+      continue;
+    }
+    const std::string body = token.substr(2);
+    if (body.empty()) {
+      return Status::invalid_argument("bare '--' is not a flag");
+    }
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      parser.flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      parser.flags_[body] = argv[++i];
+    } else {
+      parser.flags_[body] = "true";  // bare boolean
+    }
+  }
+  return parser;
+}
+
+bool ArgParser::has(const std::string& flag) const {
+  return flags_.count(flag) > 0;
+}
+
+std::string ArgParser::get(const std::string& flag,
+                           const std::string& fallback) const {
+  auto it = flags_.find(flag);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+StatusOr<std::int64_t> ArgParser::get_int(const std::string& flag,
+                                          std::int64_t fallback) const {
+  auto it = flags_.find(flag);
+  if (it == flags_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    return Status::invalid_argument("--" + flag + " expects an integer, got '" +
+                                    it->second + "'");
+  }
+}
+
+StatusOr<double> ArgParser::get_double(const std::string& flag,
+                                       double fallback) const {
+  auto it = flags_.find(flag);
+  if (it == flags_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    return Status::invalid_argument("--" + flag + " expects a number, got '" +
+                                    it->second + "'");
+  }
+}
+
+namespace {
+
+template <typename T, typename Convert>
+StatusOr<std::vector<T>> split_list(const std::string& flag,
+                                    const std::string& value,
+                                    Convert convert) {
+  std::vector<T> out;
+  std::istringstream is(value);
+  std::string part;
+  while (std::getline(is, part, ',')) {
+    try {
+      std::size_t pos = 0;
+      out.push_back(convert(part, &pos));
+      if (pos != part.size()) throw std::invalid_argument("trailing");
+    } catch (const std::exception&) {
+      return Status::invalid_argument("--" + flag + ": bad list element '" +
+                                      part + "'");
+    }
+  }
+  if (out.empty()) {
+    return Status::invalid_argument("--" + flag + ": empty list");
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<std::vector<int>> ArgParser::get_int_list(
+    const std::string& flag) const {
+  auto it = flags_.find(flag);
+  if (it == flags_.end()) return std::vector<int>{};
+  return split_list<int>(flag, it->second, [](const std::string& s,
+                                              std::size_t* pos) {
+    return std::stoi(s, pos);
+  });
+}
+
+StatusOr<std::vector<double>> ArgParser::get_double_list(
+    const std::string& flag) const {
+  auto it = flags_.find(flag);
+  if (it == flags_.end()) return std::vector<double>{};
+  return split_list<double>(flag, it->second, [](const std::string& s,
+                                                 std::size_t* pos) {
+    return std::stod(s, pos);
+  });
+}
+
+}  // namespace fcad

@@ -1,0 +1,39 @@
+// Minimal command-line flag parser for the fcad_cli driver.
+// Supports --flag=value, --flag value, and bare --flag booleans.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace fcad {
+
+class ArgParser {
+ public:
+  /// Parses argv; unrecognized syntax (non --flag tokens) land in
+  /// positional().
+  static StatusOr<ArgParser> parse(int argc, const char* const* argv);
+
+  bool has(const std::string& flag) const;
+
+  /// Value of --flag, or `fallback` when absent.
+  std::string get(const std::string& flag, const std::string& fallback) const;
+  StatusOr<std::int64_t> get_int(const std::string& flag,
+                                 std::int64_t fallback) const;
+  StatusOr<double> get_double(const std::string& flag, double fallback) const;
+
+  /// Comma-separated integer list, e.g. --batches=1,2,2.
+  StatusOr<std::vector<int>> get_int_list(const std::string& flag) const;
+  /// Comma-separated double list, e.g. --priorities=1,4,1.
+  StatusOr<std::vector<double>> get_double_list(const std::string& flag) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fcad

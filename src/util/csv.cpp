@@ -1,0 +1,58 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/status.hpp"
+
+namespace fcad {
+namespace {
+
+std::string escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void render_row(std::ostringstream& os, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) os << ',';
+    os << escape(row[i]);
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  FCAD_CHECK(!header_.empty());
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  FCAD_CHECK_MSG(row.size() == header_.size(), "csv row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream os;
+  render_row(os, header_);
+  for (const auto& r : rows_) render_row(os, r);
+  return os.str();
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_string();
+  return static_cast<bool>(out);
+}
+
+}  // namespace fcad

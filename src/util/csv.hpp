@@ -1,0 +1,27 @@
+// CSV writer so bench results can be exported for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fcad {
+
+/// Buffers rows and renders RFC-4180-ish CSV (quotes fields containing
+/// commas, quotes, or newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  std::string to_string() const;
+
+  /// Writes to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fcad

@@ -1,0 +1,56 @@
+#include "util/format.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace fcad {
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_count(double value, int decimals) {
+  static constexpr std::array<const char*, 5> suffix = {"", "k", "M", "G", "T"};
+  double mag = std::fabs(value);
+  std::size_t idx = 0;
+  while (mag >= 1000.0 && idx + 1 < suffix.size()) {
+    mag /= 1000.0;
+    value /= 1000.0;
+    ++idx;
+  }
+  return format_fixed(value, idx == 0 ? 0 : decimals) + suffix[idx];
+}
+
+std::string format_bytes(double bytes, int decimals) {
+  static constexpr std::array<const char*, 4> suffix = {"B", "KiB", "MiB",
+                                                        "GiB"};
+  std::size_t idx = 0;
+  while (std::fabs(bytes) >= 1024.0 && idx + 1 < suffix.size()) {
+    bytes /= 1024.0;
+    ++idx;
+  }
+  return format_fixed(bytes, idx == 0 ? 0 : decimals) + suffix[idx];
+}
+
+std::string format_percent(double fraction, int decimals) {
+  return format_fixed(fraction * 100.0, decimals) + "%";
+}
+
+std::string format_int(std::int64_t value) {
+  const bool negative = value < 0;
+  std::string digits = std::to_string(negative ? -value : value);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  if (negative) out += '-';
+  return {out.rbegin(), out.rend()};
+}
+
+}  // namespace fcad

@@ -1,0 +1,25 @@
+// Small numeric formatting helpers shared by reports and benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fcad {
+
+/// Fixed-point decimal, e.g. format_fixed(1.2345, 2) == "1.23".
+std::string format_fixed(double value, int decimals);
+
+/// Engineering-suffixed count, e.g. 13.6G, 7.2M, 1.1k. `decimals` applies to
+/// the scaled mantissa.
+std::string format_count(double value, int decimals = 1);
+
+/// Bytes with binary suffix (KiB/MiB/GiB).
+std::string format_bytes(double bytes, int decimals = 1);
+
+/// Percentage with '%' sign, e.g. format_percent(0.816, 1) == "81.6%".
+std::string format_percent(double fraction, int decimals = 1);
+
+/// Thousands-separated integer, e.g. 13600 -> "13,600".
+std::string format_int(std::int64_t value);
+
+}  // namespace fcad

@@ -1,0 +1,44 @@
+// Minimal leveled logger. The DSE engine logs search progress at Info level;
+// benches lower the level to Warn to keep table output clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fcad {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+#define FCAD_LOG(level)                                     \
+  if (::fcad::LogLevel::level < ::fcad::log_level()) {      \
+  } else                                                    \
+    ::fcad::detail::LogLine(::fcad::LogLevel::level)
+
+}  // namespace fcad

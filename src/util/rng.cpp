@@ -1,0 +1,76 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace fcad {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) {
+  FCAD_CHECK(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  return lo + static_cast<std::int64_t>(next_u64() % span);
+}
+
+double Rng::next_range(double lo, double hi) {
+  FCAD_CHECK(lo <= hi);
+  return lo + (hi - lo) * next_double();
+}
+
+std::vector<double> Rng::next_simplex(std::size_t n) {
+  FCAD_CHECK(n > 0);
+  // Exponential spacings normalized to 1 give a uniform Dirichlet(1,...,1).
+  std::vector<double> w(n);
+  double total = 0.0;
+  for (auto& v : w) {
+    v = -std::log(1.0 - next_double());
+    total += v;
+  }
+  for (auto& v : w) v /= total;
+  return w;
+}
+
+Rng Rng::fork(std::uint64_t salt) {
+  std::uint64_t mix = next_u64() ^ (salt * 0x9e3779b97f4a7c15ULL);
+  return Rng(splitmix64(mix));
+}
+
+}  // namespace fcad

@@ -1,0 +1,44 @@
+// Deterministic pseudo-random number generation for the DSE engine.
+//
+// The stochastic cross-branch search (Algorithm 1) must be reproducible from a
+// seed so that experiments and tests are stable across platforms; we therefore
+// ship our own xoshiro256** generator instead of relying on std::mt19937's
+// distribution implementations (which are not bit-stable across standard
+// libraries for real distributions).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fcad {
+
+/// xoshiro256** PRNG seeded via SplitMix64. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double next_range(double lo, double hi);
+
+  /// Returns a vector of `n` non-negative weights summing to 1.0 (a random
+  /// point on the simplex), used to draw resource distribution candidates.
+  std::vector<double> next_simplex(std::size_t n);
+
+  /// Fork a stream for a sub-component; decorrelated via SplitMix64 of the
+  /// parent stream's output mixed with `salt`.
+  Rng fork(std::uint64_t salt);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace fcad

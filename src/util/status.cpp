@@ -1,0 +1,36 @@
+#include "util/status.hpp"
+
+#include <sstream>
+
+namespace fcad {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kInfeasible: return "INFEASIBLE";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::ostringstream os;
+  os << status_code_name(code_) << ": " << message_;
+  return os.str();
+}
+
+namespace detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& extra) {
+  std::ostringstream os;
+  os << "FCAD_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!extra.empty()) os << " — " << extra;
+  throw InternalError(os.str());
+}
+
+}  // namespace detail
+}  // namespace fcad

@@ -1,0 +1,124 @@
+// Lightweight error handling for the F-CAD library.
+//
+// The library reports recoverable errors (bad user input, infeasible budgets)
+// through Status / StatusOr rather than exceptions, so callers embedding the
+// DSE engine in larger EDA flows can handle failures without unwinding.
+// Programming errors (violated invariants) still use FCAD_CHECK which throws.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace fcad {
+
+/// Error categories surfaced by the public API.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< malformed network / config input
+  kInfeasible,        ///< no design fits the resource budget
+  kNotFound,          ///< lookup miss (platform name, layer id, ...)
+  kInternal,          ///< invariant violation escaped as status
+};
+
+/// Human-readable name of a StatusCode ("OK", "INVALID_ARGUMENT", ...).
+const char* status_code_name(StatusCode code);
+
+/// Value-semantic result of an operation that can fail.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+  static Status invalid_argument(std::string msg) {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status infeasible(std::string msg) {
+    return {StatusCode::kInfeasible, std::move(msg)};
+  }
+  static Status not_found(std::string msg) {
+    return {StatusCode::kNotFound, std::move(msg)};
+  }
+  static Status internal(std::string msg) {
+    return {StatusCode::kInternal, std::move(msg)};
+  }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Exception thrown by FCAD_CHECK on violated invariants.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& extra);
+}  // namespace detail
+
+/// Aborts (by throwing InternalError) when `expr` is false. Used for
+/// invariants that indicate bugs in the library itself, never for user input.
+#define FCAD_CHECK(expr)                                             \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::fcad::detail::check_failed(#expr, __FILE__, __LINE__, "");   \
+    }                                                                \
+  } while (false)
+
+#define FCAD_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::fcad::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                 \
+  } while (false)
+
+/// Either a value or an error Status. Minimal analogue of absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}                // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {         // NOLINT
+    FCAD_CHECK_MSG(!status_.is_ok(), "StatusOr given OK status without value");
+  }
+
+  bool is_ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    FCAD_CHECK_MSG(is_ok(), "StatusOr::value() on error: " + status_.message());
+    return *value_;
+  }
+  T& value() & {
+    FCAD_CHECK_MSG(is_ok(), "StatusOr::value() on error: " + status_.message());
+    return *value_;
+  }
+  T&& value() && {
+    FCAD_CHECK_MSG(is_ok(), "StatusOr::value() on error: " + status_.message());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace fcad

@@ -1,0 +1,67 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/status.hpp"
+
+namespace fcad {
+namespace {
+
+std::string rule(const std::vector<std::size_t>& widths) {
+  std::string out = "+";
+  for (std::size_t w : widths) {
+    out.append(w + 2, '-');
+    out += '+';
+  }
+  out += '\n';
+  return out;
+}
+
+std::string line(const std::vector<std::string>& cells,
+                 const std::vector<std::size_t>& widths) {
+  std::ostringstream os;
+  os << "|";
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    const std::string& cell = i < cells.size() ? cells[i] : std::string();
+    os << ' ' << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  FCAD_CHECK(!header_.empty());
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  FCAD_CHECK_MSG(row.size() == header_.size(), "row arity mismatch");
+  rows_.push_back({std::move(row), pending_separator_});
+  pending_separator_ = false;
+}
+
+void TablePrinter::add_separator() { pending_separator_ = true; }
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const Row& r : rows_) {
+    for (std::size_t i = 0; i < r.cells.size(); ++i) {
+      widths[i] = std::max(widths[i], r.cells[i].size());
+    }
+  }
+  std::string out = rule(widths);
+  out += line(header_, widths);
+  out += rule(widths);
+  for (const Row& r : rows_) {
+    if (r.separator_before) out += rule(widths);
+    out += line(r.cells, widths);
+  }
+  out += rule(widths);
+  return out;
+}
+
+}  // namespace fcad

@@ -1,0 +1,35 @@
+// ASCII table printer used by the bench binaries to emit paper-style tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fcad {
+
+/// Accumulates rows of strings and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator before the next row.
+  void add_separator();
+
+  /// Renders the table ("| a | b |" style with +---+ rules).
+  std::string to_string() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+}  // namespace fcad

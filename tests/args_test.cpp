@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "util/args.hpp"
+
+namespace fcad {
+namespace {
+
+StatusOr<ArgParser> parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return ArgParser::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgsTest, EqualsSyntax) {
+  auto args = parse({"--platform=zu9cg", "--seed=42"});
+  ASSERT_TRUE(args.is_ok());
+  EXPECT_EQ(args->get("platform", ""), "zu9cg");
+  EXPECT_EQ(*args->get_int("seed", 0), 42);
+}
+
+TEST(ArgsTest, SpaceSyntax) {
+  auto args = parse({"--platform", "ku115", "--population", "200"});
+  ASSERT_TRUE(args.is_ok());
+  EXPECT_EQ(args->get("platform", ""), "ku115");
+  EXPECT_EQ(*args->get_int("population", 0), 200);
+}
+
+TEST(ArgsTest, BareBoolean) {
+  auto args = parse({"--simulate", "--quant", "int8"});
+  ASSERT_TRUE(args.is_ok());
+  EXPECT_TRUE(args->has("simulate"));
+  EXPECT_FALSE(args->has("dump-model"));
+}
+
+TEST(ArgsTest, BooleanFollowedByFlag) {
+  auto args = parse({"--simulate", "--seed", "7"});
+  ASSERT_TRUE(args.is_ok());
+  EXPECT_EQ(args->get("simulate", ""), "true");
+  EXPECT_EQ(*args->get_int("seed", 0), 7);
+}
+
+TEST(ArgsTest, Fallbacks) {
+  auto args = parse({});
+  ASSERT_TRUE(args.is_ok());
+  EXPECT_EQ(args->get("missing", "dflt"), "dflt");
+  EXPECT_EQ(*args->get_int("missing", 13), 13);
+  EXPECT_DOUBLE_EQ(*args->get_double("missing", 2.5), 2.5);
+}
+
+TEST(ArgsTest, IntList) {
+  auto args = parse({"--batches=1,2,2"});
+  ASSERT_TRUE(args.is_ok());
+  auto list = args->get_int_list("batches");
+  ASSERT_TRUE(list.is_ok());
+  EXPECT_EQ(*list, (std::vector<int>{1, 2, 2}));
+  // Missing flag: empty list, not an error.
+  auto missing = args->get_int_list("priorities");
+  ASSERT_TRUE(missing.is_ok());
+  EXPECT_TRUE(missing->empty());
+}
+
+TEST(ArgsTest, DoubleList) {
+  auto args = parse({"--priorities=1,4.5,0.1"});
+  ASSERT_TRUE(args.is_ok());
+  auto list = args->get_double_list("priorities");
+  ASSERT_TRUE(list.is_ok());
+  EXPECT_EQ(*list, (std::vector<double>{1.0, 4.5, 0.1}));
+}
+
+TEST(ArgsTest, BadIntegerReported) {
+  auto args = parse({"--seed=four"});
+  ASSERT_TRUE(args.is_ok());
+  auto v = args->get_int("seed", 0);
+  ASSERT_FALSE(v.is_ok());
+  EXPECT_NE(v.status().message().find("seed"), std::string::npos);
+}
+
+TEST(ArgsTest, BadListElementReported) {
+  auto args = parse({"--batches=1,x,2"});
+  ASSERT_TRUE(args.is_ok());
+  EXPECT_FALSE(args->get_int_list("batches").is_ok());
+}
+
+TEST(ArgsTest, TrailingGarbageRejected) {
+  auto args = parse({"--seed=42abc"});
+  ASSERT_TRUE(args.is_ok());
+  EXPECT_FALSE(args->get_int("seed", 0).is_ok());
+}
+
+TEST(ArgsTest, PositionalCollected) {
+  auto args = parse({"model.fcad", "--seed=1", "extra"});
+  ASSERT_TRUE(args.is_ok());
+  EXPECT_EQ(args->positional(),
+            (std::vector<std::string>{"model.fcad", "extra"}));
+}
+
+TEST(ArgsTest, BareDashDashRejected) {
+  auto args = parse({"--"});
+  EXPECT_FALSE(args.is_ok());
+}
+
+}  // namespace
+}  // namespace fcad

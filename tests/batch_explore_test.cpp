@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "arch/platform.hpp"
+#include "dse/engine.hpp"
+#include "nn/zoo/avatar_decoder.hpp"
+
+namespace fcad::dse {
+namespace {
+
+const arch::ReorganizedModel& decoder_model() {
+  static const arch::ReorganizedModel model = [] {
+    auto m = arch::reorganize(nn::zoo::avatar_decoder());
+    FCAD_CHECK(m.is_ok());
+    return std::move(m).value();
+  }();
+  return model;
+}
+
+DseRequest fast_request(const arch::Platform& platform) {
+  DseRequest request;
+  request.platform = platform;
+  request.customization.batch_sizes = {1, 1, 1};
+  request.options.population = 30;
+  request.options.iterations = 5;
+  request.options.seed = 61;
+  return request;
+}
+
+TEST(MaxBatchTest, GeometryBranchScalesFurthestOnBigFpga) {
+  // Br.1 is the lightest branch: on ZU9CG it should replicate several times
+  // while the HD texture branch saturates earlier.
+  auto geo = max_feasible_batch(decoder_model(),
+                                fast_request(arch::platform_zu9cg()), 0, 8);
+  ASSERT_TRUE(geo.is_ok()) << geo.status().to_string();
+  auto tex = max_feasible_batch(decoder_model(),
+                                fast_request(arch::platform_zu9cg()), 1, 8);
+  ASSERT_TRUE(tex.is_ok());
+  EXPECT_GE(*geo, 2);
+  EXPECT_GE(*geo, *tex);
+}
+
+TEST(MaxBatchTest, SmallerFpgaSmallerBatch) {
+  auto big = max_feasible_batch(decoder_model(),
+                                fast_request(arch::platform_zu9cg()), 1, 8);
+  auto small = max_feasible_batch(decoder_model(),
+                                  fast_request(arch::platform_z7045()), 1, 8);
+  ASSERT_TRUE(big.is_ok());
+  ASSERT_TRUE(small.is_ok());
+  EXPECT_LE(*small, *big);
+}
+
+TEST(MaxBatchTest, ProbeLimitRespected) {
+  auto result = max_feasible_batch(decoder_model(),
+                                   fast_request(arch::platform_zu9cg()), 0, 2);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_LE(*result, 2);
+  EXPECT_GE(*result, 1);
+}
+
+TEST(MaxBatchTest, InfeasibleBaseReturnsZero) {
+  // An absurdly small ASIC cannot even fit batch 1 of the texture branch.
+  DseRequest request =
+      fast_request(arch::make_asic("nano", 8, 0.05, 0.05, 200));
+  auto result = max_feasible_batch(decoder_model(), request, 1, 4);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(*result, 0);
+}
+
+TEST(MaxBatchTest, BadBranchRejected) {
+  auto result = max_feasible_batch(decoder_model(),
+                                   fast_request(arch::platform_zu9cg()), 7);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MaxBatchTest, ResultIsActuallyFeasible) {
+  DseRequest request = fast_request(arch::platform_zu17eg());
+  auto max_batch = max_feasible_batch(decoder_model(), request, 2, 8);
+  ASSERT_TRUE(max_batch.is_ok());
+  ASSERT_GE(*max_batch, 1);
+  // Re-run the DSE at the reported batch: must be feasible.
+  request.customization.batch_sizes[2] = *max_batch;
+  auto result = optimize(decoder_model(), request);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result->feasible);
+}
+
+}  // namespace
+}  // namespace fcad::dse

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "analysis/branches.hpp"
+#include "nn/builder.hpp"
+#include "nn/zoo/avatar_decoder.hpp"
+
+namespace fcad::analysis {
+namespace {
+
+using nn::GraphBuilder;
+
+nn::Graph two_branch_net() {
+  GraphBuilder b("t");
+  auto in = b.input("x", {4, 8, 8});
+  auto shared = b.conv2d(in, "shared", {.out_ch = 8, .kernel = 3});
+  auto a = b.conv2d(shared, "a", {.out_ch = 16, .kernel = 3});
+  auto c = b.conv2d(shared, "c", {.out_ch = 4, .kernel = 3});
+  b.output(a, "big");
+  b.output(c, "small");
+  auto g = std::move(b).build();
+  FCAD_CHECK(g.is_ok());
+  return std::move(g).value();
+}
+
+TEST(BranchesTest, BranchPerOutput) {
+  const nn::Graph g = two_branch_net();
+  const auto profile = profile_graph(g);
+  auto d = decompose(g, profile);
+  ASSERT_TRUE(d.is_ok());
+  ASSERT_EQ(d->branches.size(), 2u);
+  EXPECT_EQ(d->branches[0].role, "big");
+  EXPECT_EQ(d->branches[1].role, "small");
+}
+
+TEST(BranchesTest, SharedLayersDetected) {
+  const nn::Graph g = two_branch_net();
+  const auto profile = profile_graph(g);
+  auto d = decompose(g, profile);
+  ASSERT_TRUE(d.is_ok());
+  // input + shared conv are on both branch paths.
+  ASSERT_EQ(d->shared.size(), 2u);
+  EXPECT_EQ(g.layer(d->shared[1]).name, "shared");
+}
+
+TEST(BranchesTest, PathDemandIncludesShared) {
+  const nn::Graph g = two_branch_net();
+  const auto profile = profile_graph(g);
+  auto d = decompose(g, profile);
+  ASSERT_TRUE(d.is_ok());
+  // Both branches' raw ops include the shared conv, so their sum exceeds the
+  // graph total.
+  EXPECT_GT(d->branches[0].ops + d->branches[1].ops, profile.total_ops);
+}
+
+TEST(BranchesTest, AttributionSumsToGraphTotals) {
+  for (const nn::Graph& g :
+       {two_branch_net(), nn::zoo::avatar_decoder(), nn::zoo::mimic_decoder()}) {
+    const auto profile = profile_graph(g);
+    auto d = decompose(g, profile);
+    ASSERT_TRUE(d.is_ok());
+    std::int64_t ops = 0, macs = 0, params = 0;
+    for (const auto& br : d->branches) {
+      ops += br.ops_attributed;
+      macs += br.macs_attributed;
+      params += br.params_attributed;
+    }
+    EXPECT_EQ(ops, profile.total_ops) << g.name();
+    EXPECT_EQ(macs, profile.total_macs) << g.name();
+    EXPECT_EQ(params, profile.total_params) << g.name();
+  }
+}
+
+TEST(BranchesTest, SharedGoesToHigherDemandBranch) {
+  const nn::Graph g = two_branch_net();
+  const auto profile = profile_graph(g);
+  auto d = decompose(g, profile);
+  ASSERT_TRUE(d.is_ok());
+  // Branch "big" (16-channel conv) has more total demand, so it absorbs the
+  // shared conv's ops; "small" keeps only its own conv.
+  const auto& small = d->branches[1];
+  std::int64_t own_conv_ops = 0;
+  for (nn::LayerId id : small.layers) {
+    if (g.layer(id).name == "c") {
+      own_conv_ops = profile.layers[static_cast<std::size_t>(id)].ops;
+    }
+  }
+  EXPECT_EQ(small.ops_attributed, own_conv_ops);
+}
+
+TEST(BranchesTest, LayersAreInTopologicalOrder) {
+  const nn::Graph g = nn::zoo::avatar_decoder();
+  const auto profile = profile_graph(g);
+  auto d = decompose(g, profile);
+  ASSERT_TRUE(d.is_ok());
+  for (const auto& br : d->branches) {
+    for (std::size_t i = 1; i < br.layers.size(); ++i) {
+      EXPECT_LT(br.layers[i - 1], br.layers[i]);
+    }
+    EXPECT_EQ(br.layers.back(), br.output);
+  }
+}
+
+TEST(BranchesTest, UsersIndexConsistentWithShared) {
+  const nn::Graph g = nn::zoo::avatar_decoder();
+  const auto profile = profile_graph(g);
+  auto d = decompose(g, profile);
+  ASSERT_TRUE(d.is_ok());
+  for (std::size_t id = 0; id < g.size(); ++id) {
+    const bool is_shared =
+        std::find(d->shared.begin(), d->shared.end(),
+                  static_cast<nn::LayerId>(id)) != d->shared.end();
+    EXPECT_EQ(is_shared, d->users[id].size() > 1);
+  }
+}
+
+}  // namespace
+}  // namespace fcad::analysis

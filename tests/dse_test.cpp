@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include "arch/platform.hpp"
+#include "dse/engine.hpp"
+#include "nn/builder.hpp"
+#include "dse/fitness.hpp"
+#include "dse/in_branch.hpp"
+#include "nn/zoo/avatar_decoder.hpp"
+#include "nn/zoo/classic_nets.hpp"
+
+namespace fcad::dse {
+namespace {
+
+const arch::ReorganizedModel& decoder_model() {
+  static const arch::ReorganizedModel model = [] {
+    auto m = arch::reorganize(nn::zoo::avatar_decoder());
+    FCAD_CHECK(m.is_ok());
+    return std::move(m).value();
+  }();
+  return model;
+}
+
+// ---------------------------------------------------------- customization --
+TEST(CustomizationTest, DefaultsExpand) {
+  Customization c;
+  ASSERT_TRUE(c.normalize(3).is_ok());
+  EXPECT_EQ(c.batch_sizes, (std::vector<int>{1, 1, 1}));
+  EXPECT_EQ(c.priorities, (std::vector<double>{1, 1, 1}));
+}
+
+TEST(CustomizationTest, ArityMismatchRejected) {
+  Customization c;
+  c.batch_sizes = {1, 2};
+  EXPECT_FALSE(c.normalize(3).is_ok());
+}
+
+TEST(CustomizationTest, NonPositiveBatchRejected) {
+  Customization c;
+  c.batch_sizes = {1, 0, 2};
+  EXPECT_FALSE(c.normalize(3).is_ok());
+}
+
+TEST(CustomizationTest, NegativePriorityRejected) {
+  Customization c;
+  c.priorities = {1.0, -1.0, 1.0};
+  EXPECT_FALSE(c.normalize(3).is_ok());
+}
+
+// --------------------------------------------------------- design space --
+TEST(DesignSpaceTest, StatsCountDimensions) {
+  const DesignSpaceStats stats = design_space_stats(decoder_model());
+  EXPECT_EQ(stats.branches, 3);
+  EXPECT_EQ(stats.stages, 18);
+  EXPECT_EQ(stats.dimensions, 3 + 3 * 18);  // batch per branch + 3 per stage
+  EXPECT_GT(stats.log10_configs, 20.0);  // a genuinely huge space
+}
+
+TEST(DesignSpaceTest, DistributionSlice) {
+  ResourceDistribution rd;
+  rd.c_frac = {0.5, 0.3, 0.2};
+  rd.m_frac = {0.2, 0.5, 0.3};
+  rd.bw_frac = {0.1, 0.8, 0.1};
+  const ResourceBudget budget{1000, 500, 10};
+  const ResourceBudget s1 = rd.slice(budget, 1);
+  EXPECT_DOUBLE_EQ(s1.c, 300);
+  EXPECT_DOUBLE_EQ(s1.m, 250);
+  EXPECT_DOUBLE_EQ(s1.bw, 8);
+}
+
+// -------------------------------------------------------------- fitness --
+TEST(FitnessTest, VarianceOfConstantIsZero) {
+  EXPECT_DOUBLE_EQ(variance({5, 5, 5}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+}
+
+TEST(FitnessTest, VarianceHandValue) {
+  EXPECT_DOUBLE_EQ(variance({2, 4, 6}), 8.0 / 3.0);
+}
+
+TEST(FitnessTest, PriorityWeightedSum) {
+  // alpha = 0 isolates S = sum fps_j * P_j.
+  FitnessParams p;
+  p.alpha = 0;
+  EXPECT_DOUBLE_EQ(fitness_score({10, 20}, {1, 2}, 0, p), 50.0);
+}
+
+TEST(FitnessTest, VariancePenaltyPrefersBalance) {
+  FitnessParams p;
+  p.alpha = 1.0;
+  const double balanced = fitness_score({30, 30}, {1, 1}, 0, p);
+  const double skewed = fitness_score({10, 50}, {1, 1}, 0, p);
+  EXPECT_GT(balanced, skewed);  // same sum, lower variance wins
+}
+
+TEST(FitnessTest, InfeasibleNeverBeatsFeasible) {
+  FitnessParams p;
+  const double feasible = fitness_score({1, 1, 1}, {1, 1, 1}, 0, p);
+  const double infeasible = fitness_score({1000, 1000, 1000}, {1, 1, 1}, 1, p);
+  EXPECT_GT(feasible, infeasible);
+}
+
+// ------------------------------------------------------------ in-branch --
+TEST(InBranchTest, GenerousBudgetMeetsBatchTarget) {
+  const ResourceBudget slice{2000, 1500, 10.0};
+  const InBranchResult r =
+      in_branch_optimize(decoder_model(), 0, slice, 2, nn::DataType::kInt8,
+                         nn::DataType::kInt8, 200.0);
+  EXPECT_TRUE(r.met_batch_target);
+  EXPECT_EQ(r.config.batch, 2);
+  EXPECT_EQ(r.config.units.size(), 6u);
+  EXPECT_LE(r.c_used, slice.c);
+  EXPECT_LE(r.m_used, slice.m);
+  EXPECT_LE(r.bw_used, slice.bw + 1e-9);
+}
+
+TEST(InBranchTest, StarvedBudgetReportsUnmet) {
+  const ResourceBudget slice{4, 10, 0.01};
+  const InBranchResult r =
+      in_branch_optimize(decoder_model(), 1, slice, 2, nn::DataType::kInt8,
+                         nn::DataType::kInt8, 200.0);
+  EXPECT_FALSE(r.met_batch_target);
+  // Even then the config is structurally valid (>= 1 parallelism).
+  for (const arch::UnitConfig& u : r.config.units) {
+    EXPECT_GE(u.lanes(), 1);
+  }
+}
+
+TEST(InBranchTest, TighterBudgetNeverFaster) {
+  const ResourceBudget big{2000, 1200, 12.8};
+  const ResourceBudget small{200, 400, 1.0};
+  const auto rb = in_branch_optimize(decoder_model(), 1, big, 1,
+                                     nn::DataType::kInt8,
+                                     nn::DataType::kInt8, 200.0);
+  const auto rs = in_branch_optimize(decoder_model(), 1, small, 1,
+                                     nn::DataType::kInt8,
+                                     nn::DataType::kInt8, 200.0);
+  EXPECT_LE(rb.bottleneck_cycles, rs.bottleneck_cycles);
+}
+
+TEST(InBranchTest, HalvingLoopConvergesOnTightBudget) {
+  const ResourceBudget slice{64, 400, 0.5};
+  const InBranchResult r =
+      in_branch_optimize(decoder_model(), 1, slice, 1, nn::DataType::kInt8,
+                         nn::DataType::kInt8, 200.0);
+  EXPECT_GT(r.halvings, 0);  // the greedy search actually had to back off
+  EXPECT_LE(r.c_used, slice.c);
+}
+
+TEST(InBranchTest, EmptyBranchIsTriviallyFeasible) {
+  // A model where one branch owns nothing: single-output chain has one
+  // branch owning everything, so build a two-output graph where branch 1
+  // fully contains branch 0... simplest: geometry branch of the decoder is
+  // never empty, so synthesize the edge case directly.
+  nn::GraphBuilder b("t");
+  auto in = b.input("x", {4, 8, 8});
+  auto c1 = b.conv2d(in, "c1", {.out_ch = 64, .kernel = 3});
+  b.output(c1, "small");  // branch 0 ends at the shared conv
+  auto c2 = b.conv2d(c1, "c2", {.out_ch = 64, .kernel = 3});
+  b.output(c2, "big");
+  auto g = std::move(b).build();
+  ASSERT_TRUE(g.is_ok());
+  auto model = arch::reorganize(*g);
+  ASSERT_TRUE(model.is_ok());
+  // Branch "small" shares c1, owned by "big" (higher demand) -> owns nothing.
+  const ResourceBudget slice{10, 10, 0.1};
+  int empty_branch = model->branches[0].stages.empty() ? 0 : 1;
+  const InBranchResult r =
+      in_branch_optimize(*model, empty_branch, slice, 3, nn::DataType::kInt8,
+                         nn::DataType::kInt8, 200.0);
+  EXPECT_TRUE(r.met_batch_target);
+  EXPECT_EQ(r.c_used, 0);
+}
+
+// ----------------------------------------------------------- cross-branch --
+CrossBranchOptions fast_options(std::uint64_t seed = 1) {
+  CrossBranchOptions opt;
+  opt.population = 30;
+  opt.iterations = 6;
+  opt.seed = seed;
+  return opt;
+}
+
+Customization decoder_customization() {
+  Customization c;
+  c.quantization = nn::DataType::kInt8;
+  c.batch_sizes = {1, 2, 2};
+  c.priorities = {1, 1, 1};
+  return c;
+}
+
+TEST(CrossBranchTest, FindsFeasibleDesignOnZu9cg) {
+  const auto result = cross_branch_search(
+      decoder_model(),
+      ResourceBudget::from_platform(arch::platform_zu9cg()),
+      decoder_customization(), fast_options());
+  EXPECT_TRUE(result.feasible);
+  EXPECT_GT(result.eval.min_fps, 10.0);
+  // Budget respected after quantized re-evaluation.
+  EXPECT_LE(result.eval.dsps, 2520);
+  EXPECT_LE(result.eval.brams, 1824);
+}
+
+TEST(CrossBranchTest, BatchCustomizationHonored) {
+  const auto result = cross_branch_search(
+      decoder_model(),
+      ResourceBudget::from_platform(arch::platform_zu9cg()),
+      decoder_customization(), fast_options());
+  ASSERT_EQ(result.config.branches.size(), 3u);
+  EXPECT_EQ(result.config.branches[0].batch, 1);
+  EXPECT_EQ(result.config.branches[1].batch, 2);
+  EXPECT_EQ(result.config.branches[2].batch, 2);
+}
+
+TEST(CrossBranchTest, GlobalBestMonotonicallyImproves) {
+  const auto result = cross_branch_search(
+      decoder_model(),
+      ResourceBudget::from_platform(arch::platform_zu9cg()),
+      decoder_customization(), fast_options());
+  const auto& history = result.trace.best_fitness;
+  ASSERT_EQ(history.size(), 6u);
+  for (std::size_t i = 1; i < history.size(); ++i) {
+    EXPECT_GE(history[i], history[i - 1]);
+  }
+}
+
+TEST(CrossBranchTest, DeterministicForSameSeed) {
+  const auto a = cross_branch_search(
+      decoder_model(),
+      ResourceBudget::from_platform(arch::platform_zu9cg()),
+      decoder_customization(), fast_options(99));
+  const auto b = cross_branch_search(
+      decoder_model(),
+      ResourceBudget::from_platform(arch::platform_zu9cg()),
+      decoder_customization(), fast_options(99));
+  EXPECT_DOUBLE_EQ(a.fitness, b.fitness);
+  EXPECT_EQ(a.eval.dsps, b.eval.dsps);
+  EXPECT_EQ(a.trace.convergence_iteration, b.trace.convergence_iteration);
+}
+
+TEST(CrossBranchTest, PriorityShiftsResources) {
+  Customization texture_heavy = decoder_customization();
+  texture_heavy.priorities = {0.1, 10.0, 0.1};
+  Customization geometry_heavy = decoder_customization();
+  geometry_heavy.priorities = {10.0, 0.1, 0.1};
+  const auto budget = ResourceBudget::from_platform(arch::platform_zu9cg());
+  const auto t = cross_branch_search(decoder_model(), budget, texture_heavy,
+                                     fast_options(5));
+  const auto g = cross_branch_search(decoder_model(), budget, geometry_heavy,
+                                     fast_options(5));
+  // Geometry-prioritized search gives Br.1 at least as high FPS as the
+  // texture-prioritized one does.
+  EXPECT_GE(g.eval.branches[0].fps, t.eval.branches[0].fps);
+}
+
+TEST(CrossBranchTest, BiggerBudgetNeverWorse) {
+  const auto small = cross_branch_search(
+      decoder_model(), ResourceBudget::from_platform(arch::platform_z7045()),
+      decoder_customization(), fast_options(3));
+  const auto big = cross_branch_search(
+      decoder_model(), ResourceBudget::from_platform(arch::platform_zu9cg()),
+      decoder_customization(), fast_options(3));
+  EXPECT_GE(big.eval.min_fps, small.eval.min_fps * 0.95);
+}
+
+// ---------------------------------------------------------------- engine --
+TEST(EngineTest, OptimizeNormalizesAndRuns) {
+  DseRequest request;
+  request.platform = arch::platform_zu9cg();
+  request.options = fast_options();
+  auto result = optimize(decoder_model(), request);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result->feasible);  // default batch {1,1,1} fits easily
+}
+
+TEST(EngineTest, BadCustomizationPropagates) {
+  DseRequest request;
+  request.platform = arch::platform_zu9cg();
+  request.customization.batch_sizes = {1, 2};  // wrong arity
+  auto result = optimize(decoder_model(), request);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, ConvergenceStudyAggregates) {
+  DseRequest request;
+  request.platform = arch::platform_zu9cg();
+  request.customization = decoder_customization();
+  request.options = fast_options();
+  const ConvergenceStats stats =
+      convergence_study(decoder_model(), request, 3);
+  EXPECT_EQ(stats.runs, 3);
+  EXPECT_GE(stats.mean_iterations, stats.min_iterations);
+  EXPECT_LE(stats.mean_iterations, stats.max_iterations);
+  EXPECT_GE(stats.min_iterations, 1);
+  EXPECT_LE(stats.max_iterations, 6);
+  EXPECT_GE(stats.fitness_spread, 0);
+}
+
+}  // namespace
+}  // namespace fcad::dse

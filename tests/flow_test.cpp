@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "core/flow.hpp"
+#include "core/report.hpp"
+#include "nn/builder.hpp"
+#include "nn/zoo/avatar_decoder.hpp"
+#include "nn/zoo/classic_nets.hpp"
+
+namespace fcad::core {
+namespace {
+
+FlowOptions fast_options() {
+  FlowOptions options;
+  options.customization.quantization = nn::DataType::kInt8;
+  options.customization.batch_sizes = {1, 2, 2};
+  options.search.population = 30;
+  options.search.iterations = 5;
+  options.search.seed = 11;
+  return options;
+}
+
+TEST(FlowTest, EndToEndOnDecoder) {
+  Flow flow(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  auto result = flow.run(fast_options());
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result->decomposition.branches.size(), 3u);
+  EXPECT_EQ(result->model.num_branches(), 3);
+  EXPECT_TRUE(result->search.feasible);
+  EXPECT_GT(result->search.eval.min_fps, 10.0);
+  EXPECT_FALSE(result->simulation.has_value());
+}
+
+TEST(FlowTest, SimulationOnRequest) {
+  FlowOptions options = fast_options();
+  options.run_simulation = true;
+  Flow flow(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  auto result = flow.run(options);
+  ASSERT_TRUE(result.is_ok());
+  ASSERT_TRUE(result->simulation.has_value());
+  // Simulated throughput within 10% of the analytical estimate.
+  EXPECT_NEAR(result->simulation->min_fps, result->search.eval.min_fps,
+              0.1 * result->search.eval.min_fps);
+}
+
+TEST(FlowTest, SingleBranchBackbone) {
+  FlowOptions options;
+  options.search.population = 20;
+  options.search.iterations = 4;
+  Flow flow(nn::zoo::alexnet(), arch::platform_ku115());
+  auto result = flow.run(options);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result->model.num_branches(), 1);
+  EXPECT_GT(result->search.eval.min_fps, 0);
+}
+
+TEST(FlowTest, BadCustomizationFails) {
+  FlowOptions options = fast_options();
+  options.customization.batch_sizes = {1};  // decoder has 3 branches
+  Flow flow(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  auto result = flow.run(options);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlowTest, UnmappableGraphFails) {
+  nn::GraphBuilder b("t");
+  auto in = b.input("x", {4, 8, 8});
+  auto a = b.relu(in, "a");  // post-op with no major layer
+  b.output(a, "y");
+  auto g = std::move(b).build();
+  ASSERT_TRUE(g.is_ok());
+  Flow flow(std::move(g).value(), arch::platform_zu9cg());
+  FlowOptions options;
+  auto result = flow.run(options);
+  EXPECT_FALSE(result.is_ok());
+}
+
+TEST(ReportTest, CaseReportContainsKeyRows) {
+  FlowOptions options = fast_options();
+  options.run_simulation = true;
+  Flow flow(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  auto result = flow.run(options);
+  ASSERT_TRUE(result.is_ok());
+  const std::string report =
+      case_report("test case", *result, flow.platform());
+  EXPECT_NE(report.find("test case"), std::string::npos);
+  EXPECT_NE(report.find("ZU9CG"), std::string::npos);
+  EXPECT_NE(report.find("geometry"), std::string::npos);
+  EXPECT_NE(report.find("texture"), std::string::npos);
+  EXPECT_NE(report.find("warp_field"), std::string::npos);
+  EXPECT_NE(report.find("totals:"), std::string::npos);
+  EXPECT_NE(report.find("simulator check"), std::string::npos);
+}
+
+TEST(ReportTest, SummaryLineFormat) {
+  Flow flow(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  auto result = flow.run(fast_options());
+  ASSERT_TRUE(result.is_ok());
+  const std::string line = summary_line(*result, flow.platform());
+  EXPECT_NE(line.find("FPS {"), std::string::npos);
+  EXPECT_NE(line.find("DSP "), std::string::npos);
+  EXPECT_NE(line.find("/2520"), std::string::npos);
+}
+
+TEST(PlatformTest, CatalogMatchesPaperBudgets) {
+  EXPECT_EQ(arch::platform_z7045().dsps, 900);
+  EXPECT_EQ(arch::platform_z7045().brams18k, 1090);
+  EXPECT_EQ(arch::platform_zu17eg().dsps, 1590);
+  EXPECT_EQ(arch::platform_zu17eg().brams18k, 1592);
+  EXPECT_EQ(arch::platform_zu9cg().dsps, 2520);
+  EXPECT_EQ(arch::platform_zu9cg().brams18k, 1824);
+  EXPECT_EQ(arch::platform_ku115().dsps, 5520);
+  for (const auto& p : arch::all_platforms()) {
+    EXPECT_DOUBLE_EQ(p.freq_mhz, 200.0) << p.name;
+  }
+}
+
+TEST(PlatformTest, LookupByNameCaseInsensitive) {
+  auto p = arch::platform_by_name("zu9cg");
+  ASSERT_TRUE(p.is_ok());
+  EXPECT_EQ(p->name, "ZU9CG");
+  EXPECT_FALSE(arch::platform_by_name("nonexistent").is_ok());
+}
+
+TEST(PlatformTest, AsicBudget) {
+  const arch::Platform asic =
+      arch::make_asic("edge-npu", 4096, /*buffer_mib=*/4.0, /*bw=*/25.6,
+                      /*freq=*/800.0);
+  EXPECT_TRUE(asic.is_asic);
+  EXPECT_EQ(asic.dsps, 4096);
+  // 4 MiB in 18-Kbit blocks: 4*1024*1024*8 / 18432 = 1821 (ceil).
+  EXPECT_EQ(asic.brams18k, 1821);
+  EXPECT_GT(asic.bw_bytes_per_cycle(), 0);
+}
+
+}  // namespace
+}  // namespace fcad::core

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "arch/fusion.hpp"
+#include "arch/unit.hpp"
+#include "nn/builder.hpp"
+#include "nn/zoo/avatar_decoder.hpp"
+#include "nn/zoo/classic_nets.hpp"
+
+namespace fcad::arch {
+namespace {
+
+using nn::GraphBuilder;
+
+StatusOr<FusedGraph> fuse_graph(const nn::Graph& g) {
+  return fuse(g, analysis::profile_graph(g));
+}
+
+TEST(FusionTest, CauBlockFusesIntoOneStage) {
+  GraphBuilder b("t");
+  auto in = b.input("x", {4, 8, 8});
+  auto c = b.conv2d(in, "c", {.out_ch = 8, .kernel = 4, .untied_bias = true});
+  auto a = b.leaky_relu(c, "a");
+  auto u = b.upsample2x(a, "u");
+  b.output(u, "y");
+  auto g = std::move(b).build();
+  ASSERT_TRUE(g.is_ok());
+  auto fg = fuse_graph(*g);
+  ASSERT_TRUE(fg.is_ok());
+  ASSERT_EQ(fg->stages.size(), 1u);
+  const FusedStage& st = fg->stages[0];
+  EXPECT_TRUE(st.has_activation);
+  EXPECT_TRUE(st.has_upsample);
+  EXPECT_TRUE(st.untied_bias);
+  EXPECT_EQ(st.out_h, 8);      // conv resolution
+  EXPECT_EQ(st.final_h, 16);   // after the folded upsample
+  EXPECT_EQ(st.source_layers.size(), 3u);
+}
+
+TEST(FusionTest, StageDemandAggregatesFoldedOps) {
+  GraphBuilder b("t");
+  auto in = b.input("x", {4, 8, 8});
+  auto c = b.conv2d(in, "c", {.out_ch = 8, .kernel = 3});
+  auto a = b.relu(c, "a");
+  b.output(a, "y");
+  auto g = std::move(b).build();
+  ASSERT_TRUE(g.is_ok());
+  const auto profile = analysis::profile_graph(*g);
+  auto fg = fuse(*g, profile);
+  ASSERT_TRUE(fg.is_ok());
+  EXPECT_EQ(fg->stages[0].ops, profile.total_ops);
+  EXPECT_EQ(fg->stages[0].macs, profile.total_macs);
+}
+
+TEST(FusionTest, AvatarDecoderStageCount) {
+  // Br.1: 6 convs; shared+Br.2: 8; Br.3 own: 4 -> 18 pipeline stages.
+  auto fg = fuse_graph(nn::zoo::avatar_decoder());
+  ASSERT_TRUE(fg.is_ok());
+  EXPECT_EQ(fg->stages.size(), 18u);
+  ASSERT_EQ(fg->output_stages.size(), 3u);
+}
+
+TEST(FusionTest, ReshapeAndConcatDissolveIntoEdges) {
+  auto fg = fuse_graph(nn::zoo::avatar_decoder());
+  ASSERT_TRUE(fg.is_ok());
+  // The concat of latent+view feeds the first shared conv: that stage has no
+  // producing stage (network input) and in_ch 7.
+  bool found = false;
+  for (std::size_t s = 0; s < fg->stages.size(); ++s) {
+    if (fg->stages[s].name == "sh_l1_conv") {
+      found = true;
+      EXPECT_TRUE(fg->stage_inputs[s].empty());
+      EXPECT_EQ(fg->stages[s].in_ch, 7);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FusionTest, SharedStageFansOutToTwoConsumers) {
+  auto fg = fuse_graph(nn::zoo::avatar_decoder());
+  ASSERT_TRUE(fg.is_ok());
+  for (std::size_t s = 0; s < fg->stages.size(); ++s) {
+    if (fg->stages[s].name == "sh_l2_conv") {
+      EXPECT_EQ(fg->consumers(static_cast<int>(s)).size(), 2u);
+    }
+  }
+}
+
+TEST(FusionTest, DenseAndPoolNetworksFuse) {
+  auto fg = fuse_graph(nn::zoo::alexnet());
+  ASSERT_TRUE(fg.is_ok());
+  // 5 convs + 3 fc = 8 stages; pools and relus folded.
+  EXPECT_EQ(fg->stages.size(), 8u);
+  int dense_stages = 0;
+  int pooled_stages = 0;
+  for (const FusedStage& st : fg->stages) {
+    dense_stages += st.kind == FusedStage::Kind::kDense;
+    pooled_stages += st.has_pool;
+  }
+  EXPECT_EQ(dense_stages, 3);
+  EXPECT_EQ(pooled_stages, 3);
+}
+
+TEST(FusionTest, DenseStageGeometry) {
+  auto fg = fuse_graph(nn::zoo::alexnet());
+  ASSERT_TRUE(fg.is_ok());
+  const FusedStage& fc6 = fg->stages[5];
+  EXPECT_EQ(fc6.kind, FusedStage::Kind::kDense);
+  EXPECT_EQ(fc6.out_h, 1);
+  EXPECT_EQ(fc6.kernel, 1);
+  EXPECT_EQ(fc6.out_ch, 4096);
+}
+
+TEST(FusionTest, PostOpOnNetworkInputRejected) {
+  GraphBuilder b("t");
+  auto in = b.input("x", {4, 8, 8});
+  auto a = b.relu(in, "a");  // nothing to fold into
+  b.output(a, "y");
+  auto g = std::move(b).build();
+  ASSERT_TRUE(g.is_ok());
+  auto fg = fuse_graph(*g);
+  ASSERT_FALSE(fg.is_ok());
+  EXPECT_EQ(fg.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FusionTest, FanOutBeforePostOpRejected) {
+  // The conv's raw output feeds both an activation and another conv; the
+  // activation cannot be folded without changing the second consumer.
+  GraphBuilder b("t");
+  auto in = b.input("x", {4, 8, 8});
+  auto c = b.conv2d(in, "c", {.out_ch = 8, .kernel = 3});
+  auto a = b.relu(c, "a");
+  auto c2 = b.conv2d(c, "c2", {.out_ch = 8, .kernel = 3});
+  b.output(a, "y1");
+  b.output(c2, "y2");
+  auto g = std::move(b).build();
+  ASSERT_TRUE(g.is_ok());
+  auto fg = fuse_graph(*g);
+  ASSERT_FALSE(fg.is_ok());
+  EXPECT_NE(fg.status().message().find("fans out"), std::string::npos);
+}
+
+TEST(FusionTest, MaxParallelismBounds) {
+  auto fg = fuse_graph(nn::zoo::avatar_decoder());
+  ASSERT_TRUE(fg.is_ok());
+  for (const FusedStage& st : fg->stages) {
+    EXPECT_EQ(st.max_cpf(), st.in_ch);
+    EXPECT_EQ(st.max_kpf(), st.out_ch);
+    EXPECT_EQ(st.max_h(), st.out_h);
+    EXPECT_GT(max_lanes(st), 0);
+  }
+}
+
+}  // namespace
+}  // namespace fcad::arch

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "nn/builder.hpp"
+#include "nn/dtype.hpp"
+#include "nn/graph.hpp"
+#include "nn/validate.hpp"
+
+namespace fcad::nn {
+namespace {
+
+// ----------------------------------------------------------------- dtype --
+TEST(DtypeTest, BitsAndBytes) {
+  EXPECT_EQ(bits(DataType::kInt8), 8);
+  EXPECT_EQ(bits(DataType::kInt16), 16);
+  EXPECT_EQ(bytes(DataType::kInt8), 1);
+  EXPECT_EQ(bytes(DataType::kInt16), 2);
+}
+
+TEST(DtypeTest, DspPackingMatchesPaperBeta) {
+  // One DSP48 packs two 8-bit multipliers -> beta = 4 ops; one 16-bit
+  // multiplier -> beta = 2 ops. These constants anchor every efficiency
+  // number in the reproduction.
+  EXPECT_EQ(multipliers_per_dsp(DataType::kInt8), 2);
+  EXPECT_EQ(multipliers_per_dsp(DataType::kInt16), 1);
+  EXPECT_EQ(beta_ops_per_dsp(DataType::kInt8), 4);
+  EXPECT_EQ(beta_ops_per_dsp(DataType::kInt16), 2);
+}
+
+TEST(DtypeTest, Names) {
+  EXPECT_EQ(to_string(DataType::kInt8), "int8");
+  EXPECT_EQ(to_string(DataType::kInt16), "int16");
+}
+
+// ----------------------------------------------------------------- shape --
+TEST(ShapeTest, ElemsAndEquality) {
+  TensorShape s{16, 8, 4};
+  EXPECT_EQ(s.elems(), 512);
+  EXPECT_EQ(s, (TensorShape{16, 8, 4}));
+  EXPECT_NE(s, (TensorShape{16, 4, 8}));
+  EXPECT_EQ(s.to_string(), "[16,8,4]");
+}
+
+TEST(ShapeTest, ElemsDoesNotOverflowAtHdSizes) {
+  TensorShape s{16, 1024, 1024};
+  EXPECT_EQ(s.elems(), 16LL * 1024 * 1024);
+}
+
+// --------------------------------------------------------------- builder --
+TEST(BuilderTest, ShapeInferenceConvSamePadding) {
+  GraphBuilder b("t");
+  auto in = b.input("x", {3, 32, 32});
+  auto c = b.conv2d(in, "c", {.out_ch = 8, .kernel = 3});
+  b.output(c, "y");
+  auto g = std::move(b).build();
+  ASSERT_TRUE(g.is_ok());
+  EXPECT_EQ(g->layer(c).out_shape, (TensorShape{8, 32, 32}));
+}
+
+TEST(BuilderTest, ShapeInferenceStridedConv) {
+  GraphBuilder b("t");
+  auto in = b.input("x", {3, 224, 224});
+  auto c = b.conv2d(in, "c", {.out_ch = 64, .kernel = 11, .stride = 4});
+  b.output(c, "y");
+  auto g = std::move(b).build();
+  ASSERT_TRUE(g.is_ok());
+  EXPECT_EQ(g->layer(c).out_shape, (TensorShape{64, 56, 56}));
+}
+
+TEST(BuilderTest, ShapeInferenceUpsamplePoolDenseConcat) {
+  GraphBuilder b("t");
+  auto in1 = b.input("a", {4, 8, 8});
+  auto in2 = b.input("b", {3, 8, 8});
+  auto cat = b.concat({in1, in2}, "cat");
+  auto up = b.upsample2x(cat, "up");
+  auto pool = b.max_pool(up, "pool", {.kernel = 2, .stride = 2});
+  auto fc = b.dense(pool, "fc", {.out_features = 10});
+  b.output(fc, "y");
+  auto g = std::move(b).build();
+  ASSERT_TRUE(g.is_ok());
+  EXPECT_EQ(g->layer(cat).out_shape, (TensorShape{7, 8, 8}));
+  EXPECT_EQ(g->layer(up).out_shape, (TensorShape{7, 16, 16}));
+  EXPECT_EQ(g->layer(pool).out_shape, (TensorShape{7, 8, 8}));
+  EXPECT_EQ(g->layer(fc).out_shape, (TensorShape{10, 1, 1}));
+}
+
+TEST(BuilderTest, ReshapePreservesElements) {
+  GraphBuilder b("t");
+  auto in = b.input("x", {256, 1, 1});
+  auto r = b.reshape(in, "r", {4, 8, 8});
+  auto c = b.conv2d(r, "c", {.out_ch = 4, .kernel = 3});
+  b.output(c, "y");
+  auto g = std::move(b).build();
+  ASSERT_TRUE(g.is_ok());
+  EXPECT_EQ(g->layer(r).out_shape, (TensorShape{4, 8, 8}));
+}
+
+TEST(BuilderTest, ConsumersTracked) {
+  GraphBuilder b("t");
+  auto in = b.input("x", {4, 8, 8});
+  auto c1 = b.conv2d(in, "c1", {.out_ch = 8, .kernel = 3});
+  auto c2 = b.conv2d(c1, "c2", {.out_ch = 8, .kernel = 3});
+  auto c3 = b.conv2d(c1, "c3", {.out_ch = 8, .kernel = 3});
+  b.output(c2, "y1");
+  b.output(c3, "y2");
+  auto g = std::move(b).build();
+  ASSERT_TRUE(g.is_ok());
+  EXPECT_EQ(g->consumers(c1).size(), 2u);
+  EXPECT_EQ(g->consumers(in).size(), 1u);
+}
+
+TEST(BuilderTest, TopoOrderIsAscendingIds) {
+  GraphBuilder b("t");
+  auto in = b.input("x", {4, 8, 8});
+  auto c = b.conv2d(in, "c", {.out_ch = 8, .kernel = 3});
+  b.output(c, "y");
+  auto g = std::move(b).build();
+  ASSERT_TRUE(g.is_ok());
+  const auto order = g->topo_order();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<LayerId>(i));
+  }
+}
+
+TEST(BuilderTest, InputAndOutputIdsRecorded) {
+  GraphBuilder b("t");
+  auto in = b.input("x", {4, 8, 8});
+  auto c = b.conv2d(in, "c", {.out_ch = 8, .kernel = 3});
+  auto out = b.output(c, "y");
+  auto g = std::move(b).build();
+  ASSERT_TRUE(g.is_ok());
+  ASSERT_EQ(g->input_ids().size(), 1u);
+  ASSERT_EQ(g->output_ids().size(), 1u);
+  EXPECT_EQ(g->input_ids()[0], in);
+  EXPECT_EQ(g->output_ids()[0], out);
+  EXPECT_EQ(g->layer(out).output().role, "y");
+}
+
+// ------------------------------------------------------------ validation --
+TEST(ValidateTest, EmptyGraphRejected) {
+  GraphBuilder b("empty");
+  auto g = std::move(b).build();
+  EXPECT_FALSE(g.is_ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateTest, MissingOutputRejected) {
+  GraphBuilder b("t");
+  auto in = b.input("x", {4, 8, 8});
+  b.conv2d(in, "c", {.out_ch = 8, .kernel = 3});
+  auto g = std::move(b).build();
+  EXPECT_FALSE(g.is_ok());
+}
+
+TEST(ValidateTest, DanglingLayerRejected) {
+  GraphBuilder b("t");
+  auto in = b.input("x", {4, 8, 8});
+  auto c = b.conv2d(in, "c", {.out_ch = 8, .kernel = 3});
+  b.conv2d(in, "dead", {.out_ch = 8, .kernel = 3});  // no consumer
+  b.output(c, "y");
+  auto g = std::move(b).build();
+  ASSERT_FALSE(g.is_ok());
+  EXPECT_NE(g.status().message().find("dangling"), std::string::npos);
+}
+
+TEST(ValidateTest, BadConvAttrsRejected) {
+  GraphBuilder b("t");
+  auto in = b.input("x", {4, 8, 8});
+  auto c = b.conv2d(in, "c", {.out_ch = 0, .kernel = 3});
+  b.output(c, "y");
+  auto g = std::move(b).build();
+  EXPECT_FALSE(g.is_ok());
+}
+
+TEST(ValidateTest, UntiedBiasRequiresBias) {
+  GraphBuilder b("t");
+  auto in = b.input("x", {4, 8, 8});
+  auto c = b.conv2d(in, "c",
+                    {.out_ch = 8, .kernel = 3, .untied_bias = true,
+                     .bias = false});
+  b.output(c, "y");
+  auto g = std::move(b).build();
+  EXPECT_FALSE(g.is_ok());
+}
+
+TEST(ValidateTest, NonPositiveInputShapeRejected) {
+  GraphBuilder b("t");
+  auto in = b.input("x", {0, 8, 8});
+  b.output(in, "y");
+  auto g = std::move(b).build();
+  EXPECT_FALSE(g.is_ok());
+}
+
+TEST(ValidateTest, AttrAccessorOnWrongKindThrows) {
+  GraphBuilder b("t");
+  auto in = b.input("x", {4, 8, 8});
+  auto c = b.conv2d(in, "c", {.out_ch = 8, .kernel = 3});
+  b.output(c, "y");
+  auto g = std::move(b).build();
+  ASSERT_TRUE(g.is_ok());
+  EXPECT_THROW(g->layer(in).conv(), InternalError);
+  EXPECT_THROW(g->layer(c).dense(), InternalError);
+}
+
+TEST(ValidateTest, LayerIdOutOfRangeThrows) {
+  GraphBuilder b("t");
+  auto in = b.input("x", {4, 8, 8});
+  b.output(in, "y");
+  auto g = std::move(b).build();
+  ASSERT_TRUE(g.is_ok());
+  EXPECT_THROW(g->layer(99), InternalError);
+  EXPECT_THROW(g->layer(-1), InternalError);
+}
+
+}  // namespace
+}  // namespace fcad::nn

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analysis/profile.hpp"
+#include "nn/builder.hpp"
+
+namespace fcad::analysis {
+namespace {
+
+using nn::GraphBuilder;
+using nn::TensorShape;
+
+nn::Graph single_conv(int in_ch, int hw, int out_ch, int kernel, bool untied,
+                      bool bias = true) {
+  GraphBuilder b("t");
+  auto in = b.input("x", {in_ch, hw, hw});
+  auto c = b.conv2d(in, "c",
+                    {.out_ch = out_ch, .kernel = kernel, .stride = 1,
+                     .untied_bias = untied, .bias = bias});
+  b.output(c, "y");
+  auto g = std::move(b).build();
+  FCAD_CHECK(g.is_ok());
+  return std::move(g).value();
+}
+
+TEST(ProfileTest, ConvHandComputed) {
+  // 4x6x6 in, 8 out channels, 3x3 kernel: MACs = 8*4*9*36 = 10368.
+  const nn::Graph g = single_conv(4, 6, 8, 3, /*untied=*/false);
+  const GraphProfile p = profile_graph(g);
+  const LayerProfile& conv = p.layers[1];
+  EXPECT_EQ(conv.macs, 10368);
+  EXPECT_EQ(conv.weight_params, 8 * 4 * 9);
+  EXPECT_EQ(conv.bias_params, 8);  // tied: one per output channel
+  EXPECT_EQ(conv.ops, 2 * 10368 + 8 * 36);
+}
+
+TEST(ProfileTest, UntiedBiasIsPerPixel) {
+  const nn::Graph tied = single_conv(4, 6, 8, 3, false);
+  const nn::Graph untied = single_conv(4, 6, 8, 3, true);
+  const GraphProfile tied_profile = profile_graph(tied);
+  const GraphProfile untied_profile = profile_graph(untied);
+  const LayerProfile& pt = tied_profile.layers[1];
+  const LayerProfile& pu = untied_profile.layers[1];
+  EXPECT_EQ(pu.bias_params, 36);  // one per output pixel (6x6)
+  EXPECT_EQ(pt.bias_params, 8);
+  EXPECT_EQ(pu.macs, pt.macs);  // bias scheme does not change MACs
+}
+
+TEST(ProfileTest, NoBiasNoBiasParamsNoBiasOps) {
+  const nn::Graph g = single_conv(4, 6, 8, 3, false, /*bias=*/false);
+  const GraphProfile gp = profile_graph(g);
+  const LayerProfile& conv = gp.layers[1];
+  EXPECT_EQ(conv.bias_params, 0);
+  EXPECT_EQ(conv.ops, 2 * conv.macs);
+}
+
+TEST(ProfileTest, StridedConvUsesOutputDims) {
+  GraphBuilder b("t");
+  auto in = b.input("x", {3, 8, 8});
+  auto c = b.conv2d(in, "c", {.out_ch = 2, .kernel = 3, .stride = 2});
+  b.output(c, "y");
+  auto g = std::move(b).build();
+  ASSERT_TRUE(g.is_ok());
+  const GraphProfile gp = profile_graph(*g);
+  const LayerProfile& conv = gp.layers[1];
+  // out 4x4: MACs = 2*3*9*16 = 864.
+  EXPECT_EQ(conv.macs, 864);
+}
+
+TEST(ProfileTest, DenseHandComputed) {
+  GraphBuilder b("t");
+  auto in = b.input("x", {16, 2, 2});  // flattened to 64
+  auto fc = b.dense(in, "fc", {.out_features = 10});
+  b.output(fc, "y");
+  auto g = std::move(b).build();
+  ASSERT_TRUE(g.is_ok());
+  const GraphProfile gp = profile_graph(*g);
+  const LayerProfile& dense = gp.layers[1];
+  EXPECT_EQ(dense.macs, 640);
+  EXPECT_EQ(dense.weight_params, 640);
+  EXPECT_EQ(dense.bias_params, 10);
+  EXPECT_EQ(dense.ops, 2 * 640 + 10);
+}
+
+TEST(ProfileTest, PointwiseLayers) {
+  GraphBuilder b("t");
+  auto in = b.input("x", {4, 8, 8});
+  auto act = b.leaky_relu(in, "act");
+  auto up = b.upsample2x(act, "up");
+  auto pool = b.max_pool(up, "pool", {.kernel = 2, .stride = 2});
+  b.output(pool, "y");
+  auto g = std::move(b).build();
+  ASSERT_TRUE(g.is_ok());
+  const GraphProfile p = profile_graph(*g);
+  EXPECT_EQ(p.layers[1].ops, 4 * 8 * 8);        // act: 1 op/elem
+  EXPECT_EQ(p.layers[2].ops, 4 * 16 * 16);      // nearest upsample
+  EXPECT_EQ(p.layers[3].ops, 4 * 4 * 8 * 8);    // pool: k^2 per out elem
+  EXPECT_EQ(p.layers[1].params, 0);
+  EXPECT_EQ(p.layers[2].macs, 0);
+}
+
+TEST(ProfileTest, BilinearUpsampleCostsMacs) {
+  GraphBuilder b("t");
+  auto in = b.input("x", {4, 8, 8});
+  auto up = b.upsample2x(in, "up", nn::Upsample2xAttrs::Mode::kBilinear);
+  b.output(up, "y");
+  auto g = std::move(b).build();
+  ASSERT_TRUE(g.is_ok());
+  const GraphProfile gp = profile_graph(*g);
+  const LayerProfile& lp = gp.layers[1];
+  EXPECT_EQ(lp.macs, 4LL * 4 * 16 * 16);
+}
+
+TEST(ProfileTest, StructuralLayersAreFree) {
+  GraphBuilder b("t");
+  auto in1 = b.input("a", {4, 8, 8});
+  auto in2 = b.input("b", {3, 8, 8});
+  auto cat = b.concat({in1, in2}, "cat");
+  auto r = b.reshape(cat, "r", {7, 8, 8});
+  b.output(r, "y");
+  auto g = std::move(b).build();
+  ASSERT_TRUE(g.is_ok());
+  const GraphProfile p = profile_graph(*g);
+  EXPECT_EQ(p.total_ops, 0);
+  EXPECT_EQ(p.total_params, 0);
+}
+
+TEST(ProfileTest, TotalsAreSumsOfLayers) {
+  const nn::Graph g = single_conv(16, 16, 32, 3, true);
+  const GraphProfile p = profile_graph(g);
+  std::int64_t ops = 0, macs = 0, params = 0;
+  for (const auto& lp : p.layers) {
+    ops += lp.ops;
+    macs += lp.macs;
+    params += lp.params;
+  }
+  EXPECT_EQ(p.total_ops, ops);
+  EXPECT_EQ(p.total_macs, macs);
+  EXPECT_EQ(p.total_params, params);
+}
+
+// Property sweep: conv MAC count scales exactly with each dimension.
+class ConvScalingTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ConvScalingTest, MacsFollowClosedForm) {
+  const auto [in_ch, out_ch, kernel] = GetParam();
+  const nn::Graph g = single_conv(in_ch, 16, out_ch, kernel, false);
+  const GraphProfile gp = profile_graph(g);
+  const LayerProfile& conv = gp.layers[1];
+  EXPECT_EQ(conv.macs, static_cast<std::int64_t>(in_ch) * out_ch * kernel *
+                           kernel * 16 * 16);
+  EXPECT_EQ(conv.weight_params,
+            static_cast<std::int64_t>(in_ch) * out_ch * kernel * kernel);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConvScalingTest,
+    ::testing::Combine(::testing::Values(1, 3, 16, 64),
+                       ::testing::Values(1, 8, 32),
+                       ::testing::Values(1, 3, 4, 5)));
+
+}  // namespace
+}  // namespace fcad::analysis

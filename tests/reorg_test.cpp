@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "arch/reorg.hpp"
+#include "nn/builder.hpp"
+#include "nn/zoo/avatar_decoder.hpp"
+#include "nn/zoo/classic_nets.hpp"
+
+namespace fcad::arch {
+namespace {
+
+TEST(ReorgTest, AvatarDecoderPipelines) {
+  auto model = reorganize(nn::zoo::avatar_decoder());
+  ASSERT_TRUE(model.is_ok()) << model.status().to_string();
+  ASSERT_EQ(model->num_branches(), 3);
+  // Ownership after reorganization: Br.1 6 stages, Br.2 8 (incl. the two
+  // shared), Br.3 4 (its own tail only).
+  EXPECT_EQ(model->branches[0].stages.size(), 6u);
+  EXPECT_EQ(model->branches[1].stages.size(), 8u);
+  EXPECT_EQ(model->branches[2].stages.size(), 4u);
+  EXPECT_EQ(model->branches[0].role, "geometry");
+  EXPECT_EQ(model->branches[1].role, "texture");
+  EXPECT_EQ(model->branches[2].role, "warp_field");
+}
+
+TEST(ReorgTest, SharedStagesAssignedToCriticalBranch) {
+  auto model = reorganize(nn::zoo::avatar_decoder());
+  ASSERT_TRUE(model.is_ok());
+  ASSERT_EQ(model->shared_stages.size(), 2u);  // sh_l1, sh_l2
+  for (int s : model->shared_stages) {
+    EXPECT_EQ(model->owner[static_cast<std::size_t>(s)], 1)
+        << "shared stage must belong to Br.2 (highest demand)";
+  }
+}
+
+TEST(ReorgTest, PathIncludesForeignSharedStages) {
+  auto model = reorganize(nn::zoo::avatar_decoder());
+  ASSERT_TRUE(model.is_ok());
+  const BranchPipeline& br3 = model->branches[2];
+  EXPECT_EQ(br3.path.size(), 6u);  // 2 shared + 4 own
+  EXPECT_EQ(br3.stages.size(), 4u);
+  // The path's first two stages are owned by Br.2.
+  EXPECT_EQ(model->owner[static_cast<std::size_t>(br3.path[0])], 1);
+  EXPECT_EQ(model->owner[static_cast<std::size_t>(br3.path[1])], 1);
+}
+
+TEST(ReorgTest, OpsAccounting) {
+  auto model = reorganize(nn::zoo::avatar_decoder());
+  ASSERT_TRUE(model.is_ok());
+  std::int64_t owned = 0;
+  for (const BranchPipeline& br : model->branches) owned += br.ops_owned;
+  std::int64_t total = 0;
+  for (const FusedStage& st : model->fused.stages) total += st.ops;
+  EXPECT_EQ(owned, total);  // each stage owned exactly once
+  // Path ops of Br.3 exceed its owned ops by the shared prefix.
+  EXPECT_GT(model->branches[2].ops_path, model->branches[2].ops_owned);
+  // Br.2 owns its full path.
+  EXPECT_EQ(model->branches[1].ops_path, model->branches[1].ops_owned);
+}
+
+TEST(ReorgTest, StagesInExecutionOrder) {
+  auto model = reorganize(nn::zoo::avatar_decoder());
+  ASSERT_TRUE(model.is_ok());
+  for (const BranchPipeline& br : model->branches) {
+    for (std::size_t i = 1; i < br.path.size(); ++i) {
+      // Chain: stage i's producer is stage i-1 of the path.
+      const auto& ins =
+          model->fused.stage_inputs[static_cast<std::size_t>(br.path[i])];
+      ASSERT_EQ(ins.size(), 1u);
+      EXPECT_EQ(ins[0], br.path[i - 1]);
+    }
+  }
+}
+
+TEST(ReorgTest, SingleBranchNetTrivial) {
+  auto model = reorganize(nn::zoo::vgg16());
+  ASSERT_TRUE(model.is_ok());
+  EXPECT_EQ(model->num_branches(), 1);
+  EXPECT_TRUE(model->shared_stages.empty());
+  EXPECT_EQ(model->branches[0].stages.size(), 16u);  // 13 conv + 3 fc
+}
+
+TEST(ReorgTest, JoinGraphRejected) {
+  // Two convs concatenated mid-graph -> a stage with two producers, which
+  // the chain-pipeline paradigm cannot map.
+  nn::GraphBuilder b("t");
+  auto in = b.input("x", {4, 8, 8});
+  auto c1 = b.conv2d(in, "c1", {.out_ch = 8, .kernel = 3});
+  auto c2 = b.conv2d(in, "c2", {.out_ch = 8, .kernel = 3});
+  auto cat = b.concat({c1, c2}, "cat");
+  auto c3 = b.conv2d(cat, "c3", {.out_ch = 8, .kernel = 3});
+  b.output(c3, "y");
+  auto g = std::move(b).build();
+  ASSERT_TRUE(g.is_ok());
+  auto model = reorganize(*g);
+  EXPECT_FALSE(model.is_ok());
+}
+
+}  // namespace
+}  // namespace fcad::arch

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "analysis/report.hpp"
+#include "nn/zoo/avatar_decoder.hpp"
+#include "nn/zoo/classic_nets.hpp"
+#include "util/log.hpp"
+
+namespace fcad::analysis {
+namespace {
+
+struct Fixture {
+  nn::Graph graph = nn::zoo::avatar_decoder();
+  GraphProfile profile = profile_graph(graph);
+  BranchDecomposition branches = [this] {
+    auto d = decompose(graph, profile);
+    FCAD_CHECK(d.is_ok());
+    return std::move(d).value();
+  }();
+};
+
+TEST(BranchSummaryTest, ContainsTableIGrammar) {
+  Fixture f;
+  const std::string summary = branch_summary(f.graph, f.profile, f.branches);
+  // The run-length-encoded branch structures of Table I.
+  EXPECT_NE(summary.find("[CAU]x5+C"), std::string::npos);
+  EXPECT_NE(summary.find("[CAU]x7+C"), std::string::npos);
+  EXPECT_NE(summary.find("[4,8,8]"), std::string::npos);
+  EXPECT_NE(summary.find("[7,8,8]"), std::string::npos);
+  EXPECT_NE(summary.find("[3,1024,1024]"), std::string::npos);
+  EXPECT_NE(summary.find("geometry"), std::string::npos);
+  EXPECT_NE(summary.find("total (shared counted once)"), std::string::npos);
+}
+
+TEST(BranchSummaryTest, SharesSumToAboutHundredPercent) {
+  Fixture f;
+  const std::string summary = branch_summary(f.graph, f.profile, f.branches);
+  // Extract the "Share" percentages and check they sum to ~100.
+  double total = 0;
+  std::size_t pos = 0;
+  int count = 0;
+  while ((pos = summary.find('%', pos)) != std::string::npos) {
+    std::size_t start = pos;
+    while (start > 0 && (std::isdigit(summary[start - 1]) ||
+                         summary[start - 1] == '.')) {
+      --start;
+    }
+    total += std::stod(summary.substr(start, pos - start));
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 6);  // 3 branches x (ops share + params share)
+  EXPECT_NEAR(total, 200.0, 0.5);
+}
+
+TEST(LayerListingTest, OneRowPerLayer) {
+  Fixture f;
+  const std::string listing = layer_listing(f.graph, f.profile);
+  std::size_t rows = 0;
+  for (std::size_t pos = 0;
+       (pos = listing.find("conv", pos)) != std::string::npos; ++pos) {
+    ++rows;
+  }
+  // 18 convs, each appearing in a name cell and a type cell ("conv2d").
+  EXPECT_GE(rows, 18u);
+  EXPECT_NE(listing.find("br2_l7_conv"), std::string::npos);
+  EXPECT_NE(listing.find("[3,1024,1024]"), std::string::npos);
+}
+
+TEST(BranchSummaryTest, SingleBranchNetwork) {
+  nn::Graph g = nn::zoo::alexnet();
+  const GraphProfile profile = profile_graph(g);
+  auto d = decompose(g, profile);
+  ASSERT_TRUE(d.is_ok());
+  const std::string summary = branch_summary(g, profile, *d);
+  EXPECT_NE(summary.find("logits"), std::string::npos);
+  EXPECT_NE(summary.find("100.0%"), std::string::npos);
+}
+
+TEST(LogTest, LevelFiltering) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Emitting below the level must be a no-op (reaches the else-branch).
+  FCAD_LOG(kDebug) << "dropped";
+  FCAD_LOG(kInfo) << "dropped too";
+  set_log_level(LogLevel::kOff);
+  FCAD_LOG(kError) << "dropped as well";
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace fcad::analysis

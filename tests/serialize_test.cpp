@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "nn/serialize.hpp"
+#include "nn/zoo/avatar_decoder.hpp"
+#include "nn/zoo/classic_nets.hpp"
+
+namespace fcad::nn {
+namespace {
+
+void expect_roundtrip(const Graph& g) {
+  const std::string text = to_text(g);
+  auto parsed = from_text(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->name(), g.name());
+  ASSERT_EQ(parsed->size(), g.size());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const Layer& a = g.layers()[i];
+    const Layer& b = parsed->layers()[i];
+    EXPECT_EQ(a.kind, b.kind) << "layer " << i;
+    EXPECT_EQ(a.inputs, b.inputs) << "layer " << i;
+    EXPECT_EQ(a.out_shape, b.out_shape) << "layer " << i;
+  }
+  // Idempotence: serializing the parse gives the same text.
+  EXPECT_EQ(to_text(*parsed), text);
+}
+
+TEST(SerializeTest, RoundTripAvatarDecoder) {
+  expect_roundtrip(zoo::avatar_decoder());
+}
+
+TEST(SerializeTest, RoundTripMimicDecoder) {
+  expect_roundtrip(zoo::mimic_decoder());
+}
+
+TEST(SerializeTest, RoundTripClassicNets) {
+  for (const Graph& g : zoo::calibration_benchmarks()) {
+    expect_roundtrip(g);
+  }
+}
+
+TEST(SerializeTest, RoundTripPreservesUntiedBias) {
+  const Graph g = zoo::avatar_decoder();
+  auto parsed = from_text(to_text(g));
+  ASSERT_TRUE(parsed.is_ok());
+  int untied = 0;
+  for (const Layer& layer : parsed->layers()) {
+    if (layer.kind == LayerKind::kConv2d && layer.conv().untied_bias) {
+      ++untied;
+    }
+  }
+  EXPECT_EQ(untied, 18);  // every conv of the decoder is customized
+}
+
+TEST(SerializeTest, CommentsAndBlankLinesIgnored) {
+  auto g = from_text(
+      "# a comment\n"
+      "graph tiny\n"
+      "\n"
+      "0 input x 4 8 8   # trailing comment\n"
+      "1 conv2d c in=0 8 3 1 0 1\n"
+      "2 output y in=1\n");
+  ASSERT_TRUE(g.is_ok()) << g.status().to_string();
+  EXPECT_EQ(g->size(), 3u);
+}
+
+TEST(SerializeTest, MissingHeaderRejected) {
+  auto g = from_text("0 input x 4 8 8\n");
+  ASSERT_FALSE(g.is_ok());
+  EXPECT_NE(g.status().message().find("graph"), std::string::npos);
+}
+
+TEST(SerializeTest, DuplicateHeaderRejected) {
+  auto g = from_text("graph a\ngraph b\n");
+  EXPECT_FALSE(g.is_ok());
+}
+
+TEST(SerializeTest, UnknownKindRejected) {
+  auto g = from_text("graph t\n0 input x 4 8 8\n1 warp c in=0\n");
+  ASSERT_FALSE(g.is_ok());
+  EXPECT_NE(g.status().message().find("unknown layer kind"),
+            std::string::npos);
+}
+
+TEST(SerializeTest, UnknownInputIdRejected) {
+  auto g = from_text("graph t\n0 input x 4 8 8\n1 conv2d c in=9 8 3 1 0 1\n");
+  ASSERT_FALSE(g.is_ok());
+  EXPECT_NE(g.status().message().find("unknown input id"), std::string::npos);
+}
+
+TEST(SerializeTest, BadIntegerRejected) {
+  auto g = from_text("graph t\n0 input x four 8 8\n");
+  ASSERT_FALSE(g.is_ok());
+  EXPECT_NE(g.status().message().find("bad integer"), std::string::npos);
+}
+
+TEST(SerializeTest, TruncatedLineRejected) {
+  auto g = from_text("graph t\n0 input x 4 8\n");
+  EXPECT_FALSE(g.is_ok());
+}
+
+TEST(SerializeTest, ValidationStillAppliesAfterParse) {
+  // Structurally parsable but semantically invalid (dangling conv).
+  auto g = from_text(
+      "graph t\n"
+      "0 input x 4 8 8\n"
+      "1 conv2d c in=0 8 3 1 0 1\n"
+      "2 conv2d dead in=0 8 3 1 0 1\n"
+      "3 output y in=1\n");
+  ASSERT_FALSE(g.is_ok());
+  EXPECT_NE(g.status().message().find("dangling"), std::string::npos);
+}
+
+TEST(SerializeTest, ErrorsReportLineNumbers) {
+  auto g = from_text("graph t\n0 input x 4 8 8\n1 bogus c in=0\n");
+  ASSERT_FALSE(g.is_ok());
+  EXPECT_NE(g.status().message().find("line 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fcad::nn

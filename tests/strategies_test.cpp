@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "arch/platform.hpp"
+#include "dse/strategies.hpp"
+#include "nn/zoo/avatar_decoder.hpp"
+
+namespace fcad::dse {
+namespace {
+
+const arch::ReorganizedModel& decoder_model() {
+  static const arch::ReorganizedModel model = [] {
+    auto m = arch::reorganize(nn::zoo::avatar_decoder());
+    FCAD_CHECK(m.is_ok());
+    return std::move(m).value();
+  }();
+  return model;
+}
+
+Customization decoder_customization() {
+  Customization c;
+  c.quantization = nn::DataType::kInt8;
+  c.batch_sizes = {1, 2, 2};
+  c.priorities = {1, 1, 1};
+  return c;
+}
+
+CrossBranchOptions fast_options(std::uint64_t seed = 21) {
+  CrossBranchOptions opt;
+  opt.population = 25;
+  opt.iterations = 5;
+  opt.seed = seed;
+  return opt;
+}
+
+class StrategyTest : public ::testing::TestWithParam<SearchStrategy> {};
+
+TEST_P(StrategyTest, FindsFeasibleDesign) {
+  const SearchResult result = strategy_search(
+      decoder_model(),
+      ResourceBudget::from_platform(arch::platform_zu9cg()),
+      decoder_customization(), fast_options(), GetParam());
+  EXPECT_TRUE(result.feasible) << to_string(GetParam());
+  EXPECT_GT(result.eval.min_fps, 5.0);
+  EXPECT_LE(result.eval.dsps, 2520);
+  EXPECT_LE(result.eval.brams, 1824);
+}
+
+TEST_P(StrategyTest, TraceMonotoneAndComplete) {
+  const SearchResult result = strategy_search(
+      decoder_model(),
+      ResourceBudget::from_platform(arch::platform_zu9cg()),
+      decoder_customization(), fast_options(), GetParam());
+  ASSERT_EQ(result.trace.best_fitness.size(), 5u);
+  for (std::size_t i = 1; i < result.trace.best_fitness.size(); ++i) {
+    EXPECT_GE(result.trace.best_fitness[i], result.trace.best_fitness[i - 1]);
+  }
+  EXPECT_GT(result.trace.evaluations, 0);
+}
+
+TEST_P(StrategyTest, Deterministic) {
+  const auto budget = ResourceBudget::from_platform(arch::platform_zu9cg());
+  const SearchResult a =
+      strategy_search(decoder_model(), budget, decoder_customization(),
+                      fast_options(5), GetParam());
+  const SearchResult b =
+      strategy_search(decoder_model(), budget, decoder_customization(),
+                      fast_options(5), GetParam());
+  EXPECT_DOUBLE_EQ(a.fitness, b.fitness);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategyTest,
+                         ::testing::Values(SearchStrategy::kParticleSwarm,
+                                           SearchStrategy::kRandom,
+                                           SearchStrategy::kAnnealing),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case SearchStrategy::kParticleSwarm:
+                               return "ParticleSwarm";
+                             case SearchStrategy::kRandom: return "Random";
+                             case SearchStrategy::kAnnealing:
+                               return "Annealing";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(StrategyComparisonTest, SwarmAtLeastMatchesRandom) {
+  // Under the same evaluation budget and seed family, the guided searches
+  // should not lose to blind sampling by a meaningful margin.
+  const auto budget = ResourceBudget::from_platform(arch::platform_zu9cg());
+  const double swarm =
+      strategy_search(decoder_model(), budget, decoder_customization(),
+                      fast_options(), SearchStrategy::kParticleSwarm)
+          .fitness;
+  const double random =
+      strategy_search(decoder_model(), budget, decoder_customization(),
+                      fast_options(), SearchStrategy::kRandom)
+          .fitness;
+  EXPECT_GE(swarm, random * 0.98);
+}
+
+TEST(StrategyTest, EvaluateDistributionSharesObjective) {
+  // evaluate_distribution on the swarm winner's rd reproduces its fitness.
+  const auto budget = ResourceBudget::from_platform(arch::platform_zu9cg());
+  CrossBranchOptions opt = fast_options();
+  opt.freq_mhz = 200.0;
+  const SearchResult result =
+      strategy_search(decoder_model(), budget, decoder_customization(), opt,
+                      SearchStrategy::kParticleSwarm);
+  SearchTrace trace;
+  const DistributionEval ce = evaluate_distribution(
+      decoder_model(), budget, result.distribution, decoder_customization(),
+      opt, trace);
+  EXPECT_DOUBLE_EQ(ce.fitness, result.fitness);
+}
+
+TEST(StrategyTest, Names) {
+  EXPECT_STREQ(to_string(SearchStrategy::kRandom), "random sampling");
+  EXPECT_STREQ(to_string(SearchStrategy::kAnnealing), "simulated annealing");
+}
+
+}  // namespace
+}  // namespace fcad::dse

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "arch/platform.hpp"
+#include "dse/sweep.hpp"
+#include "nn/zoo/avatar_decoder.hpp"
+
+namespace fcad::dse {
+namespace {
+
+const arch::ReorganizedModel& decoder_model() {
+  static const arch::ReorganizedModel model = [] {
+    auto m = arch::reorganize(nn::zoo::avatar_decoder());
+    FCAD_CHECK(m.is_ok());
+    return std::move(m).value();
+  }();
+  return model;
+}
+
+SweepOptions fast_sweep() {
+  SweepOptions options;
+  options.search.population = 20;
+  options.search.iterations = 4;
+  options.search.seed = 17;
+  options.customization.batch_sizes = {1, 1, 1};
+  options.customization.priorities = {1, 1, 1};
+  return options;
+}
+
+TEST(SweepTest, GridCoverage) {
+  auto points = quantization_frequency_sweep(
+      decoder_model(), arch::platform_zu9cg(), fast_sweep());
+  ASSERT_TRUE(points.is_ok()) << points.status().to_string();
+  EXPECT_EQ(points->size(), 6u);  // 2 dtypes x 3 frequencies
+  int feasible = 0;
+  for (const SweepPoint& p : *points) feasible += p.result.feasible;
+  EXPECT_EQ(feasible, 6);
+}
+
+TEST(SweepTest, FrequencyScalesThroughput) {
+  SweepOptions options = fast_sweep();
+  options.quantizations = {nn::DataType::kInt8};
+  options.frequencies_mhz = {100, 400};
+  auto points = quantization_frequency_sweep(
+      decoder_model(), arch::platform_zu9cg(), options);
+  ASSERT_TRUE(points.is_ok());
+  ASSERT_EQ(points->size(), 2u);
+  // Same budget, 4x clock: substantially more throughput (not necessarily
+  // exactly 4x — the search is stochastic and BW constraints shift).
+  EXPECT_GT((*points)[1].result.eval.min_fps,
+            2.0 * (*points)[0].result.eval.min_fps);
+}
+
+TEST(SweepTest, EightBitDominatesSixteenBitAtSameClock) {
+  auto points = quantization_frequency_sweep(
+      decoder_model(), arch::platform_zu9cg(), fast_sweep());
+  ASSERT_TRUE(points.is_ok());
+  double fps8 = 0, fps16 = 0;
+  for (const SweepPoint& p : *points) {
+    if (p.freq_mhz != 200.0) continue;
+    (p.quantization == nn::DataType::kInt8 ? fps8 : fps16) =
+        p.result.eval.min_fps;
+  }
+  EXPECT_GT(fps8, fps16);  // DSP packing doubles the lanes
+}
+
+TEST(SweepTest, ParetoFrontierNonEmptyAndConsistent) {
+  auto points = quantization_frequency_sweep(
+      decoder_model(), arch::platform_zu9cg(), fast_sweep());
+  ASSERT_TRUE(points.is_ok());
+  int frontier = 0;
+  for (const SweepPoint& p : *points) frontier += p.pareto_optimal;
+  EXPECT_GE(frontier, 1);
+  // No frontier point may dominate another frontier point.
+  for (const SweepPoint& a : *points) {
+    if (!a.pareto_optimal) continue;
+    for (const SweepPoint& b : *points) {
+      if (&a == &b || !b.pareto_optimal) continue;
+      const bool dominates = a.result.eval.min_fps > b.result.eval.min_fps &&
+                             a.result.eval.dsps < b.result.eval.dsps;
+      EXPECT_FALSE(dominates && b.pareto_optimal);
+    }
+  }
+}
+
+TEST(SweepTest, EmptyGridRejected) {
+  SweepOptions options = fast_sweep();
+  options.frequencies_mhz = {};
+  auto points = quantization_frequency_sweep(
+      decoder_model(), arch::platform_zu9cg(), options);
+  EXPECT_FALSE(points.is_ok());
+}
+
+TEST(SweepTest, NegativeFrequencyRejected) {
+  SweepOptions options = fast_sweep();
+  options.frequencies_mhz = {-5};
+  auto points = quantization_frequency_sweep(
+      decoder_model(), arch::platform_zu9cg(), options);
+  EXPECT_FALSE(points.is_ok());
+}
+
+}  // namespace
+}  // namespace fcad::dse

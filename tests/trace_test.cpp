@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "arch/platform.hpp"
+#include "dse/cross_branch.hpp"
+#include "nn/zoo/avatar_decoder.hpp"
+#include "sim/trace.hpp"
+
+namespace fcad::sim {
+namespace {
+
+struct Fixture {
+  arch::ReorganizedModel model;
+  arch::AcceleratorConfig config;
+  SimResult result;
+};
+
+const Fixture& fixture() {
+  static const Fixture f = [] {
+    auto model = arch::reorganize(nn::zoo::avatar_decoder());
+    FCAD_CHECK(model.is_ok());
+    dse::Customization cust;
+    cust.batch_sizes = {1, 1, 1};
+    cust.priorities = {1, 1, 1};
+    dse::CrossBranchOptions opt;
+    opt.population = 20;
+    opt.iterations = 4;
+    const auto search = dse::cross_branch_search(
+        *model, dse::ResourceBudget::from_platform(arch::platform_zu9cg()),
+        cust, opt);
+    Fixture f{std::move(model).value(), search.config, {}};
+    f.result = simulate(f.model, f.config, arch::platform_zu9cg());
+    return f;
+  }();
+  return f;
+}
+
+TEST(TraceTest, ChartHasOneBarPerStage) {
+  const std::string chart =
+      utilization_chart(fixture().model, fixture().result);
+  std::size_t bars = 0;
+  for (std::size_t pos = 0; (pos = chart.find("Br.", pos)) != std::string::npos;
+       ++pos) {
+    ++bars;
+  }
+  EXPECT_EQ(bars, fixture().model.fused.stages.size());
+  EXPECT_NE(chart.find("sh_l2_conv"), std::string::npos);
+  EXPECT_NE(chart.find('%'), std::string::npos);
+}
+
+TEST(TraceTest, ChartBarWidthRespected) {
+  const std::string chart =
+      utilization_chart(fixture().model, fixture().result, 10);
+  // Every bar is exactly 10 cells between the pipes.
+  std::size_t pos = 0;
+  while ((pos = chart.find('|', pos)) != std::string::npos) {
+    const std::size_t end = chart.find('|', pos + 1);
+    ASSERT_NE(end, std::string::npos);
+    EXPECT_EQ(end - pos - 1, 10u);
+    pos = end + 1;
+  }
+}
+
+TEST(TraceTest, ChartRejectsDegenerateWidth) {
+  EXPECT_THROW(utilization_chart(fixture().model, fixture().result, 1),
+               InternalError);
+}
+
+TEST(TraceTest, CsvHasOneRowPerStage) {
+  const CsvWriter csv = to_csv(fixture().model, fixture().result);
+  const std::string text = csv.to_string();
+  std::size_t lines = 0;
+  for (char c : text) lines += c == '\n';
+  EXPECT_EQ(lines, fixture().model.fused.stages.size() + 1);  // + header
+  EXPECT_NE(text.find("branch,stage,busy_cycles,stall_cycles,utilization"),
+            std::string::npos);
+}
+
+TEST(TraceTest, UtilizationBetweenZeroAndOne) {
+  const CsvWriter csv = to_csv(fixture().model, fixture().result);
+  std::istringstream is(csv.to_string());
+  std::string line;
+  std::getline(is, line);  // header
+  while (std::getline(is, line)) {
+    const auto last_comma = line.rfind(',');
+    const double util = std::stod(line.substr(last_comma + 1));
+    EXPECT_GE(util, 0.0);
+    EXPECT_LE(util, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace fcad::sim

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "arch/fusion.hpp"
+#include "arch/unit.hpp"
+
+namespace fcad::arch {
+namespace {
+
+FusedStage make_stage(int in_ch, int out_ch, int h, int w, int kernel) {
+  FusedStage st;
+  st.kind = FusedStage::Kind::kConv;
+  st.name = "stage";
+  st.in_ch = in_ch;
+  st.out_ch = out_ch;
+  st.in_h = h;
+  st.in_w = w;
+  st.out_h = h;
+  st.out_w = w;
+  st.final_ch = out_ch;
+  st.final_h = h;
+  st.final_w = w;
+  st.kernel = kernel;
+  st.macs = static_cast<std::int64_t>(out_ch) * in_ch * h * w * kernel * kernel;
+  st.ops = 2 * st.macs;
+  return st;
+}
+
+TEST(UnitConfigTest, LanesAndToString) {
+  UnitConfig cfg{4, 8, 2};
+  EXPECT_EQ(cfg.lanes(), 64);
+  EXPECT_EQ(cfg.to_string(), "(cpf=4,kpf=8,h=2)");
+}
+
+TEST(UnitTest, FitsStage) {
+  const FusedStage st = make_stage(16, 8, 32, 32, 3);
+  EXPECT_TRUE(fits_stage({16, 8, 32}, st));
+  EXPECT_FALSE(fits_stage({17, 8, 32}, st));
+  EXPECT_FALSE(fits_stage({16, 9, 1}, st));
+  EXPECT_FALSE(fits_stage({16, 8, 33}, st));
+  EXPECT_FALSE(fits_stage({0, 1, 1}, st));
+}
+
+TEST(UnitTest, MaxLanesIs3dProduct) {
+  const FusedStage st = make_stage(16, 8, 32, 32, 3);
+  EXPECT_EQ(max_lanes(st), 16LL * 8 * 32);
+}
+
+TEST(GetPfTest, ReturnsDivisorTriples) {
+  const FusedStage st = make_stage(24, 36, 60, 60, 3);
+  for (std::int64_t target : {1, 5, 17, 100, 999}) {
+    const UnitConfig cfg = get_pf(target, st);
+    EXPECT_EQ(st.in_ch % cfg.cpf, 0);
+    EXPECT_EQ(st.out_ch % cfg.kpf, 0);
+    EXPECT_EQ(st.out_h % cfg.h, 0);
+  }
+}
+
+TEST(GetPfTest, MeetsTargetWhenFeasible) {
+  const FusedStage st = make_stage(64, 64, 128, 128, 4);
+  for (std::int64_t target : {1, 2, 7, 64, 100, 1000, 4096}) {
+    const UnitConfig cfg = get_pf(target, st);
+    EXPECT_GE(cfg.lanes(), target);
+    EXPECT_TRUE(fits_stage(cfg, st));
+  }
+}
+
+TEST(GetPfTest, ClampsToMaxWhenTargetTooLarge) {
+  const FusedStage st = make_stage(4, 4, 4, 4, 3);
+  const UnitConfig cfg = get_pf(1'000'000, st);
+  EXPECT_EQ(cfg.lanes(), max_lanes(st));
+}
+
+TEST(GetPfTest, MinimalOvershoot) {
+  // Among feasible lane counts >= target, the chosen one is the smallest:
+  // any divisor triple strictly between target and the result would be a
+  // contradiction. Spot-check against exhaustive enumeration.
+  const FusedStage st = make_stage(12, 10, 20, 20, 3);
+  for (std::int64_t target = 1; target <= max_lanes(st); target += 37) {
+    const UnitConfig cfg = get_pf(target, st);
+    std::int64_t best = -1;
+    for (int c = 1; c <= 12; ++c) {
+      if (12 % c) continue;
+      for (int k = 1; k <= 10; ++k) {
+        if (10 % k) continue;
+        for (int h = 1; h <= 20; ++h) {
+          if (20 % h) continue;
+          const std::int64_t lanes = static_cast<std::int64_t>(c) * k * h;
+          if (lanes >= target && (best < 0 || lanes < best)) best = lanes;
+        }
+      }
+    }
+    EXPECT_EQ(cfg.lanes(), best) << "target " << target;
+  }
+}
+
+TEST(GetPf2dTest, NoHPartition) {
+  const FusedStage st = make_stage(16, 16, 512, 512, 4);
+  for (std::int64_t target : {10, 100, 256, 10'000}) {
+    const UnitConfig cfg = get_pf_2d(target, st);
+    EXPECT_EQ(cfg.h, 1);
+    EXPECT_LE(cfg.lanes(), 256);  // DNNBuilder cap: InCh x OutCh
+  }
+  // The 2D cap is exactly InCh * OutCh.
+  EXPECT_EQ(get_pf_2d(1'000'000, st).lanes(), 256);
+}
+
+TEST(CyclesTest, AnalyticalMatchesQuantizedOnDivisors) {
+  const FusedStage st = make_stage(64, 32, 128, 128, 4);
+  for (const UnitConfig cfg :
+       {UnitConfig{1, 1, 1}, UnitConfig{16, 8, 4}, UnitConfig{64, 32, 128}}) {
+    EXPECT_DOUBLE_EQ(cycles_analytical(st, cfg),
+                     static_cast<double>(cycles_quantized(st, cfg)));
+  }
+}
+
+TEST(CyclesTest, QuantizedNeverFasterThanAnalytical) {
+  const FusedStage st = make_stage(7, 3, 10, 10, 4);  // awkward dims
+  for (int cpf = 1; cpf <= 7; ++cpf) {
+    for (int kpf = 1; kpf <= 3; ++kpf) {
+      for (int h = 1; h <= 10; ++h) {
+        const UnitConfig cfg{cpf, kpf, h};
+        EXPECT_GE(static_cast<double>(cycles_quantized(st, cfg)),
+                  cycles_analytical(st, cfg) - 1e-9);
+      }
+    }
+  }
+}
+
+TEST(CyclesTest, Eq4HandValue) {
+  // Paper Fig. 5(c) example: 4x6x3 input, two 4x2x2 kernels, cpf=kpf=2,
+  // H-partition 2 -> macs = 2*4*6*3*4 = 576, lanes = 8 -> 72 cycles.
+  const FusedStage st = make_stage(4, 2, 6, 3, 2);
+  EXPECT_EQ(st.macs, 576);
+  EXPECT_DOUBLE_EQ(cycles_analytical(st, {2, 2, 2}), 72.0);
+}
+
+// Property sweep: doubling any single parallel factor halves the analytical
+// latency (3D parallelism is multiplicative).
+class ParallelismScalingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelismScalingTest, DoublingFactorHalvesLatency) {
+  const FusedStage st = make_stage(64, 64, 64, 64, 4);
+  const int f = GetParam();
+  const UnitConfig base{f, f, f};
+  const double lat = cycles_analytical(st, base);
+  EXPECT_DOUBLE_EQ(cycles_analytical(st, {2 * f, f, f}), lat / 2);
+  EXPECT_DOUBLE_EQ(cycles_analytical(st, {f, 2 * f, f}), lat / 2);
+  EXPECT_DOUBLE_EQ(cycles_analytical(st, {f, f, 2 * f}), lat / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ParallelismScalingTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace fcad::arch

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+#include "util/table.hpp"
+
+namespace fcad {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::invalid_argument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::infeasible("no fit").code(), StatusCode::kInfeasible);
+  EXPECT_EQ(Status::not_found("miss").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::internal("bug").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::invalid_argument("bad").message(), "bad");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  const std::string repr = Status::infeasible("budget too small").to_string();
+  EXPECT_NE(repr.find("INFEASIBLE"), std::string::npos);
+  EXPECT_NE(repr.find("budget too small"), std::string::npos);
+}
+
+TEST(StatusTest, CodeNamesAreDistinct) {
+  std::set<std::string> names;
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kInfeasible,
+        StatusCode::kNotFound, StatusCode::kInternal}) {
+    names.insert(status_code_name(code));
+  }
+  EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.is_ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::not_found("nope");
+  ASSERT_FALSE(v.is_ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, ValueOnErrorThrows) {
+  StatusOr<int> v = Status::internal("bug");
+  EXPECT_THROW(v.value(), InternalError);
+}
+
+TEST(StatusOrTest, OkStatusWithoutValueIsAnInvariantViolation) {
+  EXPECT_THROW((StatusOr<int>(Status::ok())), InternalError);
+}
+
+TEST(CheckTest, ThrowsWithLocation) {
+  try {
+    FCAD_CHECK_MSG(false, "extra context");
+    FAIL() << "should have thrown";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("extra context"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("util_test.cpp"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------------------- Rng --
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, IntInInclusiveRange) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit over 1000 draws
+}
+
+TEST(RngTest, IntDegenerateRange) {
+  Rng rng(9);
+  EXPECT_EQ(rng.next_int(5, 5), 5);
+}
+
+TEST(RngTest, SimplexSumsToOne) {
+  Rng rng(11);
+  for (std::size_t n : {1u, 2u, 3u, 10u}) {
+    const std::vector<double> w = rng.next_simplex(n);
+    ASSERT_EQ(w.size(), n);
+    double sum = 0;
+    for (double v : w) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(5);
+  Rng child = parent.fork(1);
+  Rng parent2(5);
+  Rng child2 = parent2.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += child.next_u64() == child2.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+// --------------------------------------------------------------- formats --
+TEST(FormatTest, Fixed) {
+  EXPECT_EQ(format_fixed(1.2345, 2), "1.23");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+TEST(FormatTest, Count) {
+  EXPECT_EQ(format_count(999, 1), "999");
+  EXPECT_EQ(format_count(13600000000.0, 1), "13.6G");
+  EXPECT_EQ(format_count(7200000.0, 1), "7.2M");
+  EXPECT_EQ(format_count(1500.0, 1), "1.5k");
+}
+
+TEST(FormatTest, Bytes) {
+  EXPECT_EQ(format_bytes(512, 1), "512B");
+  EXPECT_EQ(format_bytes(2048, 1), "2.0KiB");
+  EXPECT_EQ(format_bytes(3.5 * 1024 * 1024, 1), "3.5MiB");
+}
+
+TEST(FormatTest, Percent) {
+  EXPECT_EQ(format_percent(0.816, 1), "81.6%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+TEST(FormatTest, ThousandsSeparatedInt) {
+  EXPECT_EQ(format_int(0), "0");
+  EXPECT_EQ(format_int(999), "999");
+  EXPECT_EQ(format_int(13600), "13,600");
+  EXPECT_EQ(format_int(-1234567), "-1,234,567");
+}
+
+// ----------------------------------------------------------------- table --
+TEST(TableTest, RendersAlignedColumns) {
+  TablePrinter t({"a", "long header"});
+  t.add_row({"x", "1"});
+  t.add_row({"yy", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| a  | long header |"), std::string::npos);
+  EXPECT_NE(out.find("| yy | 22          |"), std::string::npos);
+}
+
+TEST(TableTest, SeparatorInsertedBetweenGroups) {
+  TablePrinter t({"h"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.to_string();
+  // header rule + top + separator + bottom = 4 rules
+  int rules = 0;
+  for (std::size_t pos = 0; (pos = out.find("+---", pos)) != std::string::npos;
+       ++pos) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(TableTest, ArityMismatchThrows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), InternalError);
+}
+
+// ------------------------------------------------------------------- csv --
+TEST(CsvTest, PlainRows) {
+  CsvWriter w({"x", "y"});
+  w.add_row({"1", "2"});
+  EXPECT_EQ(w.to_string(), "x,y\n1,2\n");
+}
+
+TEST(CsvTest, EscapesSpecialCharacters) {
+  CsvWriter w({"v"});
+  w.add_row({"a,b"});
+  w.add_row({"say \"hi\""});
+  w.add_row({"two\nlines"});
+  const std::string out = w.to_string();
+  EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+  EXPECT_NE(out.find("\"two\nlines\""), std::string::npos);
+}
+
+TEST(CsvTest, ArityMismatchThrows) {
+  CsvWriter w({"a", "b"});
+  EXPECT_THROW(w.add_row({"1"}), InternalError);
+}
+
+}  // namespace
+}  // namespace fcad

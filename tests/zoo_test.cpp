@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "analysis/branches.hpp"
+#include "analysis/profile.hpp"
+#include "nn/zoo/avatar_decoder.hpp"
+#include "nn/zoo/classic_nets.hpp"
+
+namespace fcad {
+namespace {
+
+using nn::TensorShape;
+
+class AvatarDecoderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = std::make_unique<nn::Graph>(nn::zoo::avatar_decoder());
+    profile_ = analysis::profile_graph(*graph_);
+    auto d = analysis::decompose(*graph_, profile_);
+    ASSERT_TRUE(d.is_ok());
+    branches_ = std::move(d).value();
+  }
+
+  std::unique_ptr<nn::Graph> graph_;
+  analysis::GraphProfile profile_;
+  analysis::BranchDecomposition branches_;
+};
+
+TEST_F(AvatarDecoderTest, ThreeBranchesWithTableIRoles) {
+  ASSERT_EQ(branches_.branches.size(), 3u);
+  EXPECT_EQ(branches_.branches[0].role, "geometry");
+  EXPECT_EQ(branches_.branches[1].role, "texture");
+  EXPECT_EQ(branches_.branches[2].role, "warp_field");
+}
+
+TEST_F(AvatarDecoderTest, TableIOutputShapes) {
+  const auto& outs = graph_->output_ids();
+  ASSERT_EQ(outs.size(), 3u);
+  EXPECT_EQ(graph_->layer(outs[0]).out_shape, (TensorShape{3, 256, 256}));
+  EXPECT_EQ(graph_->layer(outs[1]).out_shape, (TensorShape{3, 1024, 1024}));
+  EXPECT_EQ(graph_->layer(outs[2]).out_shape, (TensorShape{2, 256, 256}));
+}
+
+TEST_F(AvatarDecoderTest, HeadlineDemandNearPaper) {
+  // Paper: 13.6-18.1 GOP (Table I rows sum to 18.1), 7.2-9.1M parameters.
+  const double gop = static_cast<double>(profile_.total_ops) * 1e-9;
+  const double mparams = static_cast<double>(profile_.total_params) * 1e-6;
+  EXPECT_GT(gop, 14.0);
+  EXPECT_LT(gop, 20.0);
+  EXPECT_GT(mparams, 6.0);
+  EXPECT_LT(mparams, 9.5);
+}
+
+TEST_F(AvatarDecoderTest, BranchSharesMatchTableI) {
+  // Attributed shares within a few points of the published distribution
+  // (10.5 / 62.4 / 27.1 % GOP, 12.1 / 67.0 / 20.9 % params).
+  std::int64_t total_ops = 0;
+  std::int64_t total_params = 0;
+  for (const auto& br : branches_.branches) {
+    total_ops += br.ops_attributed;
+    total_params += br.params_attributed;
+  }
+  const auto ops_share = [&](int b) {
+    return 100.0 * branches_.branches[b].ops_attributed / total_ops;
+  };
+  const auto param_share = [&](int b) {
+    return 100.0 * branches_.branches[b].params_attributed / total_params;
+  };
+  EXPECT_NEAR(ops_share(0), 10.5, 4.0);
+  EXPECT_NEAR(ops_share(1), 62.4, 6.0);
+  EXPECT_NEAR(ops_share(2), 27.1, 6.0);
+  EXPECT_NEAR(param_share(0), 12.1, 4.0);
+  EXPECT_NEAR(param_share(1), 67.0, 6.0);
+  EXPECT_NEAR(param_share(2), 20.9, 6.0);
+}
+
+TEST_F(AvatarDecoderTest, Branch2DominatesComputation) {
+  EXPECT_GT(branches_.branches[1].ops_attributed,
+            branches_.branches[0].ops_attributed +
+                branches_.branches[2].ops_attributed);
+}
+
+TEST_F(AvatarDecoderTest, SharedFrontEndExists) {
+  // Br.2 and Br.3 share the concat + two CAU blocks; the latent input and
+  // its reshape are additionally shared with Br.1.
+  EXPECT_FALSE(branches_.shared.empty());
+  for (nn::LayerId id : branches_.shared) {
+    EXPECT_GE(branches_.users[static_cast<std::size_t>(id)].size(), 2u);
+  }
+  // The shared compute (the CAU convs) belongs to exactly Br.2 and Br.3.
+  for (const nn::Layer& layer : graph_->layers()) {
+    if (layer.name == "sh_l1_conv" || layer.name == "sh_l2_conv") {
+      const auto& users = branches_.users[static_cast<std::size_t>(layer.id)];
+      EXPECT_EQ(users, (std::vector<int>{1, 2})) << layer.name;
+    }
+  }
+}
+
+TEST_F(AvatarDecoderTest, Conv7HasSixteenInAndOutChannels) {
+  // The layer Sec. III's Fig. 3 analysis singles out.
+  bool found = false;
+  for (const nn::Layer& layer : graph_->layers()) {
+    if (layer.name == "br2_l7_conv") {
+      found = true;
+      EXPECT_EQ(graph_->layer(layer.inputs[0]).out_shape.ch, 16);
+      EXPECT_EQ(layer.conv().out_ch, 16);
+      EXPECT_EQ(layer.out_shape.h, 512);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(AvatarDecoderTest, EveryConvIsCustomized) {
+  for (const nn::Layer& layer : graph_->layers()) {
+    if (layer.kind == nn::LayerKind::kConv2d) {
+      EXPECT_TRUE(layer.conv().untied_bias) << layer.name;
+      EXPECT_EQ(layer.conv().kernel, 4) << layer.name;
+      EXPECT_EQ(layer.conv().stride, 1) << layer.name;
+    }
+  }
+}
+
+TEST_F(AvatarDecoderTest, PeakFeatureMapIsHd) {
+  // Sec. III: intermediate feature maps up to 16x1024x1024.
+  EXPECT_GE(profile_.peak_feature_elems, 3LL * 1024 * 1024);
+}
+
+TEST(MimicDecoderTest, SameTopologyTiedBias) {
+  const nn::Graph real = nn::zoo::avatar_decoder();
+  const nn::Graph mimic = nn::zoo::mimic_decoder();
+  ASSERT_EQ(real.size(), mimic.size());
+  for (std::size_t i = 0; i < real.size(); ++i) {
+    EXPECT_EQ(real.layers()[i].kind, mimic.layers()[i].kind);
+    EXPECT_EQ(real.layers()[i].out_shape, mimic.layers()[i].out_shape);
+    if (mimic.layers()[i].kind == nn::LayerKind::kConv2d) {
+      EXPECT_FALSE(mimic.layers()[i].conv().untied_bias);
+    }
+  }
+}
+
+TEST(MimicDecoderTest, SlightlyFewerParamsAndOps) {
+  const auto real = analysis::profile_graph(nn::zoo::avatar_decoder());
+  const auto mimic = analysis::profile_graph(nn::zoo::mimic_decoder());
+  EXPECT_LT(mimic.total_params, real.total_params);
+  EXPECT_LE(mimic.total_ops, real.total_ops);
+  // "Highly similar structure": within a few percent of each other.
+  EXPECT_GT(static_cast<double>(mimic.total_ops) / real.total_ops, 0.95);
+}
+
+TEST(ClassicNetsTest, OutputHeads) {
+  for (const nn::Graph& g : nn::zoo::calibration_benchmarks()) {
+    ASSERT_EQ(g.output_ids().size(), 1u) << g.name();
+    const int out_ch = g.layer(g.output_ids()[0]).out_shape.ch;
+    if (g.name() == "tiny_yolo") {
+      EXPECT_EQ(out_ch, 125);
+    } else {
+      EXPECT_EQ(out_ch, 1000);
+    }
+  }
+}
+
+TEST(ClassicNetsTest, ExpectedScale) {
+  // Sanity-pin each backbone's compute against its well-known magnitude
+  // (2 ops/MAC): AlexNet ~1.4, ZFNet ~2.3, VGG16 ~31, Tiny-YOLO ~7 GOP.
+  const struct {
+    const char* name;
+    double gop_lo, gop_hi;
+  } expected[] = {{"alexnet", 1.0, 3.0},
+                  {"zfnet", 1.5, 5.0},
+                  {"vgg16", 25.0, 36.0},
+                  {"tiny_yolo", 5.0, 9.0}};
+  auto nets = nn::zoo::calibration_benchmarks();
+  ASSERT_EQ(nets.size(), 4u);
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    const auto p = analysis::profile_graph(nets[i]);
+    const double gop = static_cast<double>(p.total_ops) * 1e-9;
+    EXPECT_EQ(nets[i].name(), expected[i].name);
+    EXPECT_GT(gop, expected[i].gop_lo) << nets[i].name();
+    EXPECT_LT(gop, expected[i].gop_hi) << nets[i].name();
+  }
+}
+
+TEST(ClassicNetsTest, SingleBranchDecomposition) {
+  for (nn::Graph& g : nn::zoo::calibration_benchmarks()) {
+    const auto profile = analysis::profile_graph(g);
+    auto d = analysis::decompose(g, profile);
+    ASSERT_TRUE(d.is_ok());
+    EXPECT_EQ(d->branches.size(), 1u);
+    EXPECT_TRUE(d->shared.empty());
+  }
+}
+
+}  // namespace
+}  // namespace fcad
