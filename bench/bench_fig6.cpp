@@ -2,7 +2,7 @@
 // cycle-level "board" for the eight calibration benchmarks on KU115.
 #include <cstdio>
 
-#include "calibration_common.hpp"
+#include "core/calibration.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 
@@ -10,7 +10,7 @@ int main() {
   using namespace fcad;
 
   std::printf("=== Fig. 6: FPS estimation error (8 benchmarks, KU115) ===\n\n");
-  const auto points = benchharness::run_calibration();
+  const auto points = core::run_calibration();
 
   TablePrinter t({"Benchmark", "Estimated FPS", "Real FPS (sim)",
                   "Normalized est.", "Error"});

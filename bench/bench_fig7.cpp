@@ -2,7 +2,7 @@
 // cycle-level "board" for the eight calibration benchmarks on KU115.
 #include <cstdio>
 
-#include "calibration_common.hpp"
+#include "core/calibration.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 
@@ -11,7 +11,7 @@ int main() {
 
   std::printf(
       "=== Fig. 7: efficiency estimation error (8 benchmarks, KU115) ===\n\n");
-  const auto points = benchharness::run_calibration();
+  const auto points = core::run_calibration();
 
   TablePrinter t({"Benchmark", "Estimated eff.", "Real eff. (sim)",
                   "Normalized est.", "Error"});

@@ -1,0 +1,109 @@
+// Serving-scale sweep on the Table I avatar decoder: users x fleet size x
+// SLA bound, Poisson arrivals at 30 Hz per user, least-loaded dispatch.
+// Emits the full matrix as CSV (bench_serving.csv, or --csv <path>) for
+// plotting capacity curves; prints the 33 ms frame-budget slice as a table.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "arch/platform.hpp"
+#include "arch/reorg.hpp"
+#include "dse/engine.hpp"
+#include "nn/zoo/avatar_decoder.hpp"
+#include "serving/fleet.hpp"
+#include "serving/service.hpp"
+#include "serving/stats.hpp"
+#include "serving/workload.hpp"
+#include "util/args.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fcad;
+
+  auto args = ArgParser::parse(argc, argv);
+  if (!args.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", args.status().to_string().c_str());
+    return 1;
+  }
+  const std::string csv_path = args->get("csv", "bench_serving.csv");
+
+  std::printf("=== serving sweep: users x fleet x SLA (avatar decoder) ===\n\n");
+
+  auto model = arch::reorganize(nn::zoo::avatar_decoder());
+  FCAD_CHECK_MSG(model.is_ok(), model.status().message());
+
+  // One hardware search (batch 1 per branch on the ZU9CG budget); the sweep
+  // varies the serving layer on top of the resulting service model.
+  dse::DseRequest request;
+  request.platform = arch::platform_zu9cg();
+  request.options.population = 100;
+  request.options.iterations = 12;
+  request.options.seed = 42;
+  auto search = dse::optimize(*model, request);
+  FCAD_CHECK_MSG(search.is_ok(), search.status().message());
+  const serving::ServiceModel service =
+      serving::service_model_from_eval(search->config, search->eval);
+  std::printf(
+      "searched config: min %s FPS, uniform-mix saturation %s req/s per "
+      "instance\n\n",
+      format_fixed(search->eval.min_fps, 1).c_str(),
+      format_fixed(service.peak_rps(), 0).c_str());
+
+  const std::vector<int> user_counts = {1, 2, 4, 8, 16, 32};
+  const std::vector<int> fleet_sizes = {1, 2, 4, 8};
+  const std::vector<double> sla_bounds_us = {16666.7, 33333.3, 66666.7};
+
+  CsvWriter csv(serving::serving_csv_header({"users", "instances"}));
+  TablePrinter table({"Users", "Instances", "p99", "Violations", "Util",
+                      "SLA 33ms"});
+  for (int users : user_counts) {
+    serving::WorkloadOptions workload;
+    workload.users = users;
+    workload.branches = model->num_branches();
+    workload.frame_rate_hz = 30;
+    workload.duration_s = 2.0;
+    workload.seed = 42;
+    auto requests = serving::generate_workload(workload);
+    FCAD_CHECK_MSG(requests.is_ok(), requests.status().message());
+
+    for (int instances : fleet_sizes) {
+      for (double sla_us : sla_bounds_us) {
+        serving::FleetOptions fleet;
+        fleet.instances = instances;
+        fleet.policy = serving::DispatchPolicy::kLeastLoaded;
+        fleet.switch_penalty_us = 500;
+        fleet.sla_bound_us = sla_us;
+        auto stats = serving::simulate_fleet(service, *requests, fleet);
+        FCAD_CHECK_MSG(stats.is_ok(), stats.status().message());
+
+        csv.add_row(serving::serving_csv_row(
+            {std::to_string(users), std::to_string(instances)}, *stats));
+        if (sla_us > 30000 && sla_us < 40000) {
+          table.add_row({std::to_string(users), std::to_string(instances),
+                         format_fixed(stats->latency.p99 * 1e-3, 2) + " ms",
+                         format_percent(stats->sla_violation_rate, 2),
+                         format_percent(stats->fleet_utilization, 1),
+                         stats->sla_met ? "met" : "MISSED"});
+        }
+      }
+    }
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  if (!csv.write_file(csv_path)) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", csv_path.c_str());
+    return 1;
+  }
+  std::printf("full matrix (%zu rows) written to %s\n",
+              static_cast<std::size_t>(user_counts.size() *
+                                       fleet_sizes.size() *
+                                       sla_bounds_us.size()),
+              csv_path.c_str());
+  std::printf(
+      "shape to check: p99 collapses once offered load crosses the fleet's "
+      "uniform-mix saturation; doubling the fleet roughly doubles the "
+      "feasible user count.\n");
+  return 0;
+}

@@ -1,12 +1,4 @@
-// Shared harness for Figs. 6-7: configure each calibration backbone
-// (AlexNet, ZFNet, VGG16, Tiny-YOLO; 16-bit = benchmarks 1-4, 8-bit = 5-8)
-// on the KU115 with the F-CAD flow, then compare the analytical estimate
-// (Eqs. 3-5) against the cycle-level simulator standing in for the paper's
-// board-level implementation.
-#pragma once
-
-#include <string>
-#include <vector>
+#include "core/calibration.hpp"
 
 #include "arch/platform.hpp"
 #include "arch/reorg.hpp"
@@ -14,24 +6,9 @@
 #include "nn/zoo/classic_nets.hpp"
 #include "sim/simulator.hpp"
 
-namespace fcad::benchharness {
+namespace fcad::core {
 
-struct CalibrationPoint {
-  std::string name;       ///< "1: AlexNet (16-bit)" ...
-  double est_fps = 0;     ///< analytical estimate
-  double real_fps = 0;    ///< simulated ("board") value
-  double est_eff = 0;
-  double real_eff = 0;
-
-  double fps_error() const {
-    return real_fps > 0 ? std::abs(est_fps - real_fps) / real_fps : 0.0;
-  }
-  double eff_error() const {
-    return real_eff > 0 ? std::abs(est_eff - real_eff) / real_eff : 0.0;
-  }
-};
-
-inline std::vector<CalibrationPoint> run_calibration() {
+std::vector<CalibrationPoint> run_calibration() {
   std::vector<CalibrationPoint> points;
   const arch::Platform ku115 = arch::platform_ku115();
   const nn::DataType dtypes[] = {nn::DataType::kInt16, nn::DataType::kInt8};
@@ -71,4 +48,4 @@ inline std::vector<CalibrationPoint> run_calibration() {
   return points;
 }
 
-}  // namespace fcad::benchharness
+}  // namespace fcad::core

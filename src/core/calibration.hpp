@@ -1,0 +1,35 @@
+// Shared calibration harness for Figs. 6-7: configure each calibration
+// backbone (AlexNet, ZFNet, VGG16, Tiny-YOLO; 16-bit = benchmarks 1-4,
+// 8-bit = 5-8) on the KU115 with the F-CAD flow, then compare the
+// analytical estimate (Eqs. 3-5) against the cycle-level simulator standing
+// in for the paper's board-level implementation.
+//
+// Lives in the library (not under bench/) so every bench binary — and any
+// embedding tool — consumes one copy of the harness.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace fcad::core {
+
+struct CalibrationPoint {
+  std::string name;    ///< "1: AlexNet (16-bit)" ...
+  double est_fps = 0;  ///< analytical estimate
+  double real_fps = 0; ///< simulated ("board") value
+  double est_eff = 0;
+  double real_eff = 0;
+
+  double fps_error() const {
+    return real_fps > 0 ? std::abs(est_fps - real_fps) / real_fps : 0.0;
+  }
+  double eff_error() const {
+    return real_eff > 0 ? std::abs(est_eff - real_eff) / real_eff : 0.0;
+  }
+};
+
+/// Runs the eight-benchmark calibration sweep on the KU115.
+std::vector<CalibrationPoint> run_calibration();
+
+}  // namespace fcad::core

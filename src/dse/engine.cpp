@@ -1,6 +1,10 @@
 #include "dse/engine.hpp"
 
 #include <algorithm>
+#include <utility>
+
+#include "serving/service.hpp"
+#include "sim/simulator.hpp"
 
 namespace fcad::dse {
 
@@ -94,6 +98,162 @@ StatusOr<int> max_feasible_batch(const arch::ReorganizedModel& model,
     (*ok ? lo : hi) = mid;
   }
   return lo;
+}
+
+namespace {
+
+/// Replays the traffic profile at `users` concurrent streams on `service`.
+StatusOr<serving::ServingStats> replay_traffic(
+    const serving::ServiceModel& service, const TrafficProfile& profile,
+    int users) {
+  serving::WorkloadOptions workload = profile.workload;
+  workload.users = users;
+  workload.branches = service.num_branches();
+  auto requests = serving::generate_workload(workload);
+  if (!requests.is_ok()) return requests.status();
+  return serving::simulate_fleet(service, *requests, profile.fleet);
+}
+
+}  // namespace
+
+StatusOr<TrafficSearchResult> optimize_for_traffic(
+    const arch::ReorganizedModel& model, const DseRequest& request,
+    const TrafficProfile& profile) {
+  if (profile.workload.users < 1) {
+    return Status::invalid_argument("optimize_for_traffic: users must be >= 1");
+  }
+  if (profile.max_batch < 1) {
+    return Status::invalid_argument(
+        "optimize_for_traffic: max_batch must be >= 1");
+  }
+  DseRequest base = request;
+  if (Status s = base.customization.normalize(model.num_branches());
+      !s.is_ok()) {
+    return s;
+  }
+  SlaParams sla = profile.sla;
+  sla.p99_bound_us = profile.fleet.sla_bound_us;
+
+  bool have_best = false;
+  TrafficSearchResult best;
+  Status last_error =
+      Status::infeasible("optimize_for_traffic: no candidate produced a design");
+
+  // Probe doubling batch multipliers; each candidate gets its own hardware
+  // search, then a serving replay of the traffic profile.
+  for (int mult = 1; mult <= profile.max_batch; mult *= 2) {
+    DseRequest req = base;
+    for (int& b : req.customization.batch_sizes) b *= mult;
+    auto search = optimize(model, req);
+    if (!search.is_ok()) {
+      last_error = search.status();
+      continue;
+    }
+
+    serving::ServiceModel service;
+    if (profile.use_simulator) {
+      const sim::SimResult simulated =
+          sim::simulate(model, search->config, request.platform);
+      service = serving::service_model_from_sim(search->config, simulated);
+    } else {
+      service = serving::service_model_from_eval(search->config, search->eval);
+    }
+
+    auto stats_at = [&](int users) {
+      return replay_traffic(service, profile, users);
+    };
+    auto first = stats_at(profile.workload.users);
+    if (!first.is_ok()) {
+      last_error = first.status();
+      continue;
+    }
+    serving::ServingStats stats = std::move(*first);
+    int users_served = stats.sla_met ? profile.workload.users : 0;
+
+    // Trace-driven workloads ignore the user count (the offered load IS the
+    // trace; the count only relabels requests), so scaling it would inflate
+    // users_served without changing anything the SLA sees.
+    const bool scalable =
+        profile.workload.process != serving::ArrivalProcess::kTrace;
+
+    // Bisects (lo meets the SLA, hi does not) to the largest SLA-meeting
+    // user count, leaving that count's replay in `best`.
+    auto bisect_users = [&](int lo, int hi,
+                            serving::ServingStats& best) -> StatusOr<int> {
+      while (hi - lo > 1) {
+        const int mid = lo + (hi - lo) / 2;
+        auto probe = stats_at(mid);
+        if (!probe.is_ok()) return probe.status();
+        if (probe->sla_met) {
+          lo = mid;
+          best = std::move(*probe);
+        } else {
+          hi = mid;
+        }
+      }
+      return lo;
+    };
+
+    if (scalable && stats.sla_met &&
+        profile.max_users > profile.workload.users) {
+      // Maximize the served user count: double to the first SLA miss, then
+      // bisect the gap.
+      int lo = profile.workload.users;
+      int hi = lo;
+      while (hi < profile.max_users) {
+        hi = std::min(profile.max_users, hi * 2);
+        auto probe = stats_at(hi);
+        if (!probe.is_ok()) return probe.status();
+        if (probe->sla_met) {
+          lo = hi;
+          stats = std::move(*probe);
+        } else {
+          break;
+        }
+      }
+      auto served = bisect_users(lo, hi, stats);
+      if (!served.is_ok()) return served.status();
+      users_served = *served;
+    } else if (scalable && !stats.sla_met && profile.workload.users > 1) {
+      // Over capacity at the requested count: find the largest user count
+      // this candidate can still serve within the bound.
+      int hi = profile.workload.users;
+      int lo = 0;
+      serving::ServingStats lo_stats;
+      for (int probe_users = hi / 2; probe_users >= 1; probe_users /= 2) {
+        auto probe = stats_at(probe_users);
+        if (!probe.is_ok()) return probe.status();
+        if (probe->sla_met) {
+          lo = probe_users;
+          lo_stats = std::move(*probe);
+          break;
+        }
+        hi = probe_users;
+      }
+      if (lo >= 1) {
+        auto served = bisect_users(lo, hi, lo_stats);
+        if (!served.is_ok()) return served.status();
+        users_served = *served;
+        stats = std::move(lo_stats);
+      }
+      // lo == 0: not even one user fits; keep the diagnostic stats at the
+      // requested count.
+    }
+
+    const double fitness = sla_fitness_score(
+        users_served, stats.latency.p99, stats.sla_violation_rate, sla);
+    if (!have_best || fitness > best.sla_fitness) {
+      best.search = std::move(*search);
+      best.batch_sizes = req.customization.batch_sizes;
+      best.users_served = users_served;
+      best.sla_met = stats.sla_met;
+      best.stats = std::move(stats);
+      best.sla_fitness = fitness;
+      have_best = true;
+    }
+  }
+  if (!have_best) return last_error;
+  return best;
 }
 
 }  // namespace fcad::dse

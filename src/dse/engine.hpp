@@ -8,6 +8,8 @@
 #include "arch/platform.hpp"
 #include "dse/cross_branch.hpp"
 #include "nn/graph.hpp"
+#include "serving/fleet.hpp"
+#include "serving/workload.hpp"
 
 namespace fcad::dse {
 
@@ -44,5 +46,48 @@ ConvergenceStats convergence_study(const arch::ReorganizedModel& model,
 StatusOr<int> max_feasible_batch(const arch::ReorganizedModel& model,
                                  const DseRequest& request, int branch,
                                  int probe_limit = 16);
+
+/// Traffic profile for the SLA-aware search: instead of pinning per-branch
+/// batch-size targets, the caller describes the *load* (arrival process over
+/// N users, fleet size, dispatch policy) and the latency SLA; the engine
+/// searches batch scaling + resource distribution to serve it.
+struct TrafficProfile {
+  /// Arrival process. `users` is the scored user count; `branches` is set
+  /// internally from the model.
+  serving::WorkloadOptions workload;
+  /// Fleet shape and batching timeout. `sla_bound_us` is the p99 target the
+  /// search optimizes against.
+  serving::FleetOptions fleet;
+  SlaParams sla;      ///< objective weights (bound taken from `fleet`)
+  int max_batch = 8;  ///< largest uniform batch multiplier probed (doubling)
+  /// When > workload.users: additionally maximize the served user count up
+  /// to this cap (doubling + bisection per candidate config). Ignored for
+  /// kTrace workloads, whose offered load does not depend on the count.
+  int max_users = 0;
+  /// Score candidates on the cycle-level simulator's service times instead
+  /// of the analytical estimate (slower, closer to the board).
+  bool use_simulator = false;
+};
+
+struct TrafficSearchResult {
+  SearchResult search;          ///< winning hardware search result
+  std::vector<int> batch_sizes; ///< per-branch batch targets of the winner
+  int users_served = 0;         ///< largest user count meeting the SLA (0: none)
+  serving::ServingStats stats;  ///< serving stats at the scored user count
+  /// p99 within fleet.sla_bound_us *at users_served* — which may be below
+  /// the requested workload.users when the traffic had to be degraded.
+  bool sla_met = false;
+  double sla_fitness = 0;       ///< sla_fitness_score of the winner
+};
+
+/// SLA-aware DSE (the serving tentpole): probes doubling batch multipliers,
+/// runs the cross-branch search per candidate, replays the traffic profile
+/// on the resulting service model, and keeps the candidate with the best
+/// sla_fitness_score (users served subject to the p99 bound).
+/// `request.customization.batch_sizes` acts as the per-branch base ratio
+/// (default all 1). Deterministic for fixed seeds.
+StatusOr<TrafficSearchResult> optimize_for_traffic(
+    const arch::ReorganizedModel& model, const DseRequest& request,
+    const TrafficProfile& profile);
 
 }  // namespace fcad::dse

@@ -1,5 +1,7 @@
 #include "dse/fitness.hpp"
 
+#include <algorithm>
+
 #include "util/status.hpp"
 
 namespace fcad::dse {
@@ -25,6 +27,23 @@ double fitness_score(const std::vector<double>& fps,
   }
   score -= params.alpha * variance(fps);
   score -= params.infeasible_demerit * unmet_targets;
+  return score;
+}
+
+double sla_fitness_score(int users_served, double p99_latency_us,
+                         double sla_violation_rate, const SlaParams& params) {
+  FCAD_CHECK(users_served >= 0);
+  FCAD_CHECK(params.p99_bound_us > 0);
+  double score = static_cast<double>(users_served);
+  const double headroom = 1.0 - p99_latency_us / params.p99_bound_us;
+  if (headroom >= 0) {
+    // Within the bound: a bonus in [0, 1) so latency only breaks ties
+    // between configs serving the same number of users.
+    score += std::min(headroom, 0.999);
+  } else {
+    score += params.over_bound_demerit * headroom;  // headroom < 0
+  }
+  score -= params.violation_weight * sla_violation_rate;
   return score;
 }
 

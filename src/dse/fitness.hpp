@@ -24,4 +24,21 @@ double fitness_score(const std::vector<double>& fps,
                      const std::vector<double>& priorities, int unmet_targets,
                      const FitnessParams& params = {});
 
+/// SLA-aware serving objective: maximize users served subject to a tail
+/// latency bound (the telepresence SLA — every stream decoded within its
+/// frame budget at p99).
+struct SlaParams {
+  double p99_bound_us = 33333.3;    ///< one 30 Hz frame period
+  double over_bound_demerit = 1e6;  ///< per unit of relative p99 overshoot
+  double violation_weight = 1e3;    ///< per unit of SLA-violation rate
+};
+
+/// Score of one serving scenario. Users dominate; a sub-unit latency bonus
+/// breaks ties among configs serving the same user count; any p99 overshoot
+/// or violation mass is penalized hard enough that a config meeting the
+/// bound always beats one that misses it.
+double sla_fitness_score(int users_served, double p99_latency_us,
+                         double sla_violation_rate,
+                         const SlaParams& params = {});
+
 }  // namespace fcad::dse

@@ -1,0 +1,264 @@
+#include "serving/fleet.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+
+namespace fcad::serving {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Instance {
+  double free_at_us = 0;
+  double busy_us = 0;
+  int last_branch = -1;
+  std::int64_t batches = 0;
+  std::int64_t requests = 0;
+  std::int64_t switches = 0;
+};
+
+class Dispatcher {
+ public:
+  Dispatcher(DispatchPolicy policy, int instances)
+      : policy_(policy), instances_(static_cast<std::size_t>(instances)) {}
+
+  std::vector<Instance>& instances() { return instances_; }
+  const std::vector<Instance>& instances() const { return instances_; }
+
+  /// Earliest time any instance frees up after `now_us` (+inf if none busy).
+  double next_free_us(double now_us) const {
+    double t = kInf;
+    for (const auto& inst : instances_) {
+      if (inst.free_at_us > now_us) t = std::min(t, inst.free_at_us);
+    }
+    return t;
+  }
+
+  /// Picks the instance to run a `branch` batch at `now_us`, or -1 when all
+  /// are busy. Deterministic: ties break toward the lowest index.
+  int pick(int branch, double now_us) {
+    const int n = static_cast<int>(instances_.size());
+    switch (policy_) {
+      case DispatchPolicy::kRoundRobin:
+        for (int step = 0; step < n; ++step) {
+          const int k = (cursor_ + step) % n;
+          if (free_at(k) <= now_us) {
+            cursor_ = (k + 1) % n;
+            return k;
+          }
+        }
+        return -1;
+      case DispatchPolicy::kLeastLoaded:
+        return least_loaded(now_us, /*branch=*/-1);
+      case DispatchPolicy::kBranchAffinity: {
+        const int affine = least_loaded(now_us, branch);
+        if (affine >= 0) return affine;
+        return least_loaded(now_us, /*branch=*/-1);
+      }
+    }
+    return -1;
+  }
+
+ private:
+  double free_at(int k) const {
+    return instances_[static_cast<std::size_t>(k)].free_at_us;
+  }
+
+  /// Least-busy free instance; when `branch >= 0` only instances whose last
+  /// pass targeted that branch qualify.
+  int least_loaded(double now_us, int branch) const {
+    int best = -1;
+    for (int k = 0; k < static_cast<int>(instances_.size()); ++k) {
+      const auto& inst = instances_[static_cast<std::size_t>(k)];
+      if (inst.free_at_us > now_us) continue;
+      if (branch >= 0 && inst.last_branch != branch) continue;
+      if (best < 0 ||
+          inst.busy_us < instances_[static_cast<std::size_t>(best)].busy_us) {
+        best = k;
+      }
+    }
+    return best;
+  }
+
+  DispatchPolicy policy_;
+  std::vector<Instance> instances_;
+  int cursor_ = 0;
+};
+
+}  // namespace
+
+const char* to_string(DispatchPolicy policy) {
+  switch (policy) {
+    case DispatchPolicy::kRoundRobin: return "round-robin";
+    case DispatchPolicy::kLeastLoaded: return "least-loaded";
+    case DispatchPolicy::kBranchAffinity: return "branch-affinity";
+  }
+  return "?";
+}
+
+StatusOr<DispatchPolicy> dispatch_policy_by_name(const std::string& name) {
+  std::string lower;
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "round-robin" || lower == "rr") {
+    return DispatchPolicy::kRoundRobin;
+  }
+  if (lower == "least-loaded" || lower == "least") {
+    return DispatchPolicy::kLeastLoaded;
+  }
+  if (lower == "branch-affinity" || lower == "affinity") {
+    return DispatchPolicy::kBranchAffinity;
+  }
+  return Status::not_found("unknown dispatch policy '" + name + "'");
+}
+
+StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
+                                      const std::vector<Request>& workload,
+                                      const FleetOptions& options) {
+  if (options.instances < 1) {
+    return Status::invalid_argument("fleet: instances must be >= 1");
+  }
+  if (service.num_branches() < 1) {
+    return Status::invalid_argument("fleet: service model has no branches");
+  }
+  for (const Request& r : workload) {
+    if (r.branch < 0 || r.branch >= service.num_branches()) {
+      return Status::invalid_argument("fleet: request branch out of range");
+    }
+  }
+
+  std::vector<Request> requests = workload;
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.arrival_us < b.arrival_us;
+                   });
+
+  BatchAggregator aggregator(service.capacities(), options.batch_timeout_us);
+  Dispatcher dispatcher(options.policy, options.instances);
+
+  ServingStats stats;
+  stats.offered = static_cast<std::int64_t>(requests.size());
+  stats.sla_bound_us = options.sla_bound_us;
+
+  std::vector<double> latencies;
+  std::vector<double> waits;
+  latencies.reserve(requests.size());
+  waits.reserve(requests.size());
+  double fill_sum = 0;
+  double depth_integral_us = 0;
+  double makespan_us = 0;
+
+  std::size_t next = 0;
+  double now_us = requests.empty() ? 0 : requests.front().arrival_us;
+  if (requests.empty()) aggregator.close();
+
+  while (true) {
+    // Ingest every arrival due by `now_us`.
+    while (next < requests.size() &&
+           requests[next].arrival_us <= now_us) {
+      aggregator.enqueue(requests[next]);
+      ++next;
+      stats.max_queue_depth = std::max(
+          stats.max_queue_depth, static_cast<int>(aggregator.pending()));
+    }
+    if (next >= requests.size()) aggregator.close();
+
+    // Dispatch ready batches while a free instance exists.
+    while (true) {
+      const int branch = aggregator.ready_branch(now_us);
+      if (branch < 0) break;
+      const int k = dispatcher.pick(branch, now_us);
+      if (k < 0) break;
+      Batch batch = *aggregator.pop_ready(now_us);
+
+      Instance& inst = dispatcher.instances()[static_cast<std::size_t>(k)];
+      double pass_us =
+          service.branches[static_cast<std::size_t>(branch)].pass_us;
+      if (inst.last_branch >= 0 && inst.last_branch != branch) {
+        pass_us += options.switch_penalty_us;
+        ++inst.switches;
+      }
+      const double finish_us = now_us + pass_us;
+      inst.free_at_us = finish_us;
+      inst.busy_us += pass_us;
+      inst.last_branch = branch;
+      ++inst.batches;
+      inst.requests += static_cast<std::int64_t>(batch.requests.size());
+
+      ++stats.batches;
+      fill_sum += static_cast<double>(batch.requests.size()) /
+                  static_cast<double>(aggregator.capacity(branch));
+      makespan_us = std::max(makespan_us, finish_us);
+      for (const Request& r : batch.requests) {
+        const double latency = finish_us - r.arrival_us;
+        latencies.push_back(latency);
+        waits.push_back(now_us - r.arrival_us);
+        if (latency > options.sla_bound_us) ++stats.sla_violations;
+        ++stats.completed;
+        if (options.keep_records) {
+          stats.records.push_back({r.id, r.user, r.branch, k, r.arrival_us,
+                                   now_us, finish_us});
+        }
+      }
+    }
+
+    // Advance to the next event: an arrival, a batching deadline, or — when
+    // a batch is ready but every instance is busy — an instance freeing up.
+    double t_us = kInf;
+    if (next < requests.size()) {
+      t_us = std::min(t_us, requests[next].arrival_us);
+    }
+    if (aggregator.has_ready(now_us)) {
+      t_us = std::min(t_us, dispatcher.next_free_us(now_us));
+    } else if (aggregator.pending() > 0) {
+      t_us = std::min(t_us, aggregator.next_deadline_us());
+    }
+    if (t_us == kInf) break;
+    FCAD_CHECK_MSG(t_us > now_us, "fleet: simulation time did not advance");
+    depth_integral_us += static_cast<double>(aggregator.pending()) *
+                         (t_us - now_us);
+    now_us = t_us;
+  }
+
+  FCAD_CHECK_MSG(stats.completed == stats.offered,
+                 "fleet: lost requests in flight");
+
+  stats.makespan_us = makespan_us;
+  stats.throughput_rps =
+      makespan_us > 0
+          ? static_cast<double>(stats.completed) / (makespan_us * 1e-6)
+          : 0;
+  stats.latency = summarize(std::move(latencies));
+  stats.queue_wait = summarize(std::move(waits));
+  stats.mean_batch_fill =
+      stats.batches > 0 ? fill_sum / static_cast<double>(stats.batches) : 0;
+  stats.mean_queue_depth =
+      makespan_us > 0 ? depth_integral_us / makespan_us : 0;
+  stats.sla_violation_rate =
+      stats.completed > 0
+          ? static_cast<double>(stats.sla_violations) /
+                static_cast<double>(stats.completed)
+          : 0;
+  stats.sla_met = stats.latency.p99 <= options.sla_bound_us;
+
+  double busy_sum = 0;
+  for (int k = 0; k < options.instances; ++k) {
+    const Instance& inst = dispatcher.instances()[static_cast<std::size_t>(k)];
+    InstanceStats is;
+    is.instance = k;
+    is.batches = inst.batches;
+    is.requests = inst.requests;
+    is.branch_switches = inst.switches;
+    is.busy_us = inst.busy_us;
+    is.utilization = makespan_us > 0 ? inst.busy_us / makespan_us : 0;
+    busy_sum += is.utilization;
+    stats.instances.push_back(is);
+  }
+  stats.fleet_utilization = busy_sum / options.instances;
+  return stats;
+}
+
+}  // namespace fcad::serving

@@ -1,0 +1,56 @@
+// Fleet dispatch (serving step 3): an event-driven simulation of K
+// accelerator instances serving a batched multi-tenant request stream.
+//
+// Each instance is a single server (the branch pipelines share one DDR and
+// control plane, so an instance runs one batch pass at a time). The
+// dispatcher picks which free instance runs the next ready batch; the
+// branch-affinity policy models the weight-stream cost of retargeting an
+// instance to a different branch via a per-switch penalty.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serving/batcher.hpp"
+#include "serving/service.hpp"
+#include "serving/stats.hpp"
+#include "serving/workload.hpp"
+#include "util/status.hpp"
+
+namespace fcad::serving {
+
+enum class DispatchPolicy {
+  kRoundRobin,     ///< cycle through instances, skipping busy ones
+  kLeastLoaded,    ///< free instance with the least accumulated busy time
+  kBranchAffinity, ///< prefer a free instance already targeting the branch
+};
+
+const char* to_string(DispatchPolicy policy);
+
+/// Lookup by name ("round-robin"/"rr", "least-loaded"/"least",
+/// "branch-affinity"/"affinity"); case-insensitive.
+StatusOr<DispatchPolicy> dispatch_policy_by_name(const std::string& name);
+
+struct FleetOptions {
+  int instances = 1;  ///< K accelerator instances
+  DispatchPolicy policy = DispatchPolicy::kLeastLoaded;
+  /// Batching timeout: longest a request may wait for its batch to fill
+  /// (<= 0 disables; batches then form only when full or at stream end).
+  double batch_timeout_us = 4000;
+  /// Extra pass time when an instance switches to a different branch than
+  /// its previous pass (weight-stream retarget cost).
+  double switch_penalty_us = 0;
+  /// Latency bound requests are scored against (p99 target).
+  double sla_bound_us = 33333.3;  ///< one 30 Hz frame period
+  bool keep_records = false;      ///< retain per-request completion records
+};
+
+/// Simulates serving `workload` on `fleet.instances` copies of the
+/// accelerator described by `service`. Every request completes (the
+/// aggregator drains after the last arrival), so `completed == offered`.
+/// Deterministic: identical inputs produce bit-identical stats.
+StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
+                                      const std::vector<Request>& workload,
+                                      const FleetOptions& options);
+
+}  // namespace fcad::serving

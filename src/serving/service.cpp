@@ -1,0 +1,65 @@
+#include "serving/service.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace fcad::serving {
+namespace {
+
+ServiceModel build(const arch::AcceleratorConfig& config,
+                   const std::vector<double>& fps_per_branch) {
+  FCAD_CHECK_MSG(config.branches.size() == fps_per_branch.size(),
+                 "service model: config/eval branch arity mismatch");
+  ServiceModel model;
+  model.branches.reserve(config.branches.size());
+  for (std::size_t j = 0; j < config.branches.size(); ++j) {
+    BranchService s;
+    s.capacity = std::max(1, config.branches[j].batch);
+    const double fps = fps_per_branch[j];
+    FCAD_CHECK_MSG(fps > 0, "service model: branch throughput must be > 0");
+    // fps counts frames across all pipeline copies, so a full pass of
+    // `capacity` frames completes every capacity / fps seconds.
+    s.pass_us = static_cast<double>(s.capacity) / fps * 1e6;
+    model.branches.push_back(s);
+  }
+  return model;
+}
+
+}  // namespace
+
+std::vector<int> ServiceModel::capacities() const {
+  std::vector<int> caps;
+  caps.reserve(branches.size());
+  for (const auto& b : branches) caps.push_back(b.capacity);
+  return caps;
+}
+
+double ServiceModel::peak_rps() const {
+  // Uniform mix: rate r per branch keeps the server busy a fraction
+  // r * pass_s / capacity per branch; saturation at sum == 1.
+  double busy_per_rps = 0;
+  for (const auto& b : branches) {
+    if (b.capacity > 0) busy_per_rps += b.pass_us * 1e-6 / b.capacity;
+  }
+  if (busy_per_rps <= 0) return 0;
+  return static_cast<double>(branches.size()) / busy_per_rps;
+}
+
+ServiceModel service_model_from_eval(const arch::AcceleratorConfig& config,
+                                     const arch::AcceleratorEval& eval) {
+  std::vector<double> fps;
+  fps.reserve(eval.branches.size());
+  for (const auto& b : eval.branches) fps.push_back(b.fps);
+  return build(config, fps);
+}
+
+ServiceModel service_model_from_sim(const arch::AcceleratorConfig& config,
+                                    const sim::SimResult& result) {
+  std::vector<double> fps;
+  fps.reserve(result.branches.size());
+  for (const auto& b : result.branches) fps.push_back(b.fps);
+  return build(config, fps);
+}
+
+}  // namespace fcad::serving

@@ -1,0 +1,121 @@
+#include "serving/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/format.hpp"
+#include "util/status.hpp"
+#include "util/table.hpp"
+
+namespace fcad::serving {
+
+namespace {
+
+/// Nearest-rank pick from an already sorted, non-empty sample set.
+double sorted_percentile(const std::vector<double>& sorted, double pct) {
+  auto rank = static_cast<std::size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[std::max<std::size_t>(rank, 1) - 1];
+}
+
+}  // namespace
+
+double percentile(std::vector<double> samples, double pct) {
+  FCAD_CHECK_MSG(!samples.empty(), "percentile: empty sample set");
+  FCAD_CHECK_MSG(pct > 0 && pct <= 100, "percentile: pct out of (0, 100]");
+  std::sort(samples.begin(), samples.end());
+  return sorted_percentile(samples, pct);
+}
+
+LatencySummary summarize(std::vector<double> samples) {
+  LatencySummary s;
+  if (samples.empty()) return s;
+  s.count = static_cast<std::int64_t>(samples.size());
+  double sum = 0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  std::sort(samples.begin(), samples.end());
+  s.max = samples.back();
+  s.p50 = sorted_percentile(samples, 50);
+  s.p95 = sorted_percentile(samples, 95);
+  s.p99 = sorted_percentile(samples, 99);
+  return s;
+}
+
+namespace {
+
+std::string ms(double us) { return format_fixed(us * 1e-3, 3) + " ms"; }
+
+}  // namespace
+
+std::string serving_report(const ServingStats& stats) {
+  TablePrinter t({"Metric", "Value"});
+  t.add_row({"requests offered", format_int(stats.offered)});
+  t.add_row({"requests completed", format_int(stats.completed)});
+  t.add_row({"makespan", ms(stats.makespan_us)});
+  t.add_row({"throughput", format_fixed(stats.throughput_rps, 1) + " req/s"});
+  t.add_separator();
+  t.add_row({"latency mean", ms(stats.latency.mean)});
+  t.add_row({"latency p50", ms(stats.latency.p50)});
+  t.add_row({"latency p95", ms(stats.latency.p95)});
+  t.add_row({"latency p99", ms(stats.latency.p99)});
+  t.add_row({"latency max", ms(stats.latency.max)});
+  t.add_row({"queue wait p99", ms(stats.queue_wait.p99)});
+  t.add_separator();
+  t.add_row({"batches dispatched", format_int(stats.batches)});
+  t.add_row({"mean batch fill", format_percent(stats.mean_batch_fill, 1)});
+  t.add_row({"mean queue depth", format_fixed(stats.mean_queue_depth, 2)});
+  t.add_row({"max queue depth", format_int(stats.max_queue_depth)});
+  t.add_separator();
+  t.add_row({"SLA bound", ms(stats.sla_bound_us)});
+  t.add_row({"SLA violations",
+             format_int(stats.sla_violations) + " (" +
+                 format_percent(stats.sla_violation_rate, 2) + ")"});
+  t.add_row({"SLA met (p99 <= bound)", stats.sla_met ? "yes" : "no"});
+  t.add_separator();
+  t.add_row({"fleet utilization", format_percent(stats.fleet_utilization, 1)});
+  for (const auto& inst : stats.instances) {
+    t.add_row({"  instance " + std::to_string(inst.instance),
+               format_percent(inst.utilization, 1) + " busy, " +
+                   format_int(inst.batches) + " batches, " +
+                   format_int(inst.branch_switches) + " switches"});
+  }
+  return t.to_string();
+}
+
+std::vector<std::string> serving_csv_header(std::vector<std::string> keys) {
+  for (const char* col :
+       {"offered", "completed", "throughput_rps", "latency_mean_us",
+        "latency_p50_us", "latency_p95_us", "latency_p99_us", "latency_max_us",
+        "queue_wait_p99_us", "batches", "mean_batch_fill", "mean_queue_depth",
+        "max_queue_depth", "sla_bound_us", "sla_violation_rate", "sla_met",
+        "fleet_utilization"}) {
+    keys.emplace_back(col);
+  }
+  return keys;
+}
+
+std::vector<std::string> serving_csv_row(std::vector<std::string> keys,
+                                         const ServingStats& stats) {
+  const auto num = [](double v) { return format_fixed(v, 4); };
+  keys.push_back(std::to_string(stats.offered));
+  keys.push_back(std::to_string(stats.completed));
+  keys.push_back(num(stats.throughput_rps));
+  keys.push_back(num(stats.latency.mean));
+  keys.push_back(num(stats.latency.p50));
+  keys.push_back(num(stats.latency.p95));
+  keys.push_back(num(stats.latency.p99));
+  keys.push_back(num(stats.latency.max));
+  keys.push_back(num(stats.queue_wait.p99));
+  keys.push_back(std::to_string(stats.batches));
+  keys.push_back(num(stats.mean_batch_fill));
+  keys.push_back(num(stats.mean_queue_depth));
+  keys.push_back(std::to_string(stats.max_queue_depth));
+  keys.push_back(num(stats.sla_bound_us));
+  keys.push_back(num(stats.sla_violation_rate));
+  keys.push_back(stats.sla_met ? "1" : "0");
+  keys.push_back(num(stats.fleet_utilization));
+  return keys;
+}
+
+}  // namespace fcad::serving

@@ -1,0 +1,86 @@
+// Serving statistics (serving step 4): exact tail-latency percentiles,
+// throughput, utilization, queue depth, and SLA-violation accounting over a
+// completed fleet simulation, plus table/CSV rendering.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+
+namespace fcad::serving {
+
+/// Exact nearest-rank percentile: the smallest sample x such that at least
+/// pct% of the samples are <= x (sorted[ceil(pct/100 * N)] 1-indexed).
+/// `pct` must be in (0, 100]; requires a non-empty sample set.
+double percentile(std::vector<double> samples, double pct);
+
+struct LatencySummary {
+  std::int64_t count = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
+/// Summarizes a (possibly empty) latency sample set; all zeros when empty.
+LatencySummary summarize(std::vector<double> samples);
+
+struct InstanceStats {
+  int instance = 0;
+  std::int64_t batches = 0;
+  std::int64_t requests = 0;
+  std::int64_t branch_switches = 0;  ///< passes that paid the switch penalty
+  double busy_us = 0;
+  double utilization = 0;  ///< busy_us / makespan
+};
+
+/// Per-request completion record (kept when FleetOptions::keep_records).
+struct RequestRecord {
+  std::int64_t id = 0;
+  int user = 0;
+  int branch = 0;
+  int instance = 0;
+  double arrival_us = 0;
+  double start_us = 0;   ///< batch dispatch time
+  double finish_us = 0;  ///< batch completion time
+};
+
+struct ServingStats {
+  std::int64_t offered = 0;    ///< requests in the workload
+  std::int64_t completed = 0;  ///< requests that finished (== offered)
+  double makespan_us = 0;      ///< last completion time
+  double throughput_rps = 0;   ///< completed / makespan
+  LatencySummary latency;      ///< arrival -> completion, microseconds
+  LatencySummary queue_wait;   ///< arrival -> dispatch, microseconds
+
+  std::int64_t batches = 0;
+  double mean_batch_fill = 0;   ///< mean occupancy / capacity over batches
+  double mean_queue_depth = 0;  ///< time-averaged pending requests
+  int max_queue_depth = 0;
+
+  double sla_bound_us = 0;          ///< latency bound the run was scored at
+  std::int64_t sla_violations = 0;  ///< requests with latency > bound
+  double sla_violation_rate = 0;
+  bool sla_met = false;  ///< p99 latency within the bound
+
+  double fleet_utilization = 0;  ///< mean instance utilization
+  std::vector<InstanceStats> instances;
+  std::vector<RequestRecord> records;  ///< empty unless requested
+};
+
+/// Renders an aligned summary table (latency percentiles, throughput, SLA,
+/// per-instance utilization) via util/table.
+std::string serving_report(const ServingStats& stats);
+
+/// Column names for `serving_csv_row`, prefixed by caller-defined key
+/// columns (scenario labels, sweep coordinates, ...).
+std::vector<std::string> serving_csv_header(std::vector<std::string> keys);
+
+/// One CSV row of deterministic stats fields, appended after `keys`.
+std::vector<std::string> serving_csv_row(std::vector<std::string> keys,
+                                         const ServingStats& stats);
+
+}  // namespace fcad::serving

@@ -1,0 +1,154 @@
+#include "serving/workload.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+namespace fcad::serving {
+namespace {
+
+/// Exponential draw with mean `mean` (inverse-CDF on a uniform in [0,1)).
+double next_exponential(Rng& rng, double mean) {
+  // 1 - u is in (0, 1], so the log argument never hits zero.
+  return -mean * std::log(1.0 - rng.next_double());
+}
+
+/// Appends one user's frame-event times for a (possibly modulated) Poisson
+/// process. `rate_hz` applies during "on" phases; a non-positive
+/// `off_mean_s` disables modulation (plain Poisson).
+void poisson_stream(Rng& rng, double rate_hz, double horizon_us,
+                    double on_mean_s, double off_mean_s, double burst_factor,
+                    std::vector<double>* events) {
+  const bool modulated = off_mean_s > 0;
+  double t_us = 0;
+  bool on = true;
+  // Phase boundary for the modulated process; infinity when unmodulated.
+  double phase_end_us = modulated
+                            ? next_exponential(rng, on_mean_s) * 1e6
+                            : horizon_us * 2 + 1;
+  while (true) {
+    const double rate = on ? rate_hz * (modulated ? burst_factor : 1.0) : 0.0;
+    if (rate <= 0) {
+      // Silent phase: jump straight to its end.
+      t_us = phase_end_us;
+    } else {
+      t_us += next_exponential(rng, 1.0 / rate) * 1e6;
+    }
+    if (t_us >= horizon_us) return;
+    if (modulated && t_us >= phase_end_us) {
+      // The draw crossed a phase boundary; restart it inside the new phase.
+      t_us = phase_end_us;
+      on = !on;
+      phase_end_us =
+          t_us + next_exponential(rng, on ? on_mean_s : off_mean_s) * 1e6;
+      continue;
+    }
+    events->push_back(t_us);
+  }
+}
+
+}  // namespace
+
+const char* to_string(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kBursty: return "bursty";
+    case ArrivalProcess::kTrace: return "trace";
+  }
+  return "?";
+}
+
+StatusOr<ArrivalProcess> arrival_process_by_name(const std::string& name) {
+  std::string lower;
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "poisson") return ArrivalProcess::kPoisson;
+  if (lower == "bursty") return ArrivalProcess::kBursty;
+  if (lower == "trace") return ArrivalProcess::kTrace;
+  return Status::not_found("unknown arrival process '" + name + "'");
+}
+
+StatusOr<std::vector<Request>> generate_workload(
+    const WorkloadOptions& options) {
+  if (options.users < 1) {
+    return Status::invalid_argument("workload: users must be >= 1");
+  }
+  if (options.branches < 1) {
+    return Status::invalid_argument("workload: branches must be >= 1");
+  }
+  if (options.process != ArrivalProcess::kTrace) {
+    if (options.frame_rate_hz <= 0) {
+      return Status::invalid_argument("workload: frame_rate_hz must be > 0");
+    }
+    if (options.duration_s <= 0) {
+      return Status::invalid_argument("workload: duration_s must be > 0");
+    }
+  }
+  if (options.process == ArrivalProcess::kBursty &&
+      (options.burst_on_s <= 0 || options.burst_off_s <= 0 ||
+       options.burst_factor <= 0)) {
+    return Status::invalid_argument(
+        "workload: bursty phases and factor must be > 0");
+  }
+  if (options.process == ArrivalProcess::kTrace &&
+      options.trace_arrivals_us.empty()) {
+    return Status::invalid_argument("workload: trace arrivals are empty");
+  }
+
+  // Frame events as (arrival_us, user) pairs.
+  std::vector<std::pair<double, int>> events;
+  if (options.process == ArrivalProcess::kTrace) {
+    std::vector<double> times = options.trace_arrivals_us;
+    std::sort(times.begin(), times.end());
+    events.reserve(times.size());
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      events.emplace_back(times[i], static_cast<int>(i) % options.users);
+    }
+  } else {
+    Rng root(options.seed);
+    const double horizon_us = options.duration_s * 1e6;
+    for (int user = 0; user < options.users; ++user) {
+      // Independent decorrelated stream per user so adding users never
+      // perturbs the arrivals of existing ones.
+      Rng rng = root.fork(static_cast<std::uint64_t>(user) + 1);
+      std::vector<double> times;
+      if (options.process == ArrivalProcess::kPoisson) {
+        poisson_stream(rng, options.frame_rate_hz, horizon_us, 0, 0, 1,
+                       &times);
+      } else {
+        poisson_stream(rng, options.frame_rate_hz, horizon_us,
+                       options.burst_on_s, options.burst_off_s,
+                       options.burst_factor, &times);
+      }
+      for (double t : times) events.emplace_back(t, user);
+    }
+    std::sort(events.begin(), events.end());
+  }
+
+  std::vector<Request> workload;
+  workload.reserve(events.size() * static_cast<std::size_t>(options.branches));
+  std::int64_t id = 0;
+  for (const auto& [t_us, user] : events) {
+    for (int branch = 0; branch < options.branches; ++branch) {
+      Request r;
+      r.id = id++;
+      r.user = user;
+      r.branch = branch;
+      r.arrival_us = t_us;
+      workload.push_back(r);
+    }
+  }
+  return workload;
+}
+
+double offered_rate_rps(const std::vector<Request>& workload) {
+  if (workload.empty()) return 0;
+  const double span_us =
+      workload.back().arrival_us - workload.front().arrival_us;
+  if (span_us <= 0) return 0;
+  return static_cast<double>(workload.size()) / (span_us * 1e-6);
+}
+
+}  // namespace fcad::serving

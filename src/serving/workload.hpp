@@ -1,0 +1,70 @@
+// Multi-tenant workload generation (serving step 1): request arrival
+// processes over N concurrent users of the telepresence decoder.
+//
+// Each user produces frame events at a mean rate (e.g. 30 Hz camera capture);
+// every frame event emits one decode request *per branch* of the reorganized
+// model, since geometry / texture / warp streams are decoded independently by
+// the multi-pipeline accelerator. Arrivals are driven by util/rng so a fixed
+// seed reproduces the exact same workload on every platform.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace fcad::serving {
+
+/// One decode request: a single branch inference for one user frame.
+struct Request {
+  std::int64_t id = 0;    ///< dense index in arrival order
+  int user = 0;           ///< originating user stream
+  int branch = 0;         ///< decoder branch this request exercises
+  double arrival_us = 0;  ///< arrival time, microseconds from epoch 0
+};
+
+enum class ArrivalProcess {
+  kPoisson,  ///< per-user exponential inter-arrival times
+  kBursty,   ///< on/off modulated Poisson (talking-head bursts)
+  kTrace,    ///< explicit frame-event times supplied by the caller
+};
+
+const char* to_string(ArrivalProcess process);
+
+/// Lookup by name ("poisson", "bursty", "trace"); case-insensitive.
+StatusOr<ArrivalProcess> arrival_process_by_name(const std::string& name);
+
+struct WorkloadOptions {
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  int users = 8;               ///< concurrent user streams
+  int branches = 1;            ///< requests emitted per frame event
+  double frame_rate_hz = 30;   ///< mean per-user frame-event rate
+  double duration_s = 1.0;     ///< generation horizon
+  std::uint64_t seed = 1;
+
+  /// kBursty: each user alternates exponentially distributed on/off phases;
+  /// during "on" the frame rate is multiplied by `burst_factor`, during
+  /// "off" the stream is silent (camera occluded / user muted). The
+  /// long-run mean rate is frame_rate_hz * burst_factor * on/(on+off) —
+  /// the defaults keep it equal to frame_rate_hz so poisson-vs-bursty
+  /// comparisons offer the same load, just burstier.
+  double burst_on_s = 0.2;
+  double burst_off_s = 0.2;
+  double burst_factor = 2.0;
+
+  /// kTrace: frame-event times in microseconds; event i is assigned to user
+  /// i mod `users`. Unsorted input is accepted and sorted internally.
+  std::vector<double> trace_arrivals_us;
+};
+
+/// Generates the request stream, sorted by arrival time with dense ids.
+/// Fails on non-positive users/branches/rates/horizon or an empty trace for
+/// kTrace. Deterministic for a fixed seed.
+StatusOr<std::vector<Request>> generate_workload(const WorkloadOptions& options);
+
+/// Offered load in requests/second of `workload` over its span.
+double offered_rate_rps(const std::vector<Request>& workload);
+
+}  // namespace fcad::serving
