@@ -13,12 +13,15 @@
 #include "dse/engine.hpp"
 #include "dse/strategies.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
+#include "util/args.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace fcad;
+
+int g_threads = 0;  ///< DSE pool size from --threads (0 = all cores)
 
 dse::DseRequest base_request(const arch::Platform& platform) {
   dse::DseRequest request;
@@ -28,6 +31,7 @@ dse::DseRequest base_request(const arch::Platform& platform) {
   request.options.population = 100;
   request.options.iterations = 15;
   request.options.seed = 99;
+  request.options.threads = g_threads;
   return request;
 }
 
@@ -42,7 +46,20 @@ std::string fps_cell(const arch::AcceleratorEval& eval) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto args = ArgParser::parse(argc, argv);
+  if (!args.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", args.status().to_string().c_str());
+    return 1;
+  }
+  auto threads_flag = args->get_int("threads", 0);
+  if (!threads_flag.is_ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 threads_flag.status().to_string().c_str());
+    return 1;
+  }
+  g_threads = static_cast<int>(*threads_flag);
+
   std::printf("=== Ablations on ZU9CG (8-bit) ===\n\n");
   nn::Graph decoder = nn::zoo::avatar_decoder();
   auto model = arch::reorganize(decoder);

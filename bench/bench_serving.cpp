@@ -28,6 +28,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string csv_path = args->get("csv", "bench_serving.csv");
+  auto threads_flag = args->get_int("threads", 0);
+  if (!threads_flag.is_ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 threads_flag.status().to_string().c_str());
+    return 1;
+  }
+  const auto threads = static_cast<int>(*threads_flag);
 
   std::printf("=== serving sweep: users x fleet x SLA (avatar decoder) ===\n\n");
 
@@ -41,6 +48,7 @@ int main(int argc, char** argv) {
   request.options.population = 100;
   request.options.iterations = 12;
   request.options.seed = 42;
+  request.options.threads = threads;
   auto search = dse::optimize(*model, request);
   FCAD_CHECK_MSG(search.is_ok(), search.status().message());
   const serving::ServiceModel service =

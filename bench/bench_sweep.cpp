@@ -8,11 +8,18 @@
 #include "arch/reorg.hpp"
 #include "dse/sweep.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
+#include "util/args.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fcad;
+
+  auto args = ArgParser::parse(argc, argv);
+  if (!args.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", args.status().to_string().c_str());
+    return 1;
+  }
 
   std::printf(
       "=== quantization x frequency sweep, ZU9CG, batch {1,2,2} ===\n\n");
@@ -24,6 +31,13 @@ int main() {
   options.search.population = 100;
   options.search.iterations = 12;
   options.search.seed = 4242;
+  auto threads_flag = args->get_int("threads", 0);
+  if (!threads_flag.is_ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 threads_flag.status().to_string().c_str());
+    return 1;
+  }
+  options.search.threads = static_cast<int>(*threads_flag);
   options.customization.batch_sizes = {1, 2, 2};
 
   auto points = dse::quantization_frequency_sweep(

@@ -40,6 +40,8 @@ void usage() {
       "  --population <n>      DSE candidates P (default 200)\n"
       "  --iterations <n>      DSE iterations N (default 20)\n"
       "  --seed <n>            DSE seed (default 1)\n"
+      "  --threads <n>         DSE evaluation threads (default: all cores; "
+      "results are identical for any value)\n"
       "  --simulate            validate the winner on the cycle simulator\n"
       "  --chart               print the simulator's per-stage utilization "
       "chart (implies --simulate)\n"
@@ -117,13 +119,16 @@ int run(const ArgParser& args) {
   auto population = args.get_int("population", 200);
   auto iterations = args.get_int("iterations", 20);
   auto seed = args.get_int("seed", 1);
-  if (!population.is_ok() || !iterations.is_ok() || !seed.is_ok()) {
+  auto threads = args.get_int("threads", 0);
+  if (!population.is_ok() || !iterations.is_ok() || !seed.is_ok() ||
+      !threads.is_ok()) {
     std::fprintf(stderr, "error: bad numeric flag\n");
     return 1;
   }
   options.search.population = static_cast<int>(*population);
   options.search.iterations = static_cast<int>(*iterations);
   options.search.seed = static_cast<std::uint64_t>(*seed);
+  options.search.threads = static_cast<int>(*threads);
   options.run_simulation = args.has("simulate") || args.has("chart");
 
   core::Flow flow(std::move(*graph), *platform);

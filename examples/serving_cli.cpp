@@ -51,6 +51,8 @@ void usage() {
       "  --batches a,b,...      per-branch batch targets (default 1,2,2)\n"
       "  --population <n>       DSE candidates (default 100)\n"
       "  --iterations <n>       DSE iterations (default 12)\n"
+      "  --threads <n>          DSE evaluation threads (default: all cores; "
+      "results are identical for any value)\n"
       "  --simulate             service times from the cycle simulator\n"
       "SLA-aware DSE (dse::optimize_for_traffic):\n"
       "  --optimize             search batch scaling under the traffic\n"
@@ -147,6 +149,8 @@ int run(const ArgParser& args) {
   request.options.iterations =
       static_cast<int>(flag_value(args.get_int("iterations", 12)));
   request.options.seed = seed;
+  request.options.threads =
+      static_cast<int>(flag_value(args.get_int("threads", 0)));
 
   serving::WorkloadOptions workload;
   workload.users = users;

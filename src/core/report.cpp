@@ -34,6 +34,17 @@ std::string case_report(const std::string& case_name, const FlowResult& result,
      << format_fixed(result.search.seconds, 1) << " s ("
      << result.search.trace.evaluations << " in-branch evaluations, converged"
      << " at iteration " << result.search.trace.convergence_iteration << ")\n";
+  const dse::SearchTrace& trace = result.search.trace;
+  if (const std::int64_t lookups = trace.cache_hits + trace.cache_misses;
+      lookups > 0) {
+    os << "fitness cache: " << trace.cache_hits << "/" << lookups
+       << " lookups hit ("
+       << format_percent(
+              static_cast<double>(trace.cache_hits) /
+                  static_cast<double>(lookups),
+              1)
+       << ")\n";
+  }
   if (result.simulation.has_value()) {
     os << "simulator check: min FPS "
        << format_fixed(result.simulation->min_fps, 1) << ", efficiency "

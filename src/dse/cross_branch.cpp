@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 
+#include "dse/fitness_cache.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fcad::dse {
 namespace {
@@ -111,21 +113,40 @@ DistributionEval evaluate_distribution(const arch::ReorganizedModel& model,
                                        const ResourceDistribution& rd,
                                        const Customization& cust,
                                        const CrossBranchOptions& opt,
-                                       SearchTrace& trace) {
+                                       SearchTrace& trace,
+                                       FitnessCache* cache) {
   DistributionEval ce;
   ce.config.dw = cust.quantization;
   ce.config.ww = cust.quantization;
   ce.config.freq_mhz = opt.freq_mhz;
 
   int unmet = 0;
+  std::uint64_t met_mask = 0;
   for (int b = 0; b < model.num_branches(); ++b) {
     const ResourceBudget slice = rd.slice(budget, b);
     const InBranchResult ib = in_branch_optimize(
         model, b, slice, cust.batch_sizes[static_cast<std::size_t>(b)],
         ce.config.dw, ce.config.ww, opt.freq_mhz);
     ++trace.evaluations;
-    if (!ib.met_batch_target) ++unmet;
+    if (ib.met_batch_target) {
+      met_mask |= std::uint64_t{1} << (b % 64);
+    } else {
+      ++unmet;
+    }
     ce.config.branches.push_back(ib.config);
+  }
+
+  // Nearby distributions quantize to the same discrete config; once one of
+  // them has been scored, the rest are cache hits.
+  FitnessCache::Key key;
+  if (cache) {
+    key = FitnessCache::config_key(ce.config, met_mask, opt.eval_mode);
+    if (auto entry = cache->find(key)) {
+      ce.eval = entry->eval;
+      ce.fitness = entry->fitness;
+      ce.feasible = entry->feasible;
+      return ce;
+    }
   }
 
   ce.eval = arch::evaluate(model, ce.config, opt.eval_mode);
@@ -140,6 +161,7 @@ DistributionEval evaluate_distribution(const arch::ReorganizedModel& model,
   for (const arch::BranchEval& be : ce.eval.branches) fps.push_back(be.fps);
   ce.fitness = fitness_score(fps, cust.priorities, unmet, opt.fitness);
   ce.feasible = unmet == 0;
+  if (cache) cache->insert(key, {ce.eval, ce.fitness, ce.feasible});
   return ce;
 }
 
@@ -152,6 +174,8 @@ SearchResult cross_branch_search(const arch::ReorganizedModel& model,
              static_cast<std::size_t>(model.num_branches()));
   const auto t0 = std::chrono::steady_clock::now();
   Rng rng(options.seed);
+  util::ThreadPool& pool = util::ThreadPool::shared(options.threads);
+  FitnessCache cache;
 
   const int B = model.num_branches();
   struct Particle {
@@ -185,10 +209,23 @@ SearchResult cross_branch_search(const arch::ReorganizedModel& model,
     p.best_rd = p.rd;
   }
 
+  std::vector<SearchTrace> local_traces(swarm.size());
   for (int iter = 0; iter < options.iterations; ++iter) {
-    for (Particle& p : swarm) {
-      const DistributionEval ce = evaluate_distribution(
-          model, budget, p.rd, customization, options, result.trace);
+    // Line 12: score every particle. Evaluation is a pure function of the
+    // particle's rd, so the swarm fans out across the pool; the best-update
+    // reduction below walks the results in particle order, keeping the
+    // outcome bit-identical to a serial sweep.
+    const std::vector<DistributionEval> evals =
+        pool.parallel_map<DistributionEval>(
+            static_cast<std::int64_t>(swarm.size()), [&](std::int64_t i) {
+              const auto idx = static_cast<std::size_t>(i);
+              return evaluate_distribution(model, budget, swarm[idx].rd,
+                                           customization, options,
+                                           local_traces[idx], &cache);
+            });
+    for (std::size_t i = 0; i < swarm.size(); ++i) {
+      Particle& p = swarm[i];
+      const DistributionEval& ce = evals[i];
       // Line 13: update local and global bests.
       if (ce.fitness > p.best_fitness) {
         p.best_fitness = ce.fitness;
@@ -217,6 +254,12 @@ SearchResult cross_branch_search(const arch::ReorganizedModel& model,
              options, rng);
     }
   }
+
+  for (const SearchTrace& local : local_traces) {
+    result.trace.evaluations += local.evaluations;
+  }
+  result.trace.cache_hits = cache.hits();
+  result.trace.cache_misses = cache.misses();
 
   // Report the winner under quantized evaluation — what the generated RTL
   // would actually do. (Divisor-exact configs make this a no-op; non-divisor

@@ -19,6 +19,11 @@ struct CrossBranchOptions {
   int iterations = 20;    ///< N of Sec. VII
   int population = 200;   ///< P of Sec. VII
   std::uint64_t seed = 1;
+  /// Candidate evaluations per iteration run on a util::ThreadPool of this
+  /// size (0 = one thread per hardware core, 1 = fully serial). Results are
+  /// bit-identical for any value: RNG streams are drawn outside the parallel
+  /// region and reductions happen in candidate order.
+  int threads = 0;
   FitnessParams fitness;
   /// Attraction weights toward the candidate's local best and the global
   /// best (each scaled by an independent U[0,1) draw per move).
@@ -38,6 +43,10 @@ struct SearchTrace {
   /// improving (the paper's convergence-iteration metric).
   int convergence_iteration = 0;
   std::int64_t evaluations = 0;  ///< in-branch optimizations performed
+  /// Fitness-memoization traffic: candidates whose discrete configuration
+  /// was already evaluated this search (hits) vs computed fresh (misses).
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
 };
 
 struct SearchResult {
@@ -67,12 +76,20 @@ struct DistributionEval {
   bool feasible = false;
 };
 
+class FitnessCache;
+
+/// Pure function of (model, budget, rd, customization, options); safe to
+/// call concurrently from pool workers. When `cache` is non-null, the
+/// post-quantization evaluation + fitness are memoized by discrete-config
+/// hash (see dse/fitness_cache.hpp); the cache must belong to this search
+/// context.
 DistributionEval evaluate_distribution(const arch::ReorganizedModel& model,
                                        const ResourceBudget& budget,
                                        const ResourceDistribution& rd,
                                        const Customization& customization,
                                        const CrossBranchOptions& options,
-                                       SearchTrace& trace);
+                                       SearchTrace& trace,
+                                       FitnessCache* cache = nullptr);
 
 /// The demand-proportional warm-start distribution used to seed Algorithm
 /// 1's swarm (compute ∝ owned MACs x batch, memory ∝ minimum-parallelism

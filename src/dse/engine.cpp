@@ -5,6 +5,7 @@
 
 #include "serving/service.hpp"
 #include "sim/simulator.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fcad::dse {
 
@@ -29,22 +30,32 @@ ConvergenceStats convergence_study(const arch::ReorganizedModel& model,
   double min_fitness = 0;
   double max_fitness = 0;
   stats.min_iterations = 1e18;
+  // The independent searches are the outermost (and cheapest-to-split)
+  // parallelism axis: each run is pre-seeded here, executed on the pool, and
+  // aggregated below in run order.
+  util::ThreadPool& pool = util::ThreadPool::shared(request.options.threads);
+  const std::vector<SearchResult> results = pool.parallel_map<SearchResult>(
+      runs, [&](std::int64_t r) {
+        DseRequest req = request;
+        req.options.seed = request.options.seed + 7919ULL *
+                           (static_cast<std::uint64_t>(r) + 1);
+        auto result = optimize(model, req);
+        FCAD_CHECK_MSG(result.is_ok(), result.status().message());
+        return std::move(result).value();
+      });
   for (int r = 0; r < runs; ++r) {
-    DseRequest req = request;
-    req.options.seed = request.options.seed + 7919ULL * (r + 1);
-    auto result = optimize(model, req);
-    FCAD_CHECK_MSG(result.is_ok(), result.status().message());
-    const double iters = result->trace.convergence_iteration;
+    const SearchResult& result = results[static_cast<std::size_t>(r)];
+    const double iters = result.trace.convergence_iteration;
     stats.mean_iterations += iters;
     stats.min_iterations = std::min(stats.min_iterations, iters);
     stats.max_iterations = std::max(stats.max_iterations, iters);
-    stats.mean_seconds += result->seconds;
-    stats.mean_fitness += result->fitness;
+    stats.mean_seconds += result.seconds;
+    stats.mean_fitness += result.fitness;
     if (r == 0) {
-      min_fitness = max_fitness = result->fitness;
+      min_fitness = max_fitness = result.fitness;
     } else {
-      min_fitness = std::min(min_fitness, result->fitness);
-      max_fitness = std::max(max_fitness, result->fitness);
+      min_fitness = std::min(min_fitness, result.fitness);
+      max_fitness = std::max(max_fitness, result.fitness);
     }
   }
   stats.mean_iterations /= runs;
@@ -134,20 +145,31 @@ StatusOr<TrafficSearchResult> optimize_for_traffic(
   SlaParams sla = profile.sla;
   sla.p99_bound_us = profile.fleet.sla_bound_us;
 
-  bool have_best = false;
-  TrafficSearchResult best;
-  Status last_error =
-      Status::infeasible("optimize_for_traffic: no candidate produced a design");
-
   // Probe doubling batch multipliers; each candidate gets its own hardware
-  // search, then a serving replay of the traffic profile.
+  // search, then a serving replay of the traffic profile. Candidates are
+  // independent, so they are scored in parallel and reduced in multiplier
+  // order below — identical outcome to the sequential probe.
+  std::vector<int> multipliers;
   for (int mult = 1; mult <= profile.max_batch; mult *= 2) {
+    multipliers.push_back(mult);
+  }
+
+  /// Outcome of one batch-multiplier candidate, reduced in probe order.
+  struct Candidate {
+    bool produced = false;      ///< scored end to end
+    bool hard_failed = false;   ///< replay error that aborts the whole search
+    Status error;               ///< skip reason or hard error
+    TrafficSearchResult result;
+  };
+
+  auto score_candidate = [&](int mult) -> Candidate {
+    Candidate out;
     DseRequest req = base;
     for (int& b : req.customization.batch_sizes) b *= mult;
     auto search = optimize(model, req);
     if (!search.is_ok()) {
-      last_error = search.status();
-      continue;
+      out.error = search.status();
+      return out;
     }
 
     serving::ServiceModel service;
@@ -164,8 +186,8 @@ StatusOr<TrafficSearchResult> optimize_for_traffic(
     };
     auto first = stats_at(profile.workload.users);
     if (!first.is_ok()) {
-      last_error = first.status();
-      continue;
+      out.error = first.status();
+      return out;
     }
     serving::ServingStats stats = std::move(*first);
     int users_served = stats.sla_met ? profile.workload.users : 0;
@@ -194,6 +216,10 @@ StatusOr<TrafficSearchResult> optimize_for_traffic(
       return lo;
     };
 
+    auto hard_fail = [&](Status status) {
+      out.hard_failed = true;
+      out.error = std::move(status);
+    };
     if (scalable && stats.sla_met &&
         profile.max_users > profile.workload.users) {
       // Maximize the served user count: double to the first SLA miss, then
@@ -203,7 +229,10 @@ StatusOr<TrafficSearchResult> optimize_for_traffic(
       while (hi < profile.max_users) {
         hi = std::min(profile.max_users, hi * 2);
         auto probe = stats_at(hi);
-        if (!probe.is_ok()) return probe.status();
+        if (!probe.is_ok()) {
+          hard_fail(probe.status());
+          return out;
+        }
         if (probe->sla_met) {
           lo = hi;
           stats = std::move(*probe);
@@ -212,7 +241,10 @@ StatusOr<TrafficSearchResult> optimize_for_traffic(
         }
       }
       auto served = bisect_users(lo, hi, stats);
-      if (!served.is_ok()) return served.status();
+      if (!served.is_ok()) {
+        hard_fail(served.status());
+        return out;
+      }
       users_served = *served;
     } else if (scalable && !stats.sla_met && profile.workload.users > 1) {
       // Over capacity at the requested count: find the largest user count
@@ -222,7 +254,10 @@ StatusOr<TrafficSearchResult> optimize_for_traffic(
       serving::ServingStats lo_stats;
       for (int probe_users = hi / 2; probe_users >= 1; probe_users /= 2) {
         auto probe = stats_at(probe_users);
-        if (!probe.is_ok()) return probe.status();
+        if (!probe.is_ok()) {
+          hard_fail(probe.status());
+          return out;
+        }
         if (probe->sla_met) {
           lo = probe_users;
           lo_stats = std::move(*probe);
@@ -232,7 +267,10 @@ StatusOr<TrafficSearchResult> optimize_for_traffic(
       }
       if (lo >= 1) {
         auto served = bisect_users(lo, hi, lo_stats);
-        if (!served.is_ok()) return served.status();
+        if (!served.is_ok()) {
+          hard_fail(served.status());
+          return out;
+        }
         users_served = *served;
         stats = std::move(lo_stats);
       }
@@ -240,15 +278,35 @@ StatusOr<TrafficSearchResult> optimize_for_traffic(
       // requested count.
     }
 
-    const double fitness = sla_fitness_score(
+    out.result.sla_fitness = sla_fitness_score(
         users_served, stats.latency.p99, stats.sla_violation_rate, sla);
-    if (!have_best || fitness > best.sla_fitness) {
-      best.search = std::move(*search);
-      best.batch_sizes = req.customization.batch_sizes;
-      best.users_served = users_served;
-      best.sla_met = stats.sla_met;
-      best.stats = std::move(stats);
-      best.sla_fitness = fitness;
+    out.result.search = std::move(*search);
+    out.result.batch_sizes = req.customization.batch_sizes;
+    out.result.users_served = users_served;
+    out.result.sla_met = stats.sla_met;
+    out.result.stats = std::move(stats);
+    out.produced = true;
+    return out;
+  };
+
+  util::ThreadPool& pool = util::ThreadPool::shared(request.options.threads);
+  std::vector<Candidate> candidates = pool.parallel_map<Candidate>(
+      static_cast<std::int64_t>(multipliers.size()), [&](std::int64_t i) {
+        return score_candidate(multipliers[static_cast<std::size_t>(i)]);
+      });
+
+  bool have_best = false;
+  TrafficSearchResult best;
+  Status last_error =
+      Status::infeasible("optimize_for_traffic: no candidate produced a design");
+  for (Candidate& candidate : candidates) {
+    if (candidate.hard_failed) return candidate.error;
+    if (!candidate.produced) {
+      last_error = candidate.error;
+      continue;
+    }
+    if (!have_best || candidate.result.sla_fitness > best.sla_fitness) {
+      best = std::move(candidate.result);
       have_best = true;
     }
   }

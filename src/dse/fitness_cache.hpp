@@ -1,0 +1,88 @@
+// Fitness memoization for the DSE inner loop.
+//
+// The cross-branch searches evaluate continuous resource distributions, but
+// the in-branch greedy pass (Algorithm 2) quantizes each candidate into a
+// *discrete* accelerator configuration — and as a swarm converges, many
+// distinct distributions collapse onto the same configuration. Caching the
+// evaluation + fitness behind a hash of that discrete configuration makes
+// repeated configs across generations free.
+//
+// Thread-safety and determinism: the cache is sharded behind mutexes so
+// concurrent candidate evaluations can share it. Every entry is a pure
+// function of its key (within one search context — fixed model, budget,
+// customization, and fitness weights), so whichever thread inserts first,
+// readers observe bit-identical values; results cannot depend on thread
+// count or scheduling. Use one cache per search; never share across searches
+// with different contexts.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "arch/elastic.hpp"
+
+namespace fcad::dse {
+
+class FitnessCache {
+ public:
+  /// 128-bit key so accidental collisions are out of the picture even for
+  /// million-candidate searches.
+  struct Key {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    bool operator==(const Key& other) const {
+      return lo == other.lo && hi == other.hi;
+    }
+  };
+
+  struct Entry {
+    arch::AcceleratorEval eval;
+    double fitness = 0;
+    bool feasible = false;
+  };
+
+  /// Key of a discrete accelerator configuration. `met_mask` carries the
+  /// per-branch met-batch-target flags (bit b = branch b met), which are
+  /// decided by the in-branch pass, not by the config itself; `mode` is the
+  /// evaluation mode the entry was computed under.
+  static Key config_key(const arch::AcceleratorConfig& config,
+                        std::uint64_t met_mask, arch::EvalMode mode);
+
+  /// Returns the cached entry or nullptr, bumping the hit/miss counters.
+  std::shared_ptr<const Entry> find(const Key& key);
+
+  /// Inserts `entry` unless the key is already resident (first writer wins —
+  /// both writers computed identical values) and returns the resident entry.
+  std::shared_ptr<const Entry> insert(const Key& key, Entry entry);
+
+  std::int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::int64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return static_cast<std::size_t>(k.lo ^ (k.hi * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<Key, std::shared_ptr<const Entry>, KeyHash> map;
+  };
+
+  Shard& shard_for(const Key& key) {
+    return shards_[key.lo % kShards];
+  }
+
+  static constexpr std::size_t kShards = 16;
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+};
+
+}  // namespace fcad::dse

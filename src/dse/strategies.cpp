@@ -1,12 +1,19 @@
 #include "dse/strategies.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 
+#include "dse/fitness_cache.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fcad::dse {
 namespace {
+
+/// Chains of the parallel annealing ensemble. Fixed (never derived from the
+/// pool size) so results are identical for any thread count.
+constexpr int kAnnealingChains = 8;
 
 ResourceDistribution random_rd(Rng& rng, int branches) {
   ResourceDistribution rd;
@@ -44,46 +51,79 @@ SearchResult random_search(const arch::ReorganizedModel& model,
                            const Customization& cust,
                            const CrossBranchOptions& opt) {
   Rng rng(opt.seed);
+  util::ThreadPool& pool = util::ThreadPool::shared(opt.threads);
+  FitnessCache cache;
   SearchResult result;
   result.fitness = -1e300;
+
+  struct Candidate {
+    ResourceDistribution rd;
+    DistributionEval ce;
+  };
+  const auto population = static_cast<std::size_t>(opt.population);
+  std::vector<Rng> streams(population, Rng(0));
+  std::vector<SearchTrace> local_traces(population);
   for (int iter = 0; iter < opt.iterations; ++iter) {
-    for (int i = 0; i < opt.population; ++i) {
-      const ResourceDistribution rd = random_rd(rng, model.num_branches());
-      const DistributionEval ce =
-          evaluate_distribution(model, budget, rd, cust, opt, result.trace);
-      consider(ce, rd, iter + 1, result);
+    // Candidate streams are forked from the master RNG *before* the parallel
+    // region, so sampling order cannot depend on scheduling.
+    for (std::size_t i = 0; i < population; ++i) {
+      streams[i] = rng.fork(static_cast<std::uint64_t>(i));
+    }
+    const std::vector<Candidate> candidates = pool.parallel_map<Candidate>(
+        static_cast<std::int64_t>(population), [&](std::int64_t i) {
+          const auto idx = static_cast<std::size_t>(i);
+          Candidate c;
+          c.rd = random_rd(streams[idx], model.num_branches());
+          c.ce = evaluate_distribution(model, budget, c.rd, cust, opt,
+                                       local_traces[idx], &cache);
+          return c;
+        });
+    for (const Candidate& c : candidates) {
+      consider(c.ce, c.rd, iter + 1, result);
     }
     result.trace.best_fitness.push_back(result.fitness);
   }
+  for (const SearchTrace& local : local_traces) {
+    result.trace.evaluations += local.evaluations;
+  }
+  result.trace.cache_hits = cache.hits();
+  result.trace.cache_misses = cache.misses();
   return result;
 }
 
-SearchResult annealing_search(const arch::ReorganizedModel& model,
-                              const ResourceBudget& budget,
-                              const Customization& cust,
-                              const CrossBranchOptions& opt) {
-  Rng rng(opt.seed);
-  SearchResult result;
-  result.fitness = -1e300;
+/// One simulated-annealing chain over its share of the evaluation budget.
+struct ChainResult {
+  SearchResult best;                 ///< chain-local incumbent
+  std::vector<double> best_by_step;  ///< best-so-far after each evaluation
+};
 
-  // Start from the demand-proportional point (same head start the swarm
-  // enjoys) and anneal with a geometric temperature schedule.
-  ResourceDistribution current = demand_proportional_distribution(model, cust);
-  DistributionEval current_eval =
-      evaluate_distribution(model, budget, current, cust, opt, result.trace);
-  consider(current_eval, current, 1, result);
+ChainResult run_annealing_chain(const arch::ReorganizedModel& model,
+                                const ResourceBudget& budget,
+                                const Customization& cust,
+                                const CrossBranchOptions& opt, Rng rng,
+                                long steps, bool demand_start,
+                                FitnessCache& cache) {
+  ChainResult out;
+  out.best.fitness = -1e300;
+  out.best_by_step.reserve(static_cast<std::size_t>(steps));
 
-  const long total_steps =
-      static_cast<long>(opt.iterations) * opt.population - 1;
-  // Temperature in fitness units: start around the typical fitness scale,
-  // end near zero. The scale adapts to the incumbent's magnitude.
+  ResourceDistribution current =
+      demand_start ? demand_proportional_distribution(model, cust)
+                   : random_rd(rng, model.num_branches());
+  DistributionEval current_eval = evaluate_distribution(
+      model, budget, current, cust, opt, out.best.trace, &cache);
+  consider(current_eval, current, 1, out.best);
+  out.best_by_step.push_back(out.best.fitness);
+
+  // Geometric temperature schedule in fitness units, adapted to the start
+  // point's magnitude; the move radius shrinks as the chain cools.
   const double t_start = std::max(1.0, std::fabs(current_eval.fitness) * 0.1);
   const double t_end = t_start * 1e-3;
-  for (long step = 0; step < total_steps; ++step) {
+  for (long step = 1; step < steps; ++step) {
     const double progress =
-        total_steps > 1 ? static_cast<double>(step) / (total_steps - 1) : 1.0;
-    const double temperature =
-        t_start * std::pow(t_end / t_start, progress);
+        steps > 2 ? static_cast<double>(step - 1) / static_cast<double>(steps - 2)
+                  : 1.0;
+    const double temperature = t_start * std::pow(t_end / t_start, progress);
     const double radius = 0.02 + 0.18 * (1.0 - progress);
 
     ResourceDistribution neighbor = current;
@@ -92,10 +132,10 @@ SearchResult annealing_search(const arch::ReorganizedModel& model,
       for (double& f : *frac) f += rng.next_range(-radius, radius);
       clamp_simplex(*frac);
     }
-    const DistributionEval ce = evaluate_distribution(model, budget, neighbor,
-                                                      cust, opt, result.trace);
-    const int iteration = 1 + static_cast<int>(step / opt.population);
-    consider(ce, neighbor, iteration, result);
+    const DistributionEval ce = evaluate_distribution(
+        model, budget, neighbor, cust, opt, out.best.trace, &cache);
+    consider(ce, neighbor, 1, out.best);
+    out.best_by_step.push_back(out.best.fitness);
 
     const double delta = ce.fitness - current_eval.fitness;
     if (delta >= 0 ||
@@ -103,14 +143,80 @@ SearchResult annealing_search(const arch::ReorganizedModel& model,
       current = neighbor;
       current_eval = ce;
     }
-    if ((step + 1) % opt.population == 0) {
-      result.trace.best_fitness.push_back(result.fitness);
+  }
+  return out;
+}
+
+/// Parallel multi-start annealing: kAnnealingChains independent chains split
+/// the iterations x population evaluation budget, each on its own RNG stream
+/// forked from the seed (SplitMix64 fork, so chains are decorrelated). Chain
+/// 0 starts from the demand-proportional point — the head start the single
+/// chain used to enjoy — and the rest from random draws. The merge walks
+/// chains in index order, so the result is independent of thread count.
+SearchResult annealing_search(const arch::ReorganizedModel& model,
+                              const ResourceBudget& budget,
+                              const Customization& cust,
+                              const CrossBranchOptions& opt) {
+  Rng root(opt.seed);
+  util::ThreadPool& pool = util::ThreadPool::shared(opt.threads);
+  FitnessCache cache;
+
+  const long total_steps = static_cast<long>(opt.iterations) * opt.population;
+  const int chains =
+      static_cast<int>(std::min<long>(kAnnealingChains, total_steps));
+  std::vector<Rng> streams;
+  streams.reserve(static_cast<std::size_t>(chains));
+  for (int c = 0; c < chains; ++c) {
+    streams.push_back(root.fork(static_cast<std::uint64_t>(c)));
+  }
+
+  const std::vector<ChainResult> outs = pool.parallel_map<ChainResult>(
+      chains, [&](std::int64_t c) {
+        const long steps =
+            total_steps / chains + (c < total_steps % chains ? 1 : 0);
+        return run_annealing_chain(model, budget, cust, opt,
+                                   streams[static_cast<std::size_t>(c)], steps,
+                                   /*demand_start=*/c == 0, cache);
+      });
+
+  SearchResult result;
+  result.fitness = -1e300;
+  for (const ChainResult& out : outs) {
+    consider(
+        DistributionEval{out.best.config, out.best.eval, out.best.fitness,
+                         out.best.feasible},
+        out.best.distribution, 1, result);
+    result.trace.evaluations += out.best.trace.evaluations;
+  }
+
+  // Rebuild the per-iteration trace from the chains' per-step curves: after
+  // iteration i the ensemble has spent (i+1)/iterations of each chain's
+  // budget.
+  result.trace.best_fitness.assign(static_cast<std::size_t>(opt.iterations),
+                                   -1e300);
+  for (int it = 0; it < opt.iterations; ++it) {
+    double best = -1e300;
+    for (const ChainResult& out : outs) {
+      const auto steps = static_cast<long>(out.best_by_step.size());
+      long cutoff = (static_cast<long>(it + 1) * steps) / opt.iterations - 1;
+      cutoff = std::clamp<long>(cutoff, 0, steps - 1);
+      best = std::max(best, out.best_by_step[static_cast<std::size_t>(cutoff)]);
+    }
+    result.trace.best_fitness[static_cast<std::size_t>(it)] =
+        it > 0 ? std::max(
+                     best,
+                     result.trace.best_fitness[static_cast<std::size_t>(it - 1)])
+               : best;
+  }
+  for (int it = 0; it < opt.iterations; ++it) {
+    if (result.trace.best_fitness[static_cast<std::size_t>(it)] ==
+        result.fitness) {
+      result.trace.convergence_iteration = it + 1;
+      break;
     }
   }
-  while (result.trace.best_fitness.size() <
-         static_cast<std::size_t>(opt.iterations)) {
-    result.trace.best_fitness.push_back(result.fitness);
-  }
+  result.trace.cache_hits = cache.hits();
+  result.trace.cache_misses = cache.misses();
   return result;
 }
 

@@ -1,5 +1,7 @@
 #include "dse/sweep.hpp"
 
+#include "util/thread_pool.hpp"
+
 namespace fcad::dse {
 
 StatusOr<std::vector<SweepPoint>> quantization_frequency_sweep(
@@ -12,24 +14,52 @@ StatusOr<std::vector<SweepPoint>> quantization_frequency_sweep(
     if (f <= 0) return Status::invalid_argument("sweep: bad frequency");
   }
 
-  std::vector<SweepPoint> points;
+  // Grid points are independent searches: run them across the pool and
+  // collect into grid-ordered slots (first error in grid order wins, as in a
+  // sequential sweep).
+  std::vector<SweepPoint> grid;
   for (nn::DataType q : options.quantizations) {
     for (double freq : options.frequencies_mhz) {
-      DseRequest request;
-      request.platform = platform;
-      request.platform.freq_mhz = freq;
-      request.customization = options.customization;
-      request.customization.quantization = q;
-      request.options = options.search;
-      auto result = optimize(model, std::move(request));
-      if (!result.is_ok()) return result.status();
-
       SweepPoint point;
       point.quantization = q;
       point.freq_mhz = freq;
-      point.result = std::move(result).value();
-      points.push_back(std::move(point));
+      grid.push_back(point);
     }
+  }
+
+  struct Outcome {
+    bool ok = false;
+    Status error;
+    SearchResult result;
+  };
+  util::ThreadPool& pool = util::ThreadPool::shared(options.search.threads);
+  std::vector<Outcome> outcomes = pool.parallel_map<Outcome>(
+      static_cast<std::int64_t>(grid.size()), [&](std::int64_t i) {
+        const SweepPoint& point = grid[static_cast<std::size_t>(i)];
+        DseRequest request;
+        request.platform = platform;
+        request.platform.freq_mhz = point.freq_mhz;
+        request.customization = options.customization;
+        request.customization.quantization = point.quantization;
+        request.options = options.search;
+        Outcome out;
+        auto result = optimize(model, std::move(request));
+        if (!result.is_ok()) {
+          out.error = result.status();
+          return out;
+        }
+        out.ok = true;
+        out.result = std::move(result).value();
+        return out;
+      });
+
+  std::vector<SweepPoint> points;
+  points.reserve(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (!outcomes[i].ok) return outcomes[i].error;
+    SweepPoint point = std::move(grid[i]);
+    point.result = std::move(outcomes[i].result);
+    points.push_back(std::move(point));
   }
 
   // Pareto frontier: maximize min-FPS, minimize DSPs. A point is dominated

@@ -1,0 +1,86 @@
+// Fixed-size worker pool with deterministic fork/join helpers.
+//
+// The DSE evaluates hundreds of independent candidates per iteration; this
+// pool spreads those evaluations across cores without changing results:
+// `parallel_for` assigns work by index, callers write into index-addressed
+// slots, and every reduction happens on the calling thread in index order.
+// As long as the per-index work is a pure function of its inputs (which every
+// DSE evaluation is — RNG streams are forked *before* the parallel region),
+// the output is bit-identical for any worker count, including 1.
+//
+// Nesting: a `parallel_for` issued from inside another parallel region runs
+// inline on the current thread. This keeps outer-level parallelism (sweep
+// grid points, convergence runs) deadlock-free while inner searches reuse the
+// same pool transparently.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fcad::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the calling thread always participates).
+  /// `threads <= 0` means one thread per hardware core.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Effective parallelism: workers + the participating caller.
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs `fn(0) .. fn(n-1)` across the pool and the calling thread; returns
+  /// once all indices completed. Indices are claimed dynamically, so `fn`
+  /// must not depend on which thread runs it. Exceptions propagate to the
+  /// caller (first one wins; remaining indices still run).
+  void parallel_for(std::int64_t n,
+                    const std::function<void(std::int64_t)>& fn);
+
+  /// parallel_for that collects `fn(i)` into slot `i` of the result, so the
+  /// caller can reduce in deterministic index order. `T` must be default
+  /// constructible.
+  template <typename T>
+  std::vector<T> parallel_map(std::int64_t n,
+                              const std::function<T(std::int64_t)>& fn) {
+    std::vector<T> out(static_cast<std::size_t>(n));
+    parallel_for(n, [&](std::int64_t i) {
+      out[static_cast<std::size_t>(i)] = fn(i);
+    });
+    return out;
+  }
+
+  /// True while the current thread is executing inside a parallel region
+  /// (worker or participating caller); such contexts run nested loops inline.
+  static bool in_parallel_region();
+
+  /// Process-wide pool. `threads <= 0` keeps whatever size the pool already
+  /// has (hardware concurrency on first use); a positive `threads` resizes
+  /// the pool unless called from inside a parallel region (the nested caller
+  /// then shares the existing pool, which its loops use inline anyway).
+  /// Resizing tears the old pool down, so don't request conflicting sizes
+  /// from concurrently running top-level searches — nested searches are
+  /// fine, as are sequential searches with different `--threads` values.
+  static ThreadPool& shared(int threads = 0);
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+  static void run_batch(Batch& batch);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Batch>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace fcad::util

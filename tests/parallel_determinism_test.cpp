@@ -1,0 +1,254 @@
+// Determinism suite for the parallel DSE engine: for a fixed seed, every
+// search must produce bit-identical results whatever the thread count, and
+// the fitness memoization cache must stay consistent under concurrent use.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "arch/platform.hpp"
+#include "dse/engine.hpp"
+#include "dse/fitness_cache.hpp"
+#include "dse/strategies.hpp"
+#include "dse/sweep.hpp"
+#include "nn/zoo/avatar_decoder.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fcad::dse {
+namespace {
+
+const arch::ReorganizedModel& decoder_model() {
+  static const arch::ReorganizedModel model = [] {
+    auto m = arch::reorganize(nn::zoo::avatar_decoder());
+    FCAD_CHECK(m.is_ok());
+    return std::move(m).value();
+  }();
+  return model;
+}
+
+Customization decoder_customization() {
+  Customization c;
+  c.quantization = nn::DataType::kInt8;
+  c.batch_sizes = {1, 2, 2};
+  c.priorities = {1, 1, 1};
+  return c;
+}
+
+CrossBranchOptions fast_options(int threads) {
+  CrossBranchOptions opt;
+  opt.population = 24;
+  opt.iterations = 4;
+  opt.seed = 1234;
+  opt.threads = threads;
+  return opt;
+}
+
+const std::vector<int> kThreadCounts = {1, 2, 8};
+
+/// Exact (bitwise) equality of two search results. `seconds` and the cache
+/// hit/miss split are intentionally excluded: wall-clock always varies, and
+/// two workers may both miss the same key before one inserts it — the
+/// *results* never differ, only the diagnostic counters may.
+void expect_identical(const SearchResult& a, const SearchResult& b) {
+  EXPECT_EQ(a.fitness, b.fitness);
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.eval.dsps, b.eval.dsps);
+  EXPECT_EQ(a.eval.brams, b.eval.brams);
+  EXPECT_EQ(a.eval.bw_gbps, b.eval.bw_gbps);
+  EXPECT_EQ(a.eval.min_fps, b.eval.min_fps);
+  EXPECT_EQ(a.trace.convergence_iteration, b.trace.convergence_iteration);
+  EXPECT_EQ(a.trace.evaluations, b.trace.evaluations);
+  EXPECT_EQ(a.trace.best_fitness, b.trace.best_fitness);
+  EXPECT_EQ(a.distribution.c_frac, b.distribution.c_frac);
+  EXPECT_EQ(a.distribution.m_frac, b.distribution.m_frac);
+  EXPECT_EQ(a.distribution.bw_frac, b.distribution.bw_frac);
+  ASSERT_EQ(a.config.branches.size(), b.config.branches.size());
+  for (std::size_t i = 0; i < a.config.branches.size(); ++i) {
+    EXPECT_EQ(a.config.branches[i].batch, b.config.branches[i].batch);
+    EXPECT_EQ(a.config.branches[i].units, b.config.branches[i].units);
+  }
+}
+
+TEST(ParallelDeterminismTest, CrossBranchSearchIdenticalAcrossThreadCounts) {
+  const auto budget = ResourceBudget::from_platform(arch::platform_zu9cg());
+  const SearchResult baseline =
+      cross_branch_search(decoder_model(), budget, decoder_customization(),
+                          fast_options(kThreadCounts.front()));
+  for (std::size_t t = 1; t < kThreadCounts.size(); ++t) {
+    const SearchResult other =
+        cross_branch_search(decoder_model(), budget, decoder_customization(),
+                            fast_options(kThreadCounts[t]));
+    expect_identical(baseline, other);
+  }
+}
+
+TEST(ParallelDeterminismTest, StrategiesIdenticalAcrossThreadCounts) {
+  const auto budget = ResourceBudget::from_platform(arch::platform_zu9cg());
+  for (SearchStrategy strategy :
+       {SearchStrategy::kRandom, SearchStrategy::kAnnealing}) {
+    const SearchResult baseline =
+        strategy_search(decoder_model(), budget, decoder_customization(),
+                        fast_options(kThreadCounts.front()), strategy);
+    for (std::size_t t = 1; t < kThreadCounts.size(); ++t) {
+      const SearchResult other =
+          strategy_search(decoder_model(), budget, decoder_customization(),
+                          fast_options(kThreadCounts[t]), strategy);
+      expect_identical(baseline, other);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, SweepIdenticalAcrossThreadCounts) {
+  SweepOptions options;
+  options.quantizations = {nn::DataType::kInt8, nn::DataType::kInt16};
+  options.frequencies_mhz = {150, 200};
+  options.search = fast_options(1);
+  options.customization.batch_sizes = {1, 2, 2};
+
+  auto baseline = quantization_frequency_sweep(
+      decoder_model(), arch::platform_zu9cg(), options);
+  ASSERT_TRUE(baseline.is_ok());
+  for (std::size_t t = 1; t < kThreadCounts.size(); ++t) {
+    options.search.threads = kThreadCounts[t];
+    auto other = quantization_frequency_sweep(decoder_model(),
+                                              arch::platform_zu9cg(), options);
+    ASSERT_TRUE(other.is_ok());
+    ASSERT_EQ(baseline->size(), other->size());
+    for (std::size_t i = 0; i < baseline->size(); ++i) {
+      EXPECT_EQ((*baseline)[i].pareto_optimal, (*other)[i].pareto_optimal);
+      expect_identical((*baseline)[i].result, (*other)[i].result);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, ConvergenceStudyIdenticalAcrossThreadCounts) {
+  DseRequest request;
+  request.platform = arch::platform_zu9cg();
+  request.customization = decoder_customization();
+  request.options = fast_options(1);
+  const ConvergenceStats baseline =
+      convergence_study(decoder_model(), request, 4);
+  for (std::size_t t = 1; t < kThreadCounts.size(); ++t) {
+    request.options.threads = kThreadCounts[t];
+    const ConvergenceStats other =
+        convergence_study(decoder_model(), request, 4);
+    EXPECT_EQ(baseline.mean_iterations, other.mean_iterations);
+    EXPECT_EQ(baseline.min_iterations, other.min_iterations);
+    EXPECT_EQ(baseline.max_iterations, other.max_iterations);
+    EXPECT_EQ(baseline.mean_fitness, other.mean_fitness);
+    EXPECT_EQ(baseline.fitness_spread, other.fitness_spread);
+  }
+}
+
+TEST(ParallelDeterminismTest, TrafficSearchIdenticalAcrossThreadCounts) {
+  DseRequest request;
+  request.platform = arch::platform_zu9cg();
+  request.options = fast_options(1);
+  request.options.seed = 42;
+
+  TrafficProfile profile;
+  profile.workload.users = 2;
+  profile.workload.frame_rate_hz = 30;
+  profile.workload.duration_s = 0.5;
+  profile.workload.seed = 42;
+  profile.fleet.instances = 2;
+  profile.max_batch = 4;
+
+  auto baseline = optimize_for_traffic(decoder_model(), request, profile);
+  ASSERT_TRUE(baseline.is_ok());
+  for (std::size_t t = 1; t < kThreadCounts.size(); ++t) {
+    request.options.threads = kThreadCounts[t];
+    auto other = optimize_for_traffic(decoder_model(), request, profile);
+    ASSERT_TRUE(other.is_ok());
+    EXPECT_EQ(baseline->batch_sizes, other->batch_sizes);
+    EXPECT_EQ(baseline->users_served, other->users_served);
+    EXPECT_EQ(baseline->sla_met, other->sla_met);
+    EXPECT_EQ(baseline->sla_fitness, other->sla_fitness);
+    EXPECT_EQ(baseline->stats.latency.p99, other->stats.latency.p99);
+    expect_identical(baseline->search, other->search);
+  }
+}
+
+TEST(ParallelDeterminismTest, RepeatedRunsHitTheCache) {
+  // Same search twice in a row: not only identical results, but a swarm
+  // whose particles revisit converged configs should see real cache traffic.
+  const auto budget = ResourceBudget::from_platform(arch::platform_zu9cg());
+  CrossBranchOptions opt = fast_options(1);
+  opt.population = 40;
+  opt.iterations = 8;
+  const SearchResult result = cross_branch_search(
+      decoder_model(), budget, decoder_customization(), opt);
+  EXPECT_EQ(result.trace.cache_hits + result.trace.cache_misses,
+            static_cast<std::int64_t>(opt.population) * opt.iterations);
+  EXPECT_GT(result.trace.cache_hits, 0);
+}
+
+// ------------------------------------------------------- fitness cache --
+
+TEST(FitnessCacheStressTest, ConcurrentFindInsertStaysConsistent) {
+  FitnessCache cache;
+  util::ThreadPool pool(8);
+
+  // 64 distinct synthetic configs, hammered by 8000 interleaved lookups.
+  constexpr int kConfigs = 64;
+  constexpr std::int64_t kOps = 8000;
+  auto config_for = [&](int c) {
+    arch::AcceleratorConfig config;
+    arch::BranchHardwareConfig branch;
+    branch.batch = c + 1;
+    branch.units.push_back(arch::UnitConfig{1 + c % 7, 1 + c % 5, 1 + c % 3});
+    config.branches.push_back(branch);
+    return config;
+  };
+
+  std::atomic<std::int64_t> mismatches{0};
+  pool.parallel_for(kOps, [&](std::int64_t op) {
+    const int c = static_cast<int>(op % kConfigs);
+    const FitnessCache::Key key = FitnessCache::config_key(
+        config_for(c), /*met_mask=*/1, arch::EvalMode::kAnalytical);
+    auto entry = cache.find(key);
+    if (!entry) {
+      FitnessCache::Entry fresh;
+      fresh.fitness = static_cast<double>(c) * 3.25;
+      fresh.feasible = c % 2 == 0;
+      entry = cache.insert(key, fresh);
+    }
+    // Whoever inserted, the resident value must be the pure function of the
+    // key — never a torn or foreign entry.
+    if (entry->fitness != static_cast<double>(c) * 3.25 ||
+        entry->feasible != (c % 2 == 0)) {
+      mismatches.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+  // Every lookup is accounted for, and at most one miss per key per racing
+  // thread ever happened: hits + misses == kOps, misses < kConfigs + pool
+  // width (first-round races).
+  EXPECT_EQ(cache.hits() + cache.misses(), kOps);
+  EXPECT_GE(cache.misses(), kConfigs);
+  EXPECT_LT(cache.misses(), kConfigs + 8 * kConfigs);
+  EXPECT_GT(cache.hits(), kOps / 2);
+}
+
+TEST(FitnessCacheStressTest, DistinctConfigsGetDistinctKeys) {
+  // Sanity on the 128-bit key: permuting unit factors or flags must change
+  // it (a collision here would silently merge two designs).
+  arch::AcceleratorConfig config;
+  arch::BranchHardwareConfig branch;
+  branch.batch = 2;
+  branch.units.push_back(arch::UnitConfig{2, 3, 4});
+  config.branches.push_back(branch);
+
+  const auto base = FitnessCache::config_key(config, 1, arch::EvalMode::kAnalytical);
+  EXPECT_FALSE(base ==
+               FitnessCache::config_key(config, 0, arch::EvalMode::kAnalytical));
+  EXPECT_FALSE(base ==
+               FitnessCache::config_key(config, 1, arch::EvalMode::kQuantized));
+  config.branches[0].units[0] = arch::UnitConfig{4, 3, 2};
+  EXPECT_FALSE(base ==
+               FitnessCache::config_key(config, 1, arch::EvalMode::kAnalytical));
+}
+
+}  // namespace
+}  // namespace fcad::dse

@@ -1,0 +1,111 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace fcad::util {
+namespace {
+
+TEST(ThreadPoolTest, SizeCountsCallerAndClampsToOne) {
+  EXPECT_EQ(ThreadPool(1).size(), 1);
+  EXPECT_EQ(ThreadPool(4).size(), 4);
+  EXPECT_EQ(ThreadPool(-3).size(),
+            ThreadPool(0).size());  // both mean "all cores"
+  EXPECT_GE(ThreadPool(0).size(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr std::int64_t kN = 5000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.parallel_for(kN, [&](std::int64_t i) {
+    counts[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndSingle) {
+  ThreadPool pool(4);
+  int runs = 0;
+  pool.parallel_for(0, [&](std::int64_t) { ++runs; });
+  EXPECT_EQ(runs, 0);
+  pool.parallel_for(1, [&](std::int64_t) { ++runs; });
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(ThreadPoolTest, ParallelMapKeepsIndexOrder) {
+  ThreadPool pool(4);
+  const std::vector<std::int64_t> squares =
+      pool.parallel_map<std::int64_t>(257, [](std::int64_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 257u);
+  for (std::int64_t i = 0; i < 257; ++i) {
+    EXPECT_EQ(squares[static_cast<std::size_t>(i)], i * i);
+  }
+}
+
+TEST(ThreadPoolTest, SerialPoolMatchesParallelPool) {
+  ThreadPool serial(1);
+  ThreadPool parallel(8);
+  auto work = [](std::int64_t i) { return 3 * i + 1; };
+  EXPECT_EQ(serial.parallel_map<std::int64_t>(100, work),
+            parallel.parallel_map<std::int64_t>(100, work));
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::vector<std::int64_t> sums(16, 0);
+  pool.parallel_for(16, [&](std::int64_t outer) {
+    EXPECT_TRUE(ThreadPool::in_parallel_region());
+    // The nested loop must complete inline on this thread (a worker cannot
+    // wait on its own queue) and see all its writes immediately.
+    std::int64_t sum = 0;
+    pool.parallel_for(10, [&](std::int64_t inner) { sum += inner; });
+    sums[static_cast<std::size_t>(outer)] = sum;
+  });
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+  for (std::int64_t s : sums) EXPECT_EQ(s, 45);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::int64_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                          completed.fetch_add(1);
+                        }),
+      std::runtime_error);
+  // The remaining indices still ran; only index 37 failed.
+  EXPECT_EQ(completed.load(), 99);
+}
+
+TEST(ThreadPoolTest, SharedPoolResizesOnExplicitRequest) {
+  EXPECT_EQ(ThreadPool::shared(3).size(), 3);
+  EXPECT_EQ(ThreadPool::shared(0).size(), 3);  // 0 keeps the current size
+  EXPECT_EQ(ThreadPool::shared(2).size(), 2);
+  EXPECT_EQ(ThreadPool::shared(2).size(), 2);  // same request: no rebuild
+}
+
+TEST(ThreadPoolTest, ManySmallBatchesStress) {
+  ThreadPool pool(8);
+  std::int64_t total = 0;
+  for (int round = 0; round < 200; ++round) {
+    const std::vector<std::int64_t> parts = pool.parallel_map<std::int64_t>(
+        round % 7 + 1, [&](std::int64_t i) { return i + round; });
+    total = std::accumulate(parts.begin(), parts.end(), total);
+  }
+  // Deterministic accumulation: the reduce runs on the caller in order.
+  std::int64_t expected = 0;
+  for (int round = 0; round < 200; ++round) {
+    for (std::int64_t i = 0; i < round % 7 + 1; ++i) expected += i + round;
+  }
+  EXPECT_EQ(total, expected);
+}
+
+}  // namespace
+}  // namespace fcad::util
