@@ -10,7 +10,7 @@
 #include "arch/platform.hpp"
 #include "arch/reorg.hpp"
 #include "baselines/soc865.hpp"
-#include "dse/engine.hpp"
+#include "dse/search_driver.hpp"
 #include "dse/strategies.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
 #include "util/args.hpp"
@@ -23,16 +23,15 @@ using namespace fcad;
 
 int g_threads = 0;  ///< DSE pool size from --threads (0 = all cores)
 
-dse::DseRequest base_request(const arch::Platform& platform) {
-  dse::DseRequest request;
-  request.platform = platform;
-  request.customization.quantization = nn::DataType::kInt8;
-  request.customization.batch_sizes = {1, 2, 2};
-  request.options.population = 100;
-  request.options.iterations = 15;
-  request.options.seed = 99;
-  request.options.threads = g_threads;
-  return request;
+dse::SearchSpec base_spec() {
+  dse::SearchSpec spec;
+  spec.customization.quantization = nn::DataType::kInt8;
+  spec.customization.batch_sizes = {1, 2, 2};
+  spec.search.population = 100;
+  spec.search.iterations = 15;
+  spec.search.seed = 99;
+  spec.search.threads = g_threads;
+  return spec;
 }
 
 std::string fps_cell(const arch::AcceleratorEval& eval) {
@@ -65,6 +64,12 @@ int main(int argc, char** argv) {
   auto model = arch::reorganize(decoder);
   FCAD_CHECK_MSG(model.is_ok(), model.status().message());
   const arch::Platform zu9cg = arch::platform_zu9cg();
+  const dse::SearchDriver driver(*model, zu9cg);
+  auto run_search = [&](const dse::SearchSpec& spec) {
+    auto outcome = driver.run(spec);
+    FCAD_CHECK_MSG(outcome.is_ok(), outcome.status().message());
+    return std::move(outcome->search);
+  };
 
   // --- A: 3D parallelism value ------------------------------------------
   {
@@ -73,9 +78,7 @@ int main(int argc, char** argv) {
     // a copy of the model with out_h-restricted stages is invasive; instead
     // exploit that the bottleneck stages' InCh*OutCh cap what 2D can do:
     // report the theoretical 2D ceiling next to the 3D search result.
-    auto request = base_request(zu9cg);
-    auto result = dse::optimize(*model, request);
-    FCAD_CHECK_MSG(result.is_ok(), result.status().message());
+    const dse::SearchResult result = run_search(base_spec());
 
     // 2D ceiling of the texture branch: slowest stage at pf = InCh*OutCh.
     const arch::BranchPipeline& br2 = model->branches[1];
@@ -92,7 +95,7 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("3D search, Br.2 FPS: %s (batch 2)\n",
-                format_fixed(result->eval.branches[1].fps, 1).c_str());
+                format_fixed(result.eval.branches[1].fps, 1).c_str());
     std::printf("2D ceiling, Br.2 FPS: %s per copy — capped by %s "
                 "(InCh x OutCh = %d), independent of budget\n\n",
                 format_fixed(worst_fps, 1).c_str(),
@@ -105,13 +108,12 @@ int main(int argc, char** argv) {
     std::printf("--- B. variance penalty alpha ---\n");
     TablePrinter t({"alpha", "branch FPS", "min FPS", "fitness"});
     for (double alpha : {0.0, 0.05, 0.5, 5.0}) {
-      auto request = base_request(zu9cg);
-      request.options.fitness.alpha = alpha;
-      auto result = dse::optimize(*model, request);
-      FCAD_CHECK_MSG(result.is_ok(), result.status().message());
-      t.add_row({format_fixed(alpha, 2), fps_cell(result->eval),
-                 format_fixed(result->eval.min_fps, 1),
-                 format_fixed(result->fitness, 1)});
+      dse::SearchSpec spec = base_spec();
+      spec.search.fitness.alpha = alpha;
+      const dse::SearchResult result = run_search(spec);
+      t.add_row({format_fixed(alpha, 2), fps_cell(result.eval),
+                 format_fixed(result.eval.min_fps, 1),
+                 format_fixed(result.fitness, 1)});
     }
     std::printf("%s\n", t.to_string().c_str());
   }
@@ -123,18 +125,17 @@ int main(int argc, char** argv) {
     const std::vector<std::vector<double>> prios = {
         {1, 1, 1}, {1, 4, 1}, {4, 1, 1}};
     for (const auto& p : prios) {
-      auto request = base_request(zu9cg);
-      request.customization.priorities = p;
-      auto result = dse::optimize(*model, request);
-      FCAD_CHECK_MSG(result.is_ok(), result.status().message());
+      dse::SearchSpec spec = base_spec();
+      spec.customization.priorities = p;
+      const dse::SearchResult result = run_search(spec);
       std::string label = "{";
       for (std::size_t j = 0; j < p.size(); ++j) {
         if (j) label += ',';
         label += format_fixed(p[j], 0);
       }
       label += '}';
-      t.add_row({label, fps_cell(result->eval),
-                 std::to_string(result->eval.branches[1].dsps)});
+      t.add_row({label, fps_cell(result.eval),
+                 std::to_string(result.eval.branches[1].dsps)});
     }
     std::printf("%s\n", t.to_string().c_str());
   }
@@ -144,13 +145,12 @@ int main(int argc, char** argv) {
     std::printf("--- D. population size ---\n");
     TablePrinter t({"P", "fitness", "min FPS", "seconds"});
     for (int population : {10, 50, 200}) {
-      auto request = base_request(zu9cg);
-      request.options.population = population;
-      auto result = dse::optimize(*model, request);
-      FCAD_CHECK_MSG(result.is_ok(), result.status().message());
-      t.add_row({std::to_string(population), format_fixed(result->fitness, 1),
-                 format_fixed(result->eval.min_fps, 1),
-                 format_fixed(result->seconds, 2)});
+      dse::SearchSpec spec = base_spec();
+      spec.search.population = population;
+      const dse::SearchResult result = run_search(spec);
+      t.add_row({std::to_string(population), format_fixed(result.fitness, 1),
+                 format_fixed(result.eval.min_fps, 1),
+                 format_fixed(result.seconds, 2)});
     }
     std::printf("%s\n", t.to_string().c_str());
   }
@@ -163,16 +163,16 @@ int main(int argc, char** argv) {
     for (dse::SearchStrategy strategy :
          {dse::SearchStrategy::kParticleSwarm, dse::SearchStrategy::kRandom,
           dse::SearchStrategy::kAnnealing}) {
-      auto request = base_request(zu9cg);
-      request.options.freq_mhz = zu9cg.freq_mhz;
+      dse::SearchSpec spec = base_spec();
+      spec.search.freq_mhz = zu9cg.freq_mhz;
       const auto result = dse::strategy_search(
           *model, dse::ResourceBudget::from_platform(zu9cg),
           [&] {
-            auto cust = request.customization;
+            auto cust = spec.customization;
             FCAD_CHECK(cust.normalize(model->num_branches()).is_ok());
             return cust;
           }(),
-          request.options, strategy);
+          spec.search, strategy);
       t.add_row({dse::to_string(strategy), format_fixed(result.fitness, 1),
                  fps_cell(result.eval), result.feasible ? "yes" : "no",
                  std::to_string(result.trace.evaluations)});
@@ -204,13 +204,16 @@ int main(int argc, char** argv) {
     std::printf("--- G. maximum feasible batch per branch (ZU9CG) ---\n");
     TablePrinter t({"branch", "others pinned at", "max batch"});
     for (int branch = 0; branch < model->num_branches(); ++branch) {
-      auto request = base_request(zu9cg);
-      request.options.population = 60;
-      request.options.iterations = 8;
-      auto max_batch = dse::max_feasible_batch(*model, request, branch, 8);
-      FCAD_CHECK_MSG(max_batch.is_ok(), max_batch.status().message());
+      dse::SearchSpec spec = base_spec();
+      spec.kind = dse::SearchKind::kMaxBatch;
+      spec.search.population = 60;
+      spec.search.iterations = 8;
+      spec.batch_branch = branch;
+      spec.batch_probe_limit = 8;
+      auto outcome = driver.run(spec);
+      FCAD_CHECK_MSG(outcome.is_ok(), outcome.status().message());
       t.add_row({model->branches[static_cast<std::size_t>(branch)].role,
-                 "{1,2,2}", std::to_string(*max_batch)});
+                 "{1,2,2}", std::to_string(outcome->max_batch)});
     }
     std::printf("%s\n", t.to_string().c_str());
   }

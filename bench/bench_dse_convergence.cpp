@@ -15,7 +15,7 @@
 
 #include "arch/platform.hpp"
 #include "arch/reorg.hpp"
-#include "dse/engine.hpp"
+#include "dse/search_driver.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
 #include "util/args.hpp"
 #include "util/csv.hpp"
@@ -89,17 +89,19 @@ int main(int argc, char** argv) {
   double mean_of_means = 0;
   double total_wall = 0;
   for (const Case& c : cases) {
-    dse::DseRequest request;
-    request.platform = c.platform;
-    request.customization.quantization = c.dtype;
-    request.customization.batch_sizes = {1, 2, 2};
-    request.options.population = population;
-    request.options.iterations = iterations;
-    request.options.seed = 77;
-    request.options.threads = threads;
+    dse::SearchSpec spec;
+    spec.kind = dse::SearchKind::kConvergence;
+    spec.customization.quantization = c.dtype;
+    spec.customization.batch_sizes = {1, 2, 2};
+    spec.search.population = population;
+    spec.search.iterations = iterations;
+    spec.search.seed = 77;
+    spec.control.threads = threads;
+    spec.convergence_runs = runs;
     const auto t0 = std::chrono::steady_clock::now();
-    const dse::ConvergenceStats stats =
-        dse::convergence_study(*model, request, runs);
+    auto outcome = dse::SearchDriver(*model, c.platform).run(spec);
+    FCAD_CHECK_MSG(outcome.is_ok(), outcome.status().message());
+    const dse::ConvergenceStats& stats = outcome->convergence;
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();

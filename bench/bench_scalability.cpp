@@ -7,7 +7,7 @@
 
 #include "arch/platform.hpp"
 #include "arch/reorg.hpp"
-#include "dse/engine.hpp"
+#include "dse/search_driver.hpp"
 #include "nn/zoo/scaled_decoder.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
@@ -28,14 +28,15 @@ int main() {
 
     const dse::DesignSpaceStats stats = dse::design_space_stats(*model);
 
-    dse::DseRequest request;
-    request.platform = arch::platform_zu9cg();
-    request.customization.quantization = nn::DataType::kInt8;
-    request.options.population = 100;
-    request.options.iterations = 12;
-    request.options.seed = 31;
-    auto result = dse::optimize(*model, request);
-    FCAD_CHECK_MSG(result.is_ok(), result.status().message());
+    dse::SearchSpec search_spec;
+    search_spec.customization.quantization = nn::DataType::kInt8;
+    search_spec.search.population = 100;
+    search_spec.search.iterations = 12;
+    search_spec.search.seed = 31;
+    auto outcome = dse::SearchDriver(*model, arch::platform_zu9cg())
+                       .run(search_spec);
+    FCAD_CHECK_MSG(outcome.is_ok(), outcome.status().message());
+    const dse::SearchResult* result = &outcome->search;
 
     t.add_row({std::to_string(branches), std::to_string(stats.stages),
                std::to_string(stats.dimensions),

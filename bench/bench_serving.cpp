@@ -8,7 +8,7 @@
 
 #include "arch/platform.hpp"
 #include "arch/reorg.hpp"
-#include "dse/engine.hpp"
+#include "dse/search_driver.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
 #include "serving/fleet.hpp"
 #include "serving/service.hpp"
@@ -43,14 +43,14 @@ int main(int argc, char** argv) {
 
   // One hardware search (batch 1 per branch on the ZU9CG budget); the sweep
   // varies the serving layer on top of the resulting service model.
-  dse::DseRequest request;
-  request.platform = arch::platform_zu9cg();
-  request.options.population = 100;
-  request.options.iterations = 12;
-  request.options.seed = 42;
-  request.options.threads = threads;
-  auto search = dse::optimize(*model, request);
-  FCAD_CHECK_MSG(search.is_ok(), search.status().message());
+  dse::SearchSpec spec;
+  spec.search.population = 100;
+  spec.search.iterations = 12;
+  spec.search.seed = 42;
+  spec.control.threads = threads;
+  auto outcome = dse::SearchDriver(*model, arch::platform_zu9cg()).run(spec);
+  FCAD_CHECK_MSG(outcome.is_ok(), outcome.status().message());
+  const dse::SearchResult* search = &outcome->search;
   const serving::ServiceModel service =
       serving::service_model_from_eval(search->config, search->eval);
   std::printf(

@@ -6,7 +6,7 @@
 
 #include "arch/platform.hpp"
 #include "arch/reorg.hpp"
-#include "dse/sweep.hpp"
+#include "dse/search_driver.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
 #include "util/args.hpp"
 #include "util/format.hpp"
@@ -26,27 +26,28 @@ int main(int argc, char** argv) {
   auto model = arch::reorganize(nn::zoo::avatar_decoder());
   FCAD_CHECK_MSG(model.is_ok(), model.status().message());
 
-  dse::SweepOptions options;
-  options.frequencies_mhz = {150, 200, 250, 300};
-  options.search.population = 100;
-  options.search.iterations = 12;
-  options.search.seed = 4242;
+  dse::SearchSpec spec;
+  spec.kind = dse::SearchKind::kSweep;
+  spec.sweep.frequencies_mhz = {150, 200, 250, 300};
+  spec.search.population = 100;
+  spec.search.iterations = 12;
+  spec.search.seed = 4242;
   auto threads_flag = args->get_int("threads", 0);
   if (!threads_flag.is_ok()) {
     std::fprintf(stderr, "error: %s\n",
                  threads_flag.status().to_string().c_str());
     return 1;
   }
-  options.search.threads = static_cast<int>(*threads_flag);
-  options.customization.batch_sizes = {1, 2, 2};
+  spec.control.threads = static_cast<int>(*threads_flag);
+  spec.customization.batch_sizes = {1, 2, 2};
 
-  auto points = dse::quantization_frequency_sweep(
-      *model, arch::platform_zu9cg(), options);
-  FCAD_CHECK_MSG(points.is_ok(), points.status().message());
+  auto outcome = dse::SearchDriver(*model, arch::platform_zu9cg()).run(spec);
+  FCAD_CHECK_MSG(outcome.is_ok(), outcome.status().message());
+  const std::vector<dse::SweepPoint>& points = outcome->sweep;
 
   TablePrinter t({"Q", "clock", "min FPS", "DSP", "BRAM", "BW (GB/s)",
                   "efficiency", "Pareto"});
-  for (const dse::SweepPoint& p : *points) {
+  for (const dse::SweepPoint& p : points) {
     const arch::AcceleratorEval& eval = p.result.eval;
     t.add_row({nn::to_string(p.quantization),
                format_fixed(p.freq_mhz, 0) + " MHz",

@@ -6,7 +6,7 @@
 #include <string>
 #include <vector>
 
-#include "core/flow.hpp"
+#include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
 
@@ -30,16 +30,16 @@ int main() {
   };
 
   for (const Case& c : cases) {
-    core::FlowOptions options;
-    options.customization.quantization = c.dtype;
-    options.customization.batch_sizes = {1, 2, 2};
-    options.search.population = 200;  // P
-    options.search.iterations = 20;   // N
-    options.search.seed = 20210308;   // fixed for reproducibility
+    core::PipelineOptions options;
+    options.spec.customization.quantization = c.dtype;
+    options.spec.customization.batch_sizes = {1, 2, 2};
+    options.spec.search.population = 200;  // P
+    options.spec.search.iterations = 20;   // N
+    options.spec.search.seed = 20210308;   // fixed for reproducibility
     options.run_simulation = true;
 
-    core::Flow flow(nn::zoo::avatar_decoder(), c.platform);
-    auto result = flow.run(options);
+    core::Pipeline pipeline(nn::zoo::avatar_decoder(), c.platform);
+    auto result = pipeline.run(options);
     if (!result.is_ok()) {
       std::fprintf(stderr, "%s failed: %s\n", c.name,
                    result.status().to_string().c_str());

@@ -7,7 +7,7 @@
 #include "arch/platform.hpp"
 #include "baselines/dnnbuilder.hpp"
 #include "baselines/hybriddnn.hpp"
-#include "core/flow.hpp"
+#include "core/pipeline.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
@@ -31,14 +31,14 @@ int main() {
       baselines::run_hybriddnn(*mimic_model, zu9cg, nn::DataType::kInt16);
 
   auto run_fcad = [&](nn::DataType dtype) {
-    core::FlowOptions options;
-    options.customization.quantization = dtype;
-    options.customization.batch_sizes = {1, 1, 1};  // fair-comparison batch
-    options.search.population = 200;
-    options.search.iterations = 20;
-    options.search.seed = 20210308;
-    core::Flow flow(nn::zoo::avatar_decoder(), zu9cg);
-    auto result = flow.run(options);
+    core::PipelineOptions options;
+    options.spec.customization.quantization = dtype;
+    options.spec.customization.batch_sizes = {1, 1, 1};  // fair batch
+    options.spec.search.population = 200;
+    options.spec.search.iterations = 20;
+    options.spec.search.seed = 20210308;
+    core::Pipeline pipeline(nn::zoo::avatar_decoder(), zu9cg);
+    auto result = pipeline.run(options);
     FCAD_CHECK_MSG(result.is_ok(), result.status().message());
     return result.value().search.eval;
   };

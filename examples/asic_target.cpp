@@ -7,7 +7,7 @@
 // performance each could sustain.
 #include <cstdio>
 
-#include "core/flow.hpp"
+#include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
 #include "util/format.hpp"
@@ -37,15 +37,15 @@ int main() {
     const arch::Platform asic =
         arch::make_asic(c.name, c.mac_units, c.buffer_mib, c.bw_gbps,
                         c.freq_mhz);
-    core::FlowOptions options;
-    options.customization.quantization = nn::DataType::kInt8;
-    options.customization.batch_sizes = {1, 2, 2};
-    options.search.population = 100;
-    options.search.iterations = 12;
-    options.search.seed = 13;
+    core::PipelineOptions options;
+    options.spec.customization.quantization = nn::DataType::kInt8;
+    options.spec.customization.batch_sizes = {1, 2, 2};
+    options.spec.search.population = 100;
+    options.spec.search.iterations = 12;
+    options.spec.search.seed = 13;
 
-    core::Flow flow(nn::zoo::avatar_decoder(), asic);
-    auto result = flow.run(options);
+    core::Pipeline pipeline(nn::zoo::avatar_decoder(), asic);
+    auto result = pipeline.run(options);
     if (!result.is_ok()) {
       std::fprintf(stderr, "%s failed: %s\n", c.name,
                    result.status().to_string().c_str());

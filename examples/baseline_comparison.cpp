@@ -7,7 +7,7 @@
 #include "baselines/dnnbuilder.hpp"
 #include "baselines/hybriddnn.hpp"
 #include "baselines/soc865.hpp"
-#include "core/flow.hpp"
+#include "core/pipeline.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
@@ -29,15 +29,15 @@ int main() {
       baselines::run_hybriddnn(*mimic, target, nn::DataType::kInt16);
 
   // F-CAD runs the real decoder, with simulator validation.
-  core::FlowOptions options;
-  options.customization.quantization = nn::DataType::kInt8;
-  options.customization.batch_sizes = {1, 1, 1};  // match the baselines
-  options.search.population = 150;
-  options.search.iterations = 15;
-  options.search.seed = 2021;
+  core::PipelineOptions options;
+  options.spec.customization.quantization = nn::DataType::kInt8;
+  options.spec.customization.batch_sizes = {1, 1, 1};  // match the baselines
+  options.spec.search.population = 150;
+  options.spec.search.iterations = 15;
+  options.spec.search.seed = 2021;
   options.run_simulation = true;
-  core::Flow flow(nn::zoo::avatar_decoder(), target);
-  auto fcad = flow.run(options);
+  core::Pipeline pipeline(nn::zoo::avatar_decoder(), target);
+  auto fcad = pipeline.run(options);
   if (!fcad.is_ok()) {
     std::fprintf(stderr, "%s\n", fcad.status().to_string().c_str());
     return 1;

@@ -1,23 +1,27 @@
-// fcad_cli — the command-line front end of the framework.
+// fcad_cli — the command-line front end of the framework, driving the
+// staged core::Pipeline.
 //
 //   fcad_cli --model decoder.fcad --platform zu9cg --quant int8
 //            --batches 1,2,2 --priorities 1,1,1
-//            --population 200 --iterations 20 --seed 1 --simulate
+//            --population 200 --iterations 20 --seed 1 --simulate --json
 //
 // --model takes a network in the nn/serialize.hpp text format; without it,
 // the built-in Table-I avatar decoder is used. --asic-macs/--asic-buffer-mib/
 // --asic-bw/--asic-freq define an ASIC budget instead of --platform.
+// --save-artifact / --load-artifact serialize the optimization stage, so a
+// search can be resumed for reporting/simulation without re-running it.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
 #include "arch/config_io.hpp"
-#include "core/flow.hpp"
+#include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "nn/serialize.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
 #include "sim/trace.hpp"
 #include "util/args.hpp"
+#include "util/json.hpp"
 
 namespace {
 
@@ -42,11 +46,20 @@ void usage() {
       "  --seed <n>            DSE seed (default 1)\n"
       "  --threads <n>         DSE evaluation threads (default: all cores; "
       "results are identical for any value)\n"
+      "  --deadline-s <f>      wall-clock budget for the search (best-effort "
+      "result when it expires)\n"
+      "  --progress            stream per-iteration progress to stderr\n"
       "  --simulate            validate the winner on the cycle simulator\n"
       "  --chart               print the simulator's per-stage utilization "
       "chart (implies --simulate)\n"
+      "  --json                print a machine-readable JSON report instead "
+      "of the table\n"
       "  --save-config <file>  write the winning accelerator config "
       "(arch/config_io.hpp format)\n"
+      "  --save-artifact <file> write the search-stage artifact "
+      "(re-enterable via --load-artifact)\n"
+      "  --load-artifact <file> skip the search; resume from a saved "
+      "artifact\n"
       "  --dump-model          print the model text and exit\n");
 }
 
@@ -76,6 +89,72 @@ StatusOr<arch::Platform> load_platform(const ArgParser& args) {
   return arch::platform_by_name(args.get("platform", "zu9cg"));
 }
 
+/// The machine-readable twin of core::case_report: platform + search stats
+/// + per-branch evaluation + structured winner config + the re-enterable
+/// artifact text.
+std::string json_report(const core::Pipeline& pipeline,
+                        const core::PipelineResult& result) {
+  const arch::Platform& platform = pipeline.platform();
+  const dse::SearchResult& search = result.search;
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema_version").value(1);
+  json.key("model").value(pipeline.graph().name());
+  json.key("platform").begin_object();
+  json.key("name").value(platform.name);
+  json.key("dsps").value(platform.dsps);
+  json.key("brams18k").value(platform.brams18k);
+  json.key("bw_gbps").value(platform.bw_gbps);
+  json.key("freq_mhz").value(platform.freq_mhz);
+  json.end_object();
+
+  json.key("search").begin_object();
+  json.key("fitness").value(search.fitness);
+  json.key("feasible").value(search.feasible);
+  json.key("stopped_early").value(search.stopped_early);
+  json.key("seconds").value(search.seconds);
+  json.key("evaluations").value(search.trace.evaluations);
+  json.key("convergence_iteration").value(search.trace.convergence_iteration);
+  json.key("cache_hits").value(search.trace.cache_hits);
+  json.key("cache_misses").value(search.trace.cache_misses);
+  json.end_object();
+
+  const arch::AcceleratorEval& eval = search.eval;
+  json.key("eval").begin_object();
+  json.key("min_fps").value(eval.min_fps);
+  json.key("efficiency").value(eval.efficiency);
+  json.key("dsps").value(eval.dsps);
+  json.key("brams").value(eval.brams);
+  json.key("bw_gbps").value(eval.bw_gbps);
+  json.key("branches").begin_array();
+  for (std::size_t b = 0; b < eval.branches.size(); ++b) {
+    const arch::BranchEval& be = eval.branches[b];
+    json.begin_object();
+    json.key("role").value(result.model.branches[b].role);
+    json.key("batch").value(be.batch);
+    json.key("fps").value(be.fps);
+    json.key("dsps").value(be.dsps);
+    json.key("brams").value(be.brams);
+    json.key("bw_gbps").value(be.bw_gbps);
+    json.key("efficiency").value(be.efficiency);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  if (result.simulation.has_value()) {
+    json.key("simulation").begin_object();
+    json.key("min_fps").value(result.simulation->min_fps);
+    json.key("efficiency").value(result.simulation->efficiency);
+    json.key("ddr_demand_gbps").value(result.simulation->ddr_demand_gbps);
+    json.end_object();
+  }
+
+  json.key("artifact").value(pipeline.save_search());
+  json.end_object();
+  return json.str();
+}
+
 int run(const ArgParser& args) {
   auto graph = load_model(args);
   if (!graph.is_ok()) {
@@ -92,12 +171,12 @@ int run(const ArgParser& args) {
     return 1;
   }
 
-  core::FlowOptions options;
+  dse::SearchSpec spec;
   const std::string quant = args.get("quant", "int8");
   if (quant == "int8") {
-    options.customization.quantization = nn::DataType::kInt8;
+    spec.customization.quantization = nn::DataType::kInt8;
   } else if (quant == "int16") {
-    options.customization.quantization = nn::DataType::kInt16;
+    spec.customization.quantization = nn::DataType::kInt16;
   } else {
     std::fprintf(stderr, "error: --quant must be int8 or int16\n");
     return 1;
@@ -107,43 +186,80 @@ int run(const ArgParser& args) {
     std::fprintf(stderr, "error: %s\n", batches.status().to_string().c_str());
     return 1;
   }
-  options.customization.batch_sizes = *batches;
+  spec.customization.batch_sizes = *batches;
   auto priorities = args.get_double_list("priorities");
   if (!priorities.is_ok()) {
     std::fprintf(stderr, "error: %s\n",
                  priorities.status().to_string().c_str());
     return 1;
   }
-  options.customization.priorities = *priorities;
+  spec.customization.priorities = *priorities;
 
   auto population = args.get_int("population", 200);
   auto iterations = args.get_int("iterations", 20);
   auto seed = args.get_int("seed", 1);
   auto threads = args.get_int("threads", 0);
+  auto deadline = args.get_double("deadline-s", 0.0);
   if (!population.is_ok() || !iterations.is_ok() || !seed.is_ok() ||
-      !threads.is_ok()) {
+      !threads.is_ok() || !deadline.is_ok()) {
     std::fprintf(stderr, "error: bad numeric flag\n");
     return 1;
   }
-  options.search.population = static_cast<int>(*population);
-  options.search.iterations = static_cast<int>(*iterations);
-  options.search.seed = static_cast<std::uint64_t>(*seed);
-  options.search.threads = static_cast<int>(*threads);
-  options.run_simulation = args.has("simulate") || args.has("chart");
+  spec.search.population = static_cast<int>(*population);
+  spec.search.iterations = static_cast<int>(*iterations);
+  spec.search.seed = static_cast<std::uint64_t>(*seed);
+  spec.control.threads = static_cast<int>(*threads);
+  spec.control.deadline_s = *deadline;
+  if (args.has("progress")) {
+    spec.control.on_progress = [](const dse::ProgressEvent& event) {
+      std::fprintf(stderr, "[%s] %d/%d best fitness %.1f\n",
+                   event.stage.c_str(), event.step, event.total_steps,
+                   event.best_fitness);
+    };
+  }
 
-  core::Flow flow(std::move(*graph), *platform);
-  auto result = flow.run(options);
+  // Staged execution: analysis + construction always run; the optimization
+  // stage either runs the search or re-enters a saved artifact.
+  core::Pipeline pipeline(std::move(*graph), *platform);
+  Status status = pipeline.construct();
+  if (status.is_ok()) {
+    if (args.has("load-artifact")) {
+      const std::string path = args.get("load-artifact", "");
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "error: cannot open artifact '%s'\n",
+                     path.c_str());
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      status = pipeline.load_search(buffer.str());
+    } else {
+      status = pipeline.optimize(spec);
+    }
+  }
+  if (status.is_ok() && (args.has("simulate") || args.has("chart"))) {
+    status = pipeline.simulate({});
+  }
+  auto result = status.is_ok()
+                    ? pipeline.result()
+                    : StatusOr<core::PipelineResult>(status);
   if (!result.is_ok()) {
     std::fprintf(stderr, "error: %s\n", result.status().to_string().c_str());
     return 1;
   }
-  std::printf("%s",
-              core::case_report(flow.graph().name(), *result, *platform)
-                  .c_str());
-  if (args.has("chart") && result->simulation.has_value()) {
-    std::printf("\n%s",
-                sim::utilization_chart(result->model, *result->simulation)
+
+  if (args.has("json")) {
+    std::printf("%s\n", json_report(pipeline, *result).c_str());
+  } else {
+    std::printf("%s",
+                core::case_report(pipeline.graph().name(), *result, *platform)
                     .c_str());
+    if (args.has("chart") && result->simulation.has_value()) {
+      std::printf("\n%s",
+                  sim::utilization_chart(result->model, *result->simulation)
+                      .c_str());
+    }
   }
   if (args.has("save-config")) {
     const std::string path = args.get("save-config", "");
@@ -153,7 +269,19 @@ int run(const ArgParser& args) {
       return 1;
     }
     out << arch::config_to_text(result->model, result->search.config);
-    std::printf("config written to %s\n", path.c_str());
+    if (!args.has("json")) std::printf("config written to %s\n", path.c_str());
+  }
+  if (args.has("save-artifact")) {
+    const std::string path = args.get("save-artifact", "");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+      return 1;
+    }
+    out << pipeline.save_search();
+    if (!args.has("json")) {
+      std::printf("artifact written to %s\n", path.c_str());
+    }
   }
   if (!result->search.feasible) {
     std::fprintf(stderr,

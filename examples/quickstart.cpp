@@ -1,16 +1,19 @@
-// Quickstart: run the whole F-CAD flow on the Table-I codec avatar decoder.
+// Quickstart: run the whole F-CAD flow on the Table-I codec avatar decoder
+// through the staged core::Pipeline.
 //
 //   1. build (or import) the decoder network,
-//   2. inspect its branch structure and compute/memory demands,
-//   3. search for the optimized accelerator on a Xilinx ZU9CG budget,
-//   4. validate the winning design on the cycle-level simulator.
+//   2. analyze() — inspect its branch structure and compute/memory demands,
+//   3. optimize() — search for the accelerator on a Xilinx ZU9CG budget,
+//      watching per-iteration progress through the RunControl observer,
+//   4. simulate() — validate the winning design on the cycle-level
+//      simulator, then render the Table-IV style report.
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build &&
 //               ./build/examples/quickstart
 #include <cstdio>
 
 #include "analysis/report.hpp"
-#include "core/flow.hpp"
+#include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
 
@@ -19,39 +22,52 @@ int main() {
 
   // 1. The decoder: three branches (geometry / texture / warp field) with a
   //    shared front-end, customized untied-bias convolutions throughout.
-  nn::Graph decoder = nn::zoo::avatar_decoder();
+  core::Pipeline pipeline(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
 
-  // 2. Analysis-step artifacts, printed Table-I style.
-  analysis::GraphProfile profile = analysis::profile_graph(decoder);
-  auto branches = analysis::decompose(decoder, profile);
-  if (!branches.is_ok()) {
-    std::fprintf(stderr, "decompose failed: %s\n",
-                 branches.status().to_string().c_str());
+  // 2. Analysis stage: the artifact is cached on the pipeline, so nothing
+  //    below ever re-profiles the graph.
+  if (Status s = pipeline.analyze(); !s.is_ok()) {
+    std::fprintf(stderr, "analysis failed: %s\n", s.to_string().c_str());
     return 1;
   }
+  const core::ProfileArtifact& profile = *pipeline.profile();
   std::printf("%s\n",
-              analysis::branch_summary(decoder, profile, *branches).c_str());
+              analysis::branch_summary(pipeline.graph(), profile.profile,
+                                       profile.decomposition)
+                  .c_str());
 
-  // 3. The optimization step: 8-bit quantization, batch {1, 2, 2} (Br.2/3
+  // 3. The optimization stage: 8-bit quantization, batch {1, 2, 2} (Br.2/3
   //    render one HD texture per eye), equal priorities, ZU9CG budget.
-  core::FlowOptions options;
-  options.customization.quantization = nn::DataType::kInt8;
-  options.customization.batch_sizes = {1, 2, 2};
-  options.search.population = 100;  // lighter than the paper's 200 for a demo
-  options.search.iterations = 12;
-  options.search.seed = 42;
-  options.run_simulation = true;  // 4. cycle-level validation
+  dse::SearchSpec spec;
+  spec.customization.quantization = nn::DataType::kInt8;
+  spec.customization.batch_sizes = {1, 2, 2};
+  spec.search.population = 100;  // lighter than the paper's 200 for a demo
+  spec.search.iterations = 12;
+  spec.search.seed = 42;
+  spec.control.on_progress = [](const dse::ProgressEvent& event) {
+    std::fprintf(stderr, "  %s %d/%d: best fitness %.1f\n",
+                 event.stage.c_str(), event.step, event.total_steps,
+                 event.best_fitness);
+  };
+  if (Status s = pipeline.optimize(spec); !s.is_ok()) {
+    std::fprintf(stderr, "search failed: %s\n", s.to_string().c_str());
+    return 1;
+  }
 
-  core::Flow flow(std::move(decoder), arch::platform_zu9cg());
-  auto result = flow.run(options);
+  // 4. Cycle-level validation + report.
+  if (Status s = pipeline.simulate(); !s.is_ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  auto result = pipeline.result();
   if (!result.is_ok()) {
-    std::fprintf(stderr, "flow failed: %s\n",
+    std::fprintf(stderr, "pipeline failed: %s\n",
                  result.status().to_string().c_str());
     return 1;
   }
   std::printf("%s\n",
               core::case_report("quickstart (ZU9CG, 8-bit)", *result,
-                                flow.platform())
+                                pipeline.platform())
                   .c_str());
   return 0;
 }

@@ -1,10 +1,12 @@
 // serving_cli — multi-tenant serving simulation of the Table-I avatar
-// decoder: search the accelerator once, then replay request traffic from N
-// concurrent users across a fleet of instances and report tail latency and
-// SLA compliance per arrival process x dispatch policy.
+// decoder: search the accelerator once (dse::SearchDriver), then replay
+// request traffic from N concurrent users across a fleet of instances and
+// report tail latency and SLA compliance per arrival process x dispatch
+// policy.
 //
 //   serving_cli --users 4 --instances 4 --sla-ms 33.3 --seed 42
 //   serving_cli --optimize --max-users 64        # SLA-aware DSE
+//   serving_cli --optimize --json                # machine-readable winner
 //
 // Results are bit-reproducible for a fixed --seed (same CSV across runs).
 #include <cstdio>
@@ -13,7 +15,7 @@
 
 #include "arch/platform.hpp"
 #include "arch/reorg.hpp"
-#include "dse/engine.hpp"
+#include "dse/search_driver.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
 #include "serving/fleet.hpp"
 #include "serving/service.hpp"
@@ -23,6 +25,7 @@
 #include "util/args.hpp"
 #include "util/csv.hpp"
 #include "util/format.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -54,12 +57,14 @@ void usage() {
       "  --threads <n>          DSE evaluation threads (default: all cores; "
       "results are identical for any value)\n"
       "  --simulate             service times from the cycle simulator\n"
-      "SLA-aware DSE (dse::optimize_for_traffic):\n"
+      "SLA-aware DSE (SearchKind::kTraffic):\n"
       "  --optimize             search batch scaling under the traffic\n"
       "  --max-batch <n>        largest batch multiplier probed (default 8)\n"
       "  --max-users <n>        also maximize served users up to n\n"
       "output:\n"
-      "  --csv <file>           write the scenario matrix as CSV\n");
+      "  --csv <file>           write the scenario matrix as CSV\n"
+      "  --json                 print a machine-readable JSON report "
+      "instead of the tables\n");
 }
 
 struct Scenario {
@@ -93,6 +98,7 @@ int run(const ArgParser& args) {
       flag_value(args.get_double("switch-penalty-us", 500.0));
   const double sla_us =
       flag_value(args.get_double("sla-ms", 100.0 / 3.0)) * 1e3;
+  const bool emit_json = args.has("json");
 
   auto platform = arch::platform_by_name(args.get("platform", "zu9cg"));
   if (!platform.is_ok()) {
@@ -129,32 +135,32 @@ int run(const ArgParser& args) {
     policies = {*p};
   }
 
-  // 1. The decoder and its hardware search.
+  // 1. The decoder and the shared spec of its hardware search.
   auto model = arch::reorganize(nn::zoo::avatar_decoder());
   if (!model.is_ok()) {
     std::fprintf(stderr, "error: %s\n", model.status().to_string().c_str());
     return 1;
   }
-  dse::DseRequest request;
-  request.platform = *platform;
+  const dse::SearchDriver driver(*model, *platform);
+
+  dse::SearchSpec spec;
   auto batches = args.get_int_list("batches");
   if (!batches.is_ok()) {
     std::fprintf(stderr, "error: %s\n", batches.status().to_string().c_str());
     return 1;
   }
-  request.customization.batch_sizes =
+  spec.customization.batch_sizes =
       batches->empty() ? std::vector<int>{1, 2, 2} : *batches;
-  request.options.population =
+  spec.search.population =
       static_cast<int>(flag_value(args.get_int("population", 100)));
-  request.options.iterations =
+  spec.search.iterations =
       static_cast<int>(flag_value(args.get_int("iterations", 12)));
-  request.options.seed = seed;
-  request.options.threads =
+  spec.search.seed = seed;
+  spec.control.threads =
       static_cast<int>(flag_value(args.get_int("threads", 0)));
 
   serving::WorkloadOptions workload;
   workload.users = users;
-  workload.branches = model->num_branches();
   workload.frame_rate_hz = frame_rate;
   workload.duration_s = duration;
   workload.seed = seed;
@@ -165,77 +171,115 @@ int run(const ArgParser& args) {
   fleet.switch_penalty_us = switch_penalty_us;
   fleet.sla_bound_us = sla_us;
 
-  // 2. SLA-aware DSE mode: search batch scaling under the traffic profile.
+  // 2. SLA-aware DSE mode: search batch scaling under the traffic spec.
   if (args.has("optimize")) {
     if (batches->empty()) {
       // Let the multiplier search own the batch axis: base ratio all-1
       // unless the user pinned explicit per-branch targets.
-      request.customization.batch_sizes.clear();
+      spec.customization.batch_sizes.clear();
     }
-    dse::TrafficProfile profile;
-    profile.workload = workload;
-    profile.fleet = fleet;
+    spec.kind = dse::SearchKind::kTraffic;
+    spec.traffic.workload = workload;
+    spec.traffic.fleet = fleet;
     // "all" is a sweep axis, not a policy; fall back to the fleet default.
-    profile.fleet.policy = policy == "all"
-                               ? serving::DispatchPolicy::kLeastLoaded
-                               : policies.front();
-    profile.workload.process = processes.front();
-    profile.max_batch = static_cast<int>(flag_value(args.get_int("max-batch", 8)));
-    profile.max_users = static_cast<int>(flag_value(args.get_int("max-users", 0)));
-    profile.use_simulator = args.has("simulate");
-    auto result = dse::optimize_for_traffic(*model, request, profile);
-    if (!result.is_ok()) {
-      std::fprintf(stderr, "error: %s\n", result.status().to_string().c_str());
+    spec.traffic.fleet.policy = policy == "all"
+                                    ? serving::DispatchPolicy::kLeastLoaded
+                                    : policies.front();
+    spec.traffic.workload.process = processes.front();
+    spec.traffic.max_batch =
+        static_cast<int>(flag_value(args.get_int("max-batch", 8)));
+    spec.traffic.max_users =
+        static_cast<int>(flag_value(args.get_int("max-users", 0)));
+    spec.traffic.use_simulator = args.has("simulate");
+    auto outcome = driver.run(spec);
+    if (!outcome.is_ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   outcome.status().to_string().c_str());
       return 1;
     }
+    const dse::TrafficSearchResult& result = outcome->traffic;
     std::string batch_str;
-    for (int b : result->batch_sizes) {
+    for (int b : result.batch_sizes) {
       if (!batch_str.empty()) batch_str += ",";
       batch_str += std::to_string(b);
     }
-    std::printf(
-        "=== SLA-aware DSE (%s arrivals, %s dispatch, %d instance(s)) ===\n"
-        "winning batch targets: {%s}   users served: %d (requested %d)   "
-        "SLA met: %s\n"
-        "sla fitness: %s   hardware fitness: %s   feasible: %s\n\n%s\n",
-        serving::to_string(profile.workload.process),
-        serving::to_string(profile.fleet.policy), instances,
-        batch_str.c_str(), result->users_served, users,
-        result->sla_met ? "yes" : "NO", format_fixed(result->sla_fitness, 3).c_str(),
-        format_fixed(result->search.fitness, 1).c_str(),
-        result->search.feasible ? "yes" : "no",
-        serving::serving_report(result->stats).c_str());
+    if (emit_json) {
+      JsonWriter json;
+      json.begin_object();
+      json.key("schema_version").value(1);
+      json.key("mode").value("traffic");
+      json.key("platform").value(platform->name);
+      json.key("arrival")
+          .value(serving::to_string(spec.traffic.workload.process));
+      json.key("policy").value(serving::to_string(spec.traffic.fleet.policy));
+      json.key("instances").value(instances);
+      json.key("users_requested").value(users);
+      json.key("users_served").value(result.users_served);
+      json.key("sla_met").value(result.sla_met);
+      json.key("sla_fitness").value(result.sla_fitness);
+      json.key("batch_sizes").begin_array();
+      for (int b : result.batch_sizes) json.value(b);
+      json.end_array();
+      json.key("search").begin_object();
+      json.key("fitness").value(result.search.fitness);
+      json.key("feasible").value(result.search.feasible);
+      json.key("min_fps").value(result.search.eval.min_fps);
+      json.end_object();
+      json.key("stats");
+      serving::serving_stats_json(json, result.stats);
+      json.end_object();
+      std::printf("%s\n", json.str().c_str());
+    } else {
+      std::printf(
+          "=== SLA-aware DSE (%s arrivals, %s dispatch, %d instance(s)) ===\n"
+          "winning batch targets: {%s}   users served: %d (requested %d)   "
+          "SLA met: %s\n"
+          "sla fitness: %s   hardware fitness: %s   feasible: %s\n\n%s\n",
+          serving::to_string(spec.traffic.workload.process),
+          serving::to_string(spec.traffic.fleet.policy), instances,
+          batch_str.c_str(), result.users_served, users,
+          result.sla_met ? "yes" : "NO",
+          format_fixed(result.sla_fitness, 3).c_str(),
+          format_fixed(result.search.fitness, 1).c_str(),
+          result.search.feasible ? "yes" : "no",
+          serving::serving_report(result.stats).c_str());
+    }
     // Success means the SLA held at (at least) the requested user count —
     // a degraded-but-passing run still signals 2.
-    return result->sla_met && result->users_served >= users ? 0 : 2;
+    return result.sla_met && result.users_served >= users ? 0 : 2;
   }
 
   // 3. Fixed-config mode: search once, then sweep arrival x policy.
-  auto search = dse::optimize(*model, request);
-  if (!search.is_ok()) {
-    std::fprintf(stderr, "error: %s\n", search.status().to_string().c_str());
+  auto outcome = driver.run(spec);
+  if (!outcome.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", outcome.status().to_string().c_str());
     return 1;
   }
+  const dse::SearchResult& search = outcome->search;
   serving::ServiceModel service;
   if (args.has("simulate")) {
     const sim::SimResult simulated =
-        sim::simulate(*model, search->config, *platform);
-    service = serving::service_model_from_sim(search->config, simulated);
+        sim::simulate(*model, search.config, *platform);
+    service = serving::service_model_from_sim(search.config, simulated);
   } else {
-    service = serving::service_model_from_eval(search->config, search->eval);
+    service = serving::service_model_from_eval(search.config, search.eval);
   }
-  std::printf(
-      "=== serving the avatar decoder on %s (%d instance(s), %d users) ===\n"
-      "searched config: min %s FPS, %s efficient, feasible: %s\n"
-      "service model: uniform-mix saturation %s req/s per instance "
-      "(%s passes)\n\n",
-      platform->name.c_str(), instances, users,
-      format_fixed(search->eval.min_fps, 1).c_str(),
-      format_percent(search->eval.efficiency, 1).c_str(),
-      search->feasible ? "yes" : "no",
-      format_fixed(service.peak_rps(), 0).c_str(),
-      args.has("simulate") ? "cycle-simulated" : "analytical");
+  if (!emit_json) {
+    std::printf(
+        "=== serving the avatar decoder on %s (%d instance(s), %d users) "
+        "===\n"
+        "searched config: min %s FPS, %s efficient, feasible: %s\n"
+        "service model: uniform-mix saturation %s req/s per instance "
+        "(%s passes)\n\n",
+        platform->name.c_str(), instances, users,
+        format_fixed(search.eval.min_fps, 1).c_str(),
+        format_percent(search.eval.efficiency, 1).c_str(),
+        search.feasible ? "yes" : "no",
+        format_fixed(service.peak_rps(), 0).c_str(),
+        args.has("simulate") ? "cycle-simulated" : "analytical");
+  }
 
+  workload.branches = model->num_branches();
   std::vector<Scenario> scenarios;
   for (serving::ArrivalProcess process : processes) {
     serving::WorkloadOptions wl = workload;
@@ -259,30 +303,58 @@ int run(const ArgParser& args) {
     }
   }
 
-  TablePrinter table({"Arrival", "Policy", "p50", "p95", "p99", "Max",
-                      "Violations", "Util", "Fill"});
-  for (const Scenario& s : scenarios) {
-    table.add_row({serving::to_string(s.process),
-                   serving::to_string(s.policy),
-                   format_fixed(s.stats.latency.p50 * 1e-3, 2) + " ms",
-                   format_fixed(s.stats.latency.p95 * 1e-3, 2) + " ms",
-                   format_fixed(s.stats.latency.p99 * 1e-3, 2) + " ms",
-                   format_fixed(s.stats.latency.max * 1e-3, 2) + " ms",
-                   format_percent(s.stats.sla_violation_rate, 2),
-                   format_percent(s.stats.fleet_utilization, 1),
-                   format_percent(s.stats.mean_batch_fill, 1)});
-  }
-  std::printf("%s\n", table.to_string().c_str());
+  if (emit_json) {
+    JsonWriter json;
+    json.begin_object();
+    json.key("schema_version").value(1);
+    json.key("mode").value("fixed");
+    json.key("platform").value(platform->name);
+    json.key("instances").value(instances);
+    json.key("users").value(users);
+    json.key("search").begin_object();
+    json.key("fitness").value(search.fitness);
+    json.key("feasible").value(search.feasible);
+    json.key("min_fps").value(search.eval.min_fps);
+    json.key("peak_rps_per_instance").value(service.peak_rps());
+    json.end_object();
+    json.key("scenarios").begin_array();
+    for (const Scenario& s : scenarios) {
+      json.begin_object();
+      json.key("arrival").value(serving::to_string(s.process));
+      json.key("policy").value(serving::to_string(s.policy));
+      json.key("stats");
+      serving::serving_stats_json(json, s.stats);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    std::printf("%s\n", json.str().c_str());
+  } else {
+    TablePrinter table({"Arrival", "Policy", "p50", "p95", "p99", "Max",
+                        "Violations", "Util", "Fill"});
+    for (const Scenario& s : scenarios) {
+      table.add_row({serving::to_string(s.process),
+                     serving::to_string(s.policy),
+                     format_fixed(s.stats.latency.p50 * 1e-3, 2) + " ms",
+                     format_fixed(s.stats.latency.p95 * 1e-3, 2) + " ms",
+                     format_fixed(s.stats.latency.p99 * 1e-3, 2) + " ms",
+                     format_fixed(s.stats.latency.max * 1e-3, 2) + " ms",
+                     format_percent(s.stats.sla_violation_rate, 2),
+                     format_percent(s.stats.fleet_utilization, 1),
+                     format_percent(s.stats.mean_batch_fill, 1)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
 
-  // Detailed report of the best scenario by p99.
-  const Scenario* best = &scenarios.front();
-  for (const Scenario& s : scenarios) {
-    if (s.stats.latency.p99 < best->stats.latency.p99) best = &s;
+    // Detailed report of the best scenario by p99.
+    const Scenario* best = &scenarios.front();
+    for (const Scenario& s : scenarios) {
+      if (s.stats.latency.p99 < best->stats.latency.p99) best = &s;
+    }
+    std::printf("--- best scenario: %s arrivals, %s dispatch ---\n%s\n",
+                serving::to_string(best->process),
+                serving::to_string(best->policy),
+                serving::serving_report(best->stats).c_str());
   }
-  std::printf("--- best scenario: %s arrivals, %s dispatch ---\n%s\n",
-              serving::to_string(best->process),
-              serving::to_string(best->policy),
-              serving::serving_report(best->stats).c_str());
 
   if (args.has("csv")) {
     CsvWriter csv(serving::serving_csv_header({"arrival", "policy"}));
@@ -296,7 +368,7 @@ int run(const ArgParser& args) {
       std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
       return 1;
     }
-    std::printf("csv written to %s\n", path.c_str());
+    if (!emit_json) std::printf("csv written to %s\n", path.c_str());
   }
 
   bool all_met = true;

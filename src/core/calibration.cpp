@@ -2,7 +2,7 @@
 
 #include "arch/platform.hpp"
 #include "arch/reorg.hpp"
-#include "dse/engine.hpp"
+#include "dse/search_driver.hpp"
 #include "nn/zoo/classic_nets.hpp"
 #include "sim/simulator.hpp"
 
@@ -19,14 +19,14 @@ std::vector<CalibrationPoint> run_calibration() {
       auto model = arch::reorganize(net);
       FCAD_CHECK_MSG(model.is_ok(), model.status().message());
 
-      dse::DseRequest request;
-      request.platform = ku115;
-      request.customization.quantization = dtype;
-      request.options.population = 40;  // single branch: small swarm suffices
-      request.options.iterations = 8;
-      request.options.seed = 1234 + index;
-      auto search = dse::optimize(*model, request);
-      FCAD_CHECK_MSG(search.is_ok(), search.status().message());
+      dse::SearchSpec spec;
+      spec.customization.quantization = dtype;
+      spec.search.population = 40;  // single branch: small swarm suffices
+      spec.search.iterations = 8;
+      spec.search.seed = 1234 + index;
+      auto outcome = dse::SearchDriver(*model, ku115).run(spec);
+      FCAD_CHECK_MSG(outcome.is_ok(), outcome.status().message());
+      const dse::SearchResult* search = &outcome->search;
 
       const sim::SimResult simulated =
           sim::simulate(*model, search->config, ku115);

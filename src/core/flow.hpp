@@ -1,21 +1,17 @@
-// fcad::Flow — the whole automation design flow of Fig. 4 behind one call:
-//   Step 1 (Analysis):     profile the network, extract branch structure;
-//   Step 2 (Construction): fuse layers, separate/reorganize branches, expand
-//                          the elastic architecture;
-//   Step 3 (Optimization): multi-branch DSE under the platform budgets.
-// Optionally validates the winning design on the cycle-level simulator.
+// DEPRECATED facade — core::Flow, the original one-call flow wrapper, kept
+// one release as an inline shim over core::Pipeline so out-of-tree callers
+// keep compiling. New code constructs a Pipeline (staged, cached,
+// serializable artifacts) and a dse::SearchSpec.
 #pragma once
 
-#include <optional>
+#include <utility>
 
-#include "analysis/branches.hpp"
-#include "arch/reorg.hpp"
-#include "dse/engine.hpp"
-#include "nn/graph.hpp"
-#include "sim/simulator.hpp"
+#include "core/pipeline.hpp"
 
 namespace fcad::core {
 
+/// Legacy options bundle. Superseded by PipelineOptions, whose SearchSpec
+/// additionally carries the objective and the RunControl.
 struct FlowOptions {
   dse::Customization customization;
   dse::CrossBranchOptions search;
@@ -23,22 +19,25 @@ struct FlowOptions {
   sim::SimOptions sim;
 };
 
-struct FlowResult {
-  analysis::GraphProfile profile;
-  analysis::BranchDecomposition decomposition;
-  arch::ReorganizedModel model;
-  dse::SearchResult search;
-  std::optional<sim::SimResult> simulation;
-};
+/// The result shape is unchanged; FlowResult is the PipelineResult.
+using FlowResult = PipelineResult;
 
-class Flow {
+class [[deprecated("use core::Pipeline")]] Flow {
  public:
   Flow(nn::Graph graph, arch::Platform platform)
       : graph_(std::move(graph)), platform_(std::move(platform)) {}
 
-  /// Runs the three steps. Fails on malformed networks, arity-mismatched
-  /// customization, or graphs the pipeline paradigm cannot map.
-  StatusOr<FlowResult> run(const FlowOptions& options) const;
+  /// Runs the three steps (plus optional simulation) through a fresh
+  /// Pipeline.
+  StatusOr<FlowResult> run(const FlowOptions& options) const {
+    Pipeline pipeline(graph_, platform_);
+    PipelineOptions pipeline_options;
+    pipeline_options.spec.customization = options.customization;
+    pipeline_options.spec.search = options.search;
+    pipeline_options.run_simulation = options.run_simulation;
+    pipeline_options.sim = options.sim;
+    return pipeline.run(pipeline_options);
+  }
 
   const nn::Graph& graph() const { return graph_; }
   const arch::Platform& platform() const { return platform_; }

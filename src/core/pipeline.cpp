@@ -1,0 +1,207 @@
+#include "core/pipeline.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "analysis/profile.hpp"
+#include "arch/config_io.hpp"
+
+namespace fcad::core {
+namespace {
+
+constexpr const char* kArtifactMagic = "fcad-search-artifact v1";
+
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+StatusOr<dse::SearchKind> search_kind_by_name(const std::string& name) {
+  for (dse::SearchKind kind :
+       {dse::SearchKind::kOptimize, dse::SearchKind::kTraffic,
+        dse::SearchKind::kMaxBatch, dse::SearchKind::kSweep,
+        dse::SearchKind::kConvergence}) {
+    if (name == dse::to_string(kind)) return kind;
+  }
+  return Status::invalid_argument("search artifact: unknown kind '" + name +
+                                  "'");
+}
+
+}  // namespace
+
+const dse::SearchResult& SearchArtifact::best() const {
+  return outcome.kind == dse::SearchKind::kTraffic ? outcome.traffic.search
+                                                   : outcome.search;
+}
+
+std::string search_artifact_to_text(const ReorgArtifact& reorg,
+                                    const SearchArtifact& artifact) {
+  const dse::SearchResult& best = artifact.best();
+  std::ostringstream os;
+  os << kArtifactMagic << "\n";
+  os << "kind " << dse::to_string(artifact.outcome.kind) << "\n";
+  os << "fitness " << format_double(best.fitness) << "\n";
+  os << "feasible " << (best.feasible ? 1 : 0) << "\n";
+  os << "seconds " << format_double(best.seconds) << "\n";
+  os << "evaluations " << best.trace.evaluations << "\n";
+  os << "convergence_iteration " << best.trace.convergence_iteration << "\n";
+  os << "config\n";
+  os << arch::config_to_text(reorg.model, best.config);
+  return os.str();
+}
+
+StatusOr<SearchArtifact> search_artifact_from_text(const ReorgArtifact& reorg,
+                                                   const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kArtifactMagic) {
+    return Status::invalid_argument(
+        "search artifact: missing '" + std::string(kArtifactMagic) +
+        "' header");
+  }
+
+  SearchArtifact artifact;
+  dse::SearchResult best;
+  bool saw_config = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line == "config") {
+      saw_config = true;
+      break;
+    }
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    std::string value;
+    fields >> value;
+    if (key == "kind") {
+      auto kind = search_kind_by_name(value);
+      if (!kind.is_ok()) return kind.status();
+      artifact.outcome.kind = *kind;
+    } else if (key == "fitness") {
+      best.fitness = std::strtod(value.c_str(), nullptr);
+    } else if (key == "feasible") {
+      best.feasible = value == "1";
+    } else if (key == "seconds") {
+      best.seconds = std::strtod(value.c_str(), nullptr);
+    } else if (key == "evaluations") {
+      best.trace.evaluations = std::strtoll(value.c_str(), nullptr, 10);
+    } else if (key == "convergence_iteration") {
+      best.trace.convergence_iteration =
+          static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+    } else {
+      return Status::invalid_argument("search artifact: unknown field '" +
+                                      key + "'");
+    }
+  }
+  if (!saw_config) {
+    return Status::invalid_argument("search artifact: missing config section");
+  }
+  std::ostringstream config_text;
+  config_text << in.rdbuf();
+  auto config = arch::config_from_text(reorg.model, config_text.str());
+  if (!config.is_ok()) return config.status();
+  best.config = std::move(config).value();
+  // Re-evaluate under the quantized model — the same view cross_branch_search
+  // reports its winner with — so a loaded artifact is immediately usable for
+  // reports, serving models, and simulation.
+  best.eval =
+      arch::evaluate(reorg.model, best.config, arch::EvalMode::kQuantized);
+  if (artifact.outcome.kind == dse::SearchKind::kTraffic) {
+    artifact.outcome.traffic.search = std::move(best);
+  } else {
+    artifact.outcome.search = std::move(best);
+  }
+  return artifact;
+}
+
+Status Pipeline::analyze() {
+  if (profile_) return Status::ok();
+  ProfileArtifact artifact;
+  artifact.profile = analysis::profile_graph(graph_);
+  auto decomposition = analysis::decompose(graph_, artifact.profile);
+  if (!decomposition.is_ok()) return decomposition.status();
+  artifact.decomposition = std::move(decomposition).value();
+  profile_ = std::move(artifact);
+  return Status::ok();
+}
+
+Status Pipeline::construct() {
+  if (reorg_) return Status::ok();
+  if (Status s = analyze(); !s.is_ok()) return s;
+  auto model = arch::reorganize(graph_);
+  if (!model.is_ok()) return model.status();
+  reorg_ = ReorgArtifact{std::move(model).value()};
+  return Status::ok();
+}
+
+Status Pipeline::optimize(const dse::SearchSpec& spec) {
+  if (Status s = construct(); !s.is_ok()) return s;
+  const dse::SearchDriver driver(reorg_->model, platform_);
+  auto outcome = driver.run(spec);
+  if (!outcome.is_ok()) return outcome.status();
+  search_ = SearchArtifact{std::move(outcome).value()};
+  sim_.reset();  // stale: simulated a previous search stage
+  return Status::ok();
+}
+
+Status Pipeline::simulate(const sim::SimOptions& options) {
+  if (sim_) return Status::ok();
+  if (!search_) {
+    return Status::invalid_argument(
+        "Pipeline::simulate: run or load a search first");
+  }
+  const dse::SearchResult& best = search_->best();
+  if (best.config.branches.empty()) {
+    return Status::invalid_argument(
+        "Pipeline::simulate: the search artifact has no winning "
+        "configuration");
+  }
+  sim_ = SimArtifact{
+      sim::simulate(reorg_->model, best.config, platform_, options)};
+  return Status::ok();
+}
+
+std::string Pipeline::save_search() const {
+  if (!search_ || !reorg_) return "";
+  return search_artifact_to_text(*reorg_, *search_);
+}
+
+Status Pipeline::load_search(const std::string& text) {
+  if (Status s = construct(); !s.is_ok()) return s;
+  auto artifact = search_artifact_from_text(*reorg_, text);
+  if (!artifact.is_ok()) return artifact.status();
+  search_ = std::move(artifact).value();
+  sim_.reset();
+  return Status::ok();
+}
+
+StatusOr<PipelineResult> Pipeline::result() const {
+  if (!profile_ || !reorg_ || !search_) {
+    return Status::invalid_argument(
+        "Pipeline::result: analysis/construction/optimization stages have "
+        "not all completed");
+  }
+  PipelineResult result;
+  result.profile = profile_->profile;
+  result.decomposition = profile_->decomposition;
+  result.model = reorg_->model;
+  result.search = search_->best();
+  if (sim_) result.simulation = sim_->result;
+  return result;
+}
+
+StatusOr<PipelineResult> Pipeline::run(const PipelineOptions& options) {
+  if (Status s = analyze(); !s.is_ok()) return s;
+  if (Status s = construct(); !s.is_ok()) return s;
+  if (Status s = optimize(options.spec); !s.is_ok()) return s;
+  if (options.run_simulation) {
+    if (Status s = simulate(options.sim); !s.is_ok()) return s;
+  }
+  return result();
+}
+
+}  // namespace fcad::core

@@ -1,0 +1,138 @@
+// fcad::core::Pipeline — the staged, resumable Fig. 4 flow behind the
+// public API:
+//   Stage 1 (Analysis):     analyze()   -> ProfileArtifact
+//   Stage 2 (Construction): construct() -> ReorgArtifact
+//   Stage 3 (Optimization): optimize(SearchSpec) -> SearchArtifact
+//   Stage 4 (Validation):   simulate()  -> SimArtifact
+//
+// Each stage is produced once and cached, so repeated optimize() calls (a
+// serving sweep, a spec ladder) reuse the analysis/construction artifacts
+// instead of re-profiling the graph per configuration. The search artifact
+// serializes (reusing arch/config_io for the winning configuration) and
+// re-enters via load_search(), so a design found yesterday can be
+// re-evaluated, simulated, or reported today without re-searching.
+//
+// run() is the one-shot convenience covering the legacy core::Flow::run.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "analysis/branches.hpp"
+#include "arch/reorg.hpp"
+#include "dse/search_driver.hpp"
+#include "nn/graph.hpp"
+#include "sim/simulator.hpp"
+
+namespace fcad::core {
+
+/// Stage-1 artifact: per-layer compute/memory profile + branch structure.
+struct ProfileArtifact {
+  analysis::GraphProfile profile;
+  analysis::BranchDecomposition decomposition;
+};
+
+/// Stage-2 artifact: the fused, branch-reorganized hardware model.
+struct ReorgArtifact {
+  arch::ReorganizedModel model;
+};
+
+/// Stage-3 artifact: the outcome of one SearchDriver run.
+struct SearchArtifact {
+  dse::SearchOutcome outcome;
+
+  /// The winning hardware search of the outcome (kTraffic's winner lives in
+  /// outcome.traffic.search; every other kind fills outcome.search).
+  const dse::SearchResult& best() const;
+};
+
+/// Stage-4 artifact: cycle-level validation of the winning configuration.
+struct SimArtifact {
+  sim::SimResult result;
+};
+
+/// Text serialization of a search artifact: a small stats header plus the
+/// winning configuration in the arch/config_io format. Stable across runs;
+/// doubles round-trip bit-exactly.
+std::string search_artifact_to_text(const ReorgArtifact& reorg,
+                                    const SearchArtifact& artifact);
+
+/// Parses a serialized search artifact against `reorg` (stage names must
+/// match the model) and re-evaluates the configuration, so the artifact
+/// re-enters the pipeline exactly where the search left off.
+StatusOr<SearchArtifact> search_artifact_from_text(const ReorgArtifact& reorg,
+                                                   const std::string& text);
+
+struct PipelineOptions {
+  /// The optimization stage's request (defaults to SearchKind::kOptimize).
+  dse::SearchSpec spec;
+  bool run_simulation = false;  ///< cycle-level validation of the winner
+  sim::SimOptions sim;
+};
+
+/// Flat result of a full pipeline pass (the legacy FlowResult shape).
+struct PipelineResult {
+  analysis::GraphProfile profile;
+  analysis::BranchDecomposition decomposition;
+  arch::ReorganizedModel model;
+  dse::SearchResult search;
+  std::optional<sim::SimResult> simulation;
+};
+
+class Pipeline {
+ public:
+  Pipeline(nn::Graph graph, arch::Platform platform)
+      : graph_(std::move(graph)), platform_(std::move(platform)) {}
+
+  // ---- staged execution --------------------------------------------------
+  // Stages cache their artifact: a second call is free. optimize() is the
+  // exception — every call runs the given spec and replaces the cached
+  // search artifact (clearing any stale simulation). Later stages pull in
+  // their prerequisites automatically.
+
+  Status analyze();
+  Status construct();
+  Status optimize(const dse::SearchSpec& spec);
+  Status simulate(const sim::SimOptions& options = {});
+
+  /// Cached artifacts; null until the stage has run.
+  const ProfileArtifact* profile() const {
+    return profile_ ? &*profile_ : nullptr;
+  }
+  const ReorgArtifact* reorg() const { return reorg_ ? &*reorg_ : nullptr; }
+  const SearchArtifact* search() const {
+    return search_ ? &*search_ : nullptr;
+  }
+  const SimArtifact* sim() const { return sim_ ? &*sim_ : nullptr; }
+
+  // ---- artifact re-entry -------------------------------------------------
+
+  /// Serialized search artifact, "" when the search stage has not run.
+  std::string save_search() const;
+  /// Installs a previously serialized search artifact as the stage-3 result
+  /// (running analysis/construction first when needed).
+  Status load_search(const std::string& text);
+
+  // ---- one-shot convenience ----------------------------------------------
+
+  /// Flattens the cached stages into the legacy result shape. Fails unless
+  /// analyze/construct and a search (run or loaded) have completed.
+  StatusOr<PipelineResult> result() const;
+
+  /// analyze + construct + optimize(options.spec) [+ simulate], then
+  /// result(). Re-runs the optimization stage even when one is cached.
+  StatusOr<PipelineResult> run(const PipelineOptions& options);
+
+  const nn::Graph& graph() const { return graph_; }
+  const arch::Platform& platform() const { return platform_; }
+
+ private:
+  nn::Graph graph_;
+  arch::Platform platform_;
+  std::optional<ProfileArtifact> profile_;
+  std::optional<ReorgArtifact> reorg_;
+  std::optional<SearchArtifact> search_;
+  std::optional<SimArtifact> sim_;
+};
+
+}  // namespace fcad::core

@@ -7,7 +7,8 @@
 
 namespace fcad::core {
 
-std::string case_report(const std::string& case_name, const FlowResult& result,
+std::string case_report(const std::string& case_name,
+                        const PipelineResult& result,
                         const arch::Platform& platform) {
   const arch::AcceleratorEval& eval = result.search.eval;
   std::ostringstream os;
@@ -54,7 +55,7 @@ std::string case_report(const std::string& case_name, const FlowResult& result,
   return os.str();
 }
 
-std::string summary_line(const FlowResult& result,
+std::string summary_line(const PipelineResult& result,
                          const arch::Platform& platform) {
   const arch::AcceleratorEval& eval = result.search.eval;
   std::ostringstream os;

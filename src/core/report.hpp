@@ -1,19 +1,20 @@
-// Rendering of flow results as paper-style tables (Table IV rows).
+// Rendering of pipeline results as paper-style tables (Table IV rows).
 #pragma once
 
 #include <string>
 
-#include "core/flow.hpp"
+#include "core/pipeline.hpp"
 
 namespace fcad::core {
 
 /// Table-IV style case report: per-branch DSP/BRAM usage, FPS, efficiency,
 /// totals against the budget, and DSE runtime.
-std::string case_report(const std::string& case_name, const FlowResult& result,
+std::string case_report(const std::string& case_name,
+                        const PipelineResult& result,
                         const arch::Platform& platform);
 
 /// One-line summary: "FPS {a, b, c} eff {..} DSP n/m BRAM n/m in s seconds".
-std::string summary_line(const FlowResult& result,
+std::string summary_line(const PipelineResult& result,
                          const arch::Platform& platform);
 
 }  // namespace fcad::core

@@ -159,7 +159,15 @@ DistributionEval evaluate_distribution(const arch::ReorganizedModel& model,
   std::vector<double> fps;
   fps.reserve(ce.eval.branches.size());
   for (const arch::BranchEval& be : ce.eval.branches) fps.push_back(be.fps);
-  ce.fitness = fitness_score(fps, cust.priorities, unmet, opt.fitness);
+  if (opt.objective.empty()) {
+    ce.fitness = fitness_score(fps, cust.priorities, unmet, opt.fitness);
+  } else {
+    ObjectiveInput input;
+    input.fps = std::move(fps);
+    input.priorities = cust.priorities;
+    input.unmet_targets = unmet;
+    ce.fitness = opt.objective.score(input);
+  }
   ce.feasible = unmet == 0;
   if (cache) cache->insert(key, {ce.eval, ce.fitness, ce.feasible});
   return ce;
@@ -168,7 +176,8 @@ DistributionEval evaluate_distribution(const arch::ReorganizedModel& model,
 SearchResult cross_branch_search(const arch::ReorganizedModel& model,
                                  const ResourceBudget& budget,
                                  const Customization& customization,
-                                 const CrossBranchOptions& options) {
+                                 const CrossBranchOptions& options,
+                                 const RunScope* scope) {
   FCAD_CHECK(options.population >= 1 && options.iterations >= 1);
   FCAD_CHECK(customization.batch_sizes.size() ==
              static_cast<std::size_t>(model.num_branches()));
@@ -211,6 +220,10 @@ SearchResult cross_branch_search(const arch::ReorganizedModel& model,
 
   std::vector<SearchTrace> local_traces(swarm.size());
   for (int iter = 0; iter < options.iterations; ++iter) {
+    if (scope != nullptr && scope->should_stop()) {
+      result.stopped_early = true;
+      break;
+    }
     // Line 12: score every particle. Evaluation is a pure function of the
     // particle's rd, so the swarm fans out across the pool; the best-update
     // reduction below walks the results in particle order, keeping the
@@ -244,6 +257,10 @@ SearchResult cross_branch_search(const arch::ReorganizedModel& model,
     FCAD_LOG(kInfo) << "cross-branch iter " << (iter + 1) << "/"
                     << options.iterations << " best fitness "
                     << result.fitness;
+    if (scope != nullptr) {
+      scope->emit({options.progress_label, iter + 1, options.iterations,
+                   result.fitness});
+    }
     // Line 16: evolve every particle toward its bests.
     for (Particle& p : swarm) {
       evolve(p.rd.c_frac, p.best_rd.c_frac, result.distribution.c_frac,

@@ -6,12 +6,15 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "arch/elastic.hpp"
 #include "dse/design_space.hpp"
 #include "dse/fitness.hpp"
 #include "dse/in_branch.hpp"
+#include "dse/objective.hpp"
+#include "dse/run_control.hpp"
 
 namespace fcad::dse {
 
@@ -35,6 +38,13 @@ struct CrossBranchOptions {
   arch::EvalMode eval_mode = arch::EvalMode::kAnalytical;
   /// Accelerator clock (from the target platform).
   double freq_mhz = 200.0;
+  /// Candidate objective. Empty scores the legacy fitness_score() with
+  /// `fitness` (bit-identical to Objective::batch_fitness(fitness)); a
+  /// non-empty composition replaces it for this search and for every
+  /// strategy in dse/strategies.hpp.
+  Objective objective;
+  /// Stage name used in ProgressEvents emitted by this search.
+  std::string progress_label = "search";
 };
 
 struct SearchTrace {
@@ -57,13 +67,19 @@ struct SearchResult {
   bool feasible = false;  ///< all batch targets met within the budget
   SearchTrace trace;
   double seconds = 0;  ///< wall-clock DSE time
+  /// Cancelled or hit the deadline before finishing all iterations; the
+  /// result is the best seen up to that point.
+  bool stopped_early = false;
 };
 
-/// Runs Algorithm 1. `customization` must already be normalized.
+/// Runs Algorithm 1. `customization` must already be normalized. When
+/// `scope` is set, the loop polls it between iterations (cooperative
+/// cancellation / deadline) and emits one ProgressEvent per iteration.
 SearchResult cross_branch_search(const arch::ReorganizedModel& model,
                                  const ResourceBudget& budget,
                                  const Customization& customization,
-                                 const CrossBranchOptions& options);
+                                 const CrossBranchOptions& options,
+                                 const RunScope* scope = nullptr);
 
 /// Evaluation of one resource-distribution candidate: in-branch greedy
 /// configuration (Algorithm 2) per branch + fitness. Exposed so alternative

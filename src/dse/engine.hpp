@@ -1,56 +1,28 @@
-// The DSE engine facade: one call from a network + platform + customization
-// to the globally optimized accelerator, plus repeated-search convergence
-// statistics (Sec. VII reports 10 independent searches per case).
+// DEPRECATED facade — the fragmented per-scenario entry points that predate
+// the unified dse::SearchDriver. Every function below is a thin inline shim
+// that builds the equivalent SearchSpec and forwards to
+// SearchDriver::run(); they are kept for one release so out-of-tree callers
+// keep compiling, then they go away. New code targets
+// dse/search_driver.hpp (or core/pipeline.hpp for the whole flow).
 #pragma once
 
+#include <utility>
 #include <vector>
 
-#include "arch/platform.hpp"
-#include "dse/cross_branch.hpp"
-#include "nn/graph.hpp"
-#include "serving/fleet.hpp"
-#include "serving/workload.hpp"
+#include "dse/search_driver.hpp"
 
 namespace fcad::dse {
 
+/// Legacy request bundle: platform + customization + swarm options.
 struct DseRequest {
   arch::Platform platform;
   Customization customization;
   CrossBranchOptions options;
 };
 
-/// Runs the full optimization step for an already reorganized model.
-StatusOr<SearchResult> optimize(const arch::ReorganizedModel& model,
-                                DseRequest request);
-
-/// Statistics over repeated independent searches (different seeds).
-struct ConvergenceStats {
-  int runs = 0;
-  double mean_iterations = 0;  ///< iterations until the global best settled
-  double min_iterations = 0;
-  double max_iterations = 0;
-  double mean_seconds = 0;
-  double mean_fitness = 0;
-  double fitness_spread = 0;  ///< max - min final fitness across runs
-};
-
-ConvergenceStats convergence_study(const arch::ReorganizedModel& model,
-                                   const DseRequest& request, int runs);
-
-/// Maximum batch size exploration (the "maximum batch size" customization
-/// of Sec. I): for `branch`, finds the largest batch-size target the
-/// platform can satisfy with every other branch pinned at
-/// `request.customization`'s targets. Returns 0 when even batch 1 is
-/// infeasible. Runs one search per probed batch (doubling then bisecting),
-/// so cost is O(log(max)) searches.
-StatusOr<int> max_feasible_batch(const arch::ReorganizedModel& model,
-                                 const DseRequest& request, int branch,
-                                 int probe_limit = 16);
-
-/// Traffic profile for the SLA-aware search: instead of pinning per-branch
-/// batch-size targets, the caller describes the *load* (arrival process over
-/// N users, fleet size, dispatch policy) and the latency SLA; the engine
-/// searches batch scaling + resource distribution to serve it.
+/// Legacy traffic profile. Superseded by TrafficSpec, which *validates* the
+/// `workload.branches` / `sla.p99_bound_us` fields this struct silently
+/// overwrote internally.
 struct TrafficProfile {
   /// Arrival process. `users` is the scored user count; `branches` is set
   /// internally from the model.
@@ -60,34 +32,82 @@ struct TrafficProfile {
   serving::FleetOptions fleet;
   SlaParams sla;      ///< objective weights (bound taken from `fleet`)
   int max_batch = 8;  ///< largest uniform batch multiplier probed (doubling)
-  /// When > workload.users: additionally maximize the served user count up
-  /// to this cap (doubling + bisection per candidate config). Ignored for
-  /// kTrace workloads, whose offered load does not depend on the count.
-  int max_users = 0;
-  /// Score candidates on the cycle-level simulator's service times instead
-  /// of the analytical estimate (slower, closer to the board).
-  bool use_simulator = false;
+  int max_users = 0;  ///< when > users: also maximize the served user count
+  bool use_simulator = false;  ///< score on the cycle-level simulator
 };
 
-struct TrafficSearchResult {
-  SearchResult search;          ///< winning hardware search result
-  std::vector<int> batch_sizes; ///< per-branch batch targets of the winner
-  int users_served = 0;         ///< largest user count meeting the SLA (0: none)
-  serving::ServingStats stats;  ///< serving stats at the scored user count
-  /// p99 within fleet.sla_bound_us *at users_served* — which may be below
-  /// the requested workload.users when the traffic had to be degraded.
-  bool sla_met = false;
-  double sla_fitness = 0;       ///< sla_fitness_score of the winner
-};
+/// Runs the full optimization step for an already reorganized model.
+[[deprecated("build a SearchSpec (SearchKind::kOptimize) and call "
+             "dse::SearchDriver::run")]]
+inline StatusOr<SearchResult> optimize(const arch::ReorganizedModel& model,
+                                       DseRequest request) {
+  SearchSpec spec;
+  spec.customization = std::move(request.customization);
+  spec.search = request.options;
+  auto outcome = SearchDriver(model, std::move(request.platform)).run(spec);
+  if (!outcome.is_ok()) return outcome.status();
+  return std::move(outcome->search);
+}
 
-/// SLA-aware DSE (the serving tentpole): probes doubling batch multipliers,
-/// runs the cross-branch search per candidate, replays the traffic profile
-/// on the resulting service model, and keeps the candidate with the best
-/// sla_fitness_score (users served subject to the p99 bound).
-/// `request.customization.batch_sizes` acts as the per-branch base ratio
-/// (default all 1). Deterministic for fixed seeds.
-StatusOr<TrafficSearchResult> optimize_for_traffic(
+/// Statistics over repeated independent searches (different seeds).
+[[deprecated("build a SearchSpec (SearchKind::kConvergence) and call "
+             "dse::SearchDriver::run")]]
+inline ConvergenceStats convergence_study(const arch::ReorganizedModel& model,
+                                          const DseRequest& request,
+                                          int runs) {
+  SearchSpec spec;
+  spec.kind = SearchKind::kConvergence;
+  spec.customization = request.customization;
+  spec.search = request.options;
+  spec.convergence_runs = runs;
+  auto outcome = SearchDriver(model, request.platform).run(spec);
+  FCAD_CHECK_MSG(outcome.is_ok(), outcome.status().message());
+  return std::move(outcome->convergence);
+}
+
+/// Maximum batch size exploration for `branch` with every other branch
+/// pinned at `request.customization`'s targets. Returns 0 when even batch 1
+/// is infeasible.
+[[deprecated("build a SearchSpec (SearchKind::kMaxBatch) and call "
+             "dse::SearchDriver::run")]]
+inline StatusOr<int> max_feasible_batch(const arch::ReorganizedModel& model,
+                                        const DseRequest& request, int branch,
+                                        int probe_limit = 16) {
+  SearchSpec spec;
+  spec.kind = SearchKind::kMaxBatch;
+  spec.customization = request.customization;
+  spec.search = request.options;
+  spec.batch_branch = branch;
+  spec.batch_probe_limit = probe_limit;
+  auto outcome = SearchDriver(model, request.platform).run(spec);
+  if (!outcome.is_ok()) return outcome.status();
+  return outcome->max_batch;
+}
+
+/// SLA-aware DSE over a legacy TrafficProfile. Preserves the legacy
+/// overwrite semantics: `profile.workload.branches` is discarded (derived
+/// from the model) and `profile.sla.p99_bound_us` is taken from
+/// `profile.fleet.sla_bound_us`.
+[[deprecated("build a SearchSpec (SearchKind::kTraffic) with a TrafficSpec "
+             "and call dse::SearchDriver::run")]]
+inline StatusOr<TrafficSearchResult> optimize_for_traffic(
     const arch::ReorganizedModel& model, const DseRequest& request,
-    const TrafficProfile& profile);
+    const TrafficProfile& profile) {
+  SearchSpec spec;
+  spec.kind = SearchKind::kTraffic;
+  spec.customization = request.customization;
+  spec.search = request.options;
+  spec.traffic.workload = profile.workload;
+  spec.traffic.workload.branches = serving::WorkloadOptions{}.branches;
+  spec.traffic.fleet = profile.fleet;
+  spec.traffic.sla = profile.sla;
+  spec.traffic.sla.p99_bound_us = profile.fleet.sla_bound_us;
+  spec.traffic.max_batch = profile.max_batch;
+  spec.traffic.max_users = profile.max_users;
+  spec.traffic.use_simulator = profile.use_simulator;
+  auto outcome = SearchDriver(model, request.platform).run(spec);
+  if (!outcome.is_ok()) return outcome.status();
+  return std::move(outcome->traffic);
+}
 
 }  // namespace fcad::dse

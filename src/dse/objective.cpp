@@ -1,0 +1,112 @@
+#include "dse/objective.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/status.hpp"
+
+namespace fcad::dse {
+
+Objective& Objective::add(std::string name, double weight, TermFn value) {
+  FCAD_CHECK_MSG(static_cast<bool>(value), "Objective term '" + name +
+                                               "' has no value function");
+  terms_.push_back(Term{std::move(name), weight, std::move(value)});
+  return *this;
+}
+
+double Objective::score(const ObjectiveInput& input) const {
+  FCAD_CHECK_MSG(!terms_.empty(), "scoring an empty Objective");
+  double score = 0;
+  for (const Term& term : terms_) {
+    score += term.weight * term.value(input);
+  }
+  return score;
+}
+
+std::string Objective::describe() const {
+  std::string out;
+  for (const Term& term : terms_) {
+    if (!out.empty()) out += " + ";
+    if (term.weight != 1.0) {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%g*", term.weight);
+      out += buffer;
+    }
+    out += term.name;
+  }
+  return out.empty() ? "<empty>" : out;
+}
+
+Objective::Term Objective::throughput() {
+  return {"throughput", 1.0, [](const ObjectiveInput& in) {
+            FCAD_CHECK(in.fps.size() == in.priorities.size());
+            double sum = 0;
+            for (std::size_t j = 0; j < in.fps.size(); ++j) {
+              sum += in.fps[j] * in.priorities[j];
+            }
+            return sum;
+          }};
+}
+
+Objective::Term Objective::balance() {
+  return {"balance", 1.0,
+          [](const ObjectiveInput& in) { return -variance(in.fps); }};
+}
+
+Objective::Term Objective::feasibility() {
+  return {"feasibility", 1.0, [](const ObjectiveInput& in) {
+            FCAD_CHECK(in.unmet_targets >= 0);
+            return -static_cast<double>(in.unmet_targets);
+          }};
+}
+
+Objective::Term Objective::users_served() {
+  return {"users", 1.0, [](const ObjectiveInput& in) {
+            FCAD_CHECK(in.users_served >= 0);
+            return static_cast<double>(in.users_served);
+          }};
+}
+
+Objective::Term Objective::latency_headroom(const SlaParams& params) {
+  FCAD_CHECK(params.p99_bound_us > 0);
+  return {"latency-headroom", 1.0, [params](const ObjectiveInput& in) {
+            const double headroom =
+                1.0 - in.p99_latency_us / params.p99_bound_us;
+            if (headroom >= 0) return std::min(headroom, 0.999);
+            return params.over_bound_demerit * headroom;
+          }};
+}
+
+Objective::Term Objective::sla_violations() {
+  return {"violations", 1.0, [](const ObjectiveInput& in) {
+            return -in.sla_violation_rate;
+          }};
+}
+
+Objective Objective::batch_fitness(const FitnessParams& params) {
+  // Same accumulation order as fitness_score(): weighted-FPS sum, minus the
+  // variance penalty, minus the infeasibility demerits.
+  Objective objective;
+  Term t = throughput();
+  objective.add(t.name, 1.0, t.value);
+  t = balance();
+  objective.add(t.name, params.alpha, t.value);
+  t = feasibility();
+  objective.add(t.name, params.infeasible_demerit, t.value);
+  return objective;
+}
+
+Objective Objective::sla(const SlaParams& params) {
+  // Same accumulation order as sla_fitness_score(): users, plus the headroom
+  // shaping, minus the violation mass.
+  Objective objective;
+  Term t = users_served();
+  objective.add(t.name, 1.0, t.value);
+  t = latency_headroom(params);
+  objective.add(t.name, 1.0, t.value);
+  t = sla_violations();
+  objective.add(t.name, params.violation_weight, t.value);
+  return objective;
+}
+
+}  // namespace fcad::dse

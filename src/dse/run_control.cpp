@@ -1,0 +1,25 @@
+#include "dse/run_control.hpp"
+
+namespace fcad::dse {
+
+RunScope::RunScope(const RunControl& control) : control_(control) {
+  if (control.deadline_s > 0) {
+    has_deadline_ = true;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(control.deadline_s));
+  }
+}
+
+bool RunScope::should_stop() const {
+  if (control_.cancel.cancelled()) return true;
+  return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+}
+
+void RunScope::emit(const ProgressEvent& event) const {
+  if (!control_.on_progress) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  control_.on_progress(event);
+}
+
+}  // namespace fcad::dse

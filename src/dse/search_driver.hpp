@@ -1,0 +1,176 @@
+// The unified DSE entry point: every optimization scenario — the plain
+// cross-branch search, SLA-aware traffic search, maximum-batch probing, the
+// quantization x frequency sweep, and the repeated-search convergence study
+// — is one SearchDriver::run(SearchSpec) call. The spec carries the shared
+// pieces exactly once (customization, swarm options, a pluggable Objective,
+// and a RunControl with progress/cancellation/deadline/threads), replacing
+// the five bespoke request structs of the legacy dse/engine.hpp facade.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/platform.hpp"
+#include "dse/cross_branch.hpp"
+#include "dse/objective.hpp"
+#include "dse/run_control.hpp"
+#include "nn/dtype.hpp"
+#include "serving/fleet.hpp"
+#include "serving/stats.hpp"
+#include "serving/workload.hpp"
+
+namespace fcad::dse {
+
+enum class SearchKind {
+  kOptimize,     ///< one cross-branch search (Algorithm 1)
+  kTraffic,      ///< SLA-aware serving search (batch scaling under load)
+  kMaxBatch,     ///< largest feasible batch target for one branch
+  kSweep,        ///< quantization x frequency grid with Pareto marking
+  kConvergence,  ///< statistics over repeated independent searches
+};
+
+const char* to_string(SearchKind kind);
+
+/// Traffic description for SearchKind::kTraffic. Replaces the legacy
+/// TrafficProfile, whose `workload.branches` and `sla.p99_bound_us` fields
+/// were silently overwritten internally; here the driver validates them
+/// instead: `workload.branches` must stay at its default (it is derived from
+/// the model), and `sla.p99_bound_us` must stay at its default or equal
+/// `fleet.sla_bound_us` (the single place the bound is set).
+struct TrafficSpec {
+  /// Arrival process over `users` streams. Leave `branches` alone.
+  serving::WorkloadOptions workload;
+  /// Fleet shape, batching timeout, and the p99 bound (`sla_bound_us`).
+  serving::FleetOptions fleet;
+  /// Objective weights. The bound itself comes from `fleet.sla_bound_us`.
+  SlaParams sla;
+  int max_batch = 8;  ///< largest uniform batch multiplier probed (doubling)
+  /// When > workload.users: additionally maximize the served user count up
+  /// to this cap (doubling + bisection per candidate config). Ignored for
+  /// kTrace workloads, whose offered load does not depend on the count.
+  int max_users = 0;
+  /// Score candidates on the cycle-level simulator's service times instead
+  /// of the analytical estimate (slower, closer to the board).
+  bool use_simulator = false;
+};
+
+/// Grid for SearchKind::kSweep.
+struct SweepGrid {
+  std::vector<nn::DataType> quantizations = {nn::DataType::kInt8,
+                                             nn::DataType::kInt16};
+  std::vector<double> frequencies_mhz = {150, 200, 300};
+};
+
+/// Statistics over repeated independent searches (different seeds).
+struct ConvergenceStats {
+  int runs = 0;
+  double mean_iterations = 0;  ///< iterations until the global best settled
+  double min_iterations = 0;
+  double max_iterations = 0;
+  double mean_seconds = 0;
+  double mean_fitness = 0;
+  double fitness_spread = 0;  ///< max - min final fitness across runs
+};
+
+/// Winner of a kTraffic run.
+struct TrafficSearchResult {
+  SearchResult search;           ///< winning hardware search result
+  std::vector<int> batch_sizes;  ///< per-branch batch targets of the winner
+  int users_served = 0;  ///< largest user count meeting the SLA (0: none)
+  serving::ServingStats stats;  ///< serving stats at the scored user count
+  /// p99 within fleet.sla_bound_us *at users_served* — which may be below
+  /// the requested workload.users when the traffic had to be degraded.
+  bool sla_met = false;
+  double sla_fitness = 0;  ///< serving-objective score of the winner
+};
+
+/// One kSweep grid point.
+struct SweepPoint {
+  nn::DataType quantization = nn::DataType::kInt8;
+  double freq_mhz = 200.0;
+  SearchResult result;
+  bool pareto_optimal = false;  ///< on the (min FPS up, DSPs down) frontier
+};
+
+/// One search request. `kind` selects the scenario; the fields below the
+/// fold only apply to their kind and are ignored otherwise.
+struct SearchSpec {
+  SearchKind kind = SearchKind::kOptimize;
+  /// User customization (quantization, batch targets, priorities).
+  /// Normalized by the driver; arity mismatches are rejected.
+  Customization customization;
+  /// Swarm parameters. `freq_mhz` and `threads` are resolved by the driver
+  /// (from the platform and `control`, respectively).
+  CrossBranchOptions search;
+  /// Candidate objective. Empty uses the kind's default: batch fitness
+  /// (== legacy fitness_score) everywhere except kTraffic, whose serving
+  /// candidates score with Objective::sla (== legacy sla_fitness_score).
+  /// For kTraffic a non-empty objective replaces the *serving* score; the
+  /// inner hardware searches keep the batch-fitness default.
+  Objective objective;
+  /// Progress observer, cancellation token, deadline, thread override.
+  RunControl control;
+
+  TrafficSpec traffic;         ///< kTraffic
+  int batch_branch = 0;        ///< kMaxBatch: branch whose batch is probed
+  int batch_probe_limit = 16;  ///< kMaxBatch: doubling/bisection ceiling
+  SweepGrid sweep;             ///< kSweep
+  int convergence_runs = 10;   ///< kConvergence
+};
+
+/// Result of SearchDriver::run. Only the member matching the spec's kind is
+/// populated (kOptimize/kMaxBatch also fill `search` with the winning /
+/// last-probed search).
+struct SearchOutcome {
+  SearchKind kind = SearchKind::kOptimize;
+  /// The run was cancelled or hit its deadline; populated members hold the
+  /// best results produced up to that point.
+  bool cancelled = false;
+  SearchResult search;           ///< kOptimize, kMaxBatch
+  TrafficSearchResult traffic;   ///< kTraffic
+  int max_batch = 0;             ///< kMaxBatch (0: even batch 1 infeasible)
+  std::vector<SweepPoint> sweep; ///< kSweep
+  ConvergenceStats convergence;  ///< kConvergence
+};
+
+/// Runs any SearchSpec against one reorganized model + platform budget.
+/// Holds a reference to the model: it must outlive the driver. Stateless
+/// otherwise — run() may be called repeatedly (and from different threads,
+/// with distinct specs).
+class SearchDriver {
+ public:
+  SearchDriver(const arch::ReorganizedModel& model, arch::Platform platform)
+      : model_(model), platform_(std::move(platform)) {}
+
+  StatusOr<SearchOutcome> run(const SearchSpec& spec) const;
+
+  const arch::ReorganizedModel& model() const { return model_; }
+  const arch::Platform& platform() const { return platform_; }
+
+ private:
+  StatusOr<SearchOutcome> run_optimize(const SearchSpec& spec,
+                                       const Customization& customization,
+                                       const CrossBranchOptions& options,
+                                       const RunScope& scope) const;
+  StatusOr<SearchOutcome> run_max_batch(const SearchSpec& spec,
+                                        const Customization& customization,
+                                        const CrossBranchOptions& options,
+                                        const RunScope& scope) const;
+  StatusOr<SearchOutcome> run_convergence(const SearchSpec& spec,
+                                          const Customization& customization,
+                                          const CrossBranchOptions& options,
+                                          const RunScope& scope) const;
+  StatusOr<SearchOutcome> run_sweep(const SearchSpec& spec,
+                                    const Customization& customization,
+                                    const CrossBranchOptions& options,
+                                    const RunScope& scope) const;
+  StatusOr<SearchOutcome> run_traffic(const SearchSpec& spec,
+                                      const Customization& customization,
+                                      const CrossBranchOptions& options,
+                                      const RunScope& scope) const;
+
+  const arch::ReorganizedModel& model_;
+  arch::Platform platform_;
+};
+
+}  // namespace fcad::dse

@@ -1,22 +1,16 @@
-// Co-exploration sweeps on top of the core DSE: quantization x clock
-// frequency grids, with Pareto filtering on (min-FPS, DSP usage). The paper
-// fixes 200 MHz and explores Q as a customization; a deployment study wants
-// the whole grid — this is the "joint optimization" entry point.
+// DEPRECATED facade — the standalone quantization x frequency sweep entry
+// point, kept one release as an inline shim over
+// SearchDriver::run(SearchKind::kSweep). New code sets SearchSpec::sweep.
 #pragma once
 
+#include <utility>
 #include <vector>
 
-#include "dse/engine.hpp"
+#include "dse/search_driver.hpp"
 
 namespace fcad::dse {
 
-struct SweepPoint {
-  nn::DataType quantization = nn::DataType::kInt8;
-  double freq_mhz = 200.0;
-  SearchResult result;
-  bool pareto_optimal = false;  ///< on the (min FPS up, DSPs down) frontier
-};
-
+/// Legacy sweep request. Superseded by SearchSpec{kind = kSweep, sweep = ...}.
 struct SweepOptions {
   std::vector<nn::DataType> quantizations = {nn::DataType::kInt8,
                                              nn::DataType::kInt16};
@@ -27,10 +21,20 @@ struct SweepOptions {
 };
 
 /// Runs the DSE once per grid point and marks the Pareto frontier.
-/// Frequency scaling is idealized (timing closure is the RTL backend's
-/// problem); resource budgets come from `platform` unchanged.
-StatusOr<std::vector<SweepPoint>> quantization_frequency_sweep(
+[[deprecated("build a SearchSpec (SearchKind::kSweep) and call "
+             "dse::SearchDriver::run")]]
+inline StatusOr<std::vector<SweepPoint>> quantization_frequency_sweep(
     const arch::ReorganizedModel& model, const arch::Platform& platform,
-    const SweepOptions& options);
+    const SweepOptions& options) {
+  SearchSpec spec;
+  spec.kind = SearchKind::kSweep;
+  spec.customization = options.customization;
+  spec.search = options.search;
+  spec.sweep.quantizations = options.quantizations;
+  spec.sweep.frequencies_mhz = options.frequencies_mhz;
+  auto outcome = SearchDriver(model, platform).run(spec);
+  if (!outcome.is_ok()) return outcome.status();
+  return std::move(outcome->sweep);
+}
 
 }  // namespace fcad::dse

@@ -118,4 +118,24 @@ std::vector<std::string> serving_csv_row(std::vector<std::string> keys,
   return keys;
 }
 
+void serving_stats_json(JsonWriter& json, const ServingStats& stats) {
+  json.begin_object();
+  json.key("offered").value(stats.offered);
+  json.key("completed").value(stats.completed);
+  json.key("throughput_rps").value(stats.throughput_rps);
+  json.key("mean_us").value(stats.latency.mean);
+  json.key("p50_us").value(stats.latency.p50);
+  json.key("p95_us").value(stats.latency.p95);
+  json.key("p99_us").value(stats.latency.p99);
+  json.key("max_us").value(stats.latency.max);
+  json.key("queue_wait_p99_us").value(stats.queue_wait.p99);
+  json.key("batches").value(stats.batches);
+  json.key("mean_batch_fill").value(stats.mean_batch_fill);
+  json.key("sla_bound_us").value(stats.sla_bound_us);
+  json.key("sla_met").value(stats.sla_met);
+  json.key("sla_violation_rate").value(stats.sla_violation_rate);
+  json.key("fleet_utilization").value(stats.fleet_utilization);
+  json.end_object();
+}
+
 }  // namespace fcad::serving

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "util/csv.hpp"
+#include "util/json.hpp"
 
 namespace fcad::serving {
 
@@ -82,5 +83,9 @@ std::vector<std::string> serving_csv_header(std::vector<std::string> keys);
 /// One CSV row of deterministic stats fields, appended after `keys`.
 std::vector<std::string> serving_csv_row(std::vector<std::string> keys,
                                          const ServingStats& stats);
+
+/// Appends the deterministic stats fields as one JSON object (the --json
+/// twin of serving_csv_row; consumed by the CLIs' machine-readable output).
+void serving_stats_json(JsonWriter& json, const ServingStats& stats);
 
 }  // namespace fcad::serving

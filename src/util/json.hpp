@@ -1,0 +1,42 @@
+// Minimal streaming JSON writer for the CLIs' --json output. Emits compact,
+// valid JSON (string escaping, finite-number formatting); no parsing, no
+// dependencies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fcad {
+
+/// JSON-escaped, quoted string literal.
+std::string json_quote(const std::string& text);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by a value or begin_*.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(double number);  ///< non-finite values emit null
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(int number);
+  JsonWriter& value(bool flag);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void element();  ///< comma bookkeeping before a value/container opener
+
+  std::string out_;
+  std::vector<bool> needs_comma_;
+  bool after_key_ = false;
+};
+
+}  // namespace fcad

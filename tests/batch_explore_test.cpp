@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "arch/platform.hpp"
-#include "dse/engine.hpp"
+#include "dse/search_driver.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
 
 namespace fcad::dse {
@@ -16,42 +16,47 @@ const arch::ReorganizedModel& decoder_model() {
   return model;
 }
 
-DseRequest fast_request(const arch::Platform& platform) {
-  DseRequest request;
-  request.platform = platform;
-  request.customization.batch_sizes = {1, 1, 1};
-  request.options.population = 30;
-  request.options.iterations = 5;
-  request.options.seed = 61;
-  return request;
+SearchSpec max_batch_spec(int branch, int probe_limit = 16) {
+  SearchSpec spec;
+  spec.kind = SearchKind::kMaxBatch;
+  spec.customization.batch_sizes = {1, 1, 1};
+  spec.search.population = 30;
+  spec.search.iterations = 5;
+  spec.search.seed = 61;
+  spec.batch_branch = branch;
+  spec.batch_probe_limit = probe_limit;
+  return spec;
+}
+
+StatusOr<int> probe(const arch::Platform& platform, int branch,
+                    int probe_limit = 16) {
+  auto outcome = SearchDriver(decoder_model(), platform)
+                     .run(max_batch_spec(branch, probe_limit));
+  if (!outcome.is_ok()) return outcome.status();
+  return outcome->max_batch;
 }
 
 TEST(MaxBatchTest, GeometryBranchScalesFurthestOnBigFpga) {
   // Br.1 is the lightest branch: on ZU9CG it should replicate several times
   // while the HD texture branch saturates earlier.
-  auto geo = max_feasible_batch(decoder_model(),
-                                fast_request(arch::platform_zu9cg()), 0, 8);
+  auto geo = probe(arch::platform_zu9cg(), 0, 8);
   ASSERT_TRUE(geo.is_ok()) << geo.status().to_string();
-  auto tex = max_feasible_batch(decoder_model(),
-                                fast_request(arch::platform_zu9cg()), 1, 8);
+  auto tex = probe(arch::platform_zu9cg(), 1, 8);
   ASSERT_TRUE(tex.is_ok());
   EXPECT_GE(*geo, 2);
   EXPECT_GE(*geo, *tex);
 }
 
 TEST(MaxBatchTest, SmallerFpgaSmallerBatch) {
-  auto big = max_feasible_batch(decoder_model(),
-                                fast_request(arch::platform_zu9cg()), 1, 8);
-  auto small = max_feasible_batch(decoder_model(),
-                                  fast_request(arch::platform_z7045()), 1, 8);
+  auto big = probe(arch::platform_zu9cg(), 1, 8);
+  auto small = probe(arch::platform_z7045(), 1, 8);
   ASSERT_TRUE(big.is_ok());
   ASSERT_TRUE(small.is_ok());
   EXPECT_LE(*small, *big);
 }
 
 TEST(MaxBatchTest, ProbeLimitRespected) {
-  auto result = max_feasible_batch(decoder_model(),
-                                   fast_request(arch::platform_zu9cg()), 0, 2);
+  auto result = probe(arch::platform_zu9cg(), 0, 2);
   ASSERT_TRUE(result.is_ok());
   EXPECT_LE(*result, 2);
   EXPECT_GE(*result, 1);
@@ -59,30 +64,42 @@ TEST(MaxBatchTest, ProbeLimitRespected) {
 
 TEST(MaxBatchTest, InfeasibleBaseReturnsZero) {
   // An absurdly small ASIC cannot even fit batch 1 of the texture branch.
-  DseRequest request =
-      fast_request(arch::make_asic("nano", 8, 0.05, 0.05, 200));
-  auto result = max_feasible_batch(decoder_model(), request, 1, 4);
+  auto result = probe(arch::make_asic("nano", 8, 0.05, 0.05, 200), 1, 4);
   ASSERT_TRUE(result.is_ok());
   EXPECT_EQ(*result, 0);
 }
 
 TEST(MaxBatchTest, BadBranchRejected) {
-  auto result = max_feasible_batch(decoder_model(),
-                                   fast_request(arch::platform_zu9cg()), 7);
+  auto result = probe(arch::platform_zu9cg(), 7);
   ASSERT_FALSE(result.is_ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(MaxBatchTest, OutcomeSearchHoldsTheWinnerAtMaxBatch) {
+  // The outcome's search must be the feasible configuration at the reported
+  // max batch — not whichever (possibly infeasible) probe happened to run
+  // last during bisection.
+  auto outcome = SearchDriver(decoder_model(), arch::platform_zu9cg())
+                     .run(max_batch_spec(0, 8));
+  ASSERT_TRUE(outcome.is_ok());
+  ASSERT_GE(outcome->max_batch, 2);
+  EXPECT_TRUE(outcome->search.feasible);
+  ASSERT_FALSE(outcome->search.config.branches.empty());
+  EXPECT_EQ(outcome->search.config.branches[0].batch, outcome->max_batch);
+}
+
 TEST(MaxBatchTest, ResultIsActuallyFeasible) {
-  DseRequest request = fast_request(arch::platform_zu17eg());
-  auto max_batch = max_feasible_batch(decoder_model(), request, 2, 8);
+  auto max_batch = probe(arch::platform_zu17eg(), 2, 8);
   ASSERT_TRUE(max_batch.is_ok());
   ASSERT_GE(*max_batch, 1);
   // Re-run the DSE at the reported batch: must be feasible.
-  request.customization.batch_sizes[2] = *max_batch;
-  auto result = optimize(decoder_model(), request);
-  ASSERT_TRUE(result.is_ok());
-  EXPECT_TRUE(result->feasible);
+  SearchSpec spec = max_batch_spec(2, 8);
+  spec.kind = SearchKind::kOptimize;
+  spec.customization.batch_sizes[2] = *max_batch;
+  auto outcome =
+      SearchDriver(decoder_model(), arch::platform_zu17eg()).run(spec);
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_TRUE(outcome->search.feasible);
 }
 
 }  // namespace

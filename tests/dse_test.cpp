@@ -1,10 +1,10 @@
 #include <gtest/gtest.h>
 
 #include "arch/platform.hpp"
-#include "dse/engine.hpp"
-#include "nn/builder.hpp"
 #include "dse/fitness.hpp"
 #include "dse/in_branch.hpp"
+#include "dse/search_driver.hpp"
+#include "nn/builder.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
 #include "nn/zoo/classic_nets.hpp"
 
@@ -262,32 +262,36 @@ TEST(CrossBranchTest, BiggerBudgetNeverWorse) {
   EXPECT_GE(big.eval.min_fps, small.eval.min_fps * 0.95);
 }
 
-// ---------------------------------------------------------------- engine --
-TEST(EngineTest, OptimizeNormalizesAndRuns) {
-  DseRequest request;
-  request.platform = arch::platform_zu9cg();
-  request.options = fast_options();
-  auto result = optimize(decoder_model(), request);
-  ASSERT_TRUE(result.is_ok());
-  EXPECT_TRUE(result->feasible);  // default batch {1,1,1} fits easily
+// ---------------------------------------------------------------- driver --
+TEST(SearchDriverTest, OptimizeNormalizesAndRuns) {
+  SearchSpec spec;
+  spec.search = fast_options();
+  auto outcome =
+      SearchDriver(decoder_model(), arch::platform_zu9cg()).run(spec);
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_EQ(outcome->kind, SearchKind::kOptimize);
+  EXPECT_TRUE(outcome->search.feasible);  // default batch {1,1,1} fits easily
 }
 
-TEST(EngineTest, BadCustomizationPropagates) {
-  DseRequest request;
-  request.platform = arch::platform_zu9cg();
-  request.customization.batch_sizes = {1, 2};  // wrong arity
-  auto result = optimize(decoder_model(), request);
-  ASSERT_FALSE(result.is_ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+TEST(SearchDriverTest, BadCustomizationPropagates) {
+  SearchSpec spec;
+  spec.customization.batch_sizes = {1, 2};  // wrong arity
+  auto outcome =
+      SearchDriver(decoder_model(), arch::platform_zu9cg()).run(spec);
+  ASSERT_FALSE(outcome.is_ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
 }
 
-TEST(EngineTest, ConvergenceStudyAggregates) {
-  DseRequest request;
-  request.platform = arch::platform_zu9cg();
-  request.customization = decoder_customization();
-  request.options = fast_options();
-  const ConvergenceStats stats =
-      convergence_study(decoder_model(), request, 3);
+TEST(SearchDriverTest, ConvergenceStudyAggregates) {
+  SearchSpec spec;
+  spec.kind = SearchKind::kConvergence;
+  spec.customization = decoder_customization();
+  spec.search = fast_options();
+  spec.convergence_runs = 3;
+  auto outcome =
+      SearchDriver(decoder_model(), arch::platform_zu9cg()).run(spec);
+  ASSERT_TRUE(outcome.is_ok());
+  const ConvergenceStats& stats = outcome->convergence;
   EXPECT_EQ(stats.runs, 3);
   EXPECT_GE(stats.mean_iterations, stats.min_iterations);
   EXPECT_LE(stats.mean_iterations, stats.max_iterations);

@@ -6,8 +6,9 @@
 #include "arch/config_io.hpp"
 #include "baselines/dnnbuilder.hpp"
 #include "baselines/hybriddnn.hpp"
-#include "core/flow.hpp"
+#include "core/pipeline.hpp"
 #include "dse/in_branch.hpp"
+#include "dse/search_driver.hpp"
 #include "nn/builder.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
 #include "nn/zoo/classic_nets.hpp"
@@ -162,13 +163,14 @@ TEST(IntegrationTest, FourBranchDecoderThroughFullFlow) {
   auto graph = std::move(b).build();
   ASSERT_TRUE(graph.is_ok()) << graph.status().to_string();
 
-  core::FlowOptions options;
-  options.customization.batch_sizes = {1, 2, 2, 1};
-  options.search.population = 25;
-  options.search.iterations = 5;
+  core::PipelineOptions options;
+  options.spec.customization.batch_sizes = {1, 2, 2, 1};
+  options.spec.search.population = 25;
+  options.spec.search.iterations = 5;
   options.run_simulation = true;
-  core::Flow flow(std::move(graph).value(), arch::platform_zu17eg());
-  auto result = flow.run(options);
+  core::Pipeline pipeline(std::move(graph).value(),
+                          arch::platform_zu17eg());
+  auto result = pipeline.run(options);
   ASSERT_TRUE(result.is_ok()) << result.status().to_string();
   EXPECT_EQ(result->model.num_branches(), 4);
   EXPECT_TRUE(result->search.feasible);
@@ -209,15 +211,15 @@ TEST(IntegrationTest, CrossBranchCapConsistencyOnDecoder) {
   // the production rate of the shared stages it consumes.
   auto model = arch::reorganize(nn::zoo::avatar_decoder());
   ASSERT_TRUE(model.is_ok());
-  dse::DseRequest request;
-  request.platform = arch::platform_zu9cg();
-  request.customization.batch_sizes = {1, 2, 2};
-  request.options.population = 25;
-  request.options.iterations = 5;
-  auto result = dse::optimize(*model, request);
-  ASSERT_TRUE(result.is_ok());
-  const auto& eval = result->eval;
-  const auto& config = result->config;
+  dse::SearchSpec spec;
+  spec.customization.batch_sizes = {1, 2, 2};
+  spec.search.population = 25;
+  spec.search.iterations = 5;
+  auto outcome =
+      dse::SearchDriver(*model, arch::platform_zu9cg()).run(spec);
+  ASSERT_TRUE(outcome.is_ok());
+  const auto& eval = outcome->search.eval;
+  const auto& config = outcome->search.config;
   for (int s : model->shared_stages) {
     const int owner = model->owner[static_cast<std::size_t>(s)];
     // Find the stage latency inside the owner's evaluation.

@@ -1,0 +1,154 @@
+// dse::Objective: term composition, and the bit-for-bit equivalence of the
+// canned compositions with the legacy fitness_score / sla_fitness_score —
+// the contract that lets the unified driver replace the old entry points
+// without changing a single search result.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arch/platform.hpp"
+#include "dse/cross_branch.hpp"
+#include "dse/objective.hpp"
+#include "nn/zoo/avatar_decoder.hpp"
+#include "util/rng.hpp"
+
+namespace fcad::dse {
+namespace {
+
+TEST(ObjectiveTest, BatchFitnessMatchesLegacyBitForBit) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    ObjectiveInput input;
+    const int branches = 1 + static_cast<int>(rng.next_range(0, 5));
+    for (int b = 0; b < branches; ++b) {
+      input.fps.push_back(rng.next_range(0.0, 500.0));
+      input.priorities.push_back(rng.next_range(0.1, 8.0));
+    }
+    input.unmet_targets = trial % 4;
+    FitnessParams params;
+    params.alpha = rng.next_range(0.0, 1.0);
+    params.infeasible_demerit = rng.next_range(1e3, 1e8);
+    EXPECT_EQ(Objective::batch_fitness(params).score(input),
+              fitness_score(input.fps, input.priorities, input.unmet_targets,
+                            params))
+        << "trial " << trial;
+  }
+}
+
+TEST(ObjectiveTest, SlaMatchesLegacyBitForBit) {
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    ObjectiveInput input;
+    input.has_serving = true;
+    input.users_served = static_cast<int>(rng.next_range(0, 64));
+    // Cover headroom > 0, ~0, and deep over-bound alike.
+    input.p99_latency_us = rng.next_range(0.0, 120000.0);
+    input.sla_violation_rate = rng.next_range(0.0, 0.5);
+    SlaParams params;
+    params.p99_bound_us = rng.next_range(10000.0, 50000.0);
+    params.over_bound_demerit = rng.next_range(1e3, 1e7);
+    params.violation_weight = rng.next_range(1.0, 1e4);
+    EXPECT_EQ(Objective::sla(params).score(input),
+              sla_fitness_score(input.users_served, input.p99_latency_us,
+                                input.sla_violation_rate, params))
+        << "trial " << trial;
+  }
+}
+
+TEST(ObjectiveTest, TermsAccumulateWithWeightsInOrder) {
+  Objective objective;
+  objective.add("constant", 2.0, [](const ObjectiveInput&) { return 3.0; });
+  objective.add("users", 0.5, [](const ObjectiveInput& in) {
+    return static_cast<double>(in.users_served);
+  });
+  ObjectiveInput input;
+  input.users_served = 8;
+  EXPECT_DOUBLE_EQ(objective.score(input), 2.0 * 3.0 + 0.5 * 8.0);
+}
+
+TEST(ObjectiveTest, DescribeListsTermsAndWeights) {
+  FitnessParams params;
+  params.alpha = 0.05;
+  params.infeasible_demerit = 1e7;
+  const std::string description =
+      Objective::batch_fitness(params).describe();
+  EXPECT_EQ(description, "throughput + 0.05*balance + 1e+07*feasibility");
+  EXPECT_EQ(Objective().describe(), "<empty>");
+}
+
+TEST(ObjectiveTest, ScoringAnEmptyObjectiveIsAnInvariantViolation) {
+  EXPECT_THROW(Objective().score(ObjectiveInput{}), InternalError);
+}
+
+TEST(ObjectiveTest, ExplicitBatchFitnessReproducesDefaultSearchExactly) {
+  // A search with options.objective = batch_fitness(options.fitness) must be
+  // indistinguishable from the legacy empty-objective path.
+  auto model = arch::reorganize(nn::zoo::avatar_decoder());
+  ASSERT_TRUE(model.is_ok());
+  const auto budget = ResourceBudget::from_platform(arch::platform_zu9cg());
+  Customization cust;
+  cust.batch_sizes = {1, 2, 2};
+  ASSERT_TRUE(cust.normalize(3).is_ok());
+
+  CrossBranchOptions options;
+  options.population = 24;
+  options.iterations = 4;
+  options.seed = 99;
+  const SearchResult legacy =
+      cross_branch_search(*model, budget, cust, options);
+  options.objective = Objective::batch_fitness(options.fitness);
+  const SearchResult composed =
+      cross_branch_search(*model, budget, cust, options);
+
+  EXPECT_EQ(legacy.fitness, composed.fitness);
+  EXPECT_EQ(legacy.feasible, composed.feasible);
+  EXPECT_EQ(legacy.trace.best_fitness, composed.trace.best_fitness);
+  EXPECT_EQ(legacy.trace.convergence_iteration,
+            composed.trace.convergence_iteration);
+  ASSERT_EQ(legacy.config.branches.size(), composed.config.branches.size());
+  for (std::size_t b = 0; b < legacy.config.branches.size(); ++b) {
+    EXPECT_EQ(legacy.config.branches[b].batch,
+              composed.config.branches[b].batch);
+    EXPECT_EQ(legacy.config.branches[b].units,
+              composed.config.branches[b].units);
+  }
+}
+
+TEST(ObjectiveTest, CustomCompositionSteersTheSearch) {
+  // An objective that only values branch balance (no throughput term) must
+  // still drive a well-formed search; its winner scores no better than the
+  // throughput-aware default under the default metric.
+  auto model = arch::reorganize(nn::zoo::avatar_decoder());
+  ASSERT_TRUE(model.is_ok());
+  const auto budget = ResourceBudget::from_platform(arch::platform_zu9cg());
+  Customization cust;
+  ASSERT_TRUE(cust.normalize(3).is_ok());
+
+  CrossBranchOptions options;
+  options.population = 24;
+  options.iterations = 4;
+  options.seed = 5;
+  const SearchResult default_winner =
+      cross_branch_search(*model, budget, cust, options);
+
+  Objective balance_only;
+  Objective::Term balance = Objective::balance();
+  balance_only.add(balance.name, 1.0, balance.value);
+  Objective::Term feasibility = Objective::feasibility();
+  balance_only.add(feasibility.name, 1e7, feasibility.value);
+  options.objective = balance_only;
+  const SearchResult balanced_winner =
+      cross_branch_search(*model, budget, cust, options);
+
+  ASSERT_EQ(balanced_winner.config.branches.size(), 3u);
+  EXPECT_TRUE(balanced_winner.feasible);
+  // Scored under the default metric, the specialist cannot beat the
+  // generalist that optimized it.
+  std::vector<double> fps;
+  for (const auto& be : balanced_winner.eval.branches) fps.push_back(be.fps);
+  EXPECT_LE(fitness_score(fps, cust.priorities, 0, options.fitness),
+            default_winner.fitness);
+}
+
+}  // namespace
+}  // namespace fcad::dse

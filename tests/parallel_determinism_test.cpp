@@ -8,10 +8,9 @@
 #include <vector>
 
 #include "arch/platform.hpp"
-#include "dse/engine.hpp"
 #include "dse/fitness_cache.hpp"
+#include "dse/search_driver.hpp"
 #include "dse/strategies.hpp"
-#include "dse/sweep.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
 #include "util/thread_pool.hpp"
 
@@ -99,74 +98,96 @@ TEST(ParallelDeterminismTest, StrategiesIdenticalAcrossThreadCounts) {
   }
 }
 
-TEST(ParallelDeterminismTest, SweepIdenticalAcrossThreadCounts) {
-  SweepOptions options;
-  options.quantizations = {nn::DataType::kInt8, nn::DataType::kInt16};
-  options.frequencies_mhz = {150, 200};
-  options.search = fast_options(1);
-  options.customization.batch_sizes = {1, 2, 2};
+TEST(ParallelDeterminismTest, DriverOptimizeIdenticalAcrossThreadCounts) {
+  // The same property through the unified entry point, exercising the
+  // RunControl thread override instead of CrossBranchOptions::threads.
+  SearchSpec spec;
+  spec.customization = decoder_customization();
+  spec.search = fast_options(1);
+  const SearchDriver driver(decoder_model(), arch::platform_zu9cg());
+  auto baseline = driver.run(spec);
+  ASSERT_TRUE(baseline.is_ok());
+  EXPECT_FALSE(baseline->cancelled);
+  for (std::size_t t = 1; t < kThreadCounts.size(); ++t) {
+    spec.control.threads = kThreadCounts[t];
+    auto other = driver.run(spec);
+    ASSERT_TRUE(other.is_ok());
+    expect_identical(baseline->search, other->search);
+  }
+}
 
-  auto baseline = quantization_frequency_sweep(
-      decoder_model(), arch::platform_zu9cg(), options);
+TEST(ParallelDeterminismTest, SweepIdenticalAcrossThreadCounts) {
+  SearchSpec spec;
+  spec.kind = SearchKind::kSweep;
+  spec.sweep.quantizations = {nn::DataType::kInt8, nn::DataType::kInt16};
+  spec.sweep.frequencies_mhz = {150, 200};
+  spec.search = fast_options(1);
+  spec.customization.batch_sizes = {1, 2, 2};
+
+  const SearchDriver driver(decoder_model(), arch::platform_zu9cg());
+  auto baseline = driver.run(spec);
   ASSERT_TRUE(baseline.is_ok());
   for (std::size_t t = 1; t < kThreadCounts.size(); ++t) {
-    options.search.threads = kThreadCounts[t];
-    auto other = quantization_frequency_sweep(decoder_model(),
-                                              arch::platform_zu9cg(), options);
+    spec.search.threads = kThreadCounts[t];
+    auto other = driver.run(spec);
     ASSERT_TRUE(other.is_ok());
-    ASSERT_EQ(baseline->size(), other->size());
-    for (std::size_t i = 0; i < baseline->size(); ++i) {
-      EXPECT_EQ((*baseline)[i].pareto_optimal, (*other)[i].pareto_optimal);
-      expect_identical((*baseline)[i].result, (*other)[i].result);
+    ASSERT_EQ(baseline->sweep.size(), other->sweep.size());
+    for (std::size_t i = 0; i < baseline->sweep.size(); ++i) {
+      EXPECT_EQ(baseline->sweep[i].pareto_optimal,
+                other->sweep[i].pareto_optimal);
+      expect_identical(baseline->sweep[i].result, other->sweep[i].result);
     }
   }
 }
 
 TEST(ParallelDeterminismTest, ConvergenceStudyIdenticalAcrossThreadCounts) {
-  DseRequest request;
-  request.platform = arch::platform_zu9cg();
-  request.customization = decoder_customization();
-  request.options = fast_options(1);
-  const ConvergenceStats baseline =
-      convergence_study(decoder_model(), request, 4);
+  SearchSpec spec;
+  spec.kind = SearchKind::kConvergence;
+  spec.customization = decoder_customization();
+  spec.search = fast_options(1);
+  spec.convergence_runs = 4;
+  const SearchDriver driver(decoder_model(), arch::platform_zu9cg());
+  auto baseline = driver.run(spec);
+  ASSERT_TRUE(baseline.is_ok());
   for (std::size_t t = 1; t < kThreadCounts.size(); ++t) {
-    request.options.threads = kThreadCounts[t];
-    const ConvergenceStats other =
-        convergence_study(decoder_model(), request, 4);
-    EXPECT_EQ(baseline.mean_iterations, other.mean_iterations);
-    EXPECT_EQ(baseline.min_iterations, other.min_iterations);
-    EXPECT_EQ(baseline.max_iterations, other.max_iterations);
-    EXPECT_EQ(baseline.mean_fitness, other.mean_fitness);
-    EXPECT_EQ(baseline.fitness_spread, other.fitness_spread);
+    spec.search.threads = kThreadCounts[t];
+    auto outcome = driver.run(spec);
+    ASSERT_TRUE(outcome.is_ok());
+    const ConvergenceStats& other = outcome->convergence;
+    EXPECT_EQ(baseline->convergence.mean_iterations, other.mean_iterations);
+    EXPECT_EQ(baseline->convergence.min_iterations, other.min_iterations);
+    EXPECT_EQ(baseline->convergence.max_iterations, other.max_iterations);
+    EXPECT_EQ(baseline->convergence.mean_fitness, other.mean_fitness);
+    EXPECT_EQ(baseline->convergence.fitness_spread, other.fitness_spread);
   }
 }
 
 TEST(ParallelDeterminismTest, TrafficSearchIdenticalAcrossThreadCounts) {
-  DseRequest request;
-  request.platform = arch::platform_zu9cg();
-  request.options = fast_options(1);
-  request.options.seed = 42;
+  SearchSpec spec;
+  spec.kind = SearchKind::kTraffic;
+  spec.search = fast_options(1);
+  spec.search.seed = 42;
+  spec.traffic.workload.users = 2;
+  spec.traffic.workload.frame_rate_hz = 30;
+  spec.traffic.workload.duration_s = 0.5;
+  spec.traffic.workload.seed = 42;
+  spec.traffic.fleet.instances = 2;
+  spec.traffic.max_batch = 4;
 
-  TrafficProfile profile;
-  profile.workload.users = 2;
-  profile.workload.frame_rate_hz = 30;
-  profile.workload.duration_s = 0.5;
-  profile.workload.seed = 42;
-  profile.fleet.instances = 2;
-  profile.max_batch = 4;
-
-  auto baseline = optimize_for_traffic(decoder_model(), request, profile);
+  const SearchDriver driver(decoder_model(), arch::platform_zu9cg());
+  auto baseline = driver.run(spec);
   ASSERT_TRUE(baseline.is_ok());
   for (std::size_t t = 1; t < kThreadCounts.size(); ++t) {
-    request.options.threads = kThreadCounts[t];
-    auto other = optimize_for_traffic(decoder_model(), request, profile);
-    ASSERT_TRUE(other.is_ok());
-    EXPECT_EQ(baseline->batch_sizes, other->batch_sizes);
-    EXPECT_EQ(baseline->users_served, other->users_served);
-    EXPECT_EQ(baseline->sla_met, other->sla_met);
-    EXPECT_EQ(baseline->sla_fitness, other->sla_fitness);
-    EXPECT_EQ(baseline->stats.latency.p99, other->stats.latency.p99);
-    expect_identical(baseline->search, other->search);
+    spec.search.threads = kThreadCounts[t];
+    auto outcome = driver.run(spec);
+    ASSERT_TRUE(outcome.is_ok());
+    const TrafficSearchResult& other = outcome->traffic;
+    EXPECT_EQ(baseline->traffic.batch_sizes, other.batch_sizes);
+    EXPECT_EQ(baseline->traffic.users_served, other.users_served);
+    EXPECT_EQ(baseline->traffic.sla_met, other.sla_met);
+    EXPECT_EQ(baseline->traffic.sla_fitness, other.sla_fitness);
+    EXPECT_EQ(baseline->traffic.stats.latency.p99, other.stats.latency.p99);
+    expect_identical(baseline->traffic.search, other.search);
   }
 }
 

@@ -1,0 +1,227 @@
+// Staged-pipeline suite: end-to-end runs, stage caching/re-entry, artifact
+// round trips, and the report renderers (formerly flow_test.cpp).
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "nn/builder.hpp"
+#include "nn/zoo/avatar_decoder.hpp"
+#include "nn/zoo/classic_nets.hpp"
+
+namespace fcad::core {
+namespace {
+
+PipelineOptions fast_options() {
+  PipelineOptions options;
+  options.spec.customization.quantization = nn::DataType::kInt8;
+  options.spec.customization.batch_sizes = {1, 2, 2};
+  options.spec.search.population = 30;
+  options.spec.search.iterations = 5;
+  options.spec.search.seed = 11;
+  return options;
+}
+
+TEST(PipelineTest, EndToEndOnDecoder) {
+  Pipeline pipeline(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  auto result = pipeline.run(fast_options());
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result->decomposition.branches.size(), 3u);
+  EXPECT_EQ(result->model.num_branches(), 3);
+  EXPECT_TRUE(result->search.feasible);
+  EXPECT_GT(result->search.eval.min_fps, 10.0);
+  EXPECT_FALSE(result->simulation.has_value());
+}
+
+TEST(PipelineTest, SimulationOnRequest) {
+  PipelineOptions options = fast_options();
+  options.run_simulation = true;
+  Pipeline pipeline(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  auto result = pipeline.run(options);
+  ASSERT_TRUE(result.is_ok());
+  ASSERT_TRUE(result->simulation.has_value());
+  // Simulated throughput within 10% of the analytical estimate.
+  EXPECT_NEAR(result->simulation->min_fps, result->search.eval.min_fps,
+              0.1 * result->search.eval.min_fps);
+}
+
+TEST(PipelineTest, SingleBranchBackbone) {
+  PipelineOptions options;
+  options.spec.search.population = 20;
+  options.spec.search.iterations = 4;
+  Pipeline pipeline(nn::zoo::alexnet(), arch::platform_ku115());
+  auto result = pipeline.run(options);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result->model.num_branches(), 1);
+  EXPECT_GT(result->search.eval.min_fps, 0);
+}
+
+TEST(PipelineTest, BadCustomizationFails) {
+  PipelineOptions options = fast_options();
+  options.spec.customization.batch_sizes = {1};  // decoder has 3 branches
+  Pipeline pipeline(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  auto result = pipeline.run(options);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PipelineTest, UnmappableGraphFails) {
+  nn::GraphBuilder b("t");
+  auto in = b.input("x", {4, 8, 8});
+  auto a = b.relu(in, "a");  // post-op with no major layer
+  b.output(a, "y");
+  auto g = std::move(b).build();
+  ASSERT_TRUE(g.is_ok());
+  Pipeline pipeline(std::move(g).value(), arch::platform_zu9cg());
+  auto result = pipeline.run(PipelineOptions{});
+  EXPECT_FALSE(result.is_ok());
+}
+
+TEST(PipelineTest, StagesRunIncrementallyAndCache) {
+  Pipeline pipeline(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  EXPECT_EQ(pipeline.profile(), nullptr);
+  EXPECT_EQ(pipeline.reorg(), nullptr);
+  EXPECT_EQ(pipeline.search(), nullptr);
+
+  ASSERT_TRUE(pipeline.analyze().is_ok());
+  const ProfileArtifact* profile = pipeline.profile();
+  ASSERT_NE(profile, nullptr);
+  EXPECT_EQ(profile->decomposition.branches.size(), 3u);
+
+  ASSERT_TRUE(pipeline.construct().is_ok());
+  const ReorgArtifact* reorg = pipeline.reorg();
+  ASSERT_NE(reorg, nullptr);
+  EXPECT_EQ(reorg->model.num_branches(), 3);
+
+  // Analysis and construction are cached: a subsequent optimize (or a whole
+  // spec ladder) reuses the very same artifacts, so a sweep over specs never
+  // re-profiles the graph.
+  ASSERT_TRUE(pipeline.optimize(fast_options().spec).is_ok());
+  EXPECT_EQ(pipeline.profile(), profile);
+  EXPECT_EQ(pipeline.reorg(), reorg);
+  ASSERT_NE(pipeline.search(), nullptr);
+
+  dse::SearchSpec second = fast_options().spec;
+  second.search.seed = 12;
+  ASSERT_TRUE(pipeline.optimize(second).is_ok());
+  EXPECT_EQ(pipeline.profile(), profile);
+  EXPECT_EQ(pipeline.reorg(), reorg);
+  ASSERT_NE(pipeline.search(), nullptr);
+  EXPECT_TRUE(pipeline.search()->best().feasible);
+}
+
+TEST(PipelineTest, SearchArtifactRoundTripsThroughText) {
+  Pipeline pipeline(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  ASSERT_TRUE(pipeline.optimize(fast_options().spec).is_ok());
+  const dse::SearchResult& original = pipeline.search()->best();
+
+  const std::string text = pipeline.save_search();
+  ASSERT_FALSE(text.empty());
+
+  // Re-enter the optimization stage in a *fresh* pipeline from the artifact
+  // alone: the configuration, headline stats, and re-evaluated metrics all
+  // survive the round trip; doubles round-trip bit-exactly.
+  Pipeline loaded(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  ASSERT_TRUE(loaded.load_search(text).is_ok());
+  const dse::SearchResult& restored = loaded.search()->best();
+  EXPECT_EQ(restored.fitness, original.fitness);
+  EXPECT_EQ(restored.feasible, original.feasible);
+  EXPECT_EQ(restored.seconds, original.seconds);
+  EXPECT_EQ(restored.trace.evaluations, original.trace.evaluations);
+  ASSERT_EQ(restored.config.branches.size(), original.config.branches.size());
+  for (std::size_t b = 0; b < original.config.branches.size(); ++b) {
+    EXPECT_EQ(restored.config.branches[b].batch,
+              original.config.branches[b].batch);
+    EXPECT_EQ(restored.config.branches[b].units,
+              original.config.branches[b].units);
+  }
+  EXPECT_EQ(restored.eval.dsps, original.eval.dsps);
+  EXPECT_EQ(restored.eval.min_fps, original.eval.min_fps);
+  // And serializing again reproduces the same text.
+  EXPECT_EQ(loaded.save_search(), text);
+}
+
+TEST(PipelineTest, LoadedArtifactDrivesSimulationAndResult) {
+  Pipeline searcher(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  ASSERT_TRUE(searcher.optimize(fast_options().spec).is_ok());
+  const std::string text = searcher.save_search();
+
+  Pipeline pipeline(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  ASSERT_TRUE(pipeline.load_search(text).is_ok());
+  ASSERT_TRUE(pipeline.simulate().is_ok());
+  ASSERT_NE(pipeline.sim(), nullptr);
+  auto result = pipeline.result();
+  ASSERT_TRUE(result.is_ok());
+  ASSERT_TRUE(result->simulation.has_value());
+  EXPECT_GT(result->simulation->min_fps, 0);
+}
+
+TEST(PipelineTest, MalformedArtifactRejected) {
+  Pipeline pipeline(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  EXPECT_FALSE(pipeline.load_search("not an artifact").is_ok());
+  EXPECT_FALSE(
+      pipeline.load_search("fcad-search-artifact v1\nfitness 1\n").is_ok());
+  EXPECT_EQ(pipeline.search(), nullptr);
+  // result() without completed stages is an error, not a crash.
+  EXPECT_FALSE(pipeline.result().is_ok());
+}
+
+TEST(ReportTest, CaseReportContainsKeyRows) {
+  PipelineOptions options = fast_options();
+  options.run_simulation = true;
+  Pipeline pipeline(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  auto result = pipeline.run(options);
+  ASSERT_TRUE(result.is_ok());
+  const std::string report =
+      case_report("test case", *result, pipeline.platform());
+  EXPECT_NE(report.find("test case"), std::string::npos);
+  EXPECT_NE(report.find("ZU9CG"), std::string::npos);
+  EXPECT_NE(report.find("geometry"), std::string::npos);
+  EXPECT_NE(report.find("texture"), std::string::npos);
+  EXPECT_NE(report.find("warp_field"), std::string::npos);
+  EXPECT_NE(report.find("totals:"), std::string::npos);
+  EXPECT_NE(report.find("simulator check"), std::string::npos);
+}
+
+TEST(ReportTest, SummaryLineFormat) {
+  Pipeline pipeline(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  auto result = pipeline.run(fast_options());
+  ASSERT_TRUE(result.is_ok());
+  const std::string line = summary_line(*result, pipeline.platform());
+  EXPECT_NE(line.find("FPS {"), std::string::npos);
+  EXPECT_NE(line.find("DSP "), std::string::npos);
+  EXPECT_NE(line.find("/2520"), std::string::npos);
+}
+
+TEST(PlatformTest, CatalogMatchesPaperBudgets) {
+  EXPECT_EQ(arch::platform_z7045().dsps, 900);
+  EXPECT_EQ(arch::platform_z7045().brams18k, 1090);
+  EXPECT_EQ(arch::platform_zu17eg().dsps, 1590);
+  EXPECT_EQ(arch::platform_zu17eg().brams18k, 1592);
+  EXPECT_EQ(arch::platform_zu9cg().dsps, 2520);
+  EXPECT_EQ(arch::platform_zu9cg().brams18k, 1824);
+  EXPECT_EQ(arch::platform_ku115().dsps, 5520);
+  for (const auto& p : arch::all_platforms()) {
+    EXPECT_DOUBLE_EQ(p.freq_mhz, 200.0) << p.name;
+  }
+}
+
+TEST(PlatformTest, LookupByNameCaseInsensitive) {
+  auto p = arch::platform_by_name("zu9cg");
+  ASSERT_TRUE(p.is_ok());
+  EXPECT_EQ(p->name, "ZU9CG");
+  EXPECT_FALSE(arch::platform_by_name("nonexistent").is_ok());
+}
+
+TEST(PlatformTest, AsicBudget) {
+  const arch::Platform asic =
+      arch::make_asic("edge-npu", 4096, /*buffer_mib=*/4.0, /*bw=*/25.6,
+                      /*freq=*/800.0);
+  EXPECT_TRUE(asic.is_asic);
+  EXPECT_EQ(asic.dsps, 4096);
+  // 4 MiB in 18-Kbit blocks: 4*1024*1024*8 / 18432 = 1821 (ceil).
+  EXPECT_EQ(asic.brams18k, 1821);
+  EXPECT_GT(asic.bw_bytes_per_cycle(), 0);
+}
+
+}  // namespace
+}  // namespace fcad::core

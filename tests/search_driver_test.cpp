@@ -1,0 +1,244 @@
+// SearchDriver run-control plumbing (progress observers, cooperative
+// cancellation, deadlines, thread overrides) and the deprecated engine
+// shims, which must keep forwarding to the driver unchanged for one
+// release.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "arch/platform.hpp"
+#include "dse/engine.hpp"
+#include "dse/search_driver.hpp"
+#include "dse/sweep.hpp"
+#include "nn/zoo/avatar_decoder.hpp"
+
+namespace fcad::dse {
+namespace {
+
+const arch::ReorganizedModel& decoder_model() {
+  static const arch::ReorganizedModel model = [] {
+    auto m = arch::reorganize(nn::zoo::avatar_decoder());
+    FCAD_CHECK(m.is_ok());
+    return std::move(m).value();
+  }();
+  return model;
+}
+
+SearchSpec fast_spec() {
+  SearchSpec spec;
+  spec.customization.batch_sizes = {1, 2, 2};
+  spec.search.population = 20;
+  spec.search.iterations = 5;
+  spec.search.seed = 31;
+  return spec;
+}
+
+// ------------------------------------------------------------ run control --
+
+TEST(RunControlTest, ProgressEventsArriveOncePerIteration) {
+  SearchSpec spec = fast_spec();
+  std::vector<ProgressEvent> events;
+  spec.control.on_progress = [&](const ProgressEvent& event) {
+    events.push_back(event);
+  };
+  auto outcome =
+      SearchDriver(decoder_model(), arch::platform_zu9cg()).run(spec);
+  ASSERT_TRUE(outcome.is_ok());
+  ASSERT_EQ(events.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].stage, "search");
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].step, i + 1);
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].total_steps, 5);
+  }
+  // The best-fitness stream is monotonically non-decreasing.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].best_fitness, events[i - 1].best_fitness);
+  }
+}
+
+TEST(RunControlTest, CancellationStopsALongSearchPromptly) {
+  SearchSpec spec = fast_spec();
+  spec.search.iterations = 1000;  // would take minutes if not cancelled
+  std::atomic<int> seen{0};
+  spec.control.on_progress = [&](const ProgressEvent&) {
+    if (++seen >= 2) spec.control.cancel.request_cancel();
+  };
+  auto outcome =
+      SearchDriver(decoder_model(), arch::platform_zu9cg()).run(spec);
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_TRUE(outcome->cancelled);
+  EXPECT_TRUE(outcome->search.stopped_early);
+  // Stopped right after the cancelling iteration, with the best-so-far
+  // result intact.
+  EXPECT_EQ(outcome->search.trace.best_fitness.size(), 2u);
+  EXPECT_FALSE(outcome->search.config.branches.empty());
+}
+
+TEST(RunControlTest, CancelledBeforeStartProducesEmptyBestEffort) {
+  SearchSpec spec = fast_spec();
+  spec.control.cancel.request_cancel();
+  auto outcome =
+      SearchDriver(decoder_model(), arch::platform_zu9cg()).run(spec);
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_TRUE(outcome->cancelled);
+  EXPECT_TRUE(outcome->search.trace.best_fitness.empty());
+}
+
+TEST(RunControlTest, DeadlineBoundsTheRun) {
+  SearchSpec spec = fast_spec();
+  spec.search.iterations = 1000;
+  spec.control.deadline_s = 1e-9;  // expires before the first iteration
+  auto outcome =
+      SearchDriver(decoder_model(), arch::platform_zu9cg()).run(spec);
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_TRUE(outcome->cancelled);
+  EXPECT_LT(outcome->search.trace.best_fitness.size(), 1000u);
+}
+
+TEST(RunControlTest, ThreadOverrideKeepsResultsIdentical) {
+  SearchSpec spec = fast_spec();
+  const SearchDriver driver(decoder_model(), arch::platform_zu9cg());
+  auto baseline = driver.run(spec);
+  ASSERT_TRUE(baseline.is_ok());
+  spec.control.threads = 2;
+  auto threaded = driver.run(spec);
+  ASSERT_TRUE(threaded.is_ok());
+  EXPECT_EQ(baseline->search.fitness, threaded->search.fitness);
+  EXPECT_EQ(baseline->search.trace.best_fitness,
+            threaded->search.trace.best_fitness);
+}
+
+TEST(RunControlTest, CancellationReachesTrafficCandidates) {
+  SearchSpec spec;
+  spec.kind = SearchKind::kTraffic;
+  spec.search.population = 20;
+  spec.search.iterations = 200;
+  spec.search.seed = 42;
+  spec.traffic.workload.users = 2;
+  spec.traffic.workload.duration_s = 0.25;
+  spec.traffic.max_batch = 4;
+  spec.control.cancel.request_cancel();  // cancelled from the very start
+  auto outcome =
+      SearchDriver(decoder_model(), arch::platform_zu9cg()).run(spec);
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_TRUE(outcome->cancelled);
+}
+
+// -------------------------------------------------------- deprecated shims --
+// The shims must forward bit-identically to hand-built SearchSpecs for one
+// release. They are deliberately exercised here; silence the warning locally.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+DseRequest legacy_request() {
+  DseRequest request;
+  request.platform = arch::platform_zu9cg();
+  request.customization.batch_sizes = {1, 2, 2};
+  request.options.population = 20;
+  request.options.iterations = 5;
+  request.options.seed = 31;
+  return request;
+}
+
+TEST(DeprecatedShimTest, OptimizeForwardsToDriver) {
+  auto via_shim = optimize(decoder_model(), legacy_request());
+  ASSERT_TRUE(via_shim.is_ok());
+  auto via_driver =
+      SearchDriver(decoder_model(), arch::platform_zu9cg()).run(fast_spec());
+  ASSERT_TRUE(via_driver.is_ok());
+  EXPECT_EQ(via_shim->fitness, via_driver->search.fitness);
+  EXPECT_EQ(via_shim->feasible, via_driver->search.feasible);
+  EXPECT_EQ(via_shim->trace.best_fitness,
+            via_driver->search.trace.best_fitness);
+}
+
+TEST(DeprecatedShimTest, ConvergenceStudyForwardsToDriver) {
+  const ConvergenceStats via_shim =
+      convergence_study(decoder_model(), legacy_request(), 3);
+  SearchSpec spec = fast_spec();
+  spec.kind = SearchKind::kConvergence;
+  spec.convergence_runs = 3;
+  auto via_driver =
+      SearchDriver(decoder_model(), arch::platform_zu9cg()).run(spec);
+  ASSERT_TRUE(via_driver.is_ok());
+  EXPECT_EQ(via_shim.mean_fitness, via_driver->convergence.mean_fitness);
+  EXPECT_EQ(via_shim.mean_iterations,
+            via_driver->convergence.mean_iterations);
+  EXPECT_EQ(via_shim.fitness_spread, via_driver->convergence.fitness_spread);
+}
+
+TEST(DeprecatedShimTest, MaxFeasibleBatchForwardsToDriver) {
+  auto via_shim = max_feasible_batch(decoder_model(), legacy_request(), 0, 4);
+  ASSERT_TRUE(via_shim.is_ok());
+  SearchSpec spec = fast_spec();
+  spec.kind = SearchKind::kMaxBatch;
+  spec.batch_branch = 0;
+  spec.batch_probe_limit = 4;
+  auto via_driver =
+      SearchDriver(decoder_model(), arch::platform_zu9cg()).run(spec);
+  ASSERT_TRUE(via_driver.is_ok());
+  EXPECT_EQ(*via_shim, via_driver->max_batch);
+}
+
+TEST(DeprecatedShimTest, SweepForwardsToDriver) {
+  SweepOptions options;
+  options.quantizations = {nn::DataType::kInt8};
+  options.frequencies_mhz = {200};
+  options.search = legacy_request().options;
+  options.customization.batch_sizes = {1, 2, 2};
+  auto via_shim = quantization_frequency_sweep(
+      decoder_model(), arch::platform_zu9cg(), options);
+  ASSERT_TRUE(via_shim.is_ok());
+
+  SearchSpec spec = fast_spec();
+  spec.kind = SearchKind::kSweep;
+  spec.sweep.quantizations = {nn::DataType::kInt8};
+  spec.sweep.frequencies_mhz = {200};
+  auto via_driver =
+      SearchDriver(decoder_model(), arch::platform_zu9cg()).run(spec);
+  ASSERT_TRUE(via_driver.is_ok());
+  ASSERT_EQ(via_shim->size(), via_driver->sweep.size());
+  EXPECT_EQ((*via_shim)[0].result.fitness,
+            via_driver->sweep[0].result.fitness);
+  EXPECT_EQ((*via_shim)[0].pareto_optimal,
+            via_driver->sweep[0].pareto_optimal);
+}
+
+TEST(DeprecatedShimTest, TrafficForwardsAndPreservesOverwriteSemantics) {
+  DseRequest request = legacy_request();
+  request.customization.batch_sizes.clear();
+  TrafficProfile profile;
+  profile.workload.users = 2;
+  profile.workload.duration_s = 0.25;
+  profile.workload.seed = 42;
+  // The legacy footguns: both fields were silently overwritten before; the
+  // shim must keep accepting (and discarding) them rather than erroring.
+  profile.workload.branches = 99;
+  profile.sla.p99_bound_us = 1.0;
+  profile.fleet.instances = 2;
+  profile.max_batch = 2;
+  auto via_shim = optimize_for_traffic(decoder_model(), request, profile);
+  ASSERT_TRUE(via_shim.is_ok()) << via_shim.status().to_string();
+
+  SearchSpec spec;
+  spec.kind = SearchKind::kTraffic;
+  spec.search = request.options;
+  spec.traffic.workload.users = 2;
+  spec.traffic.workload.duration_s = 0.25;
+  spec.traffic.workload.seed = 42;
+  spec.traffic.fleet.instances = 2;
+  spec.traffic.max_batch = 2;
+  auto via_driver =
+      SearchDriver(decoder_model(), arch::platform_zu9cg()).run(spec);
+  ASSERT_TRUE(via_driver.is_ok());
+  EXPECT_EQ(via_shim->sla_fitness, via_driver->traffic.sla_fitness);
+  EXPECT_EQ(via_shim->users_served, via_driver->traffic.users_served);
+  EXPECT_EQ(via_shim->batch_sizes, via_driver->traffic.batch_sizes);
+}
+
+#pragma GCC diagnostic pop
+
+}  // namespace
+}  // namespace fcad::dse

@@ -5,7 +5,7 @@
 #include <limits>
 
 #include "arch/platform.hpp"
-#include "dse/engine.hpp"
+#include "dse/search_driver.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
 #include "serving/batcher.hpp"
 #include "serving/fleet.hpp"
@@ -461,35 +461,34 @@ TEST(SlaFitnessTest, LatencyBreaksTiesOnlyWithinSameUserCount) {
             dse::sla_fitness_score(5, 1, 0, params));
 }
 
-// ----------------------------------------------------- optimize_for_traffic --
+// --------------------------------------------------------- traffic search --
 TEST(TrafficSearchTest, FindsAConfigMeetingTheSla) {
   auto model = arch::reorganize(nn::zoo::avatar_decoder());
   ASSERT_TRUE(model.is_ok());
 
-  dse::DseRequest request;
-  request.platform = arch::platform_zu9cg();
-  request.options.population = 30;
-  request.options.iterations = 5;
-  request.options.seed = 7;
+  dse::SearchSpec spec;
+  spec.kind = dse::SearchKind::kTraffic;
+  spec.search.population = 30;
+  spec.search.iterations = 5;
+  spec.search.seed = 7;
+  spec.traffic.workload.users = 2;
+  spec.traffic.workload.frame_rate_hz = 10;
+  spec.traffic.workload.duration_s = 0.5;
+  spec.traffic.workload.seed = 21;
+  spec.traffic.fleet.instances = 2;
+  spec.traffic.fleet.sla_bound_us = 250000;  // generous 250 ms bound
+  spec.traffic.fleet.batch_timeout_us = 5000;
+  spec.traffic.max_batch = 2;
 
-  dse::TrafficProfile profile;
-  profile.workload.users = 2;
-  profile.workload.frame_rate_hz = 10;
-  profile.workload.duration_s = 0.5;
-  profile.workload.seed = 21;
-  profile.fleet.instances = 2;
-  profile.fleet.sla_bound_us = 250000;  // generous 250 ms bound
-  profile.fleet.batch_timeout_us = 5000;
-  profile.max_batch = 2;
-
-  auto result = dse::optimize_for_traffic(*model, request, profile);
-  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
-  EXPECT_TRUE(result->sla_met);
-  EXPECT_GE(result->users_served, 2);
-  EXPECT_LE(result->stats.latency.p99, profile.fleet.sla_bound_us);
-  EXPECT_EQ(result->batch_sizes.size(),
+  auto outcome = dse::SearchDriver(*model, arch::platform_zu9cg()).run(spec);
+  ASSERT_TRUE(outcome.is_ok()) << outcome.status().to_string();
+  const dse::TrafficSearchResult& result = outcome->traffic;
+  EXPECT_TRUE(result.sla_met);
+  EXPECT_GE(result.users_served, 2);
+  EXPECT_LE(result.stats.latency.p99, spec.traffic.fleet.sla_bound_us);
+  EXPECT_EQ(result.batch_sizes.size(),
             static_cast<std::size_t>(model->num_branches()));
-  EXPECT_GT(result->stats.completed, 0);
+  EXPECT_GT(result.stats.completed, 0);
 }
 
 TEST(TrafficSearchTest, ScalesUsersUpToTheCap) {
@@ -499,29 +498,71 @@ TEST(TrafficSearchTest, ScalesUsersUpToTheCap) {
   auto model = arch::reorganize(nn::zoo::avatar_decoder());
   ASSERT_TRUE(model.is_ok());
 
-  dse::DseRequest request;
-  request.platform = arch::platform_zu9cg();
-  request.options.population = 20;
-  request.options.iterations = 4;
-  request.options.seed = 3;
+  dse::SearchSpec spec;
+  spec.kind = dse::SearchKind::kTraffic;
+  spec.search.population = 20;
+  spec.search.iterations = 4;
+  spec.search.seed = 3;
+  spec.traffic.workload.users = 1;
+  spec.traffic.workload.frame_rate_hz = 5;
+  spec.traffic.workload.duration_s = 0.5;
+  spec.traffic.workload.seed = 9;
+  spec.traffic.fleet.instances = 1;
+  spec.traffic.fleet.sla_bound_us = 500000;
+  spec.traffic.max_batch = 1;
+  spec.traffic.max_users = 4;
 
-  dse::TrafficProfile profile;
-  profile.workload.users = 1;
-  profile.workload.frame_rate_hz = 5;
-  profile.workload.duration_s = 0.5;
-  profile.workload.seed = 9;
-  profile.fleet.instances = 1;
-  profile.fleet.sla_bound_us = 500000;
-  profile.max_batch = 1;
-  profile.max_users = 4;
-
-  auto result = dse::optimize_for_traffic(*model, request, profile);
-  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
-  EXPECT_GE(result->users_served, 1);
-  EXPECT_LE(result->users_served, 4);
-  if (result->sla_met) {
-    EXPECT_LE(result->stats.latency.p99, profile.fleet.sla_bound_us);
+  auto outcome = dse::SearchDriver(*model, arch::platform_zu9cg()).run(spec);
+  ASSERT_TRUE(outcome.is_ok()) << outcome.status().to_string();
+  const dse::TrafficSearchResult& result = outcome->traffic;
+  EXPECT_GE(result.users_served, 1);
+  EXPECT_LE(result.users_served, 4);
+  if (result.sla_met) {
+    EXPECT_LE(result.stats.latency.p99, spec.traffic.fleet.sla_bound_us);
   }
+}
+
+TEST(TrafficSearchTest, CallerSetBranchesRejected) {
+  // The legacy TrafficProfile silently overwrote workload.branches; the
+  // TrafficSpec rejects it with a clear message instead.
+  auto model = arch::reorganize(nn::zoo::avatar_decoder());
+  ASSERT_TRUE(model.is_ok());
+
+  dse::SearchSpec spec;
+  spec.kind = dse::SearchKind::kTraffic;
+  spec.search.population = 5;
+  spec.search.iterations = 2;
+  spec.traffic.workload.branches = 3;  // "helpfully" set by the caller
+  auto outcome = dse::SearchDriver(*model, arch::platform_zu9cg()).run(spec);
+  ASSERT_FALSE(outcome.is_ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(outcome.status().message().find("derived from the model"),
+            std::string::npos);
+}
+
+TEST(TrafficSearchTest, ConflictingSlaBoundRejected) {
+  auto model = arch::reorganize(nn::zoo::avatar_decoder());
+  ASSERT_TRUE(model.is_ok());
+
+  dse::SearchSpec spec;
+  spec.kind = dse::SearchKind::kTraffic;
+  spec.search.population = 5;
+  spec.search.iterations = 2;
+  spec.traffic.fleet.sla_bound_us = 250000;
+  spec.traffic.sla.p99_bound_us = 100000;  // disagrees with the fleet bound
+  auto outcome = dse::SearchDriver(*model, arch::platform_zu9cg()).run(spec);
+  ASSERT_FALSE(outcome.is_ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(outcome.status().message().find("fleet.sla_bound_us"),
+            std::string::npos);
+
+  // Setting it equal to the fleet bound (or leaving the default) is fine.
+  spec.traffic.sla.p99_bound_us = 250000;
+  spec.traffic.workload.users = 1;
+  spec.traffic.workload.frame_rate_hz = 5;
+  spec.traffic.workload.duration_s = 0.25;
+  EXPECT_TRUE(
+      dse::SearchDriver(*model, arch::platform_zu9cg()).run(spec).is_ok());
 }
 
 }  // namespace

@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "arch/platform.hpp"
-#include "dse/sweep.hpp"
+#include "dse/search_driver.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
 
 namespace fcad::dse {
@@ -16,19 +16,26 @@ const arch::ReorganizedModel& decoder_model() {
   return model;
 }
 
-SweepOptions fast_sweep() {
-  SweepOptions options;
-  options.search.population = 20;
-  options.search.iterations = 4;
-  options.search.seed = 17;
-  options.customization.batch_sizes = {1, 1, 1};
-  options.customization.priorities = {1, 1, 1};
-  return options;
+SearchSpec fast_sweep() {
+  SearchSpec spec;
+  spec.kind = SearchKind::kSweep;
+  spec.search.population = 20;
+  spec.search.iterations = 4;
+  spec.search.seed = 17;
+  spec.customization.batch_sizes = {1, 1, 1};
+  spec.customization.priorities = {1, 1, 1};
+  return spec;
+}
+
+StatusOr<std::vector<SweepPoint>> sweep(const SearchSpec& spec) {
+  auto outcome =
+      SearchDriver(decoder_model(), arch::platform_zu9cg()).run(spec);
+  if (!outcome.is_ok()) return outcome.status();
+  return std::move(outcome->sweep);
 }
 
 TEST(SweepTest, GridCoverage) {
-  auto points = quantization_frequency_sweep(
-      decoder_model(), arch::platform_zu9cg(), fast_sweep());
+  auto points = sweep(fast_sweep());
   ASSERT_TRUE(points.is_ok()) << points.status().to_string();
   EXPECT_EQ(points->size(), 6u);  // 2 dtypes x 3 frequencies
   int feasible = 0;
@@ -37,11 +44,10 @@ TEST(SweepTest, GridCoverage) {
 }
 
 TEST(SweepTest, FrequencyScalesThroughput) {
-  SweepOptions options = fast_sweep();
-  options.quantizations = {nn::DataType::kInt8};
-  options.frequencies_mhz = {100, 400};
-  auto points = quantization_frequency_sweep(
-      decoder_model(), arch::platform_zu9cg(), options);
+  SearchSpec spec = fast_sweep();
+  spec.sweep.quantizations = {nn::DataType::kInt8};
+  spec.sweep.frequencies_mhz = {100, 400};
+  auto points = sweep(spec);
   ASSERT_TRUE(points.is_ok());
   ASSERT_EQ(points->size(), 2u);
   // Same budget, 4x clock: substantially more throughput (not necessarily
@@ -51,8 +57,7 @@ TEST(SweepTest, FrequencyScalesThroughput) {
 }
 
 TEST(SweepTest, EightBitDominatesSixteenBitAtSameClock) {
-  auto points = quantization_frequency_sweep(
-      decoder_model(), arch::platform_zu9cg(), fast_sweep());
+  auto points = sweep(fast_sweep());
   ASSERT_TRUE(points.is_ok());
   double fps8 = 0, fps16 = 0;
   for (const SweepPoint& p : *points) {
@@ -64,8 +69,7 @@ TEST(SweepTest, EightBitDominatesSixteenBitAtSameClock) {
 }
 
 TEST(SweepTest, ParetoFrontierNonEmptyAndConsistent) {
-  auto points = quantization_frequency_sweep(
-      decoder_model(), arch::platform_zu9cg(), fast_sweep());
+  auto points = sweep(fast_sweep());
   ASSERT_TRUE(points.is_ok());
   int frontier = 0;
   for (const SweepPoint& p : *points) frontier += p.pareto_optimal;
@@ -83,18 +87,16 @@ TEST(SweepTest, ParetoFrontierNonEmptyAndConsistent) {
 }
 
 TEST(SweepTest, EmptyGridRejected) {
-  SweepOptions options = fast_sweep();
-  options.frequencies_mhz = {};
-  auto points = quantization_frequency_sweep(
-      decoder_model(), arch::platform_zu9cg(), options);
+  SearchSpec spec = fast_sweep();
+  spec.sweep.frequencies_mhz = {};
+  auto points = sweep(spec);
   EXPECT_FALSE(points.is_ok());
 }
 
 TEST(SweepTest, NegativeFrequencyRejected) {
-  SweepOptions options = fast_sweep();
-  options.frequencies_mhz = {-5};
-  auto points = quantization_frequency_sweep(
-      decoder_model(), arch::platform_zu9cg(), options);
+  SearchSpec spec = fast_sweep();
+  spec.sweep.frequencies_mhz = {-5};
+  auto points = sweep(spec);
   EXPECT_FALSE(points.is_ok());
 }
 

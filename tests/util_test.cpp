@@ -5,6 +5,7 @@
 
 #include "util/csv.hpp"
 #include "util/format.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
 #include "util/table.hpp"
@@ -222,6 +223,37 @@ TEST(CsvTest, EscapesSpecialCharacters) {
 TEST(CsvTest, ArityMismatchThrows) {
   CsvWriter w({"a", "b"});
   EXPECT_THROW(w.add_row({"1"}), InternalError);
+}
+
+TEST(JsonTest, NestedDocument) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("name").value("fcad");
+  json.key("feasible").value(true);
+  json.key("fitness").value(269.25);
+  json.key("branches").begin_array();
+  json.begin_object().key("fps").value(95.5).end_object();
+  json.begin_object().key("fps").value(120).end_object();
+  json.end_array();
+  json.key("count").value(std::int64_t{2});
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            "{\"name\":\"fcad\",\"feasible\":true,\"fitness\":269.25,"
+            "\"branches\":[{\"fps\":95.5},{\"fps\":120}],\"count\":2}");
+}
+
+TEST(JsonTest, StringEscaping) {
+  EXPECT_EQ(json_quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(json_quote(std::string("x\x01y")), "\"x\\u0001y\"");
+}
+
+TEST(JsonTest, NonFiniteNumbersBecomeNull) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(std::nan(""));
+  json.value(1.0 / 0.0);
+  json.end_array();
+  EXPECT_EQ(json.str(), "[null,null]");
 }
 
 }  // namespace
