@@ -5,16 +5,19 @@
 //   C. Branch priority — biasing resources toward the texture branch.
 //   D. Population size — search quality at P = 10/50/200.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "arch/platform.hpp"
 #include "arch/reorg.hpp"
 #include "baselines/soc865.hpp"
 #include "dse/search_driver.hpp"
-#include "dse/strategies.hpp"
+#include "dse/strategy.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
 #include "util/args.hpp"
+#include "util/csv.hpp"
 #include "util/format.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -22,6 +25,16 @@ namespace {
 using namespace fcad;
 
 int g_threads = 0;  ///< DSE pool size from --threads (0 = all cores)
+
+/// One strategy-ablation row, kept for the --csv/--json twins of section E.
+struct StrategyRow {
+  std::string strategy;
+  double fitness = 0;
+  double min_fps = 0;
+  bool feasible = false;
+  std::int64_t evaluations = 0;
+};
+std::vector<StrategyRow> g_strategy_rows;
 
 dse::SearchSpec base_spec() {
   dse::SearchSpec spec;
@@ -58,6 +71,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   g_threads = static_cast<int>(*threads_flag);
+  const std::string csv_path = args->get("csv", "");
+  const std::string json_path = args->get("json", "");
 
   std::printf("=== Ablations on ZU9CG (8-bit) ===\n\n");
   nn::Graph decoder = nn::zoo::avatar_decoder();
@@ -156,26 +171,22 @@ int main(int argc, char** argv) {
   }
 
   // --- E: search strategy ---------------------------------------------------
+  // Every registered strategy (built-ins plus any custom registrations)
+  // through the one SearchDriver entry point, same evaluation budget.
   {
     std::printf("--- E. search strategy (equal evaluation budget) ---\n");
     TablePrinter t({"strategy", "fitness", "branch FPS", "feasible",
                     "evaluations"});
-    for (dse::SearchStrategy strategy :
-         {dse::SearchStrategy::kParticleSwarm, dse::SearchStrategy::kRandom,
-          dse::SearchStrategy::kAnnealing}) {
+    for (const std::string& strategy : dse::registered_strategy_names()) {
       dse::SearchSpec spec = base_spec();
-      spec.search.freq_mhz = zu9cg.freq_mhz;
-      const auto result = dse::strategy_search(
-          *model, dse::ResourceBudget::from_platform(zu9cg),
-          [&] {
-            auto cust = spec.customization;
-            FCAD_CHECK(cust.normalize(model->num_branches()).is_ok());
-            return cust;
-          }(),
-          spec.search, strategy);
-      t.add_row({dse::to_string(strategy), format_fixed(result.fitness, 1),
+      spec.strategy = strategy;
+      const dse::SearchResult result = run_search(spec);
+      t.add_row({strategy, format_fixed(result.fitness, 1),
                  fps_cell(result.eval), result.feasible ? "yes" : "no",
                  std::to_string(result.trace.evaluations)});
+      g_strategy_rows.push_back(
+          {strategy, result.fitness, result.eval.min_fps, result.feasible,
+           result.trace.evaluations});
     }
     std::printf("%s\n", t.to_string().c_str());
   }
@@ -216,6 +227,48 @@ int main(int argc, char** argv) {
                  "{1,2,2}", std::to_string(outcome->max_batch)});
     }
     std::printf("%s\n", t.to_string().c_str());
+  }
+
+  // Machine-readable twins of section E (the strategy ablation), one row
+  // per registered strategy — the same schema family the CLIs ship
+  // (schema_version + typed fields).
+  if (!csv_path.empty()) {
+    CsvWriter csv({"strategy", "fitness", "min_fps", "feasible",
+                   "evaluations"});
+    for (const StrategyRow& row : g_strategy_rows) {
+      csv.add_row({row.strategy, format_fixed(row.fitness, 3),
+                   format_fixed(row.min_fps, 3),
+                   std::to_string(row.feasible ? 1 : 0),
+                   std::to_string(row.evaluations)});
+    }
+    if (!csv.write_file(csv_path)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", csv_path.c_str());
+      return 1;
+    }
+    std::printf("csv written to %s\n", csv_path.c_str());
+  }
+  if (!json_path.empty()) {
+    JsonWriter json;
+    json.begin_object();
+    json.key("schema_version").value(1);
+    json.key("bench").value("ablation");
+    json.key("strategies").begin_array();
+    for (const StrategyRow& row : g_strategy_rows) {
+      json.begin_object();
+      json.key("strategy").value(row.strategy);
+      json.key("fitness").value(row.fitness);
+      json.key("min_fps").value(row.min_fps);
+      json.key("feasible").value(row.feasible);
+      json.key("evaluations").value(row.evaluations);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    if (!json.write_file(json_path)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("json written to %s\n", json_path.c_str());
   }
   return 0;
 }

@@ -3,7 +3,8 @@
 // (min 6.8, max 13.6) and wall times of 57-102 s on a 2.6 GHz CPU.
 //
 //   bench_dse_convergence [--runs 10] [--population 200] [--iterations 20]
-//                         [--threads N] [--cases 5] [--csv out.csv]
+//                         [--threads N] [--cases 5] [--strategy name]
+//                         [--csv out.csv] [--json out.json]
 //
 // --threads sizes the DSE thread pool (0 = all cores); results are
 // bit-identical for any value, so thread-count sweeps of this bench measure
@@ -20,6 +21,7 @@
 #include "util/args.hpp"
 #include "util/csv.hpp"
 #include "util/format.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -54,6 +56,8 @@ int main(int argc, char** argv) {
   const auto case_limit =
       static_cast<int>(flag_value(args->get_int("cases", 5)));
   const std::string csv_path = args->get("csv", "");
+  const std::string json_path = args->get("json", "");
+  const std::string strategy = args->get("strategy", "particle-swarm");
 
   std::printf(
       "=== DSE convergence: %d independent searches per case (threads=%d) "
@@ -88,9 +92,16 @@ int main(int argc, char** argv) {
                   "fitness spread", "wall s"});
   double mean_of_means = 0;
   double total_wall = 0;
+  struct JsonRow {
+    std::string name;
+    dse::ConvergenceStats stats;
+    double wall = 0;
+  };
+  std::vector<JsonRow> json_rows;
   for (const Case& c : cases) {
     dse::SearchSpec spec;
     spec.kind = dse::SearchKind::kConvergence;
+    spec.strategy = strategy;
     spec.customization.quantization = c.dtype;
     spec.customization.batch_sizes = {1, 2, 2};
     spec.search.population = population;
@@ -121,6 +132,7 @@ int main(int argc, char** argv) {
                  format_fixed(stats.mean_fitness, 3),
                  format_fixed(stats.fitness_spread, 3),
                  format_fixed(wall, 4)});
+    json_rows.push_back({c.name, stats, wall});
     mean_of_means += stats.mean_iterations;
   }
   std::printf("%s\n", t.to_string().c_str());
@@ -138,6 +150,38 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("csv written to %s\n", csv_path.c_str());
+  }
+  // The --json twin of the CSV: one object per case, same columns.
+  if (!json_path.empty()) {
+    JsonWriter json;
+    json.begin_object();
+    json.key("schema_version").value(1);
+    json.key("bench").value("dse_convergence");
+    json.key("strategy").value(strategy);
+    json.key("runs").value(runs);
+    json.key("population").value(population);
+    json.key("iterations").value(iterations);
+    json.key("threads").value(threads);
+    json.key("cases").begin_array();
+    for (const JsonRow& row : json_rows) {
+      json.begin_object();
+      json.key("case").value(row.name);
+      json.key("mean_iterations").value(row.stats.mean_iterations);
+      json.key("min_iterations").value(row.stats.min_iterations);
+      json.key("max_iterations").value(row.stats.max_iterations);
+      json.key("mean_seconds").value(row.stats.mean_seconds);
+      json.key("mean_fitness").value(row.stats.mean_fitness);
+      json.key("fitness_spread").value(row.stats.fitness_spread);
+      json.key("wall_seconds").value(row.wall);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    if (!json.write_file(json_path)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("json written to %s\n", json_path.c_str());
   }
   return 0;
 }

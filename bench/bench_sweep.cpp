@@ -2,14 +2,25 @@
 // 200 MHz and treats quantization Q as a per-run customization; this bench
 // explores the grid on ZU9CG and prints the (min-FPS, DSP) Pareto frontier,
 // the deployment view an HMD architect actually needs.
+//
+//   bench_sweep [--threads N] [--strategy name] [--csv out.csv]
+//               [--json out.json] [--artifact-cache DIR]
+//
+// The sweep runs through core::Pipeline, so --artifact-cache DIR enables
+// the spec-hash-keyed artifact cache: a repeated run with the same flags
+// reloads the previous SearchArtifact from DIR instead of re-searching
+// (bit-identical table/CSV/JSON output, "artifact cache: N hit(s)" on
+// stdout).
 #include <cstdio>
+#include <string>
 
 #include "arch/platform.hpp"
-#include "arch/reorg.hpp"
-#include "dse/search_driver.hpp"
+#include "core/pipeline.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
 #include "util/args.hpp"
+#include "util/csv.hpp"
 #include "util/format.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -23,8 +34,6 @@ int main(int argc, char** argv) {
 
   std::printf(
       "=== quantization x frequency sweep, ZU9CG, batch {1,2,2} ===\n\n");
-  auto model = arch::reorganize(nn::zoo::avatar_decoder());
-  FCAD_CHECK_MSG(model.is_ok(), model.status().message());
 
   dse::SearchSpec spec;
   spec.kind = dse::SearchKind::kSweep;
@@ -32,6 +41,7 @@ int main(int argc, char** argv) {
   spec.search.population = 100;
   spec.search.iterations = 12;
   spec.search.seed = 4242;
+  spec.strategy = args->get("strategy", "particle-swarm");
   auto threads_flag = args->get_int("threads", 0);
   if (!threads_flag.is_ok()) {
     std::fprintf(stderr, "error: %s\n",
@@ -40,10 +50,17 @@ int main(int argc, char** argv) {
   }
   spec.control.threads = static_cast<int>(*threads_flag);
   spec.customization.batch_sizes = {1, 2, 2};
+  const std::string csv_path = args->get("csv", "");
+  const std::string json_path = args->get("json", "");
 
-  auto outcome = dse::SearchDriver(*model, arch::platform_zu9cg()).run(spec);
-  FCAD_CHECK_MSG(outcome.is_ok(), outcome.status().message());
-  const std::vector<dse::SweepPoint>& points = outcome->sweep;
+  core::Pipeline pipeline(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  pipeline.set_artifact_cache_dir(args->get("artifact-cache", ""));
+  if (Status s = pipeline.optimize(spec); !s.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  const std::vector<dse::SweepPoint>& points =
+      pipeline.search()->outcome.sweep;
 
   TablePrinter t({"Q", "clock", "min FPS", "DSP", "BRAM", "BW (GB/s)",
                   "efficiency", "Pareto"});
@@ -61,5 +78,60 @@ int main(int argc, char** argv) {
       "shape to check: int8 dominates int16 at equal clock (DSP packing);\n"
       "FPS scales with clock until DDR bandwidth bites; the frontier should\n"
       "be int8 points ordered by clock.\n");
+  if (!pipeline.artifact_cache_dir().empty()) {
+    std::printf("artifact cache: %d hit(s), %d miss(es)\n",
+                pipeline.artifact_cache_hits(),
+                pipeline.artifact_cache_misses());
+  }
+
+  if (!csv_path.empty()) {
+    CsvWriter csv({"quantization", "freq_mhz", "min_fps", "dsps", "brams",
+                   "bw_gbps", "efficiency", "fitness", "feasible", "pareto"});
+    for (const dse::SweepPoint& p : points) {
+      const arch::AcceleratorEval& eval = p.result.eval;
+      csv.add_row({nn::to_string(p.quantization), format_fixed(p.freq_mhz, 0),
+                   format_fixed(eval.min_fps, 3), std::to_string(eval.dsps),
+                   std::to_string(eval.brams), format_fixed(eval.bw_gbps, 3),
+                   format_fixed(eval.efficiency, 4),
+                   format_fixed(p.result.fitness, 3),
+                   std::to_string(p.result.feasible ? 1 : 0),
+                   std::to_string(p.pareto_optimal ? 1 : 0)});
+    }
+    if (!csv.write_file(csv_path)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", csv_path.c_str());
+      return 1;
+    }
+    std::printf("csv written to %s\n", csv_path.c_str());
+  }
+  if (!json_path.empty()) {
+    JsonWriter json;
+    json.begin_object();
+    json.key("schema_version").value(1);
+    json.key("bench").value("sweep");
+    json.key("strategy").value(spec.strategy);
+    json.key("points").begin_array();
+    for (const dse::SweepPoint& p : points) {
+      const arch::AcceleratorEval& eval = p.result.eval;
+      json.begin_object();
+      json.key("quantization").value(nn::to_string(p.quantization));
+      json.key("freq_mhz").value(p.freq_mhz);
+      json.key("min_fps").value(eval.min_fps);
+      json.key("dsps").value(eval.dsps);
+      json.key("brams").value(eval.brams);
+      json.key("bw_gbps").value(eval.bw_gbps);
+      json.key("efficiency").value(eval.efficiency);
+      json.key("fitness").value(p.result.fitness);
+      json.key("feasible").value(p.result.feasible);
+      json.key("pareto").value(p.pareto_optimal);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    if (!json.write_file(json_path)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("json written to %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -44,6 +44,14 @@ void usage() {
       "  --population <n>      DSE candidates P (default 200)\n"
       "  --iterations <n>      DSE iterations N (default 20)\n"
       "  --seed <n>            DSE seed (default 1)\n"
+      "  --strategy <name>     search strategy (default particle-swarm; "
+      "see --list-strategies)\n"
+      "  --list-strategies     print the registered strategy names and "
+      "exit\n"
+      "  --artifact-cache <dir> spec-hash-keyed artifact cache: a repeated "
+      "run with identical\n"
+      "                        flags reloads its search artifact instead of "
+      "re-searching\n"
       "  --threads <n>         DSE evaluation threads (default: all cores; "
       "results are identical for any value)\n"
       "  --deadline-s <f>      wall-clock budget for the search (best-effort "
@@ -208,6 +216,13 @@ int run(const ArgParser& args) {
   spec.search.population = static_cast<int>(*population);
   spec.search.iterations = static_cast<int>(*iterations);
   spec.search.seed = static_cast<std::uint64_t>(*seed);
+  spec.strategy = args.get("strategy", "particle-swarm");
+  if (auto strategy = dse::strategy_factory(spec.strategy);
+      !strategy.is_ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 strategy.status().to_string().c_str());
+    return 1;
+  }
   spec.control.threads = static_cast<int>(*threads);
   spec.control.deadline_s = *deadline;
   if (args.has("progress")) {
@@ -221,6 +236,7 @@ int run(const ArgParser& args) {
   // Staged execution: analysis + construction always run; the optimization
   // stage either runs the search or re-enters a saved artifact.
   core::Pipeline pipeline(std::move(*graph), *platform);
+  pipeline.set_artifact_cache_dir(args.get("artifact-cache", ""));
   Status status = pipeline.construct();
   if (status.is_ok()) {
     if (args.has("load-artifact")) {
@@ -249,6 +265,11 @@ int run(const ArgParser& args) {
     return 1;
   }
 
+  if (!pipeline.artifact_cache_dir().empty() && !args.has("json")) {
+    std::printf("artifact cache: %d hit(s), %d miss(es)\n",
+                pipeline.artifact_cache_hits(),
+                pipeline.artifact_cache_misses());
+  }
   if (args.has("json")) {
     std::printf("%s\n", json_report(pipeline, *result).c_str());
   } else {
@@ -302,6 +323,12 @@ int main(int argc, char** argv) {
   }
   if (args->has("help")) {
     usage();
+    return 0;
+  }
+  if (args->has("list-strategies")) {
+    for (const std::string& name : fcad::dse::registered_strategy_names()) {
+      std::printf("%s\n", name.c_str());
+    }
     return 0;
   }
   return run(*args);

@@ -1,17 +1,24 @@
 #include "core/pipeline.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <utility>
 
 #include "analysis/profile.hpp"
 #include "arch/config_io.hpp"
+#include "dse/spec_hash.hpp"
+#include "nn/serialize.hpp"
+#include "util/log.hpp"
 
 namespace fcad::core {
 namespace {
 
-constexpr const char* kArtifactMagic = "fcad-search-artifact v1";
+constexpr const char* kArtifactMagic = "fcad-search-artifact v2";
 
 std::string format_double(double value) {
   char buffer[64];
@@ -30,6 +37,137 @@ StatusOr<dse::SearchKind> search_kind_by_name(const std::string& name) {
                                   "'");
 }
 
+StatusOr<nn::DataType> data_type_by_name(const std::string& name) {
+  for (nn::DataType dtype : {nn::DataType::kInt8, nn::DataType::kInt16}) {
+    if (name == nn::to_string(dtype)) return dtype;
+  }
+  return Status::invalid_argument("search artifact: unknown quantization '" +
+                                  name + "'");
+}
+
+std::size_t count_lines(const std::string& text) {
+  std::size_t lines = 0;
+  for (char c : text) lines += c == '\n';
+  return lines;
+}
+
+void write_doubles(std::ostringstream& os, const char* key,
+                   const std::vector<double>& values) {
+  os << key << " " << values.size();
+  for (double v : values) os << " " << format_double(v);
+  os << "\n";
+}
+
+/// One search result as key/value stats plus the line-counted config block
+/// (arch/config_io format). Shared by the winner and every sweep point. A
+/// result truncated before its first evaluation (cancelled run) has no
+/// configuration and serializes `config 0`. The fitness-cache hit/miss
+/// counters are diagnostics of the producing run and are not round-tripped.
+void write_search_block(std::ostringstream& os, const ReorgArtifact& reorg,
+                        const dse::SearchResult& result) {
+  os << "fitness " << format_double(result.fitness) << "\n";
+  os << "feasible " << (result.feasible ? 1 : 0) << "\n";
+  os << "stopped_early " << (result.stopped_early ? 1 : 0) << "\n";
+  os << "seconds " << format_double(result.seconds) << "\n";
+  os << "evaluations " << result.trace.evaluations << "\n";
+  os << "convergence_iteration " << result.trace.convergence_iteration
+     << "\n";
+  write_doubles(os, "best_fitness", result.trace.best_fitness);
+  write_doubles(os, "c_frac", result.distribution.c_frac);
+  write_doubles(os, "m_frac", result.distribution.m_frac);
+  write_doubles(os, "bw_frac", result.distribution.bw_frac);
+  const std::string config =
+      result.config.branches.empty()
+          ? std::string()
+          : arch::config_to_text(reorg.model, result.config);
+  os << "config " << count_lines(config) << "\n";
+  os << config;
+}
+
+/// Parses the block written by write_search_block. The configuration is
+/// re-evaluated under the quantized model — the same view the search reports
+/// its winner with — so a loaded result is immediately usable for reports,
+/// serving models, and simulation.
+StatusOr<dse::SearchResult> parse_search_block(const ReorgArtifact& reorg,
+                                               std::istream& in) {
+  dse::SearchResult result;
+  std::string line;
+  auto read_doubles = [](std::istringstream& fields, const std::string& count,
+                         std::vector<double>& out) {
+    const long n = std::strtol(count.c_str(), nullptr, 10);
+    out.clear();
+    for (long i = 0; i < n; ++i) {
+      double v = 0;
+      fields >> v;
+      if (fields.fail()) return false;
+      out.push_back(v);
+    }
+    return true;
+  };
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    std::string value;
+    fields >> value;
+    if (fields.fail()) {
+      return Status::invalid_argument(
+          "search artifact: result field '" + key + "' has no value");
+    }
+    if (key == "best_fitness" || key == "c_frac" || key == "m_frac" ||
+        key == "bw_frac") {
+      std::vector<double>& target =
+          key == "best_fitness" ? result.trace.best_fitness
+          : key == "c_frac"     ? result.distribution.c_frac
+          : key == "m_frac"     ? result.distribution.m_frac
+                                : result.distribution.bw_frac;
+      if (!read_doubles(fields, value, target)) {
+        return Status::invalid_argument("search artifact: malformed " + key +
+                                        " line");
+      }
+    } else if (key == "fitness") {
+      result.fitness = std::strtod(value.c_str(), nullptr);
+    } else if (key == "feasible") {
+      result.feasible = value == "1";
+    } else if (key == "stopped_early") {
+      result.stopped_early = value == "1";
+    } else if (key == "seconds") {
+      result.seconds = std::strtod(value.c_str(), nullptr);
+    } else if (key == "evaluations") {
+      result.trace.evaluations = std::strtoll(value.c_str(), nullptr, 10);
+    } else if (key == "convergence_iteration") {
+      result.trace.convergence_iteration =
+          static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (key == "config") {
+      const long lines = std::strtol(value.c_str(), nullptr, 10);
+      if (lines < 0) {
+        return Status::invalid_argument(
+            "search artifact: bad config line count");
+      }
+      if (lines == 0) return result;  // no winning config (cancelled run)
+      std::ostringstream config_text;
+      for (long i = 0; i < lines; ++i) {
+        if (!std::getline(in, line)) {
+          return Status::invalid_argument(
+              "search artifact: truncated config block");
+        }
+        config_text << line << "\n";
+      }
+      auto config = arch::config_from_text(reorg.model, config_text.str());
+      if (!config.is_ok()) return config.status();
+      result.config = std::move(config).value();
+      result.eval = arch::evaluate(reorg.model, result.config,
+                                   arch::EvalMode::kQuantized);
+      return result;
+    } else {
+      return Status::invalid_argument(
+          "search artifact: unknown result field '" + key + "'");
+    }
+  }
+  return Status::invalid_argument("search artifact: missing config section");
+}
+
 }  // namespace
 
 const dse::SearchResult& SearchArtifact::best() const {
@@ -39,17 +177,41 @@ const dse::SearchResult& SearchArtifact::best() const {
 
 std::string search_artifact_to_text(const ReorgArtifact& reorg,
                                     const SearchArtifact& artifact) {
-  const dse::SearchResult& best = artifact.best();
+  const dse::SearchOutcome& outcome = artifact.outcome;
   std::ostringstream os;
   os << kArtifactMagic << "\n";
-  os << "kind " << dse::to_string(artifact.outcome.kind) << "\n";
-  os << "fitness " << format_double(best.fitness) << "\n";
-  os << "feasible " << (best.feasible ? 1 : 0) << "\n";
-  os << "seconds " << format_double(best.seconds) << "\n";
-  os << "evaluations " << best.trace.evaluations << "\n";
-  os << "convergence_iteration " << best.trace.convergence_iteration << "\n";
-  os << "config\n";
-  os << arch::config_to_text(reorg.model, best.config);
+  os << "kind " << dse::to_string(outcome.kind) << "\n";
+  os << "cancelled " << (outcome.cancelled ? 1 : 0) << "\n";
+  if (outcome.kind == dse::SearchKind::kMaxBatch) {
+    os << "max_batch " << outcome.max_batch << "\n";
+  }
+  if (outcome.kind == dse::SearchKind::kConvergence) {
+    const dse::ConvergenceStats& stats = outcome.convergence;
+    os << "convergence " << stats.runs << " "
+       << format_double(stats.mean_iterations) << " "
+       << format_double(stats.min_iterations) << " "
+       << format_double(stats.max_iterations) << " "
+       << format_double(stats.mean_seconds) << " "
+       << format_double(stats.mean_fitness) << " "
+       << format_double(stats.fitness_spread) << "\n";
+  }
+  // kSweep/kConvergence outcomes have no winner slot of their own; every
+  // other kind writes its winning search (possibly config-less when the run
+  // was cancelled before the first evaluation).
+  if (outcome.kind != dse::SearchKind::kSweep &&
+      outcome.kind != dse::SearchKind::kConvergence) {
+    os << "result\n";
+    write_search_block(os, reorg, artifact.best());
+  }
+  for (const dse::SweepPoint& point : outcome.sweep) {
+    os << "sweep_point " << nn::to_string(point.quantization) << " "
+       << format_double(point.freq_mhz) << " "
+       << (point.pareto_optimal ? 1 : 0) << "\n";
+    write_search_block(os, reorg, point.result);
+  }
+  // Terminal marker: a torn or short-written file (crashed writer, full
+  // disk) must parse as truncated, never as a shorter-but-valid artifact.
+  os << "end\n";
   return os.str();
 }
 
@@ -64,56 +226,91 @@ StatusOr<SearchArtifact> search_artifact_from_text(const ReorgArtifact& reorg,
   }
 
   SearchArtifact artifact;
-  dse::SearchResult best;
-  bool saw_config = false;
+  bool saw_kind = false;
+  bool saw_result = false;
+  bool saw_end = false;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    if (line == "config") {
-      saw_config = true;
-      break;
-    }
     std::istringstream fields(line);
     std::string key;
     fields >> key;
-    std::string value;
-    fields >> value;
+    if (key == "end") {
+      saw_end = true;
+      break;
+    }
     if (key == "kind") {
+      std::string value;
+      fields >> value;
       auto kind = search_kind_by_name(value);
       if (!kind.is_ok()) return kind.status();
       artifact.outcome.kind = *kind;
-    } else if (key == "fitness") {
-      best.fitness = std::strtod(value.c_str(), nullptr);
-    } else if (key == "feasible") {
-      best.feasible = value == "1";
-    } else if (key == "seconds") {
-      best.seconds = std::strtod(value.c_str(), nullptr);
-    } else if (key == "evaluations") {
-      best.trace.evaluations = std::strtoll(value.c_str(), nullptr, 10);
-    } else if (key == "convergence_iteration") {
-      best.trace.convergence_iteration =
-          static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+      saw_kind = true;
+    } else if (key == "cancelled") {
+      std::string value;
+      fields >> value;
+      if (fields.fail()) {
+        return Status::invalid_argument(
+            "search artifact: malformed cancelled line");
+      }
+      artifact.outcome.cancelled = value == "1";
+    } else if (key == "max_batch") {
+      fields >> artifact.outcome.max_batch;
+      if (fields.fail()) {
+        return Status::invalid_argument(
+            "search artifact: malformed max_batch line");
+      }
+    } else if (key == "convergence") {
+      dse::ConvergenceStats& stats = artifact.outcome.convergence;
+      fields >> stats.runs >> stats.mean_iterations >> stats.min_iterations >>
+          stats.max_iterations >> stats.mean_seconds >> stats.mean_fitness >>
+          stats.fitness_spread;
+      if (fields.fail()) {
+        return Status::invalid_argument(
+            "search artifact: malformed convergence line");
+      }
+    } else if (key == "result") {
+      auto result = parse_search_block(reorg, in);
+      if (!result.is_ok()) return result.status();
+      if (artifact.outcome.kind == dse::SearchKind::kTraffic) {
+        artifact.outcome.traffic.search = std::move(result).value();
+      } else {
+        artifact.outcome.search = std::move(result).value();
+      }
+      saw_result = true;
+    } else if (key == "sweep_point") {
+      std::string quant;
+      dse::SweepPoint point;
+      std::string pareto;
+      fields >> quant >> point.freq_mhz >> pareto;
+      if (fields.fail()) {
+        return Status::invalid_argument(
+            "search artifact: malformed sweep_point line");
+      }
+      auto dtype = data_type_by_name(quant);
+      if (!dtype.is_ok()) return dtype.status();
+      point.quantization = *dtype;
+      point.pareto_optimal = pareto == "1";
+      auto result = parse_search_block(reorg, in);
+      if (!result.is_ok()) return result.status();
+      point.result = std::move(result).value();
+      artifact.outcome.sweep.push_back(std::move(point));
     } else {
       return Status::invalid_argument("search artifact: unknown field '" +
                                       key + "'");
     }
   }
-  if (!saw_config) {
-    return Status::invalid_argument("search artifact: missing config section");
+  if (!saw_kind) {
+    return Status::invalid_argument("search artifact: missing kind");
   }
-  std::ostringstream config_text;
-  config_text << in.rdbuf();
-  auto config = arch::config_from_text(reorg.model, config_text.str());
-  if (!config.is_ok()) return config.status();
-  best.config = std::move(config).value();
-  // Re-evaluate under the quantized model — the same view cross_branch_search
-  // reports its winner with — so a loaded artifact is immediately usable for
-  // reports, serving models, and simulation.
-  best.eval =
-      arch::evaluate(reorg.model, best.config, arch::EvalMode::kQuantized);
-  if (artifact.outcome.kind == dse::SearchKind::kTraffic) {
-    artifact.outcome.traffic.search = std::move(best);
-  } else {
-    artifact.outcome.search = std::move(best);
+  if (!saw_end) {
+    return Status::invalid_argument(
+        "search artifact: truncated (missing end marker)");
+  }
+  const bool needs_winner =
+      artifact.outcome.kind != dse::SearchKind::kConvergence &&
+      artifact.outcome.kind != dse::SearchKind::kSweep;
+  if (needs_winner && !saw_result) {
+    return Status::invalid_argument("search artifact: missing result block");
   }
   return artifact;
 }
@@ -138,13 +335,92 @@ Status Pipeline::construct() {
   return Status::ok();
 }
 
+std::string Pipeline::artifact_cache_key(const dse::SearchSpec& spec) const {
+  // kTraffic outcomes do not serialize whole (serving stats stay behind);
+  // a deadline makes results timing-dependent. Neither may be cached.
+  if (spec.kind == dse::SearchKind::kTraffic) return "";
+  if (spec.control.deadline_s > 0) return "";
+  // The graph and platform are fixed for the pipeline's lifetime; their
+  // digest (which serializes the whole graph) is computed once.
+  if (model_digest_.empty()) {
+    util::Hash128 model;
+    model.absorb_string(nn::to_text(graph_));
+    model.absorb_string(platform_.name);
+    model.absorb(static_cast<std::uint64_t>(platform_.dsps));
+    model.absorb(static_cast<std::uint64_t>(platform_.brams18k));
+    model.absorb_double(platform_.bw_gbps);
+    model.absorb_double(platform_.freq_mhz);
+    model.absorb(static_cast<std::uint64_t>(platform_.is_asic));
+    model_digest_ = model.hex();
+  }
+  util::Hash128 h = dse::spec_hash(spec);
+  h.absorb_string(model_digest_);
+  return h.hex();
+}
+
 Status Pipeline::optimize(const dse::SearchSpec& spec) {
   if (Status s = construct(); !s.is_ok()) return s;
+
+  const std::string key =
+      artifact_cache_dir_.empty() ? "" : artifact_cache_key(spec);
+  const std::filesystem::path cache_path =
+      key.empty() ? std::filesystem::path{}
+                  : std::filesystem::path(artifact_cache_dir_) /
+                        (key + ".artifact");
+  if (!key.empty()) {
+    std::ifstream in(cache_path);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      auto artifact = search_artifact_from_text(*reorg_, buffer.str());
+      if (artifact.is_ok() && artifact->outcome.kind == spec.kind) {
+        ++artifact_cache_hits_;
+        FCAD_LOG(kInfo) << "artifact cache hit: " << cache_path.string();
+        search_ = std::move(artifact).value();
+        sim_.reset();
+        return Status::ok();
+      }
+      // A stale or corrupt entry falls through to a fresh search (and is
+      // overwritten below).
+      FCAD_LOG(kWarn) << "artifact cache entry unreadable, re-searching: "
+                      << cache_path.string();
+    }
+    ++artifact_cache_misses_;
+  }
+
   const dse::SearchDriver driver(reorg_->model, platform_);
   auto outcome = driver.run(spec);
   if (!outcome.is_ok()) return outcome.status();
   search_ = SearchArtifact{std::move(outcome).value()};
   sim_.reset();  // stale: simulated a previous search stage
+
+  // A cancelled run is partial — never cache it. The write goes through a
+  // process-unique temp file + atomic rename so a crashed writer (or two
+  // runs sharing a cache dir) can never leave a torn entry behind; readers
+  // additionally require the artifact's terminal "end" marker.
+  if (!key.empty() && !search_->outcome.cancelled) {
+    std::error_code ec;
+    std::filesystem::create_directories(artifact_cache_dir_, ec);
+    const std::filesystem::path tmp_path =
+        cache_path.string() + ".tmp." + std::to_string(::getpid());
+    bool written = false;
+    {
+      std::ofstream out(tmp_path);
+      if (out) {
+        out << search_artifact_to_text(*reorg_, *search_);
+        written = out.good();
+      }
+    }
+    if (written) {
+      std::filesystem::rename(tmp_path, cache_path, ec);
+      written = !ec;
+    }
+    if (!written) {
+      std::filesystem::remove(tmp_path, ec);
+      FCAD_LOG(kWarn) << "artifact cache not writable: "
+                      << cache_path.string();
+    }
+  }
   return Status::ok();
 }
 

@@ -8,11 +8,18 @@
 // Each stage is produced once and cached, so repeated optimize() calls (a
 // serving sweep, a spec ladder) reuse the analysis/construction artifacts
 // instead of re-profiling the graph per configuration. The search artifact
-// serializes (reusing arch/config_io for the winning configuration) and
-// re-enters via load_search(), so a design found yesterday can be
-// re-evaluated, simulated, or reported today without re-searching.
+// serializes (reusing arch/config_io for the configurations) and re-enters
+// via load_search(), so a design found yesterday can be re-evaluated,
+// simulated, or reported today without re-searching.
 //
-// run() is the one-shot convenience covering the legacy core::Flow::run.
+// On top of the explicit save/load round trip, optimize() can consult a
+// spec-hash-keyed artifact cache (set_artifact_cache_dir): each cacheable
+// spec maps to a 128-bit key over the spec, the model text, and the
+// platform, and a key hit reloads the previous run's bit-identical
+// SearchArtifact from disk instead of re-searching — so kSweep/kConvergence
+// studies resume across process restarts.
+//
+// run() is the one-shot convenience covering the whole flow.
 #pragma once
 
 #include <optional>
@@ -51,14 +58,18 @@ struct SimArtifact {
   sim::SimResult result;
 };
 
-/// Text serialization of a search artifact: a small stats header plus the
-/// winning configuration in the arch/config_io format. Stable across runs;
-/// doubles round-trip bit-exactly.
+/// Text serialization of a search artifact: the outcome header, the winning
+/// search (stats, convergence curve, winning distribution, configuration in
+/// the arch/config_io format), and — for kSweep/kConvergence — every grid
+/// point / the aggregate statistics, so those outcomes re-enter whole.
+/// Stable across runs; doubles round-trip bit-exactly. Not round-tripped:
+/// kTraffic serving stats, and the fitness-cache hit/miss counters (pure
+/// diagnostics of the producing run — they reload as zero).
 std::string search_artifact_to_text(const ReorgArtifact& reorg,
                                     const SearchArtifact& artifact);
 
 /// Parses a serialized search artifact against `reorg` (stage names must
-/// match the model) and re-evaluates the configuration, so the artifact
+/// match the model) and re-evaluates the configurations, so the artifact
 /// re-enters the pipeline exactly where the search left off.
 StatusOr<SearchArtifact> search_artifact_from_text(const ReorgArtifact& reorg,
                                                    const std::string& text);
@@ -70,7 +81,7 @@ struct PipelineOptions {
   sim::SimOptions sim;
 };
 
-/// Flat result of a full pipeline pass (the legacy FlowResult shape).
+/// Flat result of a full pipeline pass.
 struct PipelineResult {
   analysis::GraphProfile profile;
   analysis::BranchDecomposition decomposition;
@@ -86,9 +97,10 @@ class Pipeline {
 
   // ---- staged execution --------------------------------------------------
   // Stages cache their artifact: a second call is free. optimize() is the
-  // exception — every call runs the given spec and replaces the cached
-  // search artifact (clearing any stale simulation). Later stages pull in
-  // their prerequisites automatically.
+  // exception — every call runs the given spec (or reloads it from the
+  // artifact cache) and replaces the cached search artifact (clearing any
+  // stale simulation). Later stages pull in their prerequisites
+  // automatically.
 
   Status analyze();
   Status construct();
@@ -113,9 +125,35 @@ class Pipeline {
   /// (running analysis/construction first when needed).
   Status load_search(const std::string& text);
 
+  // ---- spec-hash artifact cache ------------------------------------------
+
+  /// Enables the on-disk artifact cache under `dir` ("" disables, the
+  /// default). With a cache dir set, optimize() computes the spec's cache
+  /// key, reloads `<dir>/<key>.artifact` on a hit (no search runs), and
+  /// writes the artifact there after a cache-miss search — so repeated
+  /// sweeps and convergence studies resume across process restarts. Entries
+  /// invalidate themselves: any spec/model/platform change changes the key.
+  void set_artifact_cache_dir(std::string dir) {
+    artifact_cache_dir_ = std::move(dir);
+  }
+  const std::string& artifact_cache_dir() const {
+    return artifact_cache_dir_;
+  }
+
+  /// The cache key optimize() would use for `spec`: 32 hex digits over the
+  /// spec hash, the model text, and the platform. "" when the spec is not
+  /// cacheable — kTraffic outcomes do not serialize whole, and a RunControl
+  /// deadline makes results timing-dependent.
+  std::string artifact_cache_key(const dse::SearchSpec& spec) const;
+
+  /// Cache traffic of this pipeline's optimize() calls (only counted while
+  /// a cache dir is set and the spec is cacheable).
+  int artifact_cache_hits() const { return artifact_cache_hits_; }
+  int artifact_cache_misses() const { return artifact_cache_misses_; }
+
   // ---- one-shot convenience ----------------------------------------------
 
-  /// Flattens the cached stages into the legacy result shape. Fails unless
+  /// Flattens the cached stages into the flat result shape. Fails unless
   /// analyze/construct and a search (run or loaded) have completed.
   StatusOr<PipelineResult> result() const;
 
@@ -133,6 +171,12 @@ class Pipeline {
   std::optional<ReorgArtifact> reorg_;
   std::optional<SearchArtifact> search_;
   std::optional<SimArtifact> sim_;
+  std::string artifact_cache_dir_;
+  /// Lazily computed graph+platform digest feeding artifact_cache_key()
+  /// (both are fixed for the pipeline's lifetime).
+  mutable std::string model_digest_;
+  int artifact_cache_hits_ = 0;
+  int artifact_cache_misses_ = 0;
 };
 
 }  // namespace fcad::core

@@ -1,23 +1,10 @@
 #include "dse/cross_branch.hpp"
 
-#include <algorithm>
-#include <chrono>
-
 #include "dse/fitness_cache.hpp"
-#include "util/log.hpp"
-#include "util/rng.hpp"
-#include "util/thread_pool.hpp"
+#include "dse/strategy.hpp"
 
 namespace fcad::dse {
 namespace {
-
-ResourceDistribution random_distribution(Rng& rng, int branches) {
-  ResourceDistribution rd;
-  rd.c_frac = rng.next_simplex(static_cast<std::size_t>(branches));
-  rd.m_frac = rng.next_simplex(static_cast<std::size_t>(branches));
-  rd.bw_frac = rng.next_simplex(static_cast<std::size_t>(branches));
-  return rd;
-}
 
 void normalize_fractions(std::vector<double>& frac) {
   double sum = 0;
@@ -29,6 +16,8 @@ void normalize_fractions(std::vector<double>& frac) {
   for (double& f : frac) f /= sum;
 }
 
+}  // namespace
+
 /// Demand-proportional warm start: compute fractions follow each branch's
 /// owned MAC work x batch target; memory fractions follow the branch's
 /// minimum-parallelism BRAM floor (line buffers and overheads do not shrink
@@ -36,13 +25,6 @@ void normalize_fractions(std::vector<double>& frac) {
 /// target no matter how the search evolves); bandwidth follows stream bytes.
 /// Seeding the swarm with this point (and jittered copies) lets the search
 /// find the narrow feasible sliver on BRAM-tight cases.
-ResourceDistribution demand_distribution(const arch::ReorganizedModel& model,
-                                         const Customization& cust) {
-  return demand_proportional_distribution(model, cust);
-}
-
-}  // namespace
-
 ResourceDistribution demand_proportional_distribution(
     const arch::ReorganizedModel& model, const Customization& cust) {
   const int B = model.num_branches();
@@ -79,33 +61,6 @@ ResourceDistribution demand_proportional_distribution(
   normalize_fractions(rd.m_frac);
   normalize_fractions(rd.bw_frac);
   return rd;
-}
-
-/// Projects a fraction vector back onto the simplex (non-negative floor, sum
-/// of 1) after an evolution move.
-void renormalize(std::vector<double>& frac) {
-  constexpr double kFloor = 0.01;
-  double sum = 0;
-  for (double& f : frac) {
-    f = std::max(f, kFloor);
-    sum += f;
-  }
-  for (double& f : frac) f /= sum;
-}
-
-/// One PSO-style move of `frac` toward the local and global bests by a
-/// random distance, plus uniform jitter (Algorithm 1, line 16).
-void evolve(std::vector<double>& frac, const std::vector<double>& local_best,
-            const std::vector<double>& global_best,
-            const CrossBranchOptions& opt, Rng& rng) {
-  const double r1 = rng.next_double() * opt.w_local;
-  const double r2 = rng.next_double() * opt.w_global;
-  for (std::size_t j = 0; j < frac.size(); ++j) {
-    frac[j] += r1 * (local_best[j] - frac[j]) +
-               r2 * (global_best[j] - frac[j]) +
-               rng.next_range(-opt.jitter, opt.jitter);
-  }
-  renormalize(frac);
 }
 
 DistributionEval evaluate_distribution(const arch::ReorganizedModel& model,
@@ -166,6 +121,10 @@ DistributionEval evaluate_distribution(const arch::ReorganizedModel& model,
     input.fps = std::move(fps);
     input.priorities = cust.priorities;
     input.unmet_targets = unmet;
+    input.min_fps = ce.eval.min_fps;
+    input.dsps = ce.eval.dsps;
+    input.brams = ce.eval.brams;
+    input.bw_gbps = ce.eval.bw_gbps;
     ce.fitness = opt.objective.score(input);
   }
   ce.feasible = unmet == 0;
@@ -178,117 +137,10 @@ SearchResult cross_branch_search(const arch::ReorganizedModel& model,
                                  const Customization& customization,
                                  const CrossBranchOptions& options,
                                  const RunScope* scope) {
-  FCAD_CHECK(options.population >= 1 && options.iterations >= 1);
-  FCAD_CHECK(customization.batch_sizes.size() ==
-             static_cast<std::size_t>(model.num_branches()));
-  const auto t0 = std::chrono::steady_clock::now();
-  Rng rng(options.seed);
-  util::ThreadPool& pool = util::ThreadPool::shared(options.threads);
-  FitnessCache cache;
-
-  const int B = model.num_branches();
-  struct Particle {
-    ResourceDistribution rd;
-    ResourceDistribution best_rd;  ///< rd_i^best
-    double best_fitness = -1e300;
-  };
-
-  SearchResult result;
-  result.fitness = -1e300;
-
-  // Line 4: initial population RD^0 — mostly random, seeded with the
-  // demand-proportional warm start plus jittered variants of it (about a
-  // tenth of the swarm).
-  std::vector<Particle> swarm(static_cast<std::size_t>(options.population));
-  const ResourceDistribution demand = demand_distribution(model, customization);
-  const int warm = std::max(1, options.population / 10);
-  for (int i = 0; i < options.population; ++i) {
-    Particle& p = swarm[static_cast<std::size_t>(i)];
-    if (i < warm) {
-      p.rd = demand;
-      if (i > 0) {  // jittered copies around the warm start
-        for (auto* frac : {&p.rd.c_frac, &p.rd.m_frac, &p.rd.bw_frac}) {
-          for (double& f : *frac) f += rng.next_range(-0.05, 0.05);
-          renormalize(*frac);
-        }
-      }
-    } else {
-      p.rd = random_distribution(rng, B);
-    }
-    p.best_rd = p.rd;
-  }
-
-  std::vector<SearchTrace> local_traces(swarm.size());
-  for (int iter = 0; iter < options.iterations; ++iter) {
-    if (scope != nullptr && scope->should_stop()) {
-      result.stopped_early = true;
-      break;
-    }
-    // Line 12: score every particle. Evaluation is a pure function of the
-    // particle's rd, so the swarm fans out across the pool; the best-update
-    // reduction below walks the results in particle order, keeping the
-    // outcome bit-identical to a serial sweep.
-    const std::vector<DistributionEval> evals =
-        pool.parallel_map<DistributionEval>(
-            static_cast<std::int64_t>(swarm.size()), [&](std::int64_t i) {
-              const auto idx = static_cast<std::size_t>(i);
-              return evaluate_distribution(model, budget, swarm[idx].rd,
-                                           customization, options,
-                                           local_traces[idx], &cache);
-            });
-    for (std::size_t i = 0; i < swarm.size(); ++i) {
-      Particle& p = swarm[i];
-      const DistributionEval& ce = evals[i];
-      // Line 13: update local and global bests.
-      if (ce.fitness > p.best_fitness) {
-        p.best_fitness = ce.fitness;
-        p.best_rd = p.rd;
-      }
-      if (ce.fitness > result.fitness) {
-        result.fitness = ce.fitness;
-        result.config = ce.config;
-        result.eval = ce.eval;
-        result.distribution = p.rd;
-        result.feasible = ce.feasible;
-        result.trace.convergence_iteration = iter + 1;
-      }
-    }
-    result.trace.best_fitness.push_back(result.fitness);
-    FCAD_LOG(kInfo) << "cross-branch iter " << (iter + 1) << "/"
-                    << options.iterations << " best fitness "
-                    << result.fitness;
-    if (scope != nullptr) {
-      scope->emit({options.progress_label, iter + 1, options.iterations,
-                   result.fitness});
-    }
-    // Line 16: evolve every particle toward its bests.
-    for (Particle& p : swarm) {
-      evolve(p.rd.c_frac, p.best_rd.c_frac, result.distribution.c_frac,
-             options, rng);
-      evolve(p.rd.m_frac, p.best_rd.m_frac, result.distribution.m_frac,
-             options, rng);
-      evolve(p.rd.bw_frac, p.best_rd.bw_frac, result.distribution.bw_frac,
-             options, rng);
-    }
-  }
-
-  for (const SearchTrace& local : local_traces) {
-    result.trace.evaluations += local.evaluations;
-  }
-  result.trace.cache_hits = cache.hits();
-  result.trace.cache_misses = cache.misses();
-
-  // Report the winner under quantized evaluation — what the generated RTL
-  // would actually do. (Divisor-exact configs make this a no-op; non-divisor
-  // factors would surface their ceil waste here.)
-  if (!result.config.branches.empty()) {
-    result.eval =
-        arch::evaluate(model, result.config, arch::EvalMode::kQuantized);
-  }
-  result.seconds = std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - t0)
-                       .count();
-  return result;
+  auto result = run_search_strategy(kDefaultStrategy, model, budget,
+                                    customization, options, scope);
+  FCAD_CHECK_MSG(result.is_ok(), result.status().message());
+  return std::move(result).value();
 }
 
 }  // namespace fcad::dse

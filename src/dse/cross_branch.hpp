@@ -1,8 +1,11 @@
-// Cross-branch stochastic optimization (Algorithm 1): a particle-swarm-style
-// search over resource distribution schemes. Each of P candidates is a
-// per-branch split of {Cmax, Mmax, BWmax}; per iteration every candidate is
-// configured by the in-branch greedy search, scored by the fitness function,
-// and evolved a random distance toward its local best and the global best.
+// Cross-branch search vocabulary: options, traces, results, and the shared
+// candidate evaluation (in-branch greedy configuration + fitness) every
+// search strategy optimizes. The search algorithms themselves live behind
+// the pluggable dse::Strategy interface (dse/strategy.hpp); Algorithm 1 —
+// the particle-swarm search over resource distribution schemes, where each
+// of P candidates is a per-branch split of {Cmax, Mmax, BWmax} — is the
+// registered "particle-swarm" strategy, reachable directly through
+// cross_branch_search() below.
 #pragma once
 
 #include <cstdint>
@@ -41,7 +44,7 @@ struct CrossBranchOptions {
   /// Candidate objective. Empty scores the legacy fitness_score() with
   /// `fitness` (bit-identical to Objective::batch_fitness(fitness)); a
   /// non-empty composition replaces it for this search and for every
-  /// strategy in dse/strategies.hpp.
+  /// registered strategy (dse/strategy.hpp).
   Objective objective;
   /// Stage name used in ProgressEvents emitted by this search.
   std::string progress_label = "search";
@@ -72,7 +75,8 @@ struct SearchResult {
   bool stopped_early = false;
 };
 
-/// Runs Algorithm 1. `customization` must already be normalized. When
+/// Runs Algorithm 1 (the registered "particle-swarm" strategy under the
+/// shared strategy loop). `customization` must already be normalized. When
 /// `scope` is set, the loop polls it between iterations (cooperative
 /// cancellation / deadline) and emits one ProgressEvent per iteration.
 SearchResult cross_branch_search(const arch::ReorganizedModel& model,
@@ -82,9 +86,10 @@ SearchResult cross_branch_search(const arch::ReorganizedModel& model,
                                  const RunScope* scope = nullptr);
 
 /// Evaluation of one resource-distribution candidate: in-branch greedy
-/// configuration (Algorithm 2) per branch + fitness. Exposed so alternative
-/// search strategies (dse/strategies.hpp) optimize exactly the same
-/// objective as Algorithm 1.
+/// configuration (Algorithm 2) per branch + fitness. The shared strategy
+/// loop (dse/strategy.hpp) scores every proposed candidate through this one
+/// function, so all strategies optimize exactly the same objective as
+/// Algorithm 1.
 struct DistributionEval {
   arch::AcceleratorConfig config;
   arch::AcceleratorEval eval;

@@ -1,51 +1,30 @@
 #include "dse/fitness_cache.hpp"
 
-#include <cstring>
+#include "util/hash.hpp"
 
 namespace fcad::dse {
-namespace {
-
-std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
-  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  h *= 0xff51afd7ed558ccdULL;
-  return h ^ (h >> 33);
-}
-
-std::uint64_t double_bits(double v) {
-  std::uint64_t bits;
-  std::memcpy(&bits, &v, sizeof(bits));
-  return bits;
-}
-
-}  // namespace
 
 FitnessCache::Key FitnessCache::config_key(const arch::AcceleratorConfig& config,
                                            std::uint64_t met_mask,
                                            arch::EvalMode mode) {
-  // Two accumulators over the same word stream, decorrelated by seed.
-  std::uint64_t lo = 0x243f6a8885a308d3ULL;
-  std::uint64_t hi = 0x13198a2e03707344ULL;
-  auto absorb = [&](std::uint64_t v) {
-    lo = mix(lo, v);
-    hi = mix(hi, ~v);
-  };
-  absorb(met_mask);
-  absorb(static_cast<std::uint64_t>(mode));
-  absorb(static_cast<std::uint64_t>(config.dw));
-  absorb(static_cast<std::uint64_t>(config.ww));
-  absorb(double_bits(config.freq_mhz));
-  absorb(config.branches.size());
+  util::Hash128 h;
+  h.absorb(met_mask);
+  h.absorb(static_cast<std::uint64_t>(mode));
+  h.absorb(static_cast<std::uint64_t>(config.dw));
+  h.absorb(static_cast<std::uint64_t>(config.ww));
+  h.absorb_double(config.freq_mhz);
+  h.absorb(config.branches.size());
   for (const arch::BranchHardwareConfig& branch : config.branches) {
-    absorb(static_cast<std::uint64_t>(branch.batch));
-    absorb(branch.units.size());
+    h.absorb(static_cast<std::uint64_t>(branch.batch));
+    h.absorb(branch.units.size());
     for (const arch::UnitConfig& unit : branch.units) {
-      absorb((static_cast<std::uint64_t>(static_cast<std::uint32_t>(unit.cpf))
-              << 32) |
-             static_cast<std::uint32_t>(unit.kpf));
-      absorb(static_cast<std::uint64_t>(static_cast<std::uint32_t>(unit.h)));
+      h.absorb((static_cast<std::uint64_t>(static_cast<std::uint32_t>(unit.cpf))
+                << 32) |
+               static_cast<std::uint32_t>(unit.kpf));
+      h.absorb(static_cast<std::uint64_t>(static_cast<std::uint32_t>(unit.h)));
     }
   }
-  return Key{lo, hi};
+  return Key{h.lo, h.hi};
 }
 
 std::shared_ptr<const FitnessCache::Entry> FitnessCache::find(const Key& key) {

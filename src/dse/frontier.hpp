@@ -1,0 +1,51 @@
+// Generalized Pareto-frontier extraction over any pair of Objective terms.
+//
+// The sweep path used to hard-wire its frontier to (min FPS up, DSPs down);
+// extract_frontier replaces that with term-pair extraction: both axes are
+// Objective terms (higher is better — minimized quantities enter negated,
+// e.g. Objective::dsp_cost()), so the same machinery marks frontiers over
+// (throughput, feasibility), (users served, DSPs), (min FPS, bandwidth), or
+// any custom term a caller registers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dse/objective.hpp"
+#include "dse/search_driver.hpp"
+
+namespace fcad::dse {
+
+/// One scored candidate of a frontier extraction.
+struct FrontierPoint {
+  std::size_t index = 0;  ///< position in the candidate set
+  double a = 0;           ///< weighted value of term_a (higher is better)
+  double b = 0;           ///< weighted value of term_b (higher is better)
+  bool feasible = false;  ///< candidate met its targets (unmet_targets == 0)
+  bool on_frontier = false;
+};
+
+/// Marks the Pareto-maximal set of `candidates` under (term_a, term_b). A
+/// candidate is dominated when another *feasible* candidate is no worse on
+/// both axes and strictly better on one; infeasible candidates never make
+/// the frontier (but are still scored, for reporting). Term weights scale
+/// the reported values and never change the frontier (weights are positive).
+std::vector<FrontierPoint> extract_frontier(
+    const std::vector<ObjectiveInput>& candidates,
+    const Objective::Term& term_a, const Objective::Term& term_b);
+
+/// The candidate set an outcome exposes to frontier extraction: one input
+/// per grid point for kSweep (priorities default to 1 — the customization is
+/// not recorded in the outcome), the winning serving candidate for kTraffic
+/// (serving fields filled), and the single winning search otherwise.
+std::vector<ObjectiveInput> frontier_candidates(const SearchOutcome& outcome);
+
+/// extract_frontier over frontier_candidates(outcome). For a kSweep outcome
+/// with term_a = Objective::min_throughput() and term_b =
+/// Objective::dsp_cost() this reproduces the classic (min FPS up, DSPs down)
+/// sweep frontier exactly.
+std::vector<FrontierPoint> extract_frontier(const SearchOutcome& outcome,
+                                            const Objective::Term& term_a,
+                                            const Objective::Term& term_b);
+
+}  // namespace fcad::dse

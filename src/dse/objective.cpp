@@ -60,6 +60,28 @@ Objective::Term Objective::feasibility() {
           }};
 }
 
+Objective::Term Objective::min_throughput() {
+  return {"min-fps", 1.0,
+          [](const ObjectiveInput& in) { return in.min_fps; }};
+}
+
+Objective::Term Objective::dsp_cost() {
+  return {"dsps", 1.0, [](const ObjectiveInput& in) {
+            return -static_cast<double>(in.dsps);
+          }};
+}
+
+Objective::Term Objective::bram_cost() {
+  return {"brams", 1.0, [](const ObjectiveInput& in) {
+            return -static_cast<double>(in.brams);
+          }};
+}
+
+Objective::Term Objective::bandwidth_cost() {
+  return {"bandwidth", 1.0,
+          [](const ObjectiveInput& in) { return -in.bw_gbps; }};
+}
+
 Objective::Term Objective::users_served() {
   return {"users", 1.0, [](const ObjectiveInput& in) {
             FCAD_CHECK(in.users_served >= 0);

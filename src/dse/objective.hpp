@@ -28,6 +28,13 @@ struct ObjectiveInput {
   std::vector<double> priorities;  ///< per-branch customization priorities
   int unmet_targets = 0;           ///< branches missing their batch target
                                    ///< (+1 when the global budget is blown)
+  /// Hardware totals of the evaluated configuration, so objectives (and
+  /// frontier extraction, dse/frontier.hpp) can trade throughput against
+  /// resource cost.
+  double min_fps = 0;   ///< slowest-branch throughput
+  int dsps = 0;         ///< DSP slices consumed
+  int brams = 0;        ///< BRAM18K blocks consumed
+  double bw_gbps = 0;   ///< DDR bandwidth consumed
   bool has_serving = false;
   int users_served = 0;            ///< user streams served within the SLA
   double p99_latency_us = 0;       ///< serving tail latency
@@ -62,6 +69,13 @@ class Objective {
   static Term throughput();   ///< sum_j fps_j * priority_j
   static Term balance();      ///< -Var(fps) (weight carries alpha)
   static Term feasibility();  ///< -unmet_targets (weight carries the demerit)
+  static Term min_throughput();  ///< slowest-branch FPS
+  /// Resource-cost terms enter negated (objectives maximize), so "fewer
+  /// DSPs" and "less bandwidth" are higher term values — which is also the
+  /// orientation dse::extract_frontier expects.
+  static Term dsp_cost();        ///< -DSPs consumed
+  static Term bram_cost();       ///< -BRAM18Ks consumed
+  static Term bandwidth_cost();  ///< -GB/s consumed
   static Term users_served(); ///< served user streams
   /// Sub-unit tie-break bonus within the bound, hard demerit over it
   /// (the piecewise headroom shaping of sla_fitness_score).

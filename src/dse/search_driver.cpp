@@ -1,9 +1,11 @@
 #include "dse/search_driver.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <utility>
 
+#include "dse/frontier.hpp"
 #include "serving/service.hpp"
 #include "sim/simulator.hpp"
 #include "util/format.hpp"
@@ -27,8 +29,19 @@ const char* to_string(SearchKind kind) {
   return "unknown";
 }
 
+SearchResult SearchDriver::RunContext::search(
+    const arch::ReorganizedModel& model, const ResourceBudget& budget,
+    const Customization& cust, const CrossBranchOptions& opt) const {
+  const std::unique_ptr<Strategy> instance = strategy();
+  return run_strategy(*instance, StrategyContext{model, budget, cust, opt},
+                      &scope);
+}
+
 StatusOr<SearchOutcome> SearchDriver::run(const SearchSpec& spec) const {
   const RunScope scope(spec.control);
+
+  auto strategy = strategy_factory(spec.strategy);
+  if (!strategy.is_ok()) return strategy.status();
 
   Customization customization = spec.customization;
   if (Status s = customization.normalize(model_.num_branches()); !s.is_ok()) {
@@ -43,37 +56,36 @@ StatusOr<SearchOutcome> SearchDriver::run(const SearchSpec& spec) const {
     options.objective = spec.objective;
   }
 
+  const RunContext run{customization, options, *strategy, scope};
   switch (spec.kind) {
     case SearchKind::kOptimize:
-      return run_optimize(spec, customization, options, scope);
+      return run_optimize(spec, run);
     case SearchKind::kMaxBatch:
-      return run_max_batch(spec, customization, options, scope);
+      return run_max_batch(spec, run);
     case SearchKind::kConvergence:
-      return run_convergence(spec, customization, options, scope);
+      return run_convergence(spec, run);
     case SearchKind::kSweep:
-      return run_sweep(spec, customization, options, scope);
+      return run_sweep(spec, run);
     case SearchKind::kTraffic:
-      return run_traffic(spec, customization, options, scope);
+      return run_traffic(spec, run);
   }
   return Status::invalid_argument("SearchSpec: unknown kind");
 }
 
 StatusOr<SearchOutcome> SearchDriver::run_optimize(
-    const SearchSpec& spec, const Customization& customization,
-    const CrossBranchOptions& options, const RunScope& scope) const {
+    const SearchSpec& spec, const RunContext& run) const {
   (void)spec;
   SearchOutcome outcome;
   outcome.kind = SearchKind::kOptimize;
   const ResourceBudget budget = ResourceBudget::from_platform(platform_);
   outcome.search =
-      cross_branch_search(model_, budget, customization, options, &scope);
+      run.search(model_, budget, run.customization, run.options);
   outcome.cancelled = outcome.search.stopped_early;
   return outcome;
 }
 
 StatusOr<SearchOutcome> SearchDriver::run_max_batch(
-    const SearchSpec& spec, const Customization& customization,
-    const CrossBranchOptions& options, const RunScope& scope) const {
+    const SearchSpec& spec, const RunContext& run) const {
   if (spec.batch_branch < 0 || spec.batch_branch >= model_.num_branches()) {
     return Status::invalid_argument("SearchSpec.batch_branch: bad index");
   }
@@ -94,14 +106,13 @@ StatusOr<SearchOutcome> SearchDriver::run_max_batch(
   // one is unreliable — the caller sees `aborted` and we stop probing.
   bool aborted = false;
   auto feasible_at = [&](int batch) {
-    Customization cust = customization;
+    Customization cust = run.customization;
     cust.batch_sizes[static_cast<std::size_t>(spec.batch_branch)] = batch;
-    CrossBranchOptions opt = options;
+    CrossBranchOptions opt = run.options;
     opt.progress_label = "max-batch probe b=" + std::to_string(batch);
-    SearchResult result = cross_branch_search(model_, budget, cust, opt,
-                                              &scope);
+    SearchResult result = run.search(model_, budget, cust, opt);
     ++probes;
-    scope.emit({"max-batch", probes, 0, result.fitness});
+    run.scope.emit({"max-batch", probes, 0, result.fitness});
     outcome.cancelled |= result.stopped_early;
     const bool feasible = result.feasible;
     if (feasible || outcome.search.config.branches.empty()) {
@@ -119,7 +130,7 @@ StatusOr<SearchOutcome> SearchDriver::run_max_batch(
   int lo = 1;  // feasible
   int hi = 1;
   while (hi < spec.batch_probe_limit && !aborted) {
-    if (scope.should_stop()) {
+    if (run.scope.should_stop()) {
       outcome.cancelled = true;
       break;
     }
@@ -131,7 +142,7 @@ StatusOr<SearchOutcome> SearchDriver::run_max_batch(
     }
   }
   while (hi - lo > 1 && !aborted) {  // lo == hi: feasible to the probe limit
-    if (scope.should_stop()) {
+    if (run.scope.should_stop()) {
       outcome.cancelled = true;
       break;
     }
@@ -143,8 +154,7 @@ StatusOr<SearchOutcome> SearchDriver::run_max_batch(
 }
 
 StatusOr<SearchOutcome> SearchDriver::run_convergence(
-    const SearchSpec& spec, const Customization& customization,
-    const CrossBranchOptions& options, const RunScope& scope) const {
+    const SearchSpec& spec, const RunContext& run) const {
   const int runs = spec.convergence_runs;
   if (runs < 1) {
     return Status::invalid_argument(
@@ -160,17 +170,16 @@ StatusOr<SearchOutcome> SearchDriver::run_convergence(
   // The independent searches are the outermost (and cheapest-to-split)
   // parallelism axis: each run is pre-seeded here, executed on the pool, and
   // aggregated below in run order.
-  util::ThreadPool& pool = util::ThreadPool::shared(options.threads);
+  util::ThreadPool& pool = util::ThreadPool::shared(run.options.threads);
   const std::vector<SearchResult> results = pool.parallel_map<SearchResult>(
       runs, [&](std::int64_t r) {
-        CrossBranchOptions opt = options;
-        opt.seed = options.seed +
+        CrossBranchOptions opt = run.options;
+        opt.seed = run.options.seed +
                    7919ULL * (static_cast<std::uint64_t>(r) + 1);
         opt.progress_label =
             "convergence run " + std::to_string(r + 1) + "/" +
             std::to_string(runs);
-        return cross_branch_search(model_, budget, customization, opt,
-                                   &scope);
+        return run.search(model_, budget, run.customization, opt);
       });
 
   double min_fitness = 0;
@@ -195,13 +204,12 @@ StatusOr<SearchOutcome> SearchDriver::run_convergence(
   stats.mean_seconds /= runs;
   stats.mean_fitness /= runs;
   stats.fitness_spread = max_fitness - min_fitness;
-  scope.emit({"convergence", runs, runs, stats.mean_fitness});
+  run.scope.emit({"convergence", runs, runs, stats.mean_fitness});
   return outcome;
 }
 
 StatusOr<SearchOutcome> SearchDriver::run_sweep(
-    const SearchSpec& spec, const Customization& customization,
-    const CrossBranchOptions& options, const RunScope& scope) const {
+    const SearchSpec& spec, const RunContext& run) const {
   if (spec.sweep.quantizations.empty() ||
       spec.sweep.frequencies_mhz.empty()) {
     return Status::invalid_argument("SearchSpec.sweep: empty grid");
@@ -226,22 +234,21 @@ StatusOr<SearchOutcome> SearchDriver::run_sweep(
     }
   }
 
-  util::ThreadPool& pool = util::ThreadPool::shared(options.threads);
+  util::ThreadPool& pool = util::ThreadPool::shared(run.options.threads);
   std::vector<SearchResult> results = pool.parallel_map<SearchResult>(
       static_cast<std::int64_t>(grid.size()), [&](std::int64_t i) {
         const SweepPoint& point = grid[static_cast<std::size_t>(i)];
-        Customization cust = customization;
+        Customization cust = run.customization;
         cust.quantization = point.quantization;
-        CrossBranchOptions opt = options;
+        CrossBranchOptions opt = run.options;
         opt.freq_mhz = point.freq_mhz;
         opt.progress_label = "sweep " +
                              std::string(nn::to_string(point.quantization)) +
                              "@" + format_fixed(point.freq_mhz, 0) + "MHz";
         arch::Platform platform = platform_;
         platform.freq_mhz = point.freq_mhz;
-        return cross_branch_search(model_,
-                                   ResourceBudget::from_platform(platform),
-                                   cust, opt, &scope);
+        return run.search(model_, ResourceBudget::from_platform(platform),
+                          cust, opt);
       });
 
   std::vector<SweepPoint>& points = outcome.sweep;
@@ -251,25 +258,13 @@ StatusOr<SearchOutcome> SearchDriver::run_sweep(
     points[i].result = std::move(results[i]);
   }
 
-  // Pareto frontier: maximize min-FPS, minimize DSPs. A point is dominated
-  // when another point has >= FPS with <= DSPs (and is strictly better on
-  // one axis). Infeasible points never make the frontier.
-  for (SweepPoint& p : points) {
-    if (!p.result.feasible) continue;
-    bool dominated = false;
-    for (const SweepPoint& q : points) {
-      if (&p == &q || !q.result.feasible) continue;
-      const bool no_worse = q.result.eval.min_fps >= p.result.eval.min_fps &&
-                            q.result.eval.dsps <= p.result.eval.dsps;
-      const bool strictly_better =
-          q.result.eval.min_fps > p.result.eval.min_fps ||
-          q.result.eval.dsps < p.result.eval.dsps;
-      if (no_worse && strictly_better) {
-        dominated = true;
-        break;
-      }
-    }
-    p.pareto_optimal = !dominated;
+  // Default frontier: maximize min-FPS, minimize DSPs. Infeasible points
+  // never make the frontier. Callers wanting other axes re-extract from the
+  // outcome with any Objective term pair (dse/frontier.hpp).
+  const std::vector<FrontierPoint> frontier = extract_frontier(
+      outcome, Objective::min_throughput(), Objective::dsp_cost());
+  for (const FrontierPoint& point : frontier) {
+    points[point.index].pareto_optimal = point.on_frontier;
   }
   return outcome;
 }
@@ -278,23 +273,23 @@ namespace {
 
 /// Replays the traffic spec at `users` concurrent streams on `service`.
 /// `workload.branches` is derived from the service model here — the one
-/// place it is set.
+/// place it is set. The scope makes huge replays interruptible (and streams
+/// partial percentile estimates as progress).
 StatusOr<serving::ServingStats> replay_traffic(
     const serving::ServiceModel& service, const TrafficSpec& traffic,
-    int users) {
+    int users, const RunScope* scope) {
   serving::WorkloadOptions workload = traffic.workload;
   workload.users = users;
   workload.branches = service.num_branches();
   auto requests = serving::generate_workload(workload);
   if (!requests.is_ok()) return requests.status();
-  return serving::simulate_fleet(service, *requests, traffic.fleet);
+  return serving::simulate_fleet(service, *requests, traffic.fleet, scope);
 }
 
 }  // namespace
 
 StatusOr<SearchOutcome> SearchDriver::run_traffic(
-    const SearchSpec& spec, const Customization& customization,
-    const CrossBranchOptions& options, const RunScope& scope) const {
+    const SearchSpec& spec, const RunContext& run) const {
   const TrafficSpec& traffic = spec.traffic;
   if (traffic.workload.users < 1) {
     return Status::invalid_argument(
@@ -351,16 +346,15 @@ StatusOr<SearchOutcome> SearchDriver::run_traffic(
 
   auto score_candidate = [&](int mult) -> Candidate {
     Candidate out;
-    if (scope.should_stop()) {
-      out.error = Status::infeasible("traffic candidate skipped: cancelled");
+    if (run.scope.should_stop()) {
+      out.error = Status::cancelled("traffic candidate skipped: cancelled");
       return out;
     }
-    Customization cust = customization;
+    Customization cust = run.customization;
     for (int& b : cust.batch_sizes) b *= mult;
-    CrossBranchOptions opt = options;
+    CrossBranchOptions opt = run.options;
     opt.progress_label = "traffic x" + std::to_string(mult);
-    SearchResult search =
-        cross_branch_search(model_, budget, cust, opt, &scope);
+    SearchResult search = run.search(model_, budget, cust, opt);
 
     serving::ServiceModel service;
     if (traffic.use_simulator) {
@@ -371,12 +365,18 @@ StatusOr<SearchOutcome> SearchDriver::run_traffic(
       service = serving::service_model_from_eval(search.config, search.eval);
     }
 
+    // A cancelled replay skips the candidate (the run winds down with its
+    // best-so-far winner); any other replay error aborts the whole search.
+    auto fail = [&](Status status) {
+      out.hard_failed = status.code() != StatusCode::kCancelled;
+      out.error = std::move(status);
+    };
     auto stats_at = [&](int users) {
-      return replay_traffic(service, traffic, users);
+      return replay_traffic(service, traffic, users, &run.scope);
     };
     auto first = stats_at(traffic.workload.users);
     if (!first.is_ok()) {
-      out.error = first.status();
+      fail(first.status());
       return out;
     }
     serving::ServingStats stats = std::move(*first);
@@ -406,10 +406,6 @@ StatusOr<SearchOutcome> SearchDriver::run_traffic(
       return lo;
     };
 
-    auto hard_fail = [&](Status status) {
-      out.hard_failed = true;
-      out.error = std::move(status);
-    };
     if (scalable && stats.sla_met &&
         traffic.max_users > traffic.workload.users) {
       // Maximize the served user count: double to the first SLA miss, then
@@ -420,7 +416,7 @@ StatusOr<SearchOutcome> SearchDriver::run_traffic(
         hi = std::min(traffic.max_users, hi * 2);
         auto probe = stats_at(hi);
         if (!probe.is_ok()) {
-          hard_fail(probe.status());
+          fail(probe.status());
           return out;
         }
         if (probe->sla_met) {
@@ -432,7 +428,7 @@ StatusOr<SearchOutcome> SearchDriver::run_traffic(
       }
       auto served = bisect_users(lo, hi, stats);
       if (!served.is_ok()) {
-        hard_fail(served.status());
+        fail(served.status());
         return out;
       }
       users_served = *served;
@@ -445,7 +441,7 @@ StatusOr<SearchOutcome> SearchDriver::run_traffic(
       for (int probe_users = hi / 2; probe_users >= 1; probe_users /= 2) {
         auto probe = stats_at(probe_users);
         if (!probe.is_ok()) {
-          hard_fail(probe.status());
+          fail(probe.status());
           return out;
         }
         if (probe->sla_met) {
@@ -458,7 +454,7 @@ StatusOr<SearchOutcome> SearchDriver::run_traffic(
       if (lo >= 1) {
         auto served = bisect_users(lo, hi, lo_stats);
         if (!served.is_ok()) {
-          hard_fail(served.status());
+          fail(served.status());
           return out;
         }
         users_served = *served;
@@ -474,6 +470,10 @@ StatusOr<SearchOutcome> SearchDriver::run_traffic(
       input.fps.push_back(be.fps);
     }
     input.priorities = cust.priorities;
+    input.min_fps = search.eval.min_fps;
+    input.dsps = search.eval.dsps;
+    input.brams = search.eval.brams;
+    input.bw_gbps = search.eval.bw_gbps;
     input.has_serving = true;
     input.users_served = users_served;
     input.p99_latency_us = stats.latency.p99;
@@ -485,12 +485,12 @@ StatusOr<SearchOutcome> SearchDriver::run_traffic(
     out.result.sla_met = stats.sla_met;
     out.result.stats = std::move(stats);
     out.produced = true;
-    scope.emit({"traffic x" + std::to_string(mult), mult, traffic.max_batch,
-                out.result.sla_fitness});
+    run.scope.emit({"traffic x" + std::to_string(mult), mult,
+                    traffic.max_batch, out.result.sla_fitness});
     return out;
   };
 
-  util::ThreadPool& pool = util::ThreadPool::shared(options.threads);
+  util::ThreadPool& pool = util::ThreadPool::shared(run.options.threads);
   std::vector<Candidate> candidates = pool.parallel_map<Candidate>(
       static_cast<std::int64_t>(multipliers.size()), [&](std::int64_t i) {
         return score_candidate(multipliers[static_cast<std::size_t>(i)]);
@@ -511,7 +511,7 @@ StatusOr<SearchOutcome> SearchDriver::run_traffic(
       have_best = true;
     }
   }
-  outcome.cancelled = scope.should_stop();
+  outcome.cancelled = run.scope.should_stop();
   if (!have_best && !outcome.cancelled) return last_error;
   return outcome;
 }

@@ -14,6 +14,7 @@
 #include "dse/cross_branch.hpp"
 #include "dse/objective.hpp"
 #include "dse/run_control.hpp"
+#include "dse/strategy.hpp"
 #include "nn/dtype.hpp"
 #include "serving/fleet.hpp"
 #include "serving/stats.hpp"
@@ -89,13 +90,23 @@ struct SweepPoint {
   nn::DataType quantization = nn::DataType::kInt8;
   double freq_mhz = 200.0;
   SearchResult result;
-  bool pareto_optimal = false;  ///< on the (min FPS up, DSPs down) frontier
+  /// On the default (min FPS up, DSPs down) frontier, marked via
+  /// dse::extract_frontier — which also extracts frontiers over any other
+  /// Objective term pair from the same outcome (dse/frontier.hpp).
+  bool pareto_optimal = false;
 };
 
 /// One search request. `kind` selects the scenario; the fields below the
 /// fold only apply to their kind and are ignored otherwise.
 struct SearchSpec {
   SearchKind kind = SearchKind::kOptimize;
+  /// Search algorithm, by registry name (dse/strategy.hpp): "particle-swarm"
+  /// (Algorithm 1, the default), "random", "annealing", or any custom
+  /// strategy registered with register_strategy(). Every kind — including
+  /// the inner searches of kTraffic/kMaxBatch/kSweep/kConvergence — runs
+  /// under the selected strategy; unknown names are rejected by run().
+  /// "" selects the default.
+  std::string strategy = "particle-swarm";
   /// User customization (quantization, batch targets, priorities).
   /// Normalized by the driver; arity mismatches are rejected.
   Customization customization;
@@ -148,26 +159,33 @@ class SearchDriver {
   const arch::Platform& platform() const { return platform_; }
 
  private:
+  /// Resolved per-run context shared by every kind: the normalized
+  /// customization, driver-adjusted options, the selected strategy's
+  /// factory (a fresh instance per inner search), and the run scope.
+  struct RunContext {
+    const Customization& customization;
+    const CrossBranchOptions& options;
+    const StrategyFactory& strategy;
+    const RunScope& scope;
+
+    /// One inner search under this run's strategy; `opt`/`cust` carry the
+    /// per-candidate overrides (probed batch, sweep grid point, ...).
+    SearchResult search(const arch::ReorganizedModel& model,
+                        const ResourceBudget& budget,
+                        const Customization& cust,
+                        const CrossBranchOptions& opt) const;
+  };
+
   StatusOr<SearchOutcome> run_optimize(const SearchSpec& spec,
-                                       const Customization& customization,
-                                       const CrossBranchOptions& options,
-                                       const RunScope& scope) const;
+                                       const RunContext& run) const;
   StatusOr<SearchOutcome> run_max_batch(const SearchSpec& spec,
-                                        const Customization& customization,
-                                        const CrossBranchOptions& options,
-                                        const RunScope& scope) const;
+                                        const RunContext& run) const;
   StatusOr<SearchOutcome> run_convergence(const SearchSpec& spec,
-                                          const Customization& customization,
-                                          const CrossBranchOptions& options,
-                                          const RunScope& scope) const;
+                                          const RunContext& run) const;
   StatusOr<SearchOutcome> run_sweep(const SearchSpec& spec,
-                                    const Customization& customization,
-                                    const CrossBranchOptions& options,
-                                    const RunScope& scope) const;
+                                    const RunContext& run) const;
   StatusOr<SearchOutcome> run_traffic(const SearchSpec& spec,
-                                      const Customization& customization,
-                                      const CrossBranchOptions& options,
-                                      const RunScope& scope) const;
+                                      const RunContext& run) const;
 
   const arch::ReorganizedModel& model_;
   arch::Platform platform_;

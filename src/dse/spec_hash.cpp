@@ -1,0 +1,90 @@
+#include "dse/spec_hash.hpp"
+
+namespace fcad::dse {
+namespace {
+
+void absorb_customization(util::Hash128& h, const Customization& cust) {
+  h.absorb(static_cast<std::uint64_t>(cust.quantization));
+  h.absorb(cust.batch_sizes.size());
+  for (int b : cust.batch_sizes) h.absorb(static_cast<std::uint64_t>(b));
+  h.absorb(cust.priorities.size());
+  for (double p : cust.priorities) h.absorb_double(p);
+}
+
+void absorb_options(util::Hash128& h, const CrossBranchOptions& opt) {
+  h.absorb(static_cast<std::uint64_t>(opt.iterations));
+  h.absorb(static_cast<std::uint64_t>(opt.population));
+  h.absorb(opt.seed);
+  h.absorb_double(opt.fitness.alpha);
+  h.absorb_double(opt.fitness.infeasible_demerit);
+  h.absorb_double(opt.w_local);
+  h.absorb_double(opt.w_global);
+  h.absorb_double(opt.jitter);
+  h.absorb(static_cast<std::uint64_t>(opt.eval_mode));
+  // freq_mhz and threads are resolved by the driver (platform / RunControl)
+  // and never change results; progress_label is cosmetic. The objective
+  // hashes by description — term names and weights.
+  h.absorb_string(opt.objective.empty() ? "" : opt.objective.describe());
+}
+
+void absorb_traffic(util::Hash128& h, const TrafficSpec& traffic) {
+  h.absorb(static_cast<std::uint64_t>(traffic.workload.process));
+  h.absorb(static_cast<std::uint64_t>(traffic.workload.users));
+  h.absorb(static_cast<std::uint64_t>(traffic.workload.branches));
+  h.absorb_double(traffic.workload.frame_rate_hz);
+  h.absorb_double(traffic.workload.duration_s);
+  h.absorb(traffic.workload.seed);
+  h.absorb_double(traffic.workload.burst_on_s);
+  h.absorb_double(traffic.workload.burst_off_s);
+  h.absorb_double(traffic.workload.burst_factor);
+  h.absorb(traffic.workload.trace_arrivals_us.size());
+  for (double t : traffic.workload.trace_arrivals_us) h.absorb_double(t);
+  h.absorb(static_cast<std::uint64_t>(traffic.fleet.instances));
+  h.absorb(static_cast<std::uint64_t>(traffic.fleet.policy));
+  h.absorb_double(traffic.fleet.batch_timeout_us);
+  h.absorb_double(traffic.fleet.switch_penalty_us);
+  h.absorb_double(traffic.fleet.sla_bound_us);
+  h.absorb_double(traffic.sla.p99_bound_us);
+  h.absorb_double(traffic.sla.over_bound_demerit);
+  h.absorb_double(traffic.sla.violation_weight);
+  h.absorb(static_cast<std::uint64_t>(traffic.max_batch));
+  h.absorb(static_cast<std::uint64_t>(traffic.max_users));
+  h.absorb(static_cast<std::uint64_t>(traffic.use_simulator));
+}
+
+}  // namespace
+
+util::Hash128 spec_hash(const SearchSpec& spec) {
+  util::Hash128 h;
+  h.absorb_string("fcad-search-spec v1");
+  h.absorb(static_cast<std::uint64_t>(spec.kind));
+  h.absorb_string(spec.strategy.empty() ? kDefaultStrategy : spec.strategy);
+  absorb_customization(h, spec.customization);
+  absorb_options(h, spec.search);
+  h.absorb_string(spec.objective.empty() ? "" : spec.objective.describe());
+  switch (spec.kind) {
+    case SearchKind::kOptimize:
+      break;
+    case SearchKind::kTraffic:
+      absorb_traffic(h, spec.traffic);
+      break;
+    case SearchKind::kMaxBatch:
+      h.absorb(static_cast<std::uint64_t>(spec.batch_branch));
+      h.absorb(static_cast<std::uint64_t>(spec.batch_probe_limit));
+      break;
+    case SearchKind::kSweep:
+      h.absorb(spec.sweep.quantizations.size());
+      for (nn::DataType q : spec.sweep.quantizations) {
+        h.absorb(static_cast<std::uint64_t>(q));
+      }
+      h.absorb(spec.sweep.frequencies_mhz.size());
+      for (double f : spec.sweep.frequencies_mhz) h.absorb_double(f);
+      break;
+    case SearchKind::kConvergence:
+      h.absorb(static_cast<std::uint64_t>(spec.convergence_runs));
+      break;
+  }
+  return h;
+}
+
+}  // namespace fcad::dse

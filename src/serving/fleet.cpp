@@ -117,7 +117,8 @@ StatusOr<DispatchPolicy> dispatch_policy_by_name(const std::string& name) {
 
 StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
                                       const std::vector<Request>& workload,
-                                      const FleetOptions& options) {
+                                      const FleetOptions& options,
+                                      const util::RunScope* scope) {
   if (options.instances < 1) {
     return Status::invalid_argument("fleet: instances must be >= 1");
   }
@@ -155,7 +156,34 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
   double now_us = requests.empty() ? 0 : requests.front().arrival_us;
   if (requests.empty()) aggregator.close();
 
+  // Progress cadence: ~20 ticks across the replay plus a final one, each
+  // carrying the exact p99 over the latencies recorded so far (a partial
+  // estimate of the final tail). Progress never mutates the stats.
+  const std::int64_t progress_chunk =
+      scope != nullptr ? std::max<std::int64_t>(1, stats.offered / 20) : 0;
+  std::int64_t next_progress_at = progress_chunk;
+  std::int64_t last_progress_at = -1;
+  auto emit_progress = [&]() {
+    const double partial_p99 =
+        latencies.empty() ? 0 : percentile(latencies, 99);
+    scope->emit({"fleet",
+                 static_cast<int>(std::min<std::int64_t>(stats.completed,
+                                                         1LL << 30)),
+                 static_cast<int>(std::min<std::int64_t>(stats.offered,
+                                                         1LL << 30)),
+                 partial_p99});
+    last_progress_at = stats.completed;
+    while (next_progress_at <= stats.completed) {
+      next_progress_at += progress_chunk;
+    }
+  };
+
   while (true) {
+    if (scope != nullptr && scope->should_stop()) {
+      return Status::cancelled("fleet replay cancelled after " +
+                               std::to_string(stats.completed) + "/" +
+                               std::to_string(stats.offered) + " requests");
+    }
     // Ingest every arrival due by `now_us`.
     while (next < requests.size() &&
            requests[next].arrival_us <= now_us) {
@@ -205,6 +233,10 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
       }
     }
 
+    if (scope != nullptr && stats.completed >= next_progress_at) {
+      emit_progress();
+    }
+
     // Advance to the next event: an arrival, a batching deadline, or — when
     // a batch is ready but every instance is busy — an instance freeing up.
     double t_us = kInf;
@@ -221,6 +253,12 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
     depth_integral_us += static_cast<double>(aggregator.pending()) *
                          (t_us - now_us);
     now_us = t_us;
+  }
+
+  // The terminal tick: every replay with an observer ends with a progress
+  // event whose estimate is the exact final p99.
+  if (scope != nullptr && last_progress_at != stats.completed) {
+    emit_progress();
   }
 
   FCAD_CHECK_MSG(stats.completed == stats.offered,

@@ -15,6 +15,7 @@
 #include "serving/service.hpp"
 #include "serving/stats.hpp"
 #include "serving/workload.hpp"
+#include "util/run_control.hpp"
 #include "util/status.hpp"
 
 namespace fcad::serving {
@@ -49,8 +50,16 @@ struct FleetOptions {
 /// accelerator described by `service`. Every request completes (the
 /// aggregator drains after the last arrival), so `completed == offered`.
 /// Deterministic: identical inputs produce bit-identical stats.
+///
+/// When `scope` is set, huge replays become interruptible: the event loop
+/// polls it and returns StatusCode::kCancelled once the token fires or the
+/// deadline passes, and it streams ~20 "fleet" ProgressEvents over the
+/// replay whose best_fitness field carries the *partial p99 latency
+/// estimate* (microseconds) over the requests completed so far. Progress
+/// observation never changes the stats.
 StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
                                       const std::vector<Request>& workload,
-                                      const FleetOptions& options);
+                                      const FleetOptions& options,
+                                      const util::RunScope* scope = nullptr);
 
 }  // namespace fcad::serving

@@ -11,11 +11,16 @@ namespace fcad::serving {
 
 namespace {
 
+/// 0-based index of the nearest-rank pick: ceil(pct/100 * n), 1-indexed.
+std::size_t nearest_rank_index(std::size_t n, double pct) {
+  auto rank = static_cast<std::size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(n)));
+  return std::max<std::size_t>(rank, 1) - 1;
+}
+
 /// Nearest-rank pick from an already sorted, non-empty sample set.
 double sorted_percentile(const std::vector<double>& sorted, double pct) {
-  auto rank = static_cast<std::size_t>(
-      std::ceil(pct / 100.0 * static_cast<double>(sorted.size())));
-  return sorted[std::max<std::size_t>(rank, 1) - 1];
+  return sorted[nearest_rank_index(sorted.size(), pct)];
 }
 
 }  // namespace
@@ -23,8 +28,14 @@ double sorted_percentile(const std::vector<double>& sorted, double pct) {
 double percentile(std::vector<double> samples, double pct) {
   FCAD_CHECK_MSG(!samples.empty(), "percentile: empty sample set");
   FCAD_CHECK_MSG(pct > 0 && pct <= 100, "percentile: pct out of (0, 100]");
-  std::sort(samples.begin(), samples.end());
-  return sorted_percentile(samples, pct);
+  // One order statistic, so nth_element's O(n) beats a full sort — this runs
+  // ~21 times over the whole latency set when a fleet replay streams partial
+  // p99 estimates.
+  const std::size_t index = nearest_rank_index(samples.size(), pct);
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(index),
+                   samples.end());
+  return samples[index];
 }
 
 LatencySummary summarize(std::vector<double> samples) {

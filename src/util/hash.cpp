@@ -1,0 +1,51 @@
+#include "util/hash.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace fcad::util {
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdULL;
+  return h ^ (h >> 33);
+}
+
+}  // namespace
+
+void Hash128::absorb(std::uint64_t value) {
+  lo = mix(lo, value);
+  hi = mix(hi, ~value);
+}
+
+void Hash128::absorb_double(double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  absorb(bits);
+}
+
+void Hash128::absorb_string(const std::string& text) {
+  absorb(text.size());
+  std::uint64_t word = 0;
+  int filled = 0;
+  for (unsigned char c : text) {
+    word = (word << 8) | c;
+    if (++filled == 8) {
+      absorb(word);
+      word = 0;
+      filled = 0;
+    }
+  }
+  if (filled > 0) absorb(word);
+}
+
+std::string Hash128::hex() const {
+  char buffer[33];
+  std::snprintf(buffer, sizeof(buffer), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buffer;
+}
+
+}  // namespace fcad::util

@@ -1,0 +1,30 @@
+// 128-bit streaming hash for cache keys (fitness memoization, spec-keyed
+// artifact caching). Not cryptographic — the two decorrelated 64-bit
+// accumulators exist so accidental collisions are out of the picture even
+// for million-entry caches. The value is stable across platforms and runs
+// (no pointer or address material is ever absorbed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fcad::util {
+
+struct Hash128 {
+  std::uint64_t lo = 0x243f6a8885a308d3ULL;
+  std::uint64_t hi = 0x13198a2e03707344ULL;
+
+  bool operator==(const Hash128& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+
+  /// Absorbs one word into both accumulators (decorrelated by negation).
+  void absorb(std::uint64_t value);
+  void absorb_double(double value);  ///< bit pattern, so -0.0 != 0.0
+  void absorb_string(const std::string& text);
+
+  /// 32 lowercase hex digits (hi then lo) — used as cache file names.
+  std::string hex() const;
+};
+
+}  // namespace fcad::util

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 
 namespace fcad {
 
@@ -123,6 +124,13 @@ JsonWriter& JsonWriter::value(bool flag) {
   element();
   out_ += flag ? "true" : "false";
   return *this;
+}
+
+bool JsonWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << out_ << "\n";
+  return out.good();
 }
 
 }  // namespace fcad

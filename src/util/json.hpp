@@ -31,6 +31,10 @@ class JsonWriter {
 
   const std::string& str() const { return out_; }
 
+  /// Writes the document (plus a trailing newline) to `path`; false on any
+  /// I/O error. The CsvWriter::write_file counterpart for --json outputs.
+  bool write_file(const std::string& path) const;
+
  private:
   void element();  ///< comma bookkeeping before a value/container opener
 

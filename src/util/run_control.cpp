@@ -1,6 +1,6 @@
-#include "dse/run_control.hpp"
+#include "util/run_control.hpp"
 
-namespace fcad::dse {
+namespace fcad::util {
 
 RunScope::RunScope(const RunControl& control) : control_(control) {
   if (control.deadline_s > 0) {
@@ -22,4 +22,4 @@ void RunScope::emit(const ProgressEvent& event) const {
   control_.on_progress(event);
 }
 
-}  // namespace fcad::dse
+}  // namespace fcad::util

@@ -10,6 +10,7 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
     case StatusCode::kInfeasible: return "INFEASIBLE";
     case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kCancelled: return "CANCELLED";
     case StatusCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

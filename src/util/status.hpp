@@ -19,6 +19,7 @@ enum class StatusCode {
   kInvalidArgument,   ///< malformed network / config input
   kInfeasible,        ///< no design fits the resource budget
   kNotFound,          ///< lookup miss (platform name, layer id, ...)
+  kCancelled,         ///< cooperative cancellation observed mid-run
   kInternal,          ///< invariant violation escaped as status
 };
 
@@ -42,6 +43,9 @@ class Status {
   }
   static Status not_found(std::string msg) {
     return {StatusCode::kNotFound, std::move(msg)};
+  }
+  static Status cancelled(std::string msg) {
+    return {StatusCode::kCancelled, std::move(msg)};
   }
   static Status internal(std::string msg) {
     return {StatusCode::kInternal, std::move(msg)};

@@ -10,7 +10,7 @@
 #include "arch/platform.hpp"
 #include "dse/fitness_cache.hpp"
 #include "dse/search_driver.hpp"
-#include "dse/strategies.hpp"
+#include "dse/strategy.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
 #include "util/thread_pool.hpp"
 
@@ -84,17 +84,58 @@ TEST(ParallelDeterminismTest, CrossBranchSearchIdenticalAcrossThreadCounts) {
 
 TEST(ParallelDeterminismTest, StrategiesIdenticalAcrossThreadCounts) {
   const auto budget = ResourceBudget::from_platform(arch::platform_zu9cg());
-  for (SearchStrategy strategy :
-       {SearchStrategy::kRandom, SearchStrategy::kAnnealing}) {
-    const SearchResult baseline =
-        strategy_search(decoder_model(), budget, decoder_customization(),
-                        fast_options(kThreadCounts.front()), strategy);
+  for (const char* strategy : {"random", "annealing"}) {
+    auto baseline = run_search_strategy(
+        strategy, decoder_model(), budget, decoder_customization(),
+        fast_options(kThreadCounts.front()));
+    ASSERT_TRUE(baseline.is_ok());
     for (std::size_t t = 1; t < kThreadCounts.size(); ++t) {
-      const SearchResult other =
-          strategy_search(decoder_model(), budget, decoder_customization(),
-                          fast_options(kThreadCounts[t]), strategy);
-      expect_identical(baseline, other);
+      auto other = run_search_strategy(
+          strategy, decoder_model(), budget, decoder_customization(),
+          fast_options(kThreadCounts[t]));
+      ASSERT_TRUE(other.is_ok());
+      expect_identical(*baseline, *other);
     }
+  }
+}
+
+TEST(ParallelDeterminismTest, ParticleSwarmMatchesPreRefactorGolden) {
+  // Bit-exactness pin across the strategy-layer refactor: these constants
+  // were captured from the monolithic pre-refactor cross_branch_search()
+  // (population 24, iterations 4, seed 1234, int8, batches {1,2,2}, ZU9CG).
+  // The pluggable "particle-swarm" strategy must reproduce them bit for bit
+  // at every thread count. A mismatch means the refactor changed the RNG
+  // draw order or the reduction order — not a tolerable drift.
+  const auto budget = ResourceBudget::from_platform(arch::platform_zu9cg());
+  for (int threads : kThreadCounts) {
+    const SearchResult r =
+        cross_branch_search(decoder_model(), budget, decoder_customization(),
+                            fast_options(threads));
+    EXPECT_EQ(r.fitness, 263.66194015156748) << "threads " << threads;
+    EXPECT_TRUE(r.feasible);
+    EXPECT_EQ(r.eval.min_fps, 84.771050347222229);
+    EXPECT_EQ(r.eval.dsps, 2111);
+    EXPECT_EQ(r.eval.brams, 1060);
+    EXPECT_EQ(r.eval.bw_gbps, 0.70421379937065987);
+    EXPECT_EQ(r.trace.convergence_iteration, 3);
+    EXPECT_EQ(r.trace.evaluations, 288);
+    const std::vector<double> golden_curve = {
+        196.32457130791721, 234.98362446375017, 263.66194015156748,
+        263.66194015156748};
+    EXPECT_EQ(r.trace.best_fitness, golden_curve);
+    const std::vector<double> golden_c_frac = {
+        0.09098911261888476, 0.69924607099591674, 0.20976481638519859};
+    const std::vector<double> golden_m_frac = {
+        0.20934578055001801, 0.43844878688964323, 0.35220543256033876};
+    const std::vector<double> golden_bw_frac = {
+        0.39101799157294714, 0.34875576650757506, 0.2602262419194778};
+    EXPECT_EQ(r.distribution.c_frac, golden_c_frac);
+    EXPECT_EQ(r.distribution.m_frac, golden_m_frac);
+    EXPECT_EQ(r.distribution.bw_frac, golden_bw_frac);
+    ASSERT_EQ(r.config.branches.size(), 3u);
+    EXPECT_EQ(r.config.branches[0].batch, 1);
+    EXPECT_EQ(r.config.branches[1].batch, 2);
+    EXPECT_EQ(r.config.branches[2].batch, 2);
   }
 }
 

@@ -1,6 +1,9 @@
 // Staged-pipeline suite: end-to-end runs, stage caching/re-entry, artifact
-// round trips, and the report renderers (formerly flow_test.cpp).
+// round trips, the spec-hash artifact cache, and the report renderers.
 #include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
 
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
@@ -136,8 +139,42 @@ TEST(PipelineTest, SearchArtifactRoundTripsThroughText) {
   }
   EXPECT_EQ(restored.eval.dsps, original.eval.dsps);
   EXPECT_EQ(restored.eval.min_fps, original.eval.min_fps);
+  // The convergence curve and the winning distribution survive too.
+  EXPECT_EQ(restored.trace.best_fitness, original.trace.best_fitness);
+  EXPECT_EQ(restored.distribution.c_frac, original.distribution.c_frac);
+  EXPECT_EQ(restored.distribution.m_frac, original.distribution.m_frac);
+  EXPECT_EQ(restored.distribution.bw_frac, original.distribution.bw_frac);
   // And serializing again reproduces the same text.
   EXPECT_EQ(loaded.save_search(), text);
+}
+
+TEST(PipelineTest, CancelledOutcomeStillSerializes) {
+  // A run cancelled before its first evaluation has no winning config; the
+  // artifact must round-trip (config 0) instead of crashing the writer.
+  dse::SearchSpec spec = fast_options().spec;
+  spec.control.cancel.request_cancel();
+  Pipeline pipeline(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  ASSERT_TRUE(pipeline.optimize(spec).is_ok());
+  ASSERT_TRUE(pipeline.search()->outcome.cancelled);
+  ASSERT_TRUE(pipeline.search()->best().config.branches.empty());
+
+  const std::string text = pipeline.save_search();
+  ASSERT_FALSE(text.empty());
+  Pipeline loaded(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  ASSERT_TRUE(loaded.load_search(text).is_ok());
+  EXPECT_TRUE(loaded.search()->outcome.cancelled);
+  EXPECT_TRUE(loaded.search()->best().config.branches.empty());
+  EXPECT_EQ(loaded.save_search(), text);
+  // The same applies to a sweep whose grid points were all cancelled.
+  dse::SearchSpec sweep = fast_options().spec;
+  sweep.kind = dse::SearchKind::kSweep;
+  sweep.control.cancel.request_cancel();
+  Pipeline swept(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  ASSERT_TRUE(swept.optimize(sweep).is_ok());
+  const std::string sweep_text = swept.save_search();
+  Pipeline sweep_loaded(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  ASSERT_TRUE(sweep_loaded.load_search(sweep_text).is_ok());
+  EXPECT_EQ(sweep_loaded.save_search(), sweep_text);
 }
 
 TEST(PipelineTest, LoadedArtifactDrivesSimulationAndResult) {
@@ -158,11 +195,207 @@ TEST(PipelineTest, LoadedArtifactDrivesSimulationAndResult) {
 TEST(PipelineTest, MalformedArtifactRejected) {
   Pipeline pipeline(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
   EXPECT_FALSE(pipeline.load_search("not an artifact").is_ok());
+  // v1 artifacts (winner-only format) are not readable as v2.
   EXPECT_FALSE(
       pipeline.load_search("fcad-search-artifact v1\nfitness 1\n").is_ok());
+  // A v2 header without a kind/result is incomplete.
+  EXPECT_FALSE(
+      pipeline.load_search("fcad-search-artifact v2\n").is_ok());
+  EXPECT_FALSE(
+      pipeline.load_search("fcad-search-artifact v2\nkind optimize\n")
+          .is_ok());
   EXPECT_EQ(pipeline.search(), nullptr);
   // result() without completed stages is an error, not a crash.
   EXPECT_FALSE(pipeline.result().is_ok());
+}
+
+TEST(PipelineTest, TruncatedArtifactRejected) {
+  // A torn write (crash / full disk) must parse as truncated, never as a
+  // shorter-but-valid artifact: every serialized artifact ends with "end",
+  // and any prefix of one is rejected.
+  Pipeline pipeline(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  ASSERT_TRUE(pipeline.optimize(fast_options().spec).is_ok());
+  const std::string text = pipeline.save_search();
+  ASSERT_EQ(text.rfind("end\n"), text.size() - 4);
+
+  Pipeline loaded(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  const std::string no_marker = text.substr(0, text.size() - 4);
+  EXPECT_FALSE(loaded.load_search(no_marker).is_ok());
+  // Cut mid-config: the line-counted block catches the short read.
+  EXPECT_FALSE(loaded.load_search(text.substr(0, text.size() / 2)).is_ok());
+}
+
+TEST(PipelineTest, SweepArtifactRoundTripsWholeOutcome) {
+  // kSweep outcomes serialize every grid point (not just a winner), so a
+  // sweep re-enters whole — the prerequisite for the spec-hash cache.
+  dse::SearchSpec spec = fast_options().spec;
+  spec.kind = dse::SearchKind::kSweep;
+  spec.sweep.quantizations = {nn::DataType::kInt8, nn::DataType::kInt16};
+  spec.sweep.frequencies_mhz = {150, 200};
+  Pipeline pipeline(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  ASSERT_TRUE(pipeline.optimize(spec).is_ok());
+  const std::vector<dse::SweepPoint>& original =
+      pipeline.search()->outcome.sweep;
+  ASSERT_EQ(original.size(), 4u);
+
+  const std::string text = pipeline.save_search();
+  Pipeline loaded(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  ASSERT_TRUE(loaded.load_search(text).is_ok());
+  const std::vector<dse::SweepPoint>& restored =
+      loaded.search()->outcome.sweep;
+  ASSERT_EQ(restored.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(restored[i].quantization, original[i].quantization);
+    EXPECT_EQ(restored[i].freq_mhz, original[i].freq_mhz);
+    EXPECT_EQ(restored[i].pareto_optimal, original[i].pareto_optimal);
+    EXPECT_EQ(restored[i].result.fitness, original[i].result.fitness);
+    EXPECT_EQ(restored[i].result.feasible, original[i].result.feasible);
+    EXPECT_EQ(restored[i].result.eval.min_fps,
+              original[i].result.eval.min_fps);
+    EXPECT_EQ(restored[i].result.eval.dsps, original[i].result.eval.dsps);
+  }
+  // Serializing again reproduces the same text (bit-exact doubles).
+  EXPECT_EQ(loaded.save_search(), text);
+}
+
+TEST(PipelineTest, ConvergenceArtifactRoundTripsStats) {
+  dse::SearchSpec spec = fast_options().spec;
+  spec.kind = dse::SearchKind::kConvergence;
+  spec.convergence_runs = 3;
+  Pipeline pipeline(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  ASSERT_TRUE(pipeline.optimize(spec).is_ok());
+  const dse::ConvergenceStats& original =
+      pipeline.search()->outcome.convergence;
+
+  const std::string text = pipeline.save_search();
+  Pipeline loaded(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  ASSERT_TRUE(loaded.load_search(text).is_ok());
+  const dse::ConvergenceStats& restored =
+      loaded.search()->outcome.convergence;
+  EXPECT_EQ(restored.runs, original.runs);
+  EXPECT_EQ(restored.mean_iterations, original.mean_iterations);
+  EXPECT_EQ(restored.mean_fitness, original.mean_fitness);
+  EXPECT_EQ(restored.fitness_spread, original.fitness_spread);
+  EXPECT_EQ(loaded.save_search(), text);
+  // No winning configuration in a convergence outcome: simulate() reports
+  // that cleanly instead of crashing.
+  EXPECT_FALSE(loaded.simulate().is_ok());
+}
+
+// ------------------------------------------------- spec-hash artifact cache --
+
+namespace {
+
+/// Fresh cache dir per test; gtest's TempDir is shared across the binary.
+std::string cache_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / ("fcad-cache-" + name);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+}  // namespace
+
+TEST(ArtifactCacheTest, SecondRunHitsAndReloadsBitIdentical) {
+  const std::string dir = cache_dir("hit");
+  dse::SearchSpec spec = fast_options().spec;
+  spec.kind = dse::SearchKind::kSweep;
+  spec.sweep.quantizations = {nn::DataType::kInt8};
+  spec.sweep.frequencies_mhz = {200, 300};
+
+  Pipeline first(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  first.set_artifact_cache_dir(dir);
+  ASSERT_TRUE(first.optimize(spec).is_ok());
+  EXPECT_EQ(first.artifact_cache_hits(), 0);
+  EXPECT_EQ(first.artifact_cache_misses(), 1);
+  const std::string text = first.save_search();
+
+  // A fresh process (modeled by a fresh pipeline) resumes from the cache:
+  // no search runs, and the artifact is bit-identical.
+  Pipeline second(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  second.set_artifact_cache_dir(dir);
+  ASSERT_TRUE(second.optimize(spec).is_ok());
+  EXPECT_EQ(second.artifact_cache_hits(), 1);
+  EXPECT_EQ(second.artifact_cache_misses(), 0);
+  EXPECT_EQ(second.save_search(), text);
+  ASSERT_EQ(second.search()->outcome.sweep.size(), 2u);
+}
+
+TEST(ArtifactCacheTest, SpecChangeMissesTheCache) {
+  const std::string dir = cache_dir("invalidate");
+  dse::SearchSpec spec = fast_options().spec;
+  Pipeline pipeline(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  pipeline.set_artifact_cache_dir(dir);
+  ASSERT_TRUE(pipeline.optimize(spec).is_ok());
+  EXPECT_EQ(pipeline.artifact_cache_misses(), 1);
+
+  // Any result-affecting field changes the key: the cached entry must not
+  // be reused for a different seed...
+  dse::SearchSpec reseeded = spec;
+  reseeded.search.seed = spec.search.seed + 1;
+  ASSERT_TRUE(pipeline.optimize(reseeded).is_ok());
+  EXPECT_EQ(pipeline.artifact_cache_hits(), 0);
+  EXPECT_EQ(pipeline.artifact_cache_misses(), 2);
+
+  // ...or a different strategy...
+  dse::SearchSpec restrategized = spec;
+  restrategized.strategy = "random";
+  ASSERT_TRUE(pipeline.optimize(restrategized).is_ok());
+  EXPECT_EQ(pipeline.artifact_cache_hits(), 0);
+  EXPECT_EQ(pipeline.artifact_cache_misses(), 3);
+
+  // ...while the original spec still hits its own entry.
+  ASSERT_TRUE(pipeline.optimize(spec).is_ok());
+  EXPECT_EQ(pipeline.artifact_cache_hits(), 1);
+
+  // Keys are also platform-scoped: the same spec on another platform
+  // computes a different key.
+  Pipeline other(nn::zoo::avatar_decoder(), arch::platform_zu17eg());
+  EXPECT_NE(pipeline.artifact_cache_key(spec), other.artifact_cache_key(spec));
+}
+
+TEST(ArtifactCacheTest, UncacheableSpecsBypassTheCache) {
+  Pipeline pipeline(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  dse::SearchSpec spec = fast_options().spec;
+  EXPECT_FALSE(pipeline.artifact_cache_key(spec).empty());
+  // kTraffic outcomes do not serialize whole (serving stats stay behind).
+  spec.kind = dse::SearchKind::kTraffic;
+  EXPECT_TRUE(pipeline.artifact_cache_key(spec).empty());
+  // A deadline makes results timing-dependent.
+  spec = fast_options().spec;
+  spec.control.deadline_s = 1.0;
+  EXPECT_TRUE(pipeline.artifact_cache_key(spec).empty());
+
+  // With no cache dir set, nothing is counted and nothing is written.
+  const std::string dir = cache_dir("disabled");
+  ASSERT_TRUE(pipeline.optimize(fast_options().spec).is_ok());
+  EXPECT_EQ(pipeline.artifact_cache_hits(), 0);
+  EXPECT_EQ(pipeline.artifact_cache_misses(), 0);
+  EXPECT_FALSE(std::filesystem::exists(dir));
+}
+
+TEST(ArtifactCacheTest, CorruptEntryFallsBackToSearch) {
+  const std::string dir = cache_dir("corrupt");
+  dse::SearchSpec spec = fast_options().spec;
+  Pipeline pipeline(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  pipeline.set_artifact_cache_dir(dir);
+  const std::string key = pipeline.artifact_cache_key(spec);
+  ASSERT_FALSE(key.empty());
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream out(std::filesystem::path(dir) / (key + ".artifact"));
+    out << "garbage\n";
+  }
+  ASSERT_TRUE(pipeline.optimize(spec).is_ok());
+  EXPECT_EQ(pipeline.artifact_cache_hits(), 0);
+  EXPECT_EQ(pipeline.artifact_cache_misses(), 1);
+  EXPECT_TRUE(pipeline.search()->best().feasible);
+
+  // The corrupt entry was overwritten with the good artifact: a rerun hits.
+  Pipeline rerun(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  rerun.set_artifact_cache_dir(dir);
+  ASSERT_TRUE(rerun.optimize(spec).is_ok());
+  EXPECT_EQ(rerun.artifact_cache_hits(), 1);
 }
 
 TEST(ReportTest, CaseReportContainsKeyRows) {

@@ -1,7 +1,6 @@
 // SearchDriver run-control plumbing (progress observers, cooperative
-// cancellation, deadlines, thread overrides) and the deprecated engine
-// shims, which must keep forwarding to the driver unchanged for one
-// release.
+// cancellation, deadlines, thread overrides) and strategy selection: every
+// SearchKind runs under any registered strategy via SearchSpec::strategy.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -9,9 +8,7 @@
 #include <vector>
 
 #include "arch/platform.hpp"
-#include "dse/engine.hpp"
 #include "dse/search_driver.hpp"
-#include "dse/sweep.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
 
 namespace fcad::dse {
@@ -126,119 +123,81 @@ TEST(RunControlTest, CancellationReachesTrafficCandidates) {
   EXPECT_TRUE(outcome->cancelled);
 }
 
-// -------------------------------------------------------- deprecated shims --
-// The shims must forward bit-identically to hand-built SearchSpecs for one
-// release. They are deliberately exercised here; silence the warning locally.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// ------------------------------------------------------ strategy in spec --
+// SearchSpec::strategy must reach the inner searches of every kind. The
+// "random" strategy is cheap and clearly distinguishable from the swarm
+// (different RNG discipline), so a differing-but-valid outcome under the
+// same seed is the signal that the selection took effect.
 
-DseRequest legacy_request() {
-  DseRequest request;
-  request.platform = arch::platform_zu9cg();
-  request.customization.batch_sizes = {1, 2, 2};
-  request.options.population = 20;
-  request.options.iterations = 5;
-  request.options.seed = 31;
-  return request;
+TEST(StrategyInSpecTest, EveryKindRunsUnderEveryBuiltinStrategy) {
+  const SearchDriver driver(decoder_model(), arch::platform_zu9cg());
+  for (const char* strategy : {"particle-swarm", "random", "annealing"}) {
+    SearchSpec spec = fast_spec();
+    spec.strategy = strategy;
+
+    spec.kind = SearchKind::kOptimize;
+    auto optimize = driver.run(spec);
+    ASSERT_TRUE(optimize.is_ok()) << strategy;
+    EXPECT_FALSE(optimize->search.config.branches.empty()) << strategy;
+
+    spec.kind = SearchKind::kMaxBatch;
+    spec.batch_branch = 0;
+    spec.batch_probe_limit = 2;
+    auto max_batch = driver.run(spec);
+    ASSERT_TRUE(max_batch.is_ok()) << strategy;
+    EXPECT_GE(max_batch->max_batch, 1) << strategy;
+
+    spec.kind = SearchKind::kSweep;
+    spec.sweep.quantizations = {nn::DataType::kInt8};
+    spec.sweep.frequencies_mhz = {200};
+    auto sweep = driver.run(spec);
+    ASSERT_TRUE(sweep.is_ok()) << strategy;
+    ASSERT_EQ(sweep->sweep.size(), 1u) << strategy;
+
+    spec.kind = SearchKind::kConvergence;
+    spec.convergence_runs = 2;
+    auto convergence = driver.run(spec);
+    ASSERT_TRUE(convergence.is_ok()) << strategy;
+    EXPECT_EQ(convergence->convergence.runs, 2) << strategy;
+
+    spec.kind = SearchKind::kTraffic;
+    spec.traffic.workload.users = 2;
+    spec.traffic.workload.duration_s = 0.25;
+    spec.traffic.workload.seed = 42;
+    spec.traffic.max_batch = 2;
+    auto traffic = driver.run(spec);
+    ASSERT_TRUE(traffic.is_ok()) << strategy;
+    EXPECT_FALSE(traffic->traffic.batch_sizes.empty()) << strategy;
+  }
 }
 
-TEST(DeprecatedShimTest, OptimizeForwardsToDriver) {
-  auto via_shim = optimize(decoder_model(), legacy_request());
-  ASSERT_TRUE(via_shim.is_ok());
-  auto via_driver =
-      SearchDriver(decoder_model(), arch::platform_zu9cg()).run(fast_spec());
-  ASSERT_TRUE(via_driver.is_ok());
-  EXPECT_EQ(via_shim->fitness, via_driver->search.fitness);
-  EXPECT_EQ(via_shim->feasible, via_driver->search.feasible);
-  EXPECT_EQ(via_shim->trace.best_fitness,
-            via_driver->search.trace.best_fitness);
-}
-
-TEST(DeprecatedShimTest, ConvergenceStudyForwardsToDriver) {
-  const ConvergenceStats via_shim =
-      convergence_study(decoder_model(), legacy_request(), 3);
+TEST(StrategyInSpecTest, StrategySelectionChangesTheSearch) {
+  // Same seed, different strategies: the searches must actually differ
+  // (random sampling draws a different candidate sequence than the swarm).
   SearchSpec spec = fast_spec();
-  spec.kind = SearchKind::kConvergence;
-  spec.convergence_runs = 3;
-  auto via_driver =
-      SearchDriver(decoder_model(), arch::platform_zu9cg()).run(spec);
-  ASSERT_TRUE(via_driver.is_ok());
-  EXPECT_EQ(via_shim.mean_fitness, via_driver->convergence.mean_fitness);
-  EXPECT_EQ(via_shim.mean_iterations,
-            via_driver->convergence.mean_iterations);
-  EXPECT_EQ(via_shim.fitness_spread, via_driver->convergence.fitness_spread);
+  const SearchDriver driver(decoder_model(), arch::platform_zu9cg());
+  auto swarm = driver.run(spec);
+  ASSERT_TRUE(swarm.is_ok());
+  spec.strategy = "random";
+  auto random = driver.run(spec);
+  ASSERT_TRUE(random.is_ok());
+  EXPECT_NE(swarm->search.distribution.c_frac,
+            random->search.distribution.c_frac);
 }
 
-TEST(DeprecatedShimTest, MaxFeasibleBatchForwardsToDriver) {
-  auto via_shim = max_feasible_batch(decoder_model(), legacy_request(), 0, 4);
-  ASSERT_TRUE(via_shim.is_ok());
-  SearchSpec spec = fast_spec();
-  spec.kind = SearchKind::kMaxBatch;
-  spec.batch_branch = 0;
-  spec.batch_probe_limit = 4;
-  auto via_driver =
-      SearchDriver(decoder_model(), arch::platform_zu9cg()).run(spec);
-  ASSERT_TRUE(via_driver.is_ok());
-  EXPECT_EQ(*via_shim, via_driver->max_batch);
+TEST(StrategyInSpecTest, UnknownStrategyRejectedForEveryKind) {
+  const SearchDriver driver(decoder_model(), arch::platform_zu9cg());
+  for (SearchKind kind :
+       {SearchKind::kOptimize, SearchKind::kMaxBatch, SearchKind::kSweep,
+        SearchKind::kConvergence, SearchKind::kTraffic}) {
+    SearchSpec spec = fast_spec();
+    spec.kind = kind;
+    spec.strategy = "no-such-strategy";
+    auto outcome = driver.run(spec);
+    ASSERT_FALSE(outcome.is_ok()) << to_string(kind);
+    EXPECT_EQ(outcome.status().code(), StatusCode::kNotFound);
+  }
 }
-
-TEST(DeprecatedShimTest, SweepForwardsToDriver) {
-  SweepOptions options;
-  options.quantizations = {nn::DataType::kInt8};
-  options.frequencies_mhz = {200};
-  options.search = legacy_request().options;
-  options.customization.batch_sizes = {1, 2, 2};
-  auto via_shim = quantization_frequency_sweep(
-      decoder_model(), arch::platform_zu9cg(), options);
-  ASSERT_TRUE(via_shim.is_ok());
-
-  SearchSpec spec = fast_spec();
-  spec.kind = SearchKind::kSweep;
-  spec.sweep.quantizations = {nn::DataType::kInt8};
-  spec.sweep.frequencies_mhz = {200};
-  auto via_driver =
-      SearchDriver(decoder_model(), arch::platform_zu9cg()).run(spec);
-  ASSERT_TRUE(via_driver.is_ok());
-  ASSERT_EQ(via_shim->size(), via_driver->sweep.size());
-  EXPECT_EQ((*via_shim)[0].result.fitness,
-            via_driver->sweep[0].result.fitness);
-  EXPECT_EQ((*via_shim)[0].pareto_optimal,
-            via_driver->sweep[0].pareto_optimal);
-}
-
-TEST(DeprecatedShimTest, TrafficForwardsAndPreservesOverwriteSemantics) {
-  DseRequest request = legacy_request();
-  request.customization.batch_sizes.clear();
-  TrafficProfile profile;
-  profile.workload.users = 2;
-  profile.workload.duration_s = 0.25;
-  profile.workload.seed = 42;
-  // The legacy footguns: both fields were silently overwritten before; the
-  // shim must keep accepting (and discarding) them rather than erroring.
-  profile.workload.branches = 99;
-  profile.sla.p99_bound_us = 1.0;
-  profile.fleet.instances = 2;
-  profile.max_batch = 2;
-  auto via_shim = optimize_for_traffic(decoder_model(), request, profile);
-  ASSERT_TRUE(via_shim.is_ok()) << via_shim.status().to_string();
-
-  SearchSpec spec;
-  spec.kind = SearchKind::kTraffic;
-  spec.search = request.options;
-  spec.traffic.workload.users = 2;
-  spec.traffic.workload.duration_s = 0.25;
-  spec.traffic.workload.seed = 42;
-  spec.traffic.fleet.instances = 2;
-  spec.traffic.max_batch = 2;
-  auto via_driver =
-      SearchDriver(decoder_model(), arch::platform_zu9cg()).run(spec);
-  ASSERT_TRUE(via_driver.is_ok());
-  EXPECT_EQ(via_shim->sla_fitness, via_driver->traffic.sla_fitness);
-  EXPECT_EQ(via_shim->users_served, via_driver->traffic.users_served);
-  EXPECT_EQ(via_shim->batch_sizes, via_driver->traffic.batch_sizes);
-}
-
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace fcad::dse

@@ -293,6 +293,80 @@ TEST(FleetTest, StatsAreBitReproducible) {
   EXPECT_EQ(serving_csv_row({}, *a), serving_csv_row({}, *b));
 }
 
+TEST(FleetTest, RunControlStreamsPartialPercentiles) {
+  WorkloadOptions wl;
+  wl.users = 6;
+  wl.branches = 2;
+  wl.frame_rate_hz = 60;
+  wl.duration_s = 1.0;
+  wl.seed = 3;
+  auto workload = generate_workload(wl);
+  ASSERT_TRUE(workload.is_ok());
+  FleetOptions options;
+  options.instances = 2;
+  const ServiceModel service = make_service({{2, 4000.0}, {4, 6000.0}});
+
+  util::RunControl control;
+  std::vector<util::ProgressEvent> events;
+  control.on_progress = [&](const util::ProgressEvent& event) {
+    events.push_back(event);
+  };
+  const util::RunScope scope(control);
+  auto observed = simulate_fleet(service, *workload, options, &scope);
+  ASSERT_TRUE(observed.is_ok());
+
+  ASSERT_GE(events.size(), 2u);
+  for (const util::ProgressEvent& event : events) {
+    EXPECT_EQ(event.stage, "fleet");
+    EXPECT_GT(event.step, 0);
+    EXPECT_EQ(event.total_steps,
+              static_cast<int>(workload->size()));
+    // The partial p99 estimate is a real latency, not a fitness.
+    EXPECT_GT(event.best_fitness, 0);
+  }
+  // Steps are monotone and the final estimate converges on the true p99.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].step, events[i - 1].step);
+  }
+  EXPECT_DOUBLE_EQ(events.back().best_fitness, observed->latency.p99);
+
+  // Observation never changes the stats.
+  auto unobserved = simulate_fleet(service, *workload, options);
+  ASSERT_TRUE(unobserved.is_ok());
+  EXPECT_EQ(serving_csv_row({}, *observed), serving_csv_row({}, *unobserved));
+}
+
+TEST(FleetTest, RunControlCancelsAReplay) {
+  WorkloadOptions wl;
+  wl.users = 4;
+  wl.branches = 2;
+  wl.duration_s = 1.0;
+  wl.seed = 11;
+  auto workload = generate_workload(wl);
+  ASSERT_TRUE(workload.is_ok());
+  const ServiceModel service = make_service({{2, 4000.0}, {4, 6000.0}});
+
+  // Pre-cancelled: the replay stops at its first checkpoint.
+  util::RunControl control;
+  control.cancel.request_cancel();
+  const util::RunScope scope(control);
+  auto stats = simulate_fleet(service, *workload, FleetOptions{}, &scope);
+  ASSERT_FALSE(stats.is_ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kCancelled);
+
+  // Cancelling mid-replay from the progress callback also stops it.
+  util::RunControl midway;
+  int ticks = 0;
+  midway.on_progress = [&](const util::ProgressEvent&) {
+    if (++ticks >= 2) midway.cancel.request_cancel();
+  };
+  const util::RunScope mid_scope(midway);
+  auto mid = simulate_fleet(service, *workload, FleetOptions{}, &mid_scope);
+  ASSERT_FALSE(mid.is_ok());
+  EXPECT_EQ(mid.status().code(), StatusCode::kCancelled);
+  EXPECT_NE(mid.status().message().find("cancelled"), std::string::npos);
+}
+
 TEST(FleetTest, SingleRequestLatencyIsTimeoutPlusPass) {
   // Capacity 4 with one lone request: it waits out the batching timeout and
   // then runs alone.
