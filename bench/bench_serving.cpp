@@ -1,13 +1,36 @@
-// Serving-scale sweep on the Table I avatar decoder: users x fleet size x
-// SLA bound, Poisson arrivals at 30 Hz per user, least-loaded dispatch.
-// Emits the full matrix as CSV (bench_serving.csv, or --csv <path>) for
-// plotting capacity curves; prints the 33 ms frame-budget slice as a table.
+// Serving benches on the Table I avatar decoder, three modes:
+//
+//   bench_serving
+//     Classic users x fleet x SLA sweep (Poisson arrivals at 30 Hz per
+//     user, least-loaded dispatch). Emits the full matrix as CSV
+//     (bench_serving.csv, or --csv <path>); prints the 33 ms frame-budget
+//     slice as a table.
+//
+//   bench_serving --replay <requests> [--shards S] [--threads T]
+//                 [--checkpoint <file>] [--cancel-at <frac>]
+//     Large-trace sharded replay: searches the hardware once, then replays
+//     a million-request-scale Poisson trace across a statically sharded
+//     fleet. Stats are bit-identical for any --threads at a fixed shard
+//     count (CSV/JSON outputs carry only deterministic fields; wall time
+//     goes to stdout). --checkpoint enables per-shard checkpointing;
+//     --cancel-at f cancels via RunControl once f of the requests
+//     completed (exit code 3), and a rerun with the same flags resumes
+//     from the checkpoint to the same final stats.
+//
+//   bench_serving --traffic-cache <dir>
+//     Runs an SLA-aware kTraffic search through core::Pipeline with the
+//     spec-hash artifact cache under <dir>: the first run searches and
+//     writes the artifact, a second identical run must be a cache hit with
+//     bit-identical stats (the --json report carries the hit/miss
+//     counters for CI to assert).
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "arch/platform.hpp"
 #include "arch/reorg.hpp"
+#include "core/pipeline.hpp"
 #include "dse/search_driver.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
 #include "serving/fleet.hpp"
@@ -17,24 +40,233 @@
 #include "util/args.hpp"
 #include "util/csv.hpp"
 #include "util/format.hpp"
+#include "util/json.hpp"
+#include "util/run_control.hpp"
 #include "util/table.hpp"
 
-int main(int argc, char** argv) {
-  using namespace fcad;
+namespace {
 
-  auto args = ArgParser::parse(argc, argv);
-  if (!args.is_ok()) {
-    std::fprintf(stderr, "error: %s\n", args.status().to_string().c_str());
+using namespace fcad;
+
+/// Unwraps a parsed flag or exits with a clean error message.
+template <typename T>
+T flag_value(StatusOr<T> value) {
+  if (!value.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", value.status().to_string().c_str());
+    std::exit(1);
+  }
+  return std::move(*value);
+}
+
+/// One small hardware search shared by every mode (batch {1,2,2} on the
+/// ZU9CG budget), returning the winning search result.
+dse::SearchResult search_decoder(const arch::ReorganizedModel& model,
+                                 int threads, int population, int iterations,
+                                 std::uint64_t seed) {
+  dse::SearchSpec spec;
+  spec.search.population = population;
+  spec.search.iterations = iterations;
+  spec.search.seed = seed;
+  spec.control.threads = threads;
+  auto outcome = dse::SearchDriver(model, arch::platform_zu9cg()).run(spec);
+  FCAD_CHECK_MSG(outcome.is_ok(), outcome.status().message());
+  return std::move(outcome)->search;
+}
+
+int run_replay(const ArgParser& args) {
+  const auto requests_flag = flag_value(args.get_int("replay", 0));
+  const auto users = static_cast<int>(flag_value(args.get_int("users", 8)));
+  const double frame_rate = flag_value(args.get_double("frame-rate", 30.0));
+  const auto seed =
+      static_cast<std::uint64_t>(flag_value(args.get_int("seed", 42)));
+  const auto instances =
+      static_cast<int>(flag_value(args.get_int("instances", 8)));
+  const auto shards =
+      static_cast<int>(flag_value(args.get_int("shards", 8)));
+  const auto threads =
+      static_cast<int>(flag_value(args.get_int("threads", 0)));
+  const double cancel_at = flag_value(args.get_double("cancel-at", 0.0));
+  const double tail_pct = flag_value(args.get_double("tail-pct", 99.0));
+  if (Status s = serving::validate_percentile(tail_pct); !s.is_ok()) {
+    std::fprintf(stderr, "error: --tail-pct: %s\n", s.message().c_str());
     return 1;
   }
-  const std::string csv_path = args->get("csv", "bench_serving.csv");
-  auto threads_flag = args->get_int("threads", 0);
-  if (!threads_flag.is_ok()) {
-    std::fprintf(stderr, "error: %s\n",
-                 threads_flag.status().to_string().c_str());
+
+  auto model = arch::reorganize(nn::zoo::avatar_decoder());
+  FCAD_CHECK_MSG(model.is_ok(), model.status().message());
+  const dse::SearchResult search = search_decoder(*model, threads, 100, 12,
+                                                  /*seed=*/42);
+  const serving::ServiceModel service =
+      serving::service_model_from_eval(search.config, search.eval);
+
+  serving::WorkloadOptions workload;
+  workload.users = users;
+  workload.branches = model->num_branches();
+  workload.frame_rate_hz = frame_rate;
+  workload.seed = seed;
+  workload.target_requests = requests_flag;
+  auto trace = serving::generate_workload(workload);
+  FCAD_CHECK_MSG(trace.is_ok(), trace.status().message());
+
+  serving::FleetOptions fleet;
+  fleet.instances = instances;
+  fleet.shards = shards;
+  fleet.threads = threads;
+  fleet.policy = serving::DispatchPolicy::kLeastLoaded;
+  fleet.switch_penalty_us = 500;
+  fleet.progress_tail_pct = tail_pct;
+  fleet.sla_bound_us =
+      flag_value(args.get_double("sla-ms", 100.0 / 3.0)) * 1e3;
+  fleet.checkpoint_path = args.get("checkpoint", "");
+
+  util::RunControl control;
+  control.threads = threads;
+  if (cancel_at > 0) {
+    const auto cancel_after = static_cast<std::int64_t>(
+        cancel_at * static_cast<double>(trace->size()));
+    control.on_progress = [&control,
+                           cancel_after](const util::ProgressEvent& event) {
+      if (event.step >= cancel_after) control.cancel.request_cancel();
+    };
+  }
+  const util::RunScope scope(control);
+
+  std::printf("=== sharded fleet replay: %lld requests, %d users, "
+              "%d instance(s) x %d shard(s), %s threads ===\n",
+              static_cast<long long>(trace->size()), users, instances, shards,
+              threads > 0 ? std::to_string(threads).c_str() : "all");
+  const auto start = std::chrono::steady_clock::now();
+  auto stats = serving::simulate_fleet(service, *trace, fleet, &scope);
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  if (!stats.is_ok()) {
+    if (stats.status().code() == StatusCode::kCancelled) {
+      std::printf("%s\n", stats.status().message().c_str());
+      if (!fleet.checkpoint_path.empty()) {
+        std::printf("checkpoint kept at %s; rerun the same command to "
+                    "resume\n",
+                    fleet.checkpoint_path.c_str());
+      }
+      return 3;
+    }
+    std::fprintf(stderr, "error: %s\n", stats.status().to_string().c_str());
     return 1;
   }
-  const auto threads = static_cast<int>(*threads_flag);
+
+  std::printf(
+      "replayed %lld requests in %.3f s (%.0f req/s simulated; makespan "
+      "%.1f s of traffic)\n",
+      static_cast<long long>(stats->completed), elapsed_s,
+      static_cast<double>(stats->completed) / elapsed_s,
+      stats->makespan_us * 1e-6);
+  if (stats->resumed_shards > 0) {
+    std::printf("resumed %d of %d shard(s) from %s\n", stats->resumed_shards,
+                shards, fleet.checkpoint_path.c_str());
+  }
+  std::printf("%s\n", serving::serving_report(*stats).c_str());
+
+  // Machine-readable outputs carry only deterministic fields, so CI can
+  // diff runs at different thread counts (and resumed vs. uninterrupted
+  // runs) for bit-identity.
+  if (args.has("csv")) {
+    CsvWriter csv(serving::serving_csv_header({"requests", "shards"}));
+    csv.add_row(serving::serving_csv_row(
+        {std::to_string(stats->offered), std::to_string(shards)}, *stats));
+    const std::string path = args.get("csv", "");
+    if (!csv.write_file(path)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+      return 1;
+    }
+  }
+  if (args.has("json")) {
+    JsonWriter json;
+    json.begin_object();
+    json.key("schema_version").value(1);
+    json.key("bench").value("serving_replay");
+    json.key("requests").value(stats->offered);
+    json.key("users").value(users);
+    json.key("instances").value(instances);
+    json.key("shards").value(shards);
+    json.key("policy").value(serving::to_string(fleet.policy));
+    json.key("stats");
+    serving::serving_stats_json(json, *stats);
+    json.end_object();
+    const std::string path = args.get("json", "");
+    if (!json.write_file(path)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int run_traffic_cache(const ArgParser& args) {
+  const std::string cache_dir = args.get("traffic-cache", "");
+  const auto threads =
+      static_cast<int>(flag_value(args.get_int("threads", 0)));
+
+  dse::SearchSpec spec;
+  spec.kind = dse::SearchKind::kTraffic;
+  spec.search.population = 60;
+  spec.search.iterations = 8;
+  spec.search.seed = 42;
+  spec.control.threads = threads;
+  spec.traffic.workload.users = 2;
+  spec.traffic.workload.frame_rate_hz = 30;
+  spec.traffic.workload.duration_s = 0.5;
+  spec.traffic.workload.seed = 42;
+  spec.traffic.fleet.instances = 2;
+  spec.traffic.fleet.batch_timeout_us = 4000;
+  spec.traffic.max_batch = 2;
+
+  core::Pipeline pipeline(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  pipeline.set_artifact_cache_dir(cache_dir);
+  std::printf("=== kTraffic search via the artifact cache (%s) ===\n",
+              cache_dir.c_str());
+  if (Status s = pipeline.optimize(spec); !s.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  const dse::TrafficSearchResult& result =
+      pipeline.search()->outcome.traffic;
+  std::printf("artifact cache: %d hit(s), %d miss(es)\n",
+              pipeline.artifact_cache_hits(), pipeline.artifact_cache_misses());
+  std::printf("users served: %d   SLA met: %s   sla fitness: %s\n",
+              result.users_served, result.sla_met ? "yes" : "no",
+              format_fixed(result.sla_fitness, 3).c_str());
+
+  if (args.has("json")) {
+    JsonWriter json;
+    json.begin_object();
+    json.key("schema_version").value(1);
+    json.key("bench").value("serving_traffic_cache");
+    json.key("cache_hits").value(pipeline.artifact_cache_hits());
+    json.key("cache_misses").value(pipeline.artifact_cache_misses());
+    json.key("cache_key").value(pipeline.artifact_cache_key(spec));
+    json.key("users_served").value(result.users_served);
+    json.key("sla_met").value(result.sla_met);
+    json.key("sla_fitness").value(result.sla_fitness);
+    json.key("batch_sizes").begin_array();
+    for (int b : result.batch_sizes) json.value(b);
+    json.end_array();
+    json.key("stats");
+    serving::serving_stats_json(json, result.stats);
+    json.end_object();
+    const std::string path = args.get("json", "");
+    if (!json.write_file(path)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int run_sweep(const ArgParser& args) {
+  const std::string csv_path = args.get("csv", "bench_serving.csv");
+  const auto threads =
+      static_cast<int>(flag_value(args.get_int("threads", 0)));
 
   std::printf("=== serving sweep: users x fleet x SLA (avatar decoder) ===\n\n");
 
@@ -43,20 +275,14 @@ int main(int argc, char** argv) {
 
   // One hardware search (batch 1 per branch on the ZU9CG budget); the sweep
   // varies the serving layer on top of the resulting service model.
-  dse::SearchSpec spec;
-  spec.search.population = 100;
-  spec.search.iterations = 12;
-  spec.search.seed = 42;
-  spec.control.threads = threads;
-  auto outcome = dse::SearchDriver(*model, arch::platform_zu9cg()).run(spec);
-  FCAD_CHECK_MSG(outcome.is_ok(), outcome.status().message());
-  const dse::SearchResult* search = &outcome->search;
+  const dse::SearchResult search = search_decoder(*model, threads, 100, 12,
+                                                  /*seed=*/42);
   const serving::ServiceModel service =
-      serving::service_model_from_eval(search->config, search->eval);
+      serving::service_model_from_eval(search.config, search.eval);
   std::printf(
       "searched config: min %s FPS, uniform-mix saturation %s req/s per "
       "instance\n\n",
-      format_fixed(search->eval.min_fps, 1).c_str(),
+      format_fixed(search.eval.min_fps, 1).c_str(),
       format_fixed(service.peak_rps(), 0).c_str());
 
   const std::vector<int> user_counts = {1, 2, 4, 8, 16, 32};
@@ -114,4 +340,17 @@ int main(int argc, char** argv) {
       "uniform-mix saturation; doubling the fleet roughly doubles the "
       "feasible user count.\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = ArgParser::parse(argc, argv);
+  if (!args.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", args.status().to_string().c_str());
+    return 1;
+  }
+  if (args->has("replay")) return run_replay(*args);
+  if (args->has("traffic-cache")) return run_traffic_cache(*args);
+  return run_sweep(*args);
 }

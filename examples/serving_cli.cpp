@@ -43,11 +43,15 @@ void usage() {
       "  --seed <n>             workload + DSE seed (default 42)\n"
       "fleet:\n"
       "  --instances <n>        accelerator instances (default 4)\n"
+      "  --shards <n>           static fleet shards, in [1, instances]; the\n"
+      "                         replay parallelizes across them (default 1)\n"
       "  --policy <name>        rr | least | affinity | all (default all)\n"
       "  --timeout-us <f>       batching timeout (default 4000)\n"
       "  --switch-penalty-us <f> branch retarget cost per pass (default "
       "500)\n"
       "  --sla-ms <f>           p99 latency bound (default 33.333)\n"
+      "  --tail-pct <f>         percentile rank streamed by progress ticks,\n"
+      "                         in (0, 100] (default 99)\n"
       "hardware search:\n"
       "  --platform <name>      z7045 | zu17eg | zu9cg | ku115 (default "
       "zu9cg)\n"
@@ -98,6 +102,14 @@ int run(const ArgParser& args) {
       flag_value(args.get_double("switch-penalty-us", 500.0));
   const double sla_us =
       flag_value(args.get_double("sla-ms", 100.0 / 3.0)) * 1e3;
+  const auto shards = static_cast<int>(flag_value(args.get_int("shards", 1)));
+  // Percentile-bearing flags are validated up front: a bad rank is a clean
+  // CLI error, never a crash inside the stats layer.
+  const double tail_pct = flag_value(args.get_double("tail-pct", 99.0));
+  if (Status s = serving::validate_percentile(tail_pct); !s.is_ok()) {
+    std::fprintf(stderr, "error: --tail-pct: %s\n", s.message().c_str());
+    return 1;
+  }
   const bool emit_json = args.has("json");
 
   auto platform = arch::platform_by_name(args.get("platform", "zu9cg"));
@@ -167,9 +179,11 @@ int run(const ArgParser& args) {
 
   serving::FleetOptions fleet;
   fleet.instances = instances;
+  fleet.shards = shards;
   fleet.batch_timeout_us = timeout_us;
   fleet.switch_penalty_us = switch_penalty_us;
   fleet.sla_bound_us = sla_us;
+  fleet.progress_tail_pct = tail_pct;
 
   // 2. SLA-aware DSE mode: search batch scaling under the traffic spec.
   if (args.has("optimize")) {
@@ -213,6 +227,7 @@ int run(const ArgParser& args) {
           .value(serving::to_string(spec.traffic.workload.process));
       json.key("policy").value(serving::to_string(spec.traffic.fleet.policy));
       json.key("instances").value(instances);
+      json.key("shards").value(shards);
       json.key("users_requested").value(users);
       json.key("users_served").value(result.users_served);
       json.key("sla_met").value(result.sla_met);
@@ -310,6 +325,7 @@ int run(const ArgParser& args) {
     json.key("mode").value("fixed");
     json.key("platform").value(platform->name);
     json.key("instances").value(instances);
+    json.key("shards").value(shards);
     json.key("users").value(users);
     json.key("search").begin_object();
     json.key("fitness").value(search.fitness);

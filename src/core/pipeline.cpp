@@ -13,18 +13,18 @@
 #include "arch/config_io.hpp"
 #include "dse/spec_hash.hpp"
 #include "nn/serialize.hpp"
+#include "serving/stats.hpp"
+#include "util/format.hpp"
 #include "util/log.hpp"
 
 namespace fcad::core {
 namespace {
 
-constexpr const char* kArtifactMagic = "fcad-search-artifact v2";
+// v3 embeds the kTraffic serving stats (serving_stats_to_text), so traffic
+// outcomes round-trip whole and qualify for the spec-hash artifact cache.
+constexpr const char* kArtifactMagic = "fcad-search-artifact v3";
 
-std::string format_double(double value) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  return buffer;
-}
+std::string format_double(double value) { return format_exact(value); }
 
 StatusOr<dse::SearchKind> search_kind_by_name(const std::string& name) {
   for (dse::SearchKind kind :
@@ -203,6 +203,17 @@ std::string search_artifact_to_text(const ReorgArtifact& reorg,
     os << "result\n";
     write_search_block(os, reorg, artifact.best());
   }
+  if (outcome.kind == dse::SearchKind::kTraffic) {
+    const dse::TrafficSearchResult& traffic = outcome.traffic;
+    os << "traffic_users_served " << traffic.users_served << "\n";
+    os << "traffic_sla_met " << (traffic.sla_met ? 1 : 0) << "\n";
+    os << "traffic_sla_fitness " << format_double(traffic.sla_fitness)
+       << "\n";
+    os << "batch_sizes " << traffic.batch_sizes.size();
+    for (int b : traffic.batch_sizes) os << " " << b;
+    os << "\n";
+    serving::serving_stats_to_text(os, traffic.stats);
+  }
   for (const dse::SweepPoint& point : outcome.sweep) {
     os << "sweep_point " << nn::to_string(point.quantization) << " "
        << format_double(point.freq_mhz) << " "
@@ -277,6 +288,45 @@ StatusOr<SearchArtifact> search_artifact_from_text(const ReorgArtifact& reorg,
         artifact.outcome.search = std::move(result).value();
       }
       saw_result = true;
+    } else if (key == "traffic_users_served") {
+      fields >> artifact.outcome.traffic.users_served;
+      if (fields.fail()) {
+        return Status::invalid_argument(
+            "search artifact: malformed traffic_users_served line");
+      }
+    } else if (key == "traffic_sla_met") {
+      std::string value;
+      fields >> value;
+      if (fields.fail()) {
+        return Status::invalid_argument(
+            "search artifact: malformed traffic_sla_met line");
+      }
+      artifact.outcome.traffic.sla_met = value == "1";
+    } else if (key == "traffic_sla_fitness") {
+      fields >> artifact.outcome.traffic.sla_fitness;
+      if (fields.fail()) {
+        return Status::invalid_argument(
+            "search artifact: malformed traffic_sla_fitness line");
+      }
+    } else if (key == "batch_sizes") {
+      std::size_t n = 0;
+      fields >> n;
+      std::vector<int>& sizes = artifact.outcome.traffic.batch_sizes;
+      sizes.clear();
+      for (std::size_t i = 0; i < n && !fields.fail(); ++i) {
+        int b = 0;
+        fields >> b;
+        sizes.push_back(b);
+      }
+      if (fields.fail()) {
+        return Status::invalid_argument(
+            "search artifact: malformed batch_sizes line");
+      }
+    } else if (key == "serving_stats") {
+      auto stats =
+          serving::serving_stats_from_text(in, /*header_consumed=*/true);
+      if (!stats.is_ok()) return stats.status();
+      artifact.outcome.traffic.stats = std::move(stats).value();
     } else if (key == "sweep_point") {
       std::string quant;
       dse::SweepPoint point;
@@ -336,9 +386,9 @@ Status Pipeline::construct() {
 }
 
 std::string Pipeline::artifact_cache_key(const dse::SearchSpec& spec) const {
-  // kTraffic outcomes do not serialize whole (serving stats stay behind);
-  // a deadline makes results timing-dependent. Neither may be cached.
-  if (spec.kind == dse::SearchKind::kTraffic) return "";
+  // A deadline makes results timing-dependent and must not be cached.
+  // kTraffic qualifies since artifact v3: the serving stats serialize with
+  // the outcome, so a traffic run reloads whole.
   if (spec.control.deadline_s > 0) return "";
   // The graph and platform are fixed for the pipeline's lifetime; their
   // digest (which serializes the whole graph) is computed once.

@@ -16,8 +16,9 @@
 // spec-hash-keyed artifact cache (set_artifact_cache_dir): each cacheable
 // spec maps to a 128-bit key over the spec, the model text, and the
 // platform, and a key hit reloads the previous run's bit-identical
-// SearchArtifact from disk instead of re-searching — so kSweep/kConvergence
-// studies resume across process restarts.
+// SearchArtifact from disk instead of re-searching — so sweeps, convergence
+// studies, and (since artifact v3 serializes the serving stats) traffic
+// searches all resume across process restarts.
 //
 // run() is the one-shot convenience covering the whole flow.
 #pragma once
@@ -58,13 +59,15 @@ struct SimArtifact {
   sim::SimResult result;
 };
 
-/// Text serialization of a search artifact: the outcome header, the winning
-/// search (stats, convergence curve, winning distribution, configuration in
-/// the arch/config_io format), and — for kSweep/kConvergence — every grid
-/// point / the aggregate statistics, so those outcomes re-enter whole.
-/// Stable across runs; doubles round-trip bit-exactly. Not round-tripped:
-/// kTraffic serving stats, and the fitness-cache hit/miss counters (pure
-/// diagnostics of the producing run — they reload as zero).
+/// Text serialization of a search artifact (format v3): the outcome header,
+/// the winning search (stats, convergence curve, winning distribution,
+/// configuration in the arch/config_io format), every kSweep grid point /
+/// the kConvergence aggregate statistics, and the whole kTraffic result
+/// (batch targets, users served, SLA verdict, and the serving stats via
+/// serving_stats_to_text) — so every outcome kind re-enters whole. Stable
+/// across runs; doubles round-trip bit-exactly. Not round-tripped: the
+/// fitness-cache hit/miss counters (pure diagnostics of the producing run —
+/// they reload as zero).
 std::string search_artifact_to_text(const ReorgArtifact& reorg,
                                     const SearchArtifact& artifact);
 
@@ -142,8 +145,9 @@ class Pipeline {
 
   /// The cache key optimize() would use for `spec`: 32 hex digits over the
   /// spec hash, the model text, and the platform. "" when the spec is not
-  /// cacheable — kTraffic outcomes do not serialize whole, and a RunControl
-  /// deadline makes results timing-dependent.
+  /// cacheable — only a RunControl deadline disqualifies a spec (it makes
+  /// results timing-dependent); kTraffic caches like every other kind now
+  /// that artifact v3 serializes the serving stats.
   std::string artifact_cache_key(const dse::SearchSpec& spec) const;
 
   /// Cache traffic of this pipeline's optimize() calls (only counted while

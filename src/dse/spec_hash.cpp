@@ -39,11 +39,18 @@ void absorb_traffic(util::Hash128& h, const TrafficSpec& traffic) {
   h.absorb_double(traffic.workload.burst_factor);
   h.absorb(traffic.workload.trace_arrivals_us.size());
   for (double t : traffic.workload.trace_arrivals_us) h.absorb_double(t);
+  h.absorb(static_cast<std::uint64_t>(traffic.workload.target_requests));
   h.absorb(static_cast<std::uint64_t>(traffic.fleet.instances));
   h.absorb(static_cast<std::uint64_t>(traffic.fleet.policy));
   h.absorb_double(traffic.fleet.batch_timeout_us);
   h.absorb_double(traffic.fleet.switch_penalty_us);
   h.absorb_double(traffic.fleet.sla_bound_us);
+  // The shard count is part of the serving model (it changes the stats) and
+  // keep_records changes what a v3 artifact stores; threads, the checkpoint
+  // path, and the progress tail percentile are execution details that never
+  // affect results.
+  h.absorb(static_cast<std::uint64_t>(traffic.fleet.shards));
+  h.absorb(static_cast<std::uint64_t>(traffic.fleet.keep_records));
   h.absorb_double(traffic.sla.p99_bound_us);
   h.absorb_double(traffic.sla.over_bound_demerit);
   h.absorb_double(traffic.sla.violation_weight);

@@ -1,13 +1,31 @@
 #include "serving/fleet.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <functional>
 #include <limits>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "util/format.hpp"
+#include "util/hash.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fcad::serving {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr const char* kCheckpointMagic = "fcad-fleet-checkpoint v1";
 
 struct Instance {
   double free_at_us = 0;
@@ -18,73 +36,520 @@ struct Instance {
   std::int64_t switches = 0;
 };
 
+/// Dispatch bookkeeping in O(log K) per event instead of the former O(K)
+/// scans: busy instances live in a free-time min-heap (one live entry each —
+/// pushed on dispatch, popped once expired), free instances in ordered sets
+/// keyed the way each policy picks (index order for round-robin, (busy_us,
+/// index) for least-loaded, the same per last-branch for affinity). Every
+/// pick reproduces the linear-scan decisions exactly, ties still breaking
+/// toward the lowest index.
 class Dispatcher {
  public:
-  Dispatcher(DispatchPolicy policy, int instances)
-      : policy_(policy), instances_(static_cast<std::size_t>(instances)) {}
+  Dispatcher(DispatchPolicy policy, int instances, int branches)
+      : policy_(policy),
+        instances_(static_cast<std::size_t>(instances)),
+        free_by_branch_(static_cast<std::size_t>(branches)) {
+    for (int k = 0; k < instances; ++k) insert_free(k);
+  }
 
-  std::vector<Instance>& instances() { return instances_; }
   const std::vector<Instance>& instances() const { return instances_; }
 
   /// Earliest time any instance frees up after `now_us` (+inf if none busy).
-  double next_free_us(double now_us) const {
-    double t = kInf;
-    for (const auto& inst : instances_) {
-      if (inst.free_at_us > now_us) t = std::min(t, inst.free_at_us);
-    }
-    return t;
+  double next_free_us(double now_us) {
+    refresh(now_us);
+    return busy_.empty() ? kInf : busy_.top().first;
   }
 
   /// Picks the instance to run a `branch` batch at `now_us`, or -1 when all
   /// are busy. Deterministic: ties break toward the lowest index.
   int pick(int branch, double now_us) {
-    const int n = static_cast<int>(instances_.size());
+    refresh(now_us);
     switch (policy_) {
-      case DispatchPolicy::kRoundRobin:
-        for (int step = 0; step < n; ++step) {
-          const int k = (cursor_ + step) % n;
-          if (free_at(k) <= now_us) {
-            cursor_ = (k + 1) % n;
-            return k;
-          }
-        }
-        return -1;
+      case DispatchPolicy::kRoundRobin: {
+        if (free_by_index_.empty()) return -1;
+        auto it = free_by_index_.lower_bound(cursor_);
+        const int k =
+            it != free_by_index_.end() ? *it : *free_by_index_.begin();
+        cursor_ = (k + 1) % static_cast<int>(instances_.size());
+        return k;
+      }
       case DispatchPolicy::kLeastLoaded:
-        return least_loaded(now_us, /*branch=*/-1);
+        return free_by_load_.empty() ? -1 : free_by_load_.begin()->second;
       case DispatchPolicy::kBranchAffinity: {
-        const int affine = least_loaded(now_us, branch);
-        if (affine >= 0) return affine;
-        return least_loaded(now_us, /*branch=*/-1);
+        const auto& affine =
+            free_by_branch_[static_cast<std::size_t>(branch)];
+        if (!affine.empty()) return affine.begin()->second;
+        return free_by_load_.empty() ? -1 : free_by_load_.begin()->second;
       }
     }
     return -1;
   }
 
- private:
-  double free_at(int k) const {
-    return instances_[static_cast<std::size_t>(k)].free_at_us;
+  /// Commits a `requests`-sized batch of `branch` to instance `k` (which
+  /// pick() just returned as free) and returns its completion time.
+  double dispatch(int k, int branch, double now_us, double base_pass_us,
+                  double switch_penalty_us, std::int64_t requests) {
+    Instance& inst = instances_[static_cast<std::size_t>(k)];
+    erase_free(k);  // keyed on the pre-dispatch busy_us / last_branch
+    double pass_us = base_pass_us;
+    if (inst.last_branch >= 0 && inst.last_branch != branch) {
+      pass_us += switch_penalty_us;
+      ++inst.switches;
+    }
+    const double finish_us = now_us + pass_us;
+    inst.free_at_us = finish_us;
+    inst.busy_us += pass_us;
+    inst.last_branch = branch;
+    ++inst.batches;
+    inst.requests += requests;
+    busy_.push({finish_us, k});
+    return finish_us;
   }
 
-  /// Least-busy free instance; when `branch >= 0` only instances whose last
-  /// pass targeted that branch qualify.
-  int least_loaded(double now_us, int branch) const {
-    int best = -1;
-    for (int k = 0; k < static_cast<int>(instances_.size()); ++k) {
-      const auto& inst = instances_[static_cast<std::size_t>(k)];
-      if (inst.free_at_us > now_us) continue;
-      if (branch >= 0 && inst.last_branch != branch) continue;
-      if (best < 0 ||
-          inst.busy_us < instances_[static_cast<std::size_t>(best)].busy_us) {
-        best = k;
-      }
+ private:
+  void refresh(double now_us) {
+    while (!busy_.empty() && busy_.top().first <= now_us) {
+      const int k = busy_.top().second;
+      busy_.pop();
+      insert_free(k);
     }
-    return best;
+  }
+
+  void insert_free(int k) {
+    const Instance& inst = instances_[static_cast<std::size_t>(k)];
+    free_by_index_.insert(k);
+    free_by_load_.insert({inst.busy_us, k});
+    if (inst.last_branch >= 0) {
+      free_by_branch_[static_cast<std::size_t>(inst.last_branch)].insert(
+          {inst.busy_us, k});
+    }
+  }
+
+  void erase_free(int k) {
+    const Instance& inst = instances_[static_cast<std::size_t>(k)];
+    free_by_index_.erase(k);
+    free_by_load_.erase({inst.busy_us, k});
+    if (inst.last_branch >= 0) {
+      free_by_branch_[static_cast<std::size_t>(inst.last_branch)].erase(
+          {inst.busy_us, k});
+    }
   }
 
   DispatchPolicy policy_;
   std::vector<Instance> instances_;
+  /// (free_at_us, index) of busy instances; one live entry per instance.
+  std::priority_queue<std::pair<double, int>,
+                      std::vector<std::pair<double, int>>,
+                      std::greater<std::pair<double, int>>>
+      busy_;
+  std::set<int> free_by_index_;
+  std::set<std::pair<double, int>> free_by_load_;  ///< (busy_us, index)
+  std::vector<std::set<std::pair<double, int>>> free_by_branch_;
   int cursor_ = 0;
 };
+
+/// Raw accumulation streams of one shard's event loop, merged across shards
+/// in shard-index order (concatenation, sums, maxima) — the merge is a pure
+/// function of the per-shard results, which is what makes the replay
+/// bit-identical for any thread count and resumable from a checkpoint.
+struct ShardStats {
+  std::int64_t offered = 0;
+  std::int64_t completed = 0;
+  std::int64_t batches = 0;
+  std::int64_t sla_violations = 0;
+  int max_queue_depth = 0;
+  double fill_sum = 0;
+  double depth_integral_us = 0;
+  double makespan_us = 0;
+  std::vector<double> latencies;
+  std::vector<double> waits;
+  std::vector<std::int64_t> branch_completed;
+  /// Per-instance counters with *global* instance ids; utilization is
+  /// filled at merge time (it depends on the global makespan).
+  std::vector<InstanceStats> instances;
+  std::vector<RequestRecord> records;
+};
+
+/// Progress plumbing shared by every shard: a global completion counter
+/// drives the ~20-tick cadence; the emitting shard supplies its local
+/// partial tail estimate.
+struct ProgressSink {
+  const util::RunScope* scope = nullptr;
+  std::int64_t offered = 0;
+  std::int64_t chunk = 0;
+  std::atomic<std::int64_t> completed{0};
+  std::atomic<std::int64_t> next_at{0};
+  std::atomic<std::int64_t> last_emitted{-1};
+  std::mutex mutex;
+
+  void emit(std::int64_t step, double partial_tail) {
+    scope->emit({"fleet",
+                 static_cast<int>(std::min<std::int64_t>(step, 1LL << 30)),
+                 static_cast<int>(std::min<std::int64_t>(offered, 1LL << 30)),
+                 partial_tail});
+    last_emitted.store(step, std::memory_order_relaxed);
+  }
+
+  /// The tail tracker is passed, not its value: partial() costs O(tail),
+  /// and this is called once per event-loop iteration — only a due tick
+  /// (at most ~20 per replay) may pay for the estimate.
+  void maybe_emit(const TailTracker& tail) {
+    if (scope == nullptr || chunk <= 0) return;
+    const std::int64_t c = completed.load(std::memory_order_relaxed);
+    if (c < next_at.load(std::memory_order_relaxed)) return;
+    std::lock_guard<std::mutex> lock(mutex);
+    if (c < next_at.load(std::memory_order_relaxed)) return;  // lost the race
+    emit(c, tail.partial());
+    next_at.store((c / chunk + 1) * chunk, std::memory_order_relaxed);
+  }
+};
+
+/// One shard's event-driven replay: `requests` (arrival-sorted) over
+/// `instances` servers whose global ids start at `first_instance`. The only
+/// failure mode is cooperative cancellation via `sink->scope`.
+StatusOr<ShardStats> run_shard(const ServiceModel& service,
+                               const std::vector<Request>& requests,
+                               int first_instance, int instances,
+                               const FleetOptions& options,
+                               ProgressSink* sink) {
+  const util::RunScope* scope = sink->scope;
+  BatchAggregator aggregator(service.capacities(), options.batch_timeout_us);
+  Dispatcher dispatcher(options.policy, instances, service.num_branches());
+
+  ShardStats out;
+  out.offered = static_cast<std::int64_t>(requests.size());
+  out.branch_completed.assign(
+      static_cast<std::size_t>(service.num_branches()), 0);
+  out.latencies.reserve(requests.size());
+  out.waits.reserve(requests.size());
+  TailTracker tail(out.offered, options.progress_tail_pct);
+
+  std::size_t next = 0;
+  double now_us = requests.empty() ? 0 : requests.front().arrival_us;
+  if (requests.empty()) aggregator.close();
+
+  while (true) {
+    if (scope != nullptr && scope->should_stop()) {
+      return Status::cancelled("fleet replay cancelled after " +
+                               std::to_string(sink->completed.load()) + "/" +
+                               std::to_string(sink->offered) + " requests");
+    }
+    // Ingest every arrival due by `now_us`.
+    while (next < requests.size() && requests[next].arrival_us <= now_us) {
+      aggregator.enqueue(requests[next]);
+      ++next;
+      out.max_queue_depth = std::max(out.max_queue_depth,
+                                     static_cast<int>(aggregator.pending()));
+    }
+    if (next >= requests.size()) aggregator.close();
+
+    // Dispatch ready batches while a free instance exists.
+    while (true) {
+      const int branch = aggregator.ready_branch(now_us);
+      if (branch < 0) break;
+      const int k = dispatcher.pick(branch, now_us);
+      if (k < 0) break;
+      Batch batch = *aggregator.pop_ready(now_us);
+
+      const double finish_us = dispatcher.dispatch(
+          k, branch,
+          now_us, service.branches[static_cast<std::size_t>(branch)].pass_us,
+          options.switch_penalty_us,
+          static_cast<std::int64_t>(batch.requests.size()));
+
+      ++out.batches;
+      out.fill_sum += static_cast<double>(batch.requests.size()) /
+                      static_cast<double>(aggregator.capacity(branch));
+      out.makespan_us = std::max(out.makespan_us, finish_us);
+      for (const Request& r : batch.requests) {
+        const double latency = finish_us - r.arrival_us;
+        out.latencies.push_back(latency);
+        out.waits.push_back(now_us - r.arrival_us);
+        tail.add(latency);
+        if (latency > options.sla_bound_us) ++out.sla_violations;
+        ++out.completed;
+        ++out.branch_completed[static_cast<std::size_t>(r.branch)];
+        if (options.keep_records) {
+          out.records.push_back({r.id, r.user, r.branch, first_instance + k,
+                                 r.arrival_us, now_us, finish_us});
+        }
+      }
+      sink->completed.fetch_add(static_cast<std::int64_t>(
+                                    batch.requests.size()),
+                                std::memory_order_relaxed);
+    }
+
+    sink->maybe_emit(tail);
+
+    // Advance to the next event: an arrival, a batching deadline, or — when
+    // a batch is ready but every instance is busy — an instance freeing up.
+    double t_us = kInf;
+    if (next < requests.size()) {
+      t_us = std::min(t_us, requests[next].arrival_us);
+    }
+    if (aggregator.has_ready(now_us)) {
+      t_us = std::min(t_us, dispatcher.next_free_us(now_us));
+    } else if (aggregator.pending() > 0) {
+      t_us = std::min(t_us, aggregator.next_deadline_us());
+    }
+    if (t_us == kInf) break;
+    FCAD_CHECK_MSG(t_us > now_us, "fleet: simulation time did not advance");
+    out.depth_integral_us +=
+        static_cast<double>(aggregator.pending()) * (t_us - now_us);
+    now_us = t_us;
+  }
+
+  FCAD_CHECK_MSG(out.completed == out.offered,
+                 "fleet: lost requests in flight");
+
+  for (int k = 0; k < instances; ++k) {
+    const Instance& inst = dispatcher.instances()[static_cast<std::size_t>(k)];
+    InstanceStats is;
+    is.instance = first_instance + k;
+    is.batches = inst.batches;
+    is.requests = inst.requests;
+    is.branch_switches = inst.switches;
+    is.busy_us = inst.busy_us;
+    out.instances.push_back(is);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------- checkpointing --
+
+void write_int64s(std::ostream& os, const char* key,
+                  const std::vector<std::int64_t>& values) {
+  os << key << " " << values.size();
+  for (std::int64_t v : values) os << " " << v;
+  os << "\n";
+}
+
+void write_doubles(std::ostream& os, const char* key,
+                   const std::vector<double>& values) {
+  os << key << " " << values.size();
+  for (double v : values) os << " " << format_exact(v);
+  os << "\n";
+}
+
+void shard_to_text(std::ostream& os, const ShardStats& shard) {
+  os << "offered " << shard.offered << "\n";
+  os << "completed " << shard.completed << "\n";
+  os << "batches " << shard.batches << "\n";
+  os << "sla_violations " << shard.sla_violations << "\n";
+  os << "max_queue_depth " << shard.max_queue_depth << "\n";
+  os << "fill_sum " << format_exact(shard.fill_sum) << "\n";
+  os << "depth_integral_us " << format_exact(shard.depth_integral_us) << "\n";
+  os << "makespan_us " << format_exact(shard.makespan_us) << "\n";
+  write_doubles(os, "latencies", shard.latencies);
+  write_doubles(os, "waits", shard.waits);
+  write_int64s(os, "branch_completed", shard.branch_completed);
+  // Instance and record rows share stats.cpp's line (de)serializers, so
+  // the checkpoint and artifact formats can never diverge per-row (the
+  // utilization field is 0 here — it is recomputed at merge time).
+  os << "instances " << shard.instances.size() << "\n";
+  for (const InstanceStats& inst : shard.instances) {
+    write_instance_line(os, inst);
+  }
+  os << "records " << shard.records.size() << "\n";
+  for (const RequestRecord& rec : shard.records) {
+    write_record_line(os, rec);
+  }
+  os << "shard_end\n";
+}
+
+bool shard_from_text(std::istream& in, ShardStats& shard) {
+  std::string line;
+  auto read_counted = [](std::istringstream& fields, auto& out) {
+    std::size_t n = 0;
+    fields >> n;
+    if (fields.fail()) return false;
+    out.clear();
+    // The count comes from an untrusted file: cap the reservation so a
+    // corrupt value fails the element reads below (-> wholesale restart)
+    // instead of throwing length_error out of reserve.
+    out.reserve(std::min<std::size_t>(n, 1u << 20));
+    for (std::size_t i = 0; i < n; ++i) {
+      typename std::decay_t<decltype(out)>::value_type v{};
+      fields >> v;
+      if (fields.fail()) return false;
+      out.push_back(v);
+    }
+    return true;
+  };
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "shard_end") return true;
+    if (key == "offered") {
+      fields >> shard.offered;
+    } else if (key == "completed") {
+      fields >> shard.completed;
+    } else if (key == "batches") {
+      fields >> shard.batches;
+    } else if (key == "sla_violations") {
+      fields >> shard.sla_violations;
+    } else if (key == "max_queue_depth") {
+      fields >> shard.max_queue_depth;
+    } else if (key == "fill_sum") {
+      fields >> shard.fill_sum;
+    } else if (key == "depth_integral_us") {
+      fields >> shard.depth_integral_us;
+    } else if (key == "makespan_us") {
+      fields >> shard.makespan_us;
+    } else if (key == "latencies") {
+      if (!read_counted(fields, shard.latencies)) return false;
+      continue;
+    } else if (key == "waits") {
+      if (!read_counted(fields, shard.waits)) return false;
+      continue;
+    } else if (key == "branch_completed") {
+      if (!read_counted(fields, shard.branch_completed)) return false;
+      continue;
+    } else if (key == "instances") {
+      std::size_t n = 0;
+      fields >> n;
+      if (fields.fail()) return false;
+      for (std::size_t i = 0; i < n; ++i) {
+        InstanceStats inst;
+        if (!std::getline(in, line) || !parse_instance_line(line, inst)) {
+          return false;
+        }
+        shard.instances.push_back(inst);
+      }
+      continue;
+    } else if (key == "records") {
+      std::size_t n = 0;
+      fields >> n;
+      if (fields.fail()) return false;
+      for (std::size_t i = 0; i < n; ++i) {
+        RequestRecord rec;
+        if (!std::getline(in, line) || !parse_record_line(line, rec)) {
+          return false;
+        }
+        shard.records.push_back(rec);
+      }
+      continue;
+    } else {
+      return false;
+    }
+    if (fields.fail()) return false;
+  }
+  return false;  // ran out of lines before shard_end
+}
+
+/// Fingerprint binding a checkpoint to its exact run: the service model,
+/// the full request stream, and every result-affecting fleet option. A
+/// mismatch means "different replay" — the checkpoint is ignored.
+std::string replay_fingerprint(const ServiceModel& service,
+                               const std::vector<Request>& requests,
+                               const FleetOptions& options) {
+  util::Hash128 h;
+  h.absorb_string(kCheckpointMagic);
+  h.absorb(service.branches.size());
+  for (const BranchService& b : service.branches) {
+    h.absorb(static_cast<std::uint64_t>(b.capacity));
+    h.absorb_double(b.pass_us);
+  }
+  h.absorb(static_cast<std::uint64_t>(options.instances));
+  h.absorb(static_cast<std::uint64_t>(options.policy));
+  h.absorb_double(options.batch_timeout_us);
+  h.absorb_double(options.switch_penalty_us);
+  h.absorb_double(options.sla_bound_us);
+  h.absorb(static_cast<std::uint64_t>(options.shards));
+  h.absorb(static_cast<std::uint64_t>(options.keep_records));
+  h.absorb(requests.size());
+  for (const Request& r : requests) {
+    h.absorb(static_cast<std::uint64_t>(r.id));
+    h.absorb(static_cast<std::uint64_t>(r.user));
+    h.absorb(static_cast<std::uint64_t>(r.branch));
+    h.absorb_double(r.arrival_us);
+  }
+  return h.hex();
+}
+
+/// Loads finished-shard slots from `path`. Any mismatch (magic,
+/// fingerprint, shard count) or torn content ignores the file wholesale —
+/// resuming from a stale or corrupt checkpoint would silently change
+/// results, restarting never does.
+int load_checkpoint(const std::string& path, const std::string& fingerprint,
+                    std::vector<std::optional<ShardStats>>& slots) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  std::string line;
+  if (!std::getline(in, line) || line != kCheckpointMagic) {
+    FCAD_LOG(kWarn) << "fleet checkpoint unreadable, restarting: " << path;
+    return 0;
+  }
+  if (!std::getline(in, line) || line != "fingerprint " + fingerprint) {
+    FCAD_LOG(kWarn) << "fleet checkpoint is for a different replay, "
+                       "restarting: "
+                    << path;
+    return 0;
+  }
+  if (!std::getline(in, line) ||
+      line != "shards " + std::to_string(slots.size())) {
+    FCAD_LOG(kWarn) << "fleet checkpoint shard count mismatch, restarting: "
+                    << path;
+    return 0;
+  }
+  std::vector<std::optional<ShardStats>> loaded(slots.size());
+  int count = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "end") {
+      slots = std::move(loaded);
+      return count;
+    }
+    std::size_t index = slots.size();
+    fields >> index;
+    if (key != "shard" || fields.fail() || index >= slots.size()) break;
+    ShardStats shard;
+    if (!shard_from_text(in, shard)) break;
+    loaded[index] = std::move(shard);
+    ++count;
+  }
+  FCAD_LOG(kWarn) << "fleet checkpoint torn or truncated, restarting: "
+                  << path;
+  return 0;
+}
+
+/// Atomically rewrites the checkpoint with every finished shard. Called
+/// under the caller's mutex; a failed write only costs resumability.
+void write_checkpoint(const std::string& path, const std::string& fingerprint,
+                      const std::vector<std::optional<ShardStats>>& slots) {
+  const std::string tmp_path =
+      path + ".tmp." + std::to_string(::getpid());
+  bool written = false;
+  {
+    std::ofstream out(tmp_path);
+    if (out) {
+      out << kCheckpointMagic << "\n";
+      out << "fingerprint " << fingerprint << "\n";
+      out << "shards " << slots.size() << "\n";
+      for (std::size_t s = 0; s < slots.size(); ++s) {
+        if (!slots[s]) continue;
+        out << "shard " << s << "\n";
+        shard_to_text(out, *slots[s]);
+      }
+      out << "end\n";
+      written = out.good();
+    }
+  }
+  std::error_code ec;
+  if (written) {
+    std::filesystem::rename(tmp_path, path, ec);
+    written = !ec;
+  }
+  if (!written) {
+    std::filesystem::remove(tmp_path, ec);
+    FCAD_LOG(kWarn) << "fleet checkpoint not writable: " << path;
+  }
+}
 
 }  // namespace
 
@@ -122,6 +587,15 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
   if (options.instances < 1) {
     return Status::invalid_argument("fleet: instances must be >= 1");
   }
+  if (options.shards < 1 || options.shards > options.instances) {
+    return Status::invalid_argument(
+        "fleet: shards must be in [1, instances], got " +
+        std::to_string(options.shards));
+  }
+  if (Status s = validate_percentile(options.progress_tail_pct); !s.is_ok()) {
+    return Status::invalid_argument("fleet: progress_tail_pct: " +
+                                    s.message());
+  }
   if (service.num_branches() < 1) {
     return Status::invalid_argument("fleet: service model has no branches");
   }
@@ -137,13 +611,104 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
                      return a.arrival_us < b.arrival_us;
                    });
 
-  BatchAggregator aggregator(service.capacities(), options.batch_timeout_us);
-  Dispatcher dispatcher(options.policy, options.instances);
+  // Static partition: user u -> shard u mod S (stable, so each shard's
+  // slice stays arrival-sorted); the instance pool splits into contiguous
+  // groups as even as possible, shard s starting at global instance id
+  // `starts[s]`.
+  const int num_shards = options.shards;
+  std::vector<std::vector<Request>> shard_requests(
+      static_cast<std::size_t>(num_shards));
+  for (const Request& r : requests) {
+    shard_requests[static_cast<std::size_t>(r.user % num_shards)].push_back(
+        r);
+  }
+  std::vector<int> counts(static_cast<std::size_t>(num_shards));
+  std::vector<int> starts(static_cast<std::size_t>(num_shards));
+  {
+    const int base = options.instances / num_shards;
+    const int extra = options.instances % num_shards;
+    int start = 0;
+    for (int s = 0; s < num_shards; ++s) {
+      counts[static_cast<std::size_t>(s)] = base + (s < extra ? 1 : 0);
+      starts[static_cast<std::size_t>(s)] = start;
+      start += counts[static_cast<std::size_t>(s)];
+    }
+  }
 
+  const std::int64_t offered = static_cast<std::int64_t>(requests.size());
+
+  // Checkpoint resume: reload every finished shard of a matching prior run.
+  std::vector<std::optional<ShardStats>> slots(
+      static_cast<std::size_t>(num_shards));
+  std::string fingerprint;
+  int resumed = 0;
+  if (!options.checkpoint_path.empty()) {
+    fingerprint = replay_fingerprint(service, requests, options);
+    resumed = load_checkpoint(options.checkpoint_path, fingerprint, slots);
+  }
+
+  ProgressSink sink;
+  sink.scope = scope;
+  sink.offered = offered;
+  sink.chunk = scope != nullptr ? std::max<std::int64_t>(1, offered / 20) : 0;
+  std::int64_t already_completed = 0;
+  for (const auto& slot : slots) {
+    if (slot) already_completed += slot->completed;
+  }
+  sink.completed.store(already_completed);
+  sink.next_at.store(
+      sink.chunk > 0 ? (already_completed / sink.chunk + 1) * sink.chunk : 0);
+
+  std::mutex slot_mutex;
+  std::vector<Status> shard_status(static_cast<std::size_t>(num_shards),
+                                   Status::ok());
+  auto run_one = [&](std::int64_t s) {
+    const auto index = static_cast<std::size_t>(s);
+    if (slots[index]) return;  // resumed from the checkpoint
+    auto result =
+        run_shard(service, shard_requests[index], starts[index],
+                  counts[index], options, &sink);
+    if (!result.is_ok()) {
+      shard_status[index] = result.status();
+      return;
+    }
+    std::lock_guard<std::mutex> lock(slot_mutex);
+    slots[index] = std::move(result).value();
+    if (!options.checkpoint_path.empty()) {
+      write_checkpoint(options.checkpoint_path, fingerprint, slots);
+    }
+  };
+  if (num_shards == 1) {
+    run_one(0);
+  } else {
+    util::ThreadPool& pool = util::ThreadPool::shared(
+        scope != nullptr ? scope->threads(options.threads) : options.threads);
+    pool.parallel_for(num_shards, run_one);
+  }
+
+  bool cancelled = false;
+  for (const Status& s : shard_status) {
+    if (s.is_ok()) continue;
+    if (s.code() == StatusCode::kCancelled) {
+      cancelled = true;
+      continue;
+    }
+    return s;
+  }
+  if (cancelled) {
+    return Status::cancelled("fleet replay cancelled after " +
+                             std::to_string(sink.completed.load()) + "/" +
+                             std::to_string(offered) + " requests");
+  }
+
+  // Index-ordered merge: concatenation and sums over shards 0..S-1, so the
+  // result is a pure function of the partition — never of thread timing.
   ServingStats stats;
-  stats.offered = static_cast<std::int64_t>(requests.size());
+  stats.offered = offered;
   stats.sla_bound_us = options.sla_bound_us;
-
+  stats.branch_completed.assign(
+      static_cast<std::size_t>(service.num_branches()), 0);
+  stats.resumed_shards = resumed;
   std::vector<double> latencies;
   std::vector<double> waits;
   latencies.reserve(requests.size());
@@ -151,118 +716,43 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
   double fill_sum = 0;
   double depth_integral_us = 0;
   double makespan_us = 0;
-
-  std::size_t next = 0;
-  double now_us = requests.empty() ? 0 : requests.front().arrival_us;
-  if (requests.empty()) aggregator.close();
-
-  // Progress cadence: ~20 ticks across the replay plus a final one, each
-  // carrying the exact p99 over the latencies recorded so far (a partial
-  // estimate of the final tail). Progress never mutates the stats.
-  const std::int64_t progress_chunk =
-      scope != nullptr ? std::max<std::int64_t>(1, stats.offered / 20) : 0;
-  std::int64_t next_progress_at = progress_chunk;
-  std::int64_t last_progress_at = -1;
-  auto emit_progress = [&]() {
-    const double partial_p99 =
-        latencies.empty() ? 0 : percentile(latencies, 99);
-    scope->emit({"fleet",
-                 static_cast<int>(std::min<std::int64_t>(stats.completed,
-                                                         1LL << 30)),
-                 static_cast<int>(std::min<std::int64_t>(stats.offered,
-                                                         1LL << 30)),
-                 partial_p99});
-    last_progress_at = stats.completed;
-    while (next_progress_at <= stats.completed) {
-      next_progress_at += progress_chunk;
+  for (const auto& slot : slots) {
+    const ShardStats& shard = *slot;
+    stats.completed += shard.completed;
+    stats.batches += shard.batches;
+    stats.sla_violations += shard.sla_violations;
+    stats.max_queue_depth = std::max(stats.max_queue_depth,
+                                     shard.max_queue_depth);
+    fill_sum += shard.fill_sum;
+    depth_integral_us += shard.depth_integral_us;
+    makespan_us = std::max(makespan_us, shard.makespan_us);
+    latencies.insert(latencies.end(), shard.latencies.begin(),
+                     shard.latencies.end());
+    waits.insert(waits.end(), shard.waits.begin(), shard.waits.end());
+    for (std::size_t j = 0; j < shard.branch_completed.size(); ++j) {
+      stats.branch_completed[j] += shard.branch_completed[j];
     }
-  };
-
-  while (true) {
-    if (scope != nullptr && scope->should_stop()) {
-      return Status::cancelled("fleet replay cancelled after " +
-                               std::to_string(stats.completed) + "/" +
-                               std::to_string(stats.offered) + " requests");
-    }
-    // Ingest every arrival due by `now_us`.
-    while (next < requests.size() &&
-           requests[next].arrival_us <= now_us) {
-      aggregator.enqueue(requests[next]);
-      ++next;
-      stats.max_queue_depth = std::max(
-          stats.max_queue_depth, static_cast<int>(aggregator.pending()));
-    }
-    if (next >= requests.size()) aggregator.close();
-
-    // Dispatch ready batches while a free instance exists.
-    while (true) {
-      const int branch = aggregator.ready_branch(now_us);
-      if (branch < 0) break;
-      const int k = dispatcher.pick(branch, now_us);
-      if (k < 0) break;
-      Batch batch = *aggregator.pop_ready(now_us);
-
-      Instance& inst = dispatcher.instances()[static_cast<std::size_t>(k)];
-      double pass_us =
-          service.branches[static_cast<std::size_t>(branch)].pass_us;
-      if (inst.last_branch >= 0 && inst.last_branch != branch) {
-        pass_us += options.switch_penalty_us;
-        ++inst.switches;
-      }
-      const double finish_us = now_us + pass_us;
-      inst.free_at_us = finish_us;
-      inst.busy_us += pass_us;
-      inst.last_branch = branch;
-      ++inst.batches;
-      inst.requests += static_cast<std::int64_t>(batch.requests.size());
-
-      ++stats.batches;
-      fill_sum += static_cast<double>(batch.requests.size()) /
-                  static_cast<double>(aggregator.capacity(branch));
-      makespan_us = std::max(makespan_us, finish_us);
-      for (const Request& r : batch.requests) {
-        const double latency = finish_us - r.arrival_us;
-        latencies.push_back(latency);
-        waits.push_back(now_us - r.arrival_us);
-        if (latency > options.sla_bound_us) ++stats.sla_violations;
-        ++stats.completed;
-        if (options.keep_records) {
-          stats.records.push_back({r.id, r.user, r.branch, k, r.arrival_us,
-                                   now_us, finish_us});
-        }
-      }
-    }
-
-    if (scope != nullptr && stats.completed >= next_progress_at) {
-      emit_progress();
-    }
-
-    // Advance to the next event: an arrival, a batching deadline, or — when
-    // a batch is ready but every instance is busy — an instance freeing up.
-    double t_us = kInf;
-    if (next < requests.size()) {
-      t_us = std::min(t_us, requests[next].arrival_us);
-    }
-    if (aggregator.has_ready(now_us)) {
-      t_us = std::min(t_us, dispatcher.next_free_us(now_us));
-    } else if (aggregator.pending() > 0) {
-      t_us = std::min(t_us, aggregator.next_deadline_us());
-    }
-    if (t_us == kInf) break;
-    FCAD_CHECK_MSG(t_us > now_us, "fleet: simulation time did not advance");
-    depth_integral_us += static_cast<double>(aggregator.pending()) *
-                         (t_us - now_us);
-    now_us = t_us;
-  }
-
-  // The terminal tick: every replay with an observer ends with a progress
-  // event whose estimate is the exact final p99.
-  if (scope != nullptr && last_progress_at != stats.completed) {
-    emit_progress();
+    stats.records.insert(stats.records.end(), shard.records.begin(),
+                         shard.records.end());
   }
 
   FCAD_CHECK_MSG(stats.completed == stats.offered,
                  "fleet: lost requests in flight");
+
+  // The terminal tick: every replay with an observer ends with a progress
+  // event whose estimate is the exact final tail percentile over ALL
+  // latencies. A sharded run's last in-loop tick carries the emitting
+  // shard's local estimate even when it lands exactly at completed ==
+  // offered, so only the single-shard loop (whose tracker saw every
+  // sample) may skip the terminal emit.
+  if (scope != nullptr &&
+      (num_shards > 1 || sink.last_emitted.load() != stats.completed)) {
+    const double final_tail =
+        latencies.empty()
+            ? 0
+            : percentile(latencies, options.progress_tail_pct);
+    sink.emit(stats.completed, final_tail);
+  }
 
   stats.makespan_us = makespan_us;
   stats.throughput_rps =
@@ -283,17 +773,13 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
   stats.sla_met = stats.latency.p99 <= options.sla_bound_us;
 
   double busy_sum = 0;
-  for (int k = 0; k < options.instances; ++k) {
-    const Instance& inst = dispatcher.instances()[static_cast<std::size_t>(k)];
-    InstanceStats is;
-    is.instance = k;
-    is.batches = inst.batches;
-    is.requests = inst.requests;
-    is.branch_switches = inst.switches;
-    is.busy_us = inst.busy_us;
-    is.utilization = makespan_us > 0 ? inst.busy_us / makespan_us : 0;
-    busy_sum += is.utilization;
-    stats.instances.push_back(is);
+  for (const auto& slot : slots) {
+    for (const InstanceStats& shard_inst : slot->instances) {
+      InstanceStats is = shard_inst;
+      is.utilization = makespan_us > 0 ? is.busy_us / makespan_us : 0;
+      busy_sum += is.utilization;
+      stats.instances.push_back(is);
+    }
   }
   stats.fleet_utilization = busy_sum / options.instances;
   return stats;

@@ -6,6 +6,17 @@
 // dispatcher picks which free instance runs the next ready batch; the
 // branch-affinity policy models the weight-stream cost of retargeting an
 // instance to a different branch via a per-switch penalty.
+//
+// Million-request replays shard: `FleetOptions::shards` statically
+// partitions the user streams and the instance pool into independent
+// per-shard event loops (user u -> shard u mod S; instances split into
+// contiguous groups), which run across util::ThreadPool and merge their
+// latency/SLA streams in shard-index order — so for a fixed shard count the
+// stats are bit-identical for ANY thread count, including 1. Sharded runs
+// can also checkpoint (`FleetOptions::checkpoint_path`): every finished
+// shard's partial stats (counts, latency/wait streams, per-branch and
+// per-instance counters) are serialized atomically, and a replay cancelled
+// via RunControl resumes from the completed shards instead of restarting.
 #pragma once
 
 #include <string>
@@ -44,19 +55,46 @@ struct FleetOptions {
   /// Latency bound requests are scored against (p99 target).
   double sla_bound_us = 33333.3;  ///< one 30 Hz frame period
   bool keep_records = false;      ///< retain per-request completion records
+
+  /// Static sharding of the replay (1 = the classic single-timeline fleet).
+  /// Must stay in [1, instances]. S > 1 models a statically partitioned
+  /// fleet: user u's requests go to shard u mod S, which owns its own
+  /// contiguous slice of the instance pool, batch aggregator, and
+  /// dispatcher. The shard count is part of the model — changing it changes
+  /// the stats — but for a fixed count results are bit-identical for any
+  /// `threads`.
+  int shards = 1;
+  /// Thread-pool size for the sharded replay: 0 = one thread per hardware
+  /// core, N = exactly N workers. A RunControl::threads override (via the
+  /// scope) wins. Never changes results.
+  int threads = 0;
+  /// Percentile rank streamed by progress ticks (partial tail estimate).
+  /// Validated: out-of-(0,100] values return Status::invalid_argument.
+  double progress_tail_pct = 99;
+  /// Checkpoint file ("" disables). Granularity is one shard: every shard
+  /// completion atomically rewrites the file (temp + rename) with all
+  /// finished shards' partial stats, and a later run with the same service,
+  /// workload, and options resumes from it — loaded shards are not
+  /// re-simulated, and the merged stats are bit-identical to an
+  /// uninterrupted run. A checkpoint whose fingerprint does not match the
+  /// run is ignored, never misapplied.
+  std::string checkpoint_path;
 };
 
 /// Simulates serving `workload` on `fleet.instances` copies of the
 /// accelerator described by `service`. Every request completes (the
 /// aggregator drains after the last arrival), so `completed == offered`.
-/// Deterministic: identical inputs produce bit-identical stats.
+/// Deterministic: identical inputs (including `shards`) produce
+/// bit-identical stats at any thread count.
 ///
-/// When `scope` is set, huge replays become interruptible: the event loop
-/// polls it and returns StatusCode::kCancelled once the token fires or the
-/// deadline passes, and it streams ~20 "fleet" ProgressEvents over the
-/// replay whose best_fitness field carries the *partial p99 latency
-/// estimate* (microseconds) over the requests completed so far. Progress
-/// observation never changes the stats.
+/// When `scope` is set, huge replays become interruptible: the event loops
+/// poll it and the call returns StatusCode::kCancelled once the token fires
+/// or the deadline passes (finished shards stay checkpointed when a
+/// checkpoint path is set), and it streams ~20 "fleet" ProgressEvents over
+/// the replay whose best_fitness field carries the *partial tail-latency
+/// estimate* (microseconds, exact nearest-rank at `progress_tail_pct` over
+/// the emitting shard's completions so far). Progress observation never
+/// changes the stats.
 StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
                                       const std::vector<Request>& workload,
                                       const FleetOptions& options,

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <istream>
+#include <ostream>
+#include <sstream>
 
 #include "util/format.hpp"
 #include "util/status.hpp"
@@ -36,6 +40,64 @@ double percentile(std::vector<double> samples, double pct) {
                    samples.begin() + static_cast<std::ptrdiff_t>(index),
                    samples.end());
   return samples[index];
+}
+
+Status validate_percentile(double pct) {
+  if (!(pct > 0 && pct <= 100)) {
+    return Status::invalid_argument("percentile rank " + format_exact(pct) +
+                                    " is out of (0, 100]");
+  }
+  return Status::ok();
+}
+
+StatusOr<double> percentile_checked(std::vector<double> samples, double pct) {
+  if (Status s = validate_percentile(pct); !s.is_ok()) return s;
+  if (samples.empty()) {
+    return Status::invalid_argument("percentile: empty sample set");
+  }
+  return percentile(std::move(samples), pct);
+}
+
+TailTracker::TailTracker(std::int64_t expected_total, double pct)
+    : pct_(pct) {
+  FCAD_CHECK_MSG(validate_percentile(pct).is_ok(),
+                 "TailTracker: pct out of (0, 100]");
+  const auto n = static_cast<double>(std::max<std::int64_t>(expected_total, 1));
+  // Samples >= the nearest-rank pick at n total: n - ceil(pct/100 * n) + 1.
+  const auto rank =
+      std::max<std::int64_t>(static_cast<std::int64_t>(
+                                 std::ceil(pct / 100.0 * n)),
+                             1);
+  cap_ = static_cast<std::size_t>(
+      std::max<std::int64_t>(expected_total, 1) - rank + 1);
+  tail_.reserve(cap_);
+}
+
+void TailTracker::add(double sample) {
+  ++seen_;
+  if (tail_.size() < cap_) {
+    tail_.push_back(sample);
+    std::push_heap(tail_.begin(), tail_.end(), std::greater<>());
+  } else if (sample > tail_.front()) {
+    std::pop_heap(tail_.begin(), tail_.end(), std::greater<>());
+    tail_.back() = sample;
+    std::push_heap(tail_.begin(), tail_.end(), std::greater<>());
+  }
+}
+
+double TailTracker::partial() const {
+  if (seen_ == 0) return 0;
+  const auto n = static_cast<std::size_t>(seen_);
+  // The nearest-rank pick over n samples is the k-th largest one; the tail
+  // heap holds the top min(n, cap_) samples, which contains it whenever the
+  // caller honored expected_total (clamped defensively otherwise).
+  std::size_t k = n - nearest_rank_index(n, pct_);
+  std::vector<double> top = tail_;
+  k = std::min(k, top.size());
+  const std::size_t pos = top.size() - k;
+  std::nth_element(top.begin(),
+                   top.begin() + static_cast<std::ptrdiff_t>(pos), top.end());
+  return top[pos];
 }
 
 LatencySummary summarize(std::vector<double> samples) {
@@ -74,6 +136,10 @@ std::string serving_report(const ServingStats& stats) {
   t.add_row({"queue wait p99", ms(stats.queue_wait.p99)});
   t.add_separator();
   t.add_row({"batches dispatched", format_int(stats.batches)});
+  for (std::size_t j = 0; j < stats.branch_completed.size(); ++j) {
+    t.add_row({"  branch " + std::to_string(j) + " completed",
+               format_int(stats.branch_completed[j])});
+  }
   t.add_row({"mean batch fill", format_percent(stats.mean_batch_fill, 1)});
   t.add_row({"mean queue depth", format_fixed(stats.mean_queue_depth, 2)});
   t.add_row({"max queue depth", format_int(stats.max_queue_depth)});
@@ -146,7 +212,208 @@ void serving_stats_json(JsonWriter& json, const ServingStats& stats) {
   json.key("sla_met").value(stats.sla_met);
   json.key("sla_violation_rate").value(stats.sla_violation_rate);
   json.key("fleet_utilization").value(stats.fleet_utilization);
+  json.key("branch_completed").begin_array();
+  for (std::int64_t n : stats.branch_completed) json.value(n);
+  json.end_array();
   json.end_object();
+}
+
+namespace {
+
+void write_summary(std::ostream& os, const char* key,
+                   const LatencySummary& s) {
+  os << key << " " << s.count << " " << format_exact(s.mean) << " "
+     << format_exact(s.p50) << " " << format_exact(s.p95) << " "
+     << format_exact(s.p99) << " " << format_exact(s.max) << "\n";
+}
+
+bool read_summary(std::istringstream& fields, LatencySummary& s) {
+  fields >> s.count >> s.mean >> s.p50 >> s.p95 >> s.p99 >> s.max;
+  return !fields.fail();
+}
+
+Status truncated(const std::string& what) {
+  return Status::invalid_argument("serving stats: truncated " + what +
+                                  " list");
+}
+
+}  // namespace
+
+void write_instance_line(std::ostream& os, const InstanceStats& inst) {
+  os << "instance " << inst.instance << " " << inst.batches << " "
+     << inst.requests << " " << inst.branch_switches << " "
+     << format_exact(inst.busy_us) << " " << format_exact(inst.utilization)
+     << "\n";
+}
+
+bool parse_instance_line(const std::string& line, InstanceStats& inst) {
+  std::istringstream fields(line);
+  std::string key;
+  fields >> key >> inst.instance >> inst.batches >> inst.requests >>
+      inst.branch_switches >> inst.busy_us >> inst.utilization;
+  return key == "instance" && !fields.fail();
+}
+
+void write_record_line(std::ostream& os, const RequestRecord& rec) {
+  os << "record " << rec.id << " " << rec.user << " " << rec.branch << " "
+     << rec.instance << " " << format_exact(rec.arrival_us) << " "
+     << format_exact(rec.start_us) << " " << format_exact(rec.finish_us)
+     << "\n";
+}
+
+bool parse_record_line(const std::string& line, RequestRecord& rec) {
+  std::istringstream fields(line);
+  std::string key;
+  fields >> key >> rec.id >> rec.user >> rec.branch >> rec.instance >>
+      rec.arrival_us >> rec.start_us >> rec.finish_us;
+  return key == "record" && !fields.fail();
+}
+
+void serving_stats_to_text(std::ostream& os, const ServingStats& stats) {
+  os << "serving_stats\n";
+  os << "offered " << stats.offered << "\n";
+  os << "completed " << stats.completed << "\n";
+  os << "makespan_us " << format_exact(stats.makespan_us) << "\n";
+  os << "throughput_rps " << format_exact(stats.throughput_rps) << "\n";
+  write_summary(os, "latency", stats.latency);
+  write_summary(os, "queue_wait", stats.queue_wait);
+  os << "batches " << stats.batches << "\n";
+  os << "mean_batch_fill " << format_exact(stats.mean_batch_fill) << "\n";
+  os << "mean_queue_depth " << format_exact(stats.mean_queue_depth) << "\n";
+  os << "max_queue_depth " << stats.max_queue_depth << "\n";
+  os << "sla_bound_us " << format_exact(stats.sla_bound_us) << "\n";
+  os << "sla_violations " << stats.sla_violations << "\n";
+  os << "sla_violation_rate " << format_exact(stats.sla_violation_rate)
+     << "\n";
+  os << "sla_met " << (stats.sla_met ? 1 : 0) << "\n";
+  os << "fleet_utilization " << format_exact(stats.fleet_utilization) << "\n";
+  os << "branch_completed " << stats.branch_completed.size();
+  for (std::int64_t n : stats.branch_completed) os << " " << n;
+  os << "\n";
+  os << "instances " << stats.instances.size() << "\n";
+  for (const InstanceStats& inst : stats.instances) {
+    write_instance_line(os, inst);
+  }
+  os << "records " << stats.records.size() << "\n";
+  for (const RequestRecord& rec : stats.records) {
+    write_record_line(os, rec);
+  }
+  os << "serving_stats_end\n";
+}
+
+StatusOr<ServingStats> serving_stats_from_text(std::istream& in,
+                                               bool header_consumed) {
+  std::string line;
+  if (!header_consumed) {
+    // Skip blank lines, then require the block header.
+    while (std::getline(in, line) && line.empty()) {
+    }
+    if (line != "serving_stats") {
+      return Status::invalid_argument(
+          "serving stats: missing 'serving_stats' header");
+    }
+  }
+
+  ServingStats stats;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "serving_stats_end") {
+      saw_end = true;
+      break;
+    }
+    if (key == "latency" || key == "queue_wait") {
+      LatencySummary& target =
+          key == "latency" ? stats.latency : stats.queue_wait;
+      if (!read_summary(fields, target)) {
+        return Status::invalid_argument("serving stats: malformed " + key +
+                                        " line");
+      }
+      continue;
+    }
+    if (key == "offered") {
+      fields >> stats.offered;
+    } else if (key == "completed") {
+      fields >> stats.completed;
+    } else if (key == "makespan_us") {
+      fields >> stats.makespan_us;
+    } else if (key == "throughput_rps") {
+      fields >> stats.throughput_rps;
+    } else if (key == "batches") {
+      fields >> stats.batches;
+    } else if (key == "mean_batch_fill") {
+      fields >> stats.mean_batch_fill;
+    } else if (key == "mean_queue_depth") {
+      fields >> stats.mean_queue_depth;
+    } else if (key == "max_queue_depth") {
+      fields >> stats.max_queue_depth;
+    } else if (key == "sla_bound_us") {
+      fields >> stats.sla_bound_us;
+    } else if (key == "sla_violations") {
+      fields >> stats.sla_violations;
+    } else if (key == "sla_violation_rate") {
+      fields >> stats.sla_violation_rate;
+    } else if (key == "sla_met") {
+      int met = 0;
+      fields >> met;
+      stats.sla_met = met == 1;
+    } else if (key == "fleet_utilization") {
+      fields >> stats.fleet_utilization;
+    } else if (key == "branch_completed") {
+      std::size_t n = 0;
+      fields >> n;
+      for (std::size_t j = 0; j < n && !fields.fail(); ++j) {
+        std::int64_t count = 0;
+        fields >> count;
+        stats.branch_completed.push_back(count);
+      }
+    } else if (key == "instances") {
+      std::size_t n = 0;
+      fields >> n;
+      if (fields.fail()) {
+        return Status::invalid_argument(
+            "serving stats: malformed instances line");
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        InstanceStats inst;
+        if (!std::getline(in, line) || !parse_instance_line(line, inst)) {
+          return truncated("instance");
+        }
+        stats.instances.push_back(inst);
+      }
+      continue;
+    } else if (key == "records") {
+      std::size_t n = 0;
+      fields >> n;
+      if (fields.fail()) {
+        return Status::invalid_argument(
+            "serving stats: malformed records line");
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        RequestRecord rec;
+        if (!std::getline(in, line) || !parse_record_line(line, rec)) {
+          return truncated("record");
+        }
+        stats.records.push_back(rec);
+      }
+      continue;
+    } else {
+      return Status::invalid_argument("serving stats: unknown field '" + key +
+                                      "'");
+    }
+    if (fields.fail()) {
+      return Status::invalid_argument("serving stats: malformed " + key +
+                                      " line");
+    }
+  }
+  if (!saw_end) {
+    return Status::invalid_argument(
+        "serving stats: truncated (missing serving_stats_end marker)");
+  }
+  return stats;
 }
 
 }  // namespace fcad::serving

@@ -1,14 +1,17 @@
 // Serving statistics (serving step 4): exact tail-latency percentiles,
 // throughput, utilization, queue depth, and SLA-violation accounting over a
-// completed fleet simulation, plus table/CSV rendering.
+// completed fleet simulation, plus table/CSV rendering and the text
+// serialization that lets kTraffic outcomes ride the artifact cache.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "util/csv.hpp"
 #include "util/json.hpp"
+#include "util/status.hpp"
 
 namespace fcad::serving {
 
@@ -16,6 +19,43 @@ namespace fcad::serving {
 /// pct% of the samples are <= x (sorted[ceil(pct/100 * N)] 1-indexed).
 /// `pct` must be in (0, 100]; requires a non-empty sample set.
 double percentile(std::vector<double> samples, double pct);
+
+/// Ok iff `pct` is a valid percentile rank in (0, 100]. The check every
+/// user-facing percentile input (CLI flags, FleetOptions) must pass before
+/// it reaches the CHECKing `percentile()` above.
+Status validate_percentile(double pct);
+
+/// Validating twin of `percentile` for user-controlled inputs: returns
+/// Status::invalid_argument on an out-of-range rank or an empty sample set
+/// instead of crashing the process.
+StatusOr<double> percentile_checked(std::vector<double> samples, double pct);
+
+/// Streaming tracker of the upper tail of at most `expected_total` samples,
+/// so *partial* nearest-rank percentiles stay exact without re-scanning the
+/// whole stream: `partial()` costs O(tail) where the tail is the top
+/// (100-pct)% of the expected stream (~1% for p99), and `add` is O(1)
+/// amortized. Replaces the full O(n) latency-vector copy that fleet
+/// progress ticks used to pay ~20 times per replay.
+class TailTracker {
+ public:
+  /// `pct` must be a valid percentile rank; `expected_total` is an upper
+  /// bound on the number of samples that will ever be added.
+  TailTracker(std::int64_t expected_total, double pct);
+
+  void add(double sample);
+
+  /// Exact nearest-rank `pct` percentile over the samples added so far
+  /// (0 when no samples were added yet).
+  double partial() const;
+
+  std::int64_t seen() const { return seen_; }
+
+ private:
+  double pct_ = 99;
+  std::size_t cap_ = 1;        ///< tail size needed at expected_total
+  std::int64_t seen_ = 0;
+  std::vector<double> tail_;   ///< min-heap of the largest cap_ samples
+};
 
 struct LatencySummary {
   std::int64_t count = 0;
@@ -69,7 +109,13 @@ struct ServingStats {
 
   double fleet_utilization = 0;  ///< mean instance utilization
   std::vector<InstanceStats> instances;
+  /// Requests completed per decoder branch (index = branch id).
+  std::vector<std::int64_t> branch_completed;
   std::vector<RequestRecord> records;  ///< empty unless requested
+
+  /// Shards reloaded from a checkpoint instead of simulated (diagnostic of
+  /// the producing run — like cache counters, it is not serialized).
+  int resumed_shards = 0;
 };
 
 /// Renders an aligned summary table (latency percentiles, throughput, SLA,
@@ -87,5 +133,32 @@ std::vector<std::string> serving_csv_row(std::vector<std::string> keys,
 /// Appends the deterministic stats fields as one JSON object (the --json
 /// twin of serving_csv_row; consumed by the CLIs' machine-readable output).
 void serving_stats_json(JsonWriter& json, const ServingStats& stats);
+
+/// Serializes every stats field (doubles bit-exact via %.17g, including the
+/// per-instance rows, per-branch counters, and any retained request
+/// records) as a line-keyed text block between "serving_stats" and
+/// "serving_stats_end" markers. Embedded whole in search-artifact v3 files,
+/// which is what lets kTraffic outcomes round-trip through the spec-hash
+/// artifact cache. `resumed_shards` is a diagnostic of the producing run
+/// and reloads as zero.
+void serving_stats_to_text(std::ostream& os, const ServingStats& stats);
+
+/// Parses the block written by serving_stats_to_text, consuming through the
+/// terminal "serving_stats_end" marker. A truncated or torn block (missing
+/// marker, short instance/record list) is rejected, never silently accepted
+/// as a shorter-but-valid stats object. Line-keyed outer parsers (the
+/// search-artifact reader) that already consumed the "serving_stats" header
+/// line pass `header_consumed`.
+StatusOr<ServingStats> serving_stats_from_text(std::istream& in,
+                                               bool header_consumed = false);
+
+/// Single-line (de)serializers for the per-instance and per-request rows,
+/// shared by the stats block above and the fleet checkpoint format so the
+/// two can never diverge per-row. Writers emit the terminating newline;
+/// parsers reject a malformed or short line.
+void write_instance_line(std::ostream& os, const InstanceStats& inst);
+bool parse_instance_line(const std::string& line, InstanceStats& inst);
+void write_record_line(std::ostream& os, const RequestRecord& rec);
+bool parse_record_line(const std::string& line, RequestRecord& rec);
 
 }  // namespace fcad::serving

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <functional>
+#include <limits>
+#include <queue>
 
 namespace fcad::serving {
 namespace {
@@ -13,36 +16,76 @@ double next_exponential(Rng& rng, double mean) {
   return -mean * std::log(1.0 - rng.next_double());
 }
 
-/// Appends one user's frame-event times for a (possibly modulated) Poisson
-/// process. `rate_hz` applies during "on" phases; a non-positive
+/// One user's (possibly modulated) Poisson arrival stream, drawn lazily —
+/// the single copy of the draw sequence behind both generators: the
+/// duration-bounded path passes its horizon so an overshooting draw ends
+/// the stream exactly like the original generator did, while the
+/// target-request path passes none and keeps drawing until the caller has
+/// enough events. `rate_hz` applies during "on" phases; a non-positive
 /// `off_mean_s` disables modulation (plain Poisson).
-void poisson_stream(Rng& rng, double rate_hz, double horizon_us,
-                    double on_mean_s, double off_mean_s, double burst_factor,
-                    std::vector<double>* events) {
-  const bool modulated = off_mean_s > 0;
+struct UserStream {
+  UserStream(Rng rng_in, double rate_hz, double on_mean_s, double off_mean_s,
+             double factor)
+      : rng(std::move(rng_in)),
+        rate_hz(rate_hz),
+        on_mean_s(on_mean_s),
+        off_mean_s(off_mean_s),
+        burst_factor(factor),
+        modulated(off_mean_s > 0) {
+    phase_end_us = modulated
+                       ? next_exponential(rng, on_mean_s) * 1e6
+                       : std::numeric_limits<double>::infinity();
+  }
+
+  /// Next event time, or a value >= `horizon_us` once a draw overshoots the
+  /// horizon (the stream is then finished; do not call again).
+  double next(double horizon_us = std::numeric_limits<double>::infinity()) {
+    while (true) {
+      const double rate =
+          on ? rate_hz * (modulated ? burst_factor : 1.0) : 0.0;
+      if (rate <= 0) {
+        // Silent phase: jump straight to its end.
+        t_us = phase_end_us;
+      } else {
+        t_us += next_exponential(rng, 1.0 / rate) * 1e6;
+      }
+      // The horizon check precedes the phase handling on purpose — it pins
+      // the original generator's behavior, where a draw crossing the
+      // horizon ends the stream even when a phase boundary lies before it.
+      if (t_us >= horizon_us) return t_us;
+      if (modulated && t_us >= phase_end_us) {
+        // The draw crossed a phase boundary; restart it inside the new
+        // phase.
+        t_us = phase_end_us;
+        on = !on;
+        phase_end_us =
+            t_us + next_exponential(rng, on ? on_mean_s : off_mean_s) * 1e6;
+        continue;
+      }
+      return t_us;
+    }
+  }
+
+  Rng rng;
+  double rate_hz;
+  double on_mean_s;
+  double off_mean_s;
+  double burst_factor;
+  bool modulated;
   double t_us = 0;
   bool on = true;
-  // Phase boundary for the modulated process; infinity when unmodulated.
-  double phase_end_us = modulated
-                            ? next_exponential(rng, on_mean_s) * 1e6
-                            : horizon_us * 2 + 1;
+  double phase_end_us = 0;
+};
+
+/// Appends one user's frame-event times up to `horizon_us`.
+void poisson_stream(Rng rng, double rate_hz, double horizon_us,
+                    double on_mean_s, double off_mean_s, double burst_factor,
+                    std::vector<double>* events) {
+  UserStream stream(std::move(rng), rate_hz, on_mean_s, off_mean_s,
+                    burst_factor);
   while (true) {
-    const double rate = on ? rate_hz * (modulated ? burst_factor : 1.0) : 0.0;
-    if (rate <= 0) {
-      // Silent phase: jump straight to its end.
-      t_us = phase_end_us;
-    } else {
-      t_us += next_exponential(rng, 1.0 / rate) * 1e6;
-    }
+    const double t_us = stream.next(horizon_us);
     if (t_us >= horizon_us) return;
-    if (modulated && t_us >= phase_end_us) {
-      // The draw crossed a phase boundary; restart it inside the new phase.
-      t_us = phase_end_us;
-      on = !on;
-      phase_end_us =
-          t_us + next_exponential(rng, on ? on_mean_s : off_mean_s) * 1e6;
-      continue;
-    }
     events->push_back(t_us);
   }
 }
@@ -78,11 +121,19 @@ StatusOr<std::vector<Request>> generate_workload(
   if (options.branches < 1) {
     return Status::invalid_argument("workload: branches must be >= 1");
   }
+  if (options.target_requests < 0) {
+    return Status::invalid_argument("workload: target_requests must be >= 0");
+  }
+  if (options.process == ArrivalProcess::kTrace &&
+      options.target_requests > 0) {
+    return Status::invalid_argument(
+        "workload: target_requests requires a generated arrival process");
+  }
   if (options.process != ArrivalProcess::kTrace) {
     if (options.frame_rate_hz <= 0) {
       return Status::invalid_argument("workload: frame_rate_hz must be > 0");
     }
-    if (options.duration_s <= 0) {
+    if (options.target_requests == 0 && options.duration_s <= 0) {
       return Status::invalid_argument("workload: duration_s must be > 0");
     }
   }
@@ -105,6 +156,36 @@ StatusOr<std::vector<Request>> generate_workload(
     events.reserve(times.size());
     for (std::size_t i = 0; i < times.size(); ++i) {
       events.emplace_back(times[i], static_cast<int>(i) % options.users);
+    }
+  } else if (options.target_requests > 0) {
+    // Merge the per-user streams in global time order until enough frame
+    // events exist to cover target_requests after the branch fan-out. Each
+    // user keeps its decorrelated fork, so a user's arrivals are identical
+    // to the duration-bounded generator's — just not horizon-truncated.
+    const std::int64_t events_needed =
+        (options.target_requests + options.branches - 1) / options.branches;
+    Rng root(options.seed);
+    std::vector<UserStream> streams;
+    streams.reserve(static_cast<std::size_t>(options.users));
+    const bool bursty = options.process == ArrivalProcess::kBursty;
+    std::priority_queue<std::pair<double, int>,
+                        std::vector<std::pair<double, int>>,
+                        std::greater<std::pair<double, int>>>
+        heap;
+    for (int user = 0; user < options.users; ++user) {
+      streams.emplace_back(root.fork(static_cast<std::uint64_t>(user) + 1),
+                           options.frame_rate_hz,
+                           bursty ? options.burst_on_s : 0.0,
+                           bursty ? options.burst_off_s : 0.0,
+                           options.burst_factor);
+      heap.push({streams.back().next(), user});
+    }
+    events.reserve(static_cast<std::size_t>(events_needed));
+    while (static_cast<std::int64_t>(events.size()) < events_needed) {
+      const auto [t_us, user] = heap.top();
+      heap.pop();
+      events.emplace_back(t_us, user);
+      heap.push({streams[static_cast<std::size_t>(user)].next(), user});
     }
   } else {
     Rng root(options.seed);
@@ -139,6 +220,11 @@ StatusOr<std::vector<Request>> generate_workload(
       r.arrival_us = t_us;
       workload.push_back(r);
     }
+  }
+  // The last frame event may overshoot the target by a partial fan-out.
+  if (options.target_requests > 0 &&
+      static_cast<std::int64_t>(workload.size()) > options.target_requests) {
+    workload.resize(static_cast<std::size_t>(options.target_requests));
   }
   return workload;
 }

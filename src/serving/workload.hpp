@@ -57,6 +57,14 @@ struct WorkloadOptions {
   /// kTrace: frame-event times in microseconds; event i is assigned to user
   /// i mod `users`. Unsorted input is accepted and sorted internally.
   std::vector<double> trace_arrivals_us;
+
+  /// When > 0 (Poisson/bursty only): generate exactly this many requests
+  /// — the knob for million-request replay traces — instead of bounding
+  /// the horizon by `duration_s` (which is then ignored). Per-user streams
+  /// are drawn lazily in global time order, so the result is deterministic
+  /// for a fixed seed and each user's arrivals match what the
+  /// duration-bounded generator would produce.
+  std::int64_t target_requests = 0;
 };
 
 /// Generates the request stream, sorted by arrival time with dense ids.

@@ -39,6 +39,12 @@ std::string format_percent(double fraction, int decimals) {
   return format_fixed(fraction * 100.0, decimals) + "%";
 }
 
+std::string format_exact(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
 std::string format_int(std::int64_t value) {
   const bool negative = value < 0;
   std::string digits = std::to_string(negative ? -value : value);

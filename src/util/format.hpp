@@ -22,4 +22,8 @@ std::string format_percent(double fraction, int decimals = 1);
 /// Thousands-separated integer, e.g. 13600 -> "13,600".
 std::string format_int(std::int64_t value);
 
+/// Shortest decimal form that round-trips the double bit-exactly (%.17g) —
+/// the one formatter every text artifact/checkpoint serializer must use.
+std::string format_exact(double value);
+
 }  // namespace fcad

@@ -12,6 +12,9 @@
 #include "dse/search_driver.hpp"
 #include "dse/strategy.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
+#include "serving/fleet.hpp"
+#include "serving/stats.hpp"
+#include "serving/workload.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fcad::dse {
@@ -229,6 +232,65 @@ TEST(ParallelDeterminismTest, TrafficSearchIdenticalAcrossThreadCounts) {
     EXPECT_EQ(baseline->traffic.sla_fitness, other.sla_fitness);
     EXPECT_EQ(baseline->traffic.stats.latency.p99, other.stats.latency.p99);
     expect_identical(baseline->traffic.search, other.search);
+  }
+}
+
+TEST(ParallelDeterminismTest, FleetShardedReplayIdenticalAcrossThreadCounts) {
+  // The sharded fleet replay must be a pure function of the shard count:
+  // for every pinned shard layout (1/2/8), running the per-shard event
+  // loops on 1, 2, or 8 pool threads merges to bit-identical stats. The
+  // thread override flows both through FleetOptions::threads and through
+  // RunControl (the scope wins), mirroring how SearchDriver resolves it.
+  serving::WorkloadOptions wl;
+  wl.users = 16;
+  wl.branches = 2;
+  wl.frame_rate_hz = 80;
+  wl.duration_s = 1.0;
+  wl.seed = 9;
+  auto workload = serving::generate_workload(wl);
+  ASSERT_TRUE(workload.is_ok());
+  serving::ServiceModel service;
+  service.branches = {{2, 3000.0}, {4, 5000.0}};
+
+  for (int shards : {1, 2, 8}) {
+    serving::FleetOptions options;
+    options.instances = 8;
+    options.shards = shards;
+    options.switch_penalty_us = 250;
+    options.threads = kThreadCounts.front();
+    auto baseline = serving::simulate_fleet(service, *workload, options);
+    ASSERT_TRUE(baseline.is_ok());
+    EXPECT_EQ(baseline->completed, baseline->offered);
+    const std::vector<std::string> baseline_row =
+        serving::serving_csv_row({}, *baseline);
+    for (std::size_t t = 1; t < kThreadCounts.size(); ++t) {
+      options.threads = kThreadCounts[t];
+      auto other = serving::simulate_fleet(service, *workload, options);
+      ASSERT_TRUE(other.is_ok());
+      EXPECT_EQ(serving::serving_csv_row({}, *other), baseline_row)
+          << "shards " << shards << ", threads " << kThreadCounts[t];
+      EXPECT_EQ(other->latency.p99, baseline->latency.p99);
+      EXPECT_EQ(other->queue_wait.mean, baseline->queue_wait.mean);
+      EXPECT_EQ(other->branch_completed, baseline->branch_completed);
+      ASSERT_EQ(other->instances.size(), baseline->instances.size());
+      for (std::size_t i = 0; i < other->instances.size(); ++i) {
+        EXPECT_EQ(other->instances[i].busy_us,
+                  baseline->instances[i].busy_us);
+        EXPECT_EQ(other->instances[i].batches,
+                  baseline->instances[i].batches);
+      }
+
+      // The RunControl thread override takes the same path the DSE uses.
+      util::RunControl control;
+      control.threads = kThreadCounts[t];
+      const util::RunScope scope(control);
+      serving::FleetOptions via_scope = options;
+      via_scope.threads = 1;
+      auto observed =
+          serving::simulate_fleet(service, *workload, via_scope, &scope);
+      ASSERT_TRUE(observed.is_ok());
+      EXPECT_EQ(serving::serving_csv_row({}, *observed), baseline_row);
+    }
   }
 }
 

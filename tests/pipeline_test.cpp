@@ -195,14 +195,18 @@ TEST(PipelineTest, LoadedArtifactDrivesSimulationAndResult) {
 TEST(PipelineTest, MalformedArtifactRejected) {
   Pipeline pipeline(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
   EXPECT_FALSE(pipeline.load_search("not an artifact").is_ok());
-  // v1 artifacts (winner-only format) are not readable as v2.
+  // Artifacts from older formats (v1 winner-only, v2 without serving stats)
+  // are not readable as v3 — a stale cache entry re-searches instead.
   EXPECT_FALSE(
       pipeline.load_search("fcad-search-artifact v1\nfitness 1\n").is_ok());
-  // A v2 header without a kind/result is incomplete.
-  EXPECT_FALSE(
-      pipeline.load_search("fcad-search-artifact v2\n").is_ok());
   EXPECT_FALSE(
       pipeline.load_search("fcad-search-artifact v2\nkind optimize\n")
+          .is_ok());
+  // A v3 header without a kind/result is incomplete.
+  EXPECT_FALSE(
+      pipeline.load_search("fcad-search-artifact v3\n").is_ok());
+  EXPECT_FALSE(
+      pipeline.load_search("fcad-search-artifact v3\nkind optimize\n")
           .is_ok());
   EXPECT_EQ(pipeline.search(), nullptr);
   // result() without completed stages is an error, not a crash.
@@ -358,9 +362,18 @@ TEST(ArtifactCacheTest, UncacheableSpecsBypassTheCache) {
   Pipeline pipeline(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
   dse::SearchSpec spec = fast_options().spec;
   EXPECT_FALSE(pipeline.artifact_cache_key(spec).empty());
-  // kTraffic outcomes do not serialize whole (serving stats stay behind).
-  spec.kind = dse::SearchKind::kTraffic;
-  EXPECT_TRUE(pipeline.artifact_cache_key(spec).empty());
+  // kTraffic qualifies since artifact v3 serializes the serving stats; its
+  // key still differs from the kOptimize key (and from other traffic specs).
+  dse::SearchSpec traffic = spec;
+  traffic.kind = dse::SearchKind::kTraffic;
+  EXPECT_FALSE(pipeline.artifact_cache_key(traffic).empty());
+  EXPECT_NE(pipeline.artifact_cache_key(traffic),
+            pipeline.artifact_cache_key(spec));
+  dse::SearchSpec sharded = traffic;
+  sharded.traffic.fleet.instances = 4;
+  sharded.traffic.fleet.shards = 2;  // the shard count is part of the model
+  EXPECT_NE(pipeline.artifact_cache_key(sharded),
+            pipeline.artifact_cache_key(traffic));
   // A deadline makes results timing-dependent.
   spec = fast_options().spec;
   spec.control.deadline_s = 1.0;
@@ -372,6 +385,96 @@ TEST(ArtifactCacheTest, UncacheableSpecsBypassTheCache) {
   EXPECT_EQ(pipeline.artifact_cache_hits(), 0);
   EXPECT_EQ(pipeline.artifact_cache_misses(), 0);
   EXPECT_FALSE(std::filesystem::exists(dir));
+}
+
+namespace {
+
+/// Small SLA-aware traffic spec shared by the kTraffic round-trip tests.
+dse::SearchSpec traffic_spec() {
+  dse::SearchSpec spec;
+  spec.kind = dse::SearchKind::kTraffic;
+  spec.search.population = 20;
+  spec.search.iterations = 4;
+  spec.search.seed = 7;
+  spec.traffic.workload.users = 2;
+  spec.traffic.workload.frame_rate_hz = 10;
+  spec.traffic.workload.duration_s = 0.5;
+  spec.traffic.workload.seed = 21;
+  spec.traffic.fleet.instances = 2;
+  spec.traffic.fleet.sla_bound_us = 250000;
+  spec.traffic.fleet.batch_timeout_us = 5000;
+  spec.traffic.max_batch = 2;
+  return spec;
+}
+
+void expect_traffic_identical(const dse::TrafficSearchResult& a,
+                              const dse::TrafficSearchResult& b) {
+  EXPECT_EQ(a.batch_sizes, b.batch_sizes);
+  EXPECT_EQ(a.users_served, b.users_served);
+  EXPECT_EQ(a.sla_met, b.sla_met);
+  EXPECT_EQ(a.sla_fitness, b.sla_fitness);
+  EXPECT_EQ(a.search.fitness, b.search.fitness);
+  EXPECT_EQ(a.stats.offered, b.stats.offered);
+  EXPECT_EQ(a.stats.completed, b.stats.completed);
+  EXPECT_EQ(a.stats.latency.p99, b.stats.latency.p99);
+  EXPECT_EQ(a.stats.latency.mean, b.stats.latency.mean);
+  EXPECT_EQ(a.stats.queue_wait.p99, b.stats.queue_wait.p99);
+  EXPECT_EQ(a.stats.throughput_rps, b.stats.throughput_rps);
+  EXPECT_EQ(a.stats.sla_violation_rate, b.stats.sla_violation_rate);
+  EXPECT_EQ(a.stats.branch_completed, b.stats.branch_completed);
+  EXPECT_EQ(a.stats.instances.size(), b.stats.instances.size());
+}
+
+}  // namespace
+
+TEST(PipelineTest, TrafficArtifactRoundTripsServingStats) {
+  // The v3 gap-closer: a kTraffic outcome — including its ServingStats —
+  // re-enters a fresh pipeline from the text artifact bit-exactly.
+  Pipeline pipeline(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  ASSERT_TRUE(pipeline.optimize(traffic_spec()).is_ok());
+  const dse::TrafficSearchResult& original =
+      pipeline.search()->outcome.traffic;
+  ASSERT_GT(original.stats.completed, 0);
+
+  const std::string text = pipeline.save_search();
+  ASSERT_FALSE(text.empty());
+  Pipeline loaded(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  ASSERT_TRUE(loaded.load_search(text).is_ok());
+  EXPECT_EQ(loaded.search()->outcome.kind, dse::SearchKind::kTraffic);
+  expect_traffic_identical(loaded.search()->outcome.traffic, original);
+  // Serializing again reproduces the exact text, and the loaded winner can
+  // drive the simulation stage.
+  EXPECT_EQ(loaded.save_search(), text);
+  EXPECT_TRUE(loaded.simulate().is_ok());
+}
+
+TEST(ArtifactCacheTest, SecondTrafficRunIsACacheHit) {
+  const std::string dir = cache_dir("traffic");
+  Pipeline first(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  first.set_artifact_cache_dir(dir);
+  ASSERT_TRUE(first.optimize(traffic_spec()).is_ok());
+  EXPECT_EQ(first.artifact_cache_hits(), 0);
+  EXPECT_EQ(first.artifact_cache_misses(), 1);
+  const std::string text = first.save_search();
+
+  // A fresh pipeline (fresh process) with the identical spec must reload
+  // the artifact — hit counter increments, no search runs, outcome
+  // bit-identical down to the serving stats.
+  Pipeline second(nn::zoo::avatar_decoder(), arch::platform_zu9cg());
+  second.set_artifact_cache_dir(dir);
+  ASSERT_TRUE(second.optimize(traffic_spec()).is_ok());
+  EXPECT_EQ(second.artifact_cache_hits(), 1);
+  EXPECT_EQ(second.artifact_cache_misses(), 0);
+  EXPECT_EQ(second.save_search(), text);
+  expect_traffic_identical(second.search()->outcome.traffic,
+                           first.search()->outcome.traffic);
+
+  // A different traffic load is a different key: no false sharing.
+  dse::SearchSpec heavier = traffic_spec();
+  heavier.traffic.workload.users = 3;
+  ASSERT_TRUE(second.optimize(heavier).is_ok());
+  EXPECT_EQ(second.artifact_cache_hits(), 1);
+  EXPECT_EQ(second.artifact_cache_misses(), 1);
 }
 
 TEST(ArtifactCacheTest, CorruptEntryFallsBackToSearch) {

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <limits>
+#include <sstream>
 
 #include "arch/platform.hpp"
 #include "dse/search_driver.hpp"
@@ -145,6 +149,73 @@ TEST(WorkloadTest, RejectsBadOptions) {
   EXPECT_FALSE(generate_workload(options).is_ok());  // empty trace
 }
 
+TEST(WorkloadTest, TargetRequestsGeneratesExactCount) {
+  WorkloadOptions options;
+  options.users = 6;
+  options.branches = 3;
+  options.frame_rate_hz = 30;
+  options.duration_s = 0;  // ignored in target mode
+  options.seed = 13;
+  options.target_requests = 10000;
+  auto workload = generate_workload(options);
+  ASSERT_TRUE(workload.is_ok()) << workload.status().to_string();
+  EXPECT_EQ(workload->size(), 10000u);
+  for (std::size_t i = 0; i < workload->size(); ++i) {
+    EXPECT_EQ((*workload)[i].id, static_cast<std::int64_t>(i));
+    if (i > 0) {
+      EXPECT_GE((*workload)[i].arrival_us, (*workload)[i - 1].arrival_us);
+    }
+  }
+  // A second generation is bit-identical.
+  auto again = generate_workload(options);
+  ASSERT_TRUE(again.is_ok());
+  ASSERT_EQ(again->size(), workload->size());
+  for (std::size_t i = 0; i < workload->size(); ++i) {
+    EXPECT_EQ((*again)[i].arrival_us, (*workload)[i].arrival_us);
+    EXPECT_EQ((*again)[i].user, (*workload)[i].user);
+  }
+}
+
+TEST(WorkloadTest, TargetRequestsMatchesDurationBoundedPrefix) {
+  // The lazily merged per-user streams draw the same arrivals as the
+  // duration-bounded generator — the target-mode trace is a prefix of the
+  // duration-mode trace whenever the horizon covers it.
+  WorkloadOptions bounded;
+  bounded.users = 4;
+  bounded.branches = 2;
+  bounded.frame_rate_hz = 40;
+  bounded.duration_s = 4.0;
+  bounded.seed = 21;
+  auto full = generate_workload(bounded);
+  ASSERT_TRUE(full.is_ok());
+  ASSERT_GT(full->size(), 400u);
+
+  WorkloadOptions target = bounded;
+  target.duration_s = 0;
+  target.target_requests = 400;
+  auto prefix = generate_workload(target);
+  ASSERT_TRUE(prefix.is_ok());
+  ASSERT_EQ(prefix->size(), 400u);
+  for (std::size_t i = 0; i < prefix->size(); ++i) {
+    EXPECT_EQ((*prefix)[i].arrival_us, (*full)[i].arrival_us) << i;
+    EXPECT_EQ((*prefix)[i].user, (*full)[i].user) << i;
+    EXPECT_EQ((*prefix)[i].branch, (*full)[i].branch) << i;
+  }
+  // Bursty streams go through the same lazy path.
+  target.process = ArrivalProcess::kBursty;
+  EXPECT_TRUE(generate_workload(target).is_ok());
+}
+
+TEST(WorkloadTest, TargetRequestsRejectsTraceAndNegatives) {
+  WorkloadOptions options;
+  options.target_requests = -1;
+  EXPECT_FALSE(generate_workload(options).is_ok());
+  options.target_requests = 10;
+  options.process = ArrivalProcess::kTrace;
+  options.trace_arrivals_us = {1, 2, 3};
+  EXPECT_FALSE(generate_workload(options).is_ok());
+}
+
 TEST(WorkloadTest, ProcessNamesRoundTrip) {
   EXPECT_EQ(*arrival_process_by_name("Poisson"), ArrivalProcess::kPoisson);
   EXPECT_EQ(*arrival_process_by_name("bursty"), ArrivalProcess::kBursty);
@@ -235,6 +306,156 @@ TEST(StatsTest, NearestRankPercentilesAreExact) {
   EXPECT_EQ(percentile({42.0}, 99), 42.0);
   // Order of the input must not matter.
   EXPECT_EQ(percentile({9, 1, 5, 3, 7}, 60), 5);
+}
+
+TEST(StatsTest, PercentileValidationReturnsStatusInsteadOfCrashing) {
+  EXPECT_TRUE(validate_percentile(0.001).is_ok());
+  EXPECT_TRUE(validate_percentile(100).is_ok());
+  EXPECT_FALSE(validate_percentile(0).is_ok());
+  EXPECT_FALSE(validate_percentile(-5).is_ok());
+  EXPECT_FALSE(validate_percentile(100.5).is_ok());
+
+  auto ok = percentile_checked({1, 2, 3}, 50);
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_EQ(*ok, 2);
+  auto bad_pct = percentile_checked({1, 2, 3}, 101);
+  ASSERT_FALSE(bad_pct.is_ok());
+  EXPECT_EQ(bad_pct.status().code(), StatusCode::kInvalidArgument);
+  auto empty = percentile_checked({}, 99);
+  ASSERT_FALSE(empty.is_ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatsTest, TailTrackerMatchesExactPartialPercentiles) {
+  // Deterministic pseudo-random stream; the tracker's partial estimate must
+  // equal the exact nearest-rank percentile over every prefix it is asked
+  // at, while holding only ~the top 1% of the stream.
+  const std::int64_t total = 5000;
+  TailTracker tracker(total, 99);
+  std::vector<double> seen;
+  std::uint64_t state = 12345;
+  for (std::int64_t i = 0; i < total; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double sample = static_cast<double>(state >> 40);
+    tracker.add(sample);
+    seen.push_back(sample);
+    if (i % 617 == 0 || i == total - 1) {
+      EXPECT_EQ(tracker.partial(), percentile(seen, 99)) << "prefix " << i;
+    }
+  }
+  EXPECT_EQ(tracker.seen(), total);
+
+  // pct = 100 tracks the running maximum with a single-slot tail.
+  TailTracker max_tracker(3, 100);
+  max_tracker.add(2);
+  max_tracker.add(9);
+  max_tracker.add(4);
+  EXPECT_EQ(max_tracker.partial(), 9);
+}
+
+TEST(StatsTest, ServingStatsSerializationRoundTripsBitExact) {
+  // Build real stats (records kept) and round-trip them through the text
+  // format; every field must survive bit-exactly and re-serialize to the
+  // same text.
+  WorkloadOptions wl;
+  wl.users = 5;
+  wl.branches = 2;
+  wl.frame_rate_hz = 60;
+  wl.duration_s = 1.0;
+  wl.seed = 17;
+  auto workload = generate_workload(wl);
+  ASSERT_TRUE(workload.is_ok());
+  FleetOptions options;
+  options.instances = 3;
+  options.keep_records = true;
+  const ServiceModel service = make_service({{2, 4000.0}, {4, 6000.0}});
+  auto stats = simulate_fleet(service, *workload, options);
+  ASSERT_TRUE(stats.is_ok());
+  ASSERT_FALSE(stats->records.empty());
+  ASSERT_EQ(stats->branch_completed.size(), 2u);
+
+  std::ostringstream os;
+  serving_stats_to_text(os, *stats);
+  const std::string text = os.str();
+  std::istringstream in(text);
+  auto restored = serving_stats_from_text(in);
+  ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+
+  EXPECT_EQ(restored->offered, stats->offered);
+  EXPECT_EQ(restored->completed, stats->completed);
+  EXPECT_EQ(restored->makespan_us, stats->makespan_us);
+  EXPECT_EQ(restored->throughput_rps, stats->throughput_rps);
+  EXPECT_EQ(restored->latency.count, stats->latency.count);
+  EXPECT_EQ(restored->latency.mean, stats->latency.mean);
+  EXPECT_EQ(restored->latency.p50, stats->latency.p50);
+  EXPECT_EQ(restored->latency.p95, stats->latency.p95);
+  EXPECT_EQ(restored->latency.p99, stats->latency.p99);
+  EXPECT_EQ(restored->latency.max, stats->latency.max);
+  EXPECT_EQ(restored->queue_wait.p99, stats->queue_wait.p99);
+  EXPECT_EQ(restored->batches, stats->batches);
+  EXPECT_EQ(restored->mean_batch_fill, stats->mean_batch_fill);
+  EXPECT_EQ(restored->mean_queue_depth, stats->mean_queue_depth);
+  EXPECT_EQ(restored->max_queue_depth, stats->max_queue_depth);
+  EXPECT_EQ(restored->sla_bound_us, stats->sla_bound_us);
+  EXPECT_EQ(restored->sla_violations, stats->sla_violations);
+  EXPECT_EQ(restored->sla_violation_rate, stats->sla_violation_rate);
+  EXPECT_EQ(restored->sla_met, stats->sla_met);
+  EXPECT_EQ(restored->fleet_utilization, stats->fleet_utilization);
+  EXPECT_EQ(restored->branch_completed, stats->branch_completed);
+  ASSERT_EQ(restored->instances.size(), stats->instances.size());
+  for (std::size_t i = 0; i < stats->instances.size(); ++i) {
+    EXPECT_EQ(restored->instances[i].instance, stats->instances[i].instance);
+    EXPECT_EQ(restored->instances[i].batches, stats->instances[i].batches);
+    EXPECT_EQ(restored->instances[i].busy_us, stats->instances[i].busy_us);
+    EXPECT_EQ(restored->instances[i].utilization,
+              stats->instances[i].utilization);
+  }
+  ASSERT_EQ(restored->records.size(), stats->records.size());
+  for (std::size_t i = 0; i < stats->records.size(); ++i) {
+    EXPECT_EQ(restored->records[i].id, stats->records[i].id);
+    EXPECT_EQ(restored->records[i].instance, stats->records[i].instance);
+    EXPECT_EQ(restored->records[i].arrival_us, stats->records[i].arrival_us);
+    EXPECT_EQ(restored->records[i].finish_us, stats->records[i].finish_us);
+  }
+  // The CSV row — the full deterministic field set — matches too, and
+  // re-serializing reproduces the exact same text.
+  EXPECT_EQ(serving_csv_row({}, *restored), serving_csv_row({}, *stats));
+  std::ostringstream again;
+  serving_stats_to_text(again, *restored);
+  EXPECT_EQ(again.str(), text);
+}
+
+TEST(StatsTest, TornSerializedStatsAreRejected) {
+  ServingStats stats;
+  stats.offered = 10;
+  stats.completed = 10;
+  stats.branch_completed = {4, 6};
+  stats.instances.resize(2);
+  std::ostringstream os;
+  serving_stats_to_text(os, stats);
+  const std::string text = os.str();
+  ASSERT_NE(text.find("serving_stats_end"), std::string::npos);
+
+  // Missing end marker (torn tail write).
+  {
+    std::istringstream in(text.substr(0, text.size() - 18));
+    EXPECT_FALSE(serving_stats_from_text(in).is_ok());
+  }
+  // Cut mid-instance-list: the counted block catches the short read.
+  {
+    std::istringstream in(text.substr(0, text.find("instance 0")));
+    EXPECT_FALSE(serving_stats_from_text(in).is_ok());
+  }
+  // Wrong header.
+  {
+    std::istringstream in("not_stats\n" + text);
+    EXPECT_FALSE(serving_stats_from_text(in).is_ok());
+  }
+  // Unknown field.
+  {
+    std::istringstream in("serving_stats\nbogus 1\nserving_stats_end\n");
+    EXPECT_FALSE(serving_stats_from_text(in).is_ok());
+  }
 }
 
 TEST(StatsTest, SummarizeComputesMeanMaxAndTails) {
@@ -464,6 +685,281 @@ TEST(FleetTest, BranchAffinityAvoidsSwitchPenalties) {
   };
   EXPECT_LT(total_switches(*affinity), total_switches(*round_robin));
   EXPECT_LE(affinity->latency.p99, round_robin->latency.p99);
+}
+
+TEST(FleetTest, DispatchDecisionsMatchPreHeapGoldens) {
+  // Golden pin across the O(K)-scan -> heap/ordered-set dispatcher rewrite:
+  // these constants were captured from the linear-scan implementation
+  // (users 10, 3 branches, 25 Hz, 2 s, seed 77; service {2x4000, 1x2500,
+  // 4x6000}; 4 instances, timeout 1500, switch penalty 300). The heap
+  // dispatcher must reproduce every decision bit for bit — a mismatch means
+  // the pick order changed, not a tolerable drift.
+  WorkloadOptions wl;
+  wl.users = 10;
+  wl.branches = 3;
+  wl.frame_rate_hz = 25;
+  wl.duration_s = 2.0;
+  wl.seed = 77;
+  auto workload = generate_workload(wl);
+  ASSERT_TRUE(workload.is_ok());
+  ASSERT_EQ(workload->size(), 1473u);
+  const ServiceModel service =
+      make_service({{2, 4000.0}, {1, 2500.0}, {4, 6000.0}});
+
+  struct Golden {
+    DispatchPolicy policy;
+    double p99, max, mean, wait_p99, fill, depth, makespan;
+    std::int64_t batches, switches;
+    int max_depth;
+  };
+  const std::vector<Golden> goldens = {
+      {DispatchPolicy::kRoundRobin, 10330.283159261802, 13973.044393419084,
+       5761.859252585723, 5093.1434313419741, 0.72879558948261236,
+       1.0111572248102842, 2001586.5281865583, 1179, 858, 13},
+      {DispatchPolicy::kLeastLoaded, 10110.165168074542, 13673.044393419084,
+       5702.3474194867194, 5015.3863474554382, 0.72941426146010191,
+       0.98737126748176918, 2001129.4778135957, 1178, 735, 12},
+      {DispatchPolicy::kBranchAffinity, 10030.283159261802,
+       13673.044393419084, 5641.3096825065304, 5015.3863474554382,
+       0.72879558948261236, 0.97452422941809302, 2001129.4778135957, 1179,
+       547, 12},
+  };
+  for (const Golden& golden : goldens) {
+    FleetOptions options;
+    options.instances = 4;
+    options.policy = golden.policy;
+    options.batch_timeout_us = 1500;
+    options.switch_penalty_us = 300;
+    options.sla_bound_us = 20000;
+    auto stats = simulate_fleet(service, *workload, options);
+    ASSERT_TRUE(stats.is_ok());
+    const char* name = to_string(golden.policy);
+    EXPECT_EQ(stats->latency.p99, golden.p99) << name;
+    EXPECT_EQ(stats->latency.max, golden.max) << name;
+    EXPECT_EQ(stats->latency.mean, golden.mean) << name;
+    EXPECT_EQ(stats->queue_wait.p99, golden.wait_p99) << name;
+    EXPECT_EQ(stats->mean_batch_fill, golden.fill) << name;
+    EXPECT_EQ(stats->mean_queue_depth, golden.depth) << name;
+    EXPECT_EQ(stats->makespan_us, golden.makespan) << name;
+    EXPECT_EQ(stats->batches, golden.batches) << name;
+    EXPECT_EQ(stats->max_queue_depth, golden.max_depth) << name;
+    std::int64_t switches = 0;
+    for (const auto& inst : stats->instances) switches += inst.branch_switches;
+    EXPECT_EQ(switches, golden.switches) << name;
+  }
+}
+
+TEST(FleetTest, ShardedReplayValidatesItsOptions) {
+  const ServiceModel service = make_service({{1, 1000.0}});
+  const std::vector<Request> workload = {make_request(0, 0, 0)};
+  FleetOptions options;
+  options.instances = 2;
+  options.shards = 3;  // more shards than instances
+  auto stats = simulate_fleet(service, workload, options);
+  ASSERT_FALSE(stats.is_ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+  options.shards = 0;
+  EXPECT_FALSE(simulate_fleet(service, workload, options).is_ok());
+  // A malformed progress percentile is a clean error, not a CHECK crash.
+  options.shards = 1;
+  options.progress_tail_pct = 0;
+  auto bad_pct = simulate_fleet(service, workload, options);
+  ASSERT_FALSE(bad_pct.is_ok());
+  EXPECT_EQ(bad_pct.status().code(), StatusCode::kInvalidArgument);
+  options.progress_tail_pct = 101;
+  EXPECT_FALSE(simulate_fleet(service, workload, options).is_ok());
+}
+
+TEST(FleetTest, ShardedReplayConservesAndReproduces) {
+  WorkloadOptions wl;
+  wl.users = 12;
+  wl.branches = 2;
+  wl.frame_rate_hz = 50;
+  wl.duration_s = 1.5;
+  wl.seed = 23;
+  auto workload = generate_workload(wl);
+  ASSERT_TRUE(workload.is_ok());
+  const ServiceModel service = make_service({{2, 3000.0}, {4, 5000.0}});
+
+  FleetOptions options;
+  options.instances = 8;
+  options.shards = 4;
+  options.keep_records = true;
+  auto a = simulate_fleet(service, *workload, options);
+  auto b = simulate_fleet(service, *workload, options);
+  ASSERT_TRUE(a.is_ok() && b.is_ok());
+  EXPECT_EQ(a->offered, static_cast<std::int64_t>(workload->size()));
+  EXPECT_EQ(a->completed, a->offered);
+  EXPECT_EQ(a->instances.size(), 8u);
+  EXPECT_EQ(serving_csv_row({}, *a), serving_csv_row({}, *b));
+  ASSERT_EQ(a->records.size(), b->records.size());
+  // Every user's requests stay inside their shard's instance slice (2
+  // instances per shard, user u -> shard u mod 4).
+  for (const RequestRecord& rec : a->records) {
+    const int shard = rec.user % 4;
+    EXPECT_GE(rec.instance, 2 * shard);
+    EXPECT_LT(rec.instance, 2 * (shard + 1));
+  }
+  // Per-branch counters account for every request.
+  std::int64_t branch_sum = 0;
+  for (std::int64_t n : a->branch_completed) branch_sum += n;
+  EXPECT_EQ(branch_sum, a->completed);
+}
+
+TEST(FleetTest, ShardedProgressEndsWithExactGlobalTail) {
+  // A sharded run's in-loop ticks carry shard-local estimates; the terminal
+  // tick must still be the exact tail percentile over ALL latencies — even
+  // when the last in-loop tick lands exactly at completed == offered.
+  WorkloadOptions wl;
+  wl.users = 8;
+  wl.branches = 2;
+  wl.frame_rate_hz = 60;
+  wl.duration_s = 1.0;
+  wl.seed = 57;
+  auto workload = generate_workload(wl);
+  ASSERT_TRUE(workload.is_ok());
+  const ServiceModel service = make_service({{2, 3000.0}, {4, 5000.0}});
+  FleetOptions options;
+  options.instances = 4;
+  options.shards = 4;
+  options.threads = 1;
+
+  util::RunControl control;
+  std::vector<util::ProgressEvent> events;
+  control.on_progress = [&](const util::ProgressEvent& event) {
+    events.push_back(event);
+  };
+  const util::RunScope scope(control);
+  auto stats = simulate_fleet(service, *workload, options, &scope);
+  ASSERT_TRUE(stats.is_ok());
+  ASSERT_GE(events.size(), 2u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].step, events[i - 1].step);
+  }
+  EXPECT_EQ(events.back().step, static_cast<int>(stats->completed));
+  EXPECT_DOUBLE_EQ(events.back().best_fitness, stats->latency.p99);
+}
+
+namespace {
+
+/// Fresh per-test path for checkpoint files.
+std::string checkpoint_path(const std::string& name) {
+  const std::filesystem::path path =
+      std::filesystem::path(::testing::TempDir()) /
+      ("fcad-fleet-" + name + ".ckpt");
+  std::filesystem::remove(path);
+  return path.string();
+}
+
+}  // namespace
+
+TEST(FleetTest, CheckpointResumeMatchesUncancelledRun) {
+  WorkloadOptions wl;
+  wl.users = 8;
+  wl.branches = 2;
+  wl.frame_rate_hz = 60;
+  wl.duration_s = 2.0;
+  wl.seed = 31;
+  auto workload = generate_workload(wl);
+  ASSERT_TRUE(workload.is_ok());
+  const ServiceModel service = make_service({{2, 3000.0}, {4, 5000.0}});
+
+  FleetOptions options;
+  options.instances = 4;
+  options.shards = 4;
+  options.threads = 1;  // sequential shards: cancel-at-50% leaves some done
+  options.checkpoint_path = checkpoint_path("resume");
+
+  // Reference: the uninterrupted run, no checkpoint involved.
+  FleetOptions plain = options;
+  plain.checkpoint_path.clear();
+  auto reference = simulate_fleet(service, *workload, plain);
+  ASSERT_TRUE(reference.is_ok());
+
+  // Cancel mid-replay; finished shards persist in the checkpoint.
+  util::RunControl control;
+  const auto cancel_after =
+      static_cast<std::int64_t>(workload->size()) / 2;
+  control.on_progress = [&](const util::ProgressEvent& event) {
+    if (event.step >= cancel_after) control.cancel.request_cancel();
+  };
+  {
+    const util::RunScope scope(control);
+    auto cancelled = simulate_fleet(service, *workload, options, &scope);
+    ASSERT_FALSE(cancelled.is_ok());
+    EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled);
+  }
+  ASSERT_TRUE(std::filesystem::exists(options.checkpoint_path));
+
+  // Resume: loaded shards are not re-simulated, and the merged stats are
+  // bit-identical to the uninterrupted run.
+  auto resumed = simulate_fleet(service, *workload, options);
+  ASSERT_TRUE(resumed.is_ok());
+  EXPECT_GT(resumed->resumed_shards, 0);
+  EXPECT_LT(resumed->resumed_shards, 4);
+  EXPECT_EQ(serving_csv_row({}, *resumed), serving_csv_row({}, *reference));
+  EXPECT_EQ(resumed->latency.p99, reference->latency.p99);
+  EXPECT_EQ(resumed->queue_wait.mean, reference->queue_wait.mean);
+  EXPECT_EQ(resumed->branch_completed, reference->branch_completed);
+
+  // A completed run leaves a full checkpoint behind: a rerun resumes every
+  // shard without simulating anything.
+  auto all_cached = simulate_fleet(service, *workload, options);
+  ASSERT_TRUE(all_cached.is_ok());
+  EXPECT_EQ(all_cached->resumed_shards, 4);
+  EXPECT_EQ(serving_csv_row({}, *all_cached),
+            serving_csv_row({}, *reference));
+}
+
+TEST(FleetTest, StaleOrTornCheckpointIsIgnored) {
+  WorkloadOptions wl;
+  wl.users = 4;
+  wl.branches = 2;
+  wl.duration_s = 0.5;
+  wl.seed = 41;
+  auto workload = generate_workload(wl);
+  ASSERT_TRUE(workload.is_ok());
+  const ServiceModel service = make_service({{2, 3000.0}, {4, 5000.0}});
+  FleetOptions options;
+  options.instances = 2;
+  options.shards = 2;
+  options.checkpoint_path = checkpoint_path("stale");
+
+  // Garbage on disk: the replay restarts cleanly instead of misapplying it.
+  {
+    std::ofstream out(options.checkpoint_path);
+    out << "not a checkpoint\n";
+  }
+  auto garbage = simulate_fleet(service, *workload, options);
+  ASSERT_TRUE(garbage.is_ok());
+  EXPECT_EQ(garbage->resumed_shards, 0);
+
+  // That run rewrote a complete matching checkpoint: a rerun resumes it...
+  auto full = simulate_fleet(service, *workload, options);
+  ASSERT_TRUE(full.is_ok());
+  EXPECT_EQ(full->resumed_shards, 2);
+
+  // ...but a *different* replay (other switch penalty) must not — the
+  // fingerprint catches the mismatch.
+  FleetOptions other = options;
+  other.switch_penalty_us = 123;
+  auto mismatched = simulate_fleet(service, *workload, other);
+  ASSERT_TRUE(mismatched.is_ok());
+  EXPECT_EQ(mismatched->resumed_shards, 0);
+
+  // Truncating a matching checkpoint also restarts instead of loading a
+  // torn file (the original run rewrites it first, since the mismatched run
+  // above replaced it with its own).
+  ASSERT_TRUE(simulate_fleet(service, *workload, options).is_ok());
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(options.checkpoint_path, ec);
+  ASSERT_FALSE(ec);
+  std::filesystem::resize_file(options.checkpoint_path, size / 2, ec);
+  ASSERT_FALSE(ec);
+  auto torn = simulate_fleet(service, *workload, options);
+  ASSERT_TRUE(torn.is_ok());
+  EXPECT_EQ(torn->resumed_shards, 0);
+  EXPECT_EQ(serving_csv_row({}, *torn), serving_csv_row({}, *full));
 }
 
 TEST(FleetTest, SlaViolationsAreCounted) {
