@@ -18,6 +18,7 @@
 #include "arch/reorg.hpp"
 #include "dse/search_driver.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
+#include "obs/export.hpp"
 #include "util/args.hpp"
 #include "util/csv.hpp"
 #include "util/format.hpp"
@@ -58,6 +59,8 @@ int main(int argc, char** argv) {
   const std::string csv_path = args->get("csv", "");
   const std::string json_path = args->get("json", "");
   const std::string strategy = args->get("strategy", "particle-swarm");
+  obs::ObservationScope obs_scope(args->get("metrics-out", ""),
+                                  args->get("trace-out", ""));
 
   std::printf(
       "=== DSE convergence: %d independent searches per case (threads=%d) "
@@ -183,5 +186,5 @@ int main(int argc, char** argv) {
     }
     std::printf("json written to %s\n", json_path.c_str());
   }
-  return 0;
+  return obs_scope.finish() ? 0 : 1;
 }

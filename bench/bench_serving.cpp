@@ -33,6 +33,7 @@
 #include "core/pipeline.hpp"
 #include "dse/search_driver.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
+#include "obs/export.hpp"
 #include "serving/fleet.hpp"
 #include "serving/service.hpp"
 #include "serving/stats.hpp"
@@ -74,6 +75,10 @@ dse::SearchResult search_decoder(const arch::ReorganizedModel& model,
 }
 
 int run_replay(const ArgParser& args) {
+  // --metrics-out / --trace-out export the obs registry and a Perfetto
+  // trace; neither touches the CSV/JSON outputs CI diffs for bit-identity.
+  obs::ObservationScope obs_scope(args.get("metrics-out", ""),
+                                  args.get("trace-out", ""));
   const auto requests_flag = flag_value(args.get_int("replay", 0));
   const auto users = static_cast<int>(flag_value(args.get_int("users", 8)));
   const double frame_rate = flag_value(args.get_double("frame-rate", 30.0));
@@ -199,10 +204,12 @@ int run_replay(const ArgParser& args) {
       return 1;
     }
   }
-  return 0;
+  return obs_scope.finish() ? 0 : 1;
 }
 
 int run_traffic_cache(const ArgParser& args) {
+  obs::ObservationScope obs_scope(args.get("metrics-out", ""),
+                                  args.get("trace-out", ""));
   const std::string cache_dir = args.get("traffic-cache", "");
   const auto threads =
       static_cast<int>(flag_value(args.get_int("threads", 0)));
@@ -260,10 +267,12 @@ int run_traffic_cache(const ArgParser& args) {
       return 1;
     }
   }
-  return 0;
+  return obs_scope.finish() ? 0 : 1;
 }
 
 int run_sweep(const ArgParser& args) {
+  obs::ObservationScope obs_scope(args.get("metrics-out", ""),
+                                  args.get("trace-out", ""));
   const std::string csv_path = args.get("csv", "bench_serving.csv");
   const auto threads =
       static_cast<int>(flag_value(args.get_int("threads", 0)));
@@ -339,7 +348,7 @@ int run_sweep(const ArgParser& args) {
       "shape to check: p99 collapses once offered load crosses the fleet's "
       "uniform-mix saturation; doubling the fleet roughly doubles the "
       "feasible user count.\n");
-  return 0;
+  return obs_scope.finish() ? 0 : 1;
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include "arch/platform.hpp"
 #include "core/pipeline.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
+#include "obs/export.hpp"
 #include "util/args.hpp"
 #include "util/csv.hpp"
 #include "util/format.hpp"
@@ -31,6 +32,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", args.status().to_string().c_str());
     return 1;
   }
+
+  obs::ObservationScope obs_scope(args->get("metrics-out", ""),
+                                  args->get("trace-out", ""));
 
   std::printf(
       "=== quantization x frequency sweep, ZU9CG, batch {1,2,2} ===\n\n");
@@ -133,5 +137,5 @@ int main(int argc, char** argv) {
     }
     std::printf("json written to %s\n", json_path.c_str());
   }
-  return 0;
+  return obs_scope.finish() ? 0 : 1;
 }

@@ -19,6 +19,7 @@
 #include "core/report.hpp"
 #include "nn/serialize.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
+#include "obs/export.hpp"
 #include "sim/trace.hpp"
 #include "util/args.hpp"
 #include "util/json.hpp"
@@ -68,6 +69,9 @@ void usage() {
       "(re-enterable via --load-artifact)\n"
       "  --load-artifact <file> skip the search; resume from a saved "
       "artifact\n"
+      "  --metrics-out <file>  write obs metrics (counters/gauges/histograms) "
+      "as JSON\n"
+      "  --trace-out <file>    write a Chrome/Perfetto trace of the run\n"
       "  --dump-model          print the model text and exit\n");
 }
 
@@ -164,6 +168,11 @@ std::string json_report(const core::Pipeline& pipeline,
 }
 
 int run(const ArgParser& args) {
+  // Installed before any pipeline stage so spans cover the whole run; torn
+  // down without writing on the error paths (dtor), written via finish() on
+  // the reporting paths.
+  obs::ObservationScope obs_scope(args.get("metrics-out", ""),
+                                  args.get("trace-out", ""));
   auto graph = load_model(args);
   if (!graph.is_ok()) {
     std::fprintf(stderr, "error: %s\n", graph.status().to_string().c_str());
@@ -304,6 +313,7 @@ int run(const ArgParser& args) {
       std::printf("artifact written to %s\n", path.c_str());
     }
   }
+  if (!obs_scope.finish()) return 1;
   if (!result->search.feasible) {
     std::fprintf(stderr,
                  "warning: no configuration met every batch-size target "

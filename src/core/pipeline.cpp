@@ -13,12 +13,28 @@
 #include "arch/config_io.hpp"
 #include "dse/spec_hash.hpp"
 #include "nn/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serving/stats.hpp"
 #include "util/format.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fcad::core {
 namespace {
+
+/// Wall-clock lane for pipeline-stage spans; shares the DSE process row so
+/// stages nest visually around the strategy rounds they drive.
+obs::LaneId pipeline_lane(obs::Tracer* tracer) {
+  const int worker = util::ThreadPool::current_worker();
+  const obs::LaneId lane{obs::kDsePid, worker};
+  if (tracer != nullptr) {
+    tracer->name_lane(lane, "dse (wall clock)",
+                      worker == 0 ? "driver"
+                                  : "worker " + std::to_string(worker));
+  }
+  return lane;
+}
 
 // v3 embeds the kTraffic serving stats (serving_stats_to_text), so traffic
 // outcomes round-trip whole and qualify for the spec-hash artifact cache.
@@ -367,6 +383,9 @@ StatusOr<SearchArtifact> search_artifact_from_text(const ReorgArtifact& reorg,
 
 Status Pipeline::analyze() {
   if (profile_) return Status::ok();
+  obs::Tracer* const tracer = obs::tracer();
+  const obs::WallSpan span(tracer, pipeline_lane(tracer), "pipeline.analyze",
+                           "pipeline");
   ProfileArtifact artifact;
   artifact.profile = analysis::profile_graph(graph_);
   auto decomposition = analysis::decompose(graph_, artifact.profile);
@@ -379,6 +398,9 @@ Status Pipeline::analyze() {
 Status Pipeline::construct() {
   if (reorg_) return Status::ok();
   if (Status s = analyze(); !s.is_ok()) return s;
+  obs::Tracer* const tracer = obs::tracer();
+  const obs::WallSpan span(tracer, pipeline_lane(tracer),
+                           "pipeline.construct", "pipeline");
   auto model = arch::reorganize(graph_);
   if (!model.is_ok()) return model.status();
   reorg_ = ReorgArtifact{std::move(model).value()};
@@ -410,6 +432,9 @@ std::string Pipeline::artifact_cache_key(const dse::SearchSpec& spec) const {
 
 Status Pipeline::optimize(const dse::SearchSpec& spec) {
   if (Status s = construct(); !s.is_ok()) return s;
+  obs::Tracer* const tracer = obs::tracer();
+  const obs::LaneId lane = pipeline_lane(tracer);
+  const obs::WallSpan span(tracer, lane, "pipeline.optimize", "pipeline");
 
   const std::string key =
       artifact_cache_dir_.empty() ? "" : artifact_cache_key(spec);
@@ -418,6 +443,8 @@ Status Pipeline::optimize(const dse::SearchSpec& spec) {
                   : std::filesystem::path(artifact_cache_dir_) /
                         (key + ".artifact");
   if (!key.empty()) {
+    const obs::WallSpan probe_span(tracer, lane, "artifact cache probe",
+                                   "pipeline");
     std::ifstream in(cache_path);
     if (in) {
       std::ostringstream buffer;
@@ -425,6 +452,9 @@ Status Pipeline::optimize(const dse::SearchSpec& spec) {
       auto artifact = search_artifact_from_text(*reorg_, buffer.str());
       if (artifact.is_ok() && artifact->outcome.kind == spec.kind) {
         ++artifact_cache_hits_;
+        obs::MetricsRegistry::global()
+            .counter("core.pipeline.artifact_cache.hits")
+            .add(1);
         FCAD_LOG(kInfo) << "artifact cache hit: " << cache_path.string();
         search_ = std::move(artifact).value();
         sim_.reset();
@@ -436,6 +466,9 @@ Status Pipeline::optimize(const dse::SearchSpec& spec) {
                       << cache_path.string();
     }
     ++artifact_cache_misses_;
+    obs::MetricsRegistry::global()
+        .counter("core.pipeline.artifact_cache.misses")
+        .add(1);
   }
 
   const dse::SearchDriver driver(reorg_->model, platform_);
@@ -486,6 +519,9 @@ Status Pipeline::simulate(const sim::SimOptions& options) {
         "Pipeline::simulate: the search artifact has no winning "
         "configuration");
   }
+  obs::Tracer* const tracer = obs::tracer();
+  const obs::WallSpan span(tracer, pipeline_lane(tracer), "pipeline.simulate",
+                           "pipeline");
   sim_ = SimArtifact{
       sim::simulate(reorg_->model, best.config, platform_, options)};
   return Status::ok();

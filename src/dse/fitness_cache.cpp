@@ -36,9 +36,11 @@ std::shared_ptr<const FitnessCache::Entry> FitnessCache::find(const Key& key) {
     if (it != shard.map.end()) entry = it->second;
   }
   if (entry) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    hits_.add(1);
+    global_hits_.add(1);
   } else {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_.add(1);
+    global_misses_.add(1);
   }
   return entry;
 }

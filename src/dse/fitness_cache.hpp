@@ -17,13 +17,13 @@
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 
 #include "arch/elastic.hpp"
+#include "obs/metrics.hpp"
 
 namespace fcad::dse {
 
@@ -52,17 +52,17 @@ class FitnessCache {
   static Key config_key(const arch::AcceleratorConfig& config,
                         std::uint64_t met_mask, arch::EvalMode mode);
 
-  /// Returns the cached entry or nullptr, bumping the hit/miss counters.
+  /// Returns the cached entry or nullptr, bumping the hit/miss counters
+  /// (this cache's own, plus the process-wide totals under
+  /// `dse.fitness_cache.*` in obs::MetricsRegistry::global()).
   std::shared_ptr<const Entry> find(const Key& key);
 
   /// Inserts `entry` unless the key is already resident (first writer wins —
   /// both writers computed identical values) and returns the resident entry.
   std::shared_ptr<const Entry> insert(const Key& key, Entry entry);
 
-  std::int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  std::int64_t misses() const {
-    return misses_.load(std::memory_order_relaxed);
-  }
+  std::int64_t hits() const { return hits_.value(); }
+  std::int64_t misses() const { return misses_.value(); }
 
  private:
   struct KeyHash {
@@ -81,8 +81,14 @@ class FitnessCache {
 
   static constexpr std::size_t kShards = 16;
   std::array<Shard, kShards> shards_;
-  std::atomic<std::int64_t> hits_{0};
-  std::atomic<std::int64_t> misses_{0};
+  /// Per-search counters (a cache lives for exactly one search); the global
+  /// registry additionally accumulates process-wide totals.
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter& global_hits_ =
+      obs::MetricsRegistry::global().counter("dse.fitness_cache.hits");
+  obs::Counter& global_misses_ =
+      obs::MetricsRegistry::global().counter("dse.fitness_cache.misses");
 };
 
 }  // namespace fcad::dse

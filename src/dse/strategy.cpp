@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "dse/fitness_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -388,6 +390,18 @@ SearchResult run_strategy(Strategy& strategy, const StrategyContext& ctx,
   SearchResult result;
   result.fitness = -1e300;
 
+  // Wall-clock DSE lane keyed by the structural worker index — nested
+  // searches issued from pool workers trace onto their own lanes.
+  const int worker = util::ThreadPool::current_worker();
+  const obs::LaneId dse_lane{obs::kDsePid, worker};
+  obs::Tracer* const tracer = obs::tracer();
+  if (tracer != nullptr) {
+    tracer->name_lane(dse_lane, "dse (wall clock)",
+                      worker == 0 ? "driver"
+                                  : "worker " + std::to_string(worker));
+  }
+  int rounds_run = 0;
+
   strategy.begin(ctx);
   const int rounds = strategy.max_rounds(ctx);
   for (int round = 0; round < rounds; ++round) {
@@ -395,6 +409,11 @@ SearchResult run_strategy(Strategy& strategy, const StrategyContext& ctx,
       result.stopped_early = true;
       break;
     }
+    const obs::WallSpan round_span(
+        tracer, dse_lane,
+        options.progress_label + " round " + std::to_string(round + 1),
+        "dse");
+    ++rounds_run;
     const std::vector<ResourceDistribution> proposed =
         strategy.propose(ctx, round);
     if (proposed.empty()) break;
@@ -425,6 +444,14 @@ SearchResult run_strategy(Strategy& strategy, const StrategyContext& ctx,
   strategy.finish(ctx, result);
   result.trace.cache_hits = cache.hits();
   result.trace.cache_misses = cache.misses();
+  {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    reg.counter("dse.search.rounds").add(rounds_run);
+    reg.counter("dse.search.evaluations").add(result.trace.evaluations);
+    if (obs::metrics_collection()) {
+      reg.gauge("dse.search.best_fitness").set(result.fitness);
+    }
+  }
 
   // Report the winner under quantized evaluation — what the generated RTL
   // would actually do. (Divisor-exact configs make this a no-op; non-divisor

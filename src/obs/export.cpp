@@ -1,0 +1,50 @@
+#include "obs/export.hpp"
+
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+
+namespace fcad::obs {
+
+ObservationScope::ObservationScope(std::string metrics_path,
+                                   std::string trace_path)
+    : metrics_path_(std::move(metrics_path)),
+      trace_path_(std::move(trace_path)) {
+  if (!metrics_path_.empty()) {
+    set_metrics_collection(true);
+    active_ = true;
+  }
+  if (!trace_path_.empty()) {
+    tracer_ = std::make_unique<Tracer>();
+    install_tracer(tracer_.get());
+    active_ = true;
+  }
+}
+
+ObservationScope::~ObservationScope() { teardown(); }
+
+void ObservationScope::teardown() {
+  if (tracer_ != nullptr && tracer() == tracer_.get()) {
+    install_tracer(nullptr);
+  }
+  if (!metrics_path_.empty()) set_metrics_collection(false);
+}
+
+bool ObservationScope::finish() {
+  bool ok = true;
+  if (!metrics_path_.empty() &&
+      !write_metrics_json(metrics_path_,
+                          MetricsRegistry::global().snapshot())) {
+    FCAD_LOG(kError).field("path", metrics_path_)
+        << "obs: cannot write metrics";
+    ok = false;
+  }
+  if (tracer_ != nullptr && !trace_path_.empty() &&
+      !tracer_->write_file(trace_path_)) {
+    FCAD_LOG(kError).field("path", trace_path_) << "obs: cannot write trace";
+    ok = false;
+  }
+  teardown();
+  return ok;
+}
+
+}  // namespace fcad::obs

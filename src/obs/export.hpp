@@ -1,0 +1,35 @@
+// CLI plumbing shared by fcad_cli, serving_cli, and the benches for the
+// --metrics-out / --trace-out flags: constructing an ObservationScope turns
+// on bulk metrics collection and installs an ambient Tracer as requested;
+// finish() writes the output files and tears both back down. Empty paths
+// leave everything disabled — the zero-overhead default.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace fcad::obs {
+
+class ObservationScope {
+ public:
+  ObservationScope(std::string metrics_path, std::string trace_path);
+  ~ObservationScope();  ///< uninstalls without writing if finish() not called
+  ObservationScope(const ObservationScope&) = delete;
+  ObservationScope& operator=(const ObservationScope&) = delete;
+
+  /// Writes the requested metrics/trace files from the global registry and
+  /// the scope's tracer; false (with a kError log) on any I/O failure.
+  bool finish();
+
+ private:
+  void teardown();
+
+  std::string metrics_path_;
+  std::string trace_path_;
+  std::unique_ptr<Tracer> tracer_;
+  bool active_ = false;
+};
+
+}  // namespace fcad::obs

@@ -16,6 +16,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/format.hpp"
 #include "util/hash.hpp"
 #include "util/log.hpp"
@@ -26,6 +28,17 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr const char* kCheckpointMagic = "fcad-fleet-checkpoint v1";
+
+/// Virtual-time lanes: shard event loops sit at tid = shard index, instance
+/// timelines at tid = 1000 + global instance id, so Perfetto renders shards
+/// first and instances below them, in stable structural order.
+obs::LaneId shard_lane(int shard_index) {
+  return obs::LaneId{obs::kServingPid, shard_index};
+}
+
+obs::LaneId instance_lane(int global_instance) {
+  return obs::LaneId{obs::kServingPid, 1000 + global_instance};
+}
 
 struct Instance {
   double free_at_us = 0;
@@ -209,12 +222,25 @@ struct ProgressSink {
 /// failure mode is cooperative cancellation via `sink->scope`.
 StatusOr<ShardStats> run_shard(const ServiceModel& service,
                                const std::vector<Request>& requests,
-                               int first_instance, int instances,
-                               const FleetOptions& options,
+                               int shard_index, int first_instance,
+                               int instances, const FleetOptions& options,
                                ProgressSink* sink) {
   const util::RunScope* scope = sink->scope;
   BatchAggregator aggregator(service.capacities(), options.batch_timeout_us);
   Dispatcher dispatcher(options.policy, instances, service.num_branches());
+
+  // Resolved once per shard loop; every span below carries *virtual* µs, so
+  // the emitted timeline is identical for any thread count.
+  obs::Tracer* const tracer = obs::tracer();
+  if (tracer != nullptr) {
+    tracer->name_lane(shard_lane(shard_index), "serving fleet (virtual time)",
+                      "shard " + std::to_string(shard_index));
+    for (int k = 0; k < instances; ++k) {
+      tracer->name_lane(instance_lane(first_instance + k),
+                        "serving fleet (virtual time)",
+                        "instance " + std::to_string(first_instance + k));
+    }
+  }
 
   ShardStats out;
   out.offered = static_cast<std::int64_t>(requests.size());
@@ -238,8 +264,16 @@ StatusOr<ShardStats> run_shard(const ServiceModel& service,
     while (next < requests.size() && requests[next].arrival_us <= now_us) {
       aggregator.enqueue(requests[next]);
       ++next;
-      out.max_queue_depth = std::max(out.max_queue_depth,
-                                     static_cast<int>(aggregator.pending()));
+      const int depth = static_cast<int>(aggregator.pending());
+      if (depth > out.max_queue_depth) {
+        out.max_queue_depth = depth;
+        // Counter samples only on a new high-water mark, so the event count
+        // stays bounded even on million-request replays.
+        if (tracer != nullptr) {
+          tracer->counter(shard_lane(shard_index), "queue depth", now_us,
+                          depth);
+        }
+      }
     }
     if (next >= requests.size()) aggregator.close();
 
@@ -257,6 +291,14 @@ StatusOr<ShardStats> run_shard(const ServiceModel& service,
           options.switch_penalty_us,
           static_cast<std::int64_t>(batch.requests.size()));
 
+      if (tracer != nullptr) {
+        tracer->complete(
+            instance_lane(first_instance + k),
+            "batch b" + std::to_string(branch), "serving", now_us,
+            finish_us - now_us,
+            {{"branch", static_cast<double>(branch)},
+             {"requests", static_cast<double>(batch.requests.size())}});
+      }
       ++out.batches;
       out.fill_sum += static_cast<double>(batch.requests.size()) /
                       static_cast<double>(aggregator.capacity(branch));
@@ -311,6 +353,13 @@ StatusOr<ShardStats> run_shard(const ServiceModel& service,
     is.branch_switches = inst.switches;
     is.busy_us = inst.busy_us;
     out.instances.push_back(is);
+  }
+  if (tracer != nullptr && !requests.empty()) {
+    const double start_us = requests.front().arrival_us;
+    tracer->complete(shard_lane(shard_index), "shard replay", "serving",
+                     start_us, std::max(out.makespan_us - start_us, 0.0),
+                     {{"requests", static_cast<double>(out.completed)},
+                      {"batches", static_cast<double>(out.batches)}});
   }
   return out;
 }
@@ -665,9 +714,9 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
   auto run_one = [&](std::int64_t s) {
     const auto index = static_cast<std::size_t>(s);
     if (slots[index]) return;  // resumed from the checkpoint
-    auto result =
-        run_shard(service, shard_requests[index], starts[index],
-                  counts[index], options, &sink);
+    auto result = run_shard(service, shard_requests[index],
+                            static_cast<int>(s), starts[index], counts[index],
+                            options, &sink);
     if (!result.is_ok()) {
       shard_status[index] = result.status();
       return;
@@ -676,6 +725,15 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
     slots[index] = std::move(result).value();
     if (!options.checkpoint_path.empty()) {
       write_checkpoint(options.checkpoint_path, fingerprint, slots);
+      obs::MetricsRegistry::global()
+          .counter("serving.fleet.checkpoint_writes")
+          .add(1);
+      if (obs::Tracer* const tracer = obs::tracer()) {
+        // Stamped at the shard's virtual makespan — where the shard's
+        // timeline ends, which is when its state became durable.
+        tracer->instant(shard_lane(static_cast<int>(s)), "checkpoint write",
+                        "serving", slots[index]->makespan_us);
+      }
     }
   };
   if (num_shards == 1) {
@@ -782,6 +840,34 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
     }
   }
   stats.fleet_utilization = busy_sum / options.instances;
+
+  // Registry export, fed exclusively from this single-threaded shard-index-
+  // ordered merge so the exported numbers (histogram buckets included) are
+  // bit-identical for any thread count. Totals are cheap and always on; the
+  // per-request histogram fills only run under --metrics-out.
+  {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    reg.counter("serving.fleet.requests").add(stats.completed);
+    reg.counter("serving.fleet.batches").add(stats.batches);
+    reg.counter("serving.fleet.sla_violations").add(stats.sla_violations);
+    reg.counter("serving.fleet.resumed_shards").add(stats.resumed_shards);
+    if (obs::metrics_collection()) {
+      static const std::vector<double> kLatencyBounds = {
+          100,    200,    500,    1000,   2000,    5000,   10000,
+          20000,  50000,  100000, 200000, 500000,  1e6};
+      obs::Histogram& latency_hist =
+          reg.histogram("serving.latency_us", kLatencyBounds);
+      obs::Histogram& wait_hist =
+          reg.histogram("serving.queue_wait_us", kLatencyBounds);
+      for (const auto& slot : slots) {
+        for (double v : slot->latencies) latency_hist.observe(v);
+        for (double v : slot->waits) wait_hist.observe(v);
+      }
+      reg.gauge("serving.fleet.throughput_rps").set(stats.throughput_rps);
+      reg.gauge("serving.fleet.utilization").set(stats.fleet_utilization);
+      reg.gauge("serving.fleet.mean_batch_fill").set(stats.mean_batch_fill);
+    }
+  }
   return stats;
 }
 

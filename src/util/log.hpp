@@ -1,5 +1,16 @@
-// Minimal leveled logger. The DSE engine logs search progress at Info level;
-// benches lower the level to Warn to keep table output clean.
+// Leveled, thread-safe structured logger.
+//
+// Five severities (trace < debug < info < warn < error) plus kOff; the DSE
+// engine logs search progress at Info, the obs layer reports anomalies
+// (histogram bucket overflow, dropped trace events) at Warn, and benches
+// leave the default Warn so table output stays clean. The initial level
+// comes from the FCAD_LOG_LEVEL environment variable
+// (trace|debug|info|warn|error|off); set_log_level() overrides it at
+// runtime. Emission is serialized behind a mutex, so concurrent FCAD_LOG
+// lines from pool workers never interleave mid-line.
+//
+//   FCAD_LOG(kInfo) << "search round " << round;
+//   FCAD_LOG(kWarn).field("bucket", 12) << "histogram overflow";
 #pragma once
 
 #include <sstream>
@@ -7,11 +18,28 @@
 
 namespace fcad {
 
-enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+enum class LogLevel {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5
+};
 
 /// Global minimum level; messages below it are dropped.
 void set_log_level(LogLevel level);
+
+/// Current minimum level. The first call reads FCAD_LOG_LEVEL; unset or
+/// unparsable values fall back to kWarn.
 LogLevel log_level();
+
+/// Parses "trace" | "debug" | "info" | "warn" | "error" | "off"
+/// (case-insensitive); anything else returns `fallback`.
+LogLevel log_level_from_name(const std::string& name,
+                             LogLevel fallback = LogLevel::kWarn);
+
+const char* to_string(LogLevel level);
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg);
@@ -19,7 +47,10 @@ void log_emit(LogLevel level, const std::string& msg);
 class LogLine {
  public:
   explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { log_emit(level_, os_.str()); }
+  ~LogLine() {
+    os_ << fields_.str();
+    log_emit(level_, os_.str());
+  }
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
 
@@ -29,16 +60,25 @@ class LogLine {
     return *this;
   }
 
+  /// Structured `key=value` pair, rendered space-separated after the free
+  /// text regardless of call order: message words first, fields last.
+  template <typename T>
+  LogLine& field(const std::string& key, const T& value) {
+    fields_ << ' ' << key << '=' << value;
+    return *this;
+  }
+
  private:
   LogLevel level_;
   std::ostringstream os_;
+  std::ostringstream fields_;
 };
 
 }  // namespace detail
 
-#define FCAD_LOG(level)                                     \
-  if (::fcad::LogLevel::level < ::fcad::log_level()) {      \
-  } else                                                    \
+#define FCAD_LOG(level)                                \
+  if (::fcad::LogLevel::level < ::fcad::log_level()) { \
+  } else                                               \
     ::fcad::detail::LogLine(::fcad::LogLevel::level)
 
 }  // namespace fcad

@@ -3,11 +3,17 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/trace.hpp"
+
 namespace fcad::util {
 namespace {
 
 /// Depth of parallel regions on this thread; > 0 makes nested loops inline.
 thread_local int t_parallel_depth = 0;
+
+/// Creation index of this pool worker (0 = not a worker). Worker lanes in
+/// the trace key off it, so lane identity never depends on thread ids.
+thread_local int t_worker_index = 0;
 
 int normalized_threads(int threads) {
   if (threads <= 0) {
@@ -34,7 +40,10 @@ ThreadPool::ThreadPool(int threads) {
   const int n = normalized_threads(threads);
   workers_.reserve(static_cast<std::size_t>(n - 1));
   for (int i = 0; i < n - 1; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      t_worker_index = i + 1;
+      worker_loop();
+    });
   }
 }
 
@@ -52,16 +61,34 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::in_parallel_region() { return t_parallel_depth > 0; }
 
+int ThreadPool::current_worker() { return t_worker_index; }
+
 void ThreadPool::run_batch(Batch& batch) {
   ++t_parallel_depth;
+  // Resolved once per batch: a disabled tracer costs one atomic load here
+  // and nothing per index.
+  obs::Tracer* const tracer = obs::tracer();
+  const obs::LaneId lane{obs::kPoolPid, t_worker_index};
+  if (tracer != nullptr) {
+    tracer->name_lane(lane, "thread pool (wall clock)",
+                      t_worker_index == 0
+                          ? "caller"
+                          : "worker " + std::to_string(t_worker_index));
+  }
   for (;;) {
     const std::int64_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= batch.n) break;
     std::exception_ptr error;
+    const double span_start_us =
+        tracer != nullptr ? tracer->wall_now_us() : 0;
     try {
       (*batch.fn)(i);
     } catch (...) {
       error = std::current_exception();
+    }
+    if (tracer != nullptr) {
+      tracer->complete(lane, "task " + std::to_string(i), "pool",
+                       span_start_us, tracer->wall_now_us() - span_start_us);
     }
     std::lock_guard<std::mutex> lock(batch.mutex);
     if (error && !batch.error) batch.error = error;

@@ -61,6 +61,11 @@ class ThreadPool {
   /// (worker or participating caller); such contexts run nested loops inline.
   static bool in_parallel_region();
 
+  /// Structural index of the current thread for observability lanes: 0 for
+  /// any issuing/caller thread, 1..N for pool workers. Stable across runs
+  /// (it is the worker's creation index, never a runtime thread id).
+  static int current_worker();
+
   /// Process-wide pool. `threads <= 0` keeps whatever size the pool already
   /// has (hardware concurrency on first use); a positive `threads` resizes
   /// the pool unless called from inside a parallel region (the nested caller

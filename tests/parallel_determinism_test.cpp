@@ -12,6 +12,8 @@
 #include "dse/search_driver.hpp"
 #include "dse/strategy.hpp"
 #include "nn/zoo/avatar_decoder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serving/fleet.hpp"
 #include "serving/stats.hpp"
 #include "serving/workload.hpp"
@@ -292,6 +294,120 @@ TEST(ParallelDeterminismTest, FleetShardedReplayIdenticalAcrossThreadCounts) {
       EXPECT_EQ(serving::serving_csv_row({}, *observed), baseline_row);
     }
   }
+}
+
+/// Installs an ambient tracer (and optionally bulk metrics collection) for
+/// one scope, uninstalling on destruction even when an EXPECT fails.
+class ScopedObservation {
+ public:
+  explicit ScopedObservation(bool metrics) : metrics_(metrics) {
+    obs::install_tracer(&tracer_);
+    if (metrics_) obs::set_metrics_collection(true);
+  }
+  ~ScopedObservation() {
+    obs::install_tracer(nullptr);
+    if (metrics_) obs::set_metrics_collection(false);
+  }
+  const obs::Tracer& tracer() const { return tracer_; }
+
+ private:
+  obs::Tracer tracer_;
+  bool metrics_;
+};
+
+TEST(ParallelDeterminismTest, SearchIdenticalWithTracingOnOrOff) {
+  // The observability hard requirement: installing the tracer (and turning
+  // bulk metrics collection on) must not perturb a single output bit at any
+  // thread count. Tracing is write-only; any divergence here means an
+  // instrumentation site leaked into engine control flow.
+  const auto budget = ResourceBudget::from_platform(arch::platform_zu9cg());
+  const SearchResult baseline =
+      cross_branch_search(decoder_model(), budget, decoder_customization(),
+                          fast_options(1));
+  for (int threads : kThreadCounts) {
+    ScopedObservation obs(/*metrics=*/true);
+    const SearchResult traced =
+        cross_branch_search(decoder_model(), budget, decoder_customization(),
+                            fast_options(threads));
+    expect_identical(baseline, traced);
+    EXPECT_GT(obs.tracer().events(), 0) << "tracer saw no spans";
+  }
+}
+
+TEST(ParallelDeterminismTest, FleetReplayIdenticalWithTracingOnOrOff) {
+  // Same contract for the serving fleet, over the full shard x thread grid:
+  // per-shard event loops emit virtual-time spans, yet every stat (and the
+  // exported CSV row) must match the uninstrumented replay bit for bit.
+  serving::WorkloadOptions wl;
+  wl.users = 16;
+  wl.branches = 2;
+  wl.frame_rate_hz = 80;
+  wl.duration_s = 1.0;
+  wl.seed = 9;
+  auto workload = serving::generate_workload(wl);
+  ASSERT_TRUE(workload.is_ok());
+  serving::ServiceModel service;
+  service.branches = {{2, 3000.0}, {4, 5000.0}};
+
+  for (int shards : {1, 2, 8}) {
+    serving::FleetOptions options;
+    options.instances = 8;
+    options.shards = shards;
+    options.switch_penalty_us = 250;
+    options.threads = 1;
+    auto baseline = serving::simulate_fleet(service, *workload, options);
+    ASSERT_TRUE(baseline.is_ok());
+    const std::vector<std::string> baseline_row =
+        serving::serving_csv_row({}, *baseline);
+    for (int threads : kThreadCounts) {
+      ScopedObservation obs(/*metrics=*/true);
+      options.threads = threads;
+      auto traced = serving::simulate_fleet(service, *workload, options);
+      ASSERT_TRUE(traced.is_ok());
+      EXPECT_EQ(serving::serving_csv_row({}, *traced), baseline_row)
+          << "shards " << shards << ", threads " << threads;
+      EXPECT_EQ(traced->branch_completed, baseline->branch_completed);
+      EXPECT_GT(obs.tracer().events(), 0) << "tracer saw no spans";
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, TraceBytesIdenticalAcrossThreadCounts) {
+  // Stronger than result identity: the serving lanes carry virtual time and
+  // are each appended by exactly one event loop, so the *trace file itself*
+  // must come out byte-identical for any thread count at a fixed shard
+  // layout. (Wall-clock DSE/pool lanes can't promise this; a fleet-only
+  // replay has none.)
+  serving::WorkloadOptions wl;
+  wl.users = 8;
+  wl.branches = 2;
+  wl.frame_rate_hz = 60;
+  wl.duration_s = 0.5;
+  wl.seed = 31;
+  auto workload = serving::generate_workload(wl);
+  ASSERT_TRUE(workload.is_ok());
+  serving::ServiceModel service;
+  service.branches = {{2, 3000.0}, {4, 5000.0}};
+
+  serving::FleetOptions options;
+  options.instances = 4;
+  options.shards = 4;
+  options.switch_penalty_us = 250;
+
+  std::string baseline_json;
+  for (int threads : kThreadCounts) {
+    ScopedObservation obs(/*metrics=*/false);
+    options.threads = threads;
+    auto stats = serving::simulate_fleet(service, *workload, options);
+    ASSERT_TRUE(stats.is_ok());
+    const std::string json = obs.tracer().to_json(obs::kServingPid);
+    if (baseline_json.empty()) {
+      baseline_json = json;
+    } else {
+      EXPECT_EQ(json, baseline_json) << "threads " << threads;
+    }
+  }
+  EXPECT_FALSE(baseline_json.empty());
 }
 
 TEST(ParallelDeterminismTest, RepeatedRunsHitTheCache) {
