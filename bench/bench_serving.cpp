@@ -23,7 +23,6 @@
 //     writes the artifact, a second identical run must be a cache hit with
 //     bit-identical stats (the --json report carries the hit/miss
 //     counters for CI to assert).
-#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -35,6 +34,7 @@
 #include "nn/zoo/avatar_decoder.hpp"
 #include "obs/export.hpp"
 #include "serving/fleet.hpp"
+#include "serving/replay.hpp"
 #include "serving/service.hpp"
 #include "serving/stats.hpp"
 #include "serving/workload.hpp"
@@ -77,134 +77,23 @@ dse::SearchResult search_decoder(const arch::ReorganizedModel& model,
 int run_replay(const ArgParser& args) {
   // --metrics-out / --trace-out export the obs registry and a Perfetto
   // trace; neither touches the CSV/JSON outputs CI diffs for bit-identity.
+  // The replay itself — flags, workload, banner, artifacts, exit codes —
+  // is serving::run_replay_cli, shared with serving_cli and serving_daemon;
+  // only the hardware search lives here.
   obs::ObservationScope obs_scope(args.get("metrics-out", ""),
                                   args.get("trace-out", ""));
-  const auto requests_flag = flag_value(args.get_int("replay", 0));
-  const auto users = static_cast<int>(flag_value(args.get_int("users", 8)));
-  const double frame_rate = flag_value(args.get_double("frame-rate", 30.0));
-  const auto seed =
-      static_cast<std::uint64_t>(flag_value(args.get_int("seed", 42)));
-  const auto instances =
-      static_cast<int>(flag_value(args.get_int("instances", 8)));
-  const auto shards =
-      static_cast<int>(flag_value(args.get_int("shards", 8)));
-  const auto threads =
-      static_cast<int>(flag_value(args.get_int("threads", 0)));
-  const double cancel_at = flag_value(args.get_double("cancel-at", 0.0));
-  const double tail_pct = flag_value(args.get_double("tail-pct", 99.0));
-  if (Status s = serving::validate_percentile(tail_pct); !s.is_ok()) {
-    std::fprintf(stderr, "error: --tail-pct: %s\n", s.message().c_str());
-    return 1;
-  }
+  serving::ReplayJob job = flag_value(serving::replay_job_from_args(args));
 
   auto model = arch::reorganize(nn::zoo::avatar_decoder());
   FCAD_CHECK_MSG(model.is_ok(), model.status().message());
-  const dse::SearchResult search = search_decoder(*model, threads, 100, 12,
-                                                  /*seed=*/42);
+  const dse::SearchResult search = search_decoder(
+      *model, job.spec.fleet.threads, 100, 12, /*seed=*/42);
   const serving::ServiceModel service =
       serving::service_model_from_eval(search.config, search.eval);
 
-  serving::WorkloadOptions workload;
-  workload.users = users;
-  workload.branches = model->num_branches();
-  workload.frame_rate_hz = frame_rate;
-  workload.seed = seed;
-  workload.target_requests = requests_flag;
-  auto trace = serving::generate_workload(workload);
-  FCAD_CHECK_MSG(trace.is_ok(), trace.status().message());
-
-  serving::FleetOptions fleet;
-  fleet.instances = instances;
-  fleet.shards = shards;
-  fleet.threads = threads;
-  fleet.policy = serving::DispatchPolicy::kLeastLoaded;
-  fleet.switch_penalty_us = 500;
-  fleet.progress_tail_pct = tail_pct;
-  fleet.sla_bound_us =
-      flag_value(args.get_double("sla-ms", 100.0 / 3.0)) * 1e3;
-  fleet.checkpoint_path = args.get("checkpoint", "");
-
-  util::RunControl control;
-  control.threads = threads;
-  if (cancel_at > 0) {
-    const auto cancel_after = static_cast<std::int64_t>(
-        cancel_at * static_cast<double>(trace->size()));
-    control.on_progress = [&control,
-                           cancel_after](const util::ProgressEvent& event) {
-      if (event.step >= cancel_after) control.cancel.request_cancel();
-    };
-  }
-  const util::RunScope scope(control);
-
-  std::printf("=== sharded fleet replay: %lld requests, %d users, "
-              "%d instance(s) x %d shard(s), %s threads ===\n",
-              static_cast<long long>(trace->size()), users, instances, shards,
-              threads > 0 ? std::to_string(threads).c_str() : "all");
-  const auto start = std::chrono::steady_clock::now();
-  auto stats = serving::simulate_fleet(service, *trace, fleet, &scope);
-  const double elapsed_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-
-  if (!stats.is_ok()) {
-    if (stats.status().code() == StatusCode::kCancelled) {
-      std::printf("%s\n", stats.status().message().c_str());
-      if (!fleet.checkpoint_path.empty()) {
-        std::printf("checkpoint kept at %s; rerun the same command to "
-                    "resume\n",
-                    fleet.checkpoint_path.c_str());
-      }
-      return 3;
-    }
-    std::fprintf(stderr, "error: %s\n", stats.status().to_string().c_str());
-    return 1;
-  }
-
-  std::printf(
-      "replayed %lld requests in %.3f s (%.0f req/s simulated; makespan "
-      "%.1f s of traffic)\n",
-      static_cast<long long>(stats->completed), elapsed_s,
-      static_cast<double>(stats->completed) / elapsed_s,
-      stats->makespan_us * 1e-6);
-  if (stats->resumed_shards > 0) {
-    std::printf("resumed %d of %d shard(s) from %s\n", stats->resumed_shards,
-                shards, fleet.checkpoint_path.c_str());
-  }
-  std::printf("%s\n", serving::serving_report(*stats).c_str());
-
-  // Machine-readable outputs carry only deterministic fields, so CI can
-  // diff runs at different thread counts (and resumed vs. uninterrupted
-  // runs) for bit-identity.
-  if (args.has("csv")) {
-    CsvWriter csv(serving::serving_csv_header({"requests", "shards"}));
-    csv.add_row(serving::serving_csv_row(
-        {std::to_string(stats->offered), std::to_string(shards)}, *stats));
-    const std::string path = args.get("csv", "");
-    if (!csv.write_file(path)) {
-      std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
-      return 1;
-    }
-  }
-  if (args.has("json")) {
-    JsonWriter json;
-    json.begin_object();
-    json.key("schema_version").value(1);
-    json.key("bench").value("serving_replay");
-    json.key("requests").value(stats->offered);
-    json.key("users").value(users);
-    json.key("instances").value(instances);
-    json.key("shards").value(shards);
-    json.key("policy").value(serving::to_string(fleet.policy));
-    json.key("stats");
-    serving::serving_stats_json(json, *stats);
-    json.end_object();
-    const std::string path = args.get("json", "");
-    if (!json.write_file(path)) {
-      std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
-      return 1;
-    }
-  }
-  return obs_scope.finish() ? 0 : 1;
+  const int rc = serving::run_replay_cli(service, job);
+  if (!obs_scope.finish()) return 1;
+  return rc;
 }
 
 int run_traffic_cache(const ArgParser& args) {
@@ -313,12 +202,12 @@ int run_sweep(const ArgParser& args) {
 
     for (int instances : fleet_sizes) {
       for (double sla_us : sla_bounds_us) {
-        serving::FleetOptions fleet;
-        fleet.instances = instances;
-        fleet.policy = serving::DispatchPolicy::kLeastLoaded;
-        fleet.switch_penalty_us = 500;
-        fleet.sla_bound_us = sla_us;
-        auto stats = serving::simulate_fleet(service, *requests, fleet);
+        serving::ServeSpec spec;
+        spec.fleet.instances = instances;
+        spec.fleet.policy = serving::DispatchPolicy::kLeastLoaded;
+        spec.fleet.switch_penalty_us = 500;
+        spec.sla.p99_bound_us = sla_us;
+        auto stats = serving::simulate_fleet(service, *requests, spec);
         FCAD_CHECK_MSG(stats.is_ok(), stats.status().message());
 
         csv.add_row(serving::serving_csv_row(

@@ -12,7 +12,6 @@
 // Results are bit-reproducible for a fixed --seed (same CSV across runs);
 // --metrics-out / --trace-out export the obs:: metrics registry and a
 // Chrome/Perfetto trace without changing any result.
-#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -23,6 +22,7 @@
 #include "nn/zoo/avatar_decoder.hpp"
 #include "obs/export.hpp"
 #include "serving/fleet.hpp"
+#include "serving/replay.hpp"
 #include "serving/service.hpp"
 #include "serving/stats.hpp"
 #include "serving/workload.hpp"
@@ -79,6 +79,10 @@ void usage() {
       "                         flags to resume\n"
       "  --cancel-at <f>        cancel after fraction f of the requests\n"
       "                         completed (exit code 3)\n"
+      "  --clock <name>         virtual (instant, default) | steady (pace\n"
+      "                         events at their trace timestamps)\n"
+      "  --decisions <file>     per-request decision CSV (the replay/live\n"
+      "                         parity artifact; exact doubles)\n"
       "output:\n"
       "  --csv <file>           write the scenario matrix as CSV\n"
       "  --json                 print a machine-readable JSON report "
@@ -108,27 +112,14 @@ T flag_value(StatusOr<T> value) {
 
 /// --replay: sharded large-trace fleet replay (the serving_cli twin of
 /// bench_serving --replay, so operators can trace/checkpoint production-
-/// scale traces without building the benches). Exit codes: 0 ok, 1 error,
-/// 3 cancelled via --cancel-at.
+/// scale traces without building the benches). The whole replay — flags,
+/// workload, banner, artifacts, exit codes (0 ok, 1 error, 3 cancelled via
+/// --cancel-at) — is serving::run_replay_cli, shared with bench_serving and
+/// serving_daemon; only the hardware search lives here.
 int run_replay(const ArgParser& args) {
   obs::ObservationScope obs_scope(args.get("metrics-out", ""),
                                   args.get("trace-out", ""));
-  const auto requests_flag = flag_value(args.get_int("replay", 0));
-  const auto users = static_cast<int>(flag_value(args.get_int("users", 8)));
-  const double frame_rate = flag_value(args.get_double("frame-rate", 30.0));
-  const auto seed =
-      static_cast<std::uint64_t>(flag_value(args.get_int("seed", 42)));
-  const auto instances =
-      static_cast<int>(flag_value(args.get_int("instances", 8)));
-  const auto shards = static_cast<int>(flag_value(args.get_int("shards", 8)));
-  const auto threads =
-      static_cast<int>(flag_value(args.get_int("threads", 0)));
-  const double cancel_at = flag_value(args.get_double("cancel-at", 0.0));
-  const double tail_pct = flag_value(args.get_double("tail-pct", 99.0));
-  if (Status s = serving::validate_percentile(tail_pct); !s.is_ok()) {
-    std::fprintf(stderr, "error: --tail-pct: %s\n", s.message().c_str());
-    return 1;
-  }
+  serving::ReplayJob job = flag_value(serving::replay_job_from_args(args));
 
   auto model = arch::reorganize(nn::zoo::avatar_decoder());
   if (!model.is_ok()) {
@@ -139,7 +130,7 @@ int run_replay(const ArgParser& args) {
   spec.search.population = 100;
   spec.search.iterations = 12;
   spec.search.seed = 42;
-  spec.control.threads = threads;
+  spec.control.threads = job.spec.fleet.threads;
   auto outcome = dse::SearchDriver(*model, arch::platform_zu9cg()).run(spec);
   if (!outcome.is_ok()) {
     std::fprintf(stderr, "error: %s\n", outcome.status().to_string().c_str());
@@ -149,90 +140,9 @@ int run_replay(const ArgParser& args) {
   const serving::ServiceModel service =
       serving::service_model_from_eval(search.config, search.eval);
 
-  serving::WorkloadOptions workload;
-  workload.users = users;
-  workload.branches = model->num_branches();
-  workload.frame_rate_hz = frame_rate;
-  workload.seed = seed;
-  workload.target_requests = requests_flag;
-  auto trace = serving::generate_workload(workload);
-  if (!trace.is_ok()) {
-    std::fprintf(stderr, "error: %s\n", trace.status().to_string().c_str());
-    return 1;
-  }
-
-  serving::FleetOptions fleet;
-  fleet.instances = instances;
-  fleet.shards = shards;
-  fleet.threads = threads;
-  fleet.policy = serving::DispatchPolicy::kLeastLoaded;
-  fleet.switch_penalty_us =
-      flag_value(args.get_double("switch-penalty-us", 500.0));
-  fleet.batch_timeout_us = flag_value(args.get_double("timeout-us", 4000.0));
-  fleet.progress_tail_pct = tail_pct;
-  fleet.sla_bound_us =
-      flag_value(args.get_double("sla-ms", 100.0 / 3.0)) * 1e3;
-  fleet.checkpoint_path = args.get("checkpoint", "");
-
-  util::RunControl control;
-  control.threads = threads;
-  if (cancel_at > 0) {
-    const auto cancel_after = static_cast<std::int64_t>(
-        cancel_at * static_cast<double>(trace->size()));
-    control.on_progress = [&control,
-                           cancel_after](const util::ProgressEvent& event) {
-      if (event.step >= cancel_after) control.cancel.request_cancel();
-    };
-  }
-  const util::RunScope scope(control);
-
-  std::printf("=== sharded fleet replay: %lld requests, %d users, "
-              "%d instance(s) x %d shard(s), %s threads ===\n",
-              static_cast<long long>(trace->size()), users, instances, shards,
-              threads > 0 ? std::to_string(threads).c_str() : "all");
-  const auto start = std::chrono::steady_clock::now();
-  auto stats = serving::simulate_fleet(service, *trace, fleet, &scope);
-  const double elapsed_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-
-  if (!stats.is_ok()) {
-    if (stats.status().code() == StatusCode::kCancelled) {
-      std::printf("%s\n", stats.status().message().c_str());
-      if (!fleet.checkpoint_path.empty()) {
-        std::printf("checkpoint kept at %s; rerun the same command to "
-                    "resume\n",
-                    fleet.checkpoint_path.c_str());
-      }
-      return 3;
-    }
-    std::fprintf(stderr, "error: %s\n", stats.status().to_string().c_str());
-    return 1;
-  }
-
-  std::printf(
-      "replayed %lld requests in %.3f s (%.0f req/s simulated; makespan "
-      "%.1f s of traffic)\n",
-      static_cast<long long>(stats->completed), elapsed_s,
-      static_cast<double>(stats->completed) / elapsed_s,
-      stats->makespan_us * 1e-6);
-  if (stats->resumed_shards > 0) {
-    std::printf("resumed %d of %d shard(s) from %s\n", stats->resumed_shards,
-                shards, fleet.checkpoint_path.c_str());
-  }
-  std::printf("%s\n", serving::serving_report(*stats).c_str());
-
-  if (args.has("csv")) {
-    CsvWriter csv(serving::serving_csv_header({"requests", "shards"}));
-    csv.add_row(serving::serving_csv_row(
-        {std::to_string(stats->offered), std::to_string(shards)}, *stats));
-    const std::string path = args.get("csv", "");
-    if (!csv.write_file(path)) {
-      std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
-      return 1;
-    }
-  }
-  return obs_scope.finish() ? 0 : 1;
+  const int rc = serving::run_replay_cli(service, job);
+  if (!obs_scope.finish()) return 1;
+  return rc;
 }
 
 int run(const ArgParser& args) {
@@ -457,9 +367,10 @@ int run(const ArgParser& args) {
       return 1;
     }
     for (serving::DispatchPolicy p : policies) {
-      serving::FleetOptions options = fleet;
-      options.policy = p;
-      auto stats = serving::simulate_fleet(service, *requests, options);
+      serving::ServeSpec scenario;
+      scenario.fleet = fleet;
+      scenario.fleet.policy = p;
+      auto stats = serving::simulate_fleet(service, *requests, scenario);
       if (!stats.is_ok()) {
         std::fprintf(stderr, "error: %s\n",
                      stats.status().to_string().c_str());

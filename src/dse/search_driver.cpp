@@ -283,7 +283,9 @@ StatusOr<serving::ServingStats> replay_traffic(
   workload.branches = service.num_branches();
   auto requests = serving::generate_workload(workload);
   if (!requests.is_ok()) return requests.status();
-  return serving::simulate_fleet(service, *requests, traffic.fleet, scope);
+  serving::ServeSpec serve;
+  serve.fleet = traffic.fleet;  // SLA bound rides fleet.sla_bound_us here
+  return serving::simulate_fleet(service, *requests, serve, scope);
 }
 
 }  // namespace

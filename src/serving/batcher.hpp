@@ -9,6 +9,7 @@
 #include <optional>
 #include <vector>
 
+#include "serving/clock.hpp"
 #include "serving/workload.hpp"
 
 namespace fcad::serving {
@@ -55,6 +56,17 @@ class BatchAggregator {
   /// Earliest future time a queue becomes ready by timeout alone, or
   /// +infinity when every queue is empty (or no timeout is configured).
   double next_deadline_us() const;
+
+  /// Clock-threaded twins: timeout handling against an injected
+  /// serving::Clock reading instead of a caller-supplied timestamp. Event
+  /// loops that must make several decisions at one instant (ready check →
+  /// pick → pop) snapshot clock.now_us() once and use the double overloads;
+  /// these are for single-decision callers.
+  bool has_ready(Clock& clock) const { return has_ready(clock.now_us()); }
+  int ready_branch(Clock& clock) const { return ready_branch(clock.now_us()); }
+  std::optional<Batch> pop_ready(Clock& clock) {
+    return pop_ready(clock.now_us());
+  }
 
   std::size_t pending() const;
   int pending_in(int branch) const;

@@ -1,0 +1,104 @@
+// The single sanctioned std::chrono user in src/serving (CI grep-gates every
+// other serving source against *_clock::now()): SteadyClock wraps the
+// monotonic clock behind the Clock interface, VirtualClock needs no time
+// source at all.
+#include "serving/clock.hpp"
+
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace fcad::serving {
+
+double VirtualClock::sleep_until_us(double deadline_us) {
+  // Jump to the deadline; a non-finite deadline (the "wait for wake()" form)
+  // leaves the reading untouched, since virtual time only moves via events.
+  if (std::isfinite(deadline_us) && deadline_us > now_us_) {
+    now_us_ = deadline_us;
+  }
+  return now_us_;
+}
+
+struct SteadyClock::Impl {
+  std::chrono::steady_clock::time_point start;
+  double origin_us = 0;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool woken = false;  ///< guarded by mutex; sticky until a sleep consumes it
+
+  double read() const {
+    return origin_us + std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  }
+};
+
+SteadyClock::SteadyClock(double origin_us) : impl_(std::make_unique<Impl>()) {
+  impl_->start = std::chrono::steady_clock::now();
+  impl_->origin_us = origin_us;
+}
+
+SteadyClock::~SteadyClock() = default;
+
+double SteadyClock::now_us() { return impl_->read(); }
+
+double SteadyClock::sleep_until_us(double deadline_us) {
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  while (!impl_->woken) {
+    const double now = impl_->read();
+    if (now >= deadline_us) break;
+    // Bounded waits (<= 1000 s) keep a +infinity deadline from overflowing
+    // time-point arithmetic; the loop re-checks wake/deadline per chunk and
+    // absorbs spurious wakeups.
+    const double wait_us = std::fmin(deadline_us - now, 1e9);
+    impl_->cv.wait_for(lock, std::chrono::duration_cast<
+                                 std::chrono::steady_clock::duration>(
+                                 std::chrono::duration<double, std::micro>(
+                                     wait_us)));
+  }
+  // Consume the pending wake (sticky semantics: a wake between a caller's
+  // work check and its sleep makes that sleep return immediately instead of
+  // being lost).
+  impl_->woken = false;
+  return impl_->read();
+}
+
+void SteadyClock::wake() {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->woken = true;
+  }
+  impl_->cv.notify_all();
+}
+
+const char* to_string(ClockKind kind) {
+  switch (kind) {
+    case ClockKind::kVirtual: return "virtual";
+    case ClockKind::kSteady: return "steady";
+  }
+  return "?";
+}
+
+StatusOr<ClockKind> clock_kind_by_name(const std::string& name) {
+  std::string lower;
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "virtual") return ClockKind::kVirtual;
+  if (lower == "steady" || lower == "wall") return ClockKind::kSteady;
+  return Status::not_found("unknown clock kind '" + name + "'");
+}
+
+std::unique_ptr<Clock> make_clock(ClockKind kind, double origin_us) {
+  switch (kind) {
+    case ClockKind::kVirtual: return std::make_unique<VirtualClock>(origin_us);
+    case ClockKind::kSteady: return std::make_unique<SteadyClock>(origin_us);
+  }
+  return std::make_unique<VirtualClock>(origin_us);
+}
+
+}  // namespace fcad::serving

@@ -1,0 +1,95 @@
+// The serving time-source API: every serving component reads and waits on an
+// injected serving::Clock instead of calling a time function directly. The
+// same event loop (engine.hpp) then runs in two modes:
+//
+//  - VirtualClock: event-driven simulated time. sleep_until_us() jumps the
+//    clock to the deadline instantly, reproducing the bit-exact offline
+//    replay semantics (simulate_fleet).
+//  - SteadyClock: monotonic wall time. sleep_until_us() really blocks (and
+//    can be interrupted by wake() from another thread), which is what the
+//    live serving_daemon and real-time-paced replays run on.
+//
+// Decisions and stats are functions of clock *readings*, never of which
+// implementation produced them — that is the replay/live parity contract
+// pinned by tests/daemon_test.cpp. The one sanctioned place in src/serving
+// that touches std::chrono clocks is clock.cpp (CI grep-gates the rest).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace fcad::serving {
+
+/// Pure time-source interface. Readings are microseconds on an arbitrary
+/// per-clock origin (replays seed it with the first arrival time so trace
+/// timestamps are directly comparable to now_us()).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current reading in microseconds. Monotone non-decreasing.
+  virtual double now_us() = 0;
+
+  /// Blocks until the clock reads at least `deadline_us`, or until wake()
+  /// is called from another thread, whichever comes first. Returns the
+  /// reading on return (>= deadline_us unless woken early). A deadline at
+  /// or before now returns immediately; +infinity means "wait for wake()".
+  virtual double sleep_until_us(double deadline_us) = 0;
+
+  /// Interrupts a concurrent sleep_until_us(). Thread-safe. A wake with no
+  /// sleeper in flight is sticky: the NEXT sleep consumes it and returns
+  /// immediately — so "push work, then wake()" can never be lost between a
+  /// consumer's queue check and its sleep.
+  virtual void wake() {}
+};
+
+/// Event-driven simulated time: sleep_until_us() jumps the reading to the
+/// deadline and returns immediately. Single-threaded by design (wake() is a
+/// no-op) — each shard's event loop owns one.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(double start_us = 0) : now_us_(start_us) {}
+
+  double now_us() override { return now_us_; }
+  double sleep_until_us(double deadline_us) override;
+
+ private:
+  double now_us_;
+};
+
+/// Monotonic wall time: readings are `origin_us` plus the elapsed
+/// microseconds since construction, so a replay seeded with its trace's
+/// first arrival paces events at their trace timestamps. sleep_until_us()
+/// blocks on a condition variable and is interruptible by wake() from any
+/// thread (the daemon's receiver thread wakes the serving loop on arrival).
+class SteadyClock final : public Clock {
+ public:
+  explicit SteadyClock(double origin_us = 0);
+  ~SteadyClock() override;
+
+  double now_us() override;
+  double sleep_until_us(double deadline_us) override;
+  void wake() override;
+
+ private:
+  struct Impl;  // hides <chrono>/<condition_variable> from the serving path
+  std::unique_ptr<Impl> impl_;
+};
+
+enum class ClockKind {
+  kVirtual,  ///< event-driven; offline replays (bit-exact, instant)
+  kSteady,   ///< monotonic wall time; live serving / real-time-paced replays
+};
+
+const char* to_string(ClockKind kind);
+
+/// Lookup by name ("virtual", "steady"/"wall"); case-insensitive.
+StatusOr<ClockKind> clock_kind_by_name(const std::string& name);
+
+/// Factory used by the per-shard event loops and the daemon. `origin_us`
+/// seeds the initial reading of either implementation.
+std::unique_ptr<Clock> make_clock(ClockKind kind, double origin_us = 0);
+
+}  // namespace fcad::serving

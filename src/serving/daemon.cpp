@@ -1,0 +1,542 @@
+#include "serving/daemon.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "serving/engine.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fcad::serving {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Rolling-p99 admission window: a ring buffer of the last N completion
+/// latencies. should_shed() is true once the window is full AND its p99
+/// exceeds the bound; the percentile is recomputed lazily (only when a new
+/// completion landed since the last query), so steady-state shedding costs
+/// O(1) per request.
+class AdmissionWindow {
+ public:
+  AdmissionWindow(bool enabled, int window, double bound_us)
+      : enabled_(enabled && window > 0),
+        bound_us_(bound_us),
+        ring_(enabled_ ? static_cast<std::size_t>(window) : 0) {}
+
+  void record(double latency_us) {
+    if (!enabled_) return;
+    ring_[static_cast<std::size_t>(count_ % ring_.size())] = latency_us;
+    ++count_;
+    dirty_ = true;
+  }
+
+  bool should_shed() {
+    if (!enabled_ || count_ < static_cast<std::int64_t>(ring_.size())) {
+      return false;
+    }
+    if (dirty_) {
+      rolling_p99_us_ = percentile(ring_, 99);
+      dirty_ = false;
+    }
+    return rolling_p99_us_ > bound_us_;
+  }
+
+  /// Last computed rolling p99 (0 until the window first fills).
+  double rolling_p99_us() const { return rolling_p99_us_; }
+
+ private:
+  bool enabled_;
+  double bound_us_;
+  std::vector<double> ring_;
+  std::int64_t count_ = 0;
+  bool dirty_ = false;
+  double rolling_p99_us_ = 0;
+};
+
+/// One shard of the trace-driven daemon: the same event loop as fleet.cpp's
+/// run_shard, except every due arrival passes through the admission window
+/// before it may enqueue. With admission off the decision stream — and so
+/// every record, latency, and counter — is bit-identical to run_shard's.
+StatusOr<ShardStats> run_daemon_shard(const ServiceModel& service,
+                                      const std::vector<Request>& requests,
+                                      int shard_index, int first_instance,
+                                      int instances,
+                                      const FleetOptions& options,
+                                      const DaemonOptions& daemon,
+                                      std::int64_t* shed_out,
+                                      const util::RunScope* scope) {
+  const std::unique_ptr<Clock> clock = make_clock(
+      options.clock, requests.empty() ? 0 : requests.front().arrival_us);
+
+  FleetEngineConfig config;
+  config.policy = options.policy;
+  config.batch_timeout_us = options.batch_timeout_us;
+  config.switch_penalty_us = options.switch_penalty_us;
+  config.sla_bound_us = options.sla_bound_us;
+  config.progress_tail_pct = options.progress_tail_pct;
+  config.keep_records = options.keep_records;
+  config.shard_index = shard_index;
+  config.first_instance = first_instance;
+  config.instances = instances;
+  config.expected_requests = static_cast<std::int64_t>(requests.size());
+  FleetEngine engine(service, config, clock.get());
+
+  AdmissionWindow admission(
+      daemon.admission_enabled, daemon.admission_window,
+      daemon.admission_headroom * options.sla_bound_us);
+  engine.set_batch_hook(
+      [&admission](const Batch& batch, int, double, double finish_us) {
+        for (const Request& r : batch.requests) {
+          admission.record(finish_us - r.arrival_us);
+        }
+      });
+
+  std::int64_t shed = 0;
+  std::size_t next = 0;
+  while (true) {
+    if (scope != nullptr && scope->should_stop()) {
+      return Status::cancelled("daemon trace cancelled after " +
+                               std::to_string(engine.completed()) +
+                               " completions in shard " +
+                               std::to_string(shard_index));
+    }
+    while (next < requests.size() &&
+           requests[next].arrival_us <= engine.now_us()) {
+      if (admission.should_shed()) {
+        ++shed;
+      } else {
+        engine.enqueue(requests[next]);
+      }
+      ++next;
+    }
+    if (next >= requests.size()) engine.close();
+
+    engine.dispatch_ready();
+
+    double t_us = engine.next_event_us();
+    if (next < requests.size()) {
+      t_us = std::min(t_us, requests[next].arrival_us);
+    }
+    if (t_us == kInf) break;
+    // Strict advance only holds for virtual time; a steady clock can
+    // legitimately overtake the event schedule between readings (see the
+    // matching guard in fleet.cpp run_shard).
+    if (options.clock == ClockKind::kVirtual) {
+      FCAD_CHECK_MSG(t_us > engine.now_us(),
+                     "daemon: trace time did not advance");
+    }
+    engine.advance_to(t_us);
+  }
+
+  ShardStats out = engine.take_stats();
+  FCAD_CHECK_MSG(out.completed == out.offered,
+                 "daemon: lost requests in flight");
+  *shed_out = shed;
+  return out;
+}
+
+/// One parsed unit of receiver -> serving-loop traffic.
+struct Incoming {
+  int fd = -1;
+  std::int64_t id = 0;
+  int user = 0;
+  int branch = 0;
+  bool disconnect = false;
+  bool malformed = false;
+};
+
+/// Splits complete lines out of a connection buffer and appends the parsed
+/// events. Returns true when a line asked for shutdown.
+bool parse_lines(int fd, std::string& buffer, std::int64_t& next_id,
+                 std::vector<Incoming>& events) {
+  bool shutdown = false;
+  std::size_t start = 0;
+  for (std::size_t nl = buffer.find('\n'); nl != std::string::npos;
+       nl = buffer.find('\n', start)) {
+    std::string line = buffer.substr(start, nl - start);
+    start = nl + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line == "shutdown") {
+      shutdown = true;
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string verb;
+    Incoming in;
+    in.fd = fd;
+    fields >> verb >> in.user >> in.branch;
+    if (verb != "req" || fields.fail()) {
+      in.malformed = true;
+    } else {
+      in.id = next_id++;
+    }
+    events.push_back(in);
+  }
+  buffer.erase(0, start);
+  return shutdown;
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) ::close(fd);
+  fd = -1;
+}
+
+}  // namespace
+
+Daemon::Daemon(ServiceModel service, ServeSpec spec, DaemonOptions options)
+    : service_(std::move(service)),
+      spec_(std::move(spec)),
+      options_(std::move(options)) {
+  // The shutdown pipe exists for the daemon's whole lifetime so a signal
+  // handler may call request_shutdown() at any point relative to serve().
+  if (::pipe2(shutdown_pipe_, O_CLOEXEC) != 0) {
+    shutdown_pipe_[0] = shutdown_pipe_[1] = -1;
+    FCAD_LOG(kWarn) << "daemon: shutdown pipe unavailable: "
+                    << std::strerror(errno);
+  }
+}
+
+Daemon::~Daemon() {
+  close_fd(shutdown_pipe_[0]);
+  close_fd(shutdown_pipe_[1]);
+}
+
+void Daemon::request_shutdown() {
+  if (shutdown_pipe_[1] < 0) return;
+  const char byte = 's';
+  // Single async-signal-safe syscall; a full pipe already means a shutdown
+  // is pending, so a failed write is still a delivered request.
+  [[maybe_unused]] const ssize_t n =
+      ::write(shutdown_pipe_[1], &byte, 1);
+}
+
+StatusOr<DaemonResult> Daemon::run_trace(const std::vector<Request>& trace,
+                                         const util::RunScope* scope) const {
+  auto resolved = resolved_fleet_options(spec_);
+  if (!resolved.is_ok()) return resolved.status();
+  const FleetOptions& options = *resolved;
+  if (options.instances < 1) {
+    return Status::invalid_argument("daemon: instances must be >= 1");
+  }
+  if (options.shards < 1 || options.shards > options.instances) {
+    return Status::invalid_argument(
+        "daemon: shards must be in [1, instances], got " +
+        std::to_string(options.shards));
+  }
+  if (service_.num_branches() < 1) {
+    return Status::invalid_argument("daemon: service model has no branches");
+  }
+  for (const Request& r : trace) {
+    if (r.branch < 0 || r.branch >= service_.num_branches()) {
+      return Status::invalid_argument("daemon: request branch out of range");
+    }
+  }
+
+  // Identical partition to simulate_fleet: stable arrival sort, user u ->
+  // shard u mod S, contiguous instance groups — the parity contract extends
+  // to sharded traces.
+  std::vector<Request> sorted = trace;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.arrival_us < b.arrival_us;
+                   });
+  const int num_shards = options.shards;
+  std::vector<std::vector<Request>> shard_requests(
+      static_cast<std::size_t>(num_shards));
+  for (const Request& r : sorted) {
+    shard_requests[static_cast<std::size_t>(r.user % num_shards)].push_back(
+        r);
+  }
+  std::vector<int> counts(static_cast<std::size_t>(num_shards));
+  std::vector<int> starts(static_cast<std::size_t>(num_shards));
+  {
+    const int base = options.instances / num_shards;
+    const int extra = options.instances % num_shards;
+    int start = 0;
+    for (int s = 0; s < num_shards; ++s) {
+      counts[static_cast<std::size_t>(s)] = base + (s < extra ? 1 : 0);
+      starts[static_cast<std::size_t>(s)] = start;
+      start += counts[static_cast<std::size_t>(s)];
+    }
+  }
+
+  std::vector<ShardStats> shards(static_cast<std::size_t>(num_shards));
+  std::vector<std::int64_t> shard_shed(static_cast<std::size_t>(num_shards),
+                                       0);
+  std::vector<Status> shard_status(static_cast<std::size_t>(num_shards),
+                                   Status::ok());
+  auto run_one = [&](std::int64_t s) {
+    const auto index = static_cast<std::size_t>(s);
+    auto result = run_daemon_shard(service_, shard_requests[index],
+                                   static_cast<int>(s), starts[index],
+                                   counts[index], options, options_,
+                                   &shard_shed[index], scope);
+    if (!result.is_ok()) {
+      shard_status[index] = result.status();
+      return;
+    }
+    shards[index] = std::move(result).value();
+  };
+  if (num_shards == 1) {
+    run_one(0);
+  } else {
+    util::ThreadPool& pool = util::ThreadPool::shared(
+        scope != nullptr ? scope->threads(options.threads) : options.threads);
+    pool.parallel_for(num_shards, run_one);
+  }
+
+  for (const Status& s : shard_status) {
+    if (!s.is_ok()) return s;
+  }
+
+  DaemonResult result;
+  result.stats = merge_shard_stats(shards, service_, options.sla_bound_us,
+                                   options.instances, 0);
+  for (std::int64_t s : shard_shed) result.shed += s;
+  obs::MetricsRegistry::global()
+      .counter("serving.daemon.shed_requests")
+      .add(result.shed);
+  return result;
+}
+
+StatusOr<DaemonResult> Daemon::serve() {
+  auto resolved = resolved_fleet_options(spec_);
+  if (!resolved.is_ok()) return resolved.status();
+  const FleetOptions& options = *resolved;
+  if (options.clock != ClockKind::kSteady) {
+    return Status::invalid_argument(
+        "daemon: serve() requires ClockKind::kSteady (a virtual clock has "
+        "no time source to pace an idle socket on); run_trace replays "
+        "virtual time");
+  }
+  if (options.shards != 1) {
+    return Status::invalid_argument(
+        "daemon: serve() runs one shard per process; deploy one daemon per "
+        "shard instead of shards=" +
+        std::to_string(options.shards));
+  }
+  if (options.instances < 1) {
+    return Status::invalid_argument("daemon: instances must be >= 1");
+  }
+  if (service_.num_branches() < 1) {
+    return Status::invalid_argument("daemon: service model has no branches");
+  }
+  if (options_.socket_path.empty()) {
+    return Status::invalid_argument("daemon: serve() needs a socket_path");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::invalid_argument("daemon: socket path too long: " +
+                                    options_.socket_path);
+  }
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (shutdown_pipe_[0] < 0) {
+    return Status::internal("daemon: shutdown pipe unavailable");
+  }
+
+  int listen_fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd < 0) {
+    return Status::internal(std::string("daemon: socket(): ") +
+                            std::strerror(errno));
+  }
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd, 16) != 0) {
+    const Status status = Status::internal(
+        "daemon: cannot listen on " + options_.socket_path + ": " +
+        std::strerror(errno));
+    close_fd(listen_fd);
+    return status;
+  }
+
+  SteadyClock clock(0);
+  FleetEngineConfig config;
+  config.policy = options.policy;
+  config.batch_timeout_us = options.batch_timeout_us;
+  config.switch_penalty_us = options.switch_penalty_us;
+  config.sla_bound_us = options.sla_bound_us;
+  config.progress_tail_pct = options.progress_tail_pct;
+  config.keep_records = options.keep_records;
+  config.instances = options.instances;
+  config.expected_requests = options_.expected_requests;
+  FleetEngine engine(service_, config, &clock);
+
+  // Receiver thread: owns poll() over the listen socket, the shutdown pipe,
+  // and every connection; parses lines into `queue` and wakes the serving
+  // loop. It never writes to or closes a client fd — the serving loop is
+  // the sole writer, and fds stay open until the drain finishes so a late
+  // reply can never race a recycled descriptor.
+  std::mutex queue_mutex;
+  std::vector<Incoming> queue;
+  std::vector<int> accepted_fds;  // guarded by queue_mutex; closed at exit
+  std::atomic<bool> stopping{false};
+  std::thread receiver([&] {
+    std::vector<pollfd> pfds;
+    pfds.push_back({shutdown_pipe_[0], POLLIN, 0});
+    pfds.push_back({listen_fd, POLLIN, 0});
+    std::unordered_map<int, std::string> buffers;
+    std::int64_t next_id = 0;
+    bool stop = false;
+    while (!stop) {
+      if (::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), -1) < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      std::vector<Incoming> events;
+      if ((pfds[0].revents & POLLIN) != 0) stop = true;
+      if ((pfds[1].revents & POLLIN) != 0) {
+        const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+        if (fd >= 0) {
+          pfds.push_back({fd, POLLIN, 0});
+          buffers.emplace(fd, std::string());
+          const std::lock_guard<std::mutex> lock(queue_mutex);
+          accepted_fds.push_back(fd);
+        }
+      }
+      for (std::size_t i = pfds.size(); i-- > 2;) {
+        if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        const int fd = pfds[i].fd;
+        char buf[4096];
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n > 0) {
+          std::string& buffer = buffers[fd];
+          buffer.append(buf, static_cast<std::size_t>(n));
+          stop = parse_lines(fd, buffer, next_id, events) || stop;
+        } else if (n == 0 || errno != EINTR) {
+          Incoming gone;
+          gone.fd = fd;
+          gone.disconnect = true;
+          events.push_back(gone);
+          buffers.erase(fd);
+          pfds.erase(pfds.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+      }
+      if (!events.empty()) {
+        const std::lock_guard<std::mutex> lock(queue_mutex);
+        queue.insert(queue.end(), events.begin(), events.end());
+      }
+      if (stop) stopping.store(true, std::memory_order_release);
+      if (!events.empty() || stop) clock.wake();
+    }
+    stopping.store(true, std::memory_order_release);
+    clock.wake();
+  });
+
+  std::unordered_map<std::int64_t, int> reply_fd;
+  std::unordered_set<int> dead_fds;
+  auto reply = [&](int fd, const std::string& line) {
+    // Disconnected fds stay open (and unused) until the drain finishes, so a
+    // late reply can never hit a recycled descriptor number.
+    if (fd < 0 || dead_fds.count(fd) != 0) return;
+    // Best-effort: a peer that vanished mid-reply only loses its answer.
+    (void)::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+  };
+
+  AdmissionWindow admission(
+      options_.admission_enabled, options_.admission_window,
+      options_.admission_headroom * options.sla_bound_us);
+  obs::Counter& shed_counter =
+      obs::MetricsRegistry::global().counter("serving.daemon.shed_requests");
+  std::int64_t shed = 0;
+
+  engine.set_batch_hook([&](const Batch& batch, int instance, double,
+                            double finish_us) {
+    for (const Request& r : batch.requests) {
+      admission.record(finish_us - r.arrival_us);
+      const auto it = reply_fd.find(r.id);
+      if (it == reply_fd.end()) continue;
+      reply(it->second, "ok " + std::to_string(r.id) + " " +
+                            std::to_string(r.branch) + " " +
+                            std::to_string(instance) + " " +
+                            std::to_string(finish_us - r.arrival_us) + "\n");
+      reply_fd.erase(it);
+    }
+  });
+
+  bool closed = false;
+  while (true) {
+    std::vector<Incoming> events;
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex);
+      events.swap(queue);
+    }
+    for (const Incoming& in : events) {
+      if (in.disconnect) {
+        dead_fds.insert(in.fd);
+        continue;
+      }
+      if (in.malformed) {
+        reply(in.fd, "err expected 'req <user> <branch>'\n");
+        continue;
+      }
+      if (closed) {
+        reply(in.fd, "err draining\n");
+        continue;
+      }
+      if (in.branch < 0 || in.branch >= service_.num_branches()) {
+        reply(in.fd, "err branch out of range\n");
+        continue;
+      }
+      if (admission.should_shed()) {
+        ++shed;
+        shed_counter.add(1);
+        reply(in.fd, "shed " + std::to_string(in.id) + "\n");
+        continue;
+      }
+      Request r;
+      r.id = in.id;
+      r.user = in.user;
+      r.branch = in.branch;
+      r.arrival_us = engine.now_us();
+      reply_fd[r.id] = in.fd;
+      engine.enqueue(r);
+    }
+    if (stopping.load(std::memory_order_acquire) && !closed) {
+      engine.close();  // graceful drain: the batcher tail flushes on the
+      closed = true;   // timeout schedule and every straggler is answered
+    }
+    engine.dispatch_ready();
+    if (closed && engine.drained()) break;
+    // Sleep to the next engine event (batching deadline / instance free);
+    // +infinity waits for the receiver's wake. Early wakes just loop.
+    engine.advance_to(engine.next_event_us());
+  }
+
+  receiver.join();
+  for (int fd : accepted_fds) ::close(fd);
+  close_fd(listen_fd);
+  ::unlink(options_.socket_path.c_str());
+
+  DaemonResult result;
+  std::vector<ShardStats> shards;
+  shards.push_back(engine.take_stats());
+  result.stats = merge_shard_stats(shards, service_, options.sla_bound_us,
+                                   options.instances, 0);
+  result.shed = shed;
+  return result;
+}
+
+}  // namespace fcad::serving

@@ -1,0 +1,268 @@
+#include "serving/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace fcad::serving {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+obs::LaneId shard_lane(int shard_index) {
+  return obs::LaneId{obs::kServingPid, shard_index};
+}
+
+obs::LaneId instance_lane(int global_instance) {
+  return obs::LaneId{obs::kServingPid, 1000 + global_instance};
+}
+
+FleetEngine::FleetEngine(const ServiceModel& service,
+                         const FleetEngineConfig& config, Clock* clock)
+    : service_(service),
+      config_(config),
+      clock_(clock),
+      tracer_(obs::tracer()),
+      aggregator_(service.capacities(), config.batch_timeout_us),
+      dispatcher_(config.policy, config.instances, service.num_branches()),
+      tail_(config.expected_requests, config.progress_tail_pct),
+      first_arrival_us_(kInf) {
+  // Resolved once per engine; every span below carries clock-reading µs, so
+  // a virtual-time replay's emitted timeline is identical for any thread
+  // count.
+  if (tracer_ != nullptr) {
+    tracer_->name_lane(shard_lane(config_.shard_index),
+                       "serving fleet (virtual time)",
+                       "shard " + std::to_string(config_.shard_index));
+    for (int k = 0; k < config_.instances; ++k) {
+      tracer_->name_lane(instance_lane(config_.first_instance + k),
+                         "serving fleet (virtual time)",
+                         "instance " +
+                             std::to_string(config_.first_instance + k));
+    }
+  }
+  stats_.branch_completed.assign(
+      static_cast<std::size_t>(service.num_branches()), 0);
+  stats_.latencies.reserve(
+      static_cast<std::size_t>(config.expected_requests));
+  stats_.waits.reserve(static_cast<std::size_t>(config.expected_requests));
+}
+
+void FleetEngine::enqueue(const Request& r) {
+  aggregator_.enqueue(r);
+  ++stats_.offered;
+  first_arrival_us_ = std::min(first_arrival_us_, r.arrival_us);
+  const int depth = static_cast<int>(aggregator_.pending());
+  if (depth > stats_.max_queue_depth) {
+    stats_.max_queue_depth = depth;
+    // Counter samples only on a new high-water mark, so the event count
+    // stays bounded even on million-request replays.
+    if (tracer_ != nullptr) {
+      tracer_->counter(shard_lane(config_.shard_index), "queue depth",
+                       clock_->now_us(), depth);
+    }
+  }
+}
+
+void FleetEngine::close() {
+  closed_ = true;
+  aggregator_.close();
+}
+
+void FleetEngine::dispatch_ready() {
+  const double now_us = clock_->now_us();
+  while (true) {
+    const int branch = aggregator_.ready_branch(now_us);
+    if (branch < 0) break;
+    const int k = dispatcher_.pick(branch, now_us);
+    if (k < 0) break;
+    Batch batch = *aggregator_.pop_ready(now_us);
+
+    const double finish_us = dispatcher_.dispatch(
+        k, branch, now_us,
+        service_.branches[static_cast<std::size_t>(branch)].pass_us,
+        config_.switch_penalty_us,
+        static_cast<std::int64_t>(batch.requests.size()));
+
+    if (tracer_ != nullptr) {
+      tracer_->complete(
+          instance_lane(config_.first_instance + k),
+          "batch b" + std::to_string(branch), "serving", now_us,
+          finish_us - now_us,
+          {{"branch", static_cast<double>(branch)},
+           {"requests", static_cast<double>(batch.requests.size())}});
+    }
+    ++stats_.batches;
+    stats_.fill_sum += static_cast<double>(batch.requests.size()) /
+                       static_cast<double>(aggregator_.capacity(branch));
+    stats_.makespan_us = std::max(stats_.makespan_us, finish_us);
+    for (const Request& r : batch.requests) {
+      const double latency = finish_us - r.arrival_us;
+      stats_.latencies.push_back(latency);
+      stats_.waits.push_back(now_us - r.arrival_us);
+      tail_.add(latency);
+      if (latency > config_.sla_bound_us) ++stats_.sla_violations;
+      ++stats_.completed;
+      ++stats_.branch_completed[static_cast<std::size_t>(r.branch)];
+      if (config_.keep_records) {
+        stats_.records.push_back({r.id, r.user, r.branch,
+                                  config_.first_instance + k, r.arrival_us,
+                                  now_us, finish_us});
+      }
+    }
+    if (batch_hook_) batch_hook_(batch, k, now_us, finish_us);
+  }
+}
+
+double FleetEngine::next_event_us() {
+  // When a batch is ready but every instance is busy, the next event is an
+  // instance freeing up; otherwise it is the earliest batching deadline.
+  const double now_us = clock_->now_us();
+  if (aggregator_.has_ready(now_us)) {
+    // A steady clock can cross an instance's free time between
+    // dispatch_ready() and this call; the freed instance makes the ready
+    // batch dispatchable *immediately*, so the next event is "now" —
+    // consulting next_free_us() instead would sleep on the remaining busy
+    // set (or forever, once the busy heap is empty) while holding
+    // dispatchable work. Virtual time cannot hit this branch: its reading
+    // is frozen between the two calls, so whatever dispatch_ready() left
+    // ready found every instance busy and stays that way.
+    if (dispatcher_.any_free(now_us)) return now_us;
+    return dispatcher_.next_free_us(now_us);
+  }
+  if (aggregator_.pending() > 0) return aggregator_.next_deadline_us();
+  return kInf;
+}
+
+void FleetEngine::advance_to(double t_us) {
+  const double before_us = clock_->now_us();
+  const double after_us = clock_->sleep_until_us(t_us);
+  stats_.depth_integral_us +=
+      static_cast<double>(aggregator_.pending()) * (after_us - before_us);
+}
+
+ShardStats FleetEngine::take_stats() {
+  for (int k = 0; k < config_.instances; ++k) {
+    const InstanceState& inst =
+        dispatcher_.instances()[static_cast<std::size_t>(k)];
+    InstanceStats is;
+    is.instance = config_.first_instance + k;
+    is.batches = inst.batches;
+    is.requests = inst.requests;
+    is.branch_switches = inst.switches;
+    is.busy_us = inst.busy_us;
+    stats_.instances.push_back(is);
+  }
+  if (tracer_ != nullptr && stats_.offered > 0) {
+    tracer_->complete(
+        shard_lane(config_.shard_index), "shard replay", "serving",
+        first_arrival_us_,
+        std::max(stats_.makespan_us - first_arrival_us_, 0.0),
+        {{"requests", static_cast<double>(stats_.completed)},
+         {"batches", static_cast<double>(stats_.batches)}});
+  }
+  return std::move(stats_);
+}
+
+ServingStats merge_shard_stats(const std::vector<ShardStats>& shards,
+                               const ServiceModel& service,
+                               double sla_bound_us, int total_instances,
+                               int resumed_shards) {
+  ServingStats stats;
+  stats.sla_bound_us = sla_bound_us;
+  stats.branch_completed.assign(
+      static_cast<std::size_t>(service.num_branches()), 0);
+  stats.resumed_shards = resumed_shards;
+  std::size_t total = 0;
+  for (const ShardStats& shard : shards) total += shard.latencies.size();
+  std::vector<double> latencies;
+  std::vector<double> waits;
+  latencies.reserve(total);
+  waits.reserve(total);
+  double fill_sum = 0;
+  double depth_integral_us = 0;
+  double makespan_us = 0;
+  for (const ShardStats& shard : shards) {
+    stats.offered += shard.offered;
+    stats.completed += shard.completed;
+    stats.batches += shard.batches;
+    stats.sla_violations += shard.sla_violations;
+    stats.max_queue_depth =
+        std::max(stats.max_queue_depth, shard.max_queue_depth);
+    fill_sum += shard.fill_sum;
+    depth_integral_us += shard.depth_integral_us;
+    makespan_us = std::max(makespan_us, shard.makespan_us);
+    latencies.insert(latencies.end(), shard.latencies.begin(),
+                     shard.latencies.end());
+    waits.insert(waits.end(), shard.waits.begin(), shard.waits.end());
+    for (std::size_t j = 0; j < shard.branch_completed.size(); ++j) {
+      stats.branch_completed[j] += shard.branch_completed[j];
+    }
+    stats.records.insert(stats.records.end(), shard.records.begin(),
+                         shard.records.end());
+  }
+
+  stats.makespan_us = makespan_us;
+  stats.throughput_rps =
+      makespan_us > 0
+          ? static_cast<double>(stats.completed) / (makespan_us * 1e-6)
+          : 0;
+  stats.latency = summarize(std::move(latencies));
+  stats.queue_wait = summarize(std::move(waits));
+  stats.mean_batch_fill =
+      stats.batches > 0 ? fill_sum / static_cast<double>(stats.batches) : 0;
+  stats.mean_queue_depth =
+      makespan_us > 0 ? depth_integral_us / makespan_us : 0;
+  stats.sla_violation_rate =
+      stats.completed > 0
+          ? static_cast<double>(stats.sla_violations) /
+                static_cast<double>(stats.completed)
+          : 0;
+  stats.sla_met = stats.latency.p99 <= sla_bound_us;
+
+  double busy_sum = 0;
+  for (const ShardStats& shard : shards) {
+    for (const InstanceStats& shard_inst : shard.instances) {
+      InstanceStats is = shard_inst;
+      is.utilization = makespan_us > 0 ? is.busy_us / makespan_us : 0;
+      busy_sum += is.utilization;
+      stats.instances.push_back(is);
+    }
+  }
+  stats.fleet_utilization = busy_sum / total_instances;
+
+  // Registry export, fed exclusively from this single-threaded shard-index-
+  // ordered merge so the exported numbers (histogram buckets included) are
+  // bit-identical for any thread count. Totals are cheap and always on; the
+  // per-request histogram fills only run under --metrics-out.
+  {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    reg.counter("serving.fleet.requests").add(stats.completed);
+    reg.counter("serving.fleet.batches").add(stats.batches);
+    reg.counter("serving.fleet.sla_violations").add(stats.sla_violations);
+    reg.counter("serving.fleet.resumed_shards").add(stats.resumed_shards);
+    if (obs::metrics_collection()) {
+      static const std::vector<double> kLatencyBounds = {
+          100,   200,   500,    1000,   2000,   5000,  10000,
+          20000, 50000, 100000, 200000, 500000, 1e6};
+      obs::Histogram& latency_hist =
+          reg.histogram("serving.latency_us", kLatencyBounds);
+      obs::Histogram& wait_hist =
+          reg.histogram("serving.queue_wait_us", kLatencyBounds);
+      for (const ShardStats& shard : shards) {
+        for (double v : shard.latencies) latency_hist.observe(v);
+        for (double v : shard.waits) wait_hist.observe(v);
+      }
+      reg.gauge("serving.fleet.throughput_rps").set(stats.throughput_rps);
+      reg.gauge("serving.fleet.utilization").set(stats.fleet_utilization);
+      reg.gauge("serving.fleet.mean_batch_fill").set(stats.mean_batch_fill);
+    }
+  }
+  return stats;
+}
+
+}  // namespace fcad::serving

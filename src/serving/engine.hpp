@@ -1,0 +1,156 @@
+// The event-driven serving engine shared by the offline fleet replay
+// (fleet.cpp) and the online daemon (daemon.cpp): per-branch batch
+// aggregation, free-instance dispatch, and exact latency/SLA accounting for
+// one shard, all driven through an injected serving::Clock. Decisions are
+// functions of clock readings only, so the same trace produces identical
+// per-request records under VirtualClock (replay) and under the daemon —
+// the parity contract pinned by tests/daemon_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "serving/batcher.hpp"
+#include "serving/clock.hpp"
+#include "serving/dispatch.hpp"
+#include "serving/service.hpp"
+#include "serving/stats.hpp"
+
+namespace fcad::serving {
+
+/// Virtual-time lanes: shard event loops sit at tid = shard index, instance
+/// timelines at tid = 1000 + global instance id, so Perfetto renders shards
+/// first and instances below them, in stable structural order.
+obs::LaneId shard_lane(int shard_index);
+obs::LaneId instance_lane(int global_instance);
+
+/// Raw accumulation streams of one shard's event loop, merged across shards
+/// in shard-index order (concatenation, sums, maxima) — the merge is a pure
+/// function of the per-shard results, which is what makes the replay
+/// bit-identical for any thread count and resumable from a checkpoint.
+struct ShardStats {
+  std::int64_t offered = 0;
+  std::int64_t completed = 0;
+  std::int64_t batches = 0;
+  std::int64_t sla_violations = 0;
+  int max_queue_depth = 0;
+  double fill_sum = 0;
+  double depth_integral_us = 0;
+  double makespan_us = 0;
+  std::vector<double> latencies;
+  std::vector<double> waits;
+  std::vector<std::int64_t> branch_completed;
+  /// Per-instance counters with *global* instance ids; utilization is
+  /// filled at merge time (it depends on the global makespan).
+  std::vector<InstanceStats> instances;
+  std::vector<RequestRecord> records;
+};
+
+/// One shard's serving engine. The caller owns the event loop: it decides
+/// when to enqueue arrivals, when to dispatch, and how far to advance the
+/// clock — the engine keeps the aggregation/dispatch/accounting state and
+/// never reads a time source other than the injected clock.
+///
+/// The canonical loop (run_shard in fleet.cpp, Daemon::run_trace/serve):
+///   while (work remains) {
+///     enqueue every arrival due by now_us();     // or shed at admission
+///     close() after the last arrival;
+///     dispatch_ready();
+///     t = min(next arrival, next_event_us());
+///     advance_to(t);                             // jumps or really sleeps
+///   }
+struct FleetEngineConfig {
+  DispatchPolicy policy{};
+  double batch_timeout_us = 4000;
+  double switch_penalty_us = 0;
+  double sla_bound_us = 33333.3;
+  double progress_tail_pct = 99;
+  bool keep_records = false;
+  int shard_index = 0;     ///< obs shard lane (tid = shard index)
+  int first_instance = 0;  ///< global id of this engine's first instance
+  int instances = 1;
+  /// Upper bound on requests this engine will see (TailTracker sizing and
+  /// stream reservations). Live daemons pass a generous cap.
+  std::int64_t expected_requests = 0;
+};
+
+class FleetEngine {
+ public:
+  /// Invoked once per dispatched batch, after the engine's own accounting.
+  /// The replay counts global progress here; the daemon answers clients and
+  /// feeds its rolling-p99 admission window.
+  using BatchHook = std::function<void(const Batch& batch, int instance,
+                                       double dispatch_us, double finish_us)>;
+
+  /// `service` must outlive the engine.
+  FleetEngine(const ServiceModel& service, const FleetEngineConfig& config,
+              Clock* clock);
+
+  double now_us() { return clock_->now_us(); }
+  Clock& clock() { return *clock_; }
+
+  void set_batch_hook(BatchHook hook) { batch_hook_ = std::move(hook); }
+
+  /// Admits one request into its branch queue at the current clock reading.
+  /// `r.arrival_us` must not be in the engine's future relative to earlier
+  /// events (arrivals are ingested in time order).
+  void enqueue(const Request& r);
+
+  /// Declares the arrival stream finished; the batcher then drains its tail
+  /// on the timeout schedule (immediately when no timeout is configured).
+  void close();
+  bool closed() const { return closed_; }
+
+  /// Dispatches every ready batch a free instance exists for, at the
+  /// current clock reading.
+  void dispatch_ready();
+
+  /// Next engine-internal event: an instance freeing up when a batch is
+  /// ready, else the earliest batching deadline, else +infinity. The caller
+  /// merges in its own next-arrival time.
+  double next_event_us();
+
+  /// Advances the clock to `t_us` (instant under VirtualClock, a real —
+  /// wake()-interruptible — sleep under SteadyClock) and accounts queue
+  /// depth over the actually elapsed span.
+  void advance_to(double t_us);
+
+  /// True once the stream is closed and every admitted request dispatched.
+  bool drained() const { return closed_ && aggregator_.pending() == 0; }
+
+  std::size_t pending() const { return aggregator_.pending(); }
+  std::int64_t completed() const { return stats_.completed; }
+  const TailTracker& tail() const { return tail_; }
+  const ShardStats& stats() const { return stats_; }
+
+  /// Finalizes per-instance counters and the shard overview trace span,
+  /// then moves the accumulated streams out. Call once, after the loop.
+  ShardStats take_stats();
+
+ private:
+  const ServiceModel& service_;
+  FleetEngineConfig config_;
+  Clock* clock_;
+  obs::Tracer* tracer_;
+  BatchAggregator aggregator_;
+  Dispatcher dispatcher_;
+  TailTracker tail_;
+  ShardStats stats_;
+  BatchHook batch_hook_;
+  bool closed_ = false;
+  double first_arrival_us_;
+};
+
+/// Index-ordered merge of per-shard streams into the final ServingStats:
+/// concatenation and sums over shards 0..S-1, utilization filled from the
+/// global makespan — a pure function of the shard results, never of thread
+/// timing. Also exports the obs metrics for the run (request/batch/SLA
+/// counters always; histograms and gauges under obs::metrics_collection()).
+ServingStats merge_shard_stats(const std::vector<ShardStats>& shards,
+                               const ServiceModel& service,
+                               double sla_bound_us, int total_instances,
+                               int resumed_shards);
+
+}  // namespace fcad::serving

@@ -7,17 +7,16 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
-#include <functional>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <optional>
-#include <queue>
-#include <set>
 #include <sstream>
 #include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serving/engine.hpp"
 #include "util/format.hpp"
 #include "util/hash.hpp"
 #include "util/log.hpp"
@@ -28,160 +27,6 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr const char* kCheckpointMagic = "fcad-fleet-checkpoint v1";
-
-/// Virtual-time lanes: shard event loops sit at tid = shard index, instance
-/// timelines at tid = 1000 + global instance id, so Perfetto renders shards
-/// first and instances below them, in stable structural order.
-obs::LaneId shard_lane(int shard_index) {
-  return obs::LaneId{obs::kServingPid, shard_index};
-}
-
-obs::LaneId instance_lane(int global_instance) {
-  return obs::LaneId{obs::kServingPid, 1000 + global_instance};
-}
-
-struct Instance {
-  double free_at_us = 0;
-  double busy_us = 0;
-  int last_branch = -1;
-  std::int64_t batches = 0;
-  std::int64_t requests = 0;
-  std::int64_t switches = 0;
-};
-
-/// Dispatch bookkeeping in O(log K) per event instead of the former O(K)
-/// scans: busy instances live in a free-time min-heap (one live entry each —
-/// pushed on dispatch, popped once expired), free instances in ordered sets
-/// keyed the way each policy picks (index order for round-robin, (busy_us,
-/// index) for least-loaded, the same per last-branch for affinity). Every
-/// pick reproduces the linear-scan decisions exactly, ties still breaking
-/// toward the lowest index.
-class Dispatcher {
- public:
-  Dispatcher(DispatchPolicy policy, int instances, int branches)
-      : policy_(policy),
-        instances_(static_cast<std::size_t>(instances)),
-        free_by_branch_(static_cast<std::size_t>(branches)) {
-    for (int k = 0; k < instances; ++k) insert_free(k);
-  }
-
-  const std::vector<Instance>& instances() const { return instances_; }
-
-  /// Earliest time any instance frees up after `now_us` (+inf if none busy).
-  double next_free_us(double now_us) {
-    refresh(now_us);
-    return busy_.empty() ? kInf : busy_.top().first;
-  }
-
-  /// Picks the instance to run a `branch` batch at `now_us`, or -1 when all
-  /// are busy. Deterministic: ties break toward the lowest index.
-  int pick(int branch, double now_us) {
-    refresh(now_us);
-    switch (policy_) {
-      case DispatchPolicy::kRoundRobin: {
-        if (free_by_index_.empty()) return -1;
-        auto it = free_by_index_.lower_bound(cursor_);
-        const int k =
-            it != free_by_index_.end() ? *it : *free_by_index_.begin();
-        cursor_ = (k + 1) % static_cast<int>(instances_.size());
-        return k;
-      }
-      case DispatchPolicy::kLeastLoaded:
-        return free_by_load_.empty() ? -1 : free_by_load_.begin()->second;
-      case DispatchPolicy::kBranchAffinity: {
-        const auto& affine =
-            free_by_branch_[static_cast<std::size_t>(branch)];
-        if (!affine.empty()) return affine.begin()->second;
-        return free_by_load_.empty() ? -1 : free_by_load_.begin()->second;
-      }
-    }
-    return -1;
-  }
-
-  /// Commits a `requests`-sized batch of `branch` to instance `k` (which
-  /// pick() just returned as free) and returns its completion time.
-  double dispatch(int k, int branch, double now_us, double base_pass_us,
-                  double switch_penalty_us, std::int64_t requests) {
-    Instance& inst = instances_[static_cast<std::size_t>(k)];
-    erase_free(k);  // keyed on the pre-dispatch busy_us / last_branch
-    double pass_us = base_pass_us;
-    if (inst.last_branch >= 0 && inst.last_branch != branch) {
-      pass_us += switch_penalty_us;
-      ++inst.switches;
-    }
-    const double finish_us = now_us + pass_us;
-    inst.free_at_us = finish_us;
-    inst.busy_us += pass_us;
-    inst.last_branch = branch;
-    ++inst.batches;
-    inst.requests += requests;
-    busy_.push({finish_us, k});
-    return finish_us;
-  }
-
- private:
-  void refresh(double now_us) {
-    while (!busy_.empty() && busy_.top().first <= now_us) {
-      const int k = busy_.top().second;
-      busy_.pop();
-      insert_free(k);
-    }
-  }
-
-  void insert_free(int k) {
-    const Instance& inst = instances_[static_cast<std::size_t>(k)];
-    free_by_index_.insert(k);
-    free_by_load_.insert({inst.busy_us, k});
-    if (inst.last_branch >= 0) {
-      free_by_branch_[static_cast<std::size_t>(inst.last_branch)].insert(
-          {inst.busy_us, k});
-    }
-  }
-
-  void erase_free(int k) {
-    const Instance& inst = instances_[static_cast<std::size_t>(k)];
-    free_by_index_.erase(k);
-    free_by_load_.erase({inst.busy_us, k});
-    if (inst.last_branch >= 0) {
-      free_by_branch_[static_cast<std::size_t>(inst.last_branch)].erase(
-          {inst.busy_us, k});
-    }
-  }
-
-  DispatchPolicy policy_;
-  std::vector<Instance> instances_;
-  /// (free_at_us, index) of busy instances; one live entry per instance.
-  std::priority_queue<std::pair<double, int>,
-                      std::vector<std::pair<double, int>>,
-                      std::greater<std::pair<double, int>>>
-      busy_;
-  std::set<int> free_by_index_;
-  std::set<std::pair<double, int>> free_by_load_;  ///< (busy_us, index)
-  std::vector<std::set<std::pair<double, int>>> free_by_branch_;
-  int cursor_ = 0;
-};
-
-/// Raw accumulation streams of one shard's event loop, merged across shards
-/// in shard-index order (concatenation, sums, maxima) — the merge is a pure
-/// function of the per-shard results, which is what makes the replay
-/// bit-identical for any thread count and resumable from a checkpoint.
-struct ShardStats {
-  std::int64_t offered = 0;
-  std::int64_t completed = 0;
-  std::int64_t batches = 0;
-  std::int64_t sla_violations = 0;
-  int max_queue_depth = 0;
-  double fill_sum = 0;
-  double depth_integral_us = 0;
-  double makespan_us = 0;
-  std::vector<double> latencies;
-  std::vector<double> waits;
-  std::vector<std::int64_t> branch_completed;
-  /// Per-instance counters with *global* instance ids; utilization is
-  /// filled at merge time (it depends on the global makespan).
-  std::vector<InstanceStats> instances;
-  std::vector<RequestRecord> records;
-};
 
 /// Progress plumbing shared by every shard: a global completion counter
 /// drives the ~20-tick cadence; the emitting shard supplies its local
@@ -218,149 +63,81 @@ struct ProgressSink {
 };
 
 /// One shard's event-driven replay: `requests` (arrival-sorted) over
-/// `instances` servers whose global ids start at `first_instance`. The only
-/// failure mode is cooperative cancellation via `sink->scope`.
+/// `instances` servers whose global ids start at `first_instance`, run
+/// through the shared FleetEngine on this shard's own clock — VirtualClock
+/// jumps between events (bit-exact, reproducible), SteadyClock paces them
+/// at their trace timestamps in real time, so recorded dispatch times and
+/// latencies include genuine scheduler jitter — that is the point of wall
+/// mode, not a defect. The only failure mode is cooperative cancellation
+/// via `sink->scope`.
 StatusOr<ShardStats> run_shard(const ServiceModel& service,
                                const std::vector<Request>& requests,
                                int shard_index, int first_instance,
                                int instances, const FleetOptions& options,
                                ProgressSink* sink) {
   const util::RunScope* scope = sink->scope;
-  BatchAggregator aggregator(service.capacities(), options.batch_timeout_us);
-  Dispatcher dispatcher(options.policy, instances, service.num_branches());
+  const std::unique_ptr<Clock> clock = make_clock(
+      options.clock, requests.empty() ? 0 : requests.front().arrival_us);
 
-  // Resolved once per shard loop; every span below carries *virtual* µs, so
-  // the emitted timeline is identical for any thread count.
-  obs::Tracer* const tracer = obs::tracer();
-  if (tracer != nullptr) {
-    tracer->name_lane(shard_lane(shard_index), "serving fleet (virtual time)",
-                      "shard " + std::to_string(shard_index));
-    for (int k = 0; k < instances; ++k) {
-      tracer->name_lane(instance_lane(first_instance + k),
-                        "serving fleet (virtual time)",
-                        "instance " + std::to_string(first_instance + k));
-    }
-  }
-
-  ShardStats out;
-  out.offered = static_cast<std::int64_t>(requests.size());
-  out.branch_completed.assign(
-      static_cast<std::size_t>(service.num_branches()), 0);
-  out.latencies.reserve(requests.size());
-  out.waits.reserve(requests.size());
-  TailTracker tail(out.offered, options.progress_tail_pct);
+  FleetEngineConfig config;
+  config.policy = options.policy;
+  config.batch_timeout_us = options.batch_timeout_us;
+  config.switch_penalty_us = options.switch_penalty_us;
+  config.sla_bound_us = options.sla_bound_us;
+  config.progress_tail_pct = options.progress_tail_pct;
+  config.keep_records = options.keep_records;
+  config.shard_index = shard_index;
+  config.first_instance = first_instance;
+  config.instances = instances;
+  config.expected_requests = static_cast<std::int64_t>(requests.size());
+  FleetEngine engine(service, config, clock.get());
+  engine.set_batch_hook([sink](const Batch& batch, int, double, double) {
+    sink->completed.fetch_add(
+        static_cast<std::int64_t>(batch.requests.size()),
+        std::memory_order_relaxed);
+  });
 
   std::size_t next = 0;
-  double now_us = requests.empty() ? 0 : requests.front().arrival_us;
-  if (requests.empty()) aggregator.close();
-
   while (true) {
     if (scope != nullptr && scope->should_stop()) {
       return Status::cancelled("fleet replay cancelled after " +
                                std::to_string(sink->completed.load()) + "/" +
                                std::to_string(sink->offered) + " requests");
     }
-    // Ingest every arrival due by `now_us`.
-    while (next < requests.size() && requests[next].arrival_us <= now_us) {
-      aggregator.enqueue(requests[next]);
+    // Ingest every arrival due by the clock reading.
+    while (next < requests.size() &&
+           requests[next].arrival_us <= engine.now_us()) {
+      engine.enqueue(requests[next]);
       ++next;
-      const int depth = static_cast<int>(aggregator.pending());
-      if (depth > out.max_queue_depth) {
-        out.max_queue_depth = depth;
-        // Counter samples only on a new high-water mark, so the event count
-        // stays bounded even on million-request replays.
-        if (tracer != nullptr) {
-          tracer->counter(shard_lane(shard_index), "queue depth", now_us,
-                          depth);
-        }
-      }
     }
-    if (next >= requests.size()) aggregator.close();
+    if (next >= requests.size()) engine.close();
 
-    // Dispatch ready batches while a free instance exists.
-    while (true) {
-      const int branch = aggregator.ready_branch(now_us);
-      if (branch < 0) break;
-      const int k = dispatcher.pick(branch, now_us);
-      if (k < 0) break;
-      Batch batch = *aggregator.pop_ready(now_us);
-
-      const double finish_us = dispatcher.dispatch(
-          k, branch,
-          now_us, service.branches[static_cast<std::size_t>(branch)].pass_us,
-          options.switch_penalty_us,
-          static_cast<std::int64_t>(batch.requests.size()));
-
-      if (tracer != nullptr) {
-        tracer->complete(
-            instance_lane(first_instance + k),
-            "batch b" + std::to_string(branch), "serving", now_us,
-            finish_us - now_us,
-            {{"branch", static_cast<double>(branch)},
-             {"requests", static_cast<double>(batch.requests.size())}});
-      }
-      ++out.batches;
-      out.fill_sum += static_cast<double>(batch.requests.size()) /
-                      static_cast<double>(aggregator.capacity(branch));
-      out.makespan_us = std::max(out.makespan_us, finish_us);
-      for (const Request& r : batch.requests) {
-        const double latency = finish_us - r.arrival_us;
-        out.latencies.push_back(latency);
-        out.waits.push_back(now_us - r.arrival_us);
-        tail.add(latency);
-        if (latency > options.sla_bound_us) ++out.sla_violations;
-        ++out.completed;
-        ++out.branch_completed[static_cast<std::size_t>(r.branch)];
-        if (options.keep_records) {
-          out.records.push_back({r.id, r.user, r.branch, first_instance + k,
-                                 r.arrival_us, now_us, finish_us});
-        }
-      }
-      sink->completed.fetch_add(static_cast<std::int64_t>(
-                                    batch.requests.size()),
-                                std::memory_order_relaxed);
-    }
-
-    sink->maybe_emit(tail);
+    engine.dispatch_ready();
+    sink->maybe_emit(engine.tail());
 
     // Advance to the next event: an arrival, a batching deadline, or — when
     // a batch is ready but every instance is busy — an instance freeing up.
-    double t_us = kInf;
+    double t_us = engine.next_event_us();
     if (next < requests.size()) {
       t_us = std::min(t_us, requests[next].arrival_us);
     }
-    if (aggregator.has_ready(now_us)) {
-      t_us = std::min(t_us, dispatcher.next_free_us(now_us));
-    } else if (aggregator.pending() > 0) {
-      t_us = std::min(t_us, aggregator.next_deadline_us());
-    }
     if (t_us == kInf) break;
-    FCAD_CHECK_MSG(t_us > now_us, "fleet: simulation time did not advance");
-    out.depth_integral_us +=
-        static_cast<double>(aggregator.pending()) * (t_us - now_us);
-    now_us = t_us;
+    // Virtual time must advance strictly every iteration — an equal-time
+    // event would loop forever on exact readings. A steady clock, by
+    // contrast, keeps moving between calls, so the wall reading can
+    // legitimately overtake the event schedule; advance_to on a
+    // past deadline is then an immediate return and the next iteration
+    // processes whatever became due.
+    if (options.clock == ClockKind::kVirtual) {
+      FCAD_CHECK_MSG(t_us > engine.now_us(),
+                     "fleet: simulation time did not advance");
+    }
+    engine.advance_to(t_us);
   }
 
+  ShardStats out = engine.take_stats();
   FCAD_CHECK_MSG(out.completed == out.offered,
                  "fleet: lost requests in flight");
-
-  for (int k = 0; k < instances; ++k) {
-    const Instance& inst = dispatcher.instances()[static_cast<std::size_t>(k)];
-    InstanceStats is;
-    is.instance = first_instance + k;
-    is.batches = inst.batches;
-    is.requests = inst.requests;
-    is.branch_switches = inst.switches;
-    is.busy_us = inst.busy_us;
-    out.instances.push_back(is);
-  }
-  if (tracer != nullptr && !requests.empty()) {
-    const double start_us = requests.front().arrival_us;
-    tracer->complete(shard_lane(shard_index), "shard replay", "serving",
-                     start_us, std::max(out.makespan_us - start_us, 0.0),
-                     {{"requests", static_cast<double>(out.completed)},
-                      {"batches", static_cast<double>(out.batches)}});
-  }
   return out;
 }
 
@@ -490,7 +267,9 @@ bool shard_from_text(std::istream& in, ShardStats& shard) {
 
 /// Fingerprint binding a checkpoint to its exact run: the service model,
 /// the full request stream, and every result-affecting fleet option. A
-/// mismatch means "different replay" — the checkpoint is ignored.
+/// mismatch means "different replay" — the checkpoint is ignored. The clock
+/// kind is deliberately absent: it paces events without changing results,
+/// so a virtual run may resume a cancelled wall-clock one and vice versa.
 std::string replay_fingerprint(const ServiceModel& service,
                                const std::vector<Request>& requests,
                                const FleetOptions& options) {
@@ -629,10 +408,38 @@ StatusOr<DispatchPolicy> dispatch_policy_by_name(const std::string& name) {
   return Status::not_found("unknown dispatch policy '" + name + "'");
 }
 
+StatusOr<FleetOptions> resolved_fleet_options(const ServeSpec& spec) {
+  FleetOptions options = spec.fleet;
+  const FleetOptions fleet_defaults;
+  const SlaOptions sla_defaults;
+  const bool fleet_bound_set =
+      spec.fleet.sla_bound_us != fleet_defaults.sla_bound_us;
+  const bool sla_bound_set =
+      spec.sla.p99_bound_us != sla_defaults.p99_bound_us;
+  if (fleet_bound_set && sla_bound_set &&
+      spec.fleet.sla_bound_us != spec.sla.p99_bound_us) {
+    return Status::invalid_argument(
+        "ServeSpec: sla.p99_bound_us and fleet.sla_bound_us disagree — "
+        "state the bound once");
+  }
+  if (sla_bound_set) options.sla_bound_us = spec.sla.p99_bound_us;
+  if (spec.clock != ClockKind::kVirtual &&
+      spec.fleet.clock != ClockKind::kVirtual &&
+      spec.clock != spec.fleet.clock) {
+    return Status::invalid_argument(
+        "ServeSpec: clock and fleet.clock disagree — state the clock once");
+  }
+  if (spec.clock != ClockKind::kVirtual) options.clock = spec.clock;
+  return options;
+}
+
 StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
-                                      const std::vector<Request>& workload,
-                                      const FleetOptions& options,
+                                      const std::vector<Request>& requests,
+                                      const ServeSpec& spec,
                                       const util::RunScope* scope) {
+  auto resolved = resolved_fleet_options(spec);
+  if (!resolved.is_ok()) return resolved.status();
+  const FleetOptions& options = *resolved;
   if (options.instances < 1) {
     return Status::invalid_argument("fleet: instances must be >= 1");
   }
@@ -648,14 +455,14 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
   if (service.num_branches() < 1) {
     return Status::invalid_argument("fleet: service model has no branches");
   }
-  for (const Request& r : workload) {
+  for (const Request& r : requests) {
     if (r.branch < 0 || r.branch >= service.num_branches()) {
       return Status::invalid_argument("fleet: request branch out of range");
     }
   }
 
-  std::vector<Request> requests = workload;
-  std::stable_sort(requests.begin(), requests.end(),
+  std::vector<Request> sorted = requests;
+  std::stable_sort(sorted.begin(), sorted.end(),
                    [](const Request& a, const Request& b) {
                      return a.arrival_us < b.arrival_us;
                    });
@@ -667,7 +474,7 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
   const int num_shards = options.shards;
   std::vector<std::vector<Request>> shard_requests(
       static_cast<std::size_t>(num_shards));
-  for (const Request& r : requests) {
+  for (const Request& r : sorted) {
     shard_requests[static_cast<std::size_t>(r.user % num_shards)].push_back(
         r);
   }
@@ -684,7 +491,7 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
     }
   }
 
-  const std::int64_t offered = static_cast<std::int64_t>(requests.size());
+  const std::int64_t offered = static_cast<std::int64_t>(sorted.size());
 
   // Checkpoint resume: reload every finished shard of a matching prior run.
   std::vector<std::optional<ShardStats>> slots(
@@ -692,7 +499,7 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
   std::string fingerprint;
   int resumed = 0;
   if (!options.checkpoint_path.empty()) {
-    fingerprint = replay_fingerprint(service, requests, options);
+    fingerprint = replay_fingerprint(service, sorted, options);
     resumed = load_checkpoint(options.checkpoint_path, fingerprint, slots);
   }
 
@@ -759,40 +566,12 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
                              std::to_string(offered) + " requests");
   }
 
-  // Index-ordered merge: concatenation and sums over shards 0..S-1, so the
-  // result is a pure function of the partition — never of thread timing.
-  ServingStats stats;
-  stats.offered = offered;
-  stats.sla_bound_us = options.sla_bound_us;
-  stats.branch_completed.assign(
-      static_cast<std::size_t>(service.num_branches()), 0);
-  stats.resumed_shards = resumed;
-  std::vector<double> latencies;
-  std::vector<double> waits;
-  latencies.reserve(requests.size());
-  waits.reserve(requests.size());
-  double fill_sum = 0;
-  double depth_integral_us = 0;
-  double makespan_us = 0;
-  for (const auto& slot : slots) {
-    const ShardStats& shard = *slot;
-    stats.completed += shard.completed;
-    stats.batches += shard.batches;
-    stats.sla_violations += shard.sla_violations;
-    stats.max_queue_depth = std::max(stats.max_queue_depth,
-                                     shard.max_queue_depth);
-    fill_sum += shard.fill_sum;
-    depth_integral_us += shard.depth_integral_us;
-    makespan_us = std::max(makespan_us, shard.makespan_us);
-    latencies.insert(latencies.end(), shard.latencies.begin(),
-                     shard.latencies.end());
-    waits.insert(waits.end(), shard.waits.begin(), shard.waits.end());
-    for (std::size_t j = 0; j < shard.branch_completed.size(); ++j) {
-      stats.branch_completed[j] += shard.branch_completed[j];
-    }
-    stats.records.insert(stats.records.end(), shard.records.begin(),
-                         shard.records.end());
-  }
+  std::vector<ShardStats> shards;
+  shards.reserve(slots.size());
+  for (auto& slot : slots) shards.push_back(std::move(*slot));
+  ServingStats stats = merge_shard_stats(shards, service,
+                                         options.sla_bound_us,
+                                         options.instances, resumed);
 
   FCAD_CHECK_MSG(stats.completed == stats.offered,
                  "fleet: lost requests in flight");
@@ -805,70 +584,33 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
   // sample) may skip the terminal emit.
   if (scope != nullptr &&
       (num_shards > 1 || sink.last_emitted.load() != stats.completed)) {
+    std::vector<double> latencies;
+    latencies.reserve(static_cast<std::size_t>(stats.completed));
+    for (const ShardStats& shard : shards) {
+      latencies.insert(latencies.end(), shard.latencies.begin(),
+                       shard.latencies.end());
+    }
     const double final_tail =
         latencies.empty()
             ? 0
-            : percentile(latencies, options.progress_tail_pct);
+            : percentile(std::move(latencies), options.progress_tail_pct);
     sink.emit(stats.completed, final_tail);
   }
 
-  stats.makespan_us = makespan_us;
-  stats.throughput_rps =
-      makespan_us > 0
-          ? static_cast<double>(stats.completed) / (makespan_us * 1e-6)
-          : 0;
-  stats.latency = summarize(std::move(latencies));
-  stats.queue_wait = summarize(std::move(waits));
-  stats.mean_batch_fill =
-      stats.batches > 0 ? fill_sum / static_cast<double>(stats.batches) : 0;
-  stats.mean_queue_depth =
-      makespan_us > 0 ? depth_integral_us / makespan_us : 0;
-  stats.sla_violation_rate =
-      stats.completed > 0
-          ? static_cast<double>(stats.sla_violations) /
-                static_cast<double>(stats.completed)
-          : 0;
-  stats.sla_met = stats.latency.p99 <= options.sla_bound_us;
-
-  double busy_sum = 0;
-  for (const auto& slot : slots) {
-    for (const InstanceStats& shard_inst : slot->instances) {
-      InstanceStats is = shard_inst;
-      is.utilization = makespan_us > 0 ? is.busy_us / makespan_us : 0;
-      busy_sum += is.utilization;
-      stats.instances.push_back(is);
-    }
-  }
-  stats.fleet_utilization = busy_sum / options.instances;
-
-  // Registry export, fed exclusively from this single-threaded shard-index-
-  // ordered merge so the exported numbers (histogram buckets included) are
-  // bit-identical for any thread count. Totals are cheap and always on; the
-  // per-request histogram fills only run under --metrics-out.
-  {
-    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
-    reg.counter("serving.fleet.requests").add(stats.completed);
-    reg.counter("serving.fleet.batches").add(stats.batches);
-    reg.counter("serving.fleet.sla_violations").add(stats.sla_violations);
-    reg.counter("serving.fleet.resumed_shards").add(stats.resumed_shards);
-    if (obs::metrics_collection()) {
-      static const std::vector<double> kLatencyBounds = {
-          100,    200,    500,    1000,   2000,    5000,   10000,
-          20000,  50000,  100000, 200000, 500000,  1e6};
-      obs::Histogram& latency_hist =
-          reg.histogram("serving.latency_us", kLatencyBounds);
-      obs::Histogram& wait_hist =
-          reg.histogram("serving.queue_wait_us", kLatencyBounds);
-      for (const auto& slot : slots) {
-        for (double v : slot->latencies) latency_hist.observe(v);
-        for (double v : slot->waits) wait_hist.observe(v);
-      }
-      reg.gauge("serving.fleet.throughput_rps").set(stats.throughput_rps);
-      reg.gauge("serving.fleet.utilization").set(stats.fleet_utilization);
-      reg.gauge("serving.fleet.mean_batch_fill").set(stats.mean_batch_fill);
-    }
-  }
   return stats;
+}
+
+StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
+                                      const ServeSpec& spec,
+                                      const util::RunScope* scope) {
+  WorkloadOptions workload = spec.workload;
+  const WorkloadOptions workload_defaults;
+  if (workload.branches == workload_defaults.branches) {
+    workload.branches = service.num_branches();
+  }
+  auto requests = generate_workload(workload);
+  if (!requests.is_ok()) return requests.status();
+  return simulate_fleet(service, *requests, spec, scope);
 }
 
 }  // namespace fcad::serving

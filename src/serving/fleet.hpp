@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "serving/batcher.hpp"
+#include "serving/clock.hpp"
 #include "serving/service.hpp"
 #include "serving/stats.hpp"
 #include "serving/workload.hpp"
@@ -79,13 +80,46 @@ struct FleetOptions {
   /// uninterrupted run. A checkpoint whose fingerprint does not match the
   /// run is ignored, never misapplied.
   std::string checkpoint_path;
+  /// Time source the per-shard event loops run on. kVirtual jumps between
+  /// events (the classic instant replay); kSteady paces every event at its
+  /// trace timestamp in real wall time (each shard sleeps between events —
+  /// use short traces). The clock only controls *when* events happen, never
+  /// their decisions or stats, so it is excluded from the checkpoint
+  /// fingerprint.
+  ClockKind clock = ClockKind::kVirtual;
 };
 
-/// Simulates serving `workload` on `fleet.instances` copies of the
-/// accelerator described by `service`. Every request completes (the
-/// aggregator drains after the last arrival), so `completed == offered`.
-/// Deterministic: identical inputs (including `shards`) produce
-/// bit-identical stats at any thread count.
+/// SLA targets stated once at the spec level (mirrored into
+/// FleetOptions::sla_bound_us by resolved_fleet_options).
+struct SlaOptions {
+  double p99_bound_us = 33333.3;  ///< one 30 Hz frame period
+};
+
+/// The aggregate serving spec — workload + fleet + SLA + clock selection —
+/// consumed by simulate_fleet, serving::Daemon, serving_cli, and
+/// bench_serving. Replaces threading the old two-struct
+/// (WorkloadOptions, FleetOptions) shape plus loose SLA/clock knobs through
+/// every call site.
+struct ServeSpec {
+  WorkloadOptions workload;
+  FleetOptions fleet;
+  SlaOptions sla;
+  ClockKind clock = ClockKind::kVirtual;
+};
+
+/// Folds the spec-level SLA bound and clock into the FleetOptions the event
+/// loops consume. Status::invalid_argument when `sla.p99_bound_us` and
+/// `fleet.sla_bound_us` are both set away from the default and disagree
+/// (state the bound once); likewise for `clock` vs `fleet.clock`.
+StatusOr<FleetOptions> resolved_fleet_options(const ServeSpec& spec);
+
+/// Simulates serving the request stream on `spec.fleet.instances` copies of
+/// the accelerator described by `service` (spec.workload is ignored by this
+/// trace-driven overload). Every request completes (the aggregator drains
+/// after the last arrival), so `completed == offered`. Deterministic:
+/// identical inputs (including `shards`) produce bit-identical stats at any
+/// thread count — and, under `ClockKind::kSteady`, identical stats to the
+/// virtual run, just paced in real time.
 ///
 /// When `scope` is set, huge replays become interruptible: the event loops
 /// poll it and the call returns StatusCode::kCancelled once the token fires
@@ -96,8 +130,30 @@ struct FleetOptions {
 /// the emitting shard's completions so far). Progress observation never
 /// changes the stats.
 StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
-                                      const std::vector<Request>& workload,
-                                      const FleetOptions& options,
+                                      const std::vector<Request>& requests,
+                                      const ServeSpec& spec,
                                       const util::RunScope* scope = nullptr);
+
+/// Workload-generating twin: generates `spec.workload` (with `branches`
+/// derived from the service model when left at its default of 1) and
+/// replays it through the trace-driven overload.
+StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
+                                      const ServeSpec& spec,
+                                      const util::RunScope* scope = nullptr);
+
+/// One-release shim for the pre-ServeSpec call shape. The FleetOptions-only
+/// entry point is removed next release; build a ServeSpec instead.
+[[deprecated(
+    "pass a serving::ServeSpec; the FleetOptions-only simulate_fleet "
+    "entry point is removed next release")]]
+inline StatusOr<ServingStats> simulate_fleet(
+    const ServiceModel& service, const std::vector<Request>& workload,
+    const FleetOptions& options, const util::RunScope* scope = nullptr) {
+  ServeSpec spec;
+  spec.fleet = options;
+  spec.sla.p99_bound_us = options.sla_bound_us;
+  spec.clock = options.clock;
+  return simulate_fleet(service, workload, spec, scope);
+}
 
 }  // namespace fcad::serving

@@ -1,0 +1,222 @@
+#include "serving/replay.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "serving/clock.hpp"
+#include "serving/daemon.hpp"
+#include "serving/stats.hpp"
+#include "serving/workload.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/json.hpp"
+#include "util/run_control.hpp"
+
+namespace fcad::serving {
+
+StatusOr<ReplayJob> replay_job_from_args(const ArgParser& args) {
+  ReplayJob job;
+  WorkloadOptions& workload = job.spec.workload;
+  FleetOptions& fleet = job.spec.fleet;
+
+  auto requests = args.get_int("replay", 0);
+  if (!requests.is_ok()) return requests.status();
+  workload.target_requests = *requests;
+  auto users = args.get_int("users", 8);
+  if (!users.is_ok()) return users.status();
+  workload.users = static_cast<int>(*users);
+  auto frame_rate = args.get_double("frame-rate", 30.0);
+  if (!frame_rate.is_ok()) return frame_rate.status();
+  workload.frame_rate_hz = *frame_rate;
+  auto seed = args.get_int("seed", 42);
+  if (!seed.is_ok()) return seed.status();
+  workload.seed = static_cast<std::uint64_t>(*seed);
+
+  auto instances = args.get_int("instances", 8);
+  if (!instances.is_ok()) return instances.status();
+  fleet.instances = static_cast<int>(*instances);
+  auto shards = args.get_int("shards", 8);
+  if (!shards.is_ok()) return shards.status();
+  fleet.shards = static_cast<int>(*shards);
+  auto threads = args.get_int("threads", 0);
+  if (!threads.is_ok()) return threads.status();
+  fleet.threads = static_cast<int>(*threads);
+  auto policy = dispatch_policy_by_name(args.get("policy", "least-loaded"));
+  if (!policy.is_ok()) return policy.status();
+  fleet.policy = *policy;
+  auto timeout_us = args.get_double("timeout-us", 4000.0);
+  if (!timeout_us.is_ok()) return timeout_us.status();
+  fleet.batch_timeout_us = *timeout_us;
+  auto switch_penalty = args.get_double("switch-penalty-us", 500.0);
+  if (!switch_penalty.is_ok()) return switch_penalty.status();
+  fleet.switch_penalty_us = *switch_penalty;
+  auto tail_pct = args.get_double("tail-pct", 99.0);
+  if (!tail_pct.is_ok()) return tail_pct.status();
+  if (Status s = validate_percentile(*tail_pct); !s.is_ok()) {
+    return Status::invalid_argument("--tail-pct: " + s.message());
+  }
+  fleet.progress_tail_pct = *tail_pct;
+  fleet.checkpoint_path = args.get("checkpoint", "");
+
+  auto sla_ms = args.get_double("sla-ms", 100.0 / 3.0);
+  if (!sla_ms.is_ok()) return sla_ms.status();
+  job.spec.sla.p99_bound_us = *sla_ms * 1e3;
+  auto clock = clock_kind_by_name(args.get("clock", "virtual"));
+  if (!clock.is_ok()) return clock.status();
+  job.spec.clock = *clock;
+
+  auto cancel_at = args.get_double("cancel-at", 0.0);
+  if (!cancel_at.is_ok()) return cancel_at.status();
+  job.cancel_at = *cancel_at;
+  job.csv_path = args.get("csv", "");
+  job.json_path = args.get("json", "");
+  job.decisions_path = args.get("decisions", "");
+  return job;
+}
+
+int run_replay_cli(const ServiceModel& service, const ReplayJob& job) {
+  ServeSpec spec = job.spec;
+  const WorkloadOptions workload_defaults;
+  if (spec.workload.branches == workload_defaults.branches) {
+    spec.workload.branches = service.num_branches();
+  }
+  // The decisions artifact is the per-request record stream.
+  if (!job.decisions_path.empty()) spec.fleet.keep_records = true;
+
+  auto trace = generate_workload(spec.workload);
+  if (!trace.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", trace.status().to_string().c_str());
+    return 1;
+  }
+
+  util::RunControl control;
+  control.threads = spec.fleet.threads;
+  if (job.cancel_at > 0) {
+    const auto cancel_after = static_cast<std::int64_t>(
+        job.cancel_at * static_cast<double>(trace->size()));
+    control.on_progress = [&control,
+                           cancel_after](const util::ProgressEvent& event) {
+      if (event.step >= cancel_after) control.cancel.request_cancel();
+    };
+  }
+  const util::RunScope scope(control);
+
+  std::printf("=== sharded fleet replay: %lld requests, %d users, "
+              "%d instance(s) x %d shard(s), %s threads ===\n",
+              static_cast<long long>(trace->size()), spec.workload.users,
+              spec.fleet.instances, spec.fleet.shards,
+              spec.fleet.threads > 0
+                  ? std::to_string(spec.fleet.threads).c_str()
+                  : "all");
+
+  // Wall timing through the serving time-source API (replay.cpp is grep-
+  // gated against std::chrono like the rest of src/serving).
+  SteadyClock wall;
+  const double start_us = wall.now_us();
+  StatusOr<ServingStats> stats = Status::internal("replay never ran");
+  std::int64_t shed = 0;
+  if (job.via_daemon) {
+    DaemonOptions daemon_options;
+    daemon_options.admission_enabled = job.admission;
+    const Daemon daemon(service, spec, daemon_options);
+    auto result = daemon.run_trace(*trace, &scope);
+    if (result.is_ok()) {
+      shed = result->shed;
+      stats = std::move(result)->stats;
+    } else {
+      stats = result.status();
+    }
+  } else {
+    stats = simulate_fleet(service, *trace, spec, &scope);
+  }
+  const double elapsed_s = (wall.now_us() - start_us) * 1e-6;
+
+  if (!stats.is_ok()) {
+    if (stats.status().code() == StatusCode::kCancelled) {
+      std::printf("%s\n", stats.status().message().c_str());
+      if (!spec.fleet.checkpoint_path.empty()) {
+        std::printf("checkpoint kept at %s; rerun the same command to "
+                    "resume\n",
+                    spec.fleet.checkpoint_path.c_str());
+      }
+      return 3;
+    }
+    std::fprintf(stderr, "error: %s\n", stats.status().to_string().c_str());
+    return 1;
+  }
+
+  std::printf(
+      "replayed %lld requests in %.3f s (%.0f req/s simulated; makespan "
+      "%.1f s of traffic)\n",
+      static_cast<long long>(stats->completed), elapsed_s,
+      static_cast<double>(stats->completed) / elapsed_s,
+      stats->makespan_us * 1e-6);
+  if (job.via_daemon) {
+    std::printf("daemon path: %lld request(s) shed by admission control\n",
+                static_cast<long long>(shed));
+  }
+  if (stats->resumed_shards > 0) {
+    std::printf("resumed %d of %d shard(s) from %s\n", stats->resumed_shards,
+                spec.fleet.shards, spec.fleet.checkpoint_path.c_str());
+  }
+  std::printf("%s\n", serving_report(*stats).c_str());
+
+  if (!job.csv_path.empty()) {
+    CsvWriter csv(serving_csv_header({"requests", "shards"}));
+    csv.add_row(serving_csv_row({std::to_string(stats->offered),
+                                 std::to_string(spec.fleet.shards)},
+                                *stats));
+    if (!csv.write_file(job.csv_path)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   job.csv_path.c_str());
+      return 1;
+    }
+  }
+  if (!job.decisions_path.empty()) {
+    std::vector<RequestRecord> records = stats->records;
+    std::sort(records.begin(), records.end(),
+              [](const RequestRecord& a, const RequestRecord& b) {
+                return a.id < b.id;
+              });
+    CsvWriter csv({"id", "user", "branch", "instance", "arrival_us",
+                   "start_us", "finish_us"});
+    for (const RequestRecord& r : records) {
+      csv.add_row({std::to_string(r.id), std::to_string(r.user),
+                   std::to_string(r.branch), std::to_string(r.instance),
+                   format_exact(r.arrival_us), format_exact(r.start_us),
+                   format_exact(r.finish_us)});
+    }
+    if (!csv.write_file(job.decisions_path)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   job.decisions_path.c_str());
+      return 1;
+    }
+  }
+  if (!job.json_path.empty()) {
+    JsonWriter json;
+    json.begin_object();
+    json.key("schema_version").value(1);
+    json.key("bench").value(job.json_bench);
+    json.key("requests").value(stats->offered);
+    json.key("users").value(spec.workload.users);
+    json.key("instances").value(spec.fleet.instances);
+    json.key("shards").value(spec.fleet.shards);
+    json.key("policy").value(to_string(spec.fleet.policy));
+    json.key("clock").value(to_string(job.spec.clock));
+    json.key("via_daemon").value(job.via_daemon);
+    json.key("shed").value(shed);
+    json.key("stats");
+    serving_stats_json(json, *stats);
+    json.end_object();
+    if (!json.write_file(job.json_path)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   job.json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace fcad::serving

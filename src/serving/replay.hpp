@@ -1,0 +1,54 @@
+// The shared sharded-replay driver behind `serving_cli --replay`,
+// `bench_serving --replay`, and `serving_daemon` replay mode. The three
+// binaries used to carry near-identical copies of this glue (flag parsing,
+// workload generation, cancel-at wiring, the replay banner, CSV/JSON
+// emission); it now lives here once, so their flags, output formats, and
+// exit codes can never drift apart — which is what lets CI diff the
+// daemon's decisions against the CLI's byte for byte.
+//
+// The hardware search that produces the ServiceModel stays in the binaries:
+// serving must not depend on dse.
+#pragma once
+
+#include <string>
+
+#include "serving/fleet.hpp"
+#include "serving/service.hpp"
+#include "util/args.hpp"
+#include "util/status.hpp"
+
+namespace fcad::serving {
+
+/// One replay job: the ServeSpec plus the CLI-facing outputs.
+struct ReplayJob {
+  ServeSpec spec;
+  /// Cancel via RunControl once this fraction of the requests completed
+  /// (exit code 3); 0 disables.
+  double cancel_at = 0;
+  std::string csv_path;        ///< stats row ("" disables)
+  std::string json_path;       ///< deterministic JSON report ("" disables)
+  /// Per-request decision CSV (id,user,branch,instance,arrival_us,start_us,
+  /// finish_us; exact %.17g doubles, sorted by id) — the artifact CI diffs
+  /// between the daemon and simulate_fleet for replay/live parity.
+  std::string decisions_path;
+  std::string json_bench = "serving_replay";  ///< "bench" key in the JSON
+  /// Drive the trace through serving::Daemon's online submit path instead
+  /// of simulate_fleet. With admission off the outputs are identical.
+  bool via_daemon = false;
+  bool admission = false;  ///< daemon-path admission control (sheds load)
+};
+
+/// Parses the shared --replay flag set (--replay N --users --frame-rate
+/// --seed --instances --shards --threads --policy --timeout-us
+/// --switch-penalty-us --sla-ms --tail-pct --clock --checkpoint --cancel-at
+/// --csv --json --decisions) into a job. Callers set via_daemon/admission
+/// themselves.
+StatusOr<ReplayJob> replay_job_from_args(const ArgParser& args);
+
+/// Runs the job end to end against `service`: generate the workload, replay
+/// it (simulate_fleet or Daemon::run_trace), print the banner/report, write
+/// the requested artifacts. Returns the process exit code: 0 ok, 1 error,
+/// 3 cancelled via cancel_at. The caller owns the obs::ObservationScope.
+int run_replay_cli(const ServiceModel& service, const ReplayJob& job);
+
+}  // namespace fcad::serving

@@ -1,19 +1,32 @@
 #include "util/run_control.hpp"
 
+#include <chrono>
+
 namespace fcad::util {
+
+namespace {
+
+/// Default deadline time source: the monotonic wall clock, read as
+/// microseconds since its (arbitrary) epoch.
+double steady_now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 RunScope::RunScope(const RunControl& control) : control_(control) {
   if (control.deadline_s > 0) {
     has_deadline_ = true;
-    deadline_ = std::chrono::steady_clock::now() +
-                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                    std::chrono::duration<double>(control.deadline_s));
+    now_us_ = control.now_us ? control.now_us : steady_now_us;
+    deadline_at_us_ = now_us_() + control.deadline_s * 1e6;
   }
 }
 
 bool RunScope::should_stop() const {
   if (control_.cancel.cancelled()) return true;
-  return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  return has_deadline_ && now_us_() >= deadline_at_us_;
 }
 
 void RunScope::emit(const ProgressEvent& event) const {

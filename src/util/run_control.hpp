@@ -7,7 +7,6 @@
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -52,10 +51,16 @@ struct RunControl {
   /// runs.
   std::function<void(const ProgressEvent&)> on_progress;
   CancellationToken cancel;
-  /// Wall-clock budget in seconds for the whole run (0 = unlimited). A
-  /// deadline makes results timing-dependent; leave it unset when
-  /// bit-reproducibility matters.
+  /// Time budget in seconds for the whole run (0 = unlimited), measured
+  /// against `now_us` below. A wall-clock deadline makes results
+  /// timing-dependent; leave it unset when bit-reproducibility matters —
+  /// or inject a virtual time source, which keeps deadlines deterministic.
   double deadline_s = 0;
+  /// Time source the deadline is measured on: microseconds on an arbitrary
+  /// monotonic origin (e.g. serving::Clock::now_us, so virtual-time replays
+  /// enforce *virtual* deadlines deterministically). Unset = the monotonic
+  /// wall clock. Must be callable from any worker thread.
+  std::function<double()> now_us;
   /// Thread-pool size: -1 inherits the spec's CrossBranchOptions::threads,
   /// 0 = one thread per hardware core, N = exactly N workers.
   int threads = -1;
@@ -84,7 +89,8 @@ class RunScope {
 
  private:
   const RunControl& control_;
-  std::chrono::steady_clock::time_point deadline_{};
+  std::function<double()> now_us_;  ///< deadline time source (µs)
+  double deadline_at_us_ = 0;       ///< absolute reading the run must end by
   bool has_deadline_ = false;
   mutable std::mutex mutex_;  ///< serializes on_progress invocations
 };

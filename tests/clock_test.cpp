@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <thread>
+
+#include "serving/clock.hpp"
+#include "util/run_control.hpp"
+
+namespace fcad::serving {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ----------------------------------------------------------- virtual clock --
+TEST(VirtualClockTest, StartsAtOriginAndJumpsToDeadlines) {
+  VirtualClock clock(1000.0);
+  EXPECT_EQ(clock.now_us(), 1000.0);
+  EXPECT_EQ(clock.sleep_until_us(2500.0), 2500.0);
+  EXPECT_EQ(clock.now_us(), 2500.0);
+}
+
+TEST(VirtualClockTest, NeverMovesBackward) {
+  VirtualClock clock(5000.0);
+  EXPECT_EQ(clock.sleep_until_us(1000.0), 5000.0);  // past deadline: no-op
+  EXPECT_EQ(clock.now_us(), 5000.0);
+}
+
+TEST(VirtualClockTest, InfiniteDeadlineLeavesTimeUnchanged) {
+  // +inf means "wait for a wake"; with no other thread a virtual clock just
+  // reports the current reading so single-threaded drains terminate.
+  VirtualClock clock(0.0);
+  clock.sleep_until_us(42.0);
+  EXPECT_EQ(clock.sleep_until_us(kInf), 42.0);
+  EXPECT_EQ(clock.now_us(), 42.0);
+}
+
+TEST(VirtualClockTest, WakeIsANoOp) {
+  VirtualClock clock(0.0);
+  clock.wake();
+  EXPECT_EQ(clock.now_us(), 0.0);
+  EXPECT_EQ(clock.sleep_until_us(10.0), 10.0);  // not pre-armed by the wake
+}
+
+// ------------------------------------------------------------ steady clock --
+TEST(SteadyClockTest, StartsAtOriginAndIsMonotone) {
+  SteadyClock clock(7000.0);
+  const double first = clock.now_us();
+  EXPECT_GE(first, 7000.0);
+  double prev = first;
+  for (int i = 0; i < 100; ++i) {
+    const double now = clock.now_us();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(SteadyClockTest, SleepUntilReachesTheDeadline) {
+  SteadyClock clock(0.0);
+  const double deadline = clock.now_us() + 2000.0;  // 2 ms
+  const double after = clock.sleep_until_us(deadline);
+  EXPECT_GE(after, deadline);
+}
+
+TEST(SteadyClockTest, PastDeadlineReturnsImmediately) {
+  SteadyClock clock(0.0);
+  const double before = clock.now_us();
+  const double after = clock.sleep_until_us(before - 1000.0);
+  EXPECT_GE(after, before);
+}
+
+TEST(SteadyClockTest, WakeInterruptsAnInfiniteSleep) {
+  SteadyClock clock(0.0);
+  std::atomic<bool> woke{false};
+  std::thread sleeper([&] {
+    clock.sleep_until_us(kInf);
+    woke.store(true);
+  });
+  // Keep waking until the sleeper returns: covers both orderings (wake
+  // before the sleep starts is sticky and pre-arms it).
+  while (!woke.load()) {
+    clock.wake();
+    std::this_thread::yield();
+  }
+  sleeper.join();
+}
+
+TEST(SteadyClockTest, WakeWithNoSleeperIsStickyForTheNextSleep) {
+  SteadyClock clock(0.0);
+  clock.wake();
+  const double before = clock.now_us();
+  const double after = clock.sleep_until_us(before + 60e6);  // one minute out
+  // The pre-armed wake must return immediately, not after a minute.
+  EXPECT_LT(after - before, 30e6);
+  // The wake was consumed: a second sleep honors its (short) deadline.
+  const double deadline = clock.now_us() + 1000.0;
+  EXPECT_GE(clock.sleep_until_us(deadline), deadline);
+}
+
+// --------------------------------------------------------------- factories --
+TEST(ClockFactoryTest, KindNamesRoundTrip) {
+  EXPECT_EQ(*clock_kind_by_name("virtual"), ClockKind::kVirtual);
+  EXPECT_EQ(*clock_kind_by_name("steady"), ClockKind::kSteady);
+  EXPECT_EQ(*clock_kind_by_name("wall"), ClockKind::kSteady);
+  EXPECT_EQ(*clock_kind_by_name("Virtual"), ClockKind::kVirtual);
+  EXPECT_FALSE(clock_kind_by_name("sundial").is_ok());
+  EXPECT_STREQ(to_string(ClockKind::kVirtual), "virtual");
+  EXPECT_STREQ(to_string(ClockKind::kSteady), "steady");
+  EXPECT_EQ(*clock_kind_by_name(to_string(ClockKind::kVirtual)),
+            ClockKind::kVirtual);
+  EXPECT_EQ(*clock_kind_by_name(to_string(ClockKind::kSteady)),
+            ClockKind::kSteady);
+}
+
+TEST(ClockFactoryTest, MakeClockHonorsKindAndOrigin) {
+  auto virtual_clock = make_clock(ClockKind::kVirtual, 123.0);
+  EXPECT_EQ(virtual_clock->now_us(), 123.0);
+  EXPECT_EQ(virtual_clock->sleep_until_us(456.0), 456.0);
+
+  auto steady = make_clock(ClockKind::kSteady, 123.0);
+  EXPECT_GE(steady->now_us(), 123.0);
+}
+
+// ---------------------------------------------------- RunControl deadlines --
+TEST(ClockDeadlineTest, VirtualTimeSourceMakesDeadlinesDeterministic) {
+  VirtualClock clock(0.0);
+  util::RunControl control;
+  control.deadline_s = 1.0;  // one *virtual* second
+  control.now_us = [&clock] { return clock.now_us(); };
+  util::RunScope scope(control);
+
+  EXPECT_FALSE(scope.should_stop());
+  clock.sleep_until_us(0.5e6);
+  EXPECT_FALSE(scope.should_stop());
+  clock.sleep_until_us(1.5e6);  // jump past the deadline
+  EXPECT_TRUE(scope.should_stop());
+  EXPECT_FALSE(scope.cancelled());  // deadline, not cancellation
+}
+
+}  // namespace
+}  // namespace fcad::serving

@@ -14,6 +14,7 @@
 #include "nn/zoo/avatar_decoder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serving/daemon.hpp"
 #include "serving/fleet.hpp"
 #include "serving/stats.hpp"
 #include "serving/workload.hpp"
@@ -49,6 +50,18 @@ CrossBranchOptions fast_options(int threads) {
 }
 
 const std::vector<int> kThreadCounts = {1, 2, 8};
+
+/// ServeSpec wrapper: these tests pin per-FleetOptions determinism; the
+/// spec-level SLA/clock resolution is covered by serving_test/clock_test.
+StatusOr<serving::ServingStats> run_fleet(
+    const serving::ServiceModel& service,
+    const std::vector<serving::Request>& workload,
+    const serving::FleetOptions& options,
+    const util::RunScope* scope = nullptr) {
+  serving::ServeSpec spec;
+  spec.fleet = options;
+  return serving::simulate_fleet(service, workload, spec, scope);
+}
 
 /// Exact (bitwise) equality of two search results. `seconds` and the cache
 /// hit/miss split are intentionally excluded: wall-clock always varies, and
@@ -260,14 +273,14 @@ TEST(ParallelDeterminismTest, FleetShardedReplayIdenticalAcrossThreadCounts) {
     options.shards = shards;
     options.switch_penalty_us = 250;
     options.threads = kThreadCounts.front();
-    auto baseline = serving::simulate_fleet(service, *workload, options);
+    auto baseline = run_fleet(service, *workload, options);
     ASSERT_TRUE(baseline.is_ok());
     EXPECT_EQ(baseline->completed, baseline->offered);
     const std::vector<std::string> baseline_row =
         serving::serving_csv_row({}, *baseline);
     for (std::size_t t = 1; t < kThreadCounts.size(); ++t) {
       options.threads = kThreadCounts[t];
-      auto other = serving::simulate_fleet(service, *workload, options);
+      auto other = run_fleet(service, *workload, options);
       ASSERT_TRUE(other.is_ok());
       EXPECT_EQ(serving::serving_csv_row({}, *other), baseline_row)
           << "shards " << shards << ", threads " << kThreadCounts[t];
@@ -289,7 +302,7 @@ TEST(ParallelDeterminismTest, FleetShardedReplayIdenticalAcrossThreadCounts) {
       serving::FleetOptions via_scope = options;
       via_scope.threads = 1;
       auto observed =
-          serving::simulate_fleet(service, *workload, via_scope, &scope);
+          run_fleet(service, *workload, via_scope, &scope);
       ASSERT_TRUE(observed.is_ok());
       EXPECT_EQ(serving::serving_csv_row({}, *observed), baseline_row);
     }
@@ -355,14 +368,14 @@ TEST(ParallelDeterminismTest, FleetReplayIdenticalWithTracingOnOrOff) {
     options.shards = shards;
     options.switch_penalty_us = 250;
     options.threads = 1;
-    auto baseline = serving::simulate_fleet(service, *workload, options);
+    auto baseline = run_fleet(service, *workload, options);
     ASSERT_TRUE(baseline.is_ok());
     const std::vector<std::string> baseline_row =
         serving::serving_csv_row({}, *baseline);
     for (int threads : kThreadCounts) {
       ScopedObservation obs(/*metrics=*/true);
       options.threads = threads;
-      auto traced = serving::simulate_fleet(service, *workload, options);
+      auto traced = run_fleet(service, *workload, options);
       ASSERT_TRUE(traced.is_ok());
       EXPECT_EQ(serving::serving_csv_row({}, *traced), baseline_row)
           << "shards " << shards << ", threads " << threads;
@@ -398,7 +411,7 @@ TEST(ParallelDeterminismTest, TraceBytesIdenticalAcrossThreadCounts) {
   for (int threads : kThreadCounts) {
     ScopedObservation obs(/*metrics=*/false);
     options.threads = threads;
-    auto stats = serving::simulate_fleet(service, *workload, options);
+    auto stats = run_fleet(service, *workload, options);
     ASSERT_TRUE(stats.is_ok());
     const std::string json = obs.tracer().to_json(obs::kServingPid);
     if (baseline_json.empty()) {
@@ -488,6 +501,61 @@ TEST(FitnessCacheStressTest, DistinctConfigsGetDistinctKeys) {
   config.branches[0].units[0] = arch::UnitConfig{4, 3, 2};
   EXPECT_FALSE(base ==
                FitnessCache::config_key(config, 1, arch::EvalMode::kAnalytical));
+}
+
+TEST(ParallelDeterminismTest, DaemonVirtualClockTraceIdenticalAcrossThreads) {
+  // The daemon's online submit path under a virtual clock must stay a pure
+  // function of the trace: per-request records and merged stats are
+  // byte-identical for any pool size, with admission control on (the
+  // admission window is per-shard state, so it is as deterministic as the
+  // event order itself).
+  serving::WorkloadOptions wl;
+  wl.users = 12;
+  wl.branches = 2;
+  wl.frame_rate_hz = 60;
+  wl.duration_s = 1.0;
+  wl.seed = 17;
+  auto workload = serving::generate_workload(wl);
+  ASSERT_TRUE(workload.is_ok());
+  serving::ServiceModel service;
+  service.branches = {{2, 3000.0}, {4, 5000.0}};
+
+  serving::ServeSpec spec;
+  spec.fleet.instances = 8;
+  spec.fleet.shards = 4;
+  spec.fleet.keep_records = true;
+  spec.sla.p99_bound_us = 20000;
+
+  serving::DaemonOptions options;
+  options.admission_enabled = true;
+  options.admission_window = 32;
+
+  spec.fleet.threads = kThreadCounts.front();
+  const serving::Daemon baseline_daemon(service, spec, options);
+  auto baseline = baseline_daemon.run_trace(*workload);
+  ASSERT_TRUE(baseline.is_ok());
+  const std::vector<std::string> baseline_row =
+      serving::serving_csv_row({}, baseline->stats);
+
+  for (std::size_t t = 1; t < kThreadCounts.size(); ++t) {
+    spec.fleet.threads = kThreadCounts[t];
+    const serving::Daemon daemon(service, spec, options);
+    auto other = daemon.run_trace(*workload);
+    ASSERT_TRUE(other.is_ok());
+    EXPECT_EQ(other->shed, baseline->shed);
+    EXPECT_EQ(serving::serving_csv_row({}, other->stats), baseline_row)
+        << "threads " << kThreadCounts[t];
+    ASSERT_EQ(other->stats.records.size(), baseline->stats.records.size());
+    for (std::size_t i = 0; i < other->stats.records.size(); ++i) {
+      EXPECT_EQ(other->stats.records[i].id, baseline->stats.records[i].id);
+      EXPECT_EQ(other->stats.records[i].instance,
+                baseline->stats.records[i].instance);
+      EXPECT_EQ(other->stats.records[i].start_us,
+                baseline->stats.records[i].start_us);
+      EXPECT_EQ(other->stats.records[i].finish_us,
+                baseline->stats.records[i].finish_us);
+    }
+  }
 }
 
 }  // namespace

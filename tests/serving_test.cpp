@@ -36,6 +36,17 @@ ServiceModel make_service(std::vector<BranchService> branches) {
   return m;
 }
 
+/// ServeSpec wrapper for the FleetOptions-level tests below (the spec-level
+/// SLA/clock resolution gets its own coverage in ServeSpecTest/clock_test).
+StatusOr<ServingStats> run_fleet(const ServiceModel& service,
+                                 const std::vector<Request>& workload,
+                                 const FleetOptions& options,
+                                 const util::RunScope* scope = nullptr) {
+  ServeSpec spec;
+  spec.fleet = options;
+  return simulate_fleet(service, workload, spec, scope);
+}
+
 // --------------------------------------------------------------- workload --
 TEST(WorkloadTest, PoissonIsDeterministicForAFixedSeed) {
   WorkloadOptions options;
@@ -369,7 +380,7 @@ TEST(StatsTest, ServingStatsSerializationRoundTripsBitExact) {
   options.instances = 3;
   options.keep_records = true;
   const ServiceModel service = make_service({{2, 4000.0}, {4, 6000.0}});
-  auto stats = simulate_fleet(service, *workload, options);
+  auto stats = run_fleet(service, *workload, options);
   ASSERT_TRUE(stats.is_ok());
   ASSERT_FALSE(stats->records.empty());
   ASSERT_EQ(stats->branch_completed.size(), 2u);
@@ -487,7 +498,7 @@ TEST(FleetTest, ConservesEveryRequest) {
   options.batch_timeout_us = 2000;
   const ServiceModel service =
       make_service({{2, 4000.0}, {4, 6000.0}});
-  auto stats = simulate_fleet(service, *workload, options);
+  auto stats = run_fleet(service, *workload, options);
   ASSERT_TRUE(stats.is_ok());
   EXPECT_EQ(stats->offered, static_cast<std::int64_t>(workload->size()));
   EXPECT_EQ(stats->completed, stats->offered);
@@ -508,8 +519,8 @@ TEST(FleetTest, StatsAreBitReproducible) {
   options.policy = DispatchPolicy::kLeastLoaded;
   const ServiceModel service =
       make_service({{1, 2000.0}, {2, 5000.0}, {2, 3000.0}});
-  auto a = simulate_fleet(service, *workload, options);
-  auto b = simulate_fleet(service, *workload, options);
+  auto a = run_fleet(service, *workload, options);
+  auto b = run_fleet(service, *workload, options);
   ASSERT_TRUE(a.is_ok() && b.is_ok());
   EXPECT_EQ(serving_csv_row({}, *a), serving_csv_row({}, *b));
 }
@@ -533,7 +544,7 @@ TEST(FleetTest, RunControlStreamsPartialPercentiles) {
     events.push_back(event);
   };
   const util::RunScope scope(control);
-  auto observed = simulate_fleet(service, *workload, options, &scope);
+  auto observed = run_fleet(service, *workload, options, &scope);
   ASSERT_TRUE(observed.is_ok());
 
   ASSERT_GE(events.size(), 2u);
@@ -552,7 +563,7 @@ TEST(FleetTest, RunControlStreamsPartialPercentiles) {
   EXPECT_DOUBLE_EQ(events.back().best_fitness, observed->latency.p99);
 
   // Observation never changes the stats.
-  auto unobserved = simulate_fleet(service, *workload, options);
+  auto unobserved = run_fleet(service, *workload, options);
   ASSERT_TRUE(unobserved.is_ok());
   EXPECT_EQ(serving_csv_row({}, *observed), serving_csv_row({}, *unobserved));
 }
@@ -571,7 +582,7 @@ TEST(FleetTest, RunControlCancelsAReplay) {
   util::RunControl control;
   control.cancel.request_cancel();
   const util::RunScope scope(control);
-  auto stats = simulate_fleet(service, *workload, FleetOptions{}, &scope);
+  auto stats = run_fleet(service, *workload, FleetOptions{}, &scope);
   ASSERT_FALSE(stats.is_ok());
   EXPECT_EQ(stats.status().code(), StatusCode::kCancelled);
 
@@ -582,7 +593,7 @@ TEST(FleetTest, RunControlCancelsAReplay) {
     if (++ticks >= 2) midway.cancel.request_cancel();
   };
   const util::RunScope mid_scope(midway);
-  auto mid = simulate_fleet(service, *workload, FleetOptions{}, &mid_scope);
+  auto mid = run_fleet(service, *workload, FleetOptions{}, &mid_scope);
   ASSERT_FALSE(mid.is_ok());
   EXPECT_EQ(mid.status().code(), StatusCode::kCancelled);
   EXPECT_NE(mid.status().message().find("cancelled"), std::string::npos);
@@ -596,7 +607,7 @@ TEST(FleetTest, SingleRequestLatencyIsTimeoutPlusPass) {
   options.instances = 1;
   options.batch_timeout_us = 1000;
   auto stats =
-      simulate_fleet(service, {make_request(0, 0, 100)}, options);
+      run_fleet(service, {make_request(0, 0, 100)}, options);
   ASSERT_TRUE(stats.is_ok());
   EXPECT_DOUBLE_EQ(stats->latency.max, 1000 + 5000);
   EXPECT_EQ(stats->batches, 1);
@@ -610,7 +621,7 @@ TEST(FleetTest, RoundRobinSpreadsSimultaneousBatches) {
   options.policy = DispatchPolicy::kRoundRobin;
   std::vector<Request> workload;
   for (int i = 0; i < 8; ++i) workload.push_back(make_request(i, 0, 0));
-  auto stats = simulate_fleet(service, workload, options);
+  auto stats = run_fleet(service, workload, options);
   ASSERT_TRUE(stats.is_ok());
   for (const auto& inst : stats->instances) {
     EXPECT_EQ(inst.batches, 2) << "instance " << inst.instance;
@@ -624,7 +635,7 @@ TEST(FleetTest, LeastLoadedBalancesBusyTime) {
   options.policy = DispatchPolicy::kLeastLoaded;
   std::vector<Request> workload;
   for (int i = 0; i < 16; ++i) workload.push_back(make_request(i, 0, 0));
-  auto stats = simulate_fleet(service, workload, options);
+  auto stats = run_fleet(service, workload, options);
   ASSERT_TRUE(stats.is_ok());
   EXPECT_EQ(stats->instances[0].batches, 8);
   EXPECT_EQ(stats->instances[1].batches, 8);
@@ -643,7 +654,7 @@ TEST(FleetTest, NoStarvationDispatchIsFifoPerBranch) {
     workload.push_back(
         make_request(i, i % 2, 100.0 * i, /*user=*/i % 5));
   }
-  auto stats = simulate_fleet(service, workload, options);
+  auto stats = run_fleet(service, workload, options);
   ASSERT_TRUE(stats.is_ok());
   ASSERT_EQ(stats->records.size(), workload.size());
   // Records are appended in dispatch order; within a branch the FIFO queue
@@ -673,9 +684,9 @@ TEST(FleetTest, BranchAffinityAvoidsSwitchPenalties) {
   options.batch_timeout_us = 100;
 
   options.policy = DispatchPolicy::kBranchAffinity;
-  auto affinity = simulate_fleet(service, workload, options);
+  auto affinity = run_fleet(service, workload, options);
   options.policy = DispatchPolicy::kRoundRobin;
-  auto round_robin = simulate_fleet(service, workload, options);
+  auto round_robin = run_fleet(service, workload, options);
   ASSERT_TRUE(affinity.is_ok() && round_robin.is_ok());
 
   auto total_switches = [](const ServingStats& s) {
@@ -731,7 +742,7 @@ TEST(FleetTest, DispatchDecisionsMatchPreHeapGoldens) {
     options.batch_timeout_us = 1500;
     options.switch_penalty_us = 300;
     options.sla_bound_us = 20000;
-    auto stats = simulate_fleet(service, *workload, options);
+    auto stats = run_fleet(service, *workload, options);
     ASSERT_TRUE(stats.is_ok());
     const char* name = to_string(golden.policy);
     EXPECT_EQ(stats->latency.p99, golden.p99) << name;
@@ -755,19 +766,19 @@ TEST(FleetTest, ShardedReplayValidatesItsOptions) {
   FleetOptions options;
   options.instances = 2;
   options.shards = 3;  // more shards than instances
-  auto stats = simulate_fleet(service, workload, options);
+  auto stats = run_fleet(service, workload, options);
   ASSERT_FALSE(stats.is_ok());
   EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
   options.shards = 0;
-  EXPECT_FALSE(simulate_fleet(service, workload, options).is_ok());
+  EXPECT_FALSE(run_fleet(service, workload, options).is_ok());
   // A malformed progress percentile is a clean error, not a CHECK crash.
   options.shards = 1;
   options.progress_tail_pct = 0;
-  auto bad_pct = simulate_fleet(service, workload, options);
+  auto bad_pct = run_fleet(service, workload, options);
   ASSERT_FALSE(bad_pct.is_ok());
   EXPECT_EQ(bad_pct.status().code(), StatusCode::kInvalidArgument);
   options.progress_tail_pct = 101;
-  EXPECT_FALSE(simulate_fleet(service, workload, options).is_ok());
+  EXPECT_FALSE(run_fleet(service, workload, options).is_ok());
 }
 
 TEST(FleetTest, ShardedReplayConservesAndReproduces) {
@@ -785,8 +796,8 @@ TEST(FleetTest, ShardedReplayConservesAndReproduces) {
   options.instances = 8;
   options.shards = 4;
   options.keep_records = true;
-  auto a = simulate_fleet(service, *workload, options);
-  auto b = simulate_fleet(service, *workload, options);
+  auto a = run_fleet(service, *workload, options);
+  auto b = run_fleet(service, *workload, options);
   ASSERT_TRUE(a.is_ok() && b.is_ok());
   EXPECT_EQ(a->offered, static_cast<std::int64_t>(workload->size()));
   EXPECT_EQ(a->completed, a->offered);
@@ -830,7 +841,7 @@ TEST(FleetTest, ShardedProgressEndsWithExactGlobalTail) {
     events.push_back(event);
   };
   const util::RunScope scope(control);
-  auto stats = simulate_fleet(service, *workload, options, &scope);
+  auto stats = run_fleet(service, *workload, options, &scope);
   ASSERT_TRUE(stats.is_ok());
   ASSERT_GE(events.size(), 2u);
   for (std::size_t i = 1; i < events.size(); ++i) {
@@ -873,7 +884,7 @@ TEST(FleetTest, CheckpointResumeMatchesUncancelledRun) {
   // Reference: the uninterrupted run, no checkpoint involved.
   FleetOptions plain = options;
   plain.checkpoint_path.clear();
-  auto reference = simulate_fleet(service, *workload, plain);
+  auto reference = run_fleet(service, *workload, plain);
   ASSERT_TRUE(reference.is_ok());
 
   // Cancel mid-replay; finished shards persist in the checkpoint.
@@ -885,7 +896,7 @@ TEST(FleetTest, CheckpointResumeMatchesUncancelledRun) {
   };
   {
     const util::RunScope scope(control);
-    auto cancelled = simulate_fleet(service, *workload, options, &scope);
+    auto cancelled = run_fleet(service, *workload, options, &scope);
     ASSERT_FALSE(cancelled.is_ok());
     EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled);
   }
@@ -893,7 +904,7 @@ TEST(FleetTest, CheckpointResumeMatchesUncancelledRun) {
 
   // Resume: loaded shards are not re-simulated, and the merged stats are
   // bit-identical to the uninterrupted run.
-  auto resumed = simulate_fleet(service, *workload, options);
+  auto resumed = run_fleet(service, *workload, options);
   ASSERT_TRUE(resumed.is_ok());
   EXPECT_GT(resumed->resumed_shards, 0);
   EXPECT_LT(resumed->resumed_shards, 4);
@@ -904,7 +915,7 @@ TEST(FleetTest, CheckpointResumeMatchesUncancelledRun) {
 
   // A completed run leaves a full checkpoint behind: a rerun resumes every
   // shard without simulating anything.
-  auto all_cached = simulate_fleet(service, *workload, options);
+  auto all_cached = run_fleet(service, *workload, options);
   ASSERT_TRUE(all_cached.is_ok());
   EXPECT_EQ(all_cached->resumed_shards, 4);
   EXPECT_EQ(serving_csv_row({}, *all_cached),
@@ -930,12 +941,12 @@ TEST(FleetTest, StaleOrTornCheckpointIsIgnored) {
     std::ofstream out(options.checkpoint_path);
     out << "not a checkpoint\n";
   }
-  auto garbage = simulate_fleet(service, *workload, options);
+  auto garbage = run_fleet(service, *workload, options);
   ASSERT_TRUE(garbage.is_ok());
   EXPECT_EQ(garbage->resumed_shards, 0);
 
   // That run rewrote a complete matching checkpoint: a rerun resumes it...
-  auto full = simulate_fleet(service, *workload, options);
+  auto full = run_fleet(service, *workload, options);
   ASSERT_TRUE(full.is_ok());
   EXPECT_EQ(full->resumed_shards, 2);
 
@@ -943,20 +954,20 @@ TEST(FleetTest, StaleOrTornCheckpointIsIgnored) {
   // fingerprint catches the mismatch.
   FleetOptions other = options;
   other.switch_penalty_us = 123;
-  auto mismatched = simulate_fleet(service, *workload, other);
+  auto mismatched = run_fleet(service, *workload, other);
   ASSERT_TRUE(mismatched.is_ok());
   EXPECT_EQ(mismatched->resumed_shards, 0);
 
   // Truncating a matching checkpoint also restarts instead of loading a
   // torn file (the original run rewrites it first, since the mismatched run
   // above replaced it with its own).
-  ASSERT_TRUE(simulate_fleet(service, *workload, options).is_ok());
+  ASSERT_TRUE(run_fleet(service, *workload, options).is_ok());
   std::error_code ec;
   const auto size = std::filesystem::file_size(options.checkpoint_path, ec);
   ASSERT_FALSE(ec);
   std::filesystem::resize_file(options.checkpoint_path, size / 2, ec);
   ASSERT_FALSE(ec);
-  auto torn = simulate_fleet(service, *workload, options);
+  auto torn = run_fleet(service, *workload, options);
   ASSERT_TRUE(torn.is_ok());
   EXPECT_EQ(torn->resumed_shards, 0);
   EXPECT_EQ(serving_csv_row({}, *torn), serving_csv_row({}, *full));
@@ -971,7 +982,7 @@ TEST(FleetTest, SlaViolationsAreCounted) {
   std::vector<Request> workload = {make_request(0, 0, 0),
                                    make_request(1, 0, 0),
                                    make_request(2, 0, 0)};
-  auto stats = simulate_fleet(service, workload, options);
+  auto stats = run_fleet(service, workload, options);
   ASSERT_TRUE(stats.is_ok());
   EXPECT_EQ(stats->sla_violations, 2);
   EXPECT_NEAR(stats->sla_violation_rate, 2.0 / 3.0, 1e-12);
@@ -1133,6 +1144,92 @@ TEST(TrafficSearchTest, ConflictingSlaBoundRejected) {
   spec.traffic.workload.duration_s = 0.25;
   EXPECT_TRUE(
       dse::SearchDriver(*model, arch::platform_zu9cg()).run(spec).is_ok());
+}
+
+// -------------------------------------------------------------- serve spec --
+TEST(ServeSpecTest, SpecLevelSlaBoundResolvesIntoFleetOptions) {
+  ServeSpec spec;
+  spec.sla.p99_bound_us = 20000;
+  auto resolved = resolved_fleet_options(spec);
+  ASSERT_TRUE(resolved.is_ok());
+  EXPECT_EQ(resolved->sla_bound_us, 20000);
+}
+
+TEST(ServeSpecTest, ConflictingSlaBoundsAreRejected) {
+  ServeSpec spec;
+  spec.sla.p99_bound_us = 20000;
+  spec.fleet.sla_bound_us = 25000;  // disagrees with the spec-level bound
+  auto resolved = resolved_fleet_options(spec);
+  ASSERT_FALSE(resolved.is_ok());
+  EXPECT_EQ(resolved.status().code(), StatusCode::kInvalidArgument);
+
+  spec.fleet.sla_bound_us = 20000;  // agreeing redundantly is fine
+  EXPECT_TRUE(resolved_fleet_options(spec).is_ok());
+}
+
+TEST(ServeSpecTest, ClockKindResolvesFromEitherLevel) {
+  ServeSpec spec;
+  spec.clock = ClockKind::kSteady;
+  auto resolved = resolved_fleet_options(spec);
+  ASSERT_TRUE(resolved.is_ok());
+  EXPECT_EQ(resolved->clock, ClockKind::kSteady);
+
+  ServeSpec fleet_side;
+  fleet_side.fleet.clock = ClockKind::kSteady;
+  auto from_fleet = resolved_fleet_options(fleet_side);
+  ASSERT_TRUE(from_fleet.is_ok());
+  EXPECT_EQ(from_fleet->clock, ClockKind::kSteady);
+}
+
+TEST(ServeSpecTest, SteadyClockReplayPacesTheTraceInRealTime) {
+  // Wall mode is the live-pacing mode: the replay sleeps to each event's
+  // trace timestamp, so recorded times carry genuine scheduler jitter and
+  // are NOT expected to be bit-identical to the virtual run (only the
+  // virtual clock is the reproducible mode). What must hold: every request
+  // completes, the books balance, and no record dispatches before its
+  // arrival or before the schedule allows.
+  const ServiceModel service = make_service({{2, 3000.0}, {2, 5000.0}});
+  std::vector<Request> workload;
+  for (int i = 0; i < 40; ++i) {
+    workload.push_back(make_request(i, i % 2, i * 500.0, i % 4));
+  }
+
+  ServeSpec steady;
+  steady.fleet.instances = 2;
+  steady.fleet.keep_records = true;
+  steady.clock = ClockKind::kSteady;
+  auto steady_run = simulate_fleet(service, workload, steady);
+  ASSERT_TRUE(steady_run.is_ok());
+
+  EXPECT_EQ(steady_run->completed,
+            static_cast<std::int64_t>(workload.size()));
+  EXPECT_EQ(steady_run->completed, steady_run->offered);
+  ASSERT_EQ(steady_run->records.size(), workload.size());
+  for (const RequestRecord& r : steady_run->records) {
+    EXPECT_GE(r.start_us, r.arrival_us);
+    EXPECT_GT(r.finish_us, r.start_us);
+  }
+  EXPECT_GT(steady_run->latency.p99, 0);
+}
+
+TEST(ServeSpecTest, DeprecatedFleetOptionsEntryPointStillForwards) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const ServiceModel service = make_service({{1, 2000.0}});
+  std::vector<Request> workload = {make_request(0, 0, 0),
+                                   make_request(1, 0, 0)};
+  FleetOptions options;
+  options.instances = 1;
+  options.sla_bound_us = 2500;
+  auto via_shim = simulate_fleet(service, workload, options);
+  ASSERT_TRUE(via_shim.is_ok());
+
+  ServeSpec spec;
+  spec.fleet = options;
+  auto via_spec = simulate_fleet(service, workload, spec);
+  ASSERT_TRUE(via_spec.is_ok());
+  EXPECT_EQ(serving_csv_row({}, *via_shim), serving_csv_row({}, *via_spec));
+#pragma GCC diagnostic pop
 }
 
 }  // namespace
