@@ -8,6 +8,7 @@
 //
 //   bench_serving --replay <requests> [--shards S] [--threads T]
 //                 [--checkpoint <file>] [--cancel-at <frac>]
+//                 [--scenario <spec>] [--elastic <spec>]
 //     Large-trace sharded replay: searches the hardware once, then replays
 //     a million-request-scale Poisson trace across a statically sharded
 //     fleet. Stats are bit-identical for any --threads at a fixed shard
@@ -15,7 +16,10 @@
 //     goes to stdout). --checkpoint enables per-shard checkpointing;
 //     --cancel-at f cancels via RunControl once f of the requests
 //     completed (exit code 3), and a rerun with the same flags resumes
-//     from the checkpoint to the same final stats.
+//     from the checkpoint to the same final stats. --scenario shapes the
+//     trace (diurnal drift, flash crowds, churn, instance faults) and
+//     --elastic layers the autoscale/reshard policy on the fleet; both are
+//     deterministic and fold into the checkpoint fingerprint.
 //
 //   bench_serving --traffic-cache <dir>
 //     Runs an SLA-aware kTraffic search through core::Pipeline with the

@@ -83,6 +83,15 @@ void usage() {
       "                         events at their trace timestamps)\n"
       "  --decisions <file>     per-request decision CSV (the replay/live\n"
       "                         parity artifact; exact doubles)\n"
+      "  --scenario <spec>      drift scenario: diurnal rate modulation,\n"
+      "                         flash crowds, user churn, instance faults\n"
+      "                         (diurnal:period=..,amp=..;flash:start=..,\n"
+      "                         end=..,rate=..,users=..;churn:user=..,\n"
+      "                         join=..,leave=..;fault:instance=..,fail=..,\n"
+      "                         recover=..; default none)\n"
+      "  --elastic <spec>       elastic fleet policy (scale:max=..,high=..,\n"
+      "                         low=..,window_us=..;reshard:frac=..,\n"
+      "                         window=..,cells=..; default none)\n"
       "output:\n"
       "  --csv <file>           write the scenario matrix as CSV\n"
       "  --json                 print a machine-readable JSON report "

@@ -66,9 +66,22 @@ void usage() {
       "traffic/fleet (replay modes share serving_cli --replay's flags):\n"
       "  --users --frame-rate --seed --instances --shards --threads\n"
       "  --policy --timeout-us --switch-penalty-us --sla-ms --tail-pct\n"
+      "scenario / elastic policy:\n"
+      "  --scenario <spec>      shape the generated trace and schedule\n"
+      "                         instance faults: diurnal:period=..,amp=..;\n"
+      "                         flash:start=..,end=..,rate=..,users=..;\n"
+      "                         churn:user=..,join=..,leave=..;\n"
+      "                         fault:instance=..,fail=..,recover=..\n"
+      "                         (faults also apply in --live, in seconds\n"
+      "                         since startup)\n"
+      "  --elastic <spec>       autoscale/reshard policy:\n"
+      "                         scale:max=..,high=..,low=..,window_us=..;\n"
+      "                         reshard:frac=..,window=..,cells=..\n"
       "admission control:\n"
       "  --admission            shed load when the rolling p99 drifts toward\n"
-      "                         the SLA bound\n"
+      "                         the SLA bound (with --elastic the daemon\n"
+      "                         scales up first and sheds only once the\n"
+      "                         provisioned pool is exhausted)\n"
       "  --admission-window <n> completions in the rolling window (256)\n"
       "  --admission-headroom <f> shed above f x sla bound (0.9)\n"
       "live mode:\n"
@@ -135,7 +148,8 @@ int run_parity_check(const serving::ServiceModel& service,
   if (job.spec.workload.branches == workload_defaults.branches) {
     job.spec.workload.branches = service.num_branches();
   }
-  auto trace = serving::generate_workload(job.spec.workload);
+  auto trace =
+      serving::generate_scenario_workload(job.spec.workload, job.spec.scenario);
   if (!trace.is_ok()) {
     std::fprintf(stderr, "error: %s\n", trace.status().to_string().c_str());
     return 1;
@@ -278,11 +292,12 @@ int run_live(const ArgParser& args) {
   std::signal(SIGTERM, handle_signal);
 
   std::printf("serving_daemon: listening on %s (%d instance(s), %s "
-              "dispatch, admission %s) — SIGINT/SIGTERM or a 'shutdown' "
-              "line drains gracefully\n",
+              "dispatch, admission %s, elastic %s) — SIGINT/SIGTERM or a "
+              "'shutdown' line drains gracefully\n",
               options.socket_path.c_str(), job.spec.fleet.instances,
               serving::to_string(job.spec.fleet.policy),
-              options.admission_enabled ? "on" : "off");
+              options.admission_enabled ? "on" : "off",
+              serving::elastic_to_string(job.spec.elastic).c_str());
 
   std::thread driver;
   if (self_requests > 0) {

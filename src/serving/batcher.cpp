@@ -79,6 +79,12 @@ double BatchAggregator::next_deadline_us() const {
   return deadline;
 }
 
+double BatchAggregator::head_arrival_us(int branch) const {
+  FCAD_CHECK(branch >= 0 && branch < num_branches());
+  const auto& q = queues_[static_cast<std::size_t>(branch)];
+  return q.empty() ? kInf : q.front().arrival_us;
+}
+
 std::size_t BatchAggregator::pending() const {
   std::size_t n = 0;
   for (const auto& q : queues_) n += q.size();

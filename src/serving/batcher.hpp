@@ -57,6 +57,10 @@ class BatchAggregator {
   /// +infinity when every queue is empty (or no timeout is configured).
   double next_deadline_us() const;
 
+  /// Arrival time of `branch`'s head-of-line request (+infinity when the
+  /// queue is empty) — the cross-cell fairness key in FleetEngine.
+  double head_arrival_us(int branch) const;
+
   /// Clock-threaded twins: timeout handling against an injected
   /// serving::Clock reading instead of a caller-supplied timestamp. Event
   /// loops that must make several decisions at one instant (ready check →

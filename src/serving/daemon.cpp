@@ -13,6 +13,7 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -21,6 +22,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "serving/elastic.hpp"
 #include "serving/engine.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
@@ -30,46 +32,30 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Rolling-p99 admission window: a ring buffer of the last N completion
-/// latencies. should_shed() is true once the window is full AND its p99
-/// exceeds the bound; the percentile is recomputed lazily (only when a new
-/// completion landed since the last query), so steady-state shedding costs
-/// O(1) per request.
+/// Rolling-p99 admission gate over elastic.hpp's RollingP99Window (the same
+/// window the reshard trigger uses, so the two drift detectors can never
+/// diverge in percentile semantics). should_shed() is true once the window
+/// is full AND its lazily recomputed p99 exceeds the bound, so steady-state
+/// shedding costs O(1) per request.
 class AdmissionWindow {
  public:
   AdmissionWindow(bool enabled, int window, double bound_us)
       : enabled_(enabled && window > 0),
         bound_us_(bound_us),
-        ring_(enabled_ ? static_cast<std::size_t>(window) : 0) {}
+        window_(enabled_ ? window : 1) {}
 
   void record(double latency_us) {
-    if (!enabled_) return;
-    ring_[static_cast<std::size_t>(count_ % ring_.size())] = latency_us;
-    ++count_;
-    dirty_ = true;
+    if (enabled_) window_.add(latency_us);
   }
 
-  bool should_shed() {
-    if (!enabled_ || count_ < static_cast<std::int64_t>(ring_.size())) {
-      return false;
-    }
-    if (dirty_) {
-      rolling_p99_us_ = percentile(ring_, 99);
-      dirty_ = false;
-    }
-    return rolling_p99_us_ > bound_us_;
+  bool should_shed() const {
+    return enabled_ && window_.full() && window_.p99() > bound_us_;
   }
-
-  /// Last computed rolling p99 (0 until the window first fills).
-  double rolling_p99_us() const { return rolling_p99_us_; }
 
  private:
   bool enabled_;
   double bound_us_;
-  std::vector<double> ring_;
-  std::int64_t count_ = 0;
-  bool dirty_ = false;
-  double rolling_p99_us_ = 0;
+  RollingP99Window window_;
 };
 
 /// One shard of the trace-driven daemon: the same event loop as fleet.cpp's
@@ -78,8 +64,9 @@ class AdmissionWindow {
 /// every record, latency, and counter — is bit-identical to run_shard's.
 StatusOr<ShardStats> run_daemon_shard(const ServiceModel& service,
                                       const std::vector<Request>& requests,
-                                      int shard_index, int first_instance,
-                                      int instances,
+                                      int shard_index,
+                                      const ElasticSpec& elastic,
+                                      const ShardElasticPlan& plan,
                                       const FleetOptions& options,
                                       const DaemonOptions& daemon,
                                       std::int64_t* shed_out,
@@ -95,8 +82,11 @@ StatusOr<ShardStats> run_daemon_shard(const ServiceModel& service,
   config.progress_tail_pct = options.progress_tail_pct;
   config.keep_records = options.keep_records;
   config.shard_index = shard_index;
-  config.first_instance = first_instance;
-  config.instances = instances;
+  config.first_instance = plan.first_instance;
+  config.instances = plan.provisioned;
+  config.initial_active = plan.initial_active;
+  config.max_cells =
+      elastic.reshard_enabled() ? elastic.reshard.max_cells : 1;
   config.expected_requests = static_cast<std::int64_t>(requests.size());
   FleetEngine engine(service, config, clock.get());
 
@@ -110,6 +100,12 @@ StatusOr<ShardStats> run_daemon_shard(const ServiceModel& service,
         }
       });
 
+  std::optional<ElasticController> controller;
+  if (elastic.enabled() || !plan.faults.empty()) {
+    controller.emplace(elastic, plan, options.sla_bound_us);
+    engine.set_controller(&*controller);
+  }
+
   std::int64_t shed = 0;
   std::size_t next = 0;
   while (true) {
@@ -121,7 +117,11 @@ StatusOr<ShardStats> run_daemon_shard(const ServiceModel& service,
     }
     while (next < requests.size() &&
            requests[next].arrival_us <= engine.now_us()) {
-      if (admission.should_shed()) {
+      // Grow before dropping: while scale-up headroom remains, admit and
+      // let the autoscaler absorb the drift; shedding engages only once the
+      // provisioned pool is exhausted (or no elastic policy exists).
+      if (admission.should_shed() &&
+          (!controller || !controller->can_scale_up())) {
         ++shed;
       } else {
         engine.enqueue(requests[next]);
@@ -130,13 +130,20 @@ StatusOr<ShardStats> run_daemon_shard(const ServiceModel& service,
     }
     if (next >= requests.size()) engine.close();
 
+    if (controller) controller->tick(engine, engine.now_us());
     engine.dispatch_ready();
 
     double t_us = engine.next_event_us();
     if (next < requests.size()) {
       t_us = std::min(t_us, requests[next].arrival_us);
     }
-    if (t_us == kInf) break;
+    if (controller) {
+      t_us = std::min(t_us, controller->next_event_us(engine.now_us()));
+    }
+    // The controller's evaluation cadence stays finite after the trace is
+    // done, so termination keys on drained, not on running out of events
+    // (the two are equivalent without a controller).
+    if ((next >= requests.size() && engine.drained()) || t_us == kInf) break;
     // Strict advance only holds for virtual time; a steady clock can
     // legitimately overtake the event schedule between readings (see the
     // matching guard in fleet.cpp run_shard).
@@ -246,6 +253,8 @@ StatusOr<DaemonResult> Daemon::run_trace(const std::vector<Request>& trace,
   if (service_.num_branches() < 1) {
     return Status::invalid_argument("daemon: service model has no branches");
   }
+  if (Status s = validate_scenario(spec_.scenario); !s.is_ok()) return s;
+  if (Status s = validate_elastic(spec_.elastic); !s.is_ok()) return s;
   for (const Request& r : trace) {
     if (r.branch < 0 || r.branch >= service_.num_branches()) {
       return Status::invalid_argument("daemon: request branch out of range");
@@ -253,8 +262,8 @@ StatusOr<DaemonResult> Daemon::run_trace(const std::vector<Request>& trace,
   }
 
   // Identical partition to simulate_fleet: stable arrival sort, user u ->
-  // shard u mod S, contiguous instance groups — the parity contract extends
-  // to sharded traces.
+  // shard u mod S, contiguous slices of the provisioned instance pool — the
+  // parity contract extends to sharded and elastic traces.
   std::vector<Request> sorted = trace;
   std::stable_sort(sorted.begin(), sorted.end(),
                    [](const Request& a, const Request& b) {
@@ -267,18 +276,12 @@ StatusOr<DaemonResult> Daemon::run_trace(const std::vector<Request>& trace,
     shard_requests[static_cast<std::size_t>(r.user % num_shards)].push_back(
         r);
   }
-  std::vector<int> counts(static_cast<std::size_t>(num_shards));
-  std::vector<int> starts(static_cast<std::size_t>(num_shards));
-  {
-    const int base = options.instances / num_shards;
-    const int extra = options.instances % num_shards;
-    int start = 0;
-    for (int s = 0; s < num_shards; ++s) {
-      counts[static_cast<std::size_t>(s)] = base + (s < extra ? 1 : 0);
-      starts[static_cast<std::size_t>(s)] = start;
-      start += counts[static_cast<std::size_t>(s)];
-    }
-  }
+  auto plans_or = plan_elastic_shards(spec_.elastic, spec_.scenario.faults,
+                                      options.instances, num_shards);
+  if (!plans_or.is_ok()) return plans_or.status();
+  const std::vector<ShardElasticPlan>& plans = *plans_or;
+  const int provisioned_total =
+      plans.back().first_instance + plans.back().provisioned;
 
   std::vector<ShardStats> shards(static_cast<std::size_t>(num_shards));
   std::vector<std::int64_t> shard_shed(static_cast<std::size_t>(num_shards),
@@ -288,8 +291,8 @@ StatusOr<DaemonResult> Daemon::run_trace(const std::vector<Request>& trace,
   auto run_one = [&](std::int64_t s) {
     const auto index = static_cast<std::size_t>(s);
     auto result = run_daemon_shard(service_, shard_requests[index],
-                                   static_cast<int>(s), starts[index],
-                                   counts[index], options, options_,
+                                   static_cast<int>(s), spec_.elastic,
+                                   plans[index], options, options_,
                                    &shard_shed[index], scope);
     if (!result.is_ok()) {
       shard_status[index] = result.status();
@@ -311,7 +314,7 @@ StatusOr<DaemonResult> Daemon::run_trace(const std::vector<Request>& trace,
 
   DaemonResult result;
   result.stats = merge_shard_stats(shards, service_, options.sla_bound_us,
-                                   options.instances, 0);
+                                   provisioned_total, 0);
   for (std::int64_t s : shard_shed) result.shed += s;
   obs::MetricsRegistry::global()
       .counter("serving.daemon.shed_requests")
@@ -341,6 +344,15 @@ StatusOr<DaemonResult> Daemon::serve() {
   if (service_.num_branches() < 1) {
     return Status::invalid_argument("daemon: service model has no branches");
   }
+  if (Status s = validate_scenario(spec_.scenario); !s.is_ok()) return s;
+  if (Status s = validate_elastic(spec_.elastic); !s.is_ok()) return s;
+  // Arrival shaping is meaningless live (the daemon serves whatever
+  // arrives); the scenario's *fault schedule* does apply, in steady-clock
+  // microseconds since serve() started.
+  auto plans_or = plan_elastic_shards(spec_.elastic, spec_.scenario.faults,
+                                      options.instances, 1);
+  if (!plans_or.is_ok()) return plans_or.status();
+  const ShardElasticPlan& plan = plans_or->front();
   if (options_.socket_path.empty()) {
     return Status::invalid_argument("daemon: serve() needs a socket_path");
   }
@@ -380,9 +392,20 @@ StatusOr<DaemonResult> Daemon::serve() {
   config.sla_bound_us = options.sla_bound_us;
   config.progress_tail_pct = options.progress_tail_pct;
   config.keep_records = options.keep_records;
-  config.instances = options.instances;
+  config.first_instance = plan.first_instance;
+  config.instances = plan.provisioned;
+  config.initial_active = plan.initial_active;
+  config.max_cells = spec_.elastic.reshard_enabled()
+                         ? spec_.elastic.reshard.max_cells
+                         : 1;
   config.expected_requests = options_.expected_requests;
   FleetEngine engine(service_, config, &clock);
+
+  std::optional<ElasticController> controller;
+  if (spec_.elastic.enabled() || !plan.faults.empty()) {
+    controller.emplace(spec_.elastic, plan, options.sla_bound_us);
+    engine.set_controller(&*controller);
+  }
 
   // Receiver thread: owns poll() over the listen socket, the shutdown pipe,
   // and every connection; parses lines into `queue` and wakes the serving
@@ -500,7 +523,10 @@ StatusOr<DaemonResult> Daemon::serve() {
         reply(in.fd, "err branch out of range\n");
         continue;
       }
-      if (admission.should_shed()) {
+      // Grow before dropping: with scale-up headroom left the request is
+      // admitted and the autoscaler absorbs the drift at its next tick.
+      if (admission.should_shed() &&
+          (!controller || !controller->can_scale_up())) {
         ++shed;
         shed_counter.add(1);
         reply(in.fd, "shed " + std::to_string(in.id) + "\n");
@@ -518,11 +544,17 @@ StatusOr<DaemonResult> Daemon::serve() {
       engine.close();  // graceful drain: the batcher tail flushes on the
       closed = true;   // timeout schedule and every straggler is answered
     }
+    if (controller) controller->tick(engine, engine.now_us());
     engine.dispatch_ready();
     if (closed && engine.drained()) break;
-    // Sleep to the next engine event (batching deadline / instance free);
-    // +infinity waits for the receiver's wake. Early wakes just loop.
-    engine.advance_to(engine.next_event_us());
+    // Sleep to the next engine or controller event (batching deadline /
+    // instance free / elastic boundary); +infinity waits for the receiver's
+    // wake. Early wakes just loop.
+    double t_us = engine.next_event_us();
+    if (controller) {
+      t_us = std::min(t_us, controller->next_event_us(engine.now_us()));
+    }
+    engine.advance_to(t_us);
   }
 
   receiver.join();
@@ -534,7 +566,7 @@ StatusOr<DaemonResult> Daemon::serve() {
   std::vector<ShardStats> shards;
   shards.push_back(engine.take_stats());
   result.stats = merge_shard_stats(shards, service_, options.sla_bound_us,
-                                   options.instances, 0);
+                                   plan.provisioned, 0);
   result.shed = shed;
   return result;
 }

@@ -41,7 +41,9 @@ struct DaemonOptions {
   /// completed, a new request is shed (rejected before batching) while the
   /// rolling p99 over the last `admission_window` completions exceeds
   /// `admission_headroom * sla.p99_bound_us` — the daemon starts refusing
-  /// load *before* the SLA is breached, not after.
+  /// load *before* the SLA is breached, not after. With an elastic policy
+  /// (ServeSpec::elastic) the daemon grows first and drops load last:
+  /// shedding engages only once scale-up headroom is exhausted.
   bool admission_enabled = false;
   int admission_window = 256;
   double admission_headroom = 0.9;
@@ -61,6 +63,9 @@ class Daemon {
  public:
   /// `spec.workload` is unused (the daemon serves whatever arrives);
   /// `spec.fleet`/`spec.sla`/`spec.clock` configure the engine.
+  /// `spec.elastic` and `spec.scenario.faults` apply in both entry points —
+  /// arrival shaping in `spec.scenario` is the generator's business and is
+  /// ignored here (shape the trace before handing it to run_trace).
   Daemon(ServiceModel service, ServeSpec spec, DaemonOptions options = {});
   ~Daemon();
   Daemon(const Daemon&) = delete;

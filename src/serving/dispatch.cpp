@@ -1,16 +1,25 @@
 #include "serving/dispatch.hpp"
 
+#include <algorithm>
+
 namespace fcad::serving {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
-Dispatcher::Dispatcher(DispatchPolicy policy, int instances, int branches)
+Dispatcher::Dispatcher(DispatchPolicy policy, int instances, int branches,
+                       int initially_active)
     : policy_(policy),
       instances_(static_cast<std::size_t>(instances)),
       free_by_branch_(static_cast<std::size_t>(branches)) {
-  for (int k = 0; k < instances; ++k) insert_free(k);
+  const int active =
+      initially_active < 0 ? instances : std::min(initially_active, instances);
+  active_count_ = active;
+  for (int k = 0; k < active; ++k) insert_free(k);
+  for (int k = active; k < instances; ++k) {
+    instances_[static_cast<std::size_t>(k)].active = false;
+  }
 }
 
 double Dispatcher::next_free_us(double now_us) {
@@ -64,11 +73,35 @@ double Dispatcher::dispatch(int k, int branch, double now_us,
   return finish_us;
 }
 
+void Dispatcher::set_active(int k, bool on, double now_us) {
+  refresh(now_us);
+  InstanceState& inst = instances_[static_cast<std::size_t>(k)];
+  if (inst.active == on) return;
+  inst.active = on;
+  active_count_ += on ? 1 : -1;
+  if (on) {
+    // refresh() above drained every expired busy entry, so an idle
+    // instance has no pending heap entry and joins the free sets now; a
+    // still-busy one is re-inserted when its batch finishes.
+    if (inst.free_at_us <= now_us) insert_free(k);
+  } else if (free_by_index_.count(k) > 0) {
+    erase_free(k);
+  }
+}
+
+double Dispatcher::total_busy_us() const {
+  double total = 0;
+  for (const InstanceState& inst : instances_) total += inst.busy_us;
+  return total;
+}
+
 void Dispatcher::refresh(double now_us) {
   while (!busy_.empty() && busy_.top().first <= now_us) {
     const int k = busy_.top().second;
     busy_.pop();
-    insert_free(k);
+    // An instance deactivated mid-batch finishes but never rejoins the
+    // free sets; set_active(k, true) brings it back later.
+    if (instances_[static_cast<std::size_t>(k)].active) insert_free(k);
   }
 }
 

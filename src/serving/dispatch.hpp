@@ -23,6 +23,9 @@ struct InstanceState {
   std::int64_t batches = 0;
   std::int64_t requests = 0;
   std::int64_t switches = 0;
+  /// Inactive instances never get picked: they are scale-up headroom or
+  /// faulted/scaled-down capacity (the elastic layer flips this flag).
+  bool active = true;
 };
 
 /// Dispatch bookkeeping in O(log K) per event instead of the former O(K)
@@ -34,9 +37,26 @@ struct InstanceState {
 /// toward the lowest index.
 class Dispatcher {
  public:
-  Dispatcher(DispatchPolicy policy, int instances, int branches);
+  /// `initially_active` < 0 activates every instance (the static fleet);
+  /// otherwise instances [0, initially_active) start active and the rest
+  /// are headroom until set_active turns them on.
+  Dispatcher(DispatchPolicy policy, int instances, int branches,
+             int initially_active = -1);
 
   const std::vector<InstanceState>& instances() const { return instances_; }
+
+  /// Flips instance `k`'s active flag at `now_us`. Activating an idle
+  /// instance makes it immediately pickable; deactivating a busy one lets
+  /// the batch in flight finish, after which the instance idles.
+  void set_active(int k, bool on, double now_us);
+  bool is_active(int k) const {
+    return instances_[static_cast<std::size_t>(k)].active;
+  }
+  int active_count() const { return active_count_; }
+
+  /// Total accumulated busy time across all instances — the elastic
+  /// autoscaler differences this across evaluation windows.
+  double total_busy_us() const;
 
   /// Earliest time any instance frees up after `now_us` (+inf if none busy).
   double next_free_us(double now_us);
@@ -69,6 +89,7 @@ class Dispatcher {
   std::set<std::pair<double, int>> free_by_load_;  ///< (busy_us, index)
   std::vector<std::set<std::pair<double, int>>> free_by_branch_;
   int cursor_ = 0;
+  int active_count_ = 0;
 };
 
 }  // namespace fcad::serving

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "serving/elastic.hpp"
 
 namespace fcad::serving {
 
@@ -27,10 +28,14 @@ FleetEngine::FleetEngine(const ServiceModel& service,
       config_(config),
       clock_(clock),
       tracer_(obs::tracer()),
-      aggregator_(service.capacities(), config.batch_timeout_us),
-      dispatcher_(config.policy, config.instances, service.num_branches()),
+      dispatcher_(config.policy, config.instances, service.num_branches(),
+                  config.initial_active),
       tail_(config.expected_requests, config.progress_tail_pct),
       first_arrival_us_(kInf) {
+  cells_.reserve(static_cast<std::size_t>(std::max(1, config.max_cells)));
+  cells_.push_back(Cell{0, std::numeric_limits<int>::max(), -1,
+                        BatchAggregator(service.capacities(),
+                                        config.batch_timeout_us)});
   // Resolved once per engine; every span below carries clock-reading µs, so
   // a virtual-time replay's emitted timeline is identical for any thread
   // count.
@@ -52,11 +57,23 @@ FleetEngine::FleetEngine(const ServiceModel& service,
   stats_.waits.reserve(static_cast<std::size_t>(config.expected_requests));
 }
 
+FleetEngine::Cell& FleetEngine::route(int user) {
+  // Last cell whose lower bound covers the user; cells_ stays sorted by lo
+  // and small (max_cells), so the scan from the top is cheap.
+  for (std::size_t i = cells_.size(); i-- > 1;) {
+    if (cells_[i].lo <= user) return cells_[i];
+  }
+  return cells_.front();
+}
+
 void FleetEngine::enqueue(const Request& r) {
-  aggregator_.enqueue(r);
+  Cell& cell = route(r.user);
+  cell.agg.enqueue(r);
+  cell.min_seen = std::min(cell.min_seen, r.user);
+  cell.max_seen = std::max(cell.max_seen, r.user);
   ++stats_.offered;
   first_arrival_us_ = std::min(first_arrival_us_, r.arrival_us);
-  const int depth = static_cast<int>(aggregator_.pending());
+  const int depth = static_cast<int>(pending());
   if (depth > stats_.max_queue_depth) {
     stats_.max_queue_depth = depth;
     // Counter samples only on a new high-water mark, so the event count
@@ -70,17 +87,33 @@ void FleetEngine::enqueue(const Request& r) {
 
 void FleetEngine::close() {
   closed_ = true;
-  aggregator_.close();
+  for (Cell& cell : cells_) cell.agg.close();
 }
 
 void FleetEngine::dispatch_ready() {
   const double now_us = clock_->now_us();
   while (true) {
-    const int branch = aggregator_.ready_branch(now_us);
+    // Across cells, serve the ready batch whose head-of-line request has
+    // waited longest (ties toward the lowest cell index) — the same
+    // fairness rule ready_branch applies across branches within a cell.
+    std::size_t cell_index = 0;
+    int branch = -1;
+    double oldest_us = kInf;
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      const int b = cells_[i].agg.ready_branch(now_us);
+      if (b < 0) continue;
+      const double head_us = cells_[i].agg.head_arrival_us(b);
+      if (branch < 0 || head_us < oldest_us) {
+        cell_index = i;
+        branch = b;
+        oldest_us = head_us;
+      }
+    }
     if (branch < 0) break;
     const int k = dispatcher_.pick(branch, now_us);
     if (k < 0) break;
-    Batch batch = *aggregator_.pop_ready(now_us);
+    BatchAggregator& aggregator = cells_[cell_index].agg;
+    Batch batch = *aggregator.pop_ready(now_us);
 
     const double finish_us = dispatcher_.dispatch(
         k, branch, now_us,
@@ -98,13 +131,14 @@ void FleetEngine::dispatch_ready() {
     }
     ++stats_.batches;
     stats_.fill_sum += static_cast<double>(batch.requests.size()) /
-                       static_cast<double>(aggregator_.capacity(branch));
+                       static_cast<double>(aggregator.capacity(branch));
     stats_.makespan_us = std::max(stats_.makespan_us, finish_us);
     for (const Request& r : batch.requests) {
       const double latency = finish_us - r.arrival_us;
       stats_.latencies.push_back(latency);
       stats_.waits.push_back(now_us - r.arrival_us);
       tail_.add(latency);
+      if (controller_ != nullptr) controller_->on_complete(latency);
       if (latency > config_.sla_bound_us) ++stats_.sla_violations;
       ++stats_.completed;
       ++stats_.branch_completed[static_cast<std::size_t>(r.branch)];
@@ -122,7 +156,14 @@ double FleetEngine::next_event_us() {
   // When a batch is ready but every instance is busy, the next event is an
   // instance freeing up; otherwise it is the earliest batching deadline.
   const double now_us = clock_->now_us();
-  if (aggregator_.has_ready(now_us)) {
+  bool has_ready = false;
+  for (const Cell& cell : cells_) {
+    if (cell.agg.has_ready(now_us)) {
+      has_ready = true;
+      break;
+    }
+  }
+  if (has_ready) {
     // A steady clock can cross an instance's free time between
     // dispatch_ready() and this call; the freed instance makes the ready
     // batch dispatchable *immediately*, so the next event is "now" —
@@ -134,15 +175,98 @@ double FleetEngine::next_event_us() {
     if (dispatcher_.any_free(now_us)) return now_us;
     return dispatcher_.next_free_us(now_us);
   }
-  if (aggregator_.pending() > 0) return aggregator_.next_deadline_us();
-  return kInf;
+  double deadline_us = kInf;
+  for (const Cell& cell : cells_) {
+    if (cell.agg.pending() > 0) {
+      deadline_us = std::min(deadline_us, cell.agg.next_deadline_us());
+    }
+  }
+  return deadline_us;
+}
+
+void FleetEngine::set_instance_active(int local_instance, bool on,
+                                      ElasticReason reason) {
+  const double now_us = clock_->now_us();
+  dispatcher_.set_active(local_instance, on, now_us);
+  const char* name = "?";
+  switch (reason) {
+    case ElasticReason::kScaleUp:
+      ++stats_.scale_up_events;
+      name = "scale up";
+      break;
+    case ElasticReason::kScaleDown:
+      ++stats_.scale_down_events;
+      name = "scale down";
+      break;
+    case ElasticReason::kFault:
+      ++stats_.fault_events;
+      name = "instance fault";
+      break;
+    case ElasticReason::kRecover:
+      ++stats_.recover_events;
+      name = "instance recover";
+      break;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->instant(shard_lane(config_.shard_index),
+                     std::string(name) + " i" +
+                         std::to_string(config_.first_instance +
+                                        local_instance),
+                     "serving", now_us);
+  }
+}
+
+int FleetEngine::active_instances() const {
+  return dispatcher_.active_count();
+}
+
+double FleetEngine::total_busy_us() const {
+  return dispatcher_.total_busy_us();
+}
+
+bool FleetEngine::try_split_cell() {
+  if (static_cast<int>(cells_.size()) >= config_.max_cells) return false;
+  // Hottest splittable cell: most pending requests, ties toward the lowest
+  // index; a cell needs two distinct observed users to have a midpoint.
+  std::size_t target = 0;
+  std::size_t best_pending = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].min_seen >= cells_[i].max_seen) continue;
+    const std::size_t cell_pending = cells_[i].agg.pending();
+    if (!found || cell_pending > best_pending) {
+      target = i;
+      best_pending = cell_pending;
+      found = true;
+    }
+  }
+  if (!found) return false;
+  Cell& old_cell = cells_[target];
+  const int mid =
+      old_cell.min_seen + (old_cell.max_seen - old_cell.min_seen) / 2;
+  Cell fresh{mid + 1, std::numeric_limits<int>::max(), -1,
+             BatchAggregator(service_.capacities(),
+                             config_.batch_timeout_us)};
+  if (closed_) fresh.agg.close();
+  // Requests already queued stay in the old cell — only future arrivals
+  // route to the new one, so a split never reorders pending work.
+  old_cell.max_seen = mid;
+  cells_.insert(cells_.begin() + static_cast<std::ptrdiff_t>(target) + 1,
+                std::move(fresh));
+  ++stats_.reshard_splits;
+  if (tracer_ != nullptr) {
+    tracer_->instant(shard_lane(config_.shard_index),
+                     "reshard split @u" + std::to_string(mid + 1), "serving",
+                     clock_->now_us());
+  }
+  return true;
 }
 
 void FleetEngine::advance_to(double t_us) {
   const double before_us = clock_->now_us();
   const double after_us = clock_->sleep_until_us(t_us);
   stats_.depth_integral_us +=
-      static_cast<double>(aggregator_.pending()) * (after_us - before_us);
+      static_cast<double>(pending()) * (after_us - before_us);
 }
 
 ShardStats FleetEngine::take_stats() {
@@ -191,6 +315,11 @@ ServingStats merge_shard_stats(const std::vector<ShardStats>& shards,
     stats.completed += shard.completed;
     stats.batches += shard.batches;
     stats.sla_violations += shard.sla_violations;
+    stats.scale_up_events += shard.scale_up_events;
+    stats.scale_down_events += shard.scale_down_events;
+    stats.reshard_splits += shard.reshard_splits;
+    stats.fault_events += shard.fault_events;
+    stats.recover_events += shard.recover_events;
     stats.max_queue_depth =
         std::max(stats.max_queue_depth, shard.max_queue_depth);
     fill_sum += shard.fill_sum;
@@ -245,6 +374,12 @@ ServingStats merge_shard_stats(const std::vector<ShardStats>& shards,
     reg.counter("serving.fleet.batches").add(stats.batches);
     reg.counter("serving.fleet.sla_violations").add(stats.sla_violations);
     reg.counter("serving.fleet.resumed_shards").add(stats.resumed_shards);
+    reg.counter("serving.elastic.scale_up_events").add(stats.scale_up_events);
+    reg.counter("serving.elastic.scale_down_events")
+        .add(stats.scale_down_events);
+    reg.counter("serving.elastic.reshard_splits").add(stats.reshard_splits);
+    reg.counter("serving.elastic.fault_events").add(stats.fault_events);
+    reg.counter("serving.elastic.recover_events").add(stats.recover_events);
     if (obs::metrics_collection()) {
       static const std::vector<double> kLatencyBounds = {
           100,   200,   500,    1000,   2000,   5000,  10000,

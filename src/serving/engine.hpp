@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "obs/trace.hpp"
@@ -19,6 +20,12 @@
 #include "serving/stats.hpp"
 
 namespace fcad::serving {
+
+class ElasticController;
+
+/// Why an instance joined or left the active set — selects the counter and
+/// trace-instant name recorded for the transition.
+enum class ElasticReason { kScaleUp, kScaleDown, kFault, kRecover };
 
 /// Virtual-time lanes: shard event loops sit at tid = shard index, instance
 /// timelines at tid = 1000 + global instance id, so Perfetto renders shards
@@ -46,6 +53,13 @@ struct ShardStats {
   /// filled at merge time (it depends on the global makespan).
   std::vector<InstanceStats> instances;
   std::vector<RequestRecord> records;
+  /// Elastic-policy transitions observed by this shard (all zero on a
+  /// static fleet).
+  std::int64_t scale_up_events = 0;
+  std::int64_t scale_down_events = 0;
+  std::int64_t reshard_splits = 0;
+  std::int64_t fault_events = 0;
+  std::int64_t recover_events = 0;
 };
 
 /// One shard's serving engine. The caller owns the event loop: it decides
@@ -70,7 +84,13 @@ struct FleetEngineConfig {
   bool keep_records = false;
   int shard_index = 0;     ///< obs shard lane (tid = shard index)
   int first_instance = 0;  ///< global id of this engine's first instance
-  int instances = 1;
+  int instances = 1;       ///< provisioned slice size (active + headroom)
+  /// Instances active at time 0 (< 0 means all of them). The remainder of
+  /// the provisioned slice is the elastic layer's scale-up headroom.
+  int initial_active = -1;
+  /// Cap on the user-range cells dynamic resharding may split this shard
+  /// into (1 = the classic single-aggregator shard).
+  int max_cells = 1;
   /// Upper bound on requests this engine will see (TailTracker sizing and
   /// stream reservations). Live daemons pass a generous cap.
   std::int64_t expected_requests = 0;
@@ -92,6 +112,29 @@ class FleetEngine {
   Clock& clock() { return *clock_; }
 
   void set_batch_hook(BatchHook hook) { batch_hook_ = std::move(hook); }
+
+  /// Feeds completion latencies to the elastic controller's reshard
+  /// trigger; the controller must outlive the engine's event loop.
+  void set_controller(ElasticController* controller) {
+    controller_ = controller;
+  }
+
+  /// Moves `local_instance` in or out of the dispatchable set at the
+  /// current clock reading, bumping the counter and emitting the trace
+  /// instant `reason` selects. A deactivated busy instance finishes its
+  /// batch in flight and then idles.
+  void set_instance_active(int local_instance, bool on, ElasticReason reason);
+
+  int active_instances() const;
+  double total_busy_us() const;
+  int num_cells() const { return static_cast<int>(cells_.size()); }
+
+  /// Splits the splittable cell with the most pending work at the midpoint
+  /// of its observed user-id range; future arrivals for the upper half
+  /// route to the new cell (pending requests stay put — no migration, so
+  /// the split is a pure function of shard state). Returns false when no
+  /// cell has seen two distinct users or the max_cells cap is reached.
+  bool try_split_cell();
 
   /// Admits one request into its branch queue at the current clock reading.
   /// `r.arrival_us` must not be in the engine's future relative to earlier
@@ -118,9 +161,13 @@ class FleetEngine {
   void advance_to(double t_us);
 
   /// True once the stream is closed and every admitted request dispatched.
-  bool drained() const { return closed_ && aggregator_.pending() == 0; }
+  bool drained() const { return closed_ && pending() == 0; }
 
-  std::size_t pending() const { return aggregator_.pending(); }
+  std::size_t pending() const {
+    std::size_t total = 0;
+    for (const Cell& cell : cells_) total += cell.agg.pending();
+    return total;
+  }
   std::int64_t completed() const { return stats_.completed; }
   const TailTracker& tail() const { return tail_; }
   const ShardStats& stats() const { return stats_; }
@@ -130,15 +177,28 @@ class FleetEngine {
   ShardStats take_stats();
 
  private:
+  /// One user-range slice of the shard: users in [lo, next cell's lo) route
+  /// here. min/max_seen track the observed id range so a split lands at its
+  /// midpoint.
+  struct Cell {
+    int lo;
+    int min_seen;
+    int max_seen;
+    BatchAggregator agg;
+  };
+
+  Cell& route(int user);
+
   const ServiceModel& service_;
   FleetEngineConfig config_;
   Clock* clock_;
   obs::Tracer* tracer_;
-  BatchAggregator aggregator_;
+  std::vector<Cell> cells_;
   Dispatcher dispatcher_;
   TailTracker tail_;
   ShardStats stats_;
   BatchHook batch_hook_;
+  ElasticController* controller_ = nullptr;
   bool closed_ = false;
   double first_arrival_us_;
 };

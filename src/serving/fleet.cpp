@@ -72,8 +72,9 @@ struct ProgressSink {
 /// via `sink->scope`.
 StatusOr<ShardStats> run_shard(const ServiceModel& service,
                                const std::vector<Request>& requests,
-                               int shard_index, int first_instance,
-                               int instances, const FleetOptions& options,
+                               int shard_index, const ElasticSpec& elastic,
+                               const ShardElasticPlan& plan,
+                               const FleetOptions& options,
                                ProgressSink* sink) {
   const util::RunScope* scope = sink->scope;
   const std::unique_ptr<Clock> clock = make_clock(
@@ -87,8 +88,11 @@ StatusOr<ShardStats> run_shard(const ServiceModel& service,
   config.progress_tail_pct = options.progress_tail_pct;
   config.keep_records = options.keep_records;
   config.shard_index = shard_index;
-  config.first_instance = first_instance;
-  config.instances = instances;
+  config.first_instance = plan.first_instance;
+  config.instances = plan.provisioned;
+  config.initial_active = plan.initial_active;
+  config.max_cells =
+      elastic.reshard_enabled() ? elastic.reshard.max_cells : 1;
   config.expected_requests = static_cast<std::int64_t>(requests.size());
   FleetEngine engine(service, config, clock.get());
   engine.set_batch_hook([sink](const Batch& batch, int, double, double) {
@@ -96,6 +100,15 @@ StatusOr<ShardStats> run_shard(const ServiceModel& service,
         static_cast<std::int64_t>(batch.requests.size()),
         std::memory_order_relaxed);
   });
+
+  // The controller exists whenever a policy or fault schedule has work to
+  // do; its decisions are functions of shard-local state at virtual-time
+  // readings, so its presence never couples shards or threads.
+  std::optional<ElasticController> controller;
+  if (elastic.enabled() || !plan.faults.empty()) {
+    controller.emplace(elastic, plan, options.sla_bound_us);
+    engine.set_controller(&*controller);
+  }
 
   std::size_t next = 0;
   while (true) {
@@ -112,16 +125,24 @@ StatusOr<ShardStats> run_shard(const ServiceModel& service,
     }
     if (next >= requests.size()) engine.close();
 
+    if (controller) controller->tick(engine, engine.now_us());
     engine.dispatch_ready();
     sink->maybe_emit(engine.tail());
 
-    // Advance to the next event: an arrival, a batching deadline, or — when
+    // Advance to the next event: an arrival, a batching deadline, an
+    // elastic boundary (evaluation cadence or fault transition), or — when
     // a batch is ready but every instance is busy — an instance freeing up.
     double t_us = engine.next_event_us();
     if (next < requests.size()) {
       t_us = std::min(t_us, requests[next].arrival_us);
     }
-    if (t_us == kInf) break;
+    if (controller) {
+      t_us = std::min(t_us, controller->next_event_us(engine.now_us()));
+    }
+    // The controller's evaluation cadence stays finite after the work is
+    // done, so "no event left" alone no longer terminates the loop — the
+    // drained check does (it is exactly when t_us hit +inf before).
+    if ((next >= requests.size() && engine.drained()) || t_us == kInf) break;
     // Virtual time must advance strictly every iteration — an equal-time
     // event would loop forever on exact readings. A steady clock, by
     // contrast, keeps moving between calls, so the wall reading can
@@ -163,6 +184,11 @@ void shard_to_text(std::ostream& os, const ShardStats& shard) {
   os << "batches " << shard.batches << "\n";
   os << "sla_violations " << shard.sla_violations << "\n";
   os << "max_queue_depth " << shard.max_queue_depth << "\n";
+  os << "scale_up_events " << shard.scale_up_events << "\n";
+  os << "scale_down_events " << shard.scale_down_events << "\n";
+  os << "reshard_splits " << shard.reshard_splits << "\n";
+  os << "fault_events " << shard.fault_events << "\n";
+  os << "recover_events " << shard.recover_events << "\n";
   os << "fill_sum " << format_exact(shard.fill_sum) << "\n";
   os << "depth_integral_us " << format_exact(shard.depth_integral_us) << "\n";
   os << "makespan_us " << format_exact(shard.makespan_us) << "\n";
@@ -218,6 +244,16 @@ bool shard_from_text(std::istream& in, ShardStats& shard) {
       fields >> shard.sla_violations;
     } else if (key == "max_queue_depth") {
       fields >> shard.max_queue_depth;
+    } else if (key == "scale_up_events") {
+      fields >> shard.scale_up_events;
+    } else if (key == "scale_down_events") {
+      fields >> shard.scale_down_events;
+    } else if (key == "reshard_splits") {
+      fields >> shard.reshard_splits;
+    } else if (key == "fault_events") {
+      fields >> shard.fault_events;
+    } else if (key == "recover_events") {
+      fields >> shard.recover_events;
     } else if (key == "fill_sum") {
       fields >> shard.fill_sum;
     } else if (key == "depth_integral_us") {
@@ -272,9 +308,16 @@ bool shard_from_text(std::istream& in, ShardStats& shard) {
 /// so a virtual run may resume a cancelled wall-clock one and vice versa.
 std::string replay_fingerprint(const ServiceModel& service,
                                const std::vector<Request>& requests,
-                               const FleetOptions& options) {
+                               const FleetOptions& options,
+                               const ScenarioSpec& scenario,
+                               const ElasticSpec& elastic) {
   util::Hash128 h;
   h.absorb_string(kCheckpointMagic);
+  // Elastic policies and fault schedules change per-shard results, so a
+  // checkpoint from a different spec must never resume this run. The
+  // canonical strings are byte-stable (format_number round-trips exactly).
+  h.absorb_string(scenario_to_string(scenario));
+  h.absorb_string(elastic_to_string(elastic));
   h.absorb(service.branches.size());
   for (const BranchService& b : service.branches) {
     h.absorb(static_cast<std::uint64_t>(b.capacity));
@@ -455,6 +498,8 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
   if (service.num_branches() < 1) {
     return Status::invalid_argument("fleet: service model has no branches");
   }
+  if (Status s = validate_scenario(spec.scenario); !s.is_ok()) return s;
+  if (Status s = validate_elastic(spec.elastic); !s.is_ok()) return s;
   for (const Request& r : requests) {
     if (r.branch < 0 || r.branch >= service.num_branches()) {
       return Status::invalid_argument("fleet: request branch out of range");
@@ -468,9 +513,9 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
                    });
 
   // Static partition: user u -> shard u mod S (stable, so each shard's
-  // slice stays arrival-sorted); the instance pool splits into contiguous
-  // groups as even as possible, shard s starting at global instance id
-  // `starts[s]`.
+  // slice stays arrival-sorted); the *provisioned* instance pool splits
+  // into contiguous per-shard slices (with a disabled elastic spec the
+  // provisioned pool is exactly the active fleet — the classic split).
   const int num_shards = options.shards;
   std::vector<std::vector<Request>> shard_requests(
       static_cast<std::size_t>(num_shards));
@@ -478,18 +523,12 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
     shard_requests[static_cast<std::size_t>(r.user % num_shards)].push_back(
         r);
   }
-  std::vector<int> counts(static_cast<std::size_t>(num_shards));
-  std::vector<int> starts(static_cast<std::size_t>(num_shards));
-  {
-    const int base = options.instances / num_shards;
-    const int extra = options.instances % num_shards;
-    int start = 0;
-    for (int s = 0; s < num_shards; ++s) {
-      counts[static_cast<std::size_t>(s)] = base + (s < extra ? 1 : 0);
-      starts[static_cast<std::size_t>(s)] = start;
-      start += counts[static_cast<std::size_t>(s)];
-    }
-  }
+  auto plans_or = plan_elastic_shards(spec.elastic, spec.scenario.faults,
+                                      options.instances, num_shards);
+  if (!plans_or.is_ok()) return plans_or.status();
+  const std::vector<ShardElasticPlan>& plans = *plans_or;
+  const int provisioned_total =
+      plans.back().first_instance + plans.back().provisioned;
 
   const std::int64_t offered = static_cast<std::int64_t>(sorted.size());
 
@@ -499,7 +538,8 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
   std::string fingerprint;
   int resumed = 0;
   if (!options.checkpoint_path.empty()) {
-    fingerprint = replay_fingerprint(service, sorted, options);
+    fingerprint = replay_fingerprint(service, sorted, options, spec.scenario,
+                                     spec.elastic);
     resumed = load_checkpoint(options.checkpoint_path, fingerprint, slots);
   }
 
@@ -522,7 +562,7 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
     const auto index = static_cast<std::size_t>(s);
     if (slots[index]) return;  // resumed from the checkpoint
     auto result = run_shard(service, shard_requests[index],
-                            static_cast<int>(s), starts[index], counts[index],
+                            static_cast<int>(s), spec.elastic, plans[index],
                             options, &sink);
     if (!result.is_ok()) {
       shard_status[index] = result.status();
@@ -571,7 +611,7 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
   for (auto& slot : slots) shards.push_back(std::move(*slot));
   ServingStats stats = merge_shard_stats(shards, service,
                                          options.sla_bound_us,
-                                         options.instances, resumed);
+                                         provisioned_total, resumed);
 
   FCAD_CHECK_MSG(stats.completed == stats.offered,
                  "fleet: lost requests in flight");
@@ -608,7 +648,7 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
   if (workload.branches == workload_defaults.branches) {
     workload.branches = service.num_branches();
   }
-  auto requests = generate_workload(workload);
+  auto requests = generate_scenario_workload(workload, spec.scenario);
   if (!requests.is_ok()) return requests.status();
   return simulate_fleet(service, *requests, spec, scope);
 }

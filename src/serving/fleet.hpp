@@ -24,6 +24,8 @@
 
 #include "serving/batcher.hpp"
 #include "serving/clock.hpp"
+#include "serving/elastic.hpp"
+#include "serving/scenario.hpp"
 #include "serving/service.hpp"
 #include "serving/stats.hpp"
 #include "serving/workload.hpp"
@@ -105,6 +107,16 @@ struct ServeSpec {
   FleetOptions fleet;
   SlaOptions sla;
   ClockKind clock = ClockKind::kVirtual;
+  /// Traffic drift shaped over the workload (diurnal/flash/churn) and the
+  /// instance fault schedule. The workload-generating simulate_fleet
+  /// overload applies the arrival shapes; the fault schedule applies in
+  /// every mode (trace-driven included).
+  ScenarioSpec scenario;
+  /// Elastic policies: autoscaling over the provisioned pool
+  /// (fleet.instances active initially, autoscale.max_instances the cap)
+  /// and shard-local dynamic resharding. Disabled by default — the static
+  /// fleet is the `none` elastic spec.
+  ElasticSpec elastic;
 };
 
 /// Folds the spec-level SLA bound and clock into the FleetOptions the event
@@ -140,20 +152,5 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
 StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
                                       const ServeSpec& spec,
                                       const util::RunScope* scope = nullptr);
-
-/// One-release shim for the pre-ServeSpec call shape. The FleetOptions-only
-/// entry point is removed next release; build a ServeSpec instead.
-[[deprecated(
-    "pass a serving::ServeSpec; the FleetOptions-only simulate_fleet "
-    "entry point is removed next release")]]
-inline StatusOr<ServingStats> simulate_fleet(
-    const ServiceModel& service, const std::vector<Request>& workload,
-    const FleetOptions& options, const util::RunScope* scope = nullptr) {
-  ServeSpec spec;
-  spec.fleet = options;
-  spec.sla.p99_bound_us = options.sla_bound_us;
-  spec.clock = options.clock;
-  return simulate_fleet(service, workload, spec, scope);
-}
 
 }  // namespace fcad::serving

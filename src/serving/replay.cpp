@@ -67,6 +67,19 @@ StatusOr<ReplayJob> replay_job_from_args(const ArgParser& args) {
   if (!clock.is_ok()) return clock.status();
   job.spec.clock = *clock;
 
+  auto scenario = scenario_from_string(args.get("scenario", "none"));
+  if (!scenario.is_ok()) {
+    return Status::invalid_argument("--scenario: " +
+                                    scenario.status().message());
+  }
+  job.spec.scenario = *scenario;
+  auto elastic = elastic_from_string(args.get("elastic", "none"));
+  if (!elastic.is_ok()) {
+    return Status::invalid_argument("--elastic: " +
+                                    elastic.status().message());
+  }
+  job.spec.elastic = *elastic;
+
   auto cancel_at = args.get_double("cancel-at", 0.0);
   if (!cancel_at.is_ok()) return cancel_at.status();
   job.cancel_at = *cancel_at;
@@ -85,7 +98,7 @@ int run_replay_cli(const ServiceModel& service, const ReplayJob& job) {
   // The decisions artifact is the per-request record stream.
   if (!job.decisions_path.empty()) spec.fleet.keep_records = true;
 
-  auto trace = generate_workload(spec.workload);
+  auto trace = generate_scenario_workload(spec.workload, spec.scenario);
   if (!trace.is_ok()) {
     std::fprintf(stderr, "error: %s\n", trace.status().to_string().c_str());
     return 1;
@@ -110,6 +123,13 @@ int run_replay_cli(const ServiceModel& service, const ReplayJob& job) {
               spec.fleet.threads > 0
                   ? std::to_string(spec.fleet.threads).c_str()
                   : "all");
+  if (spec.scenario.enabled()) {
+    std::printf("scenario: %s\n",
+                scenario_to_string(spec.scenario).c_str());
+  }
+  if (spec.elastic.enabled()) {
+    std::printf("elastic: %s\n", elastic_to_string(spec.elastic).c_str());
+  }
 
   // Wall timing through the serving time-source API (replay.cpp is grep-
   // gated against std::chrono like the rest of src/serving).
@@ -207,6 +227,16 @@ int run_replay_cli(const ServiceModel& service, const ReplayJob& job) {
     json.key("clock").value(to_string(job.spec.clock));
     json.key("via_daemon").value(job.via_daemon);
     json.key("shed").value(shed);
+    // Elastic summary keys the CI jq gates consume directly: the canonical
+    // spec strings plus event totals and the p99's margin to the SLA bound
+    // (negative = inside the bound).
+    json.key("scenario").value(scenario_to_string(spec.scenario));
+    json.key("elastic").value(elastic_to_string(spec.elastic));
+    json.key("scale_events")
+        .value(stats->scale_up_events + stats->scale_down_events);
+    json.key("reshard_events").value(stats->reshard_splits);
+    json.key("sla_p99_delta_us")
+        .value(stats->latency.p99 - stats->sla_bound_us);
     json.key("stats");
     serving_stats_json(json, *stats);
     json.end_object();

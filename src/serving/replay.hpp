@@ -41,7 +41,10 @@ struct ReplayJob {
 /// Parses the shared --replay flag set (--replay N --users --frame-rate
 /// --seed --instances --shards --threads --policy --timeout-us
 /// --switch-penalty-us --sla-ms --tail-pct --clock --checkpoint --cancel-at
-/// --csv --json --decisions) into a job. Callers set via_daemon/admission
+/// --scenario --elastic --csv --json --decisions) into a job. --scenario
+/// takes the scenario_to_string grammar (diurnal/flash/churn/fault
+/// clauses), --elastic the elastic_to_string grammar (scale/reshard
+/// clauses); both default to "none". Callers set via_daemon/admission
 /// themselves.
 StatusOr<ReplayJob> replay_job_from_args(const ArgParser& args);
 

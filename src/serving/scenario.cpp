@@ -1,0 +1,421 @@
+#include "serving/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <queue>
+#include <sstream>
+
+namespace fcad::serving {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+/// Salt decorrelating the acceptance rng tree from the candidate-draw tree.
+constexpr std::uint64_t kAcceptSalt = 0x9e3779b97f4a7c15ULL;
+
+/// Shortest decimal form that parses back to exactly `v` ("inf" for
+/// infinity) — keeps canonical scenario strings human-typable while staying
+/// byte-stable for fingerprinting.
+std::string format_number(double v) {
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  if (std::strtod(buf, nullptr) == v) return buf;
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+StatusOr<double> parse_number(const std::string& text) {
+  if (text == "inf") return std::numeric_limits<double>::infinity();
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::invalid_argument("scenario: bad number '" + text + "'");
+  }
+  return v;
+}
+
+std::string trim(const std::string& text) {
+  std::size_t lo = text.find_first_not_of(" \t");
+  if (lo == std::string::npos) return "";
+  std::size_t hi = text.find_last_not_of(" \t");
+  return text.substr(lo, hi - lo + 1);
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(trim(text.substr(start)));
+      return parts;
+    }
+    parts.push_back(trim(text.substr(start, pos - start)));
+    start = pos + 1;
+  }
+}
+
+/// Per-user activity windows derived from churn (base users) or a flash
+/// window (extra users). An empty list means always active.
+struct ActivityWindows {
+  std::vector<std::pair<double, double>> windows_us;
+
+  bool active_at(double t_us) const {
+    if (windows_us.empty()) return true;
+    for (const auto& [lo, hi] : windows_us) {
+      if (t_us >= lo && t_us < hi) return true;
+    }
+    return false;
+  }
+  /// Time after which the user can never emit again (µs).
+  double horizon_us() const {
+    if (windows_us.empty()) return std::numeric_limits<double>::infinity();
+    double hi = 0;
+    for (const auto& w : windows_us) hi = std::max(hi, w.second);
+    return hi;
+  }
+};
+
+/// One thinned user stream: candidates at the peak rate from the same fork
+/// the plain generator would use, accepted with probability mult(t)/peak.
+struct ThinnedStream {
+  UserStream candidates;
+  Rng accept;
+  ActivityWindows activity;
+
+  ThinnedStream(UserStream stream, Rng accept_rng, ActivityWindows windows)
+      : candidates(std::move(stream)),
+        accept(std::move(accept_rng)),
+        activity(std::move(windows)) {}
+};
+
+}  // namespace
+
+int ScenarioSpec::extra_users() const {
+  int total = 0;
+  for (const auto& f : flash) total += f.extra_users;
+  return total;
+}
+
+Status validate_scenario(const ScenarioSpec& spec) {
+  if (spec.diurnal.period_s > 0) {
+    if (spec.diurnal.amplitude < 0 || spec.diurnal.amplitude >= 1) {
+      return Status::invalid_argument(
+          "scenario: diurnal amplitude must be in [0, 1)");
+    }
+    if (spec.diurnal.phase < 0 || spec.diurnal.phase >= 1) {
+      return Status::invalid_argument(
+          "scenario: diurnal phase must be in [0, 1)");
+    }
+  }
+  for (const auto& f : spec.flash) {
+    if (f.start_s < 0 || f.end_s <= f.start_s) {
+      return Status::invalid_argument(
+          "scenario: flash window needs end > start >= 0");
+    }
+    if (!std::isfinite(f.end_s)) {
+      return Status::invalid_argument("scenario: flash end must be finite");
+    }
+    if (f.rate_multiplier <= 0) {
+      return Status::invalid_argument(
+          "scenario: flash rate multiplier must be > 0");
+    }
+    if (f.extra_users < 0) {
+      return Status::invalid_argument("scenario: flash users must be >= 0");
+    }
+    if (f.rate_multiplier == 1 && f.extra_users == 0) {
+      return Status::invalid_argument(
+          "scenario: flash window has no effect (rate=1, users=0)");
+    }
+  }
+  for (const auto& c : spec.churn) {
+    if (c.user < 0) {
+      return Status::invalid_argument("scenario: churn user must be >= 0");
+    }
+    if (c.join_s < 0 || c.leave_s <= c.join_s) {
+      return Status::invalid_argument(
+          "scenario: churn needs leave > join >= 0");
+    }
+  }
+  for (const auto& fault : spec.faults) {
+    if (fault.instance < 0) {
+      return Status::invalid_argument(
+          "scenario: fault instance must be >= 0");
+    }
+    // Rejecting non-recovering faults up front guarantees a shard can
+    // never lose its whole instance slice forever and stall the replay.
+    if (fault.fail_s < 0 || fault.recover_s <= fault.fail_s ||
+        !std::isfinite(fault.recover_s)) {
+      return Status::invalid_argument(
+          "scenario: fault needs finite recover > fail >= 0");
+    }
+  }
+  return Status::ok();
+}
+
+double scenario_rate_multiplier(const ScenarioSpec& spec, double t_us) {
+  const double t_s = t_us * 1e-6;
+  double mult = 1.0;
+  if (spec.diurnal.period_s > 0) {
+    mult *= 1.0 + spec.diurnal.amplitude *
+                      std::sin(2.0 * kPi *
+                               (t_s / spec.diurnal.period_s +
+                                spec.diurnal.phase));
+  }
+  for (const auto& f : spec.flash) {
+    if (t_s >= f.start_s && t_s < f.end_s) mult *= f.rate_multiplier;
+  }
+  return mult;
+}
+
+std::string scenario_to_string(const ScenarioSpec& spec) {
+  std::ostringstream out;
+  bool first = true;
+  auto clause = [&](const std::string& text) {
+    if (!first) out << ";";
+    out << text;
+    first = false;
+  };
+  if (spec.diurnal.period_s > 0) {
+    clause("diurnal:period=" + format_number(spec.diurnal.period_s) +
+           ",amp=" + format_number(spec.diurnal.amplitude) +
+           ",phase=" + format_number(spec.diurnal.phase));
+  }
+  for (const auto& f : spec.flash) {
+    clause("flash:start=" + format_number(f.start_s) +
+           ",end=" + format_number(f.end_s) +
+           ",rate=" + format_number(f.rate_multiplier) +
+           ",users=" + std::to_string(f.extra_users));
+  }
+  for (const auto& c : spec.churn) {
+    clause("churn:user=" + std::to_string(c.user) +
+           ",join=" + format_number(c.join_s) +
+           ",leave=" + format_number(c.leave_s));
+  }
+  for (const auto& fault : spec.faults) {
+    clause("fault:instance=" + std::to_string(fault.instance) +
+           ",fail=" + format_number(fault.fail_s) +
+           ",recover=" + format_number(fault.recover_s));
+  }
+  if (first) return "none";
+  return out.str();
+}
+
+StatusOr<ScenarioSpec> scenario_from_string(const std::string& text) {
+  ScenarioSpec spec;
+  const std::string trimmed = trim(text);
+  if (trimmed.empty() || trimmed == "none") return spec;
+  for (const std::string& clause : split(trimmed, ';')) {
+    if (clause.empty()) continue;
+    const std::size_t colon = clause.find(':');
+    if (colon == std::string::npos) {
+      return Status::invalid_argument(
+          "scenario: clause '" + clause + "' is missing ':'");
+    }
+    const std::string kind = trim(clause.substr(0, colon));
+    // Collect key=value pairs first, then map them onto the clause kind.
+    std::vector<std::pair<std::string, double>> kv;
+    for (const std::string& pair : split(clause.substr(colon + 1), ',')) {
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        return Status::invalid_argument(
+            "scenario: expected key=value, got '" + pair + "'");
+      }
+      auto value = parse_number(trim(pair.substr(eq + 1)));
+      if (!value.is_ok()) return value.status();
+      kv.emplace_back(trim(pair.substr(0, eq)), value.value());
+    }
+    auto take = [&](const std::string& key, double* out) -> bool {
+      for (auto it = kv.begin(); it != kv.end(); ++it) {
+        if (it->first == key) {
+          *out = it->second;
+          kv.erase(it);
+          return true;
+        }
+      }
+      return false;
+    };
+    if (kind == "diurnal") {
+      DiurnalSpec d;
+      if (!take("period", &d.period_s)) {
+        return Status::invalid_argument("scenario: diurnal needs period=");
+      }
+      take("amp", &d.amplitude);
+      take("phase", &d.phase);
+      spec.diurnal = d;
+    } else if (kind == "flash") {
+      FlashCrowdSpec f;
+      double users = 0;
+      if (!take("start", &f.start_s) || !take("end", &f.end_s)) {
+        return Status::invalid_argument("scenario: flash needs start=,end=");
+      }
+      take("rate", &f.rate_multiplier);
+      if (take("users", &users)) f.extra_users = static_cast<int>(users);
+      spec.flash.push_back(f);
+    } else if (kind == "churn") {
+      ChurnEvent c;
+      double user = 0;
+      if (!take("user", &user)) {
+        return Status::invalid_argument("scenario: churn needs user=");
+      }
+      c.user = static_cast<int>(user);
+      take("join", &c.join_s);
+      take("leave", &c.leave_s);
+      spec.churn.push_back(c);
+    } else if (kind == "fault") {
+      InstanceFault fault;
+      double instance = 0;
+      if (!take("instance", &instance) || !take("fail", &fault.fail_s) ||
+          !take("recover", &fault.recover_s)) {
+        return Status::invalid_argument(
+            "scenario: fault needs instance=,fail=,recover=");
+      }
+      fault.instance = static_cast<int>(instance);
+      spec.faults.push_back(fault);
+    } else {
+      return Status::invalid_argument(
+          "scenario: unknown clause kind '" + kind + "'");
+    }
+    if (!kv.empty()) {
+      return Status::invalid_argument("scenario: unknown key '" +
+                                      kv.front().first + "' in clause '" +
+                                      kind + "'");
+    }
+  }
+  if (Status s = validate_scenario(spec); !s.is_ok()) return s;
+  return spec;
+}
+
+StatusOr<std::vector<Request>> generate_scenario_workload(
+    const WorkloadOptions& options, const ScenarioSpec& spec) {
+  if (Status s = validate_workload_options(options); !s.is_ok()) return s;
+  if (Status s = validate_scenario(spec); !s.is_ok()) return s;
+  // Faults do not touch arrivals; a fault-only (or empty) spec must stay
+  // bit-identical to the plain generator, so it IS the plain generator.
+  if (!spec.shapes_arrivals()) return generate_workload(options);
+  if (options.process == ArrivalProcess::kTrace) {
+    return Status::invalid_argument(
+        "scenario: shaped arrivals require a generated process, not a trace");
+  }
+
+  // Peak multiplier for thinning: the diurnal crest times every flash
+  // window's boost (windows may overlap, and max(1, m) bounds any subset
+  // product from above). Candidates are drawn at rate * peak and accepted
+  // with probability multiplier(t) / peak.
+  double peak = spec.diurnal.period_s > 0 ? 1.0 + spec.diurnal.amplitude : 1.0;
+  for (const auto& f : spec.flash) peak *= std::max(1.0, f.rate_multiplier);
+
+  // Base users fork from the root in the same order as generate_workload,
+  // so the candidate rng tree is independent of the scenario. Extra flash
+  // users fork afterwards; acceptance draws come from a separate tree.
+  const bool bursty = options.process == ArrivalProcess::kBursty;
+  Rng root(options.seed);
+  Rng accept_root(options.seed ^ kAcceptSalt);
+  std::vector<ThinnedStream> streams;
+  const int total_users = options.users + spec.extra_users();
+  streams.reserve(static_cast<std::size_t>(total_users));
+  for (int user = 0; user < options.users; ++user) {
+    ActivityWindows activity;
+    for (const auto& c : spec.churn) {
+      if (c.user == user) {
+        activity.windows_us.emplace_back(c.join_s * 1e6, c.leave_s * 1e6);
+      }
+    }
+    streams.emplace_back(
+        UserStream(root.fork(static_cast<std::uint64_t>(user) + 1),
+                   options.frame_rate_hz * peak,
+                   bursty ? options.burst_on_s : 0.0,
+                   bursty ? options.burst_off_s : 0.0, options.burst_factor),
+        accept_root.fork(static_cast<std::uint64_t>(user) + 1), activity);
+  }
+  int next_extra = options.users;
+  for (const auto& f : spec.flash) {
+    for (int j = 0; j < f.extra_users; ++j, ++next_extra) {
+      ActivityWindows activity;
+      activity.windows_us.emplace_back(f.start_s * 1e6, f.end_s * 1e6);
+      streams.emplace_back(
+          UserStream(root.fork(static_cast<std::uint64_t>(next_extra) + 1),
+                     options.frame_rate_hz * peak,
+                     bursty ? options.burst_on_s : 0.0,
+                     bursty ? options.burst_off_s : 0.0,
+                     options.burst_factor),
+          accept_root.fork(static_cast<std::uint64_t>(next_extra) + 1),
+          activity);
+    }
+  }
+
+  // Frame events as (arrival_us, user) pairs.
+  std::vector<std::pair<double, int>> events;
+  auto accept = [&](ThinnedStream& stream, double t_us) {
+    const double draw = stream.accept.next_double();
+    return stream.activity.active_at(t_us) &&
+           draw < scenario_rate_multiplier(spec, t_us) / peak;
+  };
+  if (options.target_requests > 0) {
+    const std::int64_t events_needed =
+        (options.target_requests + options.branches - 1) / options.branches;
+    std::priority_queue<std::pair<double, int>,
+                        std::vector<std::pair<double, int>>,
+                        std::greater<std::pair<double, int>>>
+        heap;
+    for (int user = 0; user < total_users; ++user) {
+      auto& stream = streams[static_cast<std::size_t>(user)];
+      const double t = stream.candidates.next(stream.activity.horizon_us());
+      // A stream past its last activity window can never emit again; keep
+      // it out of the heap so exhausted extra/churned users cost nothing.
+      if (t < stream.activity.horizon_us()) heap.push({t, user});
+    }
+    events.reserve(static_cast<std::size_t>(events_needed));
+    while (static_cast<std::int64_t>(events.size()) < events_needed) {
+      if (heap.empty()) {
+        return Status::invalid_argument(
+            "scenario: target_requests unreachable — every user stream ends "
+            "before enough events are accepted");
+      }
+      const auto [t_us, user] = heap.top();
+      heap.pop();
+      auto& stream = streams[static_cast<std::size_t>(user)];
+      if (accept(stream, t_us)) events.emplace_back(t_us, user);
+      const double t = stream.candidates.next(stream.activity.horizon_us());
+      if (t < stream.activity.horizon_us()) heap.push({t, user});
+    }
+  } else {
+    const double horizon_us = options.duration_s * 1e6;
+    for (int user = 0; user < total_users; ++user) {
+      auto& stream = streams[static_cast<std::size_t>(user)];
+      const double user_horizon_us =
+          std::min(horizon_us, stream.activity.horizon_us());
+      while (true) {
+        const double t_us = stream.candidates.next(user_horizon_us);
+        if (t_us >= user_horizon_us) break;
+        if (accept(stream, t_us)) events.emplace_back(t_us, user);
+      }
+    }
+    std::sort(events.begin(), events.end());
+  }
+
+  // Branch fan-out with dense ids, identical to generate_workload's tail.
+  std::vector<Request> workload;
+  workload.reserve(events.size() * static_cast<std::size_t>(options.branches));
+  std::int64_t id = 0;
+  for (const auto& [t_us, user] : events) {
+    for (int branch = 0; branch < options.branches; ++branch) {
+      Request r;
+      r.id = id++;
+      r.user = user;
+      r.branch = branch;
+      r.arrival_us = t_us;
+      workload.push_back(r);
+    }
+  }
+  if (options.target_requests > 0 &&
+      static_cast<std::int64_t>(workload.size()) > options.target_requests) {
+    workload.resize(static_cast<std::size_t>(options.target_requests));
+  }
+  return workload;
+}
+
+}  // namespace fcad::serving

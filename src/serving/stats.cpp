@@ -150,6 +150,20 @@ std::string serving_report(const ServingStats& stats) {
                  format_percent(stats.sla_violation_rate, 2) + ")"});
   t.add_row({"SLA met (p99 <= bound)", stats.sla_met ? "yes" : "no"});
   t.add_separator();
+  const bool elastic = stats.scale_up_events > 0 ||
+                       stats.scale_down_events > 0 ||
+                       stats.reshard_splits > 0 || stats.fault_events > 0 ||
+                       stats.recover_events > 0;
+  if (elastic) {
+    t.add_row({"scale up / down events",
+               format_int(stats.scale_up_events) + " / " +
+                   format_int(stats.scale_down_events)});
+    t.add_row({"reshard splits", format_int(stats.reshard_splits)});
+    t.add_row({"faults / recoveries",
+               format_int(stats.fault_events) + " / " +
+                   format_int(stats.recover_events)});
+    t.add_separator();
+  }
   t.add_row({"fleet utilization", format_percent(stats.fleet_utilization, 1)});
   for (const auto& inst : stats.instances) {
     t.add_row({"  instance " + std::to_string(inst.instance),
@@ -166,7 +180,8 @@ std::vector<std::string> serving_csv_header(std::vector<std::string> keys) {
         "latency_p50_us", "latency_p95_us", "latency_p99_us", "latency_max_us",
         "queue_wait_p99_us", "batches", "mean_batch_fill", "mean_queue_depth",
         "max_queue_depth", "sla_bound_us", "sla_violation_rate", "sla_met",
-        "fleet_utilization"}) {
+        "fleet_utilization", "scale_up_events", "scale_down_events",
+        "reshard_splits", "fault_events", "recover_events"}) {
     keys.emplace_back(col);
   }
   return keys;
@@ -192,6 +207,11 @@ std::vector<std::string> serving_csv_row(std::vector<std::string> keys,
   keys.push_back(num(stats.sla_violation_rate));
   keys.push_back(stats.sla_met ? "1" : "0");
   keys.push_back(num(stats.fleet_utilization));
+  keys.push_back(std::to_string(stats.scale_up_events));
+  keys.push_back(std::to_string(stats.scale_down_events));
+  keys.push_back(std::to_string(stats.reshard_splits));
+  keys.push_back(std::to_string(stats.fault_events));
+  keys.push_back(std::to_string(stats.recover_events));
   return keys;
 }
 
@@ -212,6 +232,11 @@ void serving_stats_json(JsonWriter& json, const ServingStats& stats) {
   json.key("sla_met").value(stats.sla_met);
   json.key("sla_violation_rate").value(stats.sla_violation_rate);
   json.key("fleet_utilization").value(stats.fleet_utilization);
+  json.key("scale_up_events").value(stats.scale_up_events);
+  json.key("scale_down_events").value(stats.scale_down_events);
+  json.key("reshard_splits").value(stats.reshard_splits);
+  json.key("fault_events").value(stats.fault_events);
+  json.key("recover_events").value(stats.recover_events);
   json.key("branch_completed").begin_array();
   for (std::int64_t n : stats.branch_completed) json.value(n);
   json.end_array();
@@ -287,6 +312,11 @@ void serving_stats_to_text(std::ostream& os, const ServingStats& stats) {
      << "\n";
   os << "sla_met " << (stats.sla_met ? 1 : 0) << "\n";
   os << "fleet_utilization " << format_exact(stats.fleet_utilization) << "\n";
+  os << "scale_up_events " << stats.scale_up_events << "\n";
+  os << "scale_down_events " << stats.scale_down_events << "\n";
+  os << "reshard_splits " << stats.reshard_splits << "\n";
+  os << "fault_events " << stats.fault_events << "\n";
+  os << "recover_events " << stats.recover_events << "\n";
   os << "branch_completed " << stats.branch_completed.size();
   for (std::int64_t n : stats.branch_completed) os << " " << n;
   os << "\n";
@@ -362,6 +392,16 @@ StatusOr<ServingStats> serving_stats_from_text(std::istream& in,
       stats.sla_met = met == 1;
     } else if (key == "fleet_utilization") {
       fields >> stats.fleet_utilization;
+    } else if (key == "scale_up_events") {
+      fields >> stats.scale_up_events;
+    } else if (key == "scale_down_events") {
+      fields >> stats.scale_down_events;
+    } else if (key == "reshard_splits") {
+      fields >> stats.reshard_splits;
+    } else if (key == "fault_events") {
+      fields >> stats.fault_events;
+    } else if (key == "recover_events") {
+      fields >> stats.recover_events;
     } else if (key == "branch_completed") {
       std::size_t n = 0;
       fields >> n;

@@ -108,6 +108,13 @@ struct ServingStats {
   bool sla_met = false;  ///< p99 latency within the bound
 
   double fleet_utilization = 0;  ///< mean instance utilization
+  /// Elastic-policy events summed over shards (all zero on a static fleet):
+  /// autoscaler joins/leaves, cell splits, and fault/recover transitions.
+  std::int64_t scale_up_events = 0;
+  std::int64_t scale_down_events = 0;
+  std::int64_t reshard_splits = 0;
+  std::int64_t fault_events = 0;
+  std::int64_t recover_events = 0;
   std::vector<InstanceStats> instances;
   /// Requests completed per decoder branch (index = branch id).
   std::vector<std::int64_t> branch_completed;

@@ -16,67 +16,6 @@ double next_exponential(Rng& rng, double mean) {
   return -mean * std::log(1.0 - rng.next_double());
 }
 
-/// One user's (possibly modulated) Poisson arrival stream, drawn lazily —
-/// the single copy of the draw sequence behind both generators: the
-/// duration-bounded path passes its horizon so an overshooting draw ends
-/// the stream exactly like the original generator did, while the
-/// target-request path passes none and keeps drawing until the caller has
-/// enough events. `rate_hz` applies during "on" phases; a non-positive
-/// `off_mean_s` disables modulation (plain Poisson).
-struct UserStream {
-  UserStream(Rng rng_in, double rate_hz, double on_mean_s, double off_mean_s,
-             double factor)
-      : rng(std::move(rng_in)),
-        rate_hz(rate_hz),
-        on_mean_s(on_mean_s),
-        off_mean_s(off_mean_s),
-        burst_factor(factor),
-        modulated(off_mean_s > 0) {
-    phase_end_us = modulated
-                       ? next_exponential(rng, on_mean_s) * 1e6
-                       : std::numeric_limits<double>::infinity();
-  }
-
-  /// Next event time, or a value >= `horizon_us` once a draw overshoots the
-  /// horizon (the stream is then finished; do not call again).
-  double next(double horizon_us = std::numeric_limits<double>::infinity()) {
-    while (true) {
-      const double rate =
-          on ? rate_hz * (modulated ? burst_factor : 1.0) : 0.0;
-      if (rate <= 0) {
-        // Silent phase: jump straight to its end.
-        t_us = phase_end_us;
-      } else {
-        t_us += next_exponential(rng, 1.0 / rate) * 1e6;
-      }
-      // The horizon check precedes the phase handling on purpose — it pins
-      // the original generator's behavior, where a draw crossing the
-      // horizon ends the stream even when a phase boundary lies before it.
-      if (t_us >= horizon_us) return t_us;
-      if (modulated && t_us >= phase_end_us) {
-        // The draw crossed a phase boundary; restart it inside the new
-        // phase.
-        t_us = phase_end_us;
-        on = !on;
-        phase_end_us =
-            t_us + next_exponential(rng, on ? on_mean_s : off_mean_s) * 1e6;
-        continue;
-      }
-      return t_us;
-    }
-  }
-
-  Rng rng;
-  double rate_hz;
-  double on_mean_s;
-  double off_mean_s;
-  double burst_factor;
-  bool modulated;
-  double t_us = 0;
-  bool on = true;
-  double phase_end_us = 0;
-};
-
 /// Appends one user's frame-event times up to `horizon_us`.
 void poisson_stream(Rng rng, double rate_hz, double horizon_us,
                     double on_mean_s, double off_mean_s, double burst_factor,
@@ -91,6 +30,44 @@ void poisson_stream(Rng rng, double rate_hz, double horizon_us,
 }
 
 }  // namespace
+
+UserStream::UserStream(Rng rng_in, double rate_hz, double on_mean_s,
+                       double off_mean_s, double factor)
+    : rng(std::move(rng_in)),
+      rate_hz(rate_hz),
+      on_mean_s(on_mean_s),
+      off_mean_s(off_mean_s),
+      burst_factor(factor),
+      modulated(off_mean_s > 0) {
+  phase_end_us = modulated ? next_exponential(rng, on_mean_s) * 1e6
+                           : std::numeric_limits<double>::infinity();
+}
+
+double UserStream::next(double horizon_us) {
+  while (true) {
+    const double rate = on ? rate_hz * (modulated ? burst_factor : 1.0) : 0.0;
+    if (rate <= 0) {
+      // Silent phase: jump straight to its end.
+      t_us = phase_end_us;
+    } else {
+      t_us += next_exponential(rng, 1.0 / rate) * 1e6;
+    }
+    // The horizon check precedes the phase handling on purpose — it pins
+    // the original generator's behavior, where a draw crossing the
+    // horizon ends the stream even when a phase boundary lies before it.
+    if (t_us >= horizon_us) return t_us;
+    if (modulated && t_us >= phase_end_us) {
+      // The draw crossed a phase boundary; restart it inside the new
+      // phase.
+      t_us = phase_end_us;
+      on = !on;
+      phase_end_us =
+          t_us + next_exponential(rng, on ? on_mean_s : off_mean_s) * 1e6;
+      continue;
+    }
+    return t_us;
+  }
+}
 
 const char* to_string(ArrivalProcess process) {
   switch (process) {
@@ -113,8 +90,7 @@ StatusOr<ArrivalProcess> arrival_process_by_name(const std::string& name) {
   return Status::not_found("unknown arrival process '" + name + "'");
 }
 
-StatusOr<std::vector<Request>> generate_workload(
-    const WorkloadOptions& options) {
+Status validate_workload_options(const WorkloadOptions& options) {
   if (options.users < 1) {
     return Status::invalid_argument("workload: users must be >= 1");
   }
@@ -137,16 +113,24 @@ StatusOr<std::vector<Request>> generate_workload(
       return Status::invalid_argument("workload: duration_s must be > 0");
     }
   }
-  if (options.process == ArrivalProcess::kBursty &&
-      (options.burst_on_s <= 0 || options.burst_off_s <= 0 ||
-       options.burst_factor <= 0)) {
+  // Checked for every process, not only kBursty: a zero phase would be
+  // silently ignored until the process flips to bursty and then hang the
+  // generator, so it is rejected at the spec boundary instead.
+  if (options.burst_on_s <= 0 || options.burst_off_s <= 0 ||
+      options.burst_factor <= 0) {
     return Status::invalid_argument(
-        "workload: bursty phases and factor must be > 0");
+        "workload: burst_on_s/burst_off_s/burst_factor must be > 0");
   }
   if (options.process == ArrivalProcess::kTrace &&
       options.trace_arrivals_us.empty()) {
     return Status::invalid_argument("workload: trace arrivals are empty");
   }
+  return Status::ok();
+}
+
+StatusOr<std::vector<Request>> generate_workload(
+    const WorkloadOptions& options) {
+  if (Status s = validate_workload_options(options); !s.is_ok()) return s;
 
   // Frame events as (arrival_us, user) pairs.
   std::vector<std::pair<double, int>> events;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -67,10 +68,44 @@ struct WorkloadOptions {
   std::int64_t target_requests = 0;
 };
 
+/// Validates every WorkloadOptions field: users/branches >= 1,
+/// target_requests >= 0 (and only with a generated process), positive
+/// rate/horizon for generated processes, positive burst phases and factor
+/// (checked regardless of the selected process — a silently ignored
+/// `burst_off_s = 0` would turn into an infinite loop the moment the
+/// process switches to kBursty), and a non-empty trace for kTrace.
+Status validate_workload_options(const WorkloadOptions& options);
+
 /// Generates the request stream, sorted by arrival time with dense ids.
-/// Fails on non-positive users/branches/rates/horizon or an empty trace for
-/// kTrace. Deterministic for a fixed seed.
+/// Fails on any validate_workload_options violation. Deterministic for a
+/// fixed seed.
 StatusOr<std::vector<Request>> generate_workload(const WorkloadOptions& options);
+
+/// One user's (possibly modulated) Poisson arrival stream, drawn lazily —
+/// the single copy of the draw sequence behind generate_workload and the
+/// scenario generator (scenario.cpp): both must draw a user's candidate
+/// events from the same decorrelated fork so per-user arrivals stay
+/// deterministic whichever generator consumes them. `rate_hz` applies
+/// during "on" phases; a non-positive `off_mean_s` disables modulation
+/// (plain Poisson).
+struct UserStream {
+  UserStream(Rng rng_in, double rate_hz, double on_mean_s, double off_mean_s,
+             double factor);
+
+  /// Next event time, or a value >= `horizon_us` once a draw overshoots the
+  /// horizon (the stream is then finished; do not call again).
+  double next(double horizon_us = std::numeric_limits<double>::infinity());
+
+  Rng rng;
+  double rate_hz;
+  double on_mean_s;
+  double off_mean_s;
+  double burst_factor;
+  bool modulated;
+  double t_us = 0;
+  bool on = true;
+  double phase_end_us = 0;
+};
 
 /// Offered load in requests/second of `workload` over its span.
 double offered_rate_rps(const std::vector<Request>& workload);

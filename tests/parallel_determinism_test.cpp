@@ -309,6 +309,73 @@ TEST(ParallelDeterminismTest, FleetShardedReplayIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ParallelDeterminismTest, ElasticFleetReplayIdenticalAcrossThreadCounts) {
+  // The elastic contract: autoscaling, resharding, and the fault schedule
+  // are shard-local decisions at virtual-time boundaries, so a drift
+  // scenario replays bit-identically for any pool size at every pinned
+  // shard layout — including the elastic event counters themselves.
+  serving::WorkloadOptions wl;
+  wl.users = 8;
+  wl.branches = 2;
+  wl.frame_rate_hz = 40;
+  wl.duration_s = 3.0;
+  wl.seed = 21;
+  serving::ScenarioSpec scenario;
+  serving::FlashCrowdSpec flash;
+  flash.start_s = 0.5;
+  flash.end_s = 2.0;
+  flash.rate_multiplier = 3.0;
+  flash.extra_users = 4;
+  scenario.flash.push_back(flash);
+  serving::InstanceFault fault;
+  fault.instance = 1;
+  fault.fail_s = 0.8;
+  fault.recover_s = 1.6;
+  scenario.faults.push_back(fault);
+  auto workload = serving::generate_scenario_workload(wl, scenario);
+  ASSERT_TRUE(workload.is_ok());
+  serving::ServiceModel service;
+  service.branches = {{2, 3000.0}, {4, 5000.0}};
+
+  for (int shards : {1, 2, 4}) {
+    serving::ServeSpec spec;
+    spec.fleet.instances = 4;
+    spec.fleet.shards = shards;
+    spec.sla.p99_bound_us = 25000;
+    spec.scenario = scenario;
+    spec.elastic.autoscale.max_instances = 12;
+    spec.elastic.autoscale.high_watermark = 0.6;
+    spec.elastic.autoscale.low_watermark = 0.2;
+    spec.elastic.autoscale.window_us = 100000;
+    spec.elastic.autoscale.cooldown_us = 100000;
+    spec.elastic.reshard.p99_fraction = 0.6;
+    spec.elastic.reshard.window = 64;
+    spec.elastic.reshard.cooldown_us = 200000;
+
+    spec.fleet.threads = kThreadCounts.front();
+    auto baseline = serving::simulate_fleet(service, *workload, spec);
+    ASSERT_TRUE(baseline.is_ok());
+    EXPECT_EQ(baseline->completed, baseline->offered);
+    EXPECT_GT(baseline->scale_up_events, 0) << "shards " << shards;
+    EXPECT_EQ(baseline->fault_events, 1);
+    EXPECT_EQ(baseline->recover_events, 1);
+    const std::vector<std::string> baseline_row =
+        serving::serving_csv_row({}, *baseline);
+    for (std::size_t t = 1; t < kThreadCounts.size(); ++t) {
+      spec.fleet.threads = kThreadCounts[t];
+      auto other = serving::simulate_fleet(service, *workload, spec);
+      ASSERT_TRUE(other.is_ok());
+      EXPECT_EQ(serving::serving_csv_row({}, *other), baseline_row)
+          << "shards " << shards << ", threads " << kThreadCounts[t];
+      EXPECT_EQ(other->scale_up_events, baseline->scale_up_events);
+      EXPECT_EQ(other->scale_down_events, baseline->scale_down_events);
+      EXPECT_EQ(other->reshard_splits, baseline->reshard_splits);
+      EXPECT_EQ(other->latency.p99, baseline->latency.p99);
+      EXPECT_EQ(other->branch_completed, baseline->branch_completed);
+    }
+  }
+}
+
 /// Installs an ambient tracer (and optionally bulk metrics collection) for
 /// one scope, uninstalling on destruction even when an EXPECT fails.
 class ScopedObservation {

@@ -1212,24 +1212,38 @@ TEST(ServeSpecTest, SteadyClockReplayPacesTheTraceInRealTime) {
   EXPECT_GT(steady_run->latency.p99, 0);
 }
 
-TEST(ServeSpecTest, DeprecatedFleetOptionsEntryPointStillForwards) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const ServiceModel service = make_service({{1, 2000.0}});
-  std::vector<Request> workload = {make_request(0, 0, 0),
-                                   make_request(1, 0, 0)};
-  FleetOptions options;
-  options.instances = 1;
-  options.sla_bound_us = 2500;
-  auto via_shim = simulate_fleet(service, workload, options);
-  ASSERT_TRUE(via_shim.is_ok());
+TEST(ServeSpecTest, BurstParametersValidatedForEveryProcess) {
+  // Satellite of the elastic-serving PR: a zero burst phase used to be
+  // silently ignored until the process flipped to kBursty — it is now
+  // rejected at the spec boundary regardless of the selected process.
+  WorkloadOptions options;
+  options.process = ArrivalProcess::kPoisson;
+  options.burst_off_s = 0;
+  auto generated = generate_workload(options);
+  ASSERT_FALSE(generated.is_ok());
+  EXPECT_EQ(generated.status().code(), StatusCode::kInvalidArgument);
 
-  ServeSpec spec;
-  spec.fleet = options;
-  auto via_spec = simulate_fleet(service, workload, spec);
-  ASSERT_TRUE(via_spec.is_ok());
-  EXPECT_EQ(serving_csv_row({}, *via_shim), serving_csv_row({}, *via_spec));
-#pragma GCC diagnostic pop
+  options.burst_off_s = 0.2;
+  options.burst_factor = -1;
+  EXPECT_FALSE(validate_workload_options(options).is_ok());
+  options.burst_factor = 2.0;
+  options.burst_on_s = 0;
+  EXPECT_FALSE(validate_workload_options(options).is_ok());
+  options.burst_on_s = 0.2;
+  EXPECT_TRUE(validate_workload_options(options).is_ok());
+}
+
+TEST(ServeSpecTest, TraceWithTargetRequestsRejected) {
+  WorkloadOptions options;
+  options.process = ArrivalProcess::kTrace;
+  options.trace_arrivals_us = {0, 100, 200};
+  options.target_requests = 10;
+  auto generated = generate_workload(options);
+  ASSERT_FALSE(generated.is_ok());
+  EXPECT_EQ(generated.status().code(), StatusCode::kInvalidArgument);
+
+  options.target_requests = 0;
+  EXPECT_TRUE(generate_workload(options).is_ok());
 }
 
 }  // namespace
