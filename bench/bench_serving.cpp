@@ -21,6 +21,17 @@
 //     --elastic layers the autoscale/reshard policy on the fleet; both are
 //     deterministic and fold into the checkpoint fingerprint.
 //
+//   bench_serving --replay <requests> --stream [--latency-mode sketch]
+//                 [--process-shard i/N] / bench_serving --replay <requests>
+//                 --merge <a,b,...>
+//     Billion-request path: --stream generates each shard's arrivals
+//     lazily (the workload vector never exists), --latency-mode sketch
+//     swaps exact latency streams for mergeable quantile sketches (O(1)
+//     memory per shard, quantiles within 0.1% relative error), and
+//     --process-shard i/N splits the shard ranges across N independent
+//     processes whose binary v2 checkpoints --merge folds into stats
+//     bit-identical to the single-process run.
+//
 //   bench_serving --traffic-cache <dir>
 //     Runs an SLA-aware kTraffic search through core::Pipeline with the
 //     spec-hash artifact cache under <dir>: the first run searches and

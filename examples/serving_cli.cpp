@@ -92,6 +92,15 @@ void usage() {
       "  --elastic <spec>       elastic fleet policy (scale:max=..,high=..,\n"
       "                         low=..,window_us=..;reshard:frac=..,\n"
       "                         window=..,cells=..; default none)\n"
+      "  --latency-mode <m>     exact (default) | sketch: mergeable\n"
+      "                         quantile sketches, O(1) memory per shard —\n"
+      "                         the billion-request mode\n"
+      "  --stream               generate the workload lazily per shard\n"
+      "                         (never materialized; needs --replay N)\n"
+      "  --process-shard i/N    this process owns shard range i of N\n"
+      "                         (implies --stream; needs --checkpoint)\n"
+      "  --merge <a,b,...>      fold N --process-shard checkpoints into the\n"
+      "                         final stats instead of simulating\n"
       "output:\n"
       "  --csv <file>           write the scenario matrix as CSV\n"
       "  --json                 print a machine-readable JSON report "

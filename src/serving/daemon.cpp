@@ -313,8 +313,9 @@ StatusOr<DaemonResult> Daemon::run_trace(const std::vector<Request>& trace,
   }
 
   DaemonResult result;
-  result.stats = merge_shard_stats(shards, service_, options.sla_bound_us,
-                                   provisioned_total, 0);
+  result.stats = merge_shard_stats(std::move(shards), service_,
+                                   options.sla_bound_us, provisioned_total,
+                                   0);
   for (std::int64_t s : shard_shed) result.shed += s;
   obs::MetricsRegistry::global()
       .counter("serving.daemon.shed_requests")
@@ -565,8 +566,9 @@ StatusOr<DaemonResult> Daemon::serve() {
   DaemonResult result;
   std::vector<ShardStats> shards;
   shards.push_back(engine.take_stats());
-  result.stats = merge_shard_stats(shards, service_, options.sla_bound_us,
-                                   plan.provisioned, 0);
+  result.stats = merge_shard_stats(std::move(shards), service_,
+                                   options.sla_bound_us, plan.provisioned,
+                                   0);
   result.shed = shed;
   return result;
 }

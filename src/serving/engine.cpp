@@ -30,7 +30,12 @@ FleetEngine::FleetEngine(const ServiceModel& service,
       tracer_(obs::tracer()),
       dispatcher_(config.policy, config.instances, service.num_branches(),
                   config.initial_active),
-      tail_(config.expected_requests, config.progress_tail_pct),
+      // Sketch mode disables the tracker (partial_tail reads the sketch), so
+      // its O(expected) tail reserve never happens on billion-request runs.
+      tail_(config.latency_mode == LatencyMode::kSketch
+                ? 0
+                : config.expected_requests,
+            config.progress_tail_pct),
       first_arrival_us_(kInf) {
   cells_.reserve(static_cast<std::size_t>(std::max(1, config.max_cells)));
   cells_.push_back(Cell{0, std::numeric_limits<int>::max(), -1,
@@ -52,9 +57,18 @@ FleetEngine::FleetEngine(const ServiceModel& service,
   }
   stats_.branch_completed.assign(
       static_cast<std::size_t>(service.num_branches()), 0);
-  stats_.latencies.reserve(
-      static_cast<std::size_t>(config.expected_requests));
-  stats_.waits.reserve(static_cast<std::size_t>(config.expected_requests));
+  stats_.latency_mode = config.latency_mode;
+  if (config.latency_mode == LatencyMode::kSketch) {
+    stats_.latency_sketch = QuantileSketch(config.sketch_seed);
+    stats_.wait_sketch = QuantileSketch(config.sketch_seed);
+  } else {
+    // A hint, not a commitment: capped so a huge expected_requests never
+    // front-loads an allocation the exact streams grow into anyway.
+    const auto reserve = static_cast<std::size_t>(std::min<std::int64_t>(
+        config.expected_requests, std::int64_t{1} << 22));
+    stats_.latencies.reserve(reserve);
+    stats_.waits.reserve(reserve);
+  }
 }
 
 FleetEngine::Cell& FleetEngine::route(int user) {
@@ -135,9 +149,14 @@ void FleetEngine::dispatch_ready() {
     stats_.makespan_us = std::max(stats_.makespan_us, finish_us);
     for (const Request& r : batch.requests) {
       const double latency = finish_us - r.arrival_us;
-      stats_.latencies.push_back(latency);
-      stats_.waits.push_back(now_us - r.arrival_us);
-      tail_.add(latency);
+      if (config_.latency_mode == LatencyMode::kSketch) {
+        stats_.latency_sketch.add(latency);
+        stats_.wait_sketch.add(now_us - r.arrival_us);
+      } else {
+        stats_.latencies.push_back(latency);
+        stats_.waits.push_back(now_us - r.arrival_us);
+        tail_.add(latency);
+      }
       if (controller_ != nullptr) controller_->on_complete(latency);
       if (latency > config_.sla_bound_us) ++stats_.sla_violations;
       ++stats_.completed;
@@ -216,6 +235,14 @@ void FleetEngine::set_instance_active(int local_instance, bool on,
   }
 }
 
+double FleetEngine::partial_tail() const {
+  if (config_.latency_mode == LatencyMode::kSketch) {
+    if (stats_.latency_sketch.count() == 0) return 0;
+    return stats_.latency_sketch.quantile(config_.progress_tail_pct);
+  }
+  return tail_.partial();
+}
+
 int FleetEngine::active_instances() const {
   return dispatcher_.active_count();
 }
@@ -292,7 +319,7 @@ ShardStats FleetEngine::take_stats() {
   return std::move(stats_);
 }
 
-ServingStats merge_shard_stats(const std::vector<ShardStats>& shards,
+ServingStats merge_shard_stats(std::vector<ShardStats> shards,
                                const ServiceModel& service,
                                double sla_bound_us, int total_instances,
                                int resumed_shards) {
@@ -301,16 +328,42 @@ ServingStats merge_shard_stats(const std::vector<ShardStats>& shards,
   stats.branch_completed.assign(
       static_cast<std::size_t>(service.num_branches()), 0);
   stats.resumed_shards = resumed_shards;
+  const bool sketch_mode =
+      !shards.empty() &&
+      shards.front().latency_mode == LatencyMode::kSketch;
+  stats.latency_mode =
+      sketch_mode ? LatencyMode::kSketch : LatencyMode::kExact;
   std::size_t total = 0;
-  for (const ShardStats& shard : shards) total += shard.latencies.size();
+  std::size_t record_total = 0;
+  for (const ShardStats& shard : shards) {
+    total += shard.latencies.size();
+    record_total += shard.records.size();
+  }
   std::vector<double> latencies;
   std::vector<double> waits;
   latencies.reserve(total);
   waits.reserve(total);
+  stats.records.reserve(record_total);
+  QuantileSketch latency_sketch;
+  QuantileSketch wait_sketch;
+  // Exact-mode histograms are bound up front and fed from the same append
+  // pass that builds the merged streams — no second traversal. The registry
+  // snapshot is name-sorted, so binding order never shows in the export.
+  obs::Histogram* latency_hist = nullptr;
+  obs::Histogram* wait_hist = nullptr;
+  static const std::vector<double> kLatencyBounds = {
+      100,   200,   500,    1000,   2000,   5000,  10000,
+      20000, 50000, 100000, 200000, 500000, 1e6};
+  if (obs::metrics_collection() && !sketch_mode) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    latency_hist = &reg.histogram("serving.latency_us", kLatencyBounds);
+    wait_hist = &reg.histogram("serving.queue_wait_us", kLatencyBounds);
+  }
   double fill_sum = 0;
   double depth_integral_us = 0;
   double makespan_us = 0;
-  for (const ShardStats& shard : shards) {
+  bool first_sketch = true;
+  for (ShardStats& shard : shards) {
     stats.offered += shard.offered;
     stats.completed += shard.completed;
     stats.batches += shard.batches;
@@ -325,14 +378,38 @@ ServingStats merge_shard_stats(const std::vector<ShardStats>& shards,
     fill_sum += shard.fill_sum;
     depth_integral_us += shard.depth_integral_us;
     makespan_us = std::max(makespan_us, shard.makespan_us);
-    latencies.insert(latencies.end(), shard.latencies.begin(),
-                     shard.latencies.end());
-    waits.insert(waits.end(), shard.waits.begin(), shard.waits.end());
+    if (sketch_mode) {
+      if (first_sketch) {
+        latency_sketch = std::move(shard.latency_sketch);
+        wait_sketch = std::move(shard.wait_sketch);
+        first_sketch = false;
+      } else {
+        FCAD_CHECK_MSG(
+            latency_sketch.merge(shard.latency_sketch).is_ok() &&
+                wait_sketch.merge(shard.wait_sketch).is_ok(),
+            "merge_shard_stats: shard sketches disagree on seed/alpha");
+      }
+    } else {
+      for (double v : shard.latencies) {
+        if (latency_hist != nullptr) latency_hist->observe(v);
+        latencies.push_back(v);
+      }
+      for (double v : shard.waits) {
+        if (wait_hist != nullptr) wait_hist->observe(v);
+        waits.push_back(v);
+      }
+    }
+    // Free each consumed stream as we go so peak memory stays ~1x the
+    // merged streams rather than source + destination together.
+    std::vector<double>().swap(shard.latencies);
+    std::vector<double>().swap(shard.waits);
     for (std::size_t j = 0; j < shard.branch_completed.size(); ++j) {
       stats.branch_completed[j] += shard.branch_completed[j];
     }
-    stats.records.insert(stats.records.end(), shard.records.begin(),
-                         shard.records.end());
+    stats.records.insert(stats.records.end(),
+                         std::make_move_iterator(shard.records.begin()),
+                         std::make_move_iterator(shard.records.end()));
+    std::vector<RequestRecord>().swap(shard.records);
   }
 
   stats.makespan_us = makespan_us;
@@ -340,8 +417,16 @@ ServingStats merge_shard_stats(const std::vector<ShardStats>& shards,
       makespan_us > 0
           ? static_cast<double>(stats.completed) / (makespan_us * 1e-6)
           : 0;
-  stats.latency = summarize(std::move(latencies));
-  stats.queue_wait = summarize(std::move(waits));
+  if (sketch_mode) {
+    stats.latency = summarize(latency_sketch);
+    stats.queue_wait = summarize(wait_sketch);
+    stats.sketch_compactions =
+        latency_sketch.compactions() + wait_sketch.compactions();
+    stats.sketch_buckets = latency_sketch.buckets() + wait_sketch.buckets();
+  } else {
+    stats.latency = summarize(std::move(latencies));
+    stats.queue_wait = summarize(std::move(waits));
+  }
   stats.mean_batch_fill =
       stats.batches > 0 ? fill_sum / static_cast<double>(stats.batches) : 0;
   stats.mean_queue_depth =
@@ -380,17 +465,16 @@ ServingStats merge_shard_stats(const std::vector<ShardStats>& shards,
     reg.counter("serving.elastic.reshard_splits").add(stats.reshard_splits);
     reg.counter("serving.elastic.fault_events").add(stats.fault_events);
     reg.counter("serving.elastic.recover_events").add(stats.recover_events);
+    if (sketch_mode) {
+      // Sketch mode replaces the per-request histograms (which would defeat
+      // the bounded-memory point) with sketch health counters.
+      reg.counter("serving.sketch.observations")
+          .add(latency_sketch.count() + wait_sketch.count());
+      reg.counter("serving.sketch.compactions").add(stats.sketch_compactions);
+    }
     if (obs::metrics_collection()) {
-      static const std::vector<double> kLatencyBounds = {
-          100,   200,   500,    1000,   2000,   5000,  10000,
-          20000, 50000, 100000, 200000, 500000, 1e6};
-      obs::Histogram& latency_hist =
-          reg.histogram("serving.latency_us", kLatencyBounds);
-      obs::Histogram& wait_hist =
-          reg.histogram("serving.queue_wait_us", kLatencyBounds);
-      for (const ShardStats& shard : shards) {
-        for (double v : shard.latencies) latency_hist.observe(v);
-        for (double v : shard.waits) wait_hist.observe(v);
+      if (sketch_mode) {
+        reg.gauge("serving.sketch.buckets").set(stats.sketch_buckets);
       }
       reg.gauge("serving.fleet.throughput_rps").set(stats.throughput_rps);
       reg.gauge("serving.fleet.utilization").set(stats.fleet_utilization);

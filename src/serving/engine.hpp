@@ -17,6 +17,7 @@
 #include "serving/clock.hpp"
 #include "serving/dispatch.hpp"
 #include "serving/service.hpp"
+#include "serving/sketch.hpp"
 #include "serving/stats.hpp"
 
 namespace fcad::serving {
@@ -46,8 +47,14 @@ struct ShardStats {
   double fill_sum = 0;
   double depth_integral_us = 0;
   double makespan_us = 0;
+  /// Exact mode: the full per-request streams. Sketch mode: both vectors
+  /// stay empty and the two sketches below carry the distributions in O(1)
+  /// memory per shard.
   std::vector<double> latencies;
   std::vector<double> waits;
+  LatencyMode latency_mode = LatencyMode::kExact;
+  QuantileSketch latency_sketch;
+  QuantileSketch wait_sketch;
   std::vector<std::int64_t> branch_completed;
   /// Per-instance counters with *global* instance ids; utilization is
   /// filled at merge time (it depends on the global makespan).
@@ -94,6 +101,11 @@ struct FleetEngineConfig {
   /// Upper bound on requests this engine will see (TailTracker sizing and
   /// stream reservations). Live daemons pass a generous cap.
   std::int64_t expected_requests = 0;
+  /// kSketch replaces the exact latency/wait streams (and the TailTracker)
+  /// with bounded-memory quantile sketches seeded by `sketch_seed` — the
+  /// billion-request mode. The default keeps today's exact accounting.
+  LatencyMode latency_mode = LatencyMode::kExact;
+  std::uint64_t sketch_seed = 0;
 };
 
 class FleetEngine {
@@ -170,6 +182,10 @@ class FleetEngine {
   }
   std::int64_t completed() const { return stats_.completed; }
   const TailTracker& tail() const { return tail_; }
+  /// Partial progress-tail estimate over completions so far: the exact
+  /// TailTracker value in exact mode, the sketch quantile in sketch mode
+  /// (where the tracker is disabled to keep memory bounded).
+  double partial_tail() const;
   const ShardStats& stats() const { return stats_; }
 
   /// Finalizes per-instance counters and the shard overview trace span,
@@ -206,9 +222,14 @@ class FleetEngine {
 /// Index-ordered merge of per-shard streams into the final ServingStats:
 /// concatenation and sums over shards 0..S-1, utilization filled from the
 /// global makespan — a pure function of the shard results, never of thread
-/// timing. Also exports the obs metrics for the run (request/batch/SLA
-/// counters always; histograms and gauges under obs::metrics_collection()).
-ServingStats merge_shard_stats(const std::vector<ShardStats>& shards,
+/// timing. Takes the shards by value: the exact-mode latency/wait/record
+/// streams are appended in one pre-sized pass and each source freed as it
+/// is consumed, so peak memory stays ~1x the merged streams instead of 2x.
+/// In sketch mode the per-shard sketches fold instead (order-independent,
+/// byte-stable). Also exports the obs metrics for the run (request/batch/
+/// SLA counters always; histograms and gauges under
+/// obs::metrics_collection(); sketch counters in sketch mode).
+ServingStats merge_shard_stats(std::vector<ShardStats> shards,
                                const ServiceModel& service,
                                double sla_bound_us, int total_instances,
                                int resumed_shards);

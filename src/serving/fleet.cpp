@@ -14,9 +14,12 @@
 #include <sstream>
 #include <utility>
 
+#include <cstring>
+
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serving/engine.hpp"
+#include "serving/stream.hpp"
 #include "util/format.hpp"
 #include "util/hash.hpp"
 #include "util/log.hpp"
@@ -27,6 +30,10 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr const char* kCheckpointMagic = "fcad-fleet-checkpoint v1";
+/// Binary checkpoint v2 leading/trailing magics (sketch-mode replays).
+constexpr char kBinaryMagic[8] = {'F', 'C', 'A', 'D', 'F', 'L', 'T', '2'};
+constexpr std::uint32_t kBinaryVersion = 2;
+constexpr std::uint32_t kBinaryTrailer = 0x32544c46;  // "FLT2"
 
 /// Progress plumbing shared by every shard: a global completion counter
 /// drives the ~20-tick cadence; the emitting shard supplies its local
@@ -48,37 +55,93 @@ struct ProgressSink {
     last_emitted.store(step, std::memory_order_relaxed);
   }
 
-  /// The tail tracker is passed, not its value: partial() costs O(tail),
-  /// and this is called once per event-loop iteration — only a due tick
-  /// (at most ~20 per replay) may pay for the estimate.
-  void maybe_emit(const TailTracker& tail) {
+  /// The engine is passed, not its tail value: partial_tail() costs O(tail)
+  /// (or a sketch walk), and this is called once per event-loop iteration —
+  /// only a due tick (at most ~20 per replay) may pay for the estimate.
+  void maybe_emit(const FleetEngine& engine) {
     if (scope == nullptr || chunk <= 0) return;
     const std::int64_t c = completed.load(std::memory_order_relaxed);
     if (c < next_at.load(std::memory_order_relaxed)) return;
     std::lock_guard<std::mutex> lock(mutex);
     if (c < next_at.load(std::memory_order_relaxed)) return;  // lost the race
-    emit(c, tail.partial());
+    emit(c, engine.partial_tail());
     next_at.store((c / chunk + 1) * chunk, std::memory_order_relaxed);
   }
 };
 
-/// One shard's event-driven replay: `requests` (arrival-sorted) over
-/// `instances` servers whose global ids start at `first_instance`, run
-/// through the shared FleetEngine on this shard's own clock — VirtualClock
-/// jumps between events (bit-exact, reproducible), SteadyClock paces them
-/// at their trace timestamps in real time, so recorded dispatch times and
-/// latencies include genuine scheduler jitter — that is the point of wall
-/// mode, not a defect. The only failure mode is cooperative cancellation
-/// via `sink->scope`.
+/// Pull interface the shard event loop consumes arrivals through — either a
+/// materialized arrival-sorted slice (VectorSource) or a lazily generated
+/// stream filtered down to the shard's users (StreamShardSource).
+class RequestSource {
+ public:
+  virtual ~RequestSource() = default;
+  /// Next arrival without consuming it; nullptr once exhausted. Stable
+  /// until the next pop().
+  virtual const Request* peek() = 0;
+  virtual void pop() = 0;
+};
+
+class VectorSource final : public RequestSource {
+ public:
+  explicit VectorSource(const std::vector<Request>& requests)
+      : requests_(requests) {}
+
+  const Request* peek() override {
+    return next_ < requests_.size() ? &requests_[next_] : nullptr;
+  }
+  void pop() override { ++next_; }
+
+ private:
+  const std::vector<Request>& requests_;
+  std::size_t next_ = 0;
+};
+
+/// Filters a full-workload stream down to `user % num_shards == shard`,
+/// buffering one request — the shard sees exactly the slice the static
+/// partition in simulate_fleet would hand it, without the workload ever
+/// being materialized.
+class StreamShardSource final : public RequestSource {
+ public:
+  StreamShardSource(RequestStream& stream, int shard, int num_shards)
+      : stream_(stream), shard_(shard), num_shards_(num_shards) {}
+
+  const Request* peek() override {
+    while (!buffered_) {
+      std::optional<Request> r = stream_.next();
+      if (!r) return nullptr;
+      if (r->user % num_shards_ == shard_) buffered_ = *r;
+    }
+    return &*buffered_;
+  }
+  void pop() override { buffered_.reset(); }
+
+ private:
+  RequestStream& stream_;
+  int shard_;
+  int num_shards_;
+  std::optional<Request> buffered_;
+};
+
+/// One shard's event-driven replay: arrivals pulled from `source` (in
+/// non-decreasing time order) over `instances` servers whose global ids
+/// start at `first_instance`, run through the shared FleetEngine on this
+/// shard's own clock — VirtualClock jumps between events (bit-exact,
+/// reproducible), SteadyClock paces them at their trace timestamps in real
+/// time, so recorded dispatch times and latencies include genuine scheduler
+/// jitter — that is the point of wall mode, not a defect. The only failure
+/// mode is cooperative cancellation via `sink->scope`.
 StatusOr<ShardStats> run_shard(const ServiceModel& service,
-                               const std::vector<Request>& requests,
+                               RequestSource& source,
+                               std::int64_t expected_requests,
                                int shard_index, const ElasticSpec& elastic,
                                const ShardElasticPlan& plan,
                                const FleetOptions& options,
+                               std::uint64_t sketch_seed,
                                ProgressSink* sink) {
   const util::RunScope* scope = sink->scope;
-  const std::unique_ptr<Clock> clock = make_clock(
-      options.clock, requests.empty() ? 0 : requests.front().arrival_us);
+  const Request* first = source.peek();
+  const std::unique_ptr<Clock> clock =
+      make_clock(options.clock, first != nullptr ? first->arrival_us : 0);
 
   FleetEngineConfig config;
   config.policy = options.policy;
@@ -93,7 +156,9 @@ StatusOr<ShardStats> run_shard(const ServiceModel& service,
   config.initial_active = plan.initial_active;
   config.max_cells =
       elastic.reshard_enabled() ? elastic.reshard.max_cells : 1;
-  config.expected_requests = static_cast<std::int64_t>(requests.size());
+  config.expected_requests = expected_requests;
+  config.latency_mode = options.latency_mode;
+  config.sketch_seed = sketch_seed;
   FleetEngine engine(service, config, clock.get());
   engine.set_batch_hook([sink](const Batch& batch, int, double, double) {
     sink->completed.fetch_add(
@@ -110,7 +175,6 @@ StatusOr<ShardStats> run_shard(const ServiceModel& service,
     engine.set_controller(&*controller);
   }
 
-  std::size_t next = 0;
   while (true) {
     if (scope != nullptr && scope->should_stop()) {
       return Status::cancelled("fleet replay cancelled after " +
@@ -118,23 +182,24 @@ StatusOr<ShardStats> run_shard(const ServiceModel& service,
                                std::to_string(sink->offered) + " requests");
     }
     // Ingest every arrival due by the clock reading.
-    while (next < requests.size() &&
-           requests[next].arrival_us <= engine.now_us()) {
-      engine.enqueue(requests[next]);
-      ++next;
+    while (const Request* r = source.peek()) {
+      if (r->arrival_us > engine.now_us()) break;
+      engine.enqueue(*r);
+      source.pop();
     }
-    if (next >= requests.size()) engine.close();
+    const Request* upcoming = source.peek();
+    if (upcoming == nullptr) engine.close();
 
     if (controller) controller->tick(engine, engine.now_us());
     engine.dispatch_ready();
-    sink->maybe_emit(engine.tail());
+    sink->maybe_emit(engine);
 
     // Advance to the next event: an arrival, a batching deadline, an
     // elastic boundary (evaluation cadence or fault transition), or — when
     // a batch is ready but every instance is busy — an instance freeing up.
     double t_us = engine.next_event_us();
-    if (next < requests.size()) {
-      t_us = std::min(t_us, requests[next].arrival_us);
+    if (upcoming != nullptr) {
+      t_us = std::min(t_us, upcoming->arrival_us);
     }
     if (controller) {
       t_us = std::min(t_us, controller->next_event_us(engine.now_us()));
@@ -142,7 +207,7 @@ StatusOr<ShardStats> run_shard(const ServiceModel& service,
     // The controller's evaluation cadence stays finite after the work is
     // done, so "no event left" alone no longer terminates the loop — the
     // drained check does (it is exactly when t_us hit +inf before).
-    if ((next >= requests.size() && engine.drained()) || t_us == kInf) break;
+    if ((upcoming == nullptr && engine.drained()) || t_us == kInf) break;
     // Virtual time must advance strictly every iteration — an equal-time
     // event would loop forever on exact readings. A steady clock, by
     // contrast, keeps moving between calls, so the wall reading can
@@ -301,18 +366,10 @@ bool shard_from_text(std::istream& in, ShardStats& shard) {
   return false;  // ran out of lines before shard_end
 }
 
-/// Fingerprint binding a checkpoint to its exact run: the service model,
-/// the full request stream, and every result-affecting fleet option. A
-/// mismatch means "different replay" — the checkpoint is ignored. The clock
-/// kind is deliberately absent: it paces events without changing results,
-/// so a virtual run may resume a cancelled wall-clock one and vice versa.
-std::string replay_fingerprint(const ServiceModel& service,
-                               const std::vector<Request>& requests,
+void absorb_common_fingerprint(util::Hash128& h, const ServiceModel& service,
                                const FleetOptions& options,
                                const ScenarioSpec& scenario,
                                const ElasticSpec& elastic) {
-  util::Hash128 h;
-  h.absorb_string(kCheckpointMagic);
   // Elastic policies and fault schedules change per-shard results, so a
   // checkpoint from a different spec must never resume this run. The
   // canonical strings are byte-stable (format_number round-trips exactly).
@@ -330,13 +387,61 @@ std::string replay_fingerprint(const ServiceModel& service,
   h.absorb_double(options.sla_bound_us);
   h.absorb(static_cast<std::uint64_t>(options.shards));
   h.absorb(static_cast<std::uint64_t>(options.keep_records));
-  h.absorb(requests.size());
-  for (const Request& r : requests) {
-    h.absorb(static_cast<std::uint64_t>(r.id));
-    h.absorb(static_cast<std::uint64_t>(r.user));
-    h.absorb(static_cast<std::uint64_t>(r.branch));
-    h.absorb_double(r.arrival_us);
+  h.absorb(static_cast<std::uint64_t>(options.latency_mode));
+}
+
+/// Fingerprint binding a checkpoint to its exact run: the service model,
+/// the full request stream (hashed shard slice by shard slice, in shard
+/// order), and every result-affecting fleet option. A mismatch means
+/// "different replay" — the checkpoint is ignored. The clock kind is
+/// deliberately absent: it paces events without changing results, so a
+/// virtual run may resume a cancelled wall-clock one and vice versa.
+/// process_index/process_count are likewise absent — the point of the
+/// multi-process mode is that every process (and the final merge) agrees on
+/// one fingerprint.
+std::string replay_fingerprint(
+    const ServiceModel& service,
+    const std::vector<std::vector<Request>>& shard_requests,
+    const FleetOptions& options, const ScenarioSpec& scenario,
+    const ElasticSpec& elastic) {
+  util::Hash128 h;
+  h.absorb_string(kCheckpointMagic);
+  absorb_common_fingerprint(h, service, options, scenario, elastic);
+  h.absorb(shard_requests.size());
+  for (const std::vector<Request>& shard : shard_requests) {
+    h.absorb(shard.size());
+    for (const Request& r : shard) {
+      h.absorb(static_cast<std::uint64_t>(r.id));
+      h.absorb(static_cast<std::uint64_t>(r.user));
+      h.absorb(static_cast<std::uint64_t>(r.branch));
+      h.absorb_double(r.arrival_us);
+    }
   }
+  return h.hex();
+}
+
+/// Streaming-replay twin: the request stream is a pure function of the
+/// workload + scenario parameters, so hashing those (instead of a stream the
+/// whole point is never to materialize) binds the checkpoint just as
+/// tightly.
+std::string stream_fingerprint(const ServiceModel& service,
+                               const WorkloadOptions& workload,
+                               const FleetOptions& options,
+                               const ScenarioSpec& scenario,
+                               const ElasticSpec& elastic) {
+  util::Hash128 h;
+  h.absorb_string("fcad-fleet-stream v2");
+  absorb_common_fingerprint(h, service, options, scenario, elastic);
+  h.absorb(static_cast<std::uint64_t>(workload.process));
+  h.absorb(static_cast<std::uint64_t>(workload.users));
+  h.absorb(static_cast<std::uint64_t>(workload.branches));
+  h.absorb_double(workload.frame_rate_hz);
+  h.absorb_double(workload.duration_s);
+  h.absorb(workload.seed);
+  h.absorb_double(workload.burst_on_s);
+  h.absorb_double(workload.burst_off_s);
+  h.absorb_double(workload.burst_factor);
+  h.absorb(static_cast<std::uint64_t>(workload.target_requests));
   return h.hex();
 }
 
@@ -422,6 +527,249 @@ void write_checkpoint(const std::string& path, const std::string& fingerprint,
   }
 }
 
+// ------------------------------------------------ binary checkpoint (v2) --
+// The sketch-mode format: raw little-endian fields (like the sketch's own
+// encoding), no per-request streams — a shard block is O(branches +
+// instances + sketch buckets) however many requests it covered. Every read
+// is exact-size, so a torn or truncated file fails a get_* and is rejected
+// wholesale, same contract as the text format.
+
+void put_u32(std::ostream& os, std::uint32_t v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  os.write(buf, sizeof v);
+}
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  os.write(buf, sizeof v);
+}
+
+void put_i64(std::ostream& os, std::int64_t v) {
+  put_u64(os, static_cast<std::uint64_t>(v));
+}
+
+void put_f64(std::ostream& os, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(os, bits);
+}
+
+template <typename T>
+bool get_raw(std::istream& in, T& v) {
+  char buf[sizeof v];
+  in.read(buf, sizeof v);
+  if (in.gcount() != sizeof v) return false;
+  std::memcpy(&v, buf, sizeof v);
+  return true;
+}
+
+bool get_f64(std::istream& in, double& v) {
+  std::uint64_t bits = 0;
+  if (!get_raw(in, bits)) return false;
+  std::memcpy(&v, &bits, sizeof v);
+  return true;
+}
+
+void shard_to_binary(std::ostream& os, const ShardStats& shard) {
+  put_i64(os, shard.offered);
+  put_i64(os, shard.completed);
+  put_i64(os, shard.batches);
+  put_i64(os, shard.sla_violations);
+  put_i64(os, shard.max_queue_depth);
+  put_i64(os, shard.scale_up_events);
+  put_i64(os, shard.scale_down_events);
+  put_i64(os, shard.reshard_splits);
+  put_i64(os, shard.fault_events);
+  put_i64(os, shard.recover_events);
+  put_f64(os, shard.fill_sum);
+  put_f64(os, shard.depth_integral_us);
+  put_f64(os, shard.makespan_us);
+  put_u32(os, static_cast<std::uint32_t>(shard.branch_completed.size()));
+  for (std::int64_t v : shard.branch_completed) put_i64(os, v);
+  put_u32(os, static_cast<std::uint32_t>(shard.instances.size()));
+  for (const InstanceStats& inst : shard.instances) {
+    put_i64(os, inst.instance);
+    put_i64(os, inst.batches);
+    put_i64(os, inst.requests);
+    put_i64(os, inst.branch_switches);
+    put_f64(os, inst.busy_us);
+  }
+  shard.latency_sketch.write_binary(os);
+  shard.wait_sketch.write_binary(os);
+}
+
+bool shard_from_binary(std::istream& in, ShardStats& shard) {
+  std::int64_t depth = 0;
+  if (!get_raw(in, shard.offered) || !get_raw(in, shard.completed) ||
+      !get_raw(in, shard.batches) || !get_raw(in, shard.sla_violations) ||
+      !get_raw(in, depth) || !get_raw(in, shard.scale_up_events) ||
+      !get_raw(in, shard.scale_down_events) ||
+      !get_raw(in, shard.reshard_splits) ||
+      !get_raw(in, shard.fault_events) ||
+      !get_raw(in, shard.recover_events) || !get_f64(in, shard.fill_sum) ||
+      !get_f64(in, shard.depth_integral_us) ||
+      !get_f64(in, shard.makespan_us)) {
+    return false;
+  }
+  shard.max_queue_depth = static_cast<int>(depth);
+  shard.latency_mode = LatencyMode::kSketch;
+  std::uint32_t n_branch = 0;
+  if (!get_raw(in, n_branch)) return false;
+  shard.branch_completed.clear();
+  shard.branch_completed.reserve(std::min<std::uint32_t>(n_branch, 1u << 20));
+  for (std::uint32_t i = 0; i < n_branch; ++i) {
+    std::int64_t v = 0;
+    if (!get_raw(in, v)) return false;
+    shard.branch_completed.push_back(v);
+  }
+  std::uint32_t n_instances = 0;
+  if (!get_raw(in, n_instances)) return false;
+  shard.instances.clear();
+  shard.instances.reserve(std::min<std::uint32_t>(n_instances, 1u << 20));
+  for (std::uint32_t i = 0; i < n_instances; ++i) {
+    InstanceStats inst;
+    std::int64_t id = 0;
+    if (!get_raw(in, id) || !get_raw(in, inst.batches) ||
+        !get_raw(in, inst.requests) || !get_raw(in, inst.branch_switches) ||
+        !get_f64(in, inst.busy_us)) {
+      return false;
+    }
+    inst.instance = static_cast<int>(id);
+    shard.instances.push_back(inst);
+  }
+  return QuantileSketch::read_binary(in, shard.latency_sketch) &&
+         QuantileSketch::read_binary(in, shard.wait_sketch);
+}
+
+/// Binary twin of load_checkpoint: same strictness (any mismatch or torn
+/// content rejects the file wholesale), returns the loaded-shard count.
+int load_checkpoint_binary(const std::string& path,
+                           const std::string& fingerprint,
+                           std::vector<std::optional<ShardStats>>& slots) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return 0;
+  char magic[8];
+  in.read(magic, sizeof magic);
+  if (in.gcount() != sizeof magic ||
+      std::memcmp(magic, kBinaryMagic, sizeof magic) != 0) {
+    FCAD_LOG(kWarn) << "fleet checkpoint unreadable, restarting: " << path;
+    return 0;
+  }
+  std::uint32_t version = 0;
+  std::uint32_t fp_len = 0;
+  if (!get_raw(in, version) || version != kBinaryVersion ||
+      !get_raw(in, fp_len) || fp_len != fingerprint.size()) {
+    FCAD_LOG(kWarn) << "fleet checkpoint unreadable, restarting: " << path;
+    return 0;
+  }
+  std::string fp(fp_len, '\0');
+  in.read(fp.data(), static_cast<std::streamsize>(fp_len));
+  if (in.gcount() != static_cast<std::streamsize>(fp_len) ||
+      fp != fingerprint) {
+    FCAD_LOG(kWarn) << "fleet checkpoint is for a different replay, "
+                       "restarting: "
+                    << path;
+    return 0;
+  }
+  std::uint32_t total = 0;
+  std::uint32_t present = 0;
+  if (!get_raw(in, total) || total != slots.size() || !get_raw(in, present) ||
+      present > total) {
+    FCAD_LOG(kWarn) << "fleet checkpoint shard count mismatch, restarting: "
+                    << path;
+    return 0;
+  }
+  std::vector<std::optional<ShardStats>> loaded(slots.size());
+  for (std::uint32_t i = 0; i < present; ++i) {
+    std::uint32_t index = 0;
+    ShardStats shard;
+    if (!get_raw(in, index) || index >= slots.size() ||
+        !shard_from_binary(in, shard)) {
+      FCAD_LOG(kWarn) << "fleet checkpoint torn or truncated, restarting: "
+                      << path;
+      return 0;
+    }
+    loaded[index] = std::move(shard);
+  }
+  std::uint32_t trailer = 0;
+  if (!get_raw(in, trailer) || trailer != kBinaryTrailer) {
+    FCAD_LOG(kWarn) << "fleet checkpoint torn or truncated, restarting: "
+                    << path;
+    return 0;
+  }
+  slots = std::move(loaded);
+  return static_cast<int>(present);
+}
+
+/// Binary twin of write_checkpoint — same temp + rename atomicity.
+void write_checkpoint_binary(
+    const std::string& path, const std::string& fingerprint,
+    const std::vector<std::optional<ShardStats>>& slots) {
+  const std::string tmp_path = path + ".tmp." + std::to_string(::getpid());
+  bool written = false;
+  {
+    std::ofstream out(tmp_path, std::ios::binary);
+    if (out) {
+      out.write(kBinaryMagic, sizeof kBinaryMagic);
+      put_u32(out, kBinaryVersion);
+      put_u32(out, static_cast<std::uint32_t>(fingerprint.size()));
+      out.write(fingerprint.data(),
+                static_cast<std::streamsize>(fingerprint.size()));
+      put_u32(out, static_cast<std::uint32_t>(slots.size()));
+      std::uint32_t present = 0;
+      for (const auto& slot : slots) present += slot ? 1 : 0;
+      put_u32(out, present);
+      for (std::size_t s = 0; s < slots.size(); ++s) {
+        if (!slots[s]) continue;
+        put_u32(out, static_cast<std::uint32_t>(s));
+        shard_to_binary(out, *slots[s]);
+      }
+      put_u32(out, kBinaryTrailer);
+      written = out.good();
+    }
+  }
+  std::error_code ec;
+  if (written) {
+    std::filesystem::rename(tmp_path, path, ec);
+    written = !ec;
+  }
+  if (!written) {
+    std::filesystem::remove(tmp_path, ec);
+    FCAD_LOG(kWarn) << "fleet checkpoint not writable: " << path;
+  }
+}
+
+/// The exact final tail-percentile estimate for the terminal progress tick,
+/// computed from the per-shard streams BEFORE merge_shard_stats consumes
+/// them. Exact mode streams every latency through a TailTracker (O(tail)
+/// memory); sketch mode folds the shard sketches and reads the quantile.
+double final_tail_estimate(const std::vector<ShardStats>& shards,
+                           std::int64_t total_completed,
+                           const FleetOptions& options) {
+  if (options.latency_mode == LatencyMode::kSketch) {
+    QuantileSketch merged;
+    bool first = true;
+    for (const ShardStats& shard : shards) {
+      if (first) {
+        merged = shard.latency_sketch;
+        first = false;
+      } else {
+        FCAD_CHECK_MSG(merged.merge(shard.latency_sketch).is_ok(),
+                       "fleet: shard sketches disagree on seed/alpha");
+      }
+    }
+    return merged.count() == 0 ? 0
+                               : merged.quantile(options.progress_tail_pct);
+  }
+  TailTracker tail(total_completed, options.progress_tail_pct);
+  for (const ShardStats& shard : shards) {
+    for (double v : shard.latencies) tail.add(v);
+  }
+  return tail.partial();
+}
+
 }  // namespace
 
 const char* to_string(DispatchPolicy policy) {
@@ -500,28 +848,54 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
   }
   if (Status s = validate_scenario(spec.scenario); !s.is_ok()) return s;
   if (Status s = validate_elastic(spec.elastic); !s.is_ok()) return s;
+  if (options.latency_mode == LatencyMode::kSketch && options.keep_records) {
+    return Status::invalid_argument(
+        "fleet: keep_records requires latency_mode exact — the binary v2 "
+        "checkpoint carries no per-request records");
+  }
+  if (options.process_count != 1 || options.process_index != 0) {
+    return Status::invalid_argument(
+        "fleet: process sharding requires the streaming replay "
+        "(simulate_fleet_stream)");
+  }
+
+  // Static partition: user u -> shard u mod S; the *provisioned* instance
+  // pool splits into contiguous per-shard slices (with a disabled elastic
+  // spec the provisioned pool is exactly the active fleet — the classic
+  // split). One counting pass sizes every slice, one partition pass fills
+  // them — the full-workload copy the old copy-then-sort paid is gone.
+  // Partitioning preserves relative order, so a per-shard stable sort
+  // yields exactly the slice a global stable sort would have handed the
+  // shard — and already-sorted input (every generator's output) skips the
+  // sorts entirely.
+  const int num_shards = options.shards;
+  std::vector<std::size_t> shard_sizes(static_cast<std::size_t>(num_shards),
+                                       0);
   for (const Request& r : requests) {
     if (r.branch < 0 || r.branch >= service.num_branches()) {
       return Status::invalid_argument("fleet: request branch out of range");
     }
+    ++shard_sizes[static_cast<std::size_t>(r.user % num_shards)];
   }
-
-  std::vector<Request> sorted = requests;
-  std::stable_sort(sorted.begin(), sorted.end(),
-                   [](const Request& a, const Request& b) {
-                     return a.arrival_us < b.arrival_us;
-                   });
-
-  // Static partition: user u -> shard u mod S (stable, so each shard's
-  // slice stays arrival-sorted); the *provisioned* instance pool splits
-  // into contiguous per-shard slices (with a disabled elastic spec the
-  // provisioned pool is exactly the active fleet — the classic split).
-  const int num_shards = options.shards;
   std::vector<std::vector<Request>> shard_requests(
       static_cast<std::size_t>(num_shards));
-  for (const Request& r : sorted) {
+  for (int s = 0; s < num_shards; ++s) {
+    shard_requests[static_cast<std::size_t>(s)].reserve(
+        shard_sizes[static_cast<std::size_t>(s)]);
+  }
+  const auto by_arrival = [](const Request& a, const Request& b) {
+    return a.arrival_us < b.arrival_us;
+  };
+  const bool presorted =
+      std::is_sorted(requests.begin(), requests.end(), by_arrival);
+  for (const Request& r : requests) {
     shard_requests[static_cast<std::size_t>(r.user % num_shards)].push_back(
         r);
+  }
+  if (!presorted) {
+    for (std::vector<Request>& shard : shard_requests) {
+      std::stable_sort(shard.begin(), shard.end(), by_arrival);
+    }
   }
   auto plans_or = plan_elastic_shards(spec.elastic, spec.scenario.faults,
                                       options.instances, num_shards);
@@ -530,17 +904,27 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
   const int provisioned_total =
       plans.back().first_instance + plans.back().provisioned;
 
-  const std::int64_t offered = static_cast<std::int64_t>(sorted.size());
+  const std::int64_t offered = static_cast<std::int64_t>(requests.size());
+  const bool sketch_mode = options.latency_mode == LatencyMode::kSketch;
 
   // Checkpoint resume: reload every finished shard of a matching prior run.
+  // The fingerprint is also what seeds sketch binding, so sketch mode
+  // computes it even without a checkpoint path.
   std::vector<std::optional<ShardStats>> slots(
       static_cast<std::size_t>(num_shards));
   std::string fingerprint;
+  std::uint64_t sketch_seed = 0;
   int resumed = 0;
+  if (!options.checkpoint_path.empty() || sketch_mode) {
+    fingerprint = replay_fingerprint(service, shard_requests, options,
+                                     spec.scenario, spec.elastic);
+    if (sketch_mode) sketch_seed = sketch_seed_from_fingerprint(fingerprint);
+  }
   if (!options.checkpoint_path.empty()) {
-    fingerprint = replay_fingerprint(service, sorted, options, spec.scenario,
-                                     spec.elastic);
-    resumed = load_checkpoint(options.checkpoint_path, fingerprint, slots);
+    resumed = sketch_mode ? load_checkpoint_binary(options.checkpoint_path,
+                                                   fingerprint, slots)
+                          : load_checkpoint(options.checkpoint_path,
+                                            fingerprint, slots);
   }
 
   ProgressSink sink;
@@ -561,9 +945,12 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
   auto run_one = [&](std::int64_t s) {
     const auto index = static_cast<std::size_t>(s);
     if (slots[index]) return;  // resumed from the checkpoint
-    auto result = run_shard(service, shard_requests[index],
-                            static_cast<int>(s), spec.elastic, plans[index],
-                            options, &sink);
+    VectorSource source(shard_requests[index]);
+    auto result = run_shard(
+        service, source,
+        static_cast<std::int64_t>(shard_requests[index].size()),
+        static_cast<int>(s), spec.elastic, plans[index], options, sketch_seed,
+        &sink);
     if (!result.is_ok()) {
       shard_status[index] = result.status();
       return;
@@ -571,7 +958,11 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
     std::lock_guard<std::mutex> lock(slot_mutex);
     slots[index] = std::move(result).value();
     if (!options.checkpoint_path.empty()) {
-      write_checkpoint(options.checkpoint_path, fingerprint, slots);
+      if (sketch_mode) {
+        write_checkpoint_binary(options.checkpoint_path, fingerprint, slots);
+      } else {
+        write_checkpoint(options.checkpoint_path, fingerprint, slots);
+      }
       obs::MetricsRegistry::global()
           .counter("serving.fleet.checkpoint_writes")
           .add(1);
@@ -609,33 +1000,31 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
   std::vector<ShardStats> shards;
   shards.reserve(slots.size());
   for (auto& slot : slots) shards.push_back(std::move(*slot));
-  ServingStats stats = merge_shard_stats(shards, service,
-                                         options.sla_bound_us,
-                                         provisioned_total, resumed);
+
+  // The terminal tick: every replay with an observer ends with a progress
+  // event whose estimate is the final tail percentile over ALL latencies
+  // (exact in exact mode, the merged-sketch quantile in sketch mode). A
+  // sharded run's last in-loop tick carries the emitting shard's local
+  // estimate even when it lands exactly at completed == offered, so only
+  // the single-shard loop (whose tracker saw every sample) may skip the
+  // terminal emit. Computed before the merge, which consumes the shards.
+  std::int64_t total_completed = 0;
+  for (const ShardStats& shard : shards) total_completed += shard.completed;
+  const bool terminal_tick =
+      scope != nullptr &&
+      (num_shards > 1 || sink.last_emitted.load() != total_completed);
+  const double final_tail =
+      terminal_tick ? final_tail_estimate(shards, total_completed, options)
+                    : 0;
+
+  ServingStats stats =
+      merge_shard_stats(std::move(shards), service, options.sla_bound_us,
+                        provisioned_total, resumed);
 
   FCAD_CHECK_MSG(stats.completed == stats.offered,
                  "fleet: lost requests in flight");
 
-  // The terminal tick: every replay with an observer ends with a progress
-  // event whose estimate is the exact final tail percentile over ALL
-  // latencies. A sharded run's last in-loop tick carries the emitting
-  // shard's local estimate even when it lands exactly at completed ==
-  // offered, so only the single-shard loop (whose tracker saw every
-  // sample) may skip the terminal emit.
-  if (scope != nullptr &&
-      (num_shards > 1 || sink.last_emitted.load() != stats.completed)) {
-    std::vector<double> latencies;
-    latencies.reserve(static_cast<std::size_t>(stats.completed));
-    for (const ShardStats& shard : shards) {
-      latencies.insert(latencies.end(), shard.latencies.begin(),
-                       shard.latencies.end());
-    }
-    const double final_tail =
-        latencies.empty()
-            ? 0
-            : percentile(std::move(latencies), options.progress_tail_pct);
-    sink.emit(stats.completed, final_tail);
-  }
+  if (terminal_tick) sink.emit(stats.completed, final_tail);
 
   return stats;
 }
@@ -651,6 +1040,331 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
   auto requests = generate_scenario_workload(workload, spec.scenario);
   if (!requests.is_ok()) return requests.status();
   return simulate_fleet(service, *requests, spec, scope);
+}
+
+namespace {
+
+/// Shared head of the streaming replay and the checkpoint merge: resolves
+/// and validates the spec, fills the derived workload, and computes the
+/// stream fingerprint every process (and the merge) must agree on.
+struct StreamPlan {
+  FleetOptions options;
+  WorkloadOptions workload;
+  std::vector<ShardElasticPlan> plans;
+  int provisioned_total = 0;
+  std::string fingerprint;
+  std::uint64_t sketch_seed = 0;
+};
+
+StatusOr<StreamPlan> plan_stream_replay(const ServiceModel& service,
+                                        const ServeSpec& spec) {
+  auto resolved = resolved_fleet_options(spec);
+  if (!resolved.is_ok()) return resolved.status();
+  StreamPlan plan;
+  plan.options = *resolved;
+  const FleetOptions& options = plan.options;
+  if (options.instances < 1) {
+    return Status::invalid_argument("fleet: instances must be >= 1");
+  }
+  if (options.shards < 1 || options.shards > options.instances) {
+    return Status::invalid_argument(
+        "fleet: shards must be in [1, instances], got " +
+        std::to_string(options.shards));
+  }
+  if (Status s = validate_percentile(options.progress_tail_pct); !s.is_ok()) {
+    return Status::invalid_argument("fleet: progress_tail_pct: " +
+                                    s.message());
+  }
+  if (service.num_branches() < 1) {
+    return Status::invalid_argument("fleet: service model has no branches");
+  }
+  if (Status s = validate_scenario(spec.scenario); !s.is_ok()) return s;
+  if (Status s = validate_elastic(spec.elastic); !s.is_ok()) return s;
+  if (options.latency_mode == LatencyMode::kSketch && options.keep_records) {
+    return Status::invalid_argument(
+        "fleet: keep_records requires latency_mode exact — the binary v2 "
+        "checkpoint carries no per-request records");
+  }
+
+  plan.workload = spec.workload;
+  const WorkloadOptions workload_defaults;
+  if (plan.workload.branches == workload_defaults.branches) {
+    plan.workload.branches = service.num_branches();
+  }
+  if (plan.workload.process == ArrivalProcess::kTrace) {
+    return Status::invalid_argument(
+        "fleet: the streaming replay generates its workload — a trace is "
+        "already materialized, use simulate_fleet");
+  }
+  if (plan.workload.target_requests <= 0) {
+    return Status::invalid_argument(
+        "fleet: the streaming replay needs workload.target_requests > 0 (a "
+        "definite end the shards can run to)");
+  }
+  if (plan.workload.branches > service.num_branches()) {
+    return Status::invalid_argument(
+        "fleet: workload.branches exceeds the service model's branches");
+  }
+
+  auto plans_or = plan_elastic_shards(spec.elastic, spec.scenario.faults,
+                                      options.instances, options.shards);
+  if (!plans_or.is_ok()) return plans_or.status();
+  plan.plans = std::move(plans_or).value();
+  plan.provisioned_total =
+      plan.plans.back().first_instance + plan.plans.back().provisioned;
+  plan.fingerprint = stream_fingerprint(service, plan.workload, options,
+                                        spec.scenario, spec.elastic);
+  if (options.latency_mode == LatencyMode::kSketch) {
+    plan.sketch_seed = sketch_seed_from_fingerprint(plan.fingerprint);
+  }
+  return plan;
+}
+
+}  // namespace
+
+StatusOr<ServingStats> simulate_fleet_stream(const ServiceModel& service,
+                                             const ServeSpec& spec,
+                                             const util::RunScope* scope) {
+  auto plan_or = plan_stream_replay(service, spec);
+  if (!plan_or.is_ok()) return plan_or.status();
+  const StreamPlan& plan = *plan_or;
+  const FleetOptions& options = plan.options;
+  const int num_shards = options.shards;
+  if (options.process_count < 1 || options.process_count > num_shards) {
+    return Status::invalid_argument(
+        "fleet: process_count must be in [1, shards], got " +
+        std::to_string(options.process_count));
+  }
+  if (options.process_index < 0 ||
+      options.process_index >= options.process_count) {
+    return Status::invalid_argument(
+        "fleet: process_index must be in [0, process_count), got " +
+        std::to_string(options.process_index));
+  }
+  if (options.process_count > 1 && options.checkpoint_path.empty()) {
+    return Status::invalid_argument(
+        "fleet: process sharding needs a checkpoint_path — without one the "
+        "partial results could never be merged");
+  }
+
+  // This process's contiguous shard range.
+  const int shard_lo = static_cast<int>(
+      static_cast<std::int64_t>(options.process_index) * num_shards /
+      options.process_count);
+  const int shard_hi = static_cast<int>(
+      static_cast<std::int64_t>(options.process_index + 1) * num_shards /
+      options.process_count);
+  const bool sketch_mode = options.latency_mode == LatencyMode::kSketch;
+  const std::int64_t target = plan.workload.target_requests;
+
+  std::vector<std::optional<ShardStats>> slots(
+      static_cast<std::size_t>(num_shards));
+  int resumed = 0;
+  if (!options.checkpoint_path.empty()) {
+    resumed = sketch_mode ? load_checkpoint_binary(options.checkpoint_path,
+                                                   plan.fingerprint, slots)
+                          : load_checkpoint(options.checkpoint_path,
+                                            plan.fingerprint, slots);
+    // A resumable checkpoint only ever carries this process's own shards —
+    // drop anything outside the owned range (e.g. a file from a different
+    // process split) rather than reporting shards this process does not own.
+    for (int s = 0; s < num_shards; ++s) {
+      if ((s < shard_lo || s >= shard_hi) &&
+          slots[static_cast<std::size_t>(s)]) {
+        slots[static_cast<std::size_t>(s)].reset();
+        --resumed;
+      }
+    }
+  }
+
+  ProgressSink sink;
+  sink.scope = scope;
+  sink.offered = target;
+  sink.chunk = scope != nullptr ? std::max<std::int64_t>(1, target / 20) : 0;
+  std::int64_t already_completed = 0;
+  for (const auto& slot : slots) {
+    if (slot) already_completed += slot->completed;
+  }
+  sink.completed.store(already_completed);
+  sink.next_at.store(
+      sink.chunk > 0 ? (already_completed / sink.chunk + 1) * sink.chunk : 0);
+
+  std::mutex slot_mutex;
+  const int owned = shard_hi - shard_lo;
+  std::vector<Status> shard_status(static_cast<std::size_t>(owned),
+                                   Status::ok());
+  auto run_one = [&](std::int64_t i) {
+    const int s = shard_lo + static_cast<int>(i);
+    const auto index = static_cast<std::size_t>(s);
+    if (slots[index]) return;  // resumed from the checkpoint
+    // Each shard pulls its own full-workload stream and keeps only the
+    // users it owns — memory is O(users), never O(requests). The generator
+    // is deterministic, so every shard sees the identical global sequence.
+    auto stream_or = make_request_stream(plan.workload, spec.scenario);
+    if (!stream_or.is_ok()) {
+      shard_status[static_cast<std::size_t>(i)] = stream_or.status();
+      return;
+    }
+    RequestStream& stream = **stream_or;
+    StreamShardSource source(stream, s, num_shards);
+    auto result = run_shard(service, source, target, s, spec.elastic,
+                            plan.plans[index], options, plan.sketch_seed,
+                            &sink);
+    if (Status fs = stream.finish_status(); !fs.is_ok()) {
+      shard_status[static_cast<std::size_t>(i)] = fs;
+      return;
+    }
+    if (!result.is_ok()) {
+      shard_status[static_cast<std::size_t>(i)] = result.status();
+      return;
+    }
+    std::lock_guard<std::mutex> lock(slot_mutex);
+    slots[index] = std::move(result).value();
+    if (!options.checkpoint_path.empty()) {
+      if (sketch_mode) {
+        write_checkpoint_binary(options.checkpoint_path, plan.fingerprint,
+                                slots);
+      } else {
+        write_checkpoint(options.checkpoint_path, plan.fingerprint, slots);
+      }
+      obs::MetricsRegistry::global()
+          .counter("serving.fleet.checkpoint_writes")
+          .add(1);
+      if (obs::Tracer* const tracer = obs::tracer()) {
+        tracer->instant(shard_lane(s), "checkpoint write", "serving",
+                        slots[index]->makespan_us);
+      }
+    }
+  };
+  if (owned == 1) {
+    run_one(0);
+  } else {
+    util::ThreadPool& pool = util::ThreadPool::shared(
+        scope != nullptr ? scope->threads(options.threads) : options.threads);
+    pool.parallel_for(owned, run_one);
+  }
+
+  bool cancelled = false;
+  for (const Status& s : shard_status) {
+    if (s.is_ok()) continue;
+    if (s.code() == StatusCode::kCancelled) {
+      cancelled = true;
+      continue;
+    }
+    return s;
+  }
+  if (cancelled) {
+    return Status::cancelled("fleet replay cancelled after " +
+                             std::to_string(sink.completed.load()) + "/" +
+                             std::to_string(target) + " requests");
+  }
+
+  std::vector<ShardStats> shards;
+  shards.reserve(static_cast<std::size_t>(owned));
+  for (int s = shard_lo; s < shard_hi; ++s) {
+    shards.push_back(std::move(*slots[static_cast<std::size_t>(s)]));
+  }
+
+  std::int64_t total_completed = 0;
+  for (const ShardStats& shard : shards) total_completed += shard.completed;
+  const bool terminal_tick =
+      scope != nullptr &&
+      (owned > 1 || sink.last_emitted.load() != total_completed);
+  const double final_tail =
+      terminal_tick ? final_tail_estimate(shards, total_completed, options)
+                    : 0;
+
+  // The returned stats cover this process's owned shards; a single-process
+  // run owns them all, and its result is bit-identical to the materialized
+  // overload on the same spec.
+  ServingStats stats =
+      merge_shard_stats(std::move(shards), service, options.sla_bound_us,
+                        plan.provisioned_total, resumed);
+
+  FCAD_CHECK_MSG(stats.completed == stats.offered,
+                 "fleet: lost requests in flight");
+  if (options.process_count == 1) {
+    FCAD_CHECK_MSG(stats.completed == target,
+                   "fleet: stream ended short of target_requests");
+  }
+
+  if (terminal_tick) sink.emit(stats.completed, final_tail);
+
+  return stats;
+}
+
+StatusOr<ServingStats> merge_replay_checkpoints(
+    const ServiceModel& service, const ServeSpec& spec,
+    const std::vector<std::string>& checkpoint_paths) {
+  auto plan_or = plan_stream_replay(service, spec);
+  if (!plan_or.is_ok()) return plan_or.status();
+  const StreamPlan& plan = *plan_or;
+  const FleetOptions& options = plan.options;
+  const int num_shards = options.shards;
+  const bool sketch_mode = options.latency_mode == LatencyMode::kSketch;
+  if (checkpoint_paths.empty()) {
+    return Status::invalid_argument("merge: no checkpoint files given");
+  }
+
+  // Unlike checkpoint *resume* (where a bad file just restarts work),
+  // merging has nothing to fall back to — every anomaly is an error.
+  std::vector<std::optional<ShardStats>> slots(
+      static_cast<std::size_t>(num_shards));
+  for (const std::string& path : checkpoint_paths) {
+    std::vector<std::optional<ShardStats>> file_slots(
+        static_cast<std::size_t>(num_shards));
+    const int loaded =
+        sketch_mode
+            ? load_checkpoint_binary(path, plan.fingerprint, file_slots)
+            : load_checkpoint(path, plan.fingerprint, file_slots);
+    if (loaded == 0) {
+      return Status::invalid_argument(
+          "merge: checkpoint unreadable, torn, empty, or for a different "
+          "replay: " +
+          path);
+    }
+    for (int s = 0; s < num_shards; ++s) {
+      const auto index = static_cast<std::size_t>(s);
+      if (!file_slots[index]) continue;
+      if (slots[index]) {
+        return Status::invalid_argument(
+            "merge: shard " + std::to_string(s) +
+            " appears in more than one checkpoint (overlapping process "
+            "ranges?): " +
+            path);
+      }
+      slots[index] = std::move(file_slots[index]);
+    }
+  }
+  for (int s = 0; s < num_shards; ++s) {
+    if (!slots[static_cast<std::size_t>(s)]) {
+      return Status::invalid_argument(
+          "merge: shard " + std::to_string(s) +
+          " is missing from every checkpoint — did all " +
+          std::to_string(num_shards) + "-shard processes finish?");
+    }
+  }
+
+  std::vector<ShardStats> shards;
+  shards.reserve(slots.size());
+  std::int64_t total_offered = 0;
+  for (auto& slot : slots) {
+    total_offered += slot->offered;
+    shards.push_back(std::move(*slot));
+  }
+  if (total_offered != plan.workload.target_requests) {
+    return Status::invalid_argument(
+        "merge: checkpoints cover " + std::to_string(total_offered) +
+        " requests but the spec targets " +
+        std::to_string(plan.workload.target_requests));
+  }
+
+  ServingStats stats =
+      merge_shard_stats(std::move(shards), service, options.sla_bound_us,
+                        plan.provisioned_total, num_shards);
+  FCAD_CHECK_MSG(stats.completed == stats.offered,
+                 "merge: lost requests in flight");
+  return stats;
 }
 
 }  // namespace fcad::serving

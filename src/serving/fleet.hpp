@@ -27,6 +27,7 @@
 #include "serving/elastic.hpp"
 #include "serving/scenario.hpp"
 #include "serving/service.hpp"
+#include "serving/sketch.hpp"
 #include "serving/stats.hpp"
 #include "serving/workload.hpp"
 #include "util/run_control.hpp"
@@ -89,6 +90,20 @@ struct FleetOptions {
   /// their decisions or stats, so it is excluded from the checkpoint
   /// fingerprint.
   ClockKind clock = ClockKind::kVirtual;
+  /// kSketch swaps the exact per-request latency streams for mergeable
+  /// quantile sketches (relative error <= the sketch alpha, 0.1%): memory
+  /// per shard becomes O(1) and checkpoints switch to the compact binary v2
+  /// format — the billion-request mode. Incompatible with keep_records.
+  /// The default keeps today's exact accounting, bit for bit.
+  LatencyMode latency_mode = LatencyMode::kExact;
+  /// Multi-process sharding (simulate_fleet_stream only): this process owns
+  /// the contiguous shard range [process_index*S/N, (process_index+1)*S/N)
+  /// of the S shards and checkpoints its results for a later
+  /// merge_replay_checkpoints pass. The defaults (0 of 1) own every shard.
+  /// process_count > 1 requires a checkpoint_path — otherwise the partial
+  /// results could never be combined.
+  int process_index = 0;
+  int process_count = 1;
 };
 
 /// SLA targets stated once at the spec level (mirrored into
@@ -152,5 +167,31 @@ StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
 StatusOr<ServingStats> simulate_fleet(const ServiceModel& service,
                                       const ServeSpec& spec,
                                       const util::RunScope* scope = nullptr);
+
+/// Streaming twin for replays too large to materialize: each shard pulls
+/// its own lazily generated request stream (serving/stream.hpp) and keeps
+/// only the requests it owns, so the full workload vector never exists —
+/// peak memory is O(users + shards), independent of request count. Requires
+/// `spec.workload.target_requests > 0` (a generated process with a definite
+/// end) and produces stats bit-identical to the materialized overload on
+/// the same spec, for any thread count. `fleet.process_index/process_count`
+/// restrict the run to a contiguous shard range whose results land in the
+/// checkpoint; the returned stats then cover only the owned shards, and
+/// merge_replay_checkpoints folds the per-process checkpoints into the
+/// final fleet-wide result.
+StatusOr<ServingStats> simulate_fleet_stream(
+    const ServiceModel& service, const ServeSpec& spec,
+    const util::RunScope* scope = nullptr);
+
+/// Folds the checkpoints written by N `--process-shard` runs of the SAME
+/// spec into the final ServingStats, exactly as if one process had run
+/// every shard (sketch merges are associative and byte-stable, so the
+/// result is bit-identical to the single-process run). Strict, unlike
+/// checkpoint resume: an unreadable or mismatched-fingerprint file, an
+/// overlapping or missing shard, or a merged request count that does not
+/// reach the target is an error, never a silent restart.
+StatusOr<ServingStats> merge_replay_checkpoints(
+    const ServiceModel& service, const ServeSpec& spec,
+    const std::vector<std::string>& checkpoint_paths);
 
 }  // namespace fcad::serving

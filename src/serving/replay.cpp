@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
 #include <utility>
 #include <vector>
 
@@ -15,6 +18,25 @@
 #include "util/run_control.hpp"
 
 namespace fcad::serving {
+namespace {
+
+/// Peak resident set size of this process in kB (VmHWM from
+/// /proc/self/status), 0 where unavailable. Reported in sketch-mode JSON so
+/// the CI bench gate can assert the bounded-memory claim directly.
+std::int64_t peak_rss_kb() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    std::istringstream fields(line.substr(6));
+    std::int64_t kb = 0;
+    fields >> kb;
+    return fields.fail() ? 0 : kb;
+  }
+  return 0;
+}
+
+}  // namespace
 
 StatusOr<ReplayJob> replay_job_from_args(const ArgParser& args) {
   ReplayJob job;
@@ -80,6 +102,59 @@ StatusOr<ReplayJob> replay_job_from_args(const ArgParser& args) {
   }
   job.spec.elastic = *elastic;
 
+  auto latency_mode = latency_mode_by_name(args.get("latency-mode", "exact"));
+  if (!latency_mode.is_ok()) {
+    return Status::invalid_argument("--latency-mode: " +
+                                    latency_mode.status().message());
+  }
+  fleet.latency_mode = *latency_mode;
+  job.stream = args.has("stream");
+
+  // --process-shard i/N: this invocation owns process i's contiguous shard
+  // range of an N-process streaming replay.
+  if (const std::string shard_of = args.get("process-shard", "");
+      !shard_of.empty()) {
+    const std::size_t slash = shard_of.find('/');
+    bool ok = slash != std::string::npos && slash > 0 &&
+              slash + 1 < shard_of.size();
+    if (ok) {
+      try {
+        std::size_t used_i = 0;
+        std::size_t used_n = 0;
+        const std::string left = shard_of.substr(0, slash);
+        const std::string right = shard_of.substr(slash + 1);
+        fleet.process_index = std::stoi(left, &used_i);
+        fleet.process_count = std::stoi(right, &used_n);
+        ok = used_i == left.size() && used_n == right.size();
+      } catch (const std::exception&) {
+        ok = false;
+      }
+    }
+    if (!ok) {
+      return Status::invalid_argument(
+          "--process-shard: expected i/N (e.g. 0/4), got '" + shard_of + "'");
+    }
+    job.stream = true;  // process sharding only exists on the stream path
+  }
+
+  // --merge a,b,...: fold the listed process-shard checkpoints.
+  if (const std::string merge = args.get("merge", ""); !merge.empty()) {
+    std::size_t start = 0;
+    while (start <= merge.size()) {
+      const std::size_t comma = merge.find(',', start);
+      const std::string path =
+          merge.substr(start, comma == std::string::npos ? std::string::npos
+                                                         : comma - start);
+      if (!path.empty()) job.merge_paths.push_back(path);
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    if (job.merge_paths.empty()) {
+      return Status::invalid_argument(
+          "--merge: expected a comma-separated checkpoint list");
+    }
+  }
+
   auto cancel_at = args.get_double("cancel-at", 0.0);
   if (!cancel_at.is_ok()) return cancel_at.status();
   job.cancel_at = *cancel_at;
@@ -98,17 +173,35 @@ int run_replay_cli(const ServiceModel& service, const ReplayJob& job) {
   // The decisions artifact is the per-request record stream.
   if (!job.decisions_path.empty()) spec.fleet.keep_records = true;
 
-  auto trace = generate_scenario_workload(spec.workload, spec.scenario);
-  if (!trace.is_ok()) {
-    std::fprintf(stderr, "error: %s\n", trace.status().to_string().c_str());
+  const bool merge_mode = !job.merge_paths.empty();
+  if (job.stream && job.via_daemon) {
+    std::fprintf(stderr,
+                 "error: --stream drives simulate_fleet_stream — it cannot "
+                 "go via the daemon\n");
     return 1;
   }
+
+  // Stream and merge modes never materialize the workload; the planned
+  // request count (banner, cancel-at threshold) is the generation target.
+  std::optional<std::vector<Request>> trace;
+  if (!merge_mode && !job.stream) {
+    auto trace_or = generate_scenario_workload(spec.workload, spec.scenario);
+    if (!trace_or.is_ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   trace_or.status().to_string().c_str());
+      return 1;
+    }
+    trace = std::move(trace_or).value();
+  }
+  const std::int64_t planned =
+      trace ? static_cast<std::int64_t>(trace->size())
+            : spec.workload.target_requests;
 
   util::RunControl control;
   control.threads = spec.fleet.threads;
   if (job.cancel_at > 0) {
     const auto cancel_after = static_cast<std::int64_t>(
-        job.cancel_at * static_cast<double>(trace->size()));
+        job.cancel_at * static_cast<double>(planned));
     control.on_progress = [&control,
                            cancel_after](const util::ProgressEvent& event) {
       if (event.step >= cancel_after) control.cancel.request_cancel();
@@ -116,13 +209,26 @@ int run_replay_cli(const ServiceModel& service, const ReplayJob& job) {
   }
   const util::RunScope scope(control);
 
-  std::printf("=== sharded fleet replay: %lld requests, %d users, "
-              "%d instance(s) x %d shard(s), %s threads ===\n",
-              static_cast<long long>(trace->size()), spec.workload.users,
-              spec.fleet.instances, spec.fleet.shards,
-              spec.fleet.threads > 0
-                  ? std::to_string(spec.fleet.threads).c_str()
-                  : "all");
+  if (merge_mode) {
+    std::printf("=== merging %d replay checkpoint(s): %lld requests, "
+                "%d instance(s) x %d shard(s) ===\n",
+                static_cast<int>(job.merge_paths.size()),
+                static_cast<long long>(planned), spec.fleet.instances,
+                spec.fleet.shards);
+  } else {
+    std::printf("=== sharded fleet replay%s: %lld requests, %d users, "
+                "%d instance(s) x %d shard(s), %s threads ===\n",
+                job.stream ? " (streaming)" : "",
+                static_cast<long long>(planned), spec.workload.users,
+                spec.fleet.instances, spec.fleet.shards,
+                spec.fleet.threads > 0
+                    ? std::to_string(spec.fleet.threads).c_str()
+                    : "all");
+  }
+  if (job.stream && spec.fleet.process_count > 1) {
+    std::printf("process shard %d/%d\n", spec.fleet.process_index,
+                spec.fleet.process_count);
+  }
   if (spec.scenario.enabled()) {
     std::printf("scenario: %s\n",
                 scenario_to_string(spec.scenario).c_str());
@@ -137,7 +243,9 @@ int run_replay_cli(const ServiceModel& service, const ReplayJob& job) {
   const double start_us = wall.now_us();
   StatusOr<ServingStats> stats = Status::internal("replay never ran");
   std::int64_t shed = 0;
-  if (job.via_daemon) {
+  if (merge_mode) {
+    stats = merge_replay_checkpoints(service, spec, job.merge_paths);
+  } else if (job.via_daemon) {
     DaemonOptions daemon_options;
     daemon_options.admission_enabled = job.admission;
     const Daemon daemon(service, spec, daemon_options);
@@ -148,6 +256,8 @@ int run_replay_cli(const ServiceModel& service, const ReplayJob& job) {
     } else {
       stats = result.status();
     }
+  } else if (job.stream) {
+    stats = simulate_fleet_stream(service, spec, &scope);
   } else {
     stats = simulate_fleet(service, *trace, spec, &scope);
   }
@@ -177,7 +287,10 @@ int run_replay_cli(const ServiceModel& service, const ReplayJob& job) {
     std::printf("daemon path: %lld request(s) shed by admission control\n",
                 static_cast<long long>(shed));
   }
-  if (stats->resumed_shards > 0) {
+  if (merge_mode) {
+    std::printf("merged %d shard(s) from %d checkpoint(s)\n",
+                spec.fleet.shards, static_cast<int>(job.merge_paths.size()));
+  } else if (stats->resumed_shards > 0) {
     std::printf("resumed %d of %d shard(s) from %s\n", stats->resumed_shards,
                 spec.fleet.shards, spec.fleet.checkpoint_path.c_str());
   }
@@ -237,6 +350,14 @@ int run_replay_cli(const ServiceModel& service, const ReplayJob& job) {
     json.key("reshard_events").value(stats->reshard_splits);
     json.key("sla_p99_delta_us")
         .value(stats->latency.p99 - stats->sla_bound_us);
+    // Sketch-only keys, so exact-mode JSON stays byte-identical to before
+    // the sketch existed. peak_rss_kb is machine state, not simulation
+    // output — determinism comparisons must strip it (CI does).
+    if (spec.fleet.latency_mode == LatencyMode::kSketch) {
+      json.key("latency_mode").value(to_string(spec.fleet.latency_mode));
+      json.key("sketch_compactions").value(stats->sketch_compactions);
+      json.key("peak_rss_kb").value(peak_rss_kb());
+    }
     json.key("stats");
     serving_stats_json(json, *stats);
     json.end_object();

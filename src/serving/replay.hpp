@@ -11,6 +11,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "serving/fleet.hpp"
 #include "serving/service.hpp"
@@ -36,16 +37,27 @@ struct ReplayJob {
   /// of simulate_fleet. With admission off the outputs are identical.
   bool via_daemon = false;
   bool admission = false;  ///< daemon-path admission control (sheds load)
+  /// Streaming replay (simulate_fleet_stream): the workload is generated
+  /// lazily per shard instead of materialized up front — the
+  /// billion-request path. Incompatible with via_daemon.
+  bool stream = false;
+  /// Non-empty switches the job to merge mode: fold these `--process-shard`
+  /// checkpoints into the final stats (merge_replay_checkpoints) instead of
+  /// simulating anything.
+  std::vector<std::string> merge_paths;
 };
 
 /// Parses the shared --replay flag set (--replay N --users --frame-rate
 /// --seed --instances --shards --threads --policy --timeout-us
 /// --switch-penalty-us --sla-ms --tail-pct --clock --checkpoint --cancel-at
-/// --scenario --elastic --csv --json --decisions) into a job. --scenario
+/// --scenario --elastic --latency-mode --stream --process-shard i/N
+/// --merge a,b,... --csv --json --decisions) into a job. --scenario
 /// takes the scenario_to_string grammar (diurnal/flash/churn/fault
 /// clauses), --elastic the elastic_to_string grammar (scale/reshard
-/// clauses); both default to "none". Callers set via_daemon/admission
-/// themselves.
+/// clauses); both default to "none". --latency-mode exact|sketch selects
+/// the latency accounting; --process-shard i/N restricts a streaming run to
+/// process i's shard range; --merge folds the resulting checkpoints.
+/// Callers set via_daemon/admission themselves.
 StatusOr<ReplayJob> replay_job_from_args(const ArgParser& args);
 
 /// Runs the job end to end against `service`: generate the workload, replay

@@ -4,16 +4,14 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <functional>
-#include <queue>
 #include <sstream>
+
+#include "serving/stream.hpp"
 
 namespace fcad::serving {
 namespace {
 
 constexpr double kPi = 3.14159265358979323846;
-/// Salt decorrelating the acceptance rng tree from the candidate-draw tree.
-constexpr std::uint64_t kAcceptSalt = 0x9e3779b97f4a7c15ULL;
 
 /// Shortest decimal form that parses back to exactly `v` ("inf" for
 /// infinity) — keeps canonical scenario strings human-typable while staying
@@ -57,40 +55,6 @@ std::vector<std::string> split(const std::string& text, char sep) {
     start = pos + 1;
   }
 }
-
-/// Per-user activity windows derived from churn (base users) or a flash
-/// window (extra users). An empty list means always active.
-struct ActivityWindows {
-  std::vector<std::pair<double, double>> windows_us;
-
-  bool active_at(double t_us) const {
-    if (windows_us.empty()) return true;
-    for (const auto& [lo, hi] : windows_us) {
-      if (t_us >= lo && t_us < hi) return true;
-    }
-    return false;
-  }
-  /// Time after which the user can never emit again (µs).
-  double horizon_us() const {
-    if (windows_us.empty()) return std::numeric_limits<double>::infinity();
-    double hi = 0;
-    for (const auto& w : windows_us) hi = std::max(hi, w.second);
-    return hi;
-  }
-};
-
-/// One thinned user stream: candidates at the peak rate from the same fork
-/// the plain generator would use, accepted with probability mult(t)/peak.
-struct ThinnedStream {
-  UserStream candidates;
-  Rng accept;
-  ActivityWindows activity;
-
-  ThinnedStream(UserStream stream, Rng accept_rng, ActivityWindows windows)
-      : candidates(std::move(stream)),
-        accept(std::move(accept_rng)),
-        activity(std::move(windows)) {}
-};
 
 }  // namespace
 
@@ -291,131 +255,12 @@ StatusOr<ScenarioSpec> scenario_from_string(const std::string& text) {
 
 StatusOr<std::vector<Request>> generate_scenario_workload(
     const WorkloadOptions& options, const ScenarioSpec& spec) {
-  if (Status s = validate_workload_options(options); !s.is_ok()) return s;
-  if (Status s = validate_scenario(spec); !s.is_ok()) return s;
-  // Faults do not touch arrivals; a fault-only (or empty) spec must stay
-  // bit-identical to the plain generator, so it IS the plain generator.
-  if (!spec.shapes_arrivals()) return generate_workload(options);
-  if (options.process == ArrivalProcess::kTrace) {
-    return Status::invalid_argument(
-        "scenario: shaped arrivals require a generated process, not a trace");
-  }
-
-  // Peak multiplier for thinning: the diurnal crest times every flash
-  // window's boost (windows may overlap, and max(1, m) bounds any subset
-  // product from above). Candidates are drawn at rate * peak and accepted
-  // with probability multiplier(t) / peak.
-  double peak = spec.diurnal.period_s > 0 ? 1.0 + spec.diurnal.amplitude : 1.0;
-  for (const auto& f : spec.flash) peak *= std::max(1.0, f.rate_multiplier);
-
-  // Base users fork from the root in the same order as generate_workload,
-  // so the candidate rng tree is independent of the scenario. Extra flash
-  // users fork afterwards; acceptance draws come from a separate tree.
-  const bool bursty = options.process == ArrivalProcess::kBursty;
-  Rng root(options.seed);
-  Rng accept_root(options.seed ^ kAcceptSalt);
-  std::vector<ThinnedStream> streams;
-  const int total_users = options.users + spec.extra_users();
-  streams.reserve(static_cast<std::size_t>(total_users));
-  for (int user = 0; user < options.users; ++user) {
-    ActivityWindows activity;
-    for (const auto& c : spec.churn) {
-      if (c.user == user) {
-        activity.windows_us.emplace_back(c.join_s * 1e6, c.leave_s * 1e6);
-      }
-    }
-    streams.emplace_back(
-        UserStream(root.fork(static_cast<std::uint64_t>(user) + 1),
-                   options.frame_rate_hz * peak,
-                   bursty ? options.burst_on_s : 0.0,
-                   bursty ? options.burst_off_s : 0.0, options.burst_factor),
-        accept_root.fork(static_cast<std::uint64_t>(user) + 1), activity);
-  }
-  int next_extra = options.users;
-  for (const auto& f : spec.flash) {
-    for (int j = 0; j < f.extra_users; ++j, ++next_extra) {
-      ActivityWindows activity;
-      activity.windows_us.emplace_back(f.start_s * 1e6, f.end_s * 1e6);
-      streams.emplace_back(
-          UserStream(root.fork(static_cast<std::uint64_t>(next_extra) + 1),
-                     options.frame_rate_hz * peak,
-                     bursty ? options.burst_on_s : 0.0,
-                     bursty ? options.burst_off_s : 0.0,
-                     options.burst_factor),
-          accept_root.fork(static_cast<std::uint64_t>(next_extra) + 1),
-          activity);
-    }
-  }
-
-  // Frame events as (arrival_us, user) pairs.
-  std::vector<std::pair<double, int>> events;
-  auto accept = [&](ThinnedStream& stream, double t_us) {
-    const double draw = stream.accept.next_double();
-    return stream.activity.active_at(t_us) &&
-           draw < scenario_rate_multiplier(spec, t_us) / peak;
-  };
-  if (options.target_requests > 0) {
-    const std::int64_t events_needed =
-        (options.target_requests + options.branches - 1) / options.branches;
-    std::priority_queue<std::pair<double, int>,
-                        std::vector<std::pair<double, int>>,
-                        std::greater<std::pair<double, int>>>
-        heap;
-    for (int user = 0; user < total_users; ++user) {
-      auto& stream = streams[static_cast<std::size_t>(user)];
-      const double t = stream.candidates.next(stream.activity.horizon_us());
-      // A stream past its last activity window can never emit again; keep
-      // it out of the heap so exhausted extra/churned users cost nothing.
-      if (t < stream.activity.horizon_us()) heap.push({t, user});
-    }
-    events.reserve(static_cast<std::size_t>(events_needed));
-    while (static_cast<std::int64_t>(events.size()) < events_needed) {
-      if (heap.empty()) {
-        return Status::invalid_argument(
-            "scenario: target_requests unreachable — every user stream ends "
-            "before enough events are accepted");
-      }
-      const auto [t_us, user] = heap.top();
-      heap.pop();
-      auto& stream = streams[static_cast<std::size_t>(user)];
-      if (accept(stream, t_us)) events.emplace_back(t_us, user);
-      const double t = stream.candidates.next(stream.activity.horizon_us());
-      if (t < stream.activity.horizon_us()) heap.push({t, user});
-    }
-  } else {
-    const double horizon_us = options.duration_s * 1e6;
-    for (int user = 0; user < total_users; ++user) {
-      auto& stream = streams[static_cast<std::size_t>(user)];
-      const double user_horizon_us =
-          std::min(horizon_us, stream.activity.horizon_us());
-      while (true) {
-        const double t_us = stream.candidates.next(user_horizon_us);
-        if (t_us >= user_horizon_us) break;
-        if (accept(stream, t_us)) events.emplace_back(t_us, user);
-      }
-    }
-    std::sort(events.begin(), events.end());
-  }
-
-  // Branch fan-out with dense ids, identical to generate_workload's tail.
-  std::vector<Request> workload;
-  workload.reserve(events.size() * static_cast<std::size_t>(options.branches));
-  std::int64_t id = 0;
-  for (const auto& [t_us, user] : events) {
-    for (int branch = 0; branch < options.branches; ++branch) {
-      Request r;
-      r.id = id++;
-      r.user = user;
-      r.branch = branch;
-      r.arrival_us = t_us;
-      workload.push_back(r);
-    }
-  }
-  if (options.target_requests > 0 &&
-      static_cast<std::int64_t>(workload.size()) > options.target_requests) {
-    workload.resize(static_cast<std::size_t>(options.target_requests));
-  }
-  return workload;
+  // The pull-based stream (stream.cpp) is the single copy of the shaped
+  // generator — thinning, churn windows, flash users, heap merge, and the
+  // branch fan-out all live there; this entry point just drains it.
+  auto stream = make_request_stream(options, spec);
+  if (!stream.is_ok()) return stream.status();
+  return drain_request_stream(**stream, options.target_requests);
 }
 
 }  // namespace fcad::serving

@@ -115,6 +115,18 @@ LatencySummary summarize(std::vector<double> samples) {
   return s;
 }
 
+LatencySummary summarize(const QuantileSketch& sketch) {
+  LatencySummary s;
+  if (sketch.count() == 0) return s;
+  s.count = sketch.count();
+  s.mean = sketch.sum() / static_cast<double>(sketch.count());
+  s.p50 = sketch.quantile(50);
+  s.p95 = sketch.quantile(95);
+  s.p99 = sketch.quantile(99);
+  s.max = sketch.max();
+  return s;
+}
+
 namespace {
 
 std::string ms(double us) { return format_fixed(us * 1e-3, 3) + " ms"; }
@@ -134,6 +146,12 @@ std::string serving_report(const ServingStats& stats) {
   t.add_row({"latency p99", ms(stats.latency.p99)});
   t.add_row({"latency max", ms(stats.latency.max)});
   t.add_row({"queue wait p99", ms(stats.queue_wait.p99)});
+  if (stats.latency_mode == LatencyMode::kSketch) {
+    t.add_row({"latency accounting",
+               "sketch (" + std::to_string(stats.sketch_buckets) +
+                   " buckets, " + format_int(stats.sketch_compactions) +
+                   " compactions)"});
+  }
   t.add_separator();
   t.add_row({"batches dispatched", format_int(stats.batches)});
   for (std::size_t j = 0; j < stats.branch_completed.size(); ++j) {
@@ -237,6 +255,13 @@ void serving_stats_json(JsonWriter& json, const ServingStats& stats) {
   json.key("reshard_splits").value(stats.reshard_splits);
   json.key("fault_events").value(stats.fault_events);
   json.key("recover_events").value(stats.recover_events);
+  // Emitted only in sketch mode: exact-mode JSON must stay byte-identical
+  // to pre-sketch output (the CI 1M replay diffs it literally).
+  if (stats.latency_mode == LatencyMode::kSketch) {
+    json.key("latency_mode").value(to_string(stats.latency_mode));
+    json.key("sketch_compactions").value(stats.sketch_compactions);
+    json.key("sketch_buckets").value(stats.sketch_buckets);
+  }
   json.key("branch_completed").begin_array();
   for (std::int64_t n : stats.branch_completed) json.value(n);
   json.end_array();
@@ -317,6 +342,13 @@ void serving_stats_to_text(std::ostream& os, const ServingStats& stats) {
   os << "reshard_splits " << stats.reshard_splits << "\n";
   os << "fault_events " << stats.fault_events << "\n";
   os << "recover_events " << stats.recover_events << "\n";
+  // Written only in sketch mode so the default exact-mode block stays
+  // byte-identical to every previously produced artifact.
+  if (stats.latency_mode == LatencyMode::kSketch) {
+    os << "latency_mode " << to_string(stats.latency_mode) << "\n";
+    os << "sketch_compactions " << stats.sketch_compactions << "\n";
+    os << "sketch_buckets " << stats.sketch_buckets << "\n";
+  }
   os << "branch_completed " << stats.branch_completed.size();
   for (std::int64_t n : stats.branch_completed) os << " " << n;
   os << "\n";
@@ -402,6 +434,19 @@ StatusOr<ServingStats> serving_stats_from_text(std::istream& in,
       fields >> stats.fault_events;
     } else if (key == "recover_events") {
       fields >> stats.recover_events;
+    } else if (key == "latency_mode") {
+      std::string name;
+      fields >> name;
+      auto mode = latency_mode_by_name(name);
+      if (!mode.is_ok()) {
+        return Status::invalid_argument(
+            "serving stats: unknown latency_mode '" + name + "'");
+      }
+      stats.latency_mode = mode.value();
+    } else if (key == "sketch_compactions") {
+      fields >> stats.sketch_compactions;
+    } else if (key == "sketch_buckets") {
+      fields >> stats.sketch_buckets;
     } else if (key == "branch_completed") {
       std::size_t n = 0;
       fields >> n;

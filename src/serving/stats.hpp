@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "serving/sketch.hpp"
 #include "util/csv.hpp"
 #include "util/json.hpp"
 #include "util/status.hpp"
@@ -69,6 +70,11 @@ struct LatencySummary {
 /// Summarizes a (possibly empty) latency sample set; all zeros when empty.
 LatencySummary summarize(std::vector<double> samples);
 
+/// Summarizes a quantile sketch: count/mean/max are exact, p50/p95/p99 are
+/// within the sketch's relative-error bound of the exact nearest-rank
+/// values. All zeros on an empty sketch.
+LatencySummary summarize(const QuantileSketch& sketch);
+
 struct InstanceStats {
   int instance = 0;
   std::int64_t batches = 0;
@@ -123,6 +129,14 @@ struct ServingStats {
   /// Shards reloaded from a checkpoint instead of simulated (diagnostic of
   /// the producing run — like cache counters, it is not serialized).
   int resumed_shards = 0;
+
+  /// How the latency/queue-wait summaries were computed. kSketch marks them
+  /// as sketch estimates (relative error bounded by the sketch alpha) and
+  /// fills the two diagnostics below; in the default kExact mode nothing
+  /// about the serialized output changes.
+  LatencyMode latency_mode = LatencyMode::kExact;
+  std::int64_t sketch_compactions = 0;  ///< folds across both sketches
+  int sketch_buckets = 0;               ///< bucket spans across both sketches
 };
 
 /// Renders an aligned summary table (latency percentiles, throughput, SLA,

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
-#include <functional>
 #include <limits>
-#include <queue>
+
+#include "serving/stream.hpp"
 
 namespace fcad::serving {
 namespace {
@@ -14,19 +14,6 @@ namespace {
 double next_exponential(Rng& rng, double mean) {
   // 1 - u is in (0, 1], so the log argument never hits zero.
   return -mean * std::log(1.0 - rng.next_double());
-}
-
-/// Appends one user's frame-event times up to `horizon_us`.
-void poisson_stream(Rng rng, double rate_hz, double horizon_us,
-                    double on_mean_s, double off_mean_s, double burst_factor,
-                    std::vector<double>* events) {
-  UserStream stream(std::move(rng), rate_hz, on_mean_s, off_mean_s,
-                    burst_factor);
-  while (true) {
-    const double t_us = stream.next(horizon_us);
-    if (t_us >= horizon_us) return;
-    events->push_back(t_us);
-  }
 }
 
 }  // namespace
@@ -132,83 +119,32 @@ StatusOr<std::vector<Request>> generate_workload(
     const WorkloadOptions& options) {
   if (Status s = validate_workload_options(options); !s.is_ok()) return s;
 
-  // Frame events as (arrival_us, user) pairs.
-  std::vector<std::pair<double, int>> events;
-  if (options.process == ArrivalProcess::kTrace) {
-    std::vector<double> times = options.trace_arrivals_us;
-    std::sort(times.begin(), times.end());
-    events.reserve(times.size());
-    for (std::size_t i = 0; i < times.size(); ++i) {
-      events.emplace_back(times[i], static_cast<int>(i) % options.users);
-    }
-  } else if (options.target_requests > 0) {
-    // Merge the per-user streams in global time order until enough frame
-    // events exist to cover target_requests after the branch fan-out. Each
-    // user keeps its decorrelated fork, so a user's arrivals are identical
-    // to the duration-bounded generator's — just not horizon-truncated.
-    const std::int64_t events_needed =
-        (options.target_requests + options.branches - 1) / options.branches;
-    Rng root(options.seed);
-    std::vector<UserStream> streams;
-    streams.reserve(static_cast<std::size_t>(options.users));
-    const bool bursty = options.process == ArrivalProcess::kBursty;
-    std::priority_queue<std::pair<double, int>,
-                        std::vector<std::pair<double, int>>,
-                        std::greater<std::pair<double, int>>>
-        heap;
-    for (int user = 0; user < options.users; ++user) {
-      streams.emplace_back(root.fork(static_cast<std::uint64_t>(user) + 1),
-                           options.frame_rate_hz,
-                           bursty ? options.burst_on_s : 0.0,
-                           bursty ? options.burst_off_s : 0.0,
-                           options.burst_factor);
-      heap.push({streams.back().next(), user});
-    }
-    events.reserve(static_cast<std::size_t>(events_needed));
-    while (static_cast<std::int64_t>(events.size()) < events_needed) {
-      const auto [t_us, user] = heap.top();
-      heap.pop();
-      events.emplace_back(t_us, user);
-      heap.push({streams[static_cast<std::size_t>(user)].next(), user});
-    }
-  } else {
-    Rng root(options.seed);
-    const double horizon_us = options.duration_s * 1e6;
-    for (int user = 0; user < options.users; ++user) {
-      // Independent decorrelated stream per user so adding users never
-      // perturbs the arrivals of existing ones.
-      Rng rng = root.fork(static_cast<std::uint64_t>(user) + 1);
-      std::vector<double> times;
-      if (options.process == ArrivalProcess::kPoisson) {
-        poisson_stream(rng, options.frame_rate_hz, horizon_us, 0, 0, 1,
-                       &times);
-      } else {
-        poisson_stream(rng, options.frame_rate_hz, horizon_us,
-                       options.burst_on_s, options.burst_off_s,
-                       options.burst_factor, &times);
-      }
-      for (double t : times) events.emplace_back(t, user);
-    }
-    std::sort(events.begin(), events.end());
+  if (options.process != ArrivalProcess::kTrace) {
+    // The pull-based stream (stream.cpp) is the single copy of the
+    // generator for every generated process; this entry point just drains
+    // it into a vector.
+    auto stream = make_request_stream(options);
+    if (!stream.is_ok()) return stream.status();
+    return drain_request_stream(**stream, options.target_requests);
   }
 
+  // Traces stay materialized: frame events as (arrival_us, user) pairs.
+  std::vector<double> times = options.trace_arrivals_us;
+  std::sort(times.begin(), times.end());
+
   std::vector<Request> workload;
-  workload.reserve(events.size() * static_cast<std::size_t>(options.branches));
+  workload.reserve(times.size() * static_cast<std::size_t>(options.branches));
   std::int64_t id = 0;
-  for (const auto& [t_us, user] : events) {
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const int user = static_cast<int>(i) % options.users;
     for (int branch = 0; branch < options.branches; ++branch) {
       Request r;
       r.id = id++;
       r.user = user;
       r.branch = branch;
-      r.arrival_us = t_us;
+      r.arrival_us = times[i];
       workload.push_back(r);
     }
-  }
-  // The last frame event may overshoot the target by a partial fan-out.
-  if (options.target_requests > 0 &&
-      static_cast<std::int64_t>(workload.size()) > options.target_requests) {
-    workload.resize(static_cast<std::size_t>(options.target_requests));
   }
   return workload;
 }

@@ -479,7 +479,7 @@ TEST(StatsTest, SummarizeComputesMeanMaxAndTails) {
   EXPECT_EQ(s.p95, 95);
   EXPECT_EQ(s.p99, 99);
   EXPECT_EQ(s.max, 100);
-  EXPECT_EQ(summarize({}).count, 0);
+  EXPECT_EQ(summarize(std::vector<double>{}).count, 0);
 }
 
 // ------------------------------------------------------------------ fleet --

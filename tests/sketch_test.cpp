@@ -1,0 +1,160 @@
+// Quantile-sketch suite (serving step 9): the bounded-memory latency
+// accounting behind `latency_mode = sketch` must (a) report quantiles
+// within its alpha bound of the exact nearest-rank value at replay scale,
+// (b) merge associatively and commutatively down to the byte — the property
+// the multi-process checkpoint merge rests on — and (c) survive a binary
+// round trip while rejecting torn or foreign blocks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serving/sketch.hpp"
+#include "serving/stats.hpp"
+
+namespace fcad::serving {
+namespace {
+
+constexpr std::uint64_t kSeed = 0x5eedf00d;
+
+std::vector<double> lognormal_samples(std::uint64_t seed, std::size_t n) {
+  // Latency-shaped values: a heavy right tail spanning a few decades, like
+  // queueing delays under load.
+  std::mt19937_64 rng(seed);
+  std::lognormal_distribution<double> dist(9.0, 1.2);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(dist(rng));
+  return out;
+}
+
+TEST(SketchTest, EmptyZeroAndExactFieldBehaviour) {
+  QuantileSketch sketch(kSeed);
+  EXPECT_EQ(sketch.count(), 0);
+  EXPECT_EQ(sketch.quantile(50), 0);
+  EXPECT_EQ(sketch.max(), 0);
+
+  // Exact zeros get their own counter; count/sum/min/max stay exact.
+  sketch.add(0);
+  sketch.add(0);
+  sketch.add(100);
+  sketch.add(400);
+  EXPECT_EQ(sketch.count(), 4);
+  EXPECT_EQ(sketch.zero_count(), 2);
+  EXPECT_EQ(sketch.sum(), 500);
+  EXPECT_EQ(sketch.min(), 0);
+  EXPECT_EQ(sketch.max(), 400);
+  // Ranks 1..2 fall in the zero mass; the top rank is clamped to the exact
+  // max, never a bucket representative above it.
+  EXPECT_EQ(sketch.quantile(25), 0);
+  EXPECT_EQ(sketch.quantile(50), 0);
+  EXPECT_EQ(sketch.quantile(100), 400);
+  EXPECT_EQ(sketch.compactions(), 0);
+}
+
+TEST(SketchTest, QuantilesWithinBoundOfExactAcrossTwentySeeds) {
+  // The acceptance property: p50/p95/p99 within 0.5% relative error of the
+  // exact nearest-rank percentile at 1M samples, over >= 20 seeds. The
+  // sketch's own bound is alpha = 0.1%, so this holds with 5x headroom.
+  constexpr std::size_t kSamples = 1'000'000;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const std::vector<double> values = lognormal_samples(seed * 7919, kSamples);
+    QuantileSketch sketch(seed);
+    for (double v : values) sketch.add(v);
+    ASSERT_EQ(sketch.count(), static_cast<std::int64_t>(kSamples));
+    for (double pct : {50.0, 95.0, 99.0}) {
+      const double exact = percentile(values, pct);
+      const double approx = sketch.quantile(pct);
+      EXPECT_LE(std::abs(approx - exact) / exact, 0.005)
+          << "seed " << seed << " p" << pct << ": exact " << exact
+          << " sketch " << approx;
+    }
+    EXPECT_EQ(sketch.compactions(), 0)
+        << "latency-scale input must never hit the collapse valve";
+  }
+}
+
+TEST(SketchTest, MergeIsAssociativeCommutativeAndByteStable) {
+  const std::vector<double> all = lognormal_samples(kSeed, 30'000);
+  // Three disjoint slices — the shapes three shards would contribute.
+  auto slice_sketch = [&](std::size_t lo, std::size_t hi) {
+    QuantileSketch s(kSeed);
+    for (std::size_t i = lo; i < hi; ++i) s.add(all[i]);
+    return s;
+  };
+  const QuantileSketch a = slice_sketch(0, 10'000);
+  const QuantileSketch b = slice_sketch(10'000, 20'000);
+  const QuantileSketch c = slice_sketch(20'000, 30'000);
+
+  QuantileSketch ab_c = a;
+  ASSERT_TRUE(ab_c.merge(b).is_ok());
+  ASSERT_TRUE(ab_c.merge(c).is_ok());
+  QuantileSketch bc = b;
+  ASSERT_TRUE(bc.merge(c).is_ok());
+  QuantileSketch a_bc = a;
+  ASSERT_TRUE(a_bc.merge(bc).is_ok());
+  QuantileSketch c_b_a = c;
+  ASSERT_TRUE(c_b_a.merge(b).is_ok());
+  ASSERT_TRUE(c_b_a.merge(a).is_ok());
+
+  // Byte-identical whatever the merge tree or order — and identical to the
+  // sketch that saw every value directly (the single-process run).
+  QuantileSketch direct(kSeed);
+  for (double v : all) direct.add(v);
+  EXPECT_EQ(ab_c.to_bytes(), a_bc.to_bytes());
+  EXPECT_EQ(ab_c.to_bytes(), c_b_a.to_bytes());
+  EXPECT_EQ(ab_c.to_bytes(), direct.to_bytes());
+}
+
+TEST(SketchTest, MergeRejectsForeignSeedOrAlpha) {
+  QuantileSketch mine(kSeed);
+  mine.add(10);
+  QuantileSketch other_seed(kSeed + 1);
+  other_seed.add(10);
+  QuantileSketch other_alpha(kSeed, 0.01);
+  other_alpha.add(10);
+  EXPECT_EQ(mine.merge(other_seed).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(mine.merge(other_alpha).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(mine.count(), 1) << "a rejected merge must not mutate";
+}
+
+TEST(SketchTest, BinaryRoundTripIsExactAndTornBlocksAreRejected) {
+  QuantileSketch sketch(kSeed);
+  for (double v : lognormal_samples(kSeed, 10'000)) sketch.add(v);
+  sketch.add(0);
+  const std::string bytes = sketch.to_bytes();
+
+  std::istringstream in(bytes);
+  QuantileSketch loaded;
+  ASSERT_TRUE(QuantileSketch::read_binary(in, loaded));
+  EXPECT_EQ(loaded.to_bytes(), bytes);
+  EXPECT_EQ(loaded.count(), sketch.count());
+  EXPECT_EQ(loaded.quantile(99), sketch.quantile(99));
+  EXPECT_EQ(loaded.seed(), sketch.seed());
+
+  // Every proper prefix is a torn write; none may parse.
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, bytes.size() / 2,
+                          bytes.size() - 1}) {
+    std::istringstream torn(bytes.substr(0, cut));
+    QuantileSketch out;
+    EXPECT_FALSE(QuantileSketch::read_binary(torn, out)) << "cut " << cut;
+  }
+  // A corrupted magic is foreign, not just short.
+  std::string bad = bytes;
+  bad[0] = static_cast<char>(bad[0] ^ 0x55);
+  std::istringstream foreign(bad);
+  QuantileSketch out;
+  EXPECT_FALSE(QuantileSketch::read_binary(foreign, out));
+}
+
+TEST(SketchTest, SeedDerivationIsStableAndFingerprintBound) {
+  const std::uint64_t a = sketch_seed_from_fingerprint("abc123");
+  EXPECT_EQ(a, sketch_seed_from_fingerprint("abc123"));
+  EXPECT_NE(a, sketch_seed_from_fingerprint("abc124"));
+}
+
+}  // namespace
+}  // namespace fcad::serving
