@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "arch/datapath.hpp"
 #include "arch/platform.hpp"
 #include "arch/reorg.hpp"
 #include "baselines/soc865.hpp"
@@ -35,6 +36,20 @@ struct StrategyRow {
   std::int64_t evaluations = 0;
 };
 std::vector<StrategyRow> g_strategy_rows;
+
+/// One joint datapath x batch-scale grid point (section H), kept for the
+/// --json twin.
+struct DatapathRow {
+  std::string datapath;
+  int batch_scale = 1;
+  double min_fps = 0;
+  int dsps = 0;
+  int luts = 0;
+  double accuracy_proxy = 0;
+  bool pareto = false;
+  bool feasible = false;
+};
+std::vector<DatapathRow> g_datapath_rows;
 
 dse::SearchSpec base_spec() {
   dse::SearchSpec spec;
@@ -229,6 +244,39 @@ int main(int argc, char** argv) {
     std::printf("%s\n", t.to_string().c_str());
   }
 
+  // --- H: joint precision x MAC microarchitecture x batch ------------------
+  // Every registered arch::Datapath crossed with batch scaling, one kSweep
+  // run — the datapath axis as a first-class ablation: how much throughput
+  // each precision/microarchitecture point buys, and at what accuracy proxy.
+  {
+    std::printf("--- H. datapath (precision x MAC style) x batch scale ---\n");
+    dse::SearchSpec spec = base_spec();
+    spec.kind = dse::SearchKind::kSweep;
+    spec.search.population = 60;
+    spec.search.iterations = 8;
+    spec.sweep.datapaths = arch::registered_datapath_names();
+    spec.sweep.frequencies_mhz = {zu9cg.freq_mhz};
+    spec.sweep.batch_scales = {1, 2};
+    auto outcome = driver.run(spec);
+    FCAD_CHECK_MSG(outcome.is_ok(), outcome.status().message());
+    TablePrinter t({"datapath", "scale", "min FPS", "DSPs", "LUTs",
+                    "acc proxy", "pareto", "feasible"});
+    for (const dse::SweepPoint& point : outcome->sweep) {
+      const arch::AcceleratorEval& eval = point.result.eval;
+      t.add_row({point.datapath, std::to_string(point.batch_scale),
+                 format_fixed(eval.min_fps, 1), std::to_string(eval.dsps),
+                 std::to_string(eval.luts),
+                 format_fixed(eval.accuracy_proxy, 3),
+                 point.pareto_optimal ? "*" : "",
+                 point.result.feasible ? "yes" : "no"});
+      g_datapath_rows.push_back({point.datapath, point.batch_scale,
+                                 eval.min_fps, eval.dsps, eval.luts,
+                                 eval.accuracy_proxy, point.pareto_optimal,
+                                 point.result.feasible});
+    }
+    std::printf("%s\n", t.to_string().c_str());
+  }
+
   // Machine-readable twins of section E (the strategy ablation), one row
   // per registered strategy — the same schema family the CLIs ship
   // (schema_version + typed fields).
@@ -260,6 +308,20 @@ int main(int argc, char** argv) {
       json.key("min_fps").value(row.min_fps);
       json.key("feasible").value(row.feasible);
       json.key("evaluations").value(row.evaluations);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("datapaths").begin_array();
+    for (const DatapathRow& row : g_datapath_rows) {
+      json.begin_object();
+      json.key("datapath").value(row.datapath);
+      json.key("batch_scale").value(row.batch_scale);
+      json.key("min_fps").value(row.min_fps);
+      json.key("dsps").value(row.dsps);
+      json.key("luts").value(row.luts);
+      json.key("accuracy_proxy").value(row.accuracy_proxy);
+      json.key("pareto").value(row.pareto);
+      json.key("feasible").value(row.feasible);
       json.end_object();
     }
     json.end_array();

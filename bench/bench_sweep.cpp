@@ -66,11 +66,11 @@ int main(int argc, char** argv) {
   const std::vector<dse::SweepPoint>& points =
       pipeline.search()->outcome.sweep;
 
-  TablePrinter t({"Q", "clock", "min FPS", "DSP", "BRAM", "BW (GB/s)",
+  TablePrinter t({"datapath", "clock", "min FPS", "DSP", "BRAM", "BW (GB/s)",
                   "efficiency", "Pareto"});
   for (const dse::SweepPoint& p : points) {
     const arch::AcceleratorEval& eval = p.result.eval;
-    t.add_row({nn::to_string(p.quantization),
+    t.add_row({p.datapath,
                format_fixed(p.freq_mhz, 0) + " MHz",
                format_fixed(eval.min_fps, 1), std::to_string(eval.dsps),
                std::to_string(eval.brams), format_fixed(eval.bw_gbps, 2),
@@ -89,11 +89,13 @@ int main(int argc, char** argv) {
   }
 
   if (!csv_path.empty()) {
-    CsvWriter csv({"quantization", "freq_mhz", "min_fps", "dsps", "brams",
-                   "bw_gbps", "efficiency", "fitness", "feasible", "pareto"});
+    CsvWriter csv({"datapath", "quantization", "freq_mhz", "min_fps", "dsps",
+                   "brams", "bw_gbps", "efficiency", "fitness", "feasible",
+                   "pareto"});
     for (const dse::SweepPoint& p : points) {
       const arch::AcceleratorEval& eval = p.result.eval;
-      csv.add_row({nn::to_string(p.quantization), format_fixed(p.freq_mhz, 0),
+      csv.add_row({p.datapath, nn::to_string(p.quantization),
+                   format_fixed(p.freq_mhz, 0),
                    format_fixed(eval.min_fps, 3), std::to_string(eval.dsps),
                    std::to_string(eval.brams), format_fixed(eval.bw_gbps, 3),
                    format_fixed(eval.efficiency, 4),
@@ -117,6 +119,7 @@ int main(int argc, char** argv) {
     for (const dse::SweepPoint& p : points) {
       const arch::AcceleratorEval& eval = p.result.eval;
       json.begin_object();
+      json.key("datapath").value(p.datapath);
       json.key("quantization").value(nn::to_string(p.quantization));
       json.key("freq_mhz").value(p.freq_mhz);
       json.key("min_fps").value(eval.min_fps);

@@ -10,11 +10,15 @@
 // --asic-bw/--asic-freq define an ASIC budget instead of --platform.
 // --save-artifact / --load-artifact serialize the optimization stage, so a
 // search can be resumed for reporting/simulation without re-running it.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "arch/config_io.hpp"
+#include "arch/datapath.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "nn/serialize.hpp"
@@ -39,7 +43,18 @@ void usage() {
       "  --asic-buffer-mib <f> ASIC on-chip buffer (MiB)\n"
       "  --asic-bw <f>         ASIC DRAM bandwidth (GB/s)\n"
       "  --asic-freq <f>       ASIC clock (MHz)\n"
-      "  --quant int8|int16    quantization Q (default int8)\n"
+      "  --quant int8|int16    quantization Q (deprecated: sets "
+      "--datapath pipelined-<Q>)\n"
+      "  --datapath <name>     precision x MAC datapath, e.g. "
+      "pipelined-int8 (default),\n"
+      "                        staged-int8x4; overrides --quant (see "
+      "--list-datapaths)\n"
+      "  --list-datapaths      print the registered datapath names and "
+      "exit\n"
+      "  --search-datapath     joint datapath x batch-scale sweep over "
+      "every registered\n"
+      "                        datapath, Pareto-marked on (min FPS, "
+      "accuracy proxy)\n"
       "  --batches a,b,...     per-branch batch-size targets\n"
       "  --priorities a,b,...  per-branch priorities\n"
       "  --population <n>      DSE candidates P (default 200)\n"
@@ -101,17 +116,7 @@ StatusOr<arch::Platform> load_platform(const ArgParser& args) {
   return arch::platform_by_name(args.get("platform", "zu9cg"));
 }
 
-/// The machine-readable twin of core::case_report: platform + search stats
-/// + per-branch evaluation + structured winner config + the re-enterable
-/// artifact text.
-std::string json_report(const core::Pipeline& pipeline,
-                        const core::PipelineResult& result) {
-  const arch::Platform& platform = pipeline.platform();
-  const dse::SearchResult& search = result.search;
-  JsonWriter json;
-  json.begin_object();
-  json.key("schema_version").value(1);
-  json.key("model").value(pipeline.graph().name());
+void emit_platform(JsonWriter& json, const arch::Platform& platform) {
   json.key("platform").begin_object();
   json.key("name").value(platform.name);
   json.key("dsps").value(platform.dsps);
@@ -119,6 +124,19 @@ std::string json_report(const core::Pipeline& pipeline,
   json.key("bw_gbps").value(platform.bw_gbps);
   json.key("freq_mhz").value(platform.freq_mhz);
   json.end_object();
+}
+
+/// The machine-readable twin of core::case_report: platform + search stats
+/// + per-branch evaluation + structured winner config + the re-enterable
+/// artifact text.
+std::string json_report(const core::Pipeline& pipeline,
+                        const core::PipelineResult& result) {
+  const dse::SearchResult& search = result.search;
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema_version").value(1);
+  json.key("model").value(pipeline.graph().name());
+  emit_platform(json, pipeline.platform());
 
   json.key("search").begin_object();
   json.key("fitness").value(search.fitness);
@@ -133,9 +151,13 @@ std::string json_report(const core::Pipeline& pipeline,
 
   const arch::AcceleratorEval& eval = search.eval;
   json.key("eval").begin_object();
+  json.key("datapath")
+      .value(arch::datapath_to_string(search.config.datapath));
+  json.key("accuracy_proxy").value(eval.accuracy_proxy);
   json.key("min_fps").value(eval.min_fps);
   json.key("efficiency").value(eval.efficiency);
   json.key("dsps").value(eval.dsps);
+  json.key("luts").value(eval.luts);
   json.key("brams").value(eval.brams);
   json.key("bw_gbps").value(eval.bw_gbps);
   json.key("branches").begin_array();
@@ -165,6 +187,81 @@ std::string json_report(const core::Pipeline& pipeline,
   json.key("artifact").value(pipeline.save_search());
   json.end_object();
   return json.str();
+}
+
+/// Distinct datapath names on the sweep's Pareto frontier, grid order.
+std::vector<std::string> frontier_datapaths(
+    const std::vector<dse::SweepPoint>& sweep) {
+  std::vector<std::string> names;
+  for (const dse::SweepPoint& point : sweep) {
+    if (!point.pareto_optimal) continue;
+    if (std::find(names.begin(), names.end(), point.datapath) != names.end())
+      continue;
+    names.push_back(point.datapath);
+  }
+  return names;
+}
+
+/// The machine-readable shape of a --search-datapath (kSweep) run: every
+/// grid point with its evaluation, plus the distinct frontier datapaths.
+std::string sweep_json_report(const core::Pipeline& pipeline,
+                              const dse::SearchOutcome& outcome) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema_version").value(1);
+  json.key("model").value(pipeline.graph().name());
+  emit_platform(json, pipeline.platform());
+  json.key("sweep").begin_object();
+  json.key("points").begin_array();
+  for (const dse::SweepPoint& point : outcome.sweep) {
+    const arch::AcceleratorEval& eval = point.result.eval;
+    json.begin_object();
+    json.key("datapath").value(point.datapath);
+    json.key("freq_mhz").value(point.freq_mhz);
+    json.key("batch_scale").value(point.batch_scale);
+    json.key("pareto").value(point.pareto_optimal);
+    json.key("feasible").value(point.result.feasible);
+    json.key("fitness").value(point.result.fitness);
+    json.key("accuracy_proxy").value(eval.accuracy_proxy);
+    json.key("min_fps").value(eval.min_fps);
+    json.key("dsps").value(eval.dsps);
+    json.key("luts").value(eval.luts);
+    json.key("brams").value(eval.brams);
+    json.key("bw_gbps").value(eval.bw_gbps);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("frontier_datapaths").begin_array();
+  for (const std::string& name : frontier_datapaths(outcome.sweep)) {
+    json.value(name);
+  }
+  json.end_array();
+  json.end_object();
+  json.key("artifact").value(pipeline.save_search());
+  json.end_object();
+  return json.str();
+}
+
+/// Human-readable twin of sweep_json_report.
+void print_sweep_table(const dse::SearchOutcome& outcome) {
+  std::printf("datapath x batch-scale sweep (%zu points)\n",
+              outcome.sweep.size());
+  std::printf("  %-18s %8s %6s %7s %9s %6s %7s %9s %7s\n", "datapath", "MHz",
+              "scale", "pareto", "min_fps", "dsps", "luts", "acc_proxy",
+              "feas");
+  for (const dse::SweepPoint& point : outcome.sweep) {
+    std::printf("  %-18s %8.0f %6d %7s %9.2f %6d %7d %9.3f %7s\n",
+                point.datapath.c_str(), point.freq_mhz, point.batch_scale,
+                point.pareto_optimal ? "*" : "", point.result.eval.min_fps,
+                point.result.eval.dsps, point.result.eval.luts,
+                point.result.eval.accuracy_proxy,
+                point.result.feasible ? "yes" : "no");
+  }
+  std::printf("frontier:");
+  for (const std::string& name : frontier_datapaths(outcome.sweep)) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
 }
 
 int run(const ArgParser& args) {
@@ -197,6 +294,14 @@ int run(const ArgParser& args) {
   } else {
     std::fprintf(stderr, "error: --quant must be int8 or int16\n");
     return 1;
+  }
+  if (args.has("datapath")) {
+    auto dp = arch::datapath_from_string(args.get("datapath", ""));
+    if (!dp.is_ok()) {
+      std::fprintf(stderr, "error: %s\n", dp.status().to_string().c_str());
+      return 1;
+    }
+    spec.customization.datapath = arch::datapath_to_string(*dp);
   }
   auto batches = args.get_int_list("batches");
   if (!batches.is_ok()) {
@@ -241,6 +346,19 @@ int run(const ArgParser& args) {
                    event.best_fitness);
     };
   }
+  if (args.has("search-datapath")) {
+    if (args.has("simulate") || args.has("chart") ||
+        args.has("save-config")) {
+      std::fprintf(stderr,
+                   "error: --search-datapath produces a sweep, not a single "
+                   "winner; --simulate/--chart/--save-config do not apply\n");
+      return 1;
+    }
+    spec.kind = dse::SearchKind::kSweep;
+    spec.sweep.datapaths = arch::registered_datapath_names();
+    spec.sweep.frequencies_mhz = {platform->freq_mhz};
+    spec.sweep.batch_scales = {1, 2};
+  }
 
   // Staged execution: analysis + construction always run; the optimization
   // stage either runs the search or re-enters a saved artifact.
@@ -279,8 +397,20 @@ int run(const ArgParser& args) {
                 pipeline.artifact_cache_hits(),
                 pipeline.artifact_cache_misses());
   }
+  // A sweep outcome (from --search-datapath or a loaded sweep artifact) has
+  // no single winner; report the grid instead of the case report.
+  const core::SearchArtifact* artifact = pipeline.search();
+  const bool sweep_outcome =
+      artifact != nullptr &&
+      artifact->outcome.kind == dse::SearchKind::kSweep;
   if (args.has("json")) {
-    std::printf("%s\n", json_report(pipeline, *result).c_str());
+    std::printf("%s\n",
+                (sweep_outcome
+                     ? sweep_json_report(pipeline, artifact->outcome)
+                     : json_report(pipeline, *result))
+                    .c_str());
+  } else if (sweep_outcome) {
+    print_sweep_table(artifact->outcome);
   } else {
     std::printf("%s",
                 core::case_report(pipeline.graph().name(), *result, *platform)
@@ -314,7 +444,15 @@ int run(const ArgParser& args) {
     }
   }
   if (!obs_scope.finish()) return 1;
-  if (!result->search.feasible) {
+  const bool feasible =
+      sweep_outcome
+          ? std::any_of(artifact->outcome.sweep.begin(),
+                        artifact->outcome.sweep.end(),
+                        [](const dse::SweepPoint& point) {
+                          return point.result.feasible;
+                        })
+          : result->search.feasible;
+  if (!feasible) {
     std::fprintf(stderr,
                  "warning: no configuration met every batch-size target "
                  "within the budget; best effort shown.\n");
@@ -337,6 +475,12 @@ int main(int argc, char** argv) {
   }
   if (args->has("list-strategies")) {
     for (const std::string& name : fcad::dse::registered_strategy_names()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  if (args->has("list-datapaths")) {
+    for (const std::string& name : fcad::arch::registered_datapath_names()) {
       std::printf("%s\n", name.c_str());
     }
     return 0;

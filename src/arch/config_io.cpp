@@ -39,9 +39,8 @@ std::string config_to_text(const ReorganizedModel& model,
   FCAD_CHECK_MSG(config.branches.size() == model.branches.size(),
                  "config/model arity mismatch");
   std::ostringstream os;
-  os << "accelerator dw=" << nn::to_string(config.dw)
-     << " ww=" << nn::to_string(config.ww) << " freq_mhz=" << config.freq_mhz
-     << '\n';
+  os << "accelerator datapath=" << datapath_to_string(config.datapath)
+     << " freq_mhz=" << config.freq_mhz << '\n';
   for (std::size_t b = 0; b < config.branches.size(); ++b) {
     const BranchHardwareConfig& hw = config.branches[b];
     const BranchPipeline& br = model.branches[b];
@@ -97,16 +96,20 @@ StatusOr<AcceleratorConfig> config_from_text(const ReorganizedModel& model,
         if (!split_kv(token, key, value)) {
           return parse_error(line_no, "expected key=value, got '" + token + "'");
         }
-        if (key == "dw" || key == "ww") {
-          nn::DataType dtype;
-          if (value == "int8") {
-            dtype = nn::DataType::kInt8;
-          } else if (value == "int16") {
-            dtype = nn::DataType::kInt16;
-          } else {
+        if (key == "datapath") {
+          auto dp = datapath_from_string(value);
+          if (!dp.is_ok()) {
+            return parse_error(line_no, "unknown datapath '" + value + "'");
+          }
+          config.datapath = *dp;
+        } else if (key == "dw" || key == "ww") {
+          // Deprecated quantization-era keys (one release): widths on the
+          // default pipelined MAC.
+          auto dtype = nn::data_type_from_string(value);
+          if (!dtype.is_ok()) {
             return parse_error(line_no, "unknown dtype '" + value + "'");
           }
-          (key == "dw" ? config.dw : config.ww) = dtype;
+          (key == "dw" ? config.datapath.dw : config.datapath.ww) = *dtype;
         } else if (key == "freq_mhz") {
           try {
             config.freq_mhz = std::stod(value);

@@ -7,10 +7,10 @@ namespace fcad::arch {
 namespace {
 
 double stage_cycles(const FusedStage& stage, const UnitConfig& cfg,
-                    EvalMode mode) {
+                    EvalMode mode, const Datapath& dp) {
   return mode == EvalMode::kAnalytical
-             ? cycles_analytical(stage, cfg)
-             : static_cast<double>(cycles_quantized(stage, cfg));
+             ? cycles_analytical(stage, cfg, dp)
+             : static_cast<double>(cycles_quantized(stage, cfg, dp));
 }
 
 }  // namespace
@@ -54,11 +54,12 @@ AcceleratorEval evaluate(const ReorganizedModel& model,
       StageEval se;
       se.stage = s;
       se.cfg = cfg;
-      se.cycles = stage_cycles(stage, cfg, mode);
-      se.res = unit_resources(stage, cfg, config.dw, config.ww, ctx);
+      se.cycles = stage_cycles(stage, cfg, mode, config.datapath);
+      se.res = unit_resources(stage, cfg, config.datapath, ctx);
       stage_lat[static_cast<std::size_t>(s)] = se.cycles;
 
       be.dsps += se.res.dsps * hw.batch;
+      be.luts += se.res.luts * hw.batch;
       be.brams += se.res.brams * hw.batch;
       param_bytes += se.res.param_stream_bytes;
       feature_bytes += se.res.feature_stream_bytes;
@@ -97,7 +98,7 @@ AcceleratorEval evaluate(const ReorganizedModel& model,
   }
 
   // Pass 3: delivered GOP/s, efficiency, bandwidth, accelerator totals.
-  const double beta = nn::beta_ops_per_dsp(config.ww);
+  const double beta = config.datapath.beta_ops_per_dsp();
   double total_gops = 0;
   for (std::size_t b = 0; b < model.branches.size(); ++b) {
     const BranchPipeline& br = model.branches[b];
@@ -120,6 +121,7 @@ AcceleratorEval evaluate(const ReorganizedModel& model,
         (param_bytes * waves_per_s + feature_bytes * be.fps) * 1e-9;
 
     eval.dsps += be.dsps;
+    eval.luts += be.luts;
     eval.brams += be.brams;
     eval.bw_gbps += be.bw_gbps;
     total_gops += be.gops;
@@ -131,6 +133,7 @@ AcceleratorEval evaluate(const ReorganizedModel& model,
   eval.efficiency = eval.dsps > 0
                         ? total_gops * 1e9 / (beta * eval.dsps * freq_hz)
                         : 0.0;
+  eval.accuracy_proxy = config.datapath.accuracy_proxy();
   return eval;
 }
 

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "arch/datapath.hpp"
 #include "arch/reorg.hpp"
 #include "arch/resource_model.hpp"
 #include "arch/unit.hpp"
@@ -23,8 +24,9 @@ struct BranchHardwareConfig {
 /// Full accelerator configuration (the Config of Algorithm 1).
 struct AcceleratorConfig {
   std::vector<BranchHardwareConfig> branches;
-  nn::DataType dw = nn::DataType::kInt8;  ///< feature bitwidth (DW)
-  nn::DataType ww = nn::DataType::kInt8;  ///< weight bitwidth (WW)
+  /// Precision x MAC microarchitecture (DW/WW widths ride inside). The
+  /// default pipelined-int8 reproduces the pre-datapath model exactly.
+  Datapath datapath;
   double freq_mhz = 200.0;
 };
 
@@ -44,6 +46,7 @@ struct BranchEval {
   std::vector<StageEval> stages;  ///< owned stages only
   int batch = 1;
   int dsps = 0;                   ///< all copies
+  int luts = 0;                   ///< fabric multipliers (LUT datapaths)
   int brams = 0;
   double bottleneck_cycles = 0;   ///< max stage latency (own stages)
   double fps = 0;                 ///< Eq. 5, cross-branch caps applied
@@ -55,13 +58,21 @@ struct BranchEval {
 struct AcceleratorEval {
   std::vector<BranchEval> branches;
   int dsps = 0;
+  int luts = 0;              ///< fabric-multiplier LUTs (LUT datapaths)
   int brams = 0;
   double bw_gbps = 0;
   double min_fps = 0;        ///< slowest branch
   double efficiency = 0;     ///< whole-accelerator Eq. 3
+  /// The evaluated datapath's precision penalty (Datapath::accuracy_proxy),
+  /// so objectives and frontiers can trade throughput against precision.
+  double accuracy_proxy = 0;
 
-  bool within(int max_dsps, int max_brams, double max_bw_gbps) const {
-    return dsps <= max_dsps && brams <= max_brams && bw_gbps <= max_bw_gbps;
+  /// `max_luts` defaults to 0: without an explicit LUT budget, any
+  /// LUT-fabric compute is over budget (DSP datapaths use no LUTs).
+  bool within(int max_dsps, int max_brams, double max_bw_gbps,
+              int max_luts = 0) const {
+    return dsps <= max_dsps && luts <= max_luts && brams <= max_brams &&
+           bw_gbps <= max_bw_gbps;
   }
 };
 

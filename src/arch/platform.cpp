@@ -7,23 +7,23 @@
 namespace fcad::arch {
 
 Platform platform_z7045() {
-  return {.name = "Z7045", .dsps = 900, .brams18k = 1090, .bw_gbps = 12.8,
-          .freq_mhz = 200, .is_asic = false};
+  return {.name = "Z7045", .dsps = 900, .brams18k = 1090, .luts = 218600,
+          .bw_gbps = 12.8, .freq_mhz = 200, .is_asic = false};
 }
 
 Platform platform_zu17eg() {
-  return {.name = "ZU17EG", .dsps = 1590, .brams18k = 1592, .bw_gbps = 12.8,
-          .freq_mhz = 200, .is_asic = false};
+  return {.name = "ZU17EG", .dsps = 1590, .brams18k = 1592, .luts = 380000,
+          .bw_gbps = 12.8, .freq_mhz = 200, .is_asic = false};
 }
 
 Platform platform_zu9cg() {
-  return {.name = "ZU9CG", .dsps = 2520, .brams18k = 1824, .bw_gbps = 12.8,
-          .freq_mhz = 200, .is_asic = false};
+  return {.name = "ZU9CG", .dsps = 2520, .brams18k = 1824, .luts = 274080,
+          .bw_gbps = 12.8, .freq_mhz = 200, .is_asic = false};
 }
 
 Platform platform_ku115() {
-  return {.name = "KU115", .dsps = 5520, .brams18k = 4320, .bw_gbps = 19.2,
-          .freq_mhz = 200, .is_asic = false};
+  return {.name = "KU115", .dsps = 5520, .brams18k = 4320, .luts = 663360,
+          .bw_gbps = 19.2, .freq_mhz = 200, .is_asic = false};
 }
 
 Platform make_asic(const std::string& name, int mac_units, double buffer_mib,

@@ -16,6 +16,9 @@ struct Platform {
   std::string name;
   int dsps = 0;          ///< Cmax
   int brams18k = 0;      ///< Mmax
+  /// Fabric LUTs available to LUT-multiplier datapaths (arch/datapath.hpp);
+  /// 0 means no LUT fabric (ASICs), making those datapaths infeasible.
+  int luts = 0;
   double bw_gbps = 12.8; ///< BWmax, GB/s (DDR3 per the paper's setup)
   double freq_mhz = 200; ///< accelerator clock
   bool is_asic = false;

@@ -13,6 +13,13 @@ std::int64_t bram_bits(const ResourceModelParams& p) {
   return static_cast<std::int64_t>(p.bram_kbits) * 1024;
 }
 
+/// Bit-packed stream size: elements of `bits` width each, rounded up to
+/// whole bytes once per stream (so int4 streams really move half the bytes
+/// of int8, instead of rounding every element up to a byte).
+std::int64_t stream_bytes(std::int64_t elements, int bits) {
+  return ceil_div(elements * bits, 8);
+}
+
 /// Blocks needed to hold `bits` with at least `min_banks` independently
 /// addressable banks (the banking minimum from the parallel access pattern).
 int brams_for(std::int64_t bits, std::int64_t min_banks,
@@ -31,43 +38,51 @@ bool weights_resident(const FusedStage& stage, nn::DataType ww,
 }
 
 UnitResources unit_resources(const FusedStage& stage, const UnitConfig& cfg,
-                             nn::DataType dw, nn::DataType ww,
+                             const Datapath& dp,
                              const UnitStreamContext& ctx,
                              const ResourceModelParams& params) {
   UnitResources r;
+  const int dw_bits = nn::bits(dp.dw);
+  const int ww_bits = nn::bits(dp.ww);
 
   // --- compute ---------------------------------------------------------
-  r.dsps = static_cast<int>(
-      ceil_div(cfg.lanes(), nn::multipliers_per_dsp(ww)));
+  // DSP-mapped widths pack multipliers_per_dsp() lanes per slice; 4-bit
+  // weights build every multiplier from LUTs instead.
+  if (dp.lut_multipliers()) {
+    r.luts = static_cast<int>(cfg.lanes() * dp.luts_per_multiplier());
+  } else {
+    r.dsps =
+        static_cast<int>(ceil_div(cfg.lanes(), dp.multipliers_per_dsp()));
+  }
 
   // --- on-chip memory ----------------------------------------------------
   // Weight buffer. Resident kernels are banked by kpf (each PE column reads
   // its own output-channel kernels through a cpf-wide word). Streamed
   // kernels only need the in-flight tile, which lives in the PE array
   // (LUTRAM/FF) plus a small double-buffered staging FIFO.
-  const bool resident = weights_resident(stage, ww, params);
+  const bool resident = weights_resident(stage, dp.ww, params);
   if (resident) {
-    const std::int64_t weight_bits = stage.weight_params * nn::bits(ww);
+    const std::int64_t weight_bits = stage.weight_params * ww_bits;
     const std::int64_t weight_word_banks =
         static_cast<std::int64_t>(cfg.kpf) *
-        ceil_div(static_cast<std::int64_t>(cfg.cpf) * nn::bits(ww),
+        ceil_div(static_cast<std::int64_t>(cfg.cpf) * ww_bits,
                  params.bram_max_width);
     r.brams += brams_for(weight_bits, weight_word_banks, params);
   } else {
-    const std::int64_t tile_bits = 2LL * cfg.lanes() * stage.kernel *
-                                   stage.kernel * nn::bits(ww);
+    const std::int64_t tile_bits =
+        2LL * cfg.lanes() * stage.kernel * stage.kernel * ww_bits;
     r.brams += brams_for(tile_bits, /*min_banks=*/2, params);
-    r.param_stream_bytes += stage.weight_params * nn::bytes(ww);
+    r.param_stream_bytes += stream_bytes(stage.weight_params, ww_bits);
   }
 
   // Input line buffer: K + extra rows of the input feature map, banked per
   // H-partition slab with cpf-channel-wide words.
   const std::int64_t rows = stage.kernel + params.extra_linebuf_rows;
-  const std::int64_t line_bits = rows * stage.in_w * stage.in_ch *
-                                 static_cast<std::int64_t>(nn::bits(dw));
+  const std::int64_t line_bits =
+      rows * stage.in_w * stage.in_ch * static_cast<std::int64_t>(dw_bits);
   const std::int64_t line_banks =
       static_cast<std::int64_t>(cfg.h) *
-      ceil_div(static_cast<std::int64_t>(cfg.cpf) * nn::bits(dw),
+      ceil_div(static_cast<std::int64_t>(cfg.cpf) * dw_bits,
                params.bram_max_width);
   r.brams += brams_for(line_bits, line_banks, params);
 
@@ -77,17 +92,28 @@ UnitResources unit_resources(const FusedStage& stage, const UnitConfig& cfg,
   if (stage.has_bias) {
     // Untied biases are far too large to keep resident at HD resolutions;
     // they stream each frame. Tied biases are tiny but counted uniformly.
-    r.param_stream_bytes += stage.bias_params * nn::bytes(ww);
+    r.param_stream_bytes += stream_bytes(stage.bias_params, ww_bits);
   }
   if (ctx.reads_external_input) {
-    r.feature_stream_bytes += static_cast<std::int64_t>(stage.in_ch) *
-                              stage.in_h * stage.in_w * nn::bytes(dw);
+    r.feature_stream_bytes += stream_bytes(
+        static_cast<std::int64_t>(stage.in_ch) * stage.in_h * stage.in_w,
+        dw_bits);
   }
   if (ctx.writes_external_output) {
-    r.feature_stream_bytes += static_cast<std::int64_t>(stage.final_ch) *
-                              stage.final_h * stage.final_w * nn::bytes(dw);
+    r.feature_stream_bytes += stream_bytes(
+        static_cast<std::int64_t>(stage.final_ch) * stage.final_h *
+            stage.final_w,
+        dw_bits);
   }
   return r;
+}
+
+UnitResources unit_resources(const FusedStage& stage, const UnitConfig& cfg,
+                             nn::DataType dw, nn::DataType ww,
+                             const UnitStreamContext& ctx,
+                             const ResourceModelParams& params) {
+  return unit_resources(stage, cfg, Datapath{MacStyle::kPipelined, dw, ww},
+                        ctx, params);
 }
 
 }  // namespace fcad::arch

@@ -1,12 +1,16 @@
 // FPGA resource model of one basic architecture unit.
 //
-// Three resources per Table III:
-//   * compute (DSP slices): lanes / multipliers-per-DSP;
+// Four resources per Table III (and the datapath extension):
+//   * compute (DSP slices): lanes / multipliers-per-DSP for DSP-mapped
+//     weight widths; 0 for LUT-fabric datapaths (4-bit weights), which
+//     instead pay `luts` = lanes * luts-per-multiplier;
 //   * on-chip memory (BRAM18K blocks): weight buffer + input line buffer,
-//     with banking minima implied by the parallel access pattern;
+//     with banking minima implied by the parallel access pattern — bank
+//     words are width-dependent (cpf * bits / bram_max_width);
 //   * external bandwidth (bytes per frame): streamed untied biases, streamed
 //     weights for stages whose kernels are too large to keep resident, and
-//     the first/last stage feature streams.
+//     the first/last stage feature streams — byte counts are bit-packed, so
+//     sub-byte widths (int4, int8x4) halve their stream traffic.
 //
 // Every constant lives in ResourceModelParams so the calibration against the
 // paper's Table II / IV magnitudes is in one place (see bench_ablation).
@@ -14,6 +18,7 @@
 
 #include <cstdint>
 
+#include "arch/datapath.hpp"
 #include "arch/fusion.hpp"
 #include "arch/unit.hpp"
 #include "nn/dtype.hpp"
@@ -40,6 +45,9 @@ bool weights_resident(const FusedStage& stage, nn::DataType ww,
 
 struct UnitResources {
   int dsps = 0;
+  /// LUT-fabric multiplier cost; nonzero only for lut_multipliers()
+  /// datapaths (4-bit weights), whose compute array consumes no DSPs.
+  int luts = 0;
   int brams = 0;
   /// Parameter bytes (streamed weights + biases) fetched per frame *wave*.
   /// Batch copies run in lockstep on consecutive frames, so one fetch is
@@ -60,7 +68,15 @@ struct UnitStreamContext {
   bool writes_external_output = false;///< feeds a graph output
 };
 
-/// Full resource estimate of one configured unit.
+/// Full resource estimate of one configured unit on `dp`.
+UnitResources unit_resources(const FusedStage& stage, const UnitConfig& cfg,
+                             const Datapath& dp,
+                             const UnitStreamContext& ctx = {},
+                             const ResourceModelParams& params = {});
+
+/// Deprecated quantization-era overload (one release): prices a pipelined
+/// MAC at the given widths. Identical to the Datapath overload with
+/// {kPipelined, dw, ww}.
 UnitResources unit_resources(const FusedStage& stage, const UnitConfig& cfg,
                              nn::DataType dw, nn::DataType ww,
                              const UnitStreamContext& ctx = {},

@@ -118,4 +118,24 @@ std::int64_t cycles_quantized(const FusedStage& stage, const UnitConfig& cfg) {
   return in_tiles * out_tiles * row_tiles * stage.out_w * k2;
 }
 
+double cycles_analytical(const FusedStage& stage, const UnitConfig& cfg,
+                         const Datapath& dp) {
+  const double base = cycles_analytical(stage, cfg);
+  const double fill = dp.fill_cycles();
+  if (fill == 0) return base;  // pipelined: bit-identical to the 2-arg form
+  const double passes = static_cast<double>(stage.out_ch) / cfg.kpf *
+                        (static_cast<double>(stage.out_h) / cfg.h);
+  return base + fill * passes;
+}
+
+std::int64_t cycles_quantized(const FusedStage& stage, const UnitConfig& cfg,
+                              const Datapath& dp) {
+  const std::int64_t base = cycles_quantized(stage, cfg);
+  const double fill = dp.fill_cycles();
+  if (fill == 0) return base;
+  const std::int64_t passes =
+      ceil_div(stage.out_ch, cfg.kpf) * ceil_div(stage.out_h, cfg.h);
+  return base + static_cast<std::int64_t>(fill) * passes;
+}
+
 }  // namespace fcad::arch

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <string>
 
+#include "arch/datapath.hpp"
 #include "arch/fusion.hpp"
 
 namespace fcad::arch {
@@ -44,11 +45,25 @@ UnitConfig get_pf(std::int64_t pf_target, const FusedStage& stage);
 /// of DNNBuilder-style units, used by the baseline model and ablations).
 UnitConfig get_pf_2d(std::int64_t pf_target, const FusedStage& stage);
 
-/// Analytical stage latency in cycles (paper Eq. 4): macs / lanes.
+/// Analytical stage latency in cycles (paper Eq. 4): macs / lanes. Equivalent
+/// to the Datapath overload at the default pipelined MAC (fill == 0).
 double cycles_analytical(const FusedStage& stage, const UnitConfig& cfg);
 
 /// Quantized latency in cycles, as the unit actually executes: tile counts
 /// are rounded up per dimension, so non-divisor factors waste slots.
 std::int64_t cycles_quantized(const FusedStage& stage, const UnitConfig& cfg);
+
+/// Datapath-aware Eq. 4: macs / lanes, plus — for staged MACs — the chain's
+/// fill_cycles() once per output tile-row pass ((OutCh/kpf) * (OutH/h)
+/// passes; smooth, like the base term). Bit-identical to the 2-arg overload
+/// when dp.fill_cycles() == 0 (every pipelined datapath).
+double cycles_analytical(const FusedStage& stage, const UnitConfig& cfg,
+                         const Datapath& dp);
+
+/// Datapath-aware quantized latency: the 2-arg tile schedule, plus the fill
+/// overhead once per (output tile, row tile) group — exactly what the
+/// cycle-exact enumeration in tests/datapath_test.cpp counts.
+std::int64_t cycles_quantized(const FusedStage& stage, const UnitConfig& cfg,
+                              const Datapath& dp);
 
 }  // namespace fcad::arch

@@ -11,6 +11,7 @@
 
 #include "analysis/profile.hpp"
 #include "arch/config_io.hpp"
+#include "arch/datapath.hpp"
 #include "dse/spec_hash.hpp"
 #include "nn/serialize.hpp"
 #include "obs/metrics.hpp"
@@ -36,9 +37,12 @@ obs::LaneId pipeline_lane(obs::Tracer* tracer) {
   return lane;
 }
 
-// v3 embeds the kTraffic serving stats (serving_stats_to_text), so traffic
+// v3 embedded the kTraffic serving stats (serving_stats_to_text) so traffic
 // outcomes round-trip whole and qualify for the spec-hash artifact cache.
-constexpr const char* kArtifactMagic = "fcad-search-artifact v3";
+// v4 keys sweep_point lines by canonical datapath name and adds the point's
+// batch scale (joint precision x microarchitecture x batch sweeps); v3 files
+// are rejected like any other stale magic and simply re-searched.
+constexpr const char* kArtifactMagic = "fcad-search-artifact v4";
 
 std::string format_double(double value) { return format_exact(value); }
 
@@ -51,14 +55,6 @@ StatusOr<dse::SearchKind> search_kind_by_name(const std::string& name) {
   }
   return Status::invalid_argument("search artifact: unknown kind '" + name +
                                   "'");
-}
-
-StatusOr<nn::DataType> data_type_by_name(const std::string& name) {
-  for (nn::DataType dtype : {nn::DataType::kInt8, nn::DataType::kInt16}) {
-    if (name == nn::to_string(dtype)) return dtype;
-  }
-  return Status::invalid_argument("search artifact: unknown quantization '" +
-                                  name + "'");
 }
 
 std::size_t count_lines(const std::string& text) {
@@ -231,8 +227,8 @@ std::string search_artifact_to_text(const ReorgArtifact& reorg,
     serving::serving_stats_to_text(os, traffic.stats);
   }
   for (const dse::SweepPoint& point : outcome.sweep) {
-    os << "sweep_point " << nn::to_string(point.quantization) << " "
-       << format_double(point.freq_mhz) << " "
+    os << "sweep_point " << point.datapath << " "
+       << format_double(point.freq_mhz) << " " << point.batch_scale << " "
        << (point.pareto_optimal ? 1 : 0) << "\n";
     write_search_block(os, reorg, point.result);
   }
@@ -344,17 +340,20 @@ StatusOr<SearchArtifact> search_artifact_from_text(const ReorgArtifact& reorg,
       if (!stats.is_ok()) return stats.status();
       artifact.outcome.traffic.stats = std::move(stats).value();
     } else if (key == "sweep_point") {
-      std::string quant;
       dse::SweepPoint point;
       std::string pareto;
-      fields >> quant >> point.freq_mhz >> pareto;
-      if (fields.fail()) {
+      fields >> point.datapath >> point.freq_mhz >> point.batch_scale >>
+          pareto;
+      if (fields.fail() || point.batch_scale < 1) {
         return Status::invalid_argument(
             "search artifact: malformed sweep_point line");
       }
-      auto dtype = data_type_by_name(quant);
-      if (!dtype.is_ok()) return dtype.status();
-      point.quantization = *dtype;
+      auto dp = arch::datapath_from_string(point.datapath);
+      if (!dp.is_ok()) {
+        return Status::invalid_argument("search artifact: " +
+                                        dp.status().message());
+      }
+      point.quantization = dp->ww;
       point.pareto_optimal = pareto == "1";
       auto result = parse_search_block(reorg, in);
       if (!result.is_ok()) return result.status();

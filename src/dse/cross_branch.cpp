@@ -28,6 +28,7 @@ void normalize_fractions(std::vector<double>& frac) {
 ResourceDistribution demand_proportional_distribution(
     const arch::ReorganizedModel& model, const Customization& cust) {
   const int B = model.num_branches();
+  const arch::Datapath dp = cust.resolved_datapath();
   ResourceDistribution rd;
   rd.c_frac.resize(static_cast<std::size_t>(B));
   rd.m_frac.resize(static_cast<std::size_t>(B));
@@ -46,9 +47,8 @@ ResourceDistribution demand_proportional_distribution(
           model.fused.stage_inputs[static_cast<std::size_t>(s)].empty();
       ctx.writes_external_output =
           !model.fused.stage_outputs[static_cast<std::size_t>(s)].empty();
-      const arch::UnitResources res = arch::unit_resources(
-          stage, arch::UnitConfig{1, 1, 1}, cust.quantization,
-          cust.quantization, ctx);
+      const arch::UnitResources res =
+          arch::unit_resources(stage, arch::UnitConfig{1, 1, 1}, dp, ctx);
       floor_brams += res.brams;
       stream_bytes += static_cast<double>(res.total_stream_bytes());
     }
@@ -71,8 +71,7 @@ DistributionEval evaluate_distribution(const arch::ReorganizedModel& model,
                                        SearchTrace& trace,
                                        FitnessCache* cache) {
   DistributionEval ce;
-  ce.config.dw = cust.quantization;
-  ce.config.ww = cust.quantization;
+  ce.config.datapath = cust.resolved_datapath();
   ce.config.freq_mhz = opt.freq_mhz;
 
   int unmet = 0;
@@ -81,7 +80,7 @@ DistributionEval evaluate_distribution(const arch::ReorganizedModel& model,
     const ResourceBudget slice = rd.slice(budget, b);
     const InBranchResult ib = in_branch_optimize(
         model, b, slice, cust.batch_sizes[static_cast<std::size_t>(b)],
-        ce.config.dw, ce.config.ww, opt.freq_mhz);
+        ce.config.datapath, opt.freq_mhz);
     ++trace.evaluations;
     if (ib.met_batch_target) {
       met_mask |= std::uint64_t{1} << (b % 64);
@@ -108,7 +107,7 @@ DistributionEval evaluate_distribution(const arch::ReorganizedModel& model,
   // A candidate must also respect the global budget once quantization and
   // cross-branch caps are accounted for.
   if (!ce.eval.within(static_cast<int>(budget.c), static_cast<int>(budget.m),
-                      budget.bw)) {
+                      budget.bw, static_cast<int>(budget.l))) {
     ++unmet;
   }
   std::vector<double> fps;
@@ -125,6 +124,7 @@ DistributionEval evaluate_distribution(const arch::ReorganizedModel& model,
     input.dsps = ce.eval.dsps;
     input.brams = ce.eval.brams;
     input.bw_gbps = ce.eval.bw_gbps;
+    input.accuracy_proxy = ce.eval.accuracy_proxy;
     ce.fitness = opt.objective.score(input);
   }
   ce.feasible = unmet == 0;

@@ -34,23 +34,51 @@ Status Customization::normalize(int num_branches) {
   for (int b : batch_sizes) {
     if (b < 1) return Status::invalid_argument("batch sizes must be >= 1");
   }
-  for (double p : priorities) {
-    if (p < 0) return Status::invalid_argument("priorities must be >= 0");
+  for (std::size_t j = 0; j < priorities.size(); ++j) {
+    if (priorities[j] <= 0) {
+      return Status::invalid_argument(
+          "customization: priority must be > 0 (branch " + std::to_string(j) +
+          ")");
+    }
+  }
+  if (datapath.empty()) {
+    datapath = arch::datapath_to_string(
+        arch::datapath_from_quantization(quantization));
+  } else {
+    auto dp = arch::datapath_from_string(datapath);
+    if (!dp.is_ok()) {
+      return Status::invalid_argument("customization: " +
+                                      dp.status().message());
+    }
   }
   return Status::ok();
+}
+
+arch::Datapath Customization::resolved_datapath() const {
+  if (datapath.empty()) return arch::datapath_from_quantization(quantization);
+  auto dp = arch::datapath_from_string(datapath);
+  FCAD_CHECK_MSG(dp.is_ok(), dp.status().message());
+  return *dp;
 }
 
 ResourceBudget ResourceDistribution::slice(const ResourceBudget& budget,
                                            int branch) const {
   const auto b = static_cast<std::size_t>(branch);
   FCAD_CHECK(b < c_frac.size() && b < m_frac.size() && b < bw_frac.size());
-  return {budget.c * c_frac[b], budget.m * m_frac[b], budget.bw * bw_frac[b]};
+  // The LUT capacity rides the compute fraction (see ResourceBudget).
+  return {budget.c * c_frac[b], budget.m * m_frac[b], budget.bw * bw_frac[b],
+          budget.l * c_frac[b]};
 }
 
 DesignSpaceStats design_space_stats(const arch::ReorganizedModel& model,
                                     int max_batch) {
   DesignSpaceStats stats;
   stats.branches = model.num_branches();
+  // The global customization axis: one datapath (precision x MAC style) per
+  // design, chosen from the registry.
+  stats.dimensions += 1;
+  stats.log10_configs += std::log10(
+      static_cast<double>(arch::registered_datapaths().size()));
   for (const arch::BranchPipeline& br : model.branches) {
     stats.stages += static_cast<int>(br.stages.size());
     stats.dimensions += 1;  // batchsize_j

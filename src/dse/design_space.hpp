@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "arch/datapath.hpp"
 #include "arch/platform.hpp"
 #include "arch/reorg.hpp"
 #include "nn/dtype.hpp"
@@ -15,26 +16,44 @@
 
 namespace fcad::dse {
 
-/// User customization (Table III, bottom rows).
+/// User customization (Table III, bottom rows, plus the datapath axis).
 struct Customization {
-  nn::DataType quantization = nn::DataType::kInt8;  ///< Q (sets DW and WW)
+  /// Deprecated (kept one release): the quantization shim Q, which maps to
+  /// datapath "pipelined-<Q>" when `datapath` is empty. Code setting Q keeps
+  /// working unchanged; new code should set `datapath` instead.
+  nn::DataType quantization = nn::DataType::kInt8;
+  /// Precision x MAC microarchitecture in the canonical grammar of
+  /// arch/datapath.hpp ("pipelined-int8", "staged-int8x4", ...). Empty
+  /// derives from `quantization`; when both are set, `datapath` wins.
+  std::string datapath;
   std::vector<int> batch_sizes;     ///< BatchSize_1..B (default all 1)
   std::vector<double> priorities;   ///< P_1..B (default all 1.0)
 
-  /// Expands defaults for a model with `num_branches` branches; fails when a
-  /// user-supplied vector has the wrong arity or non-positive entries.
+  /// Expands defaults for a model with `num_branches` branches and
+  /// canonicalizes `datapath` (filling it from the quantization shim when
+  /// empty); fails when a user-supplied vector has the wrong arity or
+  /// non-positive entries, or when `datapath` is not a registered name.
   Status normalize(int num_branches);
+
+  /// The datapath this customization evaluates under: `datapath` when set,
+  /// else pipelined-<quantization>. Checks that a non-empty string parses.
+  arch::Datapath resolved_datapath() const;
 };
 
-/// The resource budget triple (Cmax = DSPs, Mmax = BRAM18K, BWmax = GB/s).
+/// The resource budget triple (Cmax = DSPs, Mmax = BRAM18K, BWmax = GB/s),
+/// plus the fabric-LUT capacity `l` bounding LUT-multiplier datapaths
+/// (arch/datapath.hpp). `l` rides the compute axis: distributions slice it
+/// with the same c_frac as the DSPs, so the search space stays three
+/// fractions per branch regardless of which fabric the datapath computes on.
 struct ResourceBudget {
   double c = 0;
   double m = 0;
   double bw = 0;
+  double l = 0;  ///< fabric LUTs for LUT-multiplier datapaths (0: none)
 
   static ResourceBudget from_platform(const arch::Platform& p) {
     return {static_cast<double>(p.dsps), static_cast<double>(p.brams18k),
-            p.bw_gbps};
+            p.bw_gbps, static_cast<double>(p.luts)};
   }
 };
 
@@ -55,7 +74,9 @@ struct ResourceDistribution {
 struct DesignSpaceStats {
   int branches = 0;
   int stages = 0;
-  int dimensions = 0;        ///< batch + 3 factors per stage
+  /// The customization (datapath) axis, plus batch per branch, plus 3
+  /// factors per stage.
+  int dimensions = 0;
   double log10_configs = 0;  ///< log10 of prod over stages of |divisor triples|
 };
 

@@ -10,8 +10,9 @@ FitnessCache::Key FitnessCache::config_key(const arch::AcceleratorConfig& config
   util::Hash128 h;
   h.absorb(met_mask);
   h.absorb(static_cast<std::uint64_t>(mode));
-  h.absorb(static_cast<std::uint64_t>(config.dw));
-  h.absorb(static_cast<std::uint64_t>(config.ww));
+  h.absorb(static_cast<std::uint64_t>(config.datapath.mac));
+  h.absorb(static_cast<std::uint64_t>(config.datapath.dw));
+  h.absorb(static_cast<std::uint64_t>(config.datapath.ww));
   h.absorb_double(config.freq_mhz);
   h.absorb(config.branches.size());
   for (const arch::BranchHardwareConfig& branch : config.branches) {

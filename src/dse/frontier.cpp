@@ -15,6 +15,7 @@ ObjectiveInput input_from_search(const SearchResult& result) {
   input.dsps = result.eval.dsps;
   input.brams = result.eval.brams;
   input.bw_gbps = result.eval.bw_gbps;
+  input.accuracy_proxy = result.eval.accuracy_proxy;
   return input;
 }
 

@@ -20,6 +20,15 @@ InBranchResult in_branch_optimize(const arch::ReorganizedModel& model,
                                   int branch, const ResourceBudget& rd,
                                   int batch_target, nn::DataType dw,
                                   nn::DataType ww, double freq_mhz) {
+  return in_branch_optimize(model, branch, rd, batch_target,
+                            arch::Datapath{arch::MacStyle::kPipelined, dw, ww},
+                            freq_mhz);
+}
+
+InBranchResult in_branch_optimize(const arch::ReorganizedModel& model,
+                                  int branch, const ResourceBudget& rd,
+                                  int batch_target, const arch::Datapath& dp,
+                                  double freq_mhz) {
   FCAD_CHECK(branch >= 0 && branch < model.num_branches());
   FCAD_CHECK(batch_target >= 1);
   const arch::BranchPipeline& br =
@@ -48,7 +57,7 @@ InBranchResult in_branch_optimize(const arch::ReorganizedModel& model,
     d.ctx.writes_external_output =
         !model.fused.stage_outputs[static_cast<std::size_t>(s)].empty();
     const arch::UnitResources probe = arch::unit_resources(
-        *d.stage, arch::UnitConfig{1, 1, 1}, dw, ww, d.ctx);
+        *d.stage, arch::UnitConfig{1, 1, 1}, dp, d.ctx);
     d.stream_bytes = static_cast<double>(probe.total_stream_bytes());
     demands.push_back(d);
   }
@@ -85,6 +94,7 @@ InBranchResult in_branch_optimize(const arch::ReorganizedModel& model,
   while (true) {
     std::vector<arch::UnitConfig> cfgs(demands.size());
     double c_sum = 0;
+    double l_sum = 0;
     double m_sum = 0;
     double param_bytes = 0;
     double feature_bytes = 0;
@@ -92,19 +102,25 @@ InBranchResult in_branch_optimize(const arch::ReorganizedModel& model,
     for (std::size_t k = 0; k < demands.size(); ++k) {
       cfgs[k] = arch::get_pf(pf[k], *demands[k].stage);
       const arch::UnitResources res = arch::unit_resources(
-          *demands[k].stage, cfgs[k], dw, ww, demands[k].ctx);
+          *demands[k].stage, cfgs[k], dp, demands[k].ctx);
       c_sum += res.dsps;
+      l_sum += res.luts;
       m_sum += res.brams;
       param_bytes += static_cast<double>(res.param_stream_bytes);
       feature_bytes += static_cast<double>(res.feature_stream_bytes);
-      max_lat =
-          std::max(max_lat, arch::cycles_analytical(*demands[k].stage, cfgs[k]));
+      max_lat = std::max(
+          max_lat, arch::cycles_analytical(*demands[k].stage, cfgs[k], dp));
     }
 
     // Line 18: how many pipeline copies fit the slice. Parameters are
     // broadcast to lock-stepped copies, features scale per copy.
     const double waves_per_s = max_lat > 0 ? freq_hz / max_lat : 0.0;
-    double batch_c = c_sum > 0 ? rd.c / c_sum : 0.0;
+    // The compute bound comes from whichever fabric the datapath multiplies
+    // on: DSP slices, fabric LUTs (lut_multipliers()), or neither (no
+    // compute streams: unbounded, like batch_bw below).
+    double batch_c = static_cast<double>(batch_target);
+    if (c_sum > 0) batch_c = std::min(batch_c, rd.c / c_sum);
+    if (l_sum > 0) batch_c = std::min(batch_c, rd.l / l_sum);
     double batch_m = m_sum > 0 ? rd.m / m_sum : 0.0;
     double batch_bw = static_cast<double>(batch_target);
     if (feature_bytes * waves_per_s > 0) {

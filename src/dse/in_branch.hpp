@@ -22,10 +22,17 @@ struct InBranchResult {
   int halvings = 0;  ///< greedy iterations taken
 };
 
-/// Runs Algorithm 2 for `branch` of `model` under budget slice `rd`.
-/// `batch_target` is the user's BatchSize_j. Always returns a structurally
-/// valid config (parallelism >= 1 everywhere); check met_batch_target and
-/// the usage fields for feasibility.
+/// Runs Algorithm 2 for `branch` of `model` under budget slice `rd` on the
+/// given datapath. `batch_target` is the user's BatchSize_j. Always returns
+/// a structurally valid config (parallelism >= 1 everywhere); check
+/// met_batch_target and the usage fields for feasibility.
+InBranchResult in_branch_optimize(const arch::ReorganizedModel& model,
+                                  int branch, const ResourceBudget& rd,
+                                  int batch_target, const arch::Datapath& dp,
+                                  double freq_mhz);
+
+/// Deprecated quantization-era overload (one release): a pipelined MAC at
+/// the given widths.
 InBranchResult in_branch_optimize(const arch::ReorganizedModel& model,
                                   int branch, const ResourceBudget& rd,
                                   int batch_target, nn::DataType dw,

@@ -82,6 +82,13 @@ Objective::Term Objective::bandwidth_cost() {
           [](const ObjectiveInput& in) { return -in.bw_gbps; }};
 }
 
+Objective::Term Objective::accuracy_proxy() {
+  return {"accuracy", 1.0, [](const ObjectiveInput& in) {
+            FCAD_CHECK(in.accuracy_proxy >= 0);
+            return -in.accuracy_proxy;
+          }};
+}
+
 Objective::Term Objective::users_served() {
   return {"users", 1.0, [](const ObjectiveInput& in) {
             FCAD_CHECK(in.users_served >= 0);

@@ -35,6 +35,9 @@ struct ObjectiveInput {
   int dsps = 0;         ///< DSP slices consumed
   int brams = 0;        ///< BRAM18K blocks consumed
   double bw_gbps = 0;   ///< DDR bandwidth consumed
+  /// Precision penalty of the evaluated datapath (Datapath::accuracy_proxy,
+  /// >= 0, higher is worse); lets frontiers trade throughput vs precision.
+  double accuracy_proxy = 0;
   bool has_serving = false;
   int users_served = 0;            ///< user streams served within the SLA
   double p99_latency_us = 0;       ///< serving tail latency
@@ -76,6 +79,9 @@ class Objective {
   static Term dsp_cost();        ///< -DSPs consumed
   static Term bram_cost();       ///< -BRAM18Ks consumed
   static Term bandwidth_cost();  ///< -GB/s consumed
+  /// Precision cost, negated like the resource terms: higher (closer to 0)
+  /// means a more accurate datapath.
+  static Term accuracy_proxy();  ///< -accuracy penalty
   static Term users_served(); ///< served user streams
   /// Sub-unit tie-break bonus within the bound, hard demerit over it
   /// (the piecewise headroom shaping of sla_fitness_score).

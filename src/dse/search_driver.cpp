@@ -210,8 +210,9 @@ StatusOr<SearchOutcome> SearchDriver::run_convergence(
 
 StatusOr<SearchOutcome> SearchDriver::run_sweep(
     const SearchSpec& spec, const RunContext& run) const {
-  if (spec.sweep.quantizations.empty() ||
-      spec.sweep.frequencies_mhz.empty()) {
+  const bool datapath_grid = !spec.sweep.datapaths.empty();
+  if ((!datapath_grid && spec.sweep.quantizations.empty()) ||
+      spec.sweep.frequencies_mhz.empty() || spec.sweep.batch_scales.empty()) {
     return Status::invalid_argument("SearchSpec.sweep: empty grid");
   }
   for (double f : spec.sweep.frequencies_mhz) {
@@ -219,18 +220,50 @@ StatusOr<SearchOutcome> SearchDriver::run_sweep(
       return Status::invalid_argument("SearchSpec.sweep: bad frequency");
     }
   }
+  for (int s : spec.sweep.batch_scales) {
+    if (s < 1) {
+      return Status::invalid_argument(
+          "SearchSpec.sweep: batch scale must be >= 1");
+    }
+  }
+
+  // Resolve the precision axis up front: either the explicit datapath names
+  // or the legacy quantization list as "pipelined-<Q>" (which keeps legacy
+  // grids bit-identical to the pre-datapath sweep).
+  std::vector<arch::Datapath> axis;
+  if (datapath_grid) {
+    axis.reserve(spec.sweep.datapaths.size());
+    for (const std::string& name : spec.sweep.datapaths) {
+      auto dp = arch::datapath_from_string(name);
+      if (!dp.is_ok()) {
+        return Status::invalid_argument("SearchSpec.sweep: " +
+                                        dp.status().message());
+      }
+      axis.push_back(*dp);
+    }
+  } else {
+    axis.reserve(spec.sweep.quantizations.size());
+    for (nn::DataType q : spec.sweep.quantizations) {
+      axis.push_back(arch::datapath_from_quantization(q));
+    }
+  }
+
   SearchOutcome outcome;
   outcome.kind = SearchKind::kSweep;
 
   // Grid points are independent searches: run them across the pool and
   // collect into grid-ordered slots.
   std::vector<SweepPoint> grid;
-  for (nn::DataType q : spec.sweep.quantizations) {
+  for (const arch::Datapath& dp : axis) {
     for (double freq : spec.sweep.frequencies_mhz) {
-      SweepPoint point;
-      point.quantization = q;
-      point.freq_mhz = freq;
-      grid.push_back(point);
+      for (int scale : spec.sweep.batch_scales) {
+        SweepPoint point;
+        point.datapath = arch::datapath_to_string(dp);
+        point.quantization = dp.ww;
+        point.freq_mhz = freq;
+        point.batch_scale = scale;
+        grid.push_back(point);
+      }
     }
   }
 
@@ -239,12 +272,20 @@ StatusOr<SearchOutcome> SearchDriver::run_sweep(
       static_cast<std::int64_t>(grid.size()), [&](std::int64_t i) {
         const SweepPoint& point = grid[static_cast<std::size_t>(i)];
         Customization cust = run.customization;
+        // normalize() already canonicalized cust.datapath from the driver's
+        // customization, so the per-point datapath must be set explicitly
+        // (quantization rides along for legacy consumers).
+        cust.datapath = point.datapath;
         cust.quantization = point.quantization;
+        for (int& b : cust.batch_sizes) b *= point.batch_scale;
         CrossBranchOptions opt = run.options;
         opt.freq_mhz = point.freq_mhz;
-        opt.progress_label = "sweep " +
-                             std::string(nn::to_string(point.quantization)) +
-                             "@" + format_fixed(point.freq_mhz, 0) + "MHz";
+        opt.progress_label =
+            "sweep " + point.datapath + "@" +
+            format_fixed(point.freq_mhz, 0) + "MHz" +
+            (point.batch_scale > 1
+                 ? " x" + std::to_string(point.batch_scale)
+                 : "");
         arch::Platform platform = platform_;
         platform.freq_mhz = point.freq_mhz;
         return run.search(model_, ResourceBudget::from_platform(platform),
@@ -258,11 +299,16 @@ StatusOr<SearchOutcome> SearchDriver::run_sweep(
     points[i].result = std::move(results[i]);
   }
 
-  // Default frontier: maximize min-FPS, minimize DSPs. Infeasible points
-  // never make the frontier. Callers wanting other axes re-extract from the
-  // outcome with any Objective term pair (dse/frontier.hpp).
+  // Default frontier: maximize min-FPS against the grid's natural cost axis.
+  // Legacy quantization grids keep (min FPS up, DSPs down); datapath grids
+  // trade min FPS against the precision penalty instead — LUT-fabric int4
+  // consumes zero DSPs and would otherwise dominate every other datapath.
+  // Infeasible points never make the frontier. Callers wanting other axes
+  // re-extract from the outcome with any Objective term pair
+  // (dse/frontier.hpp).
   const std::vector<FrontierPoint> frontier = extract_frontier(
-      outcome, Objective::min_throughput(), Objective::dsp_cost());
+      outcome, Objective::min_throughput(),
+      datapath_grid ? Objective::accuracy_proxy() : Objective::dsp_cost());
   for (const FrontierPoint& point : frontier) {
     points[point.index].pareto_optimal = point.on_frontier;
   }
@@ -476,6 +522,7 @@ StatusOr<SearchOutcome> SearchDriver::run_traffic(
     input.dsps = search.eval.dsps;
     input.brams = search.eval.brams;
     input.bw_gbps = search.eval.bw_gbps;
+    input.accuracy_proxy = search.eval.accuracy_proxy;
     input.has_serving = true;
     input.users_served = users_served;
     input.p99_latency_us = stats.latency.p99;

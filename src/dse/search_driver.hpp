@@ -26,7 +26,7 @@ enum class SearchKind {
   kOptimize,     ///< one cross-branch search (Algorithm 1)
   kTraffic,      ///< SLA-aware serving search (batch scaling under load)
   kMaxBatch,     ///< largest feasible batch target for one branch
-  kSweep,        ///< quantization x frequency grid with Pareto marking
+  kSweep,        ///< datapath x frequency x batch-scale grid, Pareto-marked
   kConvergence,  ///< statistics over repeated independent searches
 };
 
@@ -55,11 +55,21 @@ struct TrafficSpec {
   bool use_simulator = false;
 };
 
-/// Grid for SearchKind::kSweep.
+/// Grid for SearchKind::kSweep. Two ways to span the precision axis:
+///  - legacy: `quantizations` (each entry means "pipelined-<Q>"), or
+///  - datapath-first: `datapaths` holds canonical arch::Datapath names
+///    ("staged-int8", "pipelined-int8x4", ...; see arch/datapath.hpp).
+/// When `datapaths` is non-empty it REPLACES the quantization axis; when it
+/// is empty the grid is derived from `quantizations` and results are
+/// bit-identical to the pre-datapath sweep. `batch_scales` multiplies every
+/// branch's batch target per point (default {1} — no scaling), making the
+/// sweep a joint precision x microarchitecture x batch grid.
 struct SweepGrid {
   std::vector<nn::DataType> quantizations = {nn::DataType::kInt8,
                                              nn::DataType::kInt16};
   std::vector<double> frequencies_mhz = {150, 200, 300};
+  std::vector<std::string> datapaths;   ///< canonical names; empty = legacy
+  std::vector<int> batch_scales = {1};  ///< per-point batch multipliers (>= 1)
 };
 
 /// Statistics over repeated independent searches (different seeds).
@@ -87,12 +97,20 @@ struct TrafficSearchResult {
 
 /// One kSweep grid point.
 struct SweepPoint {
+  /// Canonical datapath name of the point ("pipelined-int8", ...). For
+  /// legacy quantization grids this is the derived "pipelined-<Q>" name.
+  std::string datapath;
+  /// Weight width of the point's datapath — kept so legacy consumers keyed
+  /// on the quantization axis keep working one release.
   nn::DataType quantization = nn::DataType::kInt8;
   double freq_mhz = 200.0;
+  int batch_scale = 1;  ///< batch multiplier applied to every branch target
   SearchResult result;
-  /// On the default (min FPS up, DSPs down) frontier, marked via
-  /// dse::extract_frontier — which also extracts frontiers over any other
-  /// Objective term pair from the same outcome (dse/frontier.hpp).
+  /// On the grid's default frontier, marked via dse::extract_frontier: min
+  /// FPS up vs DSPs down for legacy quantization grids, min FPS up vs
+  /// accuracy penalty down for datapath grids (where 0-DSP LUT-fabric int4
+  /// would otherwise dominate the resource axis). Other term pairs can be
+  /// extracted from the same outcome (dse/frontier.hpp).
   bool pareto_optimal = false;
 };
 

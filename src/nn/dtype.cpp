@@ -8,6 +8,7 @@ int bits(DataType dtype) {
   switch (dtype) {
     case DataType::kInt8: return 8;
     case DataType::kInt16: return 16;
+    case DataType::kInt4: return 4;
   }
   FCAD_CHECK_MSG(false, "unknown dtype");
   return 0;
@@ -16,7 +17,13 @@ int bits(DataType dtype) {
 int bytes(DataType dtype) { return (bits(dtype) + 7) / 8; }
 
 int multipliers_per_dsp(DataType dtype) {
-  return dtype == DataType::kInt8 ? 2 : 1;
+  switch (dtype) {
+    case DataType::kInt8: return 2;
+    case DataType::kInt16: return 1;
+    case DataType::kInt4: return 0;  // LUT fabric (arch::Datapath prices it)
+  }
+  FCAD_CHECK_MSG(false, "unknown dtype");
+  return 0;
 }
 
 int beta_ops_per_dsp(DataType dtype) {
@@ -25,7 +32,21 @@ int beta_ops_per_dsp(DataType dtype) {
 }
 
 std::string to_string(DataType dtype) {
-  return dtype == DataType::kInt8 ? "int8" : "int16";
+  switch (dtype) {
+    case DataType::kInt8: return "int8";
+    case DataType::kInt16: return "int16";
+    case DataType::kInt4: return "int4";
+  }
+  FCAD_CHECK_MSG(false, "unknown dtype");
+  return "";
+}
+
+StatusOr<DataType> data_type_from_string(const std::string& name) {
+  for (DataType dtype :
+       {DataType::kInt8, DataType::kInt16, DataType::kInt4}) {
+    if (name == to_string(dtype)) return dtype;
+  }
+  return Status::invalid_argument("unknown dtype '" + name + "'");
 }
 
 }  // namespace fcad::nn

@@ -2,18 +2,28 @@
 //
 // F-CAD configures bitwidths for features (DW), weights (WW), and the
 // external memory bus (MW); the paper evaluates 8-bit and 16-bit fixed-point
-// models. The key hardware consequence is DSP packing: one Xilinx DSP48
-// implements two 8-bit multipliers but only one 16-bit multiplier, which is
-// where the paper's beta factor (ops per multiplier per cycle) comes from.
+// models, and the datapath layer (arch/datapath.hpp) extends the set with a
+// 4-bit LUT-fabric variant. The key hardware consequence is DSP packing: one
+// Xilinx DSP48 implements two 8-bit multipliers but only one 16-bit
+// multiplier, which is where the paper's beta factor (ops per multiplier per
+// cycle) comes from; 4-bit multipliers skip the DSP column entirely and are
+// built from LUTs (priced by arch::Datapath, not here).
+//
+// This file and src/arch/datapath.cpp are the only two places allowed to
+// branch on DataType (CI greps for violations): every packing constant is
+// exposed through the helpers below so consumers cannot fork them.
 #pragma once
 
 #include <string>
+
+#include "util/status.hpp"
 
 namespace fcad::nn {
 
 enum class DataType {
   kInt8,
   kInt16,
+  kInt4,
 };
 
 /// Bit width of one element.
@@ -23,14 +33,17 @@ int bits(DataType dtype);
 int bytes(DataType dtype);
 
 /// Multipliers packed into one DSP slice for this operand width
-/// (2 for 8-bit, 1 for 16-bit).
+/// (2 for 8-bit, 1 for 16-bit, 0 for 4-bit — those live in the LUT fabric).
 int multipliers_per_dsp(DataType dtype);
 
 /// Paper Eq. 3 beta: operations (1 MAC = 2 ops) sustained per DSP per cycle.
-/// 4 for 8-bit (two packed MACs), 2 for 16-bit (one MAC).
+/// 4 for 8-bit (two packed MACs), 2 for 16-bit (one MAC), 0 for 4-bit.
 int beta_ops_per_dsp(DataType dtype);
 
-/// "int8" / "int16".
+/// "int8" / "int16" / "int4".
 std::string to_string(DataType dtype);
+
+/// Inverse of to_string; rejects anything else.
+StatusOr<DataType> data_type_from_string(const std::string& name);
 
 }  // namespace fcad::nn

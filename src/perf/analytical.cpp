@@ -15,6 +15,18 @@ double latency_eq4_cycles(int out_ch, int in_ch, int height, int width,
   return macs / (static_cast<double>(cpf) * kpf * h);
 }
 
+double latency_eq4_cycles_filled(int out_ch, int in_ch, int height, int width,
+                                 int kernel, int cpf, int kpf, int h,
+                                 double fill_cycles) {
+  FCAD_CHECK(fill_cycles >= 0);
+  const double base =
+      latency_eq4_cycles(out_ch, in_ch, height, width, kernel, cpf, kpf, h);
+  if (fill_cycles == 0) return base;  // pipelined: exactly Eq. 4
+  const double passes = static_cast<double>(out_ch) / kpf *
+                        (static_cast<double>(height) / h);
+  return base + fill_cycles * passes;
+}
+
 double latency_eq4_seconds(int out_ch, int in_ch, int height, int width,
                            int kernel, int cpf, int kpf, int h,
                            double freq_mhz) {

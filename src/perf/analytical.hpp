@@ -16,6 +16,16 @@ namespace fcad::perf {
 double latency_eq4_cycles(int out_ch, int in_ch, int height, int width,
                           int kernel, int cpf, int kpf, int h);
 
+/// Fill-aware Eq. 4: a staged (non-pipelined) MAC tree drains `fill_cycles`
+/// extra cycles per output tile pass, of which the layer runs
+/// (out_ch/kpf) * (height/h). `fill_cycles == 0` (a fully pipelined
+/// datapath, arch::MacStyle::kPipelined) reduces bit-exactly to
+/// latency_eq4_cycles. Mirrors arch::cycles_analytical(stage, cfg, datapath)
+/// with `fill_cycles = datapath.fill_cycles()`.
+double latency_eq4_cycles_filled(int out_ch, int in_ch, int height, int width,
+                                 int kernel, int cpf, int kpf, int h,
+                                 double fill_cycles);
+
 /// Eq. 4 expressed in seconds at frequency `freq_mhz`.
 double latency_eq4_seconds(int out_ch, int in_ch, int height, int width,
                            int kernel, int cpf, int kpf, int h,

@@ -4,16 +4,26 @@
 
 namespace fcad::perf {
 
+double peak_gops(int beta_ops_per_dsp, int dsps, double freq_mhz) {
+  FCAD_CHECK(beta_ops_per_dsp >= 0 && dsps >= 0 && freq_mhz > 0);
+  return static_cast<double>(beta_ops_per_dsp) * dsps * freq_mhz *
+         1e-3;  // 1e6 Hz * 1e-9 GOP = 1e-3
+}
+
 double peak_gops(nn::DataType operand_type, int dsps, double freq_mhz) {
-  FCAD_CHECK(dsps >= 0 && freq_mhz > 0);
-  return static_cast<double>(nn::beta_ops_per_dsp(operand_type)) * dsps *
-         freq_mhz * 1e-3;  // 1e6 Hz * 1e-9 GOP = 1e-3
+  return peak_gops(nn::beta_ops_per_dsp(operand_type), dsps, freq_mhz);
+}
+
+double efficiency_eq3(double gops, int beta_ops_per_dsp, int dsps,
+                      double freq_mhz) {
+  const double peak = peak_gops(beta_ops_per_dsp, dsps, freq_mhz);
+  return peak > 0 ? gops / peak : 0.0;
 }
 
 double efficiency_eq3(double gops, nn::DataType operand_type, int dsps,
                       double freq_mhz) {
-  const double peak = peak_gops(operand_type, dsps, freq_mhz);
-  return peak > 0 ? gops / peak : 0.0;
+  return efficiency_eq3(gops, nn::beta_ops_per_dsp(operand_type), dsps,
+                        freq_mhz);
 }
 
 }  // namespace fcad::perf

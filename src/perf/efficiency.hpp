@@ -11,7 +11,17 @@ namespace fcad::perf {
 double efficiency_eq3(double gops, nn::DataType operand_type, int dsps,
                       double freq_mhz);
 
+/// Eq. 3 generalized over any datapath: pass the datapath's own beta
+/// (arch::Datapath::beta_ops_per_dsp()) instead of deriving it from a
+/// uniform operand type.
+double efficiency_eq3(double gops, int beta_ops_per_dsp, int dsps,
+                      double freq_mhz);
+
 /// Theoretical peak GOP/s of `dsps` DSP slices at `freq_mhz`.
 double peak_gops(nn::DataType operand_type, int dsps, double freq_mhz);
+
+/// Peak GOP/s at an explicit beta (ops per DSP per cycle) — the
+/// datapath-aware form of the above.
+double peak_gops(int beta_ops_per_dsp, int dsps, double freq_mhz);
 
 }  // namespace fcad::perf

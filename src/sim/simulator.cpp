@@ -34,8 +34,8 @@ std::vector<std::vector<std::int64_t>> run_pass(
     const arch::BranchHardwareConfig& hw = config.branches[b];
     for (std::size_t i = 0; i < br.stages.size(); ++i) {
       StageState& st = states[static_cast<std::size_t>(br.stages[i])];
-      st.model = build_stage_sim(model, br.stages[i], hw.units[i], config.dw,
-                                 config.ww);
+      st.model = build_stage_sim(model, br.stages[i], hw.units[i],
+                                 config.datapath.dw, config.datapath.ww);
       st.owner_branch = static_cast<int>(b);
     }
   }
@@ -133,7 +133,7 @@ SimResult simulate(const arch::ReorganizedModel& model,
     const auto completions = run_pass(model, config, ddr, options, states);
 
     result.branches.assign(model.branches.size(), {});
-    const double beta = nn::beta_ops_per_dsp(config.ww);
+    const double beta = config.datapath.beta_ops_per_dsp();
     double total_gops = 0;
     double demand_bytes_per_s = 0;
     for (std::size_t b = 0; b < model.branches.size(); ++b) {

@@ -35,7 +35,7 @@ TEST(ConfigIoTest, RoundTrip) {
   const std::string text = config_to_text(fixture().model, fixture().config);
   auto parsed = config_from_text(fixture().model, text);
   ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
-  EXPECT_EQ(parsed->dw, fixture().config.dw);
+  EXPECT_EQ(parsed->datapath, fixture().config.datapath);
   EXPECT_EQ(parsed->freq_mhz, fixture().config.freq_mhz);
   ASSERT_EQ(parsed->branches.size(), fixture().config.branches.size());
   for (std::size_t b = 0; b < parsed->branches.size(); ++b) {
@@ -107,10 +107,38 @@ TEST(ConfigIoTest, MissingUnitRejected) {
 
 TEST(ConfigIoTest, BadDtypeRejected) {
   auto parsed = config_from_text(
-      fixture().model, "accelerator dw=int4 ww=int8 freq_mhz=200\n");
+      fixture().model, "accelerator dw=fp32 ww=int8 freq_mhz=200\n");
   ASSERT_FALSE(parsed.is_ok());
   EXPECT_NE(parsed.status().message().find("unknown dtype"),
             std::string::npos);
+}
+
+TEST(ConfigIoTest, BadDatapathRejected) {
+  auto parsed = config_from_text(
+      fixture().model, "accelerator datapath=warped-int8 freq_mhz=200\n");
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_NE(parsed.status().message().find("unknown datapath"),
+            std::string::npos);
+}
+
+TEST(ConfigIoTest, DeprecatedDwWwKeysStillParse) {
+  // One-release back-compat: the pre-datapath "dw=/ww=" keys must keep
+  // loading as a pipelined datapath at those widths.
+  std::string text = config_to_text(fixture().model, fixture().config);
+  const std::size_t eol = text.find('\n');
+  ASSERT_NE(eol, std::string::npos);
+  text.replace(0, eol, "accelerator dw=int16 ww=int16 freq_mhz=200");
+  auto parsed = config_from_text(fixture().model, text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->datapath,
+            datapath_from_quantization(nn::DataType::kInt16));
+}
+
+TEST(ConfigIoTest, HeaderCarriesCanonicalDatapathName) {
+  const std::string text = config_to_text(fixture().model, fixture().config);
+  EXPECT_NE(text.find("accelerator datapath=pipelined-int8"),
+            std::string::npos)
+      << text;
 }
 
 TEST(ConfigIoTest, CommentsIgnored) {

@@ -46,12 +46,44 @@ TEST(CustomizationTest, NegativePriorityRejected) {
   EXPECT_FALSE(c.normalize(3).is_ok());
 }
 
+TEST(CustomizationTest, ZeroPriorityRejectedWithBranchIndex) {
+  Customization c;
+  c.priorities = {1.0, 1.0, 0.0};
+  const Status s = c.normalize(3);
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_NE(s.message().find("branch 2"), std::string::npos) << s.message();
+}
+
+TEST(CustomizationTest, NormalizeCanonicalizesDatapath) {
+  Customization c;
+  c.quantization = nn::DataType::kInt16;
+  ASSERT_TRUE(c.normalize(2).is_ok());
+  EXPECT_EQ(c.datapath, "pipelined-int16");  // derived from the shim field
+
+  Customization d;
+  d.datapath = "staged-int8x4";
+  ASSERT_TRUE(d.normalize(2).is_ok());
+  EXPECT_EQ(d.resolved_datapath(),
+            (arch::Datapath{arch::MacStyle::kStaged, nn::DataType::kInt8,
+                            nn::DataType::kInt4}));
+}
+
+TEST(CustomizationTest, BadDatapathRejected) {
+  Customization c;
+  c.datapath = "systolic-int8";
+  const Status s = c.normalize(2);
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_NE(s.message().find("unknown datapath"), std::string::npos)
+      << s.message();
+}
+
 // --------------------------------------------------------- design space --
 TEST(DesignSpaceTest, StatsCountDimensions) {
   const DesignSpaceStats stats = design_space_stats(decoder_model());
   EXPECT_EQ(stats.branches, 3);
   EXPECT_EQ(stats.stages, 18);
-  EXPECT_EQ(stats.dimensions, 3 + 3 * 18);  // batch per branch + 3 per stage
+  // datapath + batch per branch + 3 per stage
+  EXPECT_EQ(stats.dimensions, 1 + 3 + 3 * 18);
   EXPECT_GT(stats.log10_configs, 20.0);  // a genuinely huge space
 }
 

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <set>
 #include <vector>
 
 #include "arch/platform.hpp"
@@ -194,6 +195,50 @@ TEST(ParallelDeterminismTest, SweepIdenticalAcrossThreadCounts) {
     for (std::size_t i = 0; i < baseline->sweep.size(); ++i) {
       EXPECT_EQ(baseline->sweep[i].pareto_optimal,
                 other->sweep[i].pareto_optimal);
+      expect_identical(baseline->sweep[i].result, other->sweep[i].result);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, DatapathSweepIdenticalAcrossThreadCounts) {
+  // The joint precision x microarchitecture x batch grid must hold the same
+  // determinism contract as the legacy quantization sweep, and its frontier
+  // (min FPS vs accuracy penalty) must keep more than one datapath alive.
+  SearchSpec spec;
+  spec.kind = SearchKind::kSweep;
+  spec.sweep.datapaths = {"pipelined-int8", "staged-int8", "pipelined-int16",
+                          "pipelined-int8x4", "pipelined-int4"};
+  spec.sweep.frequencies_mhz = {200};
+  spec.sweep.batch_scales = {1, 2};
+  spec.search = fast_options(1);
+  spec.customization.batch_sizes = {1, 2, 2};
+
+  const SearchDriver driver(decoder_model(), arch::platform_zu9cg());
+  auto baseline = driver.run(spec);
+  ASSERT_TRUE(baseline.is_ok());
+  ASSERT_EQ(baseline->sweep.size(), 10u);  // 5 datapaths x 1 freq x 2 scales
+
+  std::set<std::string> frontier_datapaths;
+  for (const SweepPoint& point : baseline->sweep) {
+    if (point.pareto_optimal) frontier_datapaths.insert(point.datapath);
+  }
+  EXPECT_GE(frontier_datapaths.size(), 2u)
+      << "accuracy/throughput frontier collapsed to one datapath";
+
+  for (std::size_t t = 1; t < kThreadCounts.size(); ++t) {
+    spec.search.threads = kThreadCounts[t];
+    auto other = driver.run(spec);
+    ASSERT_TRUE(other.is_ok());
+    ASSERT_EQ(baseline->sweep.size(), other->sweep.size());
+    for (std::size_t i = 0; i < baseline->sweep.size(); ++i) {
+      EXPECT_EQ(baseline->sweep[i].datapath, other->sweep[i].datapath);
+      EXPECT_EQ(baseline->sweep[i].batch_scale, other->sweep[i].batch_scale);
+      EXPECT_EQ(baseline->sweep[i].pareto_optimal,
+                other->sweep[i].pareto_optimal);
+      EXPECT_EQ(baseline->sweep[i].result.eval.accuracy_proxy,
+                other->sweep[i].result.eval.accuracy_proxy);
+      EXPECT_EQ(baseline->sweep[i].result.eval.luts,
+                other->sweep[i].result.eval.luts);
       expect_identical(baseline->sweep[i].result, other->sweep[i].result);
     }
   }

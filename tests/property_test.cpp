@@ -102,8 +102,7 @@ TEST_P(EfficiencyBound, WithinUnitInterval) {
   const auto [lanes, dtype] = GetParam();
   const auto& model = decoder_model();
   arch::AcceleratorConfig config;
-  config.dw = dtype;
-  config.ww = dtype;
+  config.datapath = arch::datapath_from_quantization(dtype);
   for (const arch::BranchPipeline& br : model.branches) {
     arch::BranchHardwareConfig hw;
     hw.batch = 1;
